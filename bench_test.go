@@ -1,0 +1,370 @@
+// Package dais_test holds the testing.B counterparts of the evaluation
+// suite E1–E11 (see DESIGN.md §4 and EXPERIMENTS.md). cmd/daisbench
+// prints the full parameter-sweep tables; these benchmarks expose the
+// same code paths to `go test -bench` so regressions are visible in
+// standard tooling. One benchmark (family) per experiment.
+package dais_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dais/internal/bench"
+	"dais/internal/client"
+	"dais/internal/core"
+	"dais/internal/dair"
+	"dais/internal/rowset"
+	"dais/internal/sqlengine"
+)
+
+// E1/E2 — direct vs indirect access and third-party delivery (Fig. 1,
+// Fig. 5): one sub-benchmark per result size and pattern.
+func BenchmarkE1DirectVsIndirect(b *testing.B) {
+	f := bench.MustSQLFixture(bench.FixtureOption{Rows: 1000, Concurrent: true, WSRF: true})
+	defer f.Close()
+	for _, n := range []int{1, 10, 100, 1000} {
+		query := fmt.Sprintf(`SELECT id, payload, num FROM data ORDER BY id LIMIT %d`, n)
+		b.Run(fmt.Sprintf("direct/rows=%d", n), func(b *testing.B) {
+			c := client.New(nil)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.SQLExecute(f.Ref, query, nil, ""); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(c.BytesReceived())/float64(b.N), "wire-B/op")
+		})
+		b.Run(fmt.Sprintf("indirect/rows=%d", n), func(b *testing.B) {
+			c := client.New(nil)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				respRef, err := c.SQLExecuteFactory(f.Ref, query, nil, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rowsetRef, err := c.SQLRowsetFactory(respRef, "", 0, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reader := client.New(nil)
+				if _, err := reader.GetTuplesSet(rowsetRef, 1, n+1); err != nil {
+					b.Fatal(err)
+				}
+				c.DestroyDataResource(rowsetRef) //nolint:errcheck
+				c.DestroyDataResource(respRef)   //nolint:errcheck
+			}
+			b.ReportMetric(float64(c.BytesReceived())/float64(b.N), "consumer1-wire-B/op")
+		})
+	}
+}
+
+// BenchmarkE2ThirdPartyDelivery measures only consumer 1's side of the
+// hand-off: relay (pull everything) vs EPR-only factory chain.
+func BenchmarkE2ThirdPartyDelivery(b *testing.B) {
+	f := bench.MustSQLFixture(bench.FixtureOption{Rows: 1000, Concurrent: true, WSRF: true})
+	defer f.Close()
+	query := `SELECT id, payload, num FROM data ORDER BY id LIMIT 1000`
+	b.Run("relay", func(b *testing.B) {
+		c := client.New(nil)
+		for i := 0; i < b.N; i++ {
+			if _, err := c.SQLExecute(f.Ref, query, nil, ""); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(c.BytesReceived())/float64(b.N), "consumer1-wire-B/op")
+	})
+	b.Run("epr-handoff", func(b *testing.B) {
+		c := client.New(nil)
+		for i := 0; i < b.N; i++ {
+			respRef, err := c.SQLExecuteFactory(f.Ref, query, nil, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rowsetRef, err := c.SQLRowsetFactory(respRef, "", 0, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c.DestroyDataResource(rowsetRef) //nolint:errcheck
+			c.DestroyDataResource(respRef)   //nolint:errcheck
+		}
+		b.ReportMetric(float64(c.BytesReceived())/float64(b.N), "consumer1-wire-B/op")
+	})
+}
+
+// E3 — WSRF fine-grained property access vs whole property document.
+func BenchmarkE3PropertyGranularity(b *testing.B) {
+	for _, tables := range []int{0, 50} {
+		f := bench.MustSQLFixture(bench.FixtureOption{Rows: 10, Concurrent: true, WSRF: true, ExtraTables: tables})
+		b.Run(fmt.Sprintf("wholedoc/tables=%d", tables), func(b *testing.B) {
+			c := client.New(nil)
+			for i := 0; i < b.N; i++ {
+				if _, err := c.GetPropertyDocument(f.Ref); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(c.BytesReceived())/float64(b.N), "wire-B/op")
+		})
+		b.Run(fmt.Sprintf("singleprop/tables=%d", tables), func(b *testing.B) {
+			c := client.New(nil)
+			for i := 0; i < b.N; i++ {
+				if _, err := c.GetResourceProperty(f.Ref, "Readable"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(c.BytesReceived())/float64(b.N), "wire-B/op")
+		})
+		f.Close()
+	}
+}
+
+// E4 — GetTuples paging with different page sizes over a 2000-row
+// rowset resource.
+func BenchmarkE4TuplePaging(b *testing.B) {
+	const totalRows = 2000
+	f := bench.MustSQLFixture(bench.FixtureOption{Rows: totalRows, Concurrent: true, WSRF: true})
+	defer f.Close()
+	c := client.New(nil)
+	respRef, err := c.SQLExecuteFactory(f.Ref, `SELECT id, payload, num FROM data ORDER BY id`, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rowsetRef, err := c.SQLRowsetFactory(respRef, "", 0, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, page := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("page=%d", page), func(b *testing.B) {
+			pc := client.New(nil)
+			for i := 0; i < b.N; i++ {
+				got := 0
+				for pos := 1; ; pos += page {
+					set, err := pc.GetTuplesSet(rowsetRef, pos, page)
+					if err != nil {
+						b.Fatal(err)
+					}
+					got += len(set.Rows)
+					if len(set.Rows) < page {
+						break
+					}
+				}
+				if got != totalRows {
+					b.Fatalf("paged %d rows", got)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed())/float64(b.N)/totalRows, "ns/row")
+		})
+	}
+}
+
+// E5 — thin vs thick wrapper, in-process so the wrapper cost is not
+// drowned in HTTP noise.
+func BenchmarkE5ThinThickWrapper(b *testing.B) {
+	eng := sqlengine.New("bench")
+	eng.MustExec(`CREATE TABLE data (id INTEGER PRIMARY KEY, payload VARCHAR(64))`)
+	for i := 0; i < 100; i++ {
+		eng.MustExec(`INSERT INTO data VALUES (?, ?)`, sqlengine.NewInt(int64(i)), sqlengine.NewString("p"))
+	}
+	const query = `SELECT id, payload FROM data WHERE id > 10 AND id < 60 ORDER BY id DESC LIMIT 5`
+	b.Run("thin", func(b *testing.B) {
+		r := dair.NewSQLDataResource(eng)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.SQLExecute(query, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("thick", func(b *testing.B) {
+		r := dair.NewSQLDataResource(eng, dair.WithWrapper(dair.ThickWrapper{}))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.SQLExecute(query, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// E6 — ConcurrentAccess: latency of a fast probe while a simulated
+// I/O-bound resource (bench.SlowWrapper) is being queried through the
+// same service. The serialised service head-of-line blocks the probe.
+func BenchmarkE6ConcurrentAccess(b *testing.B) {
+	for _, concurrent := range []bool{true, false} {
+		name := "serialized"
+		if concurrent {
+			name = "concurrent"
+		}
+		b.Run(name, func(b *testing.B) {
+			rows, err := bench.RunE6([]int{1}, b.N)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var per time.Duration
+			if concurrent {
+				per = rows[0].ShortConcurrent
+			} else {
+				per = rows[0].ShortSerialized
+			}
+			b.ReportMetric(float64(per.Nanoseconds()), "probe-ns/op")
+		})
+	}
+}
+
+// E7 — SOAP wrapper overhead: raw engine vs full SOAP/HTTP round trip.
+func BenchmarkE7SOAPOverhead(b *testing.B) {
+	f := bench.MustSQLFixture(bench.FixtureOption{Rows: 1000, Concurrent: true, WSRF: false})
+	defer f.Close()
+	for _, n := range []int{1, 100} {
+		query := fmt.Sprintf(`SELECT id, payload, num FROM data ORDER BY id LIMIT %d`, n)
+		b.Run(fmt.Sprintf("engine/rows=%d", n), func(b *testing.B) {
+			sess := f.Engine.NewSession()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.Execute(query); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("soap/rows=%d", n), func(b *testing.B) {
+			c := client.New(nil)
+			for i := 0; i < b.N; i++ {
+				if _, err := c.SQLExecute(f.Ref, query, nil, ""); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E8 — lifetime management: explicit destroy vs soft-state sweep of a
+// derived resource.
+func BenchmarkE8Lifetime(b *testing.B) {
+	f := bench.MustSQLFixture(bench.FixtureOption{Rows: 10, Concurrent: true, WSRF: true})
+	defer f.Close()
+	c := client.New(nil)
+	b.Run("explicit-destroy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ref, err := c.SQLExecuteFactory(f.Ref, `SELECT id FROM data`, nil, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := c.DestroyDataResource(ref); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("soft-state", func(b *testing.B) {
+		past := time.Now().Add(-time.Second)
+		for i := 0; i < b.N; i++ {
+			ref, err := c.SQLExecuteFactory(f.Ref, `SELECT id FROM data`, nil, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.SetTerminationTime(ref, &past); err != nil {
+				b.Fatal(err)
+			}
+			if swept := f.Endpoint.WSRF().SweepExpired(); len(swept) != 1 {
+				b.Fatalf("swept %d", len(swept))
+			}
+		}
+	})
+}
+
+// E9 — dataset format encode/decode over a 1000-row result.
+func BenchmarkE9DatasetFormats(b *testing.B) {
+	set := &sqlengine.ResultSet{
+		Columns: []sqlengine.ResultColumn{
+			{Name: "id", Type: sqlengine.TypeInteger},
+			{Name: "payload", Type: sqlengine.TypeVarchar},
+			{Name: "num", Type: sqlengine.TypeDouble},
+		},
+	}
+	for i := 0; i < 1000; i++ {
+		set.Rows = append(set.Rows, []sqlengine.Value{
+			sqlengine.NewInt(int64(i)),
+			sqlengine.NewString(fmt.Sprintf("row-%06d-payload", i)),
+			sqlengine.NewDouble(float64(i) * 1.5),
+		})
+	}
+	reg := rowset.NewRegistry()
+	for _, uri := range reg.URIs() {
+		codec, err := reg.Lookup(uri)
+		if err != nil {
+			b.Fatal(err)
+		}
+		data, err := codec.Encode(set)
+		if err != nil {
+			b.Fatal(err)
+		}
+		short := uri[len(uri)-10:]
+		b.Run("encode/"+short, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := codec.Encode(set); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(data)), "payload-B")
+		})
+		b.Run("decode/"+short, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := codec.Decode(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E10 — transaction initiation modes, in-process.
+func BenchmarkE10Transactions(b *testing.B) {
+	for _, mode := range []core.TransactionInitiation{
+		core.TransactionNotSupported,
+		core.TransactionPerMessage,
+		core.TransactionConsumerControlled,
+	} {
+		b.Run(mode.String(), func(b *testing.B) {
+			eng := sqlengine.New("bench")
+			eng.MustExec(`CREATE TABLE acct (id INTEGER PRIMARY KEY, bal INTEGER)`)
+			eng.MustExec(`INSERT INTO acct VALUES (1, 0)`)
+			res := dair.NewSQLDataResource(eng, dair.WithConfiguration(core.Configuration{
+				Readable: true, Writeable: true,
+				TransactionInitiation: mode,
+				TransactionIsolation:  sqlengine.ReadCommitted.String(),
+			}))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := res.SQLExecute(`UPDATE acct SET bal = bal + 1`, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E11 — WS-DAIF staging (extension): relay vs select-and-stage through
+// the coordinating consumer.
+func BenchmarkE11FileStaging(b *testing.B) {
+	for _, mode := range []string{"relay", "stage"} {
+		b.Run(mode, func(b *testing.B) {
+			rows, err := bench.RunE11([]int{10}, 8192)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = rows
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := bench.RunE11([]int{10}, 8192)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if mode == "relay" {
+					b.ReportMetric(float64(r[0].RelayBytes), "coordinator-B")
+				} else {
+					b.ReportMetric(float64(r[0].StageBytes), "coordinator-B")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,196 @@
+// Command daisbench runs the evaluation suite E1–E11 (DESIGN.md §4 /
+// EXPERIMENTS.md) end-to-end and prints one table per experiment. Each
+// experiment operationalises a quantifiable claim from the paper; the
+// expected shapes are documented in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	daisbench [-quick] [-only E1,E3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"dais/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller parameter sweeps")
+	only := flag.String("only", "", "comma-separated experiment ids to run (default all)")
+	flag.Parse()
+
+	selected := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id != "" {
+			selected[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	want := func(id string) bool { return len(selected) == 0 || selected[id] }
+
+	sizes := []int{1, 10, 100, 1000, 10000}
+	pageRows, pages := 10000, []int{1, 10, 100, 1000}
+	tableCounts := []int{0, 10, 50, 200}
+	clientCounts := []int{1, 2, 4, 8, 16}
+	iters := 200
+	if *quick {
+		sizes = []int{1, 10, 100, 1000}
+		pageRows, pages = 2000, []int{10, 100, 1000}
+		tableCounts = []int{0, 10, 50}
+		clientCounts = []int{1, 4, 8}
+		iters = 50
+	}
+
+	if want("E1") {
+		rows, err := bench.RunE1(sizes)
+		fatal("E1", err)
+		table("E1  Direct vs indirect access (paper Fig. 1)",
+			"rows\tdirect latency\tdirect bytes→consumer\tindirect setup\tEPR bytes→consumer\tindirect total\tbytes→3rd party",
+			func(w *tabwriter.Writer) {
+				for _, r := range rows {
+					fmt.Fprintf(w, "%d\t%v\t%d\t%v\t%d\t%v\t%d\n",
+						r.Rows, r.DirectLatency, r.DirectBytes, r.IndirectSetup,
+						r.IndirectBytes, r.IndirectTotal, r.ThirdPartyPull)
+				}
+			})
+	}
+	if want("E2") {
+		rows, err := bench.RunE2(sizes)
+		fatal("E2", err)
+		table("E2  Third-party delivery (paper Fig. 5: indirect access avoids data movement)",
+			"rows\tbytes through consumer1 (relay)\tbytes through consumer1 (EPR hand-off)\tbytes to reader",
+			func(w *tabwriter.Writer) {
+				for _, r := range rows {
+					fmt.Fprintf(w, "%d\t%d\t%d\t%d\n", r.Rows, r.RelayBytes, r.EPRBytes, r.ReaderBytes)
+				}
+			})
+	}
+	if want("E3") {
+		rows, err := bench.RunE3(tableCounts)
+		fatal("E3", err)
+		table("E3  WSRF fine-grained property access (paper §5)",
+			"catalog tables\twhole doc bytes\twhole doc time\tsingle prop bytes\tsingle prop time",
+			func(w *tabwriter.Writer) {
+				for _, r := range rows {
+					fmt.Fprintf(w, "%d\t%d\t%v\t%d\t%v\n",
+						r.CatalogTables, r.WholeDocBytes, r.WholeDocTime, r.SinglePropByte, r.SinglePropTime)
+				}
+			})
+	}
+	if want("E4") {
+		rows, err := bench.RunE4(pageRows, pages)
+		fatal("E4", err)
+		table(fmt.Sprintf("E4  GetTuples paging, %d rows (paper §4.3)", pageRows),
+			"page size\tcalls\ttotal\tper row\twire bytes",
+			func(w *tabwriter.Writer) {
+				for _, r := range rows {
+					fmt.Fprintf(w, "%d\t%d\t%v\t%v\t%d\n", r.PageSize, r.Calls, r.Total, r.PerRow, r.WireBytes)
+				}
+			})
+	}
+	if want("E5") {
+		rows, err := bench.RunE5(iters * 5)
+		fatal("E5", err)
+		table("E5  Thin vs thick wrapper (paper §2.1)",
+			"statement\tthin/exec\tthick/exec\tthick÷thin",
+			func(w *tabwriter.Writer) {
+				for _, r := range rows {
+					fmt.Fprintf(w, "%.40s\t%v\t%v\t%.2fx\n", r.Statement, r.ThinPer, r.ThickPer, r.Overhead)
+				}
+			})
+	}
+	if want("E6") {
+		rows, err := bench.RunE6(clientCounts, 20)
+		fatal("E6", err)
+		table("E6  ConcurrentAccess property: short-query latency under long-scan load (paper §4.2)",
+			"long scanners\tshort latency (concurrent)\tshort latency (serialized)\tslowdown",
+			func(w *tabwriter.Writer) {
+				for _, r := range rows {
+					fmt.Fprintf(w, "%d\t%v\t%v\t%.2fx\n",
+						r.LongScanners, r.ShortConcurrent, r.ShortSerialized, r.SlowdownSerial)
+				}
+			})
+	}
+	if want("E7") {
+		rows, err := bench.RunE7([]int{1, 10, 100, 1000}, iters/2)
+		fatal("E7", err)
+		table("E7  SOAP wrapper overhead (paper §3)",
+			"rows\tengine/exec\tSOAP/exec\toverhead\tfactor",
+			func(w *tabwriter.Writer) {
+				for _, r := range rows {
+					fmt.Fprintf(w, "%d\t%v\t%v\t%v\t%.1fx\n", r.Rows, r.EnginePer, r.SOAPPer, r.OverheadPer, r.Factor)
+				}
+			})
+	}
+	if want("E8") {
+		rows, err := bench.RunE8([]int{10, 100, 500})
+		fatal("E8", err)
+		table("E8  Soft-state lifetime vs explicit destroy (paper §5)",
+			"resources\texplicit destroy total\tsweep time\tleaked before sweep\tleaked after",
+			func(w *tabwriter.Writer) {
+				for _, r := range rows {
+					fmt.Fprintf(w, "%d\t%v\t%v\t%d\t%d\n",
+						r.Resources, r.ExplicitDestroy, r.SoftStateSweep, r.LeakedWithout, r.LeakedWithReaper)
+				}
+			})
+	}
+	if want("E9") {
+		rows, err := bench.RunE9(1000, 20)
+		fatal("E9", err)
+		table("E9  Dataset formats (paper §4.1 DatasetMap)",
+			"format\trows\tbytes\tencode\tdecode",
+			func(w *tabwriter.Writer) {
+				for _, r := range rows {
+					fmt.Fprintf(w, "%s\t%d\t%d\t%v\t%v\n", short(r.Format), r.Rows, r.Bytes, r.EncodePer, r.DecodePer)
+				}
+			})
+	}
+	if want("E10") {
+		rows, err := bench.RunE10(iters * 2)
+		fatal("E10", err)
+		table("E10 Transaction properties (paper §4.2)",
+			"mode\tupdate/exec\tdirty reads (of 20)\trows leaked after failed stmt",
+			func(w *tabwriter.Writer) {
+				for _, r := range rows {
+					fmt.Fprintf(w, "%s\t%v\t%d\t%d\n", r.Mode, r.UpdatesPer, r.DirtyReads, r.LostAfterErr)
+				}
+			})
+	}
+	if want("E11") {
+		rows, err := bench.RunE11([]int{1, 10, 50}, 16384)
+		fatal("E11", err)
+		table("E11 File staging (WS-DAIF extension: select-and-stage vs relay)",
+			"files\tfile size\trelay bytes→coordinator\tstage bytes→coordinator\tstage latency\tbytes→reader",
+			func(w *tabwriter.Writer) {
+				for _, r := range rows {
+					fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%v\t%d\n",
+						r.Files, r.FileSize, r.RelayBytes, r.StageBytes, r.StageLatency, r.ReaderBytes)
+				}
+			})
+	}
+}
+
+func table(title, header string, body func(*tabwriter.Writer)) {
+	fmt.Printf("\n%s\n%s\n", title, strings.Repeat("-", len(title)))
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, header)
+	body(w)
+	w.Flush()
+}
+
+func short(uri string) string {
+	if i := strings.LastIndex(uri, "/"); i >= 0 {
+		return uri[i+1:]
+	}
+	return uri
+}
+
+func fatal(id string, err error) {
+	if err != nil {
+		log.Fatalf("daisbench: %s: %v", id, err)
+	}
+}

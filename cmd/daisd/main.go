@@ -1,0 +1,214 @@
+// Command daisd hosts DAIS data services over SOAP/HTTP: a relational
+// data service (WS-DAIR) backed by the in-memory SQL engine and an XML
+// data service (WS-DAIX) backed by the XML collection store, both with
+// the optional WSRF layer.
+//
+// Usage:
+//
+//	daisd [-addr :8090] [-wsrf] [-seed-rows 1000] [-concurrent=true] [-reap 5s]
+//
+// On startup it prints the endpoint URLs and the abstract names of the
+// hosted resources; point daisql / daixq at them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"dais/internal/core"
+	"dais/internal/daif"
+	"dais/internal/dair"
+	"dais/internal/daix"
+	"dais/internal/filestore"
+	"dais/internal/service"
+	"dais/internal/sqlengine"
+	"dais/internal/xmldb"
+	"dais/internal/xmlutil"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8090", "listen address")
+	useWSRF := flag.Bool("wsrf", true, "enable the WSRF layer (fine-grained properties + soft-state lifetime)")
+	seedRows := flag.Int("seed-rows", 100, "rows to seed into the demo employees table")
+	concurrent := flag.Bool("concurrent", true, "value of the ConcurrentAccess property")
+	reap := flag.Duration("reap", 5*time.Second, "WSRF reaper interval (0 disables)")
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("daisd: listen: %v", err)
+	}
+	base := "http://" + ln.Addr().String()
+
+	srv, stop := buildServer(base, config{
+		wsrf:       *useWSRF,
+		seedRows:   *seedRows,
+		concurrent: *concurrent,
+		reap:       *reap,
+	})
+	defer stop()
+
+	fmt.Printf("daisd listening on %s\n", base)
+	fmt.Printf("  relational service: %s/sql\n", base)
+	fmt.Printf("    resource: %s\n", srv.sqlRes.AbstractName())
+	fmt.Printf("  xml service:        %s/xml\n", base)
+	fmt.Printf("    resource: %s\n", srv.xmlRes.AbstractName())
+	fmt.Printf("  file service:       %s/files\n", base)
+	fmt.Printf("    resource: %s\n", srv.fileRes.AbstractName())
+	fmt.Printf("  wsrf: %v  concurrent access: %v\n", *useWSRF, *concurrent)
+
+	if err := http.Serve(ln, srv.mux); err != nil {
+		fmt.Fprintf(os.Stderr, "daisd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// config collects the daisd settings.
+type config struct {
+	wsrf       bool
+	seedRows   int
+	concurrent bool
+	reap       time.Duration
+}
+
+// server bundles the composed endpoints for main and for tests.
+type server struct {
+	mux     *http.ServeMux
+	sqlEp   *service.Endpoint
+	xmlEp   *service.Endpoint
+	fileEp  *service.Endpoint
+	sqlRes  *dair.SQLDataResource
+	xmlRes  *daix.XMLCollectionResource
+	fileRes *daif.FileDataResource
+}
+
+// buildServer assembles the relational and XML data services on a mux.
+// The returned stop function terminates the WSRF reapers.
+func buildServer(base string, cfg config) (*server, func()) {
+	eng := sqlengine.New("hr")
+	seedRelational(eng, cfg.seedRows)
+	sqlRes := dair.NewSQLDataResource(eng)
+	sqlSvc := core.NewDataService("relational",
+		core.WithConcurrentAccess(cfg.concurrent),
+		core.WithConfigurationMap(dair.StandardConfigurationMaps()...))
+	var sqlOpts []service.EndpointOption
+	if cfg.wsrf {
+		sqlOpts = append(sqlOpts, service.WithWSRF())
+	}
+	sqlEp := service.NewEndpoint(sqlSvc, sqlOpts...)
+	sqlEp.Register(sqlRes)
+	sqlSvc.SetAddress(base + "/sql")
+
+	store := xmldb.NewStore("library")
+	seedXML(store)
+	xmlRes := daix.NewXMLCollectionResource(store, "")
+	xmlSvc := core.NewDataService("xml",
+		core.WithConcurrentAccess(cfg.concurrent),
+		core.WithConfigurationMap(daix.StandardConfigurationMaps()...))
+	var xmlOpts []service.EndpointOption
+	if cfg.wsrf {
+		xmlOpts = append(xmlOpts, service.WithWSRF())
+	}
+	xmlEp := service.NewEndpoint(xmlSvc, xmlOpts...)
+	xmlEp.Register(xmlRes)
+	xmlSvc.SetAddress(base + "/xml")
+
+	fstore := filestore.NewStore("archive")
+	seedFiles(fstore)
+	fileRes := daif.NewFileDataResource(fstore)
+	fileSvc := core.NewDataService("files",
+		core.WithConcurrentAccess(cfg.concurrent),
+		core.WithConfigurationMap(daif.StandardConfigurationMaps()...))
+	var fileOpts []service.EndpointOption
+	if cfg.wsrf {
+		fileOpts = append(fileOpts, service.WithWSRF())
+	}
+	fileEp := service.NewEndpoint(fileSvc, fileOpts...)
+	fileEp.Register(fileRes)
+	fileSvc.SetAddress(base + "/files")
+
+	var stops []func()
+	if cfg.wsrf && cfg.reap > 0 {
+		if reg := sqlEp.WSRF(); reg != nil {
+			stops = append(stops, reg.StartReaper(cfg.reap))
+		}
+		if reg := xmlEp.WSRF(); reg != nil {
+			stops = append(stops, reg.StartReaper(cfg.reap))
+		}
+		if reg := fileEp.WSRF(); reg != nil {
+			stops = append(stops, reg.StartReaper(cfg.reap))
+		}
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/sql", sqlEp)
+	mux.Handle("/xml", xmlEp)
+	mux.Handle("/files", fileEp)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return &server{mux: mux, sqlEp: sqlEp, xmlEp: xmlEp, fileEp: fileEp,
+			sqlRes: sqlRes, xmlRes: xmlRes, fileRes: fileRes},
+		func() {
+			for _, s := range stops {
+				s()
+			}
+		}
+}
+
+func seedRelational(eng *sqlengine.Engine, rows int) {
+	eng.MustExec(`CREATE TABLE dept (id INTEGER PRIMARY KEY, name VARCHAR(32) NOT NULL)`)
+	eng.MustExec(`INSERT INTO dept VALUES (1, 'eng'), (2, 'sales'), (3, 'legal'), (4, 'ops')`)
+	eng.MustExec(`CREATE TABLE emp (
+		id INTEGER PRIMARY KEY,
+		name VARCHAR(64) NOT NULL,
+		dept_id INTEGER,
+		salary DOUBLE,
+		active BOOLEAN DEFAULT TRUE
+	)`)
+	sess := eng.NewSession()
+	for i := 1; i <= rows; i++ {
+		if _, err := sess.Execute(`INSERT INTO emp (id, name, dept_id, salary) VALUES (?, ?, ?, ?)`,
+			sqlengine.NewInt(int64(i)),
+			sqlengine.NewString(fmt.Sprintf("employee-%04d", i)),
+			sqlengine.NewInt(int64(i%4+1)),
+			sqlengine.NewDouble(50000+float64((i*937)%90000))); err != nil {
+			log.Fatalf("daisd: seed: %v", err)
+		}
+	}
+}
+
+func seedXML(store *xmldb.Store) {
+	docs := []string{
+		`<book id="1" genre="db"><title>Principles of Distributed Database Systems</title><author>Ozsu</author><price>85</price></book>`,
+		`<book id="2" genre="grid"><title>The Grid</title><author>Foster</author><price>60</price></book>`,
+		`<book id="3" genre="db"><title>Transaction Processing</title><author>Gray</author><price>110</price></book>`,
+	}
+	for i, d := range docs {
+		e, err := xmlutil.ParseString(d)
+		if err != nil {
+			log.Fatalf("daisd: seed xml: %v", err)
+		}
+		if err := store.AddDocument("", fmt.Sprintf("book%d.xml", i+1), e); err != nil {
+			log.Fatalf("daisd: seed xml: %v", err)
+		}
+	}
+}
+
+func seedFiles(store *filestore.Store) {
+	for name, data := range map[string]string{
+		"runs/2005/run-001.dat": "evt-001;evt-002;evt-003;",
+		"runs/2005/run-002.dat": "evt-101;evt-102;",
+		"calib/atlas.cal":       "gain=1.07",
+		"README":                "demo file archive",
+	} {
+		if err := store.Write(name, []byte(data)); err != nil {
+			log.Fatalf("daisd: seed files: %v", err)
+		}
+	}
+}

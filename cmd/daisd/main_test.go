@@ -1,0 +1,162 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dais/internal/client"
+	"dais/internal/sqlengine"
+	"dais/internal/xmldb"
+)
+
+// startTestServer serves the composed daisd mux on a test listener and
+// fixes the advertised service addresses to match.
+func startTestServer(t *testing.T, cfg config) (*server, string) {
+	t.Helper()
+	srv, stop := buildServer("", cfg)
+	ts := httptest.NewServer(srv.mux)
+	t.Cleanup(ts.Close)
+	t.Cleanup(stop)
+	srv.sqlEp.Service().SetAddress(ts.URL + "/sql")
+	srv.xmlEp.Service().SetAddress(ts.URL + "/xml")
+	return srv, ts.URL
+}
+
+func TestServerComposition(t *testing.T) {
+	srv, base := startTestServer(t, config{wsrf: true, seedRows: 25, concurrent: true, reap: 10 * time.Millisecond})
+	c := client.New(nil)
+
+	// Health endpoint.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz = %q", body)
+	}
+
+	// The relational service answers end-to-end.
+	sqlRef := client.Ref(base+"/sql", srv.sqlRes.AbstractName())
+	res, err := c.SQLExecute(sqlRef, `SELECT COUNT(*) FROM emp`, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Set.Rows[0][0].I != 25 {
+		t.Fatalf("seeded rows = %v", res.Set.Rows[0][0])
+	}
+	joined, err := c.SQLExecute(sqlRef,
+		`SELECT d.name, COUNT(*) FROM emp e JOIN dept d ON e.dept_id = d.id GROUP BY d.name ORDER BY d.name`, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(joined.Set.Rows) != 4 {
+		t.Fatalf("dept groups = %d", len(joined.Set.Rows))
+	}
+
+	// The XML service answers end-to-end.
+	xmlRef := client.Ref(base+"/xml", srv.xmlRes.AbstractName())
+	items, err := c.XPathExecute(xmlRef, `/book[@genre='db']/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 2 {
+		t.Fatalf("items = %+v", items)
+	}
+
+	// The reaper collects an expired derived resource automatically.
+	derived, err := c.SQLExecuteFactory(sqlRef, `SELECT id FROM emp`, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	past := time.Now().Add(-time.Second)
+	if _, err := c.SetTerminationTime(derived, &past); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := c.GetSQLRowset(derived, 0); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("reaper did not collect the derived resource")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestServerWithoutWSRF(t *testing.T) {
+	srv, base := startTestServer(t, config{wsrf: false, seedRows: 3, concurrent: true})
+	c := client.New(nil)
+	sqlRef := client.Ref(base+"/sql", srv.sqlRes.AbstractName())
+	// Core operations work.
+	if _, err := c.GetPropertyDocument(sqlRef); err != nil {
+		t.Fatal(err)
+	}
+	// WSRF operations are not routed.
+	if _, err := c.GetResourceProperty(sqlRef, "Readable"); err == nil ||
+		!strings.Contains(err.Error(), "no handler") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSeedRelational(t *testing.T) {
+	eng := sqlengine.New("t")
+	seedRelational(eng, 10)
+	if n, _ := eng.Database().TableRowCount("emp"); n != 10 {
+		t.Fatalf("emp rows = %d", n)
+	}
+	if n, _ := eng.Database().TableRowCount("dept"); n != 4 {
+		t.Fatalf("dept rows = %d", n)
+	}
+	// Every employee's dept exists.
+	res, err := eng.Exec(`SELECT COUNT(*) FROM emp WHERE dept_id NOT IN (SELECT id FROM dept)`)
+	if err != nil || res.Set.Rows[0][0].I != 0 {
+		t.Fatalf("orphans = %+v, %v", res, err)
+	}
+}
+
+func TestSeedXML(t *testing.T) {
+	store := xmldb.NewStore("t")
+	seedXML(store)
+	names, err := store.ListDocuments("")
+	if err != nil || len(names) != 3 {
+		t.Fatalf("names = %v, %v", names, err)
+	}
+	res, err := store.XPathQuery("", `count(/book/title)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Value != "1" {
+			t.Fatalf("each book needs a title: %+v", r)
+		}
+	}
+}
+
+func TestFileServiceComposition(t *testing.T) {
+	srv, base := startTestServer(t, config{wsrf: true, seedRows: 3, concurrent: true})
+	srv.fileEp.Service().SetAddress(base + "/files")
+	c := client.New(nil)
+	ref := client.Ref(base+"/files", srv.fileRes.AbstractName())
+	infos, err := c.ListFiles(ref, "runs/**")
+	if err != nil || len(infos) != 2 {
+		t.Fatalf("list = %v, %v", infos, err)
+	}
+	data, err := c.ReadFile(ref, "calib/atlas.cal", 0, -1)
+	if err != nil || string(data) != "gain=1.07" {
+		t.Fatalf("read = %q, %v", data, err)
+	}
+	staged, err := c.FileSelectFactory(ref, "runs/**", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ListFiles(staged, ""); err != nil {
+		t.Fatal(err)
+	}
+}

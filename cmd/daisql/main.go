@@ -1,0 +1,194 @@
+// Command daisql is a WS-DAIR consumer: it executes SQL against a DAIS
+// relational data service, either directly (SQLExecute) or indirectly
+// through the factory chain (SQLExecuteFactory → RowsetAccess paging).
+//
+// Usage:
+//
+//	daisql -url http://host:8090/sql [-resource urn:...] [-format csv|sqlrowset|webrowset]
+//	       [-indirect] [-page 100] 'SELECT ...'
+//
+// When -resource is omitted the first resource from GetResourceList is
+// used. With -indirect the query runs through SQLExecuteFactory and the
+// rows are pulled page by page with GetTuples.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"dais/internal/client"
+	"dais/internal/rowset"
+	"dais/internal/sqlengine"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8090/sql", "data service endpoint URL")
+	resource := flag.String("resource", "", "data resource abstract name (default: first listed)")
+	format := flag.String("format", "sqlrowset", "dataset format: sqlrowset, webrowset or csv")
+	indirect := flag.Bool("indirect", false, "use the indirect access pattern (factory + paging)")
+	page := flag.Int("page", 100, "page size for indirect access")
+	destroy := flag.Bool("destroy", true, "destroy derived resources after use")
+	interactive := flag.Bool("i", false, "interactive mode: read statements from stdin")
+	flag.Parse()
+	if !*interactive && flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: daisql [flags] 'SELECT ...'   (or daisql -i)")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	formatURI, err := formatFor(*format)
+	if err != nil {
+		log.Fatalf("daisql: %v", err)
+	}
+
+	c := client.New(nil)
+	name := *resource
+	if name == "" {
+		names, err := c.GetResourceList(*url)
+		if err != nil {
+			log.Fatalf("daisql: GetResourceList: %v", err)
+		}
+		if len(names) == 0 {
+			log.Fatalf("daisql: service at %s hosts no resources", *url)
+		}
+		name = names[0]
+	}
+	ref := client.Ref(*url, name)
+
+	if *interactive {
+		repl(c, ref, formatURI)
+		return
+	}
+	query := flag.Arg(0)
+	if *indirect {
+		runIndirect(c, ref, query, formatURI, *page, *destroy)
+		return
+	}
+	if err := runDirect(c, ref, query, formatURI); err != nil {
+		log.Fatalf("daisql: %v", err)
+	}
+}
+
+func runDirect(c *client.Client, ref client.ResourceRef, query, formatURI string) error {
+	res, err := c.SQLExecute(ref, query, nil, formatURI)
+	if err != nil {
+		return err
+	}
+	if res.UpdateCount >= 0 {
+		fmt.Printf("update count: %d (SQLSTATE %s)\n", res.UpdateCount, res.CA.SQLState)
+		return nil
+	}
+	printSet(res.Set, res.Raw)
+	fmt.Printf("-- %d row(s), SQLSTATE %s, %d bytes on the wire\n",
+		res.CA.RowsFetched, res.CA.SQLState, c.BytesReceived())
+	return nil
+}
+
+// repl reads semicolon- or newline-terminated statements from stdin and
+// executes them against the data service. The consumer-controlled
+// transaction statements (BEGIN/COMMIT/ROLLBACK) pass straight through,
+// so a service configured with TransactionConsumerControlled exposes
+// multi-message transactions here.
+func repl(c *client.Client, ref client.ResourceRef, formatURI string) {
+	fmt.Printf("connected to %s (resource %s)\ntype SQL statements; \\q quits\n", ref.Address, ref.AbstractName)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("dais> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(sc.Text()), ";"))
+		switch {
+		case line == "":
+			continue
+		case line == `\q` || line == "quit" || line == "exit":
+			return
+		}
+		if err := runDirect(c, ref, line, formatURI); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		}
+	}
+}
+
+func runIndirect(c *client.Client, ref client.ResourceRef, query, formatURI string, page int, destroy bool) {
+	respRef, err := c.SQLExecuteFactory(ref, query, nil, nil)
+	if err != nil {
+		log.Fatalf("daisql: SQLExecuteFactory: %v", err)
+	}
+	fmt.Printf("-- response resource: %s @ %s\n", respRef.AbstractName, respRef.Address)
+	rowsetRef, err := c.SQLRowsetFactory(respRef, formatURI, 0, nil)
+	if err != nil {
+		log.Fatalf("daisql: SQLRowsetFactory: %v", err)
+	}
+	fmt.Printf("-- rowset resource:   %s @ %s\n", rowsetRef.AbstractName, rowsetRef.Address)
+	total := 0
+	for pos := 1; ; pos += page {
+		set, err := c.GetTuplesSet(rowsetRef, pos, page)
+		if err != nil {
+			log.Fatalf("daisql: GetTuples: %v", err)
+		}
+		if len(set.Rows) == 0 {
+			break
+		}
+		if pos == 1 {
+			printHeader(set)
+		}
+		printRows(set)
+		total += len(set.Rows)
+	}
+	fmt.Printf("-- %d row(s) via %d-row pages\n", total, page)
+	if destroy {
+		if err := c.DestroyDataResource(rowsetRef); err != nil {
+			log.Printf("daisql: destroy rowset: %v", err)
+		}
+		if err := c.DestroyDataResource(respRef); err != nil {
+			log.Printf("daisql: destroy response: %v", err)
+		}
+	}
+}
+
+func formatFor(name string) (string, error) {
+	switch strings.ToLower(name) {
+	case "sqlrowset", "":
+		return rowset.FormatSQLRowset, nil
+	case "webrowset":
+		return rowset.FormatWebRowSet, nil
+	case "csv":
+		return rowset.FormatCSV, nil
+	}
+	return "", fmt.Errorf("unknown format %q", name)
+}
+
+func printSet(set *sqlengine.ResultSet, raw []byte) {
+	if set == nil {
+		os.Stdout.Write(raw)
+		fmt.Println()
+		return
+	}
+	printHeader(set)
+	printRows(set)
+}
+
+func printHeader(set *sqlengine.ResultSet) {
+	names := make([]string, len(set.Columns))
+	for i, col := range set.Columns {
+		names[i] = col.Name
+	}
+	fmt.Println(strings.Join(names, "\t"))
+}
+
+func printRows(set *sqlengine.ResultSet) {
+	for _, row := range set.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		fmt.Println(strings.Join(cells, "\t"))
+	}
+}

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"testing"
+
+	"dais/internal/rowset"
+)
+
+func TestFormatFor(t *testing.T) {
+	cases := map[string]string{
+		"sqlrowset": rowset.FormatSQLRowset,
+		"SQLRowset": rowset.FormatSQLRowset,
+		"":          rowset.FormatSQLRowset,
+		"webrowset": rowset.FormatWebRowSet,
+		"csv":       rowset.FormatCSV,
+		"CSV":       rowset.FormatCSV,
+	}
+	for in, want := range cases {
+		got, err := formatFor(in)
+		if err != nil || got != want {
+			t.Errorf("formatFor(%q) = %q, %v; want %q", in, got, err, want)
+		}
+	}
+	if _, err := formatFor("parquet"); err == nil {
+		t.Error("unknown format should error")
+	}
+}

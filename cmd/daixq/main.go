@@ -1,0 +1,136 @@
+// Command daixq is a WS-DAIX consumer: it runs XPath and XQuery
+// queries, applies XUpdate documents and manages documents in a DAIS
+// XML collection service.
+//
+// Usage:
+//
+//	daixq -url http://host:8090/xml xpath '/book[price > 50]/title'
+//	daixq -url ... xquery 'for $b in /book order by $b/price return <t>{$b/title}</t>'
+//	daixq -url ... list
+//	daixq -url ... get book1.xml
+//	daixq -url ... put book9.xml '<book id="9"><title>New</title></book>'
+//	daixq -url ... rm book9.xml
+//	daixq -url ... xupdate book1.xml '<xu:modifications ...>...</xu:modifications>'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dais/internal/client"
+	"dais/internal/xmlutil"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8090/xml", "data service endpoint URL")
+	resource := flag.String("resource", "", "data resource abstract name (default: first listed)")
+	flag.Parse()
+
+	if flag.NArg() < 1 {
+		usage()
+	}
+	c := client.New(nil)
+	name := *resource
+	if name == "" {
+		names, err := c.GetResourceList(*url)
+		if err != nil {
+			log.Fatalf("daixq: GetResourceList: %v", err)
+		}
+		if len(names) == 0 {
+			log.Fatalf("daixq: service at %s hosts no resources", *url)
+		}
+		name = names[0]
+	}
+	ref := client.Ref(*url, name)
+
+	cmd := flag.Arg(0)
+	switch cmd {
+	case "xpath", "xquery":
+		if flag.NArg() != 2 {
+			usage()
+		}
+		var items []client.SequenceItem
+		var err error
+		if cmd == "xpath" {
+			items, err = c.XPathExecute(ref, flag.Arg(1))
+		} else {
+			items, err = c.XQueryExecute(ref, flag.Arg(1))
+		}
+		if err != nil {
+			log.Fatalf("daixq: %s: %v", cmd, err)
+		}
+		for _, it := range items {
+			if it.Node != nil {
+				fmt.Printf("%s\t%s\n", it.Document, xmlutil.MarshalString(it.Node))
+			} else {
+				fmt.Printf("%s\t%s\n", it.Document, it.Value)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "-- %d item(s)\n", len(items))
+	case "list":
+		names, err := c.ListDocuments(ref)
+		if err != nil {
+			log.Fatalf("daixq: list: %v", err)
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+	case "get":
+		if flag.NArg() != 2 {
+			usage()
+		}
+		doc, err := c.GetDocument(ref, flag.Arg(1))
+		if err != nil {
+			log.Fatalf("daixq: get: %v", err)
+		}
+		os.Stdout.Write(xmlutil.MarshalIndent(doc))
+	case "put":
+		if flag.NArg() != 3 {
+			usage()
+		}
+		doc, err := xmlutil.ParseString(flag.Arg(2))
+		if err != nil {
+			log.Fatalf("daixq: put: bad document: %v", err)
+		}
+		if err := c.AddDocument(ref, flag.Arg(1), doc); err != nil {
+			log.Fatalf("daixq: put: %v", err)
+		}
+	case "rm":
+		if flag.NArg() != 2 {
+			usage()
+		}
+		if err := c.RemoveDocument(ref, flag.Arg(1)); err != nil {
+			log.Fatalf("daixq: rm: %v", err)
+		}
+	case "xupdate":
+		if flag.NArg() != 3 {
+			usage()
+		}
+		mods, err := xmlutil.ParseString(flag.Arg(2))
+		if err != nil {
+			log.Fatalf("daixq: xupdate: bad modifications: %v", err)
+		}
+		n, err := c.XUpdateExecute(ref, flag.Arg(1), mods)
+		if err != nil {
+			log.Fatalf("daixq: xupdate: %v", err)
+		}
+		fmt.Printf("%d node(s) modified\n", n)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: daixq [flags] <command>
+commands:
+  xpath  <expr>               run an XPath query across the collection
+  xquery <query>              run a FLWOR query
+  list                        list document names
+  get <doc>                   print one document
+  put <doc> <xml>             add a document
+  rm  <doc>                   remove a document
+  xupdate <doc> <mods-xml>    apply an XUpdate modifications document`)
+	os.Exit(2)
+}

@@ -1,0 +1,75 @@
+// Quickstart: host a relational data resource behind a WS-DAIR data
+// service, then access it as a consumer — property document, direct
+// SQLExecute, and a GenericQuery — all in one process.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"dais/internal/client"
+	"dais/internal/core"
+	"dais/internal/dair"
+	"dais/internal/service"
+	"dais/internal/sqlengine"
+)
+
+func main() {
+	// 1. The "existing database" the DAIS service wraps.
+	eng := sqlengine.New("hr")
+	eng.MustExec(`CREATE TABLE emp (id INTEGER PRIMARY KEY, name VARCHAR(64) NOT NULL, salary DOUBLE)`)
+	eng.MustExec(`INSERT INTO emp VALUES (1, 'ann', 120000), (2, 'bob', 95000), (3, 'carol', 87000)`)
+
+	// 2. Wrap it as an externally managed data resource and expose it
+	//    through a data service endpoint.
+	res := dair.NewSQLDataResource(eng)
+	svc := core.NewDataService("quickstart", core.WithConfigurationMap(dair.StandardConfigurationMaps()...))
+	ep := service.NewEndpoint(svc, service.WithWSRF())
+	ep.Register(res)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc.SetAddress("http://" + ln.Addr().String())
+	go http.Serve(ln, ep) //nolint:errcheck
+	fmt.Println("data service:", svc.Address())
+	fmt.Println("data resource:", res.AbstractName())
+
+	// 3. A consumer discovers and queries the resource.
+	c := client.New(nil)
+	names, err := c.GetResourceList(svc.Address())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref := client.Ref(svc.Address(), names[0])
+
+	doc, err := c.GetPropertyDocument(ref)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nproperty document highlights:")
+	for _, p := range []string{"DataResourceManagement", "ConcurrentAccess", "Readable", "Writeable"} {
+		fmt.Printf("  %-24s %s\n", p, doc.FindText(core.NSDAI, p))
+	}
+
+	result, err := c.SQLExecute(ref, `SELECT name, salary FROM emp WHERE salary > ? ORDER BY salary DESC`,
+		[]sqlengine.Value{sqlengine.NewDouble(90000)}, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nSELECT name, salary FROM emp WHERE salary > 90000:")
+	for _, row := range result.Set.Rows {
+		fmt.Printf("  %-8s %s\n", row[0], row[1])
+	}
+	fmt.Printf("SQLSTATE %s, %d row(s)\n", result.CA.SQLState, result.CA.RowsFetched)
+
+	// 4. The same data through the model-agnostic GenericQuery.
+	generic, err := c.GenericQuery(ref, dair.LanguageSQL92, `SELECT COUNT(*) FROM emp`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nGenericQuery(COUNT(*)) returned a %s element\n", generic.Name.Local)
+}

@@ -1,0 +1,113 @@
+// Relational pipeline: a faithful reproduction of the paper's Fig. 5
+// use case with three data services and three consumers.
+//
+//	Consumer 1 --SQLExecuteFactory--> Data Service 1 (SQLAccess + SQLFactory)
+//	                                   creates an SQLResponse resource on
+//	Consumer 2 --SQLRowsetFactory--->  Data Service 2 (ResponseAccess + ResponseFactory)
+//	                                   creates a WebRowSet resource on
+//	Consumer 3 --GetTuples---------->  Data Service 3 (RowsetAccess)
+//
+// Consumers hand EPRs to each other — indirect third-party delivery —
+// so the query result bytes never pass through Consumers 1 or 2.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"dais/internal/client"
+	"dais/internal/core"
+	"dais/internal/dair"
+	"dais/internal/rowset"
+	"dais/internal/service"
+	"dais/internal/sqlengine"
+)
+
+func serve(ep *service.Endpoint) string {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ep.Service().SetAddress("http://" + ln.Addr().String())
+	go http.Serve(ln, ep) //nolint:errcheck
+	return ep.Service().Address()
+}
+
+func main() {
+	// The externally managed relational resource behind Data Service 1.
+	eng := sqlengine.New("sensors")
+	eng.MustExec(`CREATE TABLE reading (id INTEGER PRIMARY KEY, station VARCHAR(16), value DOUBLE)`)
+	sess := eng.NewSession()
+	for i := 1; i <= 500; i++ {
+		sess.Execute(`INSERT INTO reading VALUES (?, ?, ?)`, //nolint:errcheck
+			sqlengine.NewInt(int64(i)),
+			sqlengine.NewString(fmt.Sprintf("st-%02d", i%7)),
+			sqlengine.NewDouble(float64(i%100)))
+	}
+	src := dair.NewSQLDataResource(eng)
+
+	// Three differently-shaped services, as Fig. 5 draws them.
+	ds3 := service.NewEndpoint(core.NewDataService("ds3"),
+		service.WithInterfaces(service.SQLRowsetAccess|service.CoreDataAccess))
+	ds2 := service.NewEndpoint(core.NewDataService("ds2"),
+		service.WithInterfaces(service.SQLResponseAccess|service.SQLResponseFactory|service.CoreDataAccess),
+		service.WithFactoryTarget(ds3))
+	ds1 := service.NewEndpoint(core.NewDataService("ds1"),
+		service.WithInterfaces(service.SQLAccess|service.SQLFactory|service.CoreDataAccess),
+		service.WithFactoryTarget(ds2))
+	ds1.Register(src)
+	fmt.Println("data service 1 (SQLAccess, SQLFactory):          ", serve(ds1))
+	fmt.Println("data service 2 (ResponseAccess, ResponseFactory):", serve(ds2))
+	fmt.Println("data service 3 (RowsetAccess):                   ", serve(ds3))
+
+	// Consumer 1 runs the query indirectly: only an EPR comes back.
+	consumer1 := client.New(nil)
+	respRef, err := consumer1.SQLExecuteFactory(
+		client.Ref(ds1.Service().Address(), src.AbstractName()),
+		`SELECT station, AVG(value) AS mean FROM reading GROUP BY station ORDER BY station`, nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nconsumer1: created response resource %s\n           on %s (%d bytes moved)\n",
+		respRef.AbstractName, respRef.Address, consumer1.BytesReceived())
+
+	// Consumer 1 hands the EPR to Consumer 2 (out of band).
+	consumer2 := client.New(nil)
+	rowsetRef, err := consumer2.SQLRowsetFactory(respRef, rowset.FormatWebRowSet, 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("consumer2: derived WebRowSet resource %s\n           on %s (%d bytes moved)\n",
+		rowsetRef.AbstractName, rowsetRef.Address, consumer2.BytesReceived())
+
+	// Consumer 2 hands that EPR to Consumer 3, who pulls the data.
+	consumer3 := client.New(nil)
+	fmt.Println("\nconsumer3: station means pulled page by page:")
+	for pos := 1; ; pos += 3 {
+		page, err := consumer3.GetTuplesSet(rowsetRef, pos, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(page.Rows) == 0 {
+			break
+		}
+		for _, row := range page.Rows {
+			fmt.Printf("  %-8s %.2f\n", row[0], row[1].F)
+		}
+	}
+	fmt.Printf("consumer3 moved %d bytes — the only consumer that touched the data\n",
+		consumer3.BytesReceived())
+
+	// Clean up the derived, service-managed resources.
+	if err := consumer3.DestroyDataResource(rowsetRef); err != nil {
+		log.Fatal(err)
+	}
+	if err := consumer2.DestroyDataResource(respRef); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nderived resources destroyed; the external database remains in place:")
+	rows, _ := eng.Exec(`SELECT COUNT(*) FROM reading`)
+	fmt.Printf("  reading table still has %s rows\n", rows.Set.Rows[0][0])
+}

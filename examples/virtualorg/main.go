@@ -1,0 +1,126 @@
+// Virtual organisation: several independent DAIS services on one grid,
+// exercised through the discovery and lifetime machinery — resource
+// lists, Resolve, WSRF fine-grained properties, scheduled termination
+// with a running reaper, and cross-service derived data.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"dais/internal/client"
+	"dais/internal/core"
+	"dais/internal/dair"
+	"dais/internal/daix"
+	"dais/internal/service"
+	"dais/internal/sqlengine"
+	"dais/internal/xmldb"
+	"dais/internal/xmlutil"
+)
+
+func serve(ep *service.Endpoint) string {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ep.Service().SetAddress("http://" + ln.Addr().String())
+	go http.Serve(ln, ep) //nolint:errcheck
+	return ep.Service().Address()
+}
+
+func main() {
+	// Site A: experiment metadata in a relational database.
+	engA := sqlengine.New("siteA")
+	engA.MustExec(`CREATE TABLE run (id INTEGER PRIMARY KEY, detector VARCHAR(16), events INTEGER)`)
+	engA.MustExec(`INSERT INTO run VALUES (1, 'atlas', 5200), (2, 'cms', 4100), (3, 'atlas', 6100)`)
+	resA := dair.NewSQLDataResource(engA)
+	epA := service.NewEndpoint(core.NewDataService("siteA"), service.WithWSRF())
+	epA.Register(resA)
+	urlA := serve(epA)
+
+	// Site B: the same VO publishes calibration documents as XML.
+	storeB := xmldb.NewStore("siteB")
+	resB := daix.NewXMLCollectionResource(storeB, "")
+	calib, _ := xmlutil.ParseString(`<calibration detector="atlas"><gain>1.07</gain></calibration>`)
+	storeB.AddDocument("", "atlas.xml", calib) //nolint:errcheck
+	epB := service.NewEndpoint(core.NewDataService("siteB"), service.WithWSRF())
+	epB.Register(resB)
+	urlB := serve(epB)
+
+	// The reaper collects expired derived resources at Site A.
+	stopReaper := epA.WSRF().StartReaper(20 * time.Millisecond)
+	defer stopReaper()
+
+	fmt.Println("virtual organisation members:")
+	fmt.Println("  site A (relational):", urlA)
+	fmt.Println("  site B (xml):       ", urlB)
+
+	// A consumer discovers both sites' resources.
+	c := client.New(nil)
+	for _, url := range []string{urlA, urlB} {
+		names, err := c.GetResourceList(url)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, n := range names {
+			ref, err := c.Resolve(url, n)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mgmt, err := c.GetResourceProperty(ref, "DataResourceManagement")
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  discovered %s (%s)\n", n, mgmt[0].Text())
+		}
+	}
+
+	// Fine-grained WSRF property access: one property, not the whole
+	// document.
+	refA := client.Ref(urlA, resA.AbstractName())
+	langs, err := c.QueryResourceProperties(refA, "GenericQueryLanguage")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsite A query language: %s\n", langs[0].Text())
+
+	// Derive a summary resource at site A and give it a 50ms lifetime —
+	// soft-state lifetime management instead of an explicit destroy.
+	summary, err := c.SQLExecuteFactory(refA,
+		`SELECT detector, SUM(events) FROM run GROUP BY detector ORDER BY detector`, nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	set, err := c.GetSQLRowset(summary, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nevents per detector (derived resource):")
+	for _, row := range set.Rows {
+		fmt.Printf("  %-8s %s\n", row[0], row[1])
+	}
+
+	tt := time.Now().Add(50 * time.Millisecond)
+	if _, err := c.SetTerminationTime(summary, &tt); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nscheduled termination in 50ms; waiting for the reaper...")
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := c.GetSQLRowset(summary, 0); err != nil {
+			fmt.Println("  derived resource reaped:", err)
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("reaper never collected the resource")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The externally managed resources live on.
+	names, _ := c.GetResourceList(urlA)
+	fmt.Printf("\nsite A still hosts %d externally managed resource(s)\n", len(names))
+}

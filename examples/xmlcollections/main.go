@@ -1,0 +1,111 @@
+// XML collections: a WS-DAIX walk-through — build a collection of
+// documents, query it with XPath and XQuery, modify a document with
+// XUpdate, and derive a sequence resource through the XQuery factory.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"dais/internal/client"
+	"dais/internal/core"
+	"dais/internal/daix"
+	"dais/internal/service"
+	"dais/internal/xmldb"
+	"dais/internal/xmlutil"
+)
+
+func main() {
+	store := xmldb.NewStore("library")
+	res := daix.NewXMLCollectionResource(store, "")
+	svc := core.NewDataService("xml", core.WithConfigurationMap(daix.StandardConfigurationMaps()...))
+	ep := service.NewEndpoint(svc, service.WithWSRF())
+	ep.Register(res)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc.SetAddress("http://" + ln.Addr().String())
+	go http.Serve(ln, ep) //nolint:errcheck
+	fmt.Println("xml data service:", svc.Address())
+
+	c := client.New(nil)
+	ref := client.Ref(svc.Address(), res.AbstractName())
+
+	// Populate the collection through the service.
+	books := map[string]string{
+		"ozsu.xml":   `<book genre="db"><title>Principles of Distributed Database Systems</title><price>85</price></book>`,
+		"foster.xml": `<book genre="grid"><title>The Grid</title><price>60</price></book>`,
+		"gray.xml":   `<book genre="db"><title>Transaction Processing</title><price>110</price></book>`,
+	}
+	for name, xml := range books {
+		doc, err := xmlutil.ParseString(xml)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := c.AddDocument(ref, name, doc); err != nil {
+			log.Fatal(err)
+		}
+	}
+	names, _ := c.ListDocuments(ref)
+	fmt.Println("documents:", names)
+
+	// Direct XPath access.
+	items, err := c.XPathExecute(ref, `/book[@genre='db']/title`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndatabase books (XPath):")
+	for _, it := range items {
+		fmt.Printf("  %-12s %s\n", it.Document, it.Value)
+	}
+
+	// Direct XQuery access with ordering.
+	items, err = c.XQueryExecute(ref,
+		`for $b in /book where $b/price < 100 order by $b/price return <cheap><t>{$b/title}</t><p>{$b/price}</p></cheap>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nbooks under 100, cheapest first (XQuery):")
+	for _, it := range items {
+		fmt.Printf("  %-4s %s\n", it.Node.FindText("", "p"), it.Node.FindText("", "t"))
+	}
+
+	// XUpdate: apply a price change in place.
+	mods, _ := xmlutil.ParseString(`<xu:modifications xmlns:xu="` + xmldb.NSXUpdate + `">
+		<xu:update select="/book/price">95</xu:update>
+		<xu:append select="/book"><xu:element name="onsale">true</xu:element></xu:append>
+	</xu:modifications>`)
+	n, err := c.XUpdateExecute(ref, "gray.xml", mods)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nXUpdate modified %d node(s) in gray.xml\n", n)
+	doc, _ := c.GetDocument(ref, "gray.xml")
+	fmt.Printf("  new price: %s, onsale: %s\n", doc.FindText("", "price"), doc.FindText("", "onsale"))
+
+	// Indirect access: derive a sequence resource and page through it.
+	seqRef, err := c.XQueryExecuteFactory(ref,
+		`for $b in /book order by $b/price descending return <entry>{$b/title}</entry>`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nderived sequence resource %s\n", seqRef.AbstractName)
+	for pos := 1; ; pos++ {
+		page, err := c.GetItems(seqRef, pos, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(page) == 0 {
+			break
+		}
+		fmt.Printf("  item %d: %s\n", pos, page[0].Value)
+	}
+	if err := c.DestroyDataResource(seqRef); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sequence resource destroyed")
+}

@@ -1,0 +1,83 @@
+package dais_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun executes every example end-to-end and checks for the
+// output lines that prove the scenario exercised what it claims. The
+// examples are the public-API documentation; this keeps them honest.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples spawn subprocesses; skipped in -short mode")
+	}
+	cases := map[string][]string{
+		"quickstart": {
+			"property document highlights",
+			"SQLSTATE 00000, 2 row(s)",
+			"returned a SQLRowset element",
+		},
+		"relationalpipeline": {
+			"consumer1: created response resource",
+			"consumer2: derived WebRowSet resource",
+			"the only consumer that touched the data",
+			"reading table still has 500 rows",
+		},
+		"xmlcollections": {
+			"database books (XPath)",
+			"XUpdate modified 2 node(s)",
+			"sequence resource destroyed",
+		},
+		"virtualorg": {
+			"virtual organisation members",
+			"events per detector",
+			"derived resource reaped",
+		},
+		"filestaging": {
+			"staged resource urn:dais:staged:",
+			"analysis consumer pulls the staged snapshot",
+			`staged run-001 still begins: "evt-001-00;evt-0"`,
+			"producer still holds 5 files",
+		},
+	}
+	for name, wants := range cases {
+		name, wants := name, wants
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(t.TempDir(), name)
+			build := exec.Command("go", "build", "-o", bin, "./examples/"+name)
+			build.Env = os.Environ()
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build: %v\n%s", err, out)
+			}
+			cmd := exec.Command(bin)
+			done := make(chan struct{})
+			var out []byte
+			var runErr error
+			go func() {
+				out, runErr = cmd.CombinedOutput()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(60 * time.Second):
+				cmd.Process.Kill() //nolint:errcheck
+				<-done
+				t.Fatalf("example timed out\n%s", out)
+			}
+			if runErr != nil {
+				t.Fatalf("run: %v\n%s", runErr, out)
+			}
+			for _, want := range wants {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("output missing %q\n%s", want, out)
+				}
+			}
+		})
+	}
+}

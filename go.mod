@@ -1,0 +1,3 @@
+module dais
+
+go 1.22

@@ -1,0 +1,766 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dais/internal/client"
+	"dais/internal/core"
+	"dais/internal/daif"
+	"dais/internal/dair"
+	"dais/internal/filestore"
+	"dais/internal/rowset"
+	"dais/internal/service"
+	"dais/internal/sqlengine"
+)
+
+// E1Row is one row of experiment E1 (direct vs indirect access, Fig. 1).
+type E1Row struct {
+	Rows           int
+	DirectLatency  time.Duration
+	DirectBytes    int64 // bytes received by the requesting consumer
+	IndirectSetup  time.Duration
+	IndirectBytes  int64         // bytes received by the requesting consumer (EPR only)
+	IndirectTotal  time.Duration // setup + third-party pull
+	ThirdPartyPull int64         // bytes the eventual reader receives
+}
+
+// RunE1 measures the two access patterns for growing result sizes.
+func RunE1(sizes []int) ([]E1Row, error) {
+	maxRows := 0
+	for _, s := range sizes {
+		if s > maxRows {
+			maxRows = s
+		}
+	}
+	f, err := NewSQLFixture(FixtureOption{Rows: maxRows, Concurrent: true, WSRF: true})
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var out []E1Row
+	for _, n := range sizes {
+		query := fmt.Sprintf(`SELECT id, payload, num FROM data ORDER BY id LIMIT %d`, n)
+		row := E1Row{Rows: n}
+
+		// Direct: the data comes back to the requesting consumer.
+		c1 := client.New(nil)
+		start := time.Now()
+		res, err := c1.SQLExecute(f.Ref, query, nil, "")
+		if err != nil {
+			return nil, err
+		}
+		row.DirectLatency = time.Since(start)
+		row.DirectBytes = c1.BytesReceived()
+		if len(res.Set.Rows) != n {
+			return nil, fmt.Errorf("E1: direct returned %d rows, want %d", len(res.Set.Rows), n)
+		}
+
+		// Indirect: the requesting consumer gets only an EPR; a third
+		// party pulls the data later.
+		c2 := client.New(nil)
+		start = time.Now()
+		respRef, err := c2.SQLExecuteFactory(f.Ref, query, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		rowsetRef, err := c2.SQLRowsetFactory(respRef, "", 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		row.IndirectSetup = time.Since(start)
+		row.IndirectBytes = c2.BytesReceived()
+
+		c3 := client.New(nil)
+		set, err := c3.GetTuplesSet(rowsetRef, 1, n+1)
+		if err != nil {
+			return nil, err
+		}
+		row.IndirectTotal = time.Since(start)
+		row.ThirdPartyPull = c3.BytesReceived()
+		if len(set.Rows) != n {
+			return nil, fmt.Errorf("E1: indirect returned %d rows, want %d", len(set.Rows), n)
+		}
+		c2.DestroyDataResource(rowsetRef) //nolint:errcheck
+		c2.DestroyDataResource(respRef)   //nolint:errcheck
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// E2Row is one row of experiment E2 (third-party delivery, Fig. 5).
+type E2Row struct {
+	Rows        int
+	RelayBytes  int64 // bytes through consumer 1 when it relays the data
+	EPRBytes    int64 // bytes through consumer 1 with indirect hand-off
+	ReaderBytes int64 // bytes the final reader pulls either way
+}
+
+// RunE2 compares relaying data through the first consumer against
+// handing over an EPR.
+func RunE2(sizes []int) ([]E2Row, error) {
+	maxRows := 0
+	for _, s := range sizes {
+		if s > maxRows {
+			maxRows = s
+		}
+	}
+	f, err := NewSQLFixture(FixtureOption{Rows: maxRows, Concurrent: true, WSRF: true})
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var out []E2Row
+	for _, n := range sizes {
+		query := fmt.Sprintf(`SELECT id, payload, num FROM data ORDER BY id LIMIT %d`, n)
+		row := E2Row{Rows: n}
+
+		// Relay: consumer 1 pulls the whole result (then would forward
+		// it out of band, costing at least as much again).
+		relay := client.New(nil)
+		if _, err := relay.SQLExecute(f.Ref, query, nil, ""); err != nil {
+			return nil, err
+		}
+		row.RelayBytes = relay.BytesReceived()
+
+		// Hand-off: consumer 1 only moves factory responses (EPRs).
+		c1 := client.New(nil)
+		respRef, err := c1.SQLExecuteFactory(f.Ref, query, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		rowsetRef, err := c1.SQLRowsetFactory(respRef, "", 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		row.EPRBytes = c1.BytesReceived()
+
+		reader := client.New(nil)
+		if _, err := reader.GetTuplesSet(rowsetRef, 1, n+1); err != nil {
+			return nil, err
+		}
+		row.ReaderBytes = reader.BytesReceived()
+		c1.DestroyDataResource(rowsetRef) //nolint:errcheck
+		c1.DestroyDataResource(respRef)   //nolint:errcheck
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// E3Row is one row of experiment E3 (WSRF property granularity, §5).
+type E3Row struct {
+	CatalogTables  int
+	WholeDocBytes  int64
+	WholeDocTime   time.Duration
+	SinglePropByte int64
+	SinglePropTime time.Duration
+}
+
+// RunE3 fattens the property document (via catalog size reflected in
+// CIMDescription) and compares whole-document retrieval against WSRF
+// fine-grained access.
+func RunE3(tableCounts []int) ([]E3Row, error) {
+	var out []E3Row
+	for _, tables := range tableCounts {
+		f, err := NewSQLFixture(FixtureOption{Rows: 10, Concurrent: true, WSRF: true, ExtraTables: tables})
+		if err != nil {
+			return nil, err
+		}
+		row := E3Row{CatalogTables: tables}
+
+		c := client.New(nil)
+		start := time.Now()
+		if _, err := c.GetPropertyDocument(f.Ref); err != nil {
+			f.Close()
+			return nil, err
+		}
+		row.WholeDocTime = time.Since(start)
+		row.WholeDocBytes = c.BytesReceived()
+
+		c2 := client.New(nil)
+		start = time.Now()
+		props, err := c2.GetResourceProperty(f.Ref, "Readable")
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		row.SinglePropTime = time.Since(start)
+		row.SinglePropByte = c2.BytesReceived()
+		if len(props) != 1 {
+			f.Close()
+			return nil, fmt.Errorf("E3: expected one property, got %d", len(props))
+		}
+		f.Close()
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// E4Row is one row of experiment E4 (GetTuples paging, §4.3).
+type E4Row struct {
+	PageSize  int
+	Calls     int
+	Total     time.Duration
+	PerRow    time.Duration
+	WireBytes int64
+}
+
+// RunE4 pages a fixed rowset with different page sizes.
+func RunE4(totalRows int, pageSizes []int) ([]E4Row, error) {
+	f, err := NewSQLFixture(FixtureOption{Rows: totalRows, Concurrent: true, WSRF: true})
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	c := client.New(nil)
+	respRef, err := c.SQLExecuteFactory(f.Ref, `SELECT id, payload, num FROM data ORDER BY id`, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	rowsetRef, err := c.SQLRowsetFactory(respRef, "", 0, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []E4Row
+	for _, page := range pageSizes {
+		pc := client.New(nil)
+		start := time.Now()
+		calls, got := 0, 0
+		for pos := 1; ; pos += page {
+			set, err := pc.GetTuplesSet(rowsetRef, pos, page)
+			if err != nil {
+				return nil, err
+			}
+			calls++
+			got += len(set.Rows)
+			if len(set.Rows) < page {
+				break
+			}
+		}
+		total := time.Since(start)
+		if got != totalRows {
+			return nil, fmt.Errorf("E4: paged %d rows, want %d", got, totalRows)
+		}
+		out = append(out, E4Row{
+			PageSize:  page,
+			Calls:     calls,
+			Total:     total,
+			PerRow:    total / time.Duration(totalRows),
+			WireBytes: pc.BytesReceived(),
+		})
+	}
+	return out, nil
+}
+
+// E5Row is one row of experiment E5 (thin vs thick wrappers, §2.1).
+type E5Row struct {
+	Statement string
+	ThinPer   time.Duration
+	ThickPer  time.Duration
+	Overhead  float64 // thick/thin
+}
+
+// RunE5 measures the wrapper strategies in-process (the wrapper cost
+// must not be drowned in HTTP noise).
+func RunE5(iters int) ([]E5Row, error) {
+	eng := sqlengine.New("bench")
+	eng.MustExec(`CREATE TABLE data (id INTEGER PRIMARY KEY, payload VARCHAR(64))`)
+	for i := 0; i < 100; i++ {
+		eng.MustExec(`INSERT INTO data VALUES (?, ?)`,
+			sqlengine.NewInt(int64(i)), sqlengine.NewString("p"))
+	}
+	thin := dair.NewSQLDataResource(eng)
+	thick := dair.NewSQLDataResource(eng, dair.WithWrapper(dair.ThickWrapper{}))
+
+	statements := []string{
+		`SELECT id FROM data WHERE id = 42`,
+		`SELECT id, payload FROM data WHERE id > 10 AND id < 60 ORDER BY id DESC LIMIT 5`,
+	}
+	var out []E5Row
+	for _, stmt := range statements {
+		measure := func(r *dair.SQLDataResource) (time.Duration, error) {
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				if _, err := r.SQLExecute(stmt, nil); err != nil {
+					return 0, err
+				}
+			}
+			return time.Since(start) / time.Duration(iters), nil
+		}
+		thinPer, err := measure(thin)
+		if err != nil {
+			return nil, err
+		}
+		thickPer, err := measure(thick)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, E5Row{
+			Statement: stmt,
+			ThinPer:   thinPer,
+			ThickPer:  thickPer,
+			Overhead:  float64(thickPer) / float64(thinPer),
+		})
+	}
+	return out, nil
+}
+
+// E6Row is one row of experiment E6 (ConcurrentAccess, §4.2). A
+// service with ConcurrentAccess=false serialises every request, so a
+// short query queues behind long-running scans (head-of-line
+// blocking); with ConcurrentAccess=true readers overlap. The short
+// query's latency under background load is the observable — it holds
+// even on a single CPU, where throughput scaling would not.
+type E6Row struct {
+	LongScanners    int           // background clients running full scans
+	ShortConcurrent time.Duration // short-query latency, ConcurrentAccess=true
+	ShortSerialized time.Duration // short-query latency, ConcurrentAccess=false
+	SlowdownSerial  float64
+}
+
+// SlowWrapper simulates an I/O-bound backing DBMS: every statement
+// spends a fixed wall-clock delay before reaching the engine. The
+// delay yields the CPU, so experiments using it isolate service-level
+// serialisation from CPU contention (the test machines this harness
+// targets may have a single core).
+type SlowWrapper struct{ Delay time.Duration }
+
+// Prepare implements dair.Wrapper.
+func (w SlowWrapper) Prepare(s string) (string, error) {
+	time.Sleep(w.Delay)
+	return s, nil
+}
+
+// RunE6 measures short-query latency under long-query load for both
+// ConcurrentAccess settings. The long queries hit a slow (simulated
+// I/O-bound) resource; the probe hits a fast resource on the same
+// service, so the only coupling between them is the service gate.
+func RunE6(scannerCounts []int, probes int) ([]E6Row, error) {
+	run := func(concurrent bool, scanners int) (time.Duration, error) {
+		eng := sqlengine.New("e6")
+		eng.MustExec(`CREATE TABLE data (id INTEGER PRIMARY KEY, num DOUBLE)`)
+		eng.MustExec(`INSERT INTO data VALUES (1, 1.5), (2, 2.5)`)
+		slow := dair.NewSQLDataResource(eng, dair.WithWrapper(SlowWrapper{Delay: 10 * time.Millisecond}))
+		fast := dair.NewSQLDataResource(eng)
+		svc := core.NewDataService("e6", core.WithConcurrentAccess(concurrent))
+		ep := service.NewEndpoint(svc)
+		ep.Register(slow)
+		ep.Register(fast)
+		f := &SQLFixture{Engine: eng, Endpoint: ep, Client: client.New(nil)}
+		if err := f.serve(ep); err != nil {
+			return 0, err
+		}
+		defer f.Close()
+		slowRef := client.Ref(svc.Address(), slow.AbstractName())
+		fastRef := client.Ref(svc.Address(), fast.AbstractName())
+
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < scanners; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c := client.New(nil)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					c.SQLExecute(slowRef, `SELECT COUNT(*) FROM data`, nil, "") //nolint:errcheck
+				}
+			}()
+		}
+		// Let the long queries saturate the service before probing.
+		time.Sleep(20 * time.Millisecond)
+		c := client.New(nil)
+		var total time.Duration
+		for i := 0; i < probes; i++ {
+			start := time.Now()
+			if _, err := c.SQLExecute(fastRef, `SELECT COUNT(*) FROM data WHERE id = 1`, nil, ""); err != nil {
+				close(stop)
+				wg.Wait()
+				return 0, err
+			}
+			total += time.Since(start)
+		}
+		close(stop)
+		wg.Wait()
+		return total / time.Duration(probes), nil
+	}
+
+	var out []E6Row
+	for _, n := range scannerCounts {
+		conc, err := run(true, n)
+		if err != nil {
+			return nil, err
+		}
+		serial, err := run(false, n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, E6Row{
+			LongScanners:    n,
+			ShortConcurrent: conc,
+			ShortSerialized: serial,
+			SlowdownSerial:  float64(serial) / float64(conc),
+		})
+	}
+	return out, nil
+}
+
+// E7Row is one row of experiment E7 (SOAP wrapper overhead, §3).
+type E7Row struct {
+	Rows        int
+	EnginePer   time.Duration // raw engine execution
+	SOAPPer     time.Duration // full SOAP/HTTP round trip
+	OverheadPer time.Duration // difference
+	Factor      float64
+}
+
+// RunE7 decomposes the wrapper cost by executing the same statement
+// in-process and over the wire.
+func RunE7(sizes []int, iters int) ([]E7Row, error) {
+	maxRows := 0
+	for _, s := range sizes {
+		if s > maxRows {
+			maxRows = s
+		}
+	}
+	f, err := NewSQLFixture(FixtureOption{Rows: maxRows, Concurrent: true, WSRF: false})
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	c := client.New(nil)
+
+	var out []E7Row
+	for _, n := range sizes {
+		query := fmt.Sprintf(`SELECT id, payload, num FROM data ORDER BY id LIMIT %d`, n)
+		sess := f.Engine.NewSession()
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := sess.Execute(query); err != nil {
+				return nil, err
+			}
+		}
+		enginePer := time.Since(start) / time.Duration(iters)
+
+		start = time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := c.SQLExecute(f.Ref, query, nil, ""); err != nil {
+				return nil, err
+			}
+		}
+		soapPer := time.Since(start) / time.Duration(iters)
+		out = append(out, E7Row{
+			Rows:        n,
+			EnginePer:   enginePer,
+			SOAPPer:     soapPer,
+			OverheadPer: soapPer - enginePer,
+			Factor:      float64(soapPer) / float64(enginePer),
+		})
+	}
+	return out, nil
+}
+
+// E8Row is one row of experiment E8 (soft-state lifetime, §5).
+type E8Row struct {
+	Resources        int
+	ExplicitDestroy  time.Duration // total time for K explicit destroys
+	SoftStateSweep   time.Duration // one sweep collecting K expired
+	LeakedWithout    int           // resources left when nobody cleans up
+	LeakedWithReaper int           // resources left after the sweep
+}
+
+// RunE8 creates K derived resources and compares explicit destruction
+// with scheduled termination + reaper sweep.
+func RunE8(counts []int) ([]E8Row, error) {
+	var out []E8Row
+	for _, k := range counts {
+		f, err := NewSQLFixture(FixtureOption{Rows: 10, Concurrent: true, WSRF: true})
+		if err != nil {
+			return nil, err
+		}
+		c := client.New(nil)
+		row := E8Row{Resources: k}
+
+		// Explicit destroy path.
+		refs := make([]client.ResourceRef, 0, k)
+		for i := 0; i < k; i++ {
+			r, err := c.SQLExecuteFactory(f.Ref, `SELECT id FROM data`, nil, nil)
+			if err != nil {
+				f.Close()
+				return nil, err
+			}
+			refs = append(refs, r)
+		}
+		start := time.Now()
+		for _, r := range refs {
+			if err := c.DestroyDataResource(r); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+		row.ExplicitDestroy = time.Since(start)
+
+		// Soft-state path: schedule termination in the past, then sweep.
+		past := time.Now().Add(-time.Millisecond)
+		for i := 0; i < k; i++ {
+			r, err := c.SQLExecuteFactory(f.Ref, `SELECT id FROM data`, nil, nil)
+			if err != nil {
+				f.Close()
+				return nil, err
+			}
+			if _, err := c.SetTerminationTime(r, &past); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+		row.LeakedWithout = len(f.Endpoint.Service().GetResourceList()) - 1 // minus the base resource
+		start = time.Now()
+		swept := f.Endpoint.WSRF().SweepExpired()
+		row.SoftStateSweep = time.Since(start)
+		if len(swept) != k {
+			f.Close()
+			return nil, fmt.Errorf("E8: swept %d, want %d", len(swept), k)
+		}
+		row.LeakedWithReaper = len(f.Endpoint.Service().GetResourceList()) - 1
+		f.Close()
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// E9Row is one row of experiment E9 (dataset formats, §4.1).
+type E9Row struct {
+	Format    string
+	Rows      int
+	Bytes     int
+	EncodePer time.Duration
+	DecodePer time.Duration
+}
+
+// RunE9 encodes/decodes the same result set in every registered format.
+func RunE9(rows, iters int) ([]E9Row, error) {
+	set := &sqlengine.ResultSet{
+		Columns: []sqlengine.ResultColumn{
+			{Name: "id", Type: sqlengine.TypeInteger, Table: "data"},
+			{Name: "payload", Type: sqlengine.TypeVarchar, Table: "data"},
+			{Name: "num", Type: sqlengine.TypeDouble, Table: "data"},
+		},
+	}
+	for i := 0; i < rows; i++ {
+		set.Rows = append(set.Rows, []sqlengine.Value{
+			sqlengine.NewInt(int64(i)),
+			sqlengine.NewString(fmt.Sprintf("row-%06d-payload-abcdefghij", i)),
+			sqlengine.NewDouble(float64(i) * 1.5),
+		})
+	}
+	reg := rowset.NewRegistry()
+	var out []E9Row
+	for _, uri := range reg.URIs() {
+		codec, err := reg.Lookup(uri)
+		if err != nil {
+			return nil, err
+		}
+		var data []byte
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			data, err = codec.Encode(set)
+			if err != nil {
+				return nil, err
+			}
+		}
+		encPer := time.Since(start) / time.Duration(iters)
+		start = time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := codec.Decode(data); err != nil {
+				return nil, err
+			}
+		}
+		decPer := time.Since(start) / time.Duration(iters)
+		out = append(out, E9Row{Format: uri, Rows: rows, Bytes: len(data), EncodePer: encPer, DecodePer: decPer})
+	}
+	return out, nil
+}
+
+// E10Row is one row of experiment E10 (transaction properties, §4.2).
+type E10Row struct {
+	Mode         string
+	UpdatesPer   time.Duration
+	DirtyReads   int // anomalies observed by a concurrent reader
+	LostAfterErr int // updates surviving a mid-batch failure
+}
+
+// RunE10 exercises the TransactionInitiation modes and shows the
+// isolation difference between READ UNCOMMITTED and READ COMMITTED.
+func RunE10(iters int) ([]E10Row, error) {
+	var out []E10Row
+	for _, mode := range []core.TransactionInitiation{
+		core.TransactionNotSupported,
+		core.TransactionPerMessage,
+		core.TransactionConsumerControlled,
+	} {
+		eng := sqlengine.New("bench")
+		eng.MustExec(`CREATE TABLE acct (id INTEGER PRIMARY KEY, bal INTEGER)`)
+		eng.MustExec(`INSERT INTO acct VALUES (1, 0)`)
+		res := dair.NewSQLDataResource(eng, dair.WithConfiguration(core.Configuration{
+			Readable: true, Writeable: true,
+			TransactionInitiation: mode,
+			TransactionIsolation:  sqlengine.ReadCommitted.String(),
+		}))
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := res.SQLExecute(`UPDATE acct SET bal = bal + 1`, nil); err != nil {
+				return nil, err
+			}
+		}
+		per := time.Since(start) / time.Duration(iters)
+		out = append(out, E10Row{Mode: mode.String(), UpdatesPer: per})
+	}
+
+	// Dirty-read anomaly counting: a writer holds uncommitted changes
+	// while readers at two isolation levels look at the row.
+	anomalies := func(level sqlengine.IsolationLevel) (int, error) {
+		// A READ COMMITTED reader blocks on the writer's exclusive
+		// lock; a short timeout makes each blocked probe resolve fast.
+		eng := sqlengine.New("iso", sqlengine.WithLockTimeout(25*time.Millisecond))
+		eng.MustExec(`CREATE TABLE acct (id INTEGER PRIMARY KEY, bal INTEGER)`)
+		eng.MustExec(`INSERT INTO acct VALUES (1, 0)`)
+		dirty := 0
+		for i := 0; i < 20; i++ {
+			writer := eng.NewSession()
+			if _, err := writer.Execute(`BEGIN`); err != nil {
+				return 0, err
+			}
+			if _, err := writer.Execute(`UPDATE acct SET bal = 999`); err != nil {
+				return 0, err
+			}
+			reader := eng.NewSession()
+			if err := reader.SetIsolation(level); err != nil {
+				return 0, err
+			}
+			res, err := reader.Execute(`SELECT bal FROM acct`)
+			if err == nil && res.Set.Rows[0][0].I == 999 {
+				dirty++
+			}
+			if _, err := writer.Execute(`ROLLBACK`); err != nil {
+				return 0, err
+			}
+		}
+		return dirty, nil
+	}
+	dirtyRU, err := anomalies(sqlengine.ReadUncommitted)
+	if err != nil {
+		return nil, err
+	}
+	dirtyRC, err := anomalies(sqlengine.ReadCommitted)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out,
+		E10Row{Mode: "reader@" + sqlengine.ReadUncommitted.String(), DirtyReads: dirtyRU},
+		E10Row{Mode: "reader@" + sqlengine.ReadCommitted.String(), DirtyReads: dirtyRC},
+	)
+
+	// Per-message atomicity: a failing multi-row statement must leave
+	// nothing behind.
+	eng := sqlengine.New("atomic")
+	eng.MustExec(`CREATE TABLE u (id INTEGER PRIMARY KEY)`)
+	res := dair.NewSQLDataResource(eng)
+	res.SQLExecute(`INSERT INTO u VALUES (1)`, nil)           //nolint:errcheck
+	res.SQLExecute(`INSERT INTO u VALUES (2), (1), (3)`, nil) //nolint:errcheck
+	n, _ := eng.Database().TableRowCount("u")
+	out = append(out, E10Row{Mode: "per-message atomicity", LostAfterErr: n - 1})
+	return out, nil
+}
+
+// E11Row is one row of experiment E11 (WS-DAIF staging — the extension
+// realisation applying the paper's third-party-delivery argument to
+// files).
+type E11Row struct {
+	Files        int
+	FileSize     int
+	RelayBytes   int64         // bytes through the coordinator when it pulls everything
+	StageBytes   int64         // bytes through the coordinator with select-and-stage
+	StageLatency time.Duration // FileSelectFactory round trip
+	ReaderBytes  int64         // bytes the analysis consumer pulls from the staged set
+}
+
+// RunE11 compares relaying file contents through the coordinator with
+// the select-and-stage hand-off.
+func RunE11(fileCounts []int, fileSize int) ([]E11Row, error) {
+	var out []E11Row
+	for _, k := range fileCounts {
+		store := filestore.NewStore("bench")
+		payload := make([]byte, fileSize)
+		for i := range payload {
+			payload[i] = byte('a' + i%26)
+		}
+		for i := 0; i < k; i++ {
+			if err := store.Write(fmt.Sprintf("runs/f-%04d.dat", i), payload); err != nil {
+				return nil, err
+			}
+		}
+		res := daif.NewFileDataResource(store)
+		svc := core.NewDataService("files")
+		ep := service.NewEndpoint(svc, service.WithWSRF())
+		ep.Register(res)
+		f := &SQLFixture{Endpoint: ep, Client: client.New(nil)}
+		if err := f.serve(ep); err != nil {
+			return nil, err
+		}
+		ref := client.Ref(svc.Address(), res.AbstractName())
+		row := E11Row{Files: k, FileSize: fileSize}
+
+		// Relay: the coordinator pulls every file itself.
+		relay := client.New(nil)
+		infos, err := relay.ListFiles(ref, "runs/*")
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		for _, fi := range infos {
+			if _, err := relay.ReadFile(ref, fi.Name, 0, -1); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+		row.RelayBytes = relay.BytesReceived()
+
+		// Stage: one factory call; only the EPR moves.
+		coord := client.New(nil)
+		start := time.Now()
+		stagedRef, err := coord.FileSelectFactory(ref, "runs/*", nil)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		row.StageLatency = time.Since(start)
+		row.StageBytes = coord.BytesReceived()
+
+		// The analysis consumer pulls the staged snapshot.
+		reader := client.New(nil)
+		staged, err := reader.ListFiles(stagedRef, "")
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		for _, fi := range staged {
+			if _, err := reader.ReadFile(stagedRef, fi.Name, 0, -1); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+		row.ReaderBytes = reader.BytesReceived()
+		coord.DestroyDataResource(stagedRef) //nolint:errcheck
+		f.Close()
+		out = append(out, row)
+	}
+	return out, nil
+}

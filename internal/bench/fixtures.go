@@ -1,0 +1,123 @@
+// Package bench implements the evaluation harness of EXPERIMENTS.md.
+//
+// The paper is a specification outline with no measured evaluation, so
+// each experiment here operationalises one of its quantifiable prose
+// claims or architecture figures (see DESIGN.md §4): direct vs indirect
+// access (Fig. 1), third-party delivery (Fig. 5), WSRF property
+// granularity (§5), rowset paging (§4.3), thin vs thick wrappers
+// (§2.1), the ConcurrentAccess property (§4.2), SOAP wrapper overhead
+// (§3), soft-state lifetime (§5), dataset formats (§4.1) and the
+// transaction properties (§4.2). cmd/daisbench prints one table per
+// experiment; bench_test.go wraps the same fixtures in testing.B.
+package bench
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+
+	"dais/internal/client"
+	"dais/internal/core"
+	"dais/internal/dair"
+	"dais/internal/service"
+	"dais/internal/sqlengine"
+)
+
+// SQLFixture is a served relational data service plus a consumer.
+type SQLFixture struct {
+	Engine   *sqlengine.Engine
+	Resource *dair.SQLDataResource
+	Endpoint *service.Endpoint
+	Ref      client.ResourceRef
+	Client   *client.Client
+	closers  []func()
+}
+
+// FixtureOption adjusts fixture construction.
+type FixtureOption struct {
+	Rows        int  // rows seeded into the data table (default 1000)
+	Concurrent  bool // ConcurrentAccess property (default true)
+	WSRF        bool // enable the WSRF layer (default true)
+	Thick       bool // use the thick wrapper
+	ExtraTables int  // extra catalog tables to fatten the property document
+}
+
+// DefaultFixture is the standard configuration.
+func DefaultFixture() FixtureOption {
+	return FixtureOption{Rows: 1000, Concurrent: true, WSRF: true}
+}
+
+// NewSQLFixture seeds an engine with opt.Rows rows in table data
+// (id INTEGER, payload VARCHAR, num DOUBLE) and serves it.
+func NewSQLFixture(opt FixtureOption) (*SQLFixture, error) {
+	eng := sqlengine.New("bench")
+	eng.MustExec(`CREATE TABLE data (id INTEGER PRIMARY KEY, payload VARCHAR(64), num DOUBLE)`)
+	sess := eng.NewSession()
+	for i := 0; i < opt.Rows; i++ {
+		if _, err := sess.Execute(`INSERT INTO data VALUES (?, ?, ?)`,
+			sqlengine.NewInt(int64(i)),
+			sqlengine.NewString(fmt.Sprintf("row-%06d-payload-abcdefghij", i)),
+			sqlengine.NewDouble(float64(i)*1.5)); err != nil {
+			return nil, err
+		}
+	}
+	for t := 0; t < opt.ExtraTables; t++ {
+		eng.MustExec(fmt.Sprintf(
+			`CREATE TABLE extra_%03d (a INTEGER PRIMARY KEY, b VARCHAR(32), c DOUBLE, d BOOLEAN, e TIMESTAMP)`, t))
+	}
+
+	var resOpts []dair.ResourceOption
+	if opt.Thick {
+		resOpts = append(resOpts, dair.WithWrapper(dair.ThickWrapper{}))
+	}
+	res := dair.NewSQLDataResource(eng, resOpts...)
+	svc := core.NewDataService("bench",
+		core.WithConcurrentAccess(opt.Concurrent),
+		core.WithConfigurationMap(dair.StandardConfigurationMaps()...))
+	var epOpts []service.EndpointOption
+	if opt.WSRF {
+		epOpts = append(epOpts, service.WithWSRF())
+	}
+	ep := service.NewEndpoint(svc, epOpts...)
+	ep.Register(res)
+
+	f := &SQLFixture{Engine: eng, Resource: res, Endpoint: ep, Client: client.New(nil)}
+	if err := f.serve(ep); err != nil {
+		return nil, err
+	}
+	f.Ref = client.Ref(svc.Address(), res.AbstractName())
+	return f, nil
+}
+
+// serve starts an HTTP listener for an endpoint, recording a closer.
+func (f *SQLFixture) serve(ep *service.Endpoint) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	ep.Service().SetAddress("http://" + ln.Addr().String())
+	srv := &http.Server{Handler: ep}
+	go srv.Serve(ln) //nolint:errcheck
+	f.closers = append(f.closers, func() { srv.Close() })
+	return nil
+}
+
+// ServeExtra hosts another endpoint (e.g. a factory target) and wires
+// its lifetime to the fixture.
+func (f *SQLFixture) ServeExtra(ep *service.Endpoint) error { return f.serve(ep) }
+
+// Close shuts every listener down.
+func (f *SQLFixture) Close() {
+	for _, c := range f.closers {
+		c()
+	}
+}
+
+// MustSQLFixture panics on construction failure (bench helpers).
+func MustSQLFixture(opt FixtureOption) *SQLFixture {
+	f, err := NewSQLFixture(opt)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

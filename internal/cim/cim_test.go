@@ -1,0 +1,93 @@
+package cim
+
+import (
+	"strings"
+	"testing"
+
+	"dais/internal/sqlengine"
+	"dais/internal/xmlutil"
+)
+
+func testEngine(t *testing.T) *sqlengine.Engine {
+	t.Helper()
+	e := sqlengine.New("hr")
+	e.MustExec(`CREATE TABLE emp (id INTEGER PRIMARY KEY, name VARCHAR(64) NOT NULL, code VARCHAR(8) UNIQUE)`)
+	e.MustExec(`CREATE TABLE dept (id INTEGER PRIMARY KEY, name VARCHAR(32))`)
+	e.MustExec(`CREATE INDEX idx_name ON emp (name)`)
+	e.MustExec(`INSERT INTO emp VALUES (1, 'ann', 'A'), (2, 'bob', 'B')`)
+	return e
+}
+
+func TestDescribeStructure(t *testing.T) {
+	e := testEngine(t)
+	desc := Describe(e.Database())
+	out := xmlutil.MarshalString(desc)
+	for _, want := range []string{
+		"CIM_CommonDatabase", "CIM_DatabaseSchema", "CIM_Table",
+		"CIM_Column", "CIM_Index", "OrdinalPosition", "idx_name",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in rendering", want)
+		}
+	}
+	// It must parse back and be walkable.
+	re, err := xmlutil.ParseString(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summary(re)
+	if sum["emp"] != 3 || sum["dept"] != 2 {
+		t.Fatalf("summary = %v", sum)
+	}
+}
+
+func TestDescribeRowCountsAndKeys(t *testing.T) {
+	e := testEngine(t)
+	desc := Describe(e.Database())
+	out := xmlutil.MarshalString(desc)
+	if !strings.Contains(out, ">2<") { // emp RowCount
+		t.Errorf("row count missing:\n%s", out)
+	}
+	if !strings.Contains(out, "PRIMARY") || !strings.Contains(out, "UNIQUE") {
+		t.Errorf("key types missing:\n%s", out)
+	}
+	if !strings.Contains(out, "IsNullable") {
+		t.Error("nullability missing")
+	}
+}
+
+func TestTableDescription(t *testing.T) {
+	cols := []sqlengine.ResultColumn{
+		{Name: "a", Type: sqlengine.TypeInteger, Table: "t"},
+		{Name: "b", Type: sqlengine.TypeVarchar},
+	}
+	desc := TableDescription("derived", cols)
+	sum := Summary(desc)
+	if sum["derived"] != 2 {
+		t.Fatalf("summary = %v", sum)
+	}
+	out := xmlutil.MarshalString(desc)
+	if !strings.Contains(out, "SourceTable") {
+		t.Error("source table missing")
+	}
+}
+
+func TestDescribeEmptyDatabase(t *testing.T) {
+	e := sqlengine.New("empty")
+	desc := Describe(e.Database())
+	if len(Summary(desc)) != 0 {
+		t.Fatal("unexpected tables")
+	}
+	if desc.AttrValue("", "class") != "CIM_CommonDatabase" {
+		t.Fatal("wrong root class")
+	}
+}
+
+func TestDescribeIncludesViews(t *testing.T) {
+	e := testEngine(t)
+	e.MustExec(`CREATE VIEW highpay AS SELECT name FROM emp`)
+	out := xmlutil.MarshalString(Describe(e.Database()))
+	if !strings.Contains(out, "CIM_View") || !strings.Contains(out, "highpay") {
+		t.Errorf("view missing from rendering")
+	}
+}

@@ -1,0 +1,405 @@
+// Package client is the typed Go consumer library for DAIS services:
+// it speaks the WS-DAI / WS-DAIR / WS-DAIX SOAP message patterns
+// against any endpoint, follows EPRs returned by factories (including
+// EPRs handed over by third parties, paper Fig. 5), and exposes the
+// optional WSRF operations.
+package client
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"dais/internal/core"
+	"dais/internal/rowset"
+	"dais/internal/service"
+	"dais/internal/soap"
+	"dais/internal/sqlengine"
+	"dais/internal/wsaddr"
+	"dais/internal/wsrf"
+	"dais/internal/xmlutil"
+)
+
+// ResourceRef addresses one data resource: a service endpoint URL plus
+// the resource's abstract name. It corresponds to a WS-Addressing EPR
+// whose reference parameters carry the abstract name.
+type ResourceRef struct {
+	Address      string
+	AbstractName string
+}
+
+// Ref builds a reference from its parts.
+func Ref(address, abstractName string) ResourceRef {
+	return ResourceRef{Address: address, AbstractName: abstractName}
+}
+
+// FromEPR extracts a reference from an EPR (a factory response or a
+// hand-off from another consumer).
+func FromEPR(epr *wsaddr.EndpointReference) (ResourceRef, error) {
+	if epr == nil {
+		return ResourceRef{}, fmt.Errorf("client: nil EPR")
+	}
+	p := epr.ReferenceParameter(core.NSDAI, "DataResourceAbstractName")
+	if p == nil {
+		return ResourceRef{}, fmt.Errorf("client: EPR has no DataResourceAbstractName reference parameter")
+	}
+	return ResourceRef{Address: epr.Address, AbstractName: p.Text()}, nil
+}
+
+// EPR renders the reference back into a WS-Addressing EPR (for handing
+// to a third party).
+func (r ResourceRef) EPR() *wsaddr.EndpointReference {
+	epr := wsaddr.NewEPR(r.Address)
+	p := xmlutil.NewElement(core.NSDAI, "DataResourceAbstractName")
+	p.SetText(r.AbstractName)
+	epr.AddReferenceParameter(p)
+	return epr
+}
+
+// Client is a DAIS consumer.
+type Client struct {
+	soap *soap.Client
+}
+
+// New builds a client over the given HTTP client (nil for the default).
+func New(hc *http.Client) *Client {
+	return &Client{soap: soap.NewClient(hc)}
+}
+
+// BytesSent and BytesReceived expose wire counters for the evaluation
+// harness.
+func (c *Client) BytesSent() int64     { return c.soap.BytesSent() }
+func (c *Client) BytesReceived() int64 { return c.soap.BytesReceived() }
+
+// ResetCounters zeroes the wire counters.
+func (c *Client) ResetCounters() { c.soap.ResetCounters() }
+
+// call performs one SOAP request/response round trip with WS-Addressing
+// headers, returning the response body element.
+func (c *Client) call(address, action string, body *xmlutil.Element) (*xmlutil.Element, error) {
+	env := soap.NewEnvelope(body)
+	h := &wsaddr.MessageHeaders{
+		To:        address,
+		Action:    action,
+		MessageID: wsaddr.NewMessageID(),
+		ReplyTo:   wsaddr.NewEPR(wsaddr.AnonymousURI),
+	}
+	h.Attach(env)
+	resp, err := c.soap.Call(address, action, env)
+	if err != nil {
+		return nil, service.DecodeFault(err)
+	}
+	return resp.BodyEntry(), nil
+}
+
+// --- WS-DAI core ---
+
+// GetPropertyDocument fetches the whole WS-DAI property document
+// (paper §4.3; the only granularity available without WSRF).
+func (c *Client) GetPropertyDocument(ref ResourceRef) (*xmlutil.Element, error) {
+	req := service.NewRequest(core.NSDAI, "GetDataResourcePropertyDocumentRequest", ref.AbstractName)
+	resp, err := c.call(ref.Address, service.ActGetPropertyDocument, req)
+	if err != nil {
+		return nil, err
+	}
+	doc := resp.Find(core.NSDAI, "DataResourcePropertyDocument")
+	if doc == nil {
+		return nil, fmt.Errorf("client: response missing property document")
+	}
+	return doc, nil
+}
+
+// GenericQuery runs a query in an advertised language.
+func (c *Client) GenericQuery(ref ResourceRef, languageURI, expression string) (*xmlutil.Element, error) {
+	req := service.NewRequest(core.NSDAI, "GenericQueryRequest", ref.AbstractName)
+	req.AddText(core.NSDAI, "GenericQueryLanguage", languageURI)
+	req.AddText(core.NSDAI, "Expression", expression)
+	resp, err := c.call(ref.Address, service.ActGenericQuery, req)
+	if err != nil {
+		return nil, err
+	}
+	kids := resp.ChildElements()
+	if len(kids) == 0 {
+		return nil, fmt.Errorf("client: empty GenericQuery response")
+	}
+	return kids[0], nil
+}
+
+// DestroyDataResource removes the service / resource relationship.
+func (c *Client) DestroyDataResource(ref ResourceRef) error {
+	req := service.NewRequest(core.NSDAI, "DestroyDataResourceRequest", ref.AbstractName)
+	_, err := c.call(ref.Address, service.ActDestroyDataResource, req)
+	return err
+}
+
+// GetResourceList lists the abstract names a service knows.
+func (c *Client) GetResourceList(address string) ([]string, error) {
+	req := xmlutil.NewElement(core.NSDAI, "GetResourceListRequest")
+	resp, err := c.call(address, service.ActGetResourceList, req)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, el := range resp.FindAll(core.NSDAI, "DataResourceAbstractName") {
+		out = append(out, el.Text())
+	}
+	return out, nil
+}
+
+// Resolve maps an abstract name to a full resource reference.
+func (c *Client) Resolve(address, abstractName string) (ResourceRef, error) {
+	req := service.NewRequest(core.NSDAI, "ResolveRequest", abstractName)
+	resp, err := c.call(address, service.ActResolve, req)
+	if err != nil {
+		return ResourceRef{}, err
+	}
+	addrEl := resp.Find(core.NSDAI, "DataResourceAddress")
+	epr, err := wsaddr.ParseEPR(addrEl)
+	if err != nil {
+		return ResourceRef{}, err
+	}
+	return FromEPR(epr)
+}
+
+// --- WS-DAIR ---
+
+// SQLResult is the decoded outcome of a direct SQLExecute.
+type SQLResult struct {
+	Set         *sqlengine.ResultSet // nil for updates or undecodable formats
+	Raw         []byte               // dataset bytes as shipped
+	FormatURI   string
+	UpdateCount int // -1 for queries
+	CA          sqlengine.SQLCA
+}
+
+// SQLExecute performs direct data access (paper Fig. 2): the data comes
+// back in the response. formatURI "" selects the SQLRowset default.
+func (c *Client) SQLExecute(ref ResourceRef, expression string, params []sqlengine.Value, formatURI string) (*SQLResult, error) {
+	req := service.NewRequest(service.NSDAIR, "SQLExecuteRequest", ref.AbstractName)
+	if formatURI != "" {
+		req.AddText(core.NSDAI, "DatasetFormatURI", formatURI)
+	}
+	service.AddSQLExpression(req, expression, params)
+	resp, err := c.call(ref.Address, service.ActSQLExecute, req)
+	if err != nil {
+		return nil, err
+	}
+	out := &SQLResult{UpdateCount: -1}
+	if caEl := resp.Find(service.NSDAIR, "SQLCommunicationArea"); caEl != nil {
+		fmt.Sscanf(caEl.FindText(service.NSDAIR, "SQLCode"), "%d", &out.CA.SQLCode)
+		out.CA.SQLState = caEl.FindText(service.NSDAIR, "SQLState")
+		out.CA.Message = caEl.FindText(service.NSDAIR, "SQLMessage")
+		fmt.Sscanf(caEl.FindText(service.NSDAIR, "UpdateCount"), "%d", &out.CA.UpdateCount)
+		fmt.Sscanf(caEl.FindText(service.NSDAIR, "RowsFetched"), "%d", &out.CA.RowsFetched)
+	}
+	if uc := resp.Find(service.NSDAIR, "UpdateCount"); uc != nil {
+		fmt.Sscanf(uc.Text(), "%d", &out.UpdateCount)
+		return out, nil
+	}
+	ds := resp.Find(core.NSDAI, "Dataset")
+	if ds == nil {
+		return out, nil
+	}
+	out.Raw, out.FormatURI = service.DatasetPayload(ds)
+	if codec, err := rowset.NewRegistry().Lookup(out.FormatURI); err == nil {
+		if set, derr := codec.Decode(out.Raw); derr == nil {
+			out.Set = set
+		}
+	}
+	return out, nil
+}
+
+// SQLExecuteFactory performs indirect access (paper Fig. 3): the
+// response is an EPR to a derived SQLResponse resource.
+func (c *Client) SQLExecuteFactory(ref ResourceRef, expression string, params []sqlengine.Value, cfg *core.Configuration) (ResourceRef, error) {
+	req := service.NewRequest(service.NSDAIR, "SQLExecuteFactoryRequest", ref.AbstractName)
+	req.AddText(core.NSDAI, "PortTypeQName", "dair:SQLResponseAccess")
+	if cfg != nil {
+		req.AppendChild(cfg.Element())
+	}
+	service.AddSQLExpression(req, expression, params)
+	resp, err := c.call(ref.Address, service.ActSQLExecuteFactory, req)
+	if err != nil {
+		return ResourceRef{}, err
+	}
+	return refFromResponse(resp)
+}
+
+// GetSQLRowset fetches the index-th rowset of a response resource.
+func (c *Client) GetSQLRowset(ref ResourceRef, index int) (*sqlengine.ResultSet, error) {
+	req := service.NewRequest(service.NSDAIR, "GetSQLRowsetRequest", ref.AbstractName)
+	req.AddText(service.NSDAIR, "Index", fmt.Sprintf("%d", index))
+	resp, err := c.call(ref.Address, service.ActGetSQLRowset, req)
+	if err != nil {
+		return nil, err
+	}
+	rs := resp.Find(rowset.NSDAIR, "SQLRowset")
+	if rs == nil {
+		return nil, fmt.Errorf("client: response missing SQLRowset")
+	}
+	return rowset.DecodeSQLRowsetElement(rs)
+}
+
+// GetSQLUpdateCount fetches the index-th update count.
+func (c *Client) GetSQLUpdateCount(ref ResourceRef, index int) (int, error) {
+	req := service.NewRequest(service.NSDAIR, "GetSQLUpdateCountRequest", ref.AbstractName)
+	req.AddText(service.NSDAIR, "Index", fmt.Sprintf("%d", index))
+	resp, err := c.call(ref.Address, service.ActGetSQLUpdateCount, req)
+	if err != nil {
+		return 0, err
+	}
+	var n int
+	fmt.Sscanf(resp.FindText(service.NSDAIR, "UpdateCount"), "%d", &n)
+	return n, nil
+}
+
+// GetSQLCommunicationArea fetches the response's communication area.
+func (c *Client) GetSQLCommunicationArea(ref ResourceRef) (sqlengine.SQLCA, error) {
+	req := service.NewRequest(service.NSDAIR, "GetSQLCommunicationAreaRequest", ref.AbstractName)
+	resp, err := c.call(ref.Address, service.ActGetSQLCommArea, req)
+	if err != nil {
+		return sqlengine.SQLCA{}, err
+	}
+	var ca sqlengine.SQLCA
+	caEl := resp.Find(service.NSDAIR, "SQLCommunicationArea")
+	if caEl == nil {
+		return ca, fmt.Errorf("client: response missing SQLCommunicationArea")
+	}
+	ca.SQLState = caEl.FindText(service.NSDAIR, "SQLState")
+	fmt.Sscanf(caEl.FindText(service.NSDAIR, "SQLCode"), "%d", &ca.SQLCode)
+	fmt.Sscanf(caEl.FindText(service.NSDAIR, "UpdateCount"), "%d", &ca.UpdateCount)
+	fmt.Sscanf(caEl.FindText(service.NSDAIR, "RowsFetched"), "%d", &ca.RowsFetched)
+	ca.Message = caEl.FindText(service.NSDAIR, "SQLMessage")
+	return ca, nil
+}
+
+// SQLRowsetFactory derives a rowset resource from a response resource
+// (the second hop of Fig. 5). count 0 copies every row.
+func (c *Client) SQLRowsetFactory(ref ResourceRef, formatURI string, count int, cfg *core.Configuration) (ResourceRef, error) {
+	req := service.NewRequest(service.NSDAIR, "SQLRowsetFactoryRequest", ref.AbstractName)
+	req.AddText(core.NSDAI, "PortTypeQName", "dair:SQLRowsetAccess")
+	if formatURI != "" {
+		req.AddText(core.NSDAI, "DatasetFormatURI", formatURI)
+	}
+	if count > 0 {
+		req.AddText(service.NSDAIR, "Count", fmt.Sprintf("%d", count))
+	}
+	if cfg != nil {
+		req.AppendChild(cfg.Element())
+	}
+	resp, err := c.call(ref.Address, service.ActSQLRowsetFactory, req)
+	if err != nil {
+		return ResourceRef{}, err
+	}
+	return refFromResponse(resp)
+}
+
+// GetTuples pages through a rowset resource (the third hop of Fig. 5),
+// returning the raw dataset bytes and their format URI.
+func (c *Client) GetTuples(ref ResourceRef, startPosition, count int) ([]byte, string, error) {
+	req := service.NewRequest(service.NSDAIR, "GetTuplesRequest", ref.AbstractName)
+	req.AddText(service.NSDAIR, "StartPosition", fmt.Sprintf("%d", startPosition))
+	req.AddText(service.NSDAIR, "Count", fmt.Sprintf("%d", count))
+	resp, err := c.call(ref.Address, service.ActGetTuples, req)
+	if err != nil {
+		return nil, "", err
+	}
+	data, format := service.DatasetPayload(resp.Find(core.NSDAI, "Dataset"))
+	return data, format, nil
+}
+
+// GetTuplesSet is GetTuples decoded into a result set.
+func (c *Client) GetTuplesSet(ref ResourceRef, startPosition, count int) (*sqlengine.ResultSet, error) {
+	data, format, err := c.GetTuples(ref, startPosition, count)
+	if err != nil {
+		return nil, err
+	}
+	codec, err := rowset.NewRegistry().Lookup(format)
+	if err != nil {
+		return nil, err
+	}
+	return codec.Decode(data)
+}
+
+// refFromResponse extracts the DataResourceAddress EPR from a factory
+// response.
+func refFromResponse(resp *xmlutil.Element) (ResourceRef, error) {
+	addr := resp.Find(core.NSDAI, "DataResourceAddress")
+	epr, err := wsaddr.ParseEPR(addr)
+	if err != nil {
+		return ResourceRef{}, err
+	}
+	return FromEPR(epr)
+}
+
+// --- WSRF ---
+
+// GetResourceProperty fetches one property by QName (prefix dair:/daix:
+// selects the realisation namespace; wsrl: the lifetime namespace).
+func (c *Client) GetResourceProperty(ref ResourceRef, qname string) ([]*xmlutil.Element, error) {
+	req := service.NewRequest(wsrf.NSRP, "GetResourceProperty", ref.AbstractName)
+	req.AddText(wsrf.NSRP, "ResourceProperty", qname)
+	resp, err := c.call(ref.Address, service.ActGetResourceProperty, req)
+	if err != nil {
+		return nil, err
+	}
+	return resp.ChildElements(), nil
+}
+
+// QueryResourceProperties evaluates an XPath over the property
+// document.
+func (c *Client) QueryResourceProperties(ref ResourceRef, expr string) ([]*xmlutil.Element, error) {
+	req := service.NewRequest(wsrf.NSRP, "QueryResourceProperties", ref.AbstractName)
+	req.AddText(wsrf.NSRP, "QueryExpression", expr)
+	resp, err := c.call(ref.Address, service.ActQueryResourceProperties, req)
+	if err != nil {
+		return nil, err
+	}
+	return resp.ChildElements(), nil
+}
+
+// SetResourceProperties updates configurable WS-DAI properties through
+// the WSRF interface. Keys are property local names in the WS-DAI
+// namespace (Readable, Writeable, DataResourceDescription,
+// Sensitivity, TransactionIsolation, TransactionInitiation).
+func (c *Client) SetResourceProperties(ref ResourceRef, props map[string]string) error {
+	req := service.NewRequest(wsrf.NSRP, "SetResourceProperties", ref.AbstractName)
+	update := req.Add(wsrf.NSRP, "Update")
+	for k, v := range props {
+		update.AddText(core.NSDAI, k, v)
+	}
+	_, err := c.call(ref.Address, service.ActSetResourceProperties, req)
+	return err
+}
+
+// SetTerminationTime schedules (or clears, with nil) a resource's
+// soft-state termination.
+func (c *Client) SetTerminationTime(ref ResourceRef, t *time.Time) (*time.Time, error) {
+	req := service.NewRequest(wsrf.NSRL, "SetTerminationTime", ref.AbstractName)
+	rtt := req.Add(wsrf.NSRL, "RequestedTerminationTime")
+	if t == nil {
+		rtt.SetAttr("", "nil", "true")
+	} else {
+		rtt.SetText(t.UTC().Format(time.RFC3339Nano))
+	}
+	resp, err := c.call(ref.Address, service.ActSetTerminationTime, req)
+	if err != nil {
+		return nil, err
+	}
+	nt := resp.Find(wsrf.NSRL, "NewTerminationTime")
+	if nt == nil || nt.AttrValue("", "nil") == "true" {
+		return nil, nil
+	}
+	parsed, err := time.Parse(time.RFC3339Nano, nt.Text())
+	if err != nil {
+		return nil, err
+	}
+	return &parsed, nil
+}
+
+// WSRFDestroy destroys the resource through the lifetime interface.
+func (c *Client) WSRFDestroy(ref ResourceRef) error {
+	req := service.NewRequest(wsrf.NSRL, "Destroy", ref.AbstractName)
+	_, err := c.call(ref.Address, service.ActWSRFDestroy, req)
+	return err
+}

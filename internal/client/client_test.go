@@ -1,0 +1,167 @@
+package client
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dais/internal/core"
+	"dais/internal/service"
+	"dais/internal/soap"
+	"dais/internal/wsaddr"
+	"dais/internal/xmlutil"
+)
+
+func TestRefEPRRoundTrip(t *testing.T) {
+	ref := Ref("http://svc/sql", "urn:dais:sql:abc")
+	epr := ref.EPR()
+	if epr.Address != "http://svc/sql" {
+		t.Fatalf("address = %q", epr.Address)
+	}
+	back, err := FromEPR(epr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != ref {
+		t.Fatalf("round trip: %+v != %+v", back, ref)
+	}
+}
+
+func TestFromEPRThroughWire(t *testing.T) {
+	// An EPR serialised into a factory response and parsed back must
+	// yield the same reference (third-party hand-off fidelity).
+	ref := Ref("http://svc", "urn:r1")
+	el := ref.EPR().Element(core.NSDAI, "DataResourceAddress")
+	re, err := xmlutil.ParseString(xmlutil.MarshalString(el))
+	if err != nil {
+		t.Fatal(err)
+	}
+	epr, err := wsaddr.ParseEPR(re)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromEPR(epr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != ref {
+		t.Fatalf("wire round trip: %+v", back)
+	}
+}
+
+func TestFromEPRErrors(t *testing.T) {
+	if _, err := FromEPR(nil); err == nil {
+		t.Fatal("nil EPR")
+	}
+	if _, err := FromEPR(wsaddr.NewEPR("http://x")); err == nil {
+		t.Fatal("EPR without abstract name reference parameter")
+	}
+}
+
+func TestCallAttachesAddressingHeaders(t *testing.T) {
+	var got *soap.Envelope
+	srv := soap.NewServer()
+	srv.HandleFallback(func(_ string, env *soap.Envelope) (*soap.Envelope, error) {
+		got = env
+		return soap.NewEnvelope(xmlutil.NewElement("urn:t", "R")), nil
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	c := New(nil)
+	req := service.NewRequest(core.NSDAI, "GetResourceListRequest", "urn:x")
+	if _, err := c.call(ts.URL, "urn:test/action", req); err != nil {
+		t.Fatal(err)
+	}
+	h := wsaddr.FromEnvelope(got)
+	if h.Action != "urn:test/action" {
+		t.Fatalf("action header = %q", h.Action)
+	}
+	if h.To != ts.URL {
+		t.Fatalf("to header = %q", h.To)
+	}
+	if h.MessageID == "" || h.ReplyTo == nil || h.ReplyTo.Address != wsaddr.AnonymousURI {
+		t.Fatalf("headers = %+v", h)
+	}
+}
+
+func TestDecodeSequenceVariants(t *testing.T) {
+	seq := xmlutil.NewElement(service.NSDAIX, "XMLSequence")
+	n1 := seq.Add(service.NSDAIX, "Item")
+	n1.SetAttr("", "document", "a.xml")
+	node := n1.Add("", "book")
+	node.SetText("content")
+	n2 := seq.Add(service.NSDAIX, "Item")
+	n2.SetAttr("", "document", "b.xml")
+	n2.AddText(service.NSDAIX, "Value", "42")
+
+	items, err := decodeSequence(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 2 {
+		t.Fatalf("items = %d", len(items))
+	}
+	if items[0].Node == nil || items[0].Value != "content" || items[0].Document != "a.xml" {
+		t.Fatalf("item0 = %+v", items[0])
+	}
+	if items[1].Node != nil || items[1].Value != "42" {
+		t.Fatalf("item1 = %+v", items[1])
+	}
+	if _, err := decodeSequence(nil); err == nil {
+		t.Fatal("nil sequence should error")
+	}
+}
+
+func TestCallDecodesTypedFaults(t *testing.T) {
+	srv := soap.NewServer()
+	srv.HandleFallback(func(string, *soap.Envelope) (*soap.Envelope, error) {
+		detail := xmlutil.NewElement(core.NSDAI, "NotAuthorizedFault")
+		detail.AddText(core.NSDAI, "Message", "denied")
+		detail.AddText(core.NSDAI, "Value", "resource is read only")
+		f := soap.ClientFault("denied")
+		f.Detail = detail
+		return nil, f
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	c := New(nil)
+	_, err := c.call(ts.URL, "urn:a", xmlutil.NewElement("urn:t", "X"))
+	naf, ok := err.(*core.NotAuthorizedFault)
+	if !ok {
+		t.Fatalf("err = %T %v", err, err)
+	}
+	if naf.Reason != "resource is read only" {
+		t.Fatalf("reason = %q", naf.Reason)
+	}
+}
+
+func TestTransportErrorsSurface(t *testing.T) {
+	c := New(&http.Client{})
+	_, err := c.call("http://127.0.0.1:1/nothing", "urn:a", xmlutil.NewElement("urn:t", "X"))
+	if err == nil || !strings.Contains(err.Error(), "transport") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestByteCounters(t *testing.T) {
+	srv := soap.NewServer()
+	srv.HandleFallback(func(string, *soap.Envelope) (*soap.Envelope, error) {
+		return soap.NewEnvelope(xmlutil.NewElement("urn:t", "R")), nil
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := New(nil)
+	if _, err := c.call(ts.URL, "urn:a", xmlutil.NewElement("urn:t", "Q")); err != nil {
+		t.Fatal(err)
+	}
+	if c.BytesSent() == 0 || c.BytesReceived() == 0 {
+		t.Fatal("counters not tracking")
+	}
+	c.ResetCounters()
+	if c.BytesSent() != 0 || c.BytesReceived() != 0 {
+		t.Fatal("reset failed")
+	}
+}

@@ -1,0 +1,118 @@
+package client
+
+import (
+	"fmt"
+
+	"dais/internal/core"
+	"dais/internal/rowset"
+	"dais/internal/service"
+	"dais/internal/sqlengine"
+	"dais/internal/xmlutil"
+)
+
+// The remaining WS-DAIR operations of the paper's Fig. 6, so the client
+// covers the full interface surface: the realisation-specific property
+// document getters and the per-item response accessors.
+
+// propertyDocOp fetches a realisation-specific property document.
+func (c *Client) propertyDocOp(ref ResourceRef, action, reqName string) (*xmlutil.Element, error) {
+	req := service.NewRequest(service.NSDAIR, reqName, ref.AbstractName)
+	resp, err := c.call(ref.Address, action, req)
+	if err != nil {
+		return nil, err
+	}
+	doc := resp.Find(core.NSDAI, "DataResourcePropertyDocument")
+	if doc == nil {
+		return nil, fmt.Errorf("client: response missing property document")
+	}
+	return doc, nil
+}
+
+// GetSQLPropertyDocument implements SQLAccess.GetSQLPropertyDocument.
+func (c *Client) GetSQLPropertyDocument(ref ResourceRef) (*xmlutil.Element, error) {
+	return c.propertyDocOp(ref, service.ActGetSQLPropertyDoc, "GetSQLPropertyDocumentRequest")
+}
+
+// GetSQLResponsePropertyDocument implements
+// ResponseAccess.GetSQLResponsePropertyDocument.
+func (c *Client) GetSQLResponsePropertyDocument(ref ResourceRef) (*xmlutil.Element, error) {
+	return c.propertyDocOp(ref, service.ActGetSQLResponsePropDoc, "GetSQLResponsePropertyDocumentRequest")
+}
+
+// GetRowsetPropertyDocument implements
+// RowsetAccess.GetRowsetPropertyDocument.
+func (c *Client) GetRowsetPropertyDocument(ref ResourceRef) (*xmlutil.Element, error) {
+	return c.propertyDocOp(ref, service.ActGetRowsetPropDoc, "GetRowsetPropertyDocumentRequest")
+}
+
+// ResponseItem is a decoded GetSQLResponseItem result: exactly one of
+// Set, UpdateCount or Value is meaningful.
+type ResponseItem struct {
+	Set         *sqlengine.ResultSet
+	UpdateCount int
+	Value       string
+	HasValue    bool
+}
+
+// GetSQLResponseItem implements ResponseAccess.GetSQLResponseItem.
+func (c *Client) GetSQLResponseItem(ref ResourceRef, index int) (ResponseItem, error) {
+	req := service.NewRequest(service.NSDAIR, "GetSQLResponseItemRequest", ref.AbstractName)
+	req.AddText(service.NSDAIR, "Index", fmt.Sprintf("%d", index))
+	resp, err := c.call(ref.Address, service.ActGetSQLResponseItem, req)
+	if err != nil {
+		return ResponseItem{}, err
+	}
+	out := ResponseItem{UpdateCount: -1}
+	if rs := resp.Find(rowset.NSDAIR, "SQLRowset"); rs != nil {
+		set, err := rowset.DecodeSQLRowsetElement(rs)
+		if err != nil {
+			return ResponseItem{}, err
+		}
+		out.Set = set
+		return out, nil
+	}
+	if uc := resp.Find(service.NSDAIR, "UpdateCount"); uc != nil {
+		fmt.Sscanf(uc.Text(), "%d", &out.UpdateCount)
+		return out, nil
+	}
+	if v := resp.Find(service.NSDAIR, "Value"); v != nil {
+		out.Value = v.Text()
+		out.HasValue = true
+	}
+	return out, nil
+}
+
+// GetSQLReturnValue implements ResponseAccess.GetSQLReturnValue.
+func (c *Client) GetSQLReturnValue(ref ResourceRef) (string, error) {
+	req := service.NewRequest(service.NSDAIR, "GetSQLReturnValueRequest", ref.AbstractName)
+	resp, err := c.call(ref.Address, service.ActGetSQLReturnValue, req)
+	if err != nil {
+		return "", err
+	}
+	return resp.FindText(service.NSDAIR, "Value"), nil
+}
+
+// GetSQLOutputParameter implements ResponseAccess.GetSQLOutputParameter.
+func (c *Client) GetSQLOutputParameter(ref ResourceRef, name string) (string, error) {
+	req := service.NewRequest(service.NSDAIR, "GetSQLOutputParameterRequest", ref.AbstractName)
+	req.AddText(service.NSDAIR, "ParameterName", name)
+	resp, err := c.call(ref.Address, service.ActGetSQLOutputParameter, req)
+	if err != nil {
+		return "", err
+	}
+	return resp.FindText(service.NSDAIR, "Value"), nil
+}
+
+// GetMultipleResourceProperties fetches several properties by QName in
+// one WSRF round trip.
+func (c *Client) GetMultipleResourceProperties(ref ResourceRef, qnames []string) ([]*xmlutil.Element, error) {
+	req := service.NewRequest("http://docs.oasis-open.org/wsrf/rp-2", "GetMultipleResourceProperties", ref.AbstractName)
+	for _, q := range qnames {
+		req.AddText("http://docs.oasis-open.org/wsrf/rp-2", "ResourceProperty", q)
+	}
+	resp, err := c.call(ref.Address, service.ActGetMultipleResourceProps, req)
+	if err != nil {
+		return nil, err
+	}
+	return resp.ChildElements(), nil
+}

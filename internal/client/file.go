@@ -1,0 +1,111 @@
+package client
+
+import (
+	"encoding/base64"
+	"fmt"
+	"time"
+
+	"dais/internal/core"
+	"dais/internal/filestore"
+	"dais/internal/service"
+	"dais/internal/xmlutil"
+)
+
+// ReadFile reads a byte range from a file resource (count < 0 reads to
+// the end).
+func (c *Client) ReadFile(ref ResourceRef, name string, offset, count int64) ([]byte, error) {
+	req := service.NewRequest(service.NSDAIF, "ReadFileRequest", ref.AbstractName)
+	req.AddText(service.NSDAIF, "FileName", name)
+	req.AddText(service.NSDAIF, "Offset", fmt.Sprintf("%d", offset))
+	req.AddText(service.NSDAIF, "Count", fmt.Sprintf("%d", count))
+	resp, err := c.call(ref.Address, service.ActReadFile, req)
+	if err != nil {
+		return nil, err
+	}
+	return base64.StdEncoding.DecodeString(resp.FindText(service.NSDAIF, "Data"))
+}
+
+// WriteFile replaces a file's contents.
+func (c *Client) WriteFile(ref ResourceRef, name string, data []byte) error {
+	return c.filePayloadOp(ref, service.ActWriteFile, "WriteFileRequest", name, data)
+}
+
+// AppendFile extends a file.
+func (c *Client) AppendFile(ref ResourceRef, name string, data []byte) error {
+	return c.filePayloadOp(ref, service.ActAppendFile, "AppendFileRequest", name, data)
+}
+
+func (c *Client) filePayloadOp(ref ResourceRef, action, reqName, name string, data []byte) error {
+	req := service.NewRequest(service.NSDAIF, reqName, ref.AbstractName)
+	req.AddText(service.NSDAIF, "FileName", name)
+	d := req.Add(service.NSDAIF, "Data")
+	d.SetAttr("", "encoding", "base64")
+	d.SetText(base64.StdEncoding.EncodeToString(data))
+	_, err := c.call(ref.Address, action, req)
+	return err
+}
+
+// DeleteFile removes a file.
+func (c *Client) DeleteFile(ref ResourceRef, name string) error {
+	req := service.NewRequest(service.NSDAIF, "DeleteFileRequest", ref.AbstractName)
+	req.AddText(service.NSDAIF, "FileName", name)
+	_, err := c.call(ref.Address, service.ActDeleteFile, req)
+	return err
+}
+
+// ListFiles lists files matching a glob pattern ("" lists everything).
+func (c *Client) ListFiles(ref ResourceRef, pattern string) ([]filestore.FileInfo, error) {
+	req := service.NewRequest(service.NSDAIF, "ListFilesRequest", ref.AbstractName)
+	req.AddText(service.NSDAIF, "Pattern", pattern)
+	resp, err := c.call(ref.Address, service.ActListFiles, req)
+	if err != nil {
+		return nil, err
+	}
+	return decodeFileList(resp.Find(service.NSDAIF, "FileList"))
+}
+
+// StatFile returns one file's metadata.
+func (c *Client) StatFile(ref ResourceRef, name string) (filestore.FileInfo, error) {
+	req := service.NewRequest(service.NSDAIF, "StatFileRequest", ref.AbstractName)
+	req.AddText(service.NSDAIF, "FileName", name)
+	resp, err := c.call(ref.Address, service.ActStatFile, req)
+	if err != nil {
+		return filestore.FileInfo{}, err
+	}
+	infos, err := decodeFileList(resp.Find(service.NSDAIF, "FileList"))
+	if err != nil || len(infos) != 1 {
+		return filestore.FileInfo{}, fmt.Errorf("client: StatFile returned %d entries (%v)", len(infos), err)
+	}
+	return infos[0], nil
+}
+
+// FileSelectFactory stages the files matching the pattern into a
+// derived resource and returns its reference.
+func (c *Client) FileSelectFactory(ref ResourceRef, pattern string, cfg *core.Configuration) (ResourceRef, error) {
+	req := service.NewRequest(service.NSDAIF, "FileSelectFactoryRequest", ref.AbstractName)
+	req.AddText(service.NSDAIF, "Pattern", pattern)
+	if cfg != nil {
+		req.AppendChild(cfg.Element())
+	}
+	resp, err := c.call(ref.Address, service.ActFileSelectFactory, req)
+	if err != nil {
+		return ResourceRef{}, err
+	}
+	return refFromResponse(resp)
+}
+
+func decodeFileList(list *xmlutil.Element) ([]filestore.FileInfo, error) {
+	if list == nil {
+		return nil, fmt.Errorf("client: response missing FileList")
+	}
+	var out []filestore.FileInfo
+	for _, f := range list.FindAll(service.NSDAIF, "File") {
+		fi := filestore.FileInfo{Name: f.AttrValue("", "name")}
+		fmt.Sscanf(f.AttrValue("", "size"), "%d", &fi.Size)
+		if ts, err := time.Parse(time.RFC3339Nano, f.AttrValue("", "modified")); err == nil {
+			fi.Modified = ts
+		}
+		out = append(out, fi)
+	}
+	return out, nil
+}

@@ -1,0 +1,203 @@
+package client
+
+import (
+	"fmt"
+
+	"dais/internal/core"
+	"dais/internal/service"
+	"dais/internal/xmlutil"
+)
+
+// SequenceItem is one decoded entry of an XMLSequence response.
+type SequenceItem struct {
+	Document string
+	Node     *xmlutil.Element // nil for scalar results
+	Value    string
+}
+
+// decodeSequence converts an XMLSequence element into items.
+func decodeSequence(seq *xmlutil.Element) ([]SequenceItem, error) {
+	if seq == nil {
+		return nil, fmt.Errorf("client: response missing XMLSequence")
+	}
+	var out []SequenceItem
+	for _, item := range seq.FindAll(service.NSDAIX, "Item") {
+		si := SequenceItem{Document: item.AttrValue("", "document")}
+		if v := item.Find(service.NSDAIX, "Value"); v != nil {
+			si.Value = v.Text()
+		} else if kids := item.ChildElements(); len(kids) > 0 {
+			si.Node = kids[0]
+			si.Value = kids[0].Text()
+		}
+		out = append(out, si)
+	}
+	return out, nil
+}
+
+// AddDocument stores a document in an XML collection resource.
+func (c *Client) AddDocument(ref ResourceRef, name string, doc *xmlutil.Element) error {
+	req := service.NewRequest(service.NSDAIX, "AddDocumentRequest", ref.AbstractName)
+	req.AddText(service.NSDAIX, "DocumentName", name)
+	wrap := req.Add(service.NSDAIX, "Document")
+	wrap.AppendChild(doc.Clone())
+	_, err := c.call(ref.Address, service.ActAddDocument, req)
+	return err
+}
+
+// GetDocument fetches a document by name.
+func (c *Client) GetDocument(ref ResourceRef, name string) (*xmlutil.Element, error) {
+	req := service.NewRequest(service.NSDAIX, "GetDocumentRequest", ref.AbstractName)
+	req.AddText(service.NSDAIX, "DocumentName", name)
+	resp, err := c.call(ref.Address, service.ActGetDocument, req)
+	if err != nil {
+		return nil, err
+	}
+	wrap := resp.Find(service.NSDAIX, "Document")
+	if wrap == nil || len(wrap.ChildElements()) != 1 {
+		return nil, fmt.Errorf("client: response missing Document")
+	}
+	return wrap.ChildElements()[0], nil
+}
+
+// RemoveDocument deletes a document by name.
+func (c *Client) RemoveDocument(ref ResourceRef, name string) error {
+	req := service.NewRequest(service.NSDAIX, "RemoveDocumentRequest", ref.AbstractName)
+	req.AddText(service.NSDAIX, "DocumentName", name)
+	_, err := c.call(ref.Address, service.ActRemoveDocument, req)
+	return err
+}
+
+// ListDocuments lists the collection's document names.
+func (c *Client) ListDocuments(ref ResourceRef) ([]string, error) {
+	req := service.NewRequest(service.NSDAIX, "ListDocumentsRequest", ref.AbstractName)
+	resp, err := c.call(ref.Address, service.ActListDocuments, req)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, el := range resp.FindAll(service.NSDAIX, "DocumentName") {
+		out = append(out, el.Text())
+	}
+	return out, nil
+}
+
+// CreateSubcollection creates a child collection.
+func (c *Client) CreateSubcollection(ref ResourceRef, name string) error {
+	req := service.NewRequest(service.NSDAIX, "CreateSubcollectionRequest", ref.AbstractName)
+	req.AddText(service.NSDAIX, "CollectionName", name)
+	_, err := c.call(ref.Address, service.ActCreateSubcollection, req)
+	return err
+}
+
+// RemoveSubcollection removes a child collection.
+func (c *Client) RemoveSubcollection(ref ResourceRef, name string) error {
+	req := service.NewRequest(service.NSDAIX, "RemoveSubcollectionRequest", ref.AbstractName)
+	req.AddText(service.NSDAIX, "CollectionName", name)
+	_, err := c.call(ref.Address, service.ActRemoveSubcollection, req)
+	return err
+}
+
+// ListSubcollections lists child collections.
+func (c *Client) ListSubcollections(ref ResourceRef) ([]string, error) {
+	req := service.NewRequest(service.NSDAIX, "ListSubcollectionsRequest", ref.AbstractName)
+	resp, err := c.call(ref.Address, service.ActListSubcollections, req)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, el := range resp.FindAll(service.NSDAIX, "CollectionName") {
+		out = append(out, el.Text())
+	}
+	return out, nil
+}
+
+// XPathExecute runs an XPath across the collection (direct access).
+func (c *Client) XPathExecute(ref ResourceRef, expr string) ([]SequenceItem, error) {
+	req := service.NewRequest(service.NSDAIX, "XPathExecuteRequest", ref.AbstractName)
+	req.AddText(service.NSDAIX, "Expression", expr)
+	resp, err := c.call(ref.Address, service.ActXPathExecute, req)
+	if err != nil {
+		return nil, err
+	}
+	return decodeSequence(resp.Find(service.NSDAIX, "XMLSequence"))
+}
+
+// XQueryExecute runs an XQuery across the collection.
+func (c *Client) XQueryExecute(ref ResourceRef, query string) ([]SequenceItem, error) {
+	req := service.NewRequest(service.NSDAIX, "XQueryExecuteRequest", ref.AbstractName)
+	req.AddText(service.NSDAIX, "Expression", query)
+	resp, err := c.call(ref.Address, service.ActXQueryExecute, req)
+	if err != nil {
+		return nil, err
+	}
+	return decodeSequence(resp.Find(service.NSDAIX, "XMLSequence"))
+}
+
+// XUpdateExecute applies an XUpdate modifications document to one
+// stored document, returning the number of nodes affected.
+func (c *Client) XUpdateExecute(ref ResourceRef, docName string, modifications *xmlutil.Element) (int, error) {
+	req := service.NewRequest(service.NSDAIX, "XUpdateExecuteRequest", ref.AbstractName)
+	req.AddText(service.NSDAIX, "DocumentName", docName)
+	req.AppendChild(modifications.Clone())
+	resp, err := c.call(ref.Address, service.ActXUpdateExecute, req)
+	if err != nil {
+		return 0, err
+	}
+	var n int
+	fmt.Sscanf(resp.FindText(service.NSDAIX, "NodesModified"), "%d", &n)
+	return n, nil
+}
+
+// XPathExecuteFactory derives a sequence resource from an XPath query.
+func (c *Client) XPathExecuteFactory(ref ResourceRef, expr string, cfg *core.Configuration) (ResourceRef, error) {
+	req := service.NewRequest(service.NSDAIX, "XPathExecuteFactoryRequest", ref.AbstractName)
+	req.AddText(service.NSDAIX, "Expression", expr)
+	if cfg != nil {
+		req.AppendChild(cfg.Element())
+	}
+	resp, err := c.call(ref.Address, service.ActXPathFactory, req)
+	if err != nil {
+		return ResourceRef{}, err
+	}
+	return refFromResponse(resp)
+}
+
+// XQueryExecuteFactory derives a sequence resource from an XQuery.
+func (c *Client) XQueryExecuteFactory(ref ResourceRef, query string, cfg *core.Configuration) (ResourceRef, error) {
+	req := service.NewRequest(service.NSDAIX, "XQueryExecuteFactoryRequest", ref.AbstractName)
+	req.AddText(service.NSDAIX, "Expression", query)
+	if cfg != nil {
+		req.AppendChild(cfg.Element())
+	}
+	resp, err := c.call(ref.Address, service.ActXQueryFactory, req)
+	if err != nil {
+		return ResourceRef{}, err
+	}
+	return refFromResponse(resp)
+}
+
+// CollectionFactory derives a live sub-collection resource.
+func (c *Client) CollectionFactory(ref ResourceRef, name string, cfg *core.Configuration) (ResourceRef, error) {
+	req := service.NewRequest(service.NSDAIX, "CollectionFactoryRequest", ref.AbstractName)
+	req.AddText(service.NSDAIX, "CollectionName", name)
+	if cfg != nil {
+		req.AppendChild(cfg.Element())
+	}
+	resp, err := c.call(ref.Address, service.ActCollectionFactory, req)
+	if err != nil {
+		return ResourceRef{}, err
+	}
+	return refFromResponse(resp)
+}
+
+// GetItems pages through a derived sequence resource.
+func (c *Client) GetItems(ref ResourceRef, startPosition, count int) ([]SequenceItem, error) {
+	req := service.NewRequest(service.NSDAIX, "GetItemsRequest", ref.AbstractName)
+	req.AddText(service.NSDAIX, "StartPosition", fmt.Sprintf("%d", startPosition))
+	req.AddText(service.NSDAIX, "Count", fmt.Sprintf("%d", count))
+	resp, err := c.call(ref.Address, service.ActGetItems, req)
+	if err != nil {
+		return nil, err
+	}
+	return decodeSequence(resp.Find(service.NSDAIX, "XMLSequence"))
+}

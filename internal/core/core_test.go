@@ -1,0 +1,380 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dais/internal/xmlutil"
+)
+
+// fakeResource is a minimal DataResource for core-level tests.
+type fakeResource struct {
+	BaseResource
+	langs    []string
+	formats  []string
+	released bool
+	mu       sync.Mutex
+}
+
+func (f *fakeResource) QueryLanguages() []string { return f.langs }
+func (f *fakeResource) DatasetFormats() []string { return f.formats }
+
+func (f *fakeResource) GenericQuery(lang, expr string) (*xmlutil.Element, error) {
+	e := xmlutil.NewElement(NSDAI, "Result")
+	e.SetText(lang + ":" + expr)
+	return e, nil
+}
+
+func (f *fakeResource) Release() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.released = true
+	return nil
+}
+
+func (f *fakeResource) wasReleased() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.released
+}
+
+func newFake(name string, mgmt Management) *fakeResource {
+	return &fakeResource{
+		BaseResource: BaseResource{
+			Name:   name,
+			Mgmt:   mgmt,
+			Config: Configuration{Readable: true, Writeable: true, TransactionIsolation: "READ COMMITTED"},
+		},
+		langs:   []string{"urn:sql"},
+		formats: []string{"urn:fmt:x"},
+	}
+}
+
+func TestAbstractNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		n := NewAbstractName("sql")
+		if !strings.HasPrefix(n, "urn:dais:sql:") {
+			t.Fatalf("name = %q", n)
+		}
+		if seen[n] {
+			t.Fatalf("duplicate %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestResolveAndResourceList(t *testing.T) {
+	s := NewDataService("svc")
+	r1 := newFake("urn:b", ExternallyManaged)
+	r2 := newFake("urn:a", ServiceManaged)
+	s.AddResource(r1)
+	s.AddResource(r2)
+
+	got, err := s.Resolve("urn:b")
+	if err != nil || got != DataResource(r1) {
+		t.Fatalf("resolve = %v, %v", got, err)
+	}
+	var inf *InvalidResourceNameFault
+	if _, err := s.Resolve("urn:missing"); !errors.As(err, &inf) {
+		t.Fatalf("err = %v", err)
+	}
+	list := s.GetResourceList()
+	if len(list) != 2 || list[0] != "urn:a" || list[1] != "urn:b" {
+		t.Fatalf("list = %v", list)
+	}
+}
+
+func TestDestroySemantics(t *testing.T) {
+	s := NewDataService("svc")
+	ext := newFake("urn:ext", ExternallyManaged)
+	svc := newFake("urn:svc", ServiceManaged)
+	s.AddResource(ext)
+	s.AddResource(svc)
+
+	var notified []string
+	s.OnDestroy(func(n string) { notified = append(notified, n) })
+
+	if err := s.DestroyDataResource("urn:ext"); err != nil {
+		t.Fatal(err)
+	}
+	if ext.wasReleased() {
+		t.Fatal("externally managed data must remain in place")
+	}
+	if err := s.DestroyDataResource("urn:svc"); err != nil {
+		t.Fatal(err)
+	}
+	if !svc.wasReleased() {
+		t.Fatal("service managed data must be released")
+	}
+	if len(notified) != 2 {
+		t.Fatalf("notified = %v", notified)
+	}
+	if err := s.DestroyDataResource("urn:ext"); err == nil {
+		t.Fatal("destroyed resource should be unknown")
+	}
+	if len(s.GetResourceList()) != 0 {
+		t.Fatal("resources remain listed")
+	}
+}
+
+func TestGenericQueryValidation(t *testing.T) {
+	s := NewDataService("svc")
+	r := newFake("urn:r", ExternallyManaged)
+	s.AddResource(r)
+
+	res, err := s.GenericQuery("urn:r", "urn:sql", "SELECT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Text() != "urn:sql:SELECT 1" {
+		t.Fatalf("res = %q", res.Text())
+	}
+	var ilf *InvalidLanguageFault
+	if _, err := s.GenericQuery("urn:r", "urn:xquery", "x"); !errors.As(err, &ilf) {
+		t.Fatalf("err = %v", err)
+	}
+	var irf *InvalidResourceNameFault
+	if _, err := s.GenericQuery("urn:none", "urn:sql", "x"); !errors.As(err, &irf) {
+		t.Fatalf("err = %v", err)
+	}
+	// Unreadable resource refuses queries.
+	r.Config.Readable = false
+	var naf *NotAuthorizedFault
+	if _, err := s.GenericQuery("urn:r", "urn:sql", "x"); !errors.As(err, &naf) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPropertyDocumentShape(t *testing.T) {
+	s := NewDataService("svc",
+		WithConcurrentAccess(true),
+		WithConfigurationMap(ConfigurationMapEntry{
+			MessageName: "SQLExecuteFactoryRequest",
+			PortType:    "dair:SQLResponseAccess",
+			Default:     DefaultConfiguration(),
+		}))
+	r := newFake("urn:r", ServiceManaged)
+	r.Parent = "urn:parent"
+	r.Config.Description = "derived result"
+	r.formats = []string{"urn:fmt:a", "urn:fmt:b"}
+	s.AddResource(r)
+
+	doc, err := s.GetDataResourcePropertyDocument("urn:r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.FindText(NSDAI, "DataResourceAbstractName") != "urn:r" {
+		t.Fatal("abstract name")
+	}
+	if doc.FindText(NSDAI, "ParentDataResource") != "urn:parent" {
+		t.Fatal("parent")
+	}
+	if doc.FindText(NSDAI, "DataResourceManagement") != "ServiceManaged" {
+		t.Fatal("management")
+	}
+	if doc.FindText(NSDAI, "ConcurrentAccess") != "true" {
+		t.Fatal("concurrent access")
+	}
+	if len(doc.FindAll(NSDAI, "DatasetMap")) != 2 {
+		t.Fatal("dataset maps")
+	}
+	cm := doc.Find(NSDAI, "ConfigurationMap")
+	if cm == nil || cm.FindText(NSDAI, "MessageName") != "SQLExecuteFactoryRequest" {
+		t.Fatalf("configuration map = %v", cm)
+	}
+	if doc.FindText(NSDAI, "GenericQueryLanguage") != "urn:sql" {
+		t.Fatal("query language")
+	}
+	if doc.FindText(NSDAI, "DataResourceDescription") != "derived result" {
+		t.Fatal("description")
+	}
+	for _, p := range []string{"Readable", "Writeable", "TransactionInitiation", "TransactionIsolation", "Sensitivity"} {
+		if doc.Find(NSDAI, p) == nil {
+			t.Fatalf("missing configurable property %s", p)
+		}
+	}
+	// The document must serialise and reparse.
+	if _, err := xmlutil.ParseString(xmlutil.MarshalString(doc)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigurationRoundTrip(t *testing.T) {
+	in := Configuration{
+		Description:           "test resource",
+		Readable:              true,
+		Writeable:             true,
+		TransactionInitiation: TransactionPerMessage,
+		TransactionIsolation:  "SERIALIZABLE",
+		Sensitivity:           Sensitive,
+	}
+	out, err := ParseConfiguration(in.Element())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestParseConfigurationDefaults(t *testing.T) {
+	c, err := ParseConfiguration(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Readable || c.Writeable || c.TransactionInitiation != TransactionNotSupported {
+		t.Fatalf("defaults = %+v", c)
+	}
+	// Partial document keeps defaults for missing fields.
+	e := xmlutil.NewElement(NSDAI, "ConfigurationDocument")
+	e.AddText(NSDAI, "Writeable", "true")
+	c, err = ParseConfiguration(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Readable || !c.Writeable {
+		t.Fatalf("partial = %+v", c)
+	}
+	// Invalid boolean errors.
+	bad := xmlutil.NewElement(NSDAI, "ConfigurationDocument")
+	bad.AddText(NSDAI, "Readable", "maybe")
+	if _, err := ParseConfiguration(bad); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestEnumParsers(t *testing.T) {
+	for _, m := range []Management{ExternallyManaged, ServiceManaged} {
+		got, err := ParseManagement(m.String())
+		if err != nil || got != m {
+			t.Fatalf("management %v: %v %v", m, got, err)
+		}
+	}
+	for _, ti := range []TransactionInitiation{TransactionNotSupported, TransactionPerMessage, TransactionConsumerControlled} {
+		got, err := ParseTransactionInitiation(ti.String())
+		if err != nil || got != ti {
+			t.Fatalf("initiation %v: %v %v", ti, got, err)
+		}
+	}
+	for _, sv := range []Sensitivity{Insensitive, Sensitive} {
+		got, err := ParseSensitivity(sv.String())
+		if err != nil || got != sv {
+			t.Fatalf("sensitivity %v: %v %v", sv, got, err)
+		}
+	}
+	if _, err := ParseManagement("Nonsense"); err == nil {
+		t.Fatal("bad management")
+	}
+	if _, err := ParseTransactionInitiation("Nonsense"); err == nil {
+		t.Fatal("bad initiation")
+	}
+	if _, err := ParseSensitivity("Nonsense"); err == nil {
+		t.Fatal("bad sensitivity")
+	}
+}
+
+func TestFaultNames(t *testing.T) {
+	cases := map[error]string{
+		&InvalidResourceNameFault{Name: "x"}: "InvalidResourceNameFault",
+		&InvalidLanguageFault{Language: "l"}: "InvalidLanguageFault",
+		&InvalidDatasetFormatFault{}:         "InvalidDatasetFormatFault",
+		&NotAuthorizedFault{Reason: "r"}:     "NotAuthorizedFault",
+		&InvalidExpressionFault{Detail: "d"}: "InvalidExpressionFault",
+		&ServiceBusyFault{}:                  "ServiceBusyFault",
+		errors.New("plain"):                  "",
+	}
+	for err, want := range cases {
+		if got := FaultName(err); got != want {
+			t.Errorf("FaultName(%v) = %q, want %q", err, got, want)
+		}
+		if want != "" && !strings.Contains(err.Error(), want) {
+			t.Errorf("Error() for %q should mention the fault name: %q", want, err.Error())
+		}
+	}
+}
+
+func TestConcurrentAccessGate(t *testing.T) {
+	s := NewDataService("serial", WithConcurrentAccess(false))
+	if s.ConcurrentAccess() {
+		t.Fatal("expected serialised service")
+	}
+	var active, maxActive int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release := s.Enter()
+			mu.Lock()
+			active++
+			if active > maxActive {
+				maxActive = active
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			active--
+			mu.Unlock()
+			release()
+		}()
+	}
+	wg.Wait()
+	if maxActive != 1 {
+		t.Fatalf("maxActive = %d, want 1", maxActive)
+	}
+
+	// Concurrent service allows overlap.
+	c := NewDataService("parallel")
+	var cActive, cMax int
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release := c.Enter()
+			mu.Lock()
+			cActive++
+			if cActive > cMax {
+				cMax = cActive
+			}
+			mu.Unlock()
+			time.Sleep(2 * time.Millisecond)
+			mu.Lock()
+			cActive--
+			mu.Unlock()
+			release()
+		}()
+	}
+	wg.Wait()
+	if cMax < 2 {
+		t.Fatalf("cMax = %d, expected overlap", cMax)
+	}
+}
+
+func TestCheckHelpers(t *testing.T) {
+	r := newFake("urn:r", ExternallyManaged)
+	if err := CheckReadable(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckWriteable(r); err != nil {
+		t.Fatal(err)
+	}
+	r.Config.Readable = false
+	r.Config.Writeable = false
+	if err := CheckReadable(r); err == nil {
+		t.Fatal("unreadable")
+	}
+	if err := CheckWriteable(r); err == nil {
+		t.Fatal("unwriteable")
+	}
+	if err := CheckLanguage(r, "urn:sql"); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckLanguage(r, "urn:other"); err == nil {
+		t.Fatal("bad language")
+	}
+}

@@ -1,0 +1,82 @@
+// Package core implements the WS-DAI model: data resources with
+// abstract names, data services that expose them, the property
+// document describing the data service / data resource relationship,
+// and the core operations every realisation inherits
+// (GetDataResourcePropertyDocument, GenericQuery, DestroyDataResource)
+// plus the optional CoreResourceList (GetResourceList, Resolve).
+//
+// The WS-DAIR and WS-DAIX realisations (internal/dair, internal/daix)
+// extend these types with model-specific properties and operations, as
+// the specifications prescribe (paper §4.1: "The WS-DAI specification
+// defines a set of core properties and operations that are independent
+// of any particular data model ... These are then extended by
+// realisations").
+package core
+
+import "fmt"
+
+// The DAIS fault taxonomy. Service layers map these to SOAP faults
+// with the matching detail element names.
+type (
+	// InvalidResourceNameFault reports an unknown data resource
+	// abstract name.
+	InvalidResourceNameFault struct{ Name string }
+	// InvalidLanguageFault reports a query language the resource does
+	// not accept.
+	InvalidLanguageFault struct{ Language string }
+	// InvalidDatasetFormatFault reports an unsupported DataFormatURI.
+	InvalidDatasetFormatFault struct{ Format string }
+	// NotAuthorizedFault reports a read of a non-readable resource or a
+	// write to a non-writeable one.
+	NotAuthorizedFault struct{ Reason string }
+	// InvalidExpressionFault reports a malformed query expression.
+	InvalidExpressionFault struct{ Detail string }
+	// ServiceBusyFault reports that the service cannot accept the
+	// request (e.g. ConcurrentAccess=false and a request is in flight).
+	ServiceBusyFault struct{}
+)
+
+func (f *InvalidResourceNameFault) Error() string {
+	return fmt.Sprintf("dais: InvalidResourceNameFault: unknown data resource %q", f.Name)
+}
+
+func (f *InvalidLanguageFault) Error() string {
+	return fmt.Sprintf("dais: InvalidLanguageFault: unsupported query language %q", f.Language)
+}
+
+func (f *InvalidDatasetFormatFault) Error() string {
+	return fmt.Sprintf("dais: InvalidDatasetFormatFault: unsupported dataset format %q", f.Format)
+}
+
+func (f *NotAuthorizedFault) Error() string {
+	return fmt.Sprintf("dais: NotAuthorizedFault: %s", f.Reason)
+}
+
+func (f *InvalidExpressionFault) Error() string {
+	return fmt.Sprintf("dais: InvalidExpressionFault: %s", f.Detail)
+}
+
+func (f *ServiceBusyFault) Error() string {
+	return "dais: ServiceBusyFault: service does not support concurrent access"
+}
+
+// FaultName returns the DAIS fault element name for a typed fault, or
+// "" for other errors. The service layer uses it to build fault detail
+// elements.
+func FaultName(err error) string {
+	switch err.(type) {
+	case *InvalidResourceNameFault:
+		return "InvalidResourceNameFault"
+	case *InvalidLanguageFault:
+		return "InvalidLanguageFault"
+	case *InvalidDatasetFormatFault:
+		return "InvalidDatasetFormatFault"
+	case *NotAuthorizedFault:
+		return "NotAuthorizedFault"
+	case *InvalidExpressionFault:
+		return "InvalidExpressionFault"
+	case *ServiceBusyFault:
+		return "ServiceBusyFault"
+	}
+	return ""
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"dais/internal/xmlutil"
+)
+
+// DataService is a service that "provides access to a data resource ...
+// a data service may represent zero or more data resources" (paper §3).
+// It owns the resource registry behind the WS-DAI core operations and
+// the optional CoreResourceList interface.
+type DataService struct {
+	mu        sync.RWMutex
+	name      string
+	address   string // endpoint URL, used when minting EPRs
+	resources map[string]DataResource
+	// concurrent mirrors the ConcurrentAccess property. When false, a
+	// semaphore serialises all operations through the service.
+	concurrent bool
+	gate       chan struct{}
+	// configMaps advertises factory message -> interface associations.
+	configMaps []ConfigurationMapEntry
+	// onDestroy hooks observe resource destruction (the service layer
+	// uses it to unregister WSRF resources).
+	onDestroy []func(name string)
+}
+
+// ServiceOption configures a DataService.
+type ServiceOption func(*DataService)
+
+// WithConcurrentAccess sets the ConcurrentAccess property. The default
+// is true; with false the service serialises every request.
+func WithConcurrentAccess(ok bool) ServiceOption {
+	return func(s *DataService) { s.concurrent = ok }
+}
+
+// WithAddress records the service endpoint URL for EPR construction.
+func WithAddress(url string) ServiceOption {
+	return func(s *DataService) { s.address = url }
+}
+
+// WithConfigurationMap appends ConfigurationMap property entries.
+func WithConfigurationMap(entries ...ConfigurationMapEntry) ServiceOption {
+	return func(s *DataService) { s.configMaps = append(s.configMaps, entries...) }
+}
+
+// NewDataService creates an empty data service.
+func NewDataService(name string, opts ...ServiceOption) *DataService {
+	s := &DataService{
+		name:       name,
+		resources:  map[string]DataResource{},
+		concurrent: true,
+		gate:       make(chan struct{}, 1),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Name returns the service name.
+func (s *DataService) Name() string { return s.name }
+
+// Address returns the service endpoint URL ("" when unset).
+func (s *DataService) Address() string { return s.address }
+
+// SetAddress updates the endpoint URL (set when the HTTP listener
+// starts).
+func (s *DataService) SetAddress(url string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.address = url
+}
+
+// ConcurrentAccess reports the ConcurrentAccess property.
+func (s *DataService) ConcurrentAccess() bool { return s.concurrent }
+
+// ConfigurationMaps returns the advertised ConfigurationMap entries.
+func (s *DataService) ConfigurationMaps() []ConfigurationMapEntry {
+	return append([]ConfigurationMapEntry(nil), s.configMaps...)
+}
+
+// OnDestroy registers a destruction observer.
+func (s *DataService) OnDestroy(f func(name string)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onDestroy = append(s.onDestroy, f)
+}
+
+// Enter acquires the service for one operation; the returned func
+// releases it. With ConcurrentAccess=true both are no-ops. This models
+// the §4.2 ConcurrentAccess property: "a boolean indicating whether the
+// data service supports concurrent access or not".
+func (s *DataService) Enter() func() {
+	if s.concurrent {
+		return func() {}
+	}
+	s.gate <- struct{}{}
+	return func() { <-s.gate }
+}
+
+// AddResource registers a data resource with the service.
+func (s *DataService) AddResource(r DataResource) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.resources[r.AbstractName()] = r
+}
+
+// Resolve implements the CoreResourceList Resolve operation at the
+// model level: it checks that the abstract name is known. The service
+// layer wraps the result in an EPR whose reference parameters carry the
+// name (paper §3).
+func (s *DataService) Resolve(abstractName string) (DataResource, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.resources[abstractName]
+	if !ok {
+		return nil, &InvalidResourceNameFault{Name: abstractName}
+	}
+	return r, nil
+}
+
+// GetResourceList implements the CoreResourceList GetResourceList
+// operation: "the list of data resources known to a data service"
+// (paper §4.3), sorted for determinism.
+func (s *DataService) GetResourceList() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.resources))
+	for n := range s.resources {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DestroyDataResource implements the WS-DAI operation of the same name:
+// it "destroys the relationship between the data service and the data
+// resource" (paper §4.3). Service-managed resources release their data;
+// externally managed data remains in place.
+func (s *DataService) DestroyDataResource(abstractName string) error {
+	s.mu.Lock()
+	r, ok := s.resources[abstractName]
+	if !ok {
+		s.mu.Unlock()
+		return &InvalidResourceNameFault{Name: abstractName}
+	}
+	delete(s.resources, abstractName)
+	observers := append([]func(string){}, s.onDestroy...)
+	s.mu.Unlock()
+
+	var err error
+	if r.Management() == ServiceManaged {
+		err = r.Release()
+	}
+	for _, f := range observers {
+		f(abstractName)
+	}
+	return err
+}
+
+// GenericQuery implements the WS-DAI GenericQuery operation: it
+// validates the language against the resource's GenericQueryLanguage
+// properties and delegates to the resource.
+func (s *DataService) GenericQuery(abstractName, languageURI, expression string) (*xmlutil.Element, error) {
+	r, err := s.Resolve(abstractName)
+	if err != nil {
+		return nil, err
+	}
+	if err := CheckLanguage(r, languageURI); err != nil {
+		return nil, err
+	}
+	if err := CheckReadable(r); err != nil {
+		return nil, err
+	}
+	return r.GenericQuery(languageURI, expression)
+}
+
+// GetDataResourcePropertyDocument implements the WS-DAI operation: the
+// whole property document for the named resource (paper §4.3 — finer
+// granularity requires WSRF, see internal/wsrf).
+func (s *DataService) GetDataResourcePropertyDocument(abstractName string) (*xmlutil.Element, error) {
+	r, err := s.Resolve(abstractName)
+	if err != nil {
+		return nil, err
+	}
+	return s.BuildPropertyDocument(r), nil
+}
+
+// BuildPropertyDocument assembles the WS-DAI property document for a
+// resource as Fig. 4 lays it out: the static properties
+// (DataResourceAbstractName, ParentDataResource,
+// DataResourceManagement, ConcurrentAccess, DatasetMap,
+// ConfigurationMap, GenericQueryLanguage) followed by the configurable
+// ones (DataResourceDescription, Readable, Writeable,
+// TransactionInitiation, TransactionIsolation, Sensitivity) and any
+// realisation extensions.
+func (s *DataService) BuildPropertyDocument(r DataResource) *xmlutil.Element {
+	doc := xmlutil.NewElement(NSDAI, "DataResourcePropertyDocument")
+	// Static properties.
+	doc.AddText(NSDAI, "DataResourceAbstractName", r.AbstractName())
+	parent := doc.Add(NSDAI, "ParentDataResource")
+	if p := r.ParentName(); p != "" {
+		parent.SetText(p)
+	}
+	doc.AddText(NSDAI, "DataResourceManagement", r.Management().String())
+	doc.AddText(NSDAI, "ConcurrentAccess", boolStr(s.concurrent))
+	for _, f := range r.DatasetFormats() {
+		dm := doc.Add(NSDAI, "DatasetMap")
+		dm.AddText(NSDAI, "MessageFormat", f)
+	}
+	for _, m := range s.configMaps {
+		doc.AppendChild(m.Element())
+	}
+	for _, l := range r.QueryLanguages() {
+		doc.AddText(NSDAI, "GenericQueryLanguage", l)
+	}
+	// Configurable properties.
+	cfg := r.Configuration()
+	if cfg.Description != "" {
+		doc.AddText(NSDAI, "DataResourceDescription", cfg.Description)
+	}
+	doc.AddText(NSDAI, "Readable", boolStr(cfg.Readable))
+	doc.AddText(NSDAI, "Writeable", boolStr(cfg.Writeable))
+	doc.AddText(NSDAI, "TransactionInitiation", cfg.TransactionInitiation.String())
+	doc.AddText(NSDAI, "TransactionIsolation", cfg.TransactionIsolation)
+	doc.AddText(NSDAI, "Sensitivity", cfg.Sensitivity.String())
+	// Realisation extensions.
+	for _, e := range r.ExtendedProperties() {
+		doc.AppendChild(e.Clone())
+	}
+	return doc
+}

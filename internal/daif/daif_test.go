@@ -1,0 +1,186 @@
+package daif
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"dais/internal/core"
+	"dais/internal/filestore"
+)
+
+func seedFiles(t testing.TB) *FileDataResource {
+	t.Helper()
+	store := filestore.NewStore("grid")
+	for name, data := range map[string]string{
+		"runs/2005/a.dat": "run-a-data",
+		"runs/2005/b.dat": "run-b-data",
+		"runs/2006/c.dat": "run-c",
+		"calib/atlas.cal": "calibration",
+	} {
+		if err := store.Write(name, []byte(data)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return NewFileDataResource(store)
+}
+
+func TestFileAccessOps(t *testing.T) {
+	r := seedFiles(t)
+	data, err := r.ReadFile("runs/2005/a.dat", 0, -1)
+	if err != nil || string(data) != "run-a-data" {
+		t.Fatalf("read = %q, %v", data, err)
+	}
+	part, err := r.ReadFile("runs/2005/a.dat", 4, 1)
+	if err != nil || string(part) != "a" {
+		t.Fatalf("range = %q, %v", part, err)
+	}
+	if err := r.WriteFile("new.txt", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AppendFile("new.txt", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := r.ReadFile("new.txt", 0, -1)
+	if string(got) != "xy" {
+		t.Fatalf("got %q", got)
+	}
+	info, err := r.StatFile("new.txt")
+	if err != nil || info.Size != 2 {
+		t.Fatalf("stat = %+v, %v", info, err)
+	}
+	if err := r.DeleteFile("new.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadFile("new.txt", 0, -1); err == nil {
+		t.Fatal("deleted file readable")
+	}
+	infos, err := r.ListFiles("runs/**")
+	if err != nil || len(infos) != 3 {
+		t.Fatalf("list = %v, %v", infos, err)
+	}
+}
+
+func TestGenericQueryGlob(t *testing.T) {
+	r := seedFiles(t)
+	list, err := r.GenericQuery(LanguageGlob, "runs/2005/*.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := list.FindAll(NSDAIF, "File")
+	if len(files) != 2 || files[0].AttrValue("", "name") != "runs/2005/a.dat" {
+		t.Fatalf("files = %v", files)
+	}
+	if files[0].AttrValue("", "size") != "10" {
+		t.Fatalf("size = %s", files[0].AttrValue("", "size"))
+	}
+	var ilf *core.InvalidLanguageFault
+	if _, err := r.GenericQuery("urn:sql", "SELECT"); !errors.As(err, &ilf) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReadWriteEnforcement(t *testing.T) {
+	store := filestore.NewStore("s")
+	cfg := core.Configuration{Readable: false, Writeable: false}
+	r := NewFileDataResource(store, WithFileConfiguration(cfg))
+	var naf *core.NotAuthorizedFault
+	if _, err := r.ReadFile("x", 0, -1); !errors.As(err, &naf) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := r.WriteFile("x", nil); !errors.As(err, &naf) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := r.ListFiles(""); !errors.As(err, &naf) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := r.DeleteFile("x"); !errors.As(err, &naf) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExtendedProperties(t *testing.T) {
+	r := seedFiles(t)
+	props := r.ExtendedProperties()
+	got := map[string]string{}
+	for _, p := range props {
+		got[p.Name.Local] = p.Text()
+	}
+	if got["NumberOfFiles"] != "4" {
+		t.Fatalf("props = %v", got)
+	}
+	if got["TotalSize"] == "0" || got["TotalSize"] == "" {
+		t.Fatalf("props = %v", got)
+	}
+}
+
+func TestFileSelectFactoryStaging(t *testing.T) {
+	src := seedFiles(t)
+	ds := core.NewDataService("staging")
+	staged, err := FileSelectFactory(src, ds, "runs/2005/*", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if staged.Management() != core.ServiceManaged || staged.ParentName() != src.AbstractName() {
+		t.Fatal("derived resource wiring wrong")
+	}
+	if _, err := ds.Resolve(staged.AbstractName()); err != nil {
+		t.Fatal("not registered")
+	}
+	names := staged.Names()
+	if len(names) != 2 {
+		t.Fatalf("names = %v", names)
+	}
+	data, err := staged.ReadFile("runs/2005/a.dat", 0, -1)
+	if err != nil || string(data) != "run-a-data" {
+		t.Fatalf("staged read = %q, %v", data, err)
+	}
+
+	// The snapshot is pinned: mutating the parent does not change it.
+	if err := src.WriteFile("runs/2005/a.dat", []byte("MUTATED")); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = staged.ReadFile("runs/2005/a.dat", 0, -1)
+	if !bytes.Equal(data, []byte("run-a-data")) {
+		t.Fatalf("staged data changed: %q", data)
+	}
+
+	// Glob queries work on the staged set.
+	infos, err := staged.ListFiles("**/*.dat")
+	if err != nil || len(infos) != 2 {
+		t.Fatalf("list = %v, %v", infos, err)
+	}
+	list, err := staged.GenericQuery(LanguageGlob, "")
+	if err != nil || len(list.FindAll(NSDAIF, "File")) != 2 {
+		t.Fatalf("query = %v, %v", list, err)
+	}
+
+	// Destroy releases the snapshot.
+	if err := ds.DestroyDataResource(staged.AbstractName()); err != nil {
+		t.Fatal(err)
+	}
+	if len(staged.Names()) != 0 {
+		t.Fatal("release did not drop the snapshot")
+	}
+}
+
+func TestFactoryErrors(t *testing.T) {
+	src := seedFiles(t)
+	ds := core.NewDataService("ds")
+	if _, err := FileSelectFactory(src, ds, "[bad", nil); err == nil {
+		t.Fatal("bad pattern should fail")
+	}
+	unreadable := NewFileDataResource(filestore.NewStore("s"),
+		WithFileConfiguration(core.Configuration{Readable: false}))
+	var naf *core.NotAuthorizedFault
+	if _, err := FileSelectFactory(unreadable, ds, "", nil); !errors.As(err, &naf) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStandardConfigurationMaps(t *testing.T) {
+	maps := StandardConfigurationMaps()
+	if len(maps) != 1 || maps[0].MessageName != "FileSelectFactoryRequest" {
+		t.Fatalf("maps = %+v", maps)
+	}
+}

@@ -1,0 +1,162 @@
+package daif
+
+import (
+	"fmt"
+	"sync"
+
+	"dais/internal/core"
+	"dais/internal/filestore"
+	"dais/internal/xmlutil"
+)
+
+// StagedFileResource is a derived, service-managed resource holding a
+// pinned snapshot of the files a glob selection matched at creation
+// time — the data-staging pattern of grid computing: select, pin, hand
+// the EPR to whoever needs the data, destroy (or let soft-state
+// lifetime reclaim it) when done.
+type StagedFileResource struct {
+	core.BaseResource
+	mu    sync.RWMutex
+	snap  *filestore.Store
+	names []string
+}
+
+// NewStagedFileResource snapshots the files matching the pattern.
+func NewStagedFileResource(parent string, src *filestore.Store, pattern string, cfg core.Configuration) (*StagedFileResource, error) {
+	infos, err := src.List(pattern)
+	if err != nil {
+		return nil, &core.InvalidExpressionFault{Detail: err.Error()}
+	}
+	snap := filestore.NewStore("staged")
+	names := make([]string, 0, len(infos))
+	for _, fi := range infos {
+		data, err := src.ReadAll(fi.Name)
+		if err != nil {
+			return nil, &core.InvalidExpressionFault{Detail: err.Error()}
+		}
+		if err := snap.Write(fi.Name, data); err != nil {
+			return nil, &core.InvalidExpressionFault{Detail: err.Error()}
+		}
+		names = append(names, fi.Name)
+	}
+	return &StagedFileResource{
+		BaseResource: core.BaseResource{
+			Name:   core.NewAbstractName("staged"),
+			Parent: parent,
+			Mgmt:   core.ServiceManaged,
+			Config: cfg,
+		},
+		snap:  snap,
+		names: names,
+	}, nil
+}
+
+// QueryLanguages implements core.DataResource.
+func (r *StagedFileResource) QueryLanguages() []string { return []string{LanguageGlob} }
+
+// DatasetFormats implements core.DataResource.
+func (r *StagedFileResource) DatasetFormats() []string { return []string{FormatBinary} }
+
+// GenericQuery lists the staged files matching a glob.
+func (r *StagedFileResource) GenericQuery(languageURI, expression string) (*xmlutil.Element, error) {
+	if languageURI != LanguageGlob {
+		return nil, &core.InvalidLanguageFault{Language: languageURI}
+	}
+	if err := core.CheckReadable(r); err != nil {
+		return nil, err
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	infos, err := r.snap.List(expression)
+	if err != nil {
+		return nil, &core.InvalidExpressionFault{Detail: err.Error()}
+	}
+	return FileListElement(infos), nil
+}
+
+// ExtendedProperties implements core.DataResource.
+func (r *StagedFileResource) ExtendedProperties() []*xmlutil.Element {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := xmlutil.NewElement(NSDAIF, "NumberOfFiles")
+	n.SetText(fmt.Sprintf("%d", r.snap.Count()))
+	sz := xmlutil.NewElement(NSDAIF, "TotalSize")
+	sz.SetText(fmt.Sprintf("%d", r.snap.TotalSize()))
+	return []*xmlutil.Element{n, sz}
+}
+
+// Release implements core.DataResource by dropping the snapshot.
+func (r *StagedFileResource) Release() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.snap = filestore.NewStore("released")
+	r.names = nil
+	return nil
+}
+
+// Names lists the staged file names.
+func (r *StagedFileResource) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.names...)
+}
+
+// ReadFile reads a byte range from a staged file.
+func (r *StagedFileResource) ReadFile(name string, offset, count int64) ([]byte, error) {
+	if err := core.CheckReadable(r); err != nil {
+		return nil, err
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	data, err := r.snap.Read(name, offset, count)
+	if err != nil {
+		return nil, &core.InvalidExpressionFault{Detail: err.Error()}
+	}
+	return data, nil
+}
+
+// ListFiles lists staged files matching a glob.
+func (r *StagedFileResource) ListFiles(pattern string) ([]filestore.FileInfo, error) {
+	if err := core.CheckReadable(r); err != nil {
+		return nil, err
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	infos, err := r.snap.List(pattern)
+	if err != nil {
+		return nil, &core.InvalidExpressionFault{Detail: err.Error()}
+	}
+	return infos, nil
+}
+
+// FileSelectFactory implements the WS-DAIF indirect access pattern: it
+// snapshots the files matching the glob into a new service-managed
+// resource, registers it with the target data service and returns it;
+// the service layer wraps it in an EPR (paper Fig. 3's pattern applied
+// to files).
+func FileSelectFactory(src *FileDataResource, target *core.DataService, pattern string,
+	cfg *core.Configuration) (*StagedFileResource, error) {
+	if err := core.CheckReadable(src); err != nil {
+		return nil, err
+	}
+	c := core.DefaultConfiguration()
+	if cfg != nil {
+		c = *cfg
+	}
+	res, err := NewStagedFileResource(src.AbstractName(), src.Store(), pattern, c)
+	if err != nil {
+		return nil, err
+	}
+	target.AddResource(res)
+	return res, nil
+}
+
+// StandardConfigurationMaps returns the ConfigurationMap entries a file
+// data service advertises.
+func StandardConfigurationMaps() []core.ConfigurationMapEntry {
+	return []core.ConfigurationMapEntry{{
+		MessageName: "FileSelectFactoryRequest",
+		PortType:    "daif:FileAccess",
+		Default:     core.DefaultConfiguration(),
+	}}
+}

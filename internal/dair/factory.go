@@ -1,0 +1,137 @@
+package dair
+
+import (
+	"dais/internal/core"
+	"dais/internal/rowset"
+	"dais/internal/sqlengine"
+)
+
+// PortType QNames a factory request may ask the created resource to be
+// served through (paper Fig. 3: "the QName of the port type with which
+// a data service will provide access to the resulting data").
+const (
+	PortTypeSQLAccess         = "dair:SQLAccess"
+	PortTypeSQLResponseAccess = "dair:SQLResponseAccess"
+	PortTypeSQLRowsetAccess   = "dair:SQLRowsetAccess"
+)
+
+// SQLExecuteFactory implements SQLFactory.SQLExecuteFactory (paper
+// §4.3, Figs. 3 and 5): it executes the expression against the source
+// resource, wraps the outcome as a new service-managed SQLResponse data
+// resource, registers it with the target data service and returns it.
+// The caller (service layer) converts the resource into an EPR.
+//
+// The configuration document controls the derived resource's
+// configurable properties; a nil config applies WS-DAI defaults.
+func SQLExecuteFactory(src *SQLDataResource, target *core.DataService, expression string,
+	params []sqlengine.Value, cfg *core.Configuration) (*SQLResponseResource, error) {
+	if err := core.CheckReadable(src); err != nil {
+		return nil, err
+	}
+	data, err := src.SQLExecute(expression, params)
+	if err != nil {
+		return nil, err
+	}
+	c := core.DefaultConfiguration()
+	if cfg != nil {
+		c = *cfg
+	}
+	res := NewSQLResponseResource(src.AbstractName(), data, c)
+	if c.Sensitivity == core.Sensitive {
+		// A Sensitive derived resource reflects later parent changes
+		// (paper §4.2) by re-evaluating the expression on each access.
+		expr, ps := expression, append([]sqlengine.Value(nil), params...)
+		res.setRefresh(func() (*SQLResponseData, error) {
+			return src.SQLExecute(expr, ps)
+		})
+	}
+	target.AddResource(res)
+	return res, nil
+}
+
+// SQLRowsetFactory implements ResponseFactory.SQLRowsetFactory (paper
+// Fig. 5): from an existing SQLResponse resource it creates a new
+// service-managed rowset resource holding the response's rowset in the
+// requested dataset format, registers it with the target service and
+// returns it. Count limits the number of rows copied into the derived
+// resource (0 = all), mirroring the Count element of the
+// SQLRowsetFactoryRequest message.
+func SQLRowsetFactory(src *SQLResponseResource, target *core.DataService, formatURI string,
+	count int, cfg *core.Configuration) (*SQLRowsetResource, error) {
+	if err := core.CheckReadable(src); err != nil {
+		return nil, err
+	}
+	set, err := src.GetSQLRowset(0)
+	if err != nil {
+		return nil, err
+	}
+	copied := &sqlengine.ResultSet{Columns: set.Columns}
+	if count <= 0 || count > len(set.Rows) {
+		count = len(set.Rows)
+	}
+	copied.Rows = append(copied.Rows, set.Rows[:count]...)
+
+	c := core.DefaultConfiguration()
+	if cfg != nil {
+		c = *cfg
+	}
+	res, err := NewSQLRowsetResource(src.AbstractName(), copied, formatURI, c)
+	if err != nil {
+		return nil, err
+	}
+	target.AddResource(res)
+	return res, nil
+}
+
+// RowsetFromSQL is a convenience composing both factories when no
+// intermediate response resource is needed: it executes a query and
+// directly materialises a rowset resource (the short-cut the paper
+// notes at the end of §4.2: "all that would be required is for Data
+// Service 1 to support the SQLResponseFactory interface").
+func RowsetFromSQL(src *SQLDataResource, target *core.DataService, expression string,
+	params []sqlengine.Value, formatURI string, cfg *core.Configuration) (*SQLRowsetResource, error) {
+	if err := core.CheckReadable(src); err != nil {
+		return nil, err
+	}
+	data, err := src.SQLExecute(expression, params)
+	if err != nil {
+		return nil, err
+	}
+	set := data.FirstRowset()
+	if set == nil {
+		return nil, &core.InvalidExpressionFault{Detail: "expression did not produce a rowset"}
+	}
+	c := core.DefaultConfiguration()
+	if cfg != nil {
+		c = *cfg
+	}
+	res, err := NewSQLRowsetResource(src.AbstractName(), set, formatURI, c)
+	if err != nil {
+		return nil, err
+	}
+	target.AddResource(res)
+	return res, nil
+}
+
+// StandardConfigurationMaps returns the ConfigurationMap entries a
+// relational data service advertises: one per factory message type.
+func StandardConfigurationMaps() []core.ConfigurationMapEntry {
+	return []core.ConfigurationMapEntry{
+		{
+			MessageName: "SQLExecuteFactoryRequest",
+			PortType:    PortTypeSQLResponseAccess,
+			Default:     core.DefaultConfiguration(),
+		},
+		{
+			MessageName: "SQLRowsetFactoryRequest",
+			PortType:    PortTypeSQLRowsetAccess,
+			Default:     core.DefaultConfiguration(),
+		},
+	}
+}
+
+// DefaultRowsetFormats lists the format URIs every relational service
+// supports out of the box.
+func DefaultRowsetFormats() []string {
+	return []string{rowset.FormatCSV, rowset.FormatSQLRowset, rowset.FormatWebRowSet}
+}

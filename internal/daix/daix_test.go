@@ -1,0 +1,286 @@
+package daix
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"dais/internal/core"
+	"dais/internal/xmldb"
+	"dais/internal/xmlutil"
+)
+
+func seedCollection(t testing.TB) *XMLCollectionResource {
+	t.Helper()
+	store := xmldb.NewStore("library")
+	r := NewXMLCollectionResource(store, "")
+	for i, doc := range []string{
+		`<book id="1"><title>Alpha</title><price>10</price></book>`,
+		`<book id="2"><title>Beta</title><price>30</price></book>`,
+		`<book id="3"><title>Gamma</title><price>20</price></book>`,
+	} {
+		e, err := xmlutil.ParseString(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.AddDocument(fmt.Sprintf("book%d.xml", i+1), e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestCollectionAccessOps(t *testing.T) {
+	r := seedCollection(t)
+	names, err := r.ListDocuments()
+	if err != nil || len(names) != 3 {
+		t.Fatalf("names = %v, %v", names, err)
+	}
+	doc, err := r.GetDocument("book1.xml")
+	if err != nil || doc.FindText("", "title") != "Alpha" {
+		t.Fatalf("doc = %v, %v", doc, err)
+	}
+	if err := r.RemoveDocument("book1.xml"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.GetDocument("book1.xml"); err == nil {
+		t.Fatal("removed doc still readable")
+	}
+	if err := r.CreateSubcollection("archive"); err != nil {
+		t.Fatal(err)
+	}
+	subs, err := r.ListSubcollections()
+	if err != nil || len(subs) != 1 || subs[0] != "archive" {
+		t.Fatalf("subs = %v, %v", subs, err)
+	}
+	if err := r.RemoveSubcollection("archive"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddDocumentsBatch(t *testing.T) {
+	r := seedCollection(t)
+	d1, _ := xmlutil.ParseString(`<a/>`)
+	d2, _ := xmlutil.ParseString(`<b/>`)
+	n, err := r.AddDocuments(map[string]*xmlutil.Element{"x.xml": d1, "y.xml": d2}, []string{"x.xml", "y.xml"})
+	if err != nil || n != 2 {
+		t.Fatalf("n = %d, %v", n, err)
+	}
+	// Batch stops at the first failure.
+	d3, _ := xmlutil.ParseString(`<c/>`)
+	n, err = r.AddDocuments(map[string]*xmlutil.Element{"z.xml": d3, "x.xml": d1}, []string{"z.xml", "x.xml"})
+	if err == nil || n != 1 {
+		t.Fatalf("n = %d, %v", n, err)
+	}
+}
+
+func TestXPathExecute(t *testing.T) {
+	r := seedCollection(t)
+	res, err := r.XPathExecute("/book[price > 15]/title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("res = %+v", res)
+	}
+	var ief *core.InvalidExpressionFault
+	if _, err := r.XPathExecute("bad["); !errors.As(err, &ief) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestXQueryExecute(t *testing.T) {
+	r := seedCollection(t)
+	res, err := r.XQueryExecute(`for $b in /book where $b/price > 15 order by $b/price return <t>{$b/title}</t>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].Node.Text() != "Gamma" {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestXUpdateExecute(t *testing.T) {
+	r := seedCollection(t)
+	modsDoc := `<xu:modifications xmlns:xu="` + xmldb.NSXUpdate + `">
+		<xu:update select="/book/price">55</xu:update>
+	</xu:modifications>`
+	mods, _ := xmlutil.ParseString(modsDoc)
+	n, err := r.XUpdateExecute("book1.xml", mods)
+	if err != nil || n != 1 {
+		t.Fatalf("n = %d, %v", n, err)
+	}
+	doc, _ := r.GetDocument("book1.xml")
+	if doc.FindText("", "price") != "55" {
+		t.Fatal("update not applied")
+	}
+}
+
+func TestGenericQueryDispatch(t *testing.T) {
+	r := seedCollection(t)
+	seq, err := r.GenericQuery(LanguageXPath, "/book/title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Name.Local != "XMLSequence" || len(seq.FindAll(NSDAIX, "Item")) != 3 {
+		t.Fatalf("seq = %s", xmlutil.MarshalString(seq))
+	}
+	if _, err := r.GenericQuery("urn:sql", "SELECT"); err == nil {
+		t.Fatal("wrong language should fault")
+	}
+	xq, err := r.GenericQuery(LanguageXQuery, `for $b in /book where $b/price = 10 return <x>{$b/title}</x>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xq.FindAll(NSDAIX, "Item")) != 1 {
+		t.Fatalf("xq = %s", xmlutil.MarshalString(xq))
+	}
+}
+
+func TestReadWriteEnforcement(t *testing.T) {
+	store := xmldb.NewStore("s")
+	cfg := core.Configuration{Readable: false, Writeable: false}
+	r := NewXMLCollectionResource(store, "", WithCollectionConfiguration(cfg))
+	var naf *core.NotAuthorizedFault
+	if _, err := r.ListDocuments(); !errors.As(err, &naf) {
+		t.Fatalf("err = %v", err)
+	}
+	d, _ := xmlutil.ParseString(`<x/>`)
+	if err := r.AddDocument("x.xml", d); !errors.As(err, &naf) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := r.XPathExecute("/x"); !errors.As(err, &naf) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := r.XUpdateExecute("x.xml", nil); !errors.As(err, &naf) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestXPathFactorySequence(t *testing.T) {
+	r := seedCollection(t)
+	ds := core.NewDataService("ds2")
+	seq, err := XPathFactory(r, ds, "/book/title", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Management() != core.ServiceManaged || seq.ParentName() != r.AbstractName() {
+		t.Fatal("derived resource wiring wrong")
+	}
+	if seq.ItemCount() != 3 {
+		t.Fatalf("items = %d", seq.ItemCount())
+	}
+	if _, err := ds.Resolve(seq.AbstractName()); err != nil {
+		t.Fatal("not registered")
+	}
+	page, err := seq.GetItems(2, 1)
+	if err != nil || len(page) != 1 || page[0].Node.Text() != "Beta" {
+		t.Fatalf("page = %+v, %v", page, err)
+	}
+	if page, _ := seq.GetItems(10, 5); page != nil {
+		t.Fatal("beyond end should be empty")
+	}
+	// Destroy drops data.
+	if err := ds.DestroyDataResource(seq.AbstractName()); err != nil {
+		t.Fatal(err)
+	}
+	if seq.ItemCount() != 0 {
+		t.Fatal("release did not drop items")
+	}
+}
+
+func TestXQueryFactory(t *testing.T) {
+	r := seedCollection(t)
+	ds := core.NewDataService("ds")
+	seq, err := XQueryFactory(r, ds, `for $b in /book where $b/price < 25 return <t>{$b/title}</t>`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.ItemCount() != 2 {
+		t.Fatalf("items = %d", seq.ItemCount())
+	}
+}
+
+func TestCollectionFactoryLiveView(t *testing.T) {
+	r := seedCollection(t)
+	ds := core.NewDataService("ds")
+	sub, err := CollectionFactory(r, ds, "derived", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Management() != core.ServiceManaged {
+		t.Fatal("derived collection should be service managed")
+	}
+	// Writing through the derived resource is visible in the store.
+	cfgW := core.DefaultConfiguration()
+	cfgW.Writeable = true
+	sub.Config = cfgW
+	d, _ := xmlutil.ParseString(`<paper/>`)
+	if err := sub.AddDocument("p.xml", d); err != nil {
+		t.Fatal(err)
+	}
+	names, err := r.Store().ListDocuments("derived")
+	if err != nil || len(names) != 1 {
+		t.Fatalf("store view = %v, %v", names, err)
+	}
+	// Destroying the derived resource removes the sub-collection.
+	if err := ds.DestroyDataResource(sub.AbstractName()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Store().ListDocuments("derived"); err == nil {
+		t.Fatal("derived collection should be gone")
+	}
+}
+
+func TestExtendedProperties(t *testing.T) {
+	r := seedCollection(t)
+	r.CreateSubcollection("sub")
+	props := r.ExtendedProperties()
+	got := map[string]string{}
+	for _, p := range props {
+		got[p.Name.Local] = p.Text()
+	}
+	if got["NumberOfDocuments"] != "3" || got["NumberOfSubCollections"] != "1" {
+		t.Fatalf("props = %v", got)
+	}
+	if got["UpdateLanguage"] != xmldb.NSXUpdate {
+		t.Fatalf("update language = %q", got["UpdateLanguage"])
+	}
+}
+
+func TestWrapResultsScalar(t *testing.T) {
+	results := []xmldb.QueryResult{
+		{Document: "d1.xml", Value: "42"},
+	}
+	seq := WrapResults(results)
+	item := seq.Find(NSDAIX, "Item")
+	if item == nil || item.FindText(NSDAIX, "Value") != "42" {
+		t.Fatalf("seq = %s", xmlutil.MarshalString(seq))
+	}
+	if item.AttrValue("", "document") != "d1.xml" {
+		t.Fatal("document attribution lost")
+	}
+}
+
+func TestSequencePropertiesAndPaging(t *testing.T) {
+	r := seedCollection(t)
+	ds := core.NewDataService("ds")
+	seq, _ := XPathFactory(r, ds, "//book", nil)
+	props := seq.ExtendedProperties()
+	if len(props) != 1 || props[0].Text() != "3" {
+		t.Fatalf("props = %v", props)
+	}
+	all, err := seq.GetItems(1, 100)
+	if err != nil || len(all) != 3 {
+		t.Fatalf("all = %d, %v", len(all), err)
+	}
+	if items, _ := seq.GetItems(0, 2); len(items) != 2 {
+		t.Fatal("clamped start failed")
+	}
+	// Unreadable sequence refuses access.
+	seq.Config.Readable = false
+	var naf *core.NotAuthorizedFault
+	if _, err := seq.GetItems(1, 1); !errors.As(err, &naf) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,175 @@
+package daix
+
+import (
+	"fmt"
+	"sync"
+
+	"dais/internal/core"
+	"dais/internal/xmldb"
+	"dais/internal/xmlutil"
+)
+
+// PortType QNames for WS-DAIX factory requests.
+const (
+	PortTypeXMLCollectionAccess = "daix:XMLCollectionAccess"
+	PortTypeXMLSequenceAccess   = "daix:XMLSequenceAccess"
+)
+
+// XMLSequenceResource is a derived, service-managed resource holding an
+// ordered sequence of XML items — the result of an XPath or XQuery
+// factory request. Its access interface pages through the items,
+// mirroring WS-DAIR's RowsetAccess.
+type XMLSequenceResource struct {
+	core.BaseResource
+	mu    sync.RWMutex
+	items []xmldb.QueryResult
+}
+
+// NewXMLSequenceResource wraps query results as a derived resource.
+func NewXMLSequenceResource(parent string, items []xmldb.QueryResult, cfg core.Configuration) *XMLSequenceResource {
+	return &XMLSequenceResource{
+		BaseResource: core.BaseResource{
+			Name:   core.NewAbstractName("xmlseq"),
+			Parent: parent,
+			Mgmt:   core.ServiceManaged,
+			Config: cfg,
+		},
+		items: items,
+	}
+}
+
+// QueryLanguages implements core.DataResource.
+func (r *XMLSequenceResource) QueryLanguages() []string { return nil }
+
+// DatasetFormats implements core.DataResource.
+func (r *XMLSequenceResource) DatasetFormats() []string { return []string{FormatXML} }
+
+// GenericQuery implements core.DataResource; sequences reject it.
+func (r *XMLSequenceResource) GenericQuery(lang, expr string) (*xmlutil.Element, error) {
+	return nil, &core.InvalidLanguageFault{Language: lang}
+}
+
+// ExtendedProperties implements core.DataResource.
+func (r *XMLSequenceResource) ExtendedProperties() []*xmlutil.Element {
+	r.mu.RLock()
+	n := len(r.items)
+	r.mu.RUnlock()
+	e := xmlutil.NewElement(NSDAIX, "NumberOfItems")
+	e.SetText(fmt.Sprintf("%d", n))
+	return []*xmlutil.Element{e}
+}
+
+// Release implements core.DataResource by dropping the items.
+func (r *XMLSequenceResource) Release() error {
+	r.mu.Lock()
+	r.items = nil
+	r.mu.Unlock()
+	return nil
+}
+
+// ItemCount returns the number of items held.
+func (r *XMLSequenceResource) ItemCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.items)
+}
+
+// GetItems pages through the sequence: items [startPosition,
+// startPosition+count), 1-based, clamped.
+func (r *XMLSequenceResource) GetItems(startPosition, count int) ([]xmldb.QueryResult, error) {
+	if err := core.CheckReadable(r); err != nil {
+		return nil, err
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if startPosition < 1 {
+		startPosition = 1
+	}
+	from := startPosition - 1
+	if from >= len(r.items) || count <= 0 {
+		return nil, nil
+	}
+	to := from + count
+	if to > len(r.items) {
+		to = len(r.items)
+	}
+	return append([]xmldb.QueryResult(nil), r.items[from:to]...), nil
+}
+
+// XPathFactory implements XPathAccessFactory.XPathExecuteFactory: it
+// evaluates the expression and wraps the result sequence as a new
+// service-managed resource registered with the target service.
+func XPathFactory(src *XMLCollectionResource, target *core.DataService, expr string,
+	cfg *core.Configuration) (*XMLSequenceResource, error) {
+	results, err := src.XPathExecute(expr)
+	if err != nil {
+		return nil, err
+	}
+	c := core.DefaultConfiguration()
+	if cfg != nil {
+		c = *cfg
+	}
+	res := NewXMLSequenceResource(src.AbstractName(), results, c)
+	target.AddResource(res)
+	return res, nil
+}
+
+// XQueryFactory implements XQueryFactory.XQueryExecuteFactory.
+func XQueryFactory(src *XMLCollectionResource, target *core.DataService, query string,
+	cfg *core.Configuration) (*XMLSequenceResource, error) {
+	results, err := src.XQueryExecute(query)
+	if err != nil {
+		return nil, err
+	}
+	c := core.DefaultConfiguration()
+	if cfg != nil {
+		c = *cfg
+	}
+	res := NewXMLSequenceResource(src.AbstractName(), results, c)
+	target.AddResource(res)
+	return res, nil
+}
+
+// CollectionFactory implements XMLCollectionFactory.CreateSubcollection
+// as an indirect-access operation: it creates a sub-collection, wraps
+// it as a new data resource and registers it with the target service.
+// Unlike sequences the new resource is a live view: documents added
+// through it are visible to the parent store.
+func CollectionFactory(src *XMLCollectionResource, target *core.DataService, name string,
+	cfg *core.Configuration) (*XMLCollectionResource, error) {
+	if err := src.CreateSubcollection(name); err != nil {
+		return nil, err
+	}
+	c := core.DefaultConfiguration()
+	if cfg != nil {
+		c = *cfg
+	}
+	res := NewXMLCollectionResource(src.Store(), joinPath(src.Path(), name),
+		WithCollectionConfiguration(c))
+	res.Parent = src.AbstractName()
+	res.Mgmt = core.ServiceManaged
+	target.AddResource(res)
+	return res, nil
+}
+
+// StandardConfigurationMaps returns the ConfigurationMap entries an XML
+// data service advertises.
+func StandardConfigurationMaps() []core.ConfigurationMapEntry {
+	return []core.ConfigurationMapEntry{
+		{
+			MessageName: "XPathExecuteFactoryRequest",
+			PortType:    PortTypeXMLSequenceAccess,
+			Default:     core.DefaultConfiguration(),
+		},
+		{
+			MessageName: "XQueryExecuteFactoryRequest",
+			PortType:    PortTypeXMLSequenceAccess,
+			Default:     core.DefaultConfiguration(),
+		},
+		{
+			MessageName: "CreateSubcollectionRequest",
+			PortType:    PortTypeXMLCollectionAccess,
+			Default:     core.DefaultConfiguration(),
+		},
+	}
+}

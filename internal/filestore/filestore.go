@@ -1,0 +1,237 @@
+// Package filestore implements an in-memory hierarchical file store:
+// the substrate behind the experimental WS-DAIF files realisation
+// (internal/daif). The paper's conclusions note that "different groups
+// are exploring the development of additional realisations for object
+// databases, ontologies and files" (§6); this store supplies what such
+// a realisation needs from its underlying system — named byte streams
+// in directories, random-access reads, writes/appends, and metadata.
+package filestore
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FileInfo is the metadata the WS-DAIF property document and Stat
+// operation expose.
+type FileInfo struct {
+	Name     string // path relative to the store root, slash-separated
+	Size     int64
+	Modified time.Time
+}
+
+// Store is a flat-namespace file store with directory semantics derived
+// from slash-separated names (like object stores: directories exist
+// implicitly while files live under them).
+type Store struct {
+	mu    sync.RWMutex
+	name  string
+	files map[string]*file
+	clock func() time.Time
+}
+
+type file struct {
+	data     []byte
+	modified time.Time
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithClock substitutes the time source (tests).
+func WithClock(c func() time.Time) Option {
+	return func(s *Store) { s.clock = c }
+}
+
+// NewStore creates an empty store.
+func NewStore(name string, opts ...Option) *Store {
+	s := &Store{name: name, files: map[string]*file{}, clock: time.Now}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Name returns the store name.
+func (s *Store) Name() string { return s.name }
+
+// cleanName normalises a file name and rejects escapes.
+func cleanName(name string) (string, error) {
+	n := path.Clean(strings.TrimPrefix(name, "/"))
+	if n == "." || n == "" {
+		return "", fmt.Errorf("filestore: empty file name")
+	}
+	if strings.HasPrefix(n, "..") {
+		return "", fmt.Errorf("filestore: name %q escapes the store", name)
+	}
+	return n, nil
+}
+
+// Write stores (or replaces) a file's full contents.
+func (s *Store) Write(name string, data []byte) error {
+	n, err := cleanName(name)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.files[n] = &file{data: append([]byte(nil), data...), modified: s.clock()}
+	return nil
+}
+
+// Append extends a file, creating it when absent.
+func (s *Store) Append(name string, data []byte) error {
+	n, err := cleanName(name)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.files[n]
+	if !ok {
+		f = &file{}
+		s.files[n] = f
+	}
+	f.data = append(f.data, data...)
+	f.modified = s.clock()
+	return nil
+}
+
+// Read returns up to count bytes starting at offset (count < 0 reads to
+// the end). Reads past the end return an empty slice.
+func (s *Store) Read(name string, offset, count int64) ([]byte, error) {
+	n, err := cleanName(name)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f, ok := s.files[n]
+	if !ok {
+		return nil, fmt.Errorf("filestore: file %q not found", name)
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	if offset >= int64(len(f.data)) {
+		return nil, nil
+	}
+	end := int64(len(f.data))
+	if count >= 0 && offset+count < end {
+		end = offset + count
+	}
+	return append([]byte(nil), f.data[offset:end]...), nil
+}
+
+// ReadAll returns a file's full contents.
+func (s *Store) ReadAll(name string) ([]byte, error) { return s.Read(name, 0, -1) }
+
+// Delete removes a file.
+func (s *Store) Delete(name string) error {
+	n, err := cleanName(name)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.files[n]; !ok {
+		return fmt.Errorf("filestore: file %q not found", name)
+	}
+	delete(s.files, n)
+	return nil
+}
+
+// Stat returns a file's metadata.
+func (s *Store) Stat(name string) (FileInfo, error) {
+	n, err := cleanName(name)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f, ok := s.files[n]
+	if !ok {
+		return FileInfo{}, fmt.Errorf("filestore: file %q not found", name)
+	}
+	return FileInfo{Name: n, Size: int64(len(f.data)), Modified: f.modified}, nil
+}
+
+// List returns metadata for every file whose name matches the glob
+// pattern (path.Match per segment, with ** matching any depth). An
+// empty pattern lists everything. Results are sorted by name.
+func (s *Store) List(pattern string) ([]FileInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []FileInfo
+	for n, f := range s.files {
+		ok, err := Match(pattern, n)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, FileInfo{Name: n, Size: int64(len(f.data)), Modified: f.modified})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Count returns the number of files in the store.
+func (s *Store) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.files)
+}
+
+// TotalSize returns the sum of all file sizes.
+func (s *Store) TotalSize() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var total int64
+	for _, f := range s.files {
+		total += int64(len(f.data))
+	}
+	return total
+}
+
+// Match reports whether a slash-separated name matches a glob pattern.
+// Each path segment is matched with path.Match; the segment "**"
+// matches any number of segments (including none). An empty pattern
+// matches everything.
+func Match(pattern, name string) (bool, error) {
+	if pattern == "" {
+		return true, nil
+	}
+	return matchSegments(strings.Split(pattern, "/"), strings.Split(name, "/"))
+}
+
+func matchSegments(pat, segs []string) (bool, error) {
+	for len(pat) > 0 {
+		if pat[0] == "**" {
+			// Try consuming zero or more segments.
+			for skip := 0; skip <= len(segs); skip++ {
+				ok, err := matchSegments(pat[1:], segs[skip:])
+				if err != nil || ok {
+					return ok, err
+				}
+			}
+			return false, nil
+		}
+		if len(segs) == 0 {
+			return false, nil
+		}
+		ok, err := path.Match(pat[0], segs[0])
+		if err != nil {
+			return false, fmt.Errorf("filestore: bad pattern %q: %w", pat[0], err)
+		}
+		if !ok {
+			return false, nil
+		}
+		pat, segs = pat[1:], segs[1:]
+	}
+	return len(segs) == 0, nil
+}

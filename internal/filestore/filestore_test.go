@@ -1,0 +1,185 @@
+package filestore
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s := NewStore("t")
+	data := []byte("hello file store")
+	if err := s.Write("dir/a.dat", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadAll("dir/a.dat")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("got %q, %v", got, err)
+	}
+	// Returned slice is a copy.
+	got[0] = 'X'
+	again, _ := s.ReadAll("dir/a.dat")
+	if !bytes.Equal(again, data) {
+		t.Fatal("store shares buffers with callers")
+	}
+	// Leading slash and dot segments normalise.
+	viaSlash, err := s.ReadAll("/dir/./a.dat")
+	if err != nil || !bytes.Equal(viaSlash, data) {
+		t.Fatalf("normalised read failed: %v", err)
+	}
+}
+
+func TestRangeReads(t *testing.T) {
+	s := NewStore("t")
+	s.Write("f", []byte("0123456789")) //nolint:errcheck
+	cases := []struct {
+		off, count int64
+		want       string
+	}{
+		{0, 4, "0123"},
+		{4, 4, "4567"},
+		{8, 100, "89"},
+		{10, 5, ""},
+		{-3, 2, "01"},
+		{0, -1, "0123456789"},
+		{3, 0, ""},
+	}
+	for _, c := range cases {
+		got, err := s.Read("f", c.off, c.count)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != c.want {
+			t.Errorf("Read(%d, %d) = %q, want %q", c.off, c.count, got, c.want)
+		}
+	}
+}
+
+func TestAppendAndStat(t *testing.T) {
+	now := time.Date(2005, 9, 1, 0, 0, 0, 0, time.UTC)
+	s := NewStore("t", WithClock(func() time.Time { return now }))
+	s.Append("log", []byte("one")) //nolint:errcheck
+	now = now.Add(time.Minute)
+	s.Append("log", []byte("+two")) //nolint:errcheck
+	got, _ := s.ReadAll("log")
+	if string(got) != "one+two" {
+		t.Fatalf("got %q", got)
+	}
+	info, err := s.Stat("log")
+	if err != nil || info.Size != 7 || !info.Modified.Equal(now) {
+		t.Fatalf("info = %+v, %v", info, err)
+	}
+}
+
+func TestDeleteAndErrors(t *testing.T) {
+	s := NewStore("t")
+	s.Write("x", []byte("1")) //nolint:errcheck
+	if err := s.Delete("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("x"); err == nil {
+		t.Fatal("double delete")
+	}
+	if _, err := s.ReadAll("x"); err == nil {
+		t.Fatal("read after delete")
+	}
+	if _, err := s.Stat("missing"); err == nil {
+		t.Fatal("stat missing")
+	}
+	for _, bad := range []string{"", ".", "..", "../escape"} {
+		if err := s.Write(bad, nil); err == nil {
+			t.Errorf("Write(%q) should fail", bad)
+		}
+	}
+}
+
+func TestListGlobs(t *testing.T) {
+	s := NewStore("t")
+	for _, n := range []string{
+		"runs/2005/a.dat", "runs/2005/b.dat", "runs/2006/c.dat",
+		"calib/atlas.xml", "readme.txt",
+	} {
+		s.Write(n, []byte(n)) //nolint:errcheck
+	}
+	cases := map[string]int{
+		"":                5,
+		"**":              5,
+		"runs/**":         3,
+		"runs/2005/*.dat": 2,
+		"runs/*/[ac].dat": 2,
+		"*.txt":           1,
+		"**/*.xml":        1,
+		"nothing/*":       0,
+		"runs/2005":       0, // directories are not files
+	}
+	for pattern, want := range cases {
+		got, err := s.List(pattern)
+		if err != nil {
+			t.Fatalf("List(%q): %v", pattern, err)
+		}
+		if len(got) != want {
+			t.Errorf("List(%q) = %d files, want %d", pattern, len(got), want)
+		}
+	}
+	// Sorted output.
+	all, _ := s.List("")
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Name >= all[i].Name {
+			t.Fatal("not sorted")
+		}
+	}
+	if _, err := s.List("[bad"); err == nil {
+		t.Fatal("bad pattern should error")
+	}
+}
+
+func TestCountAndTotalSize(t *testing.T) {
+	s := NewStore("t")
+	s.Write("a", make([]byte, 10)) //nolint:errcheck
+	s.Write("b", make([]byte, 32)) //nolint:errcheck
+	if s.Count() != 2 || s.TotalSize() != 42 {
+		t.Fatalf("count=%d size=%d", s.Count(), s.TotalSize())
+	}
+}
+
+// Property: writing arbitrary bytes round-trips exactly.
+func TestQuickWriteRead(t *testing.T) {
+	f := func(data []byte) bool {
+		s := NewStore("q")
+		if err := s.Write("f", data); err != nil {
+			return false
+		}
+		got, err := s.ReadAll("f")
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: any split of a file into ranged reads reassembles it.
+func TestQuickRangedReassembly(t *testing.T) {
+	f := func(data []byte, chunk uint8) bool {
+		s := NewStore("q")
+		if err := s.Write("f", data); err != nil {
+			return false
+		}
+		size := int64(chunk%32) + 1
+		var out []byte
+		for off := int64(0); ; off += size {
+			part, err := s.Read("f", off, size)
+			if err != nil {
+				return false
+			}
+			if len(part) == 0 {
+				break
+			}
+			out = append(out, part...)
+		}
+		return bytes.Equal(out, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,432 @@
+// Package rowset implements the dataset representations a WS-DAIR
+// service can return and the DatasetMap machinery that advertises them.
+//
+// The WS-DAI DatasetMap property "provides a means of specifying the
+// valid return formats supported by a data service, there will be one
+// of these elements for each possible supported return type" (paper
+// §4.2); consumers pick one by sending its DataFormatURI in the request
+// (paper §4.1). Three formats ship: an XML SQLRowset (the WS-DAIR
+// native rendering), the WebRowSet rendering referenced in the paper's
+// Fig. 5 pipeline, and CSV for lightweight consumers.
+package rowset
+
+import (
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"dais/internal/sqlengine"
+	"dais/internal/xmlutil"
+)
+
+// Format URIs advertised through DatasetMap properties.
+const (
+	FormatSQLRowset = "http://www.ggf.org/namespaces/2005/12/WS-DAIR/SQLRowset"
+	FormatWebRowSet = "http://java.sun.com/xml/ns/jdbc/webrowset"
+	FormatCSV       = "http://www.ggf.org/namespaces/2005/12/WS-DAIR/CSV"
+)
+
+// Codec encodes and decodes a materialised result set in one dataset
+// format.
+type Codec interface {
+	// FormatURI is the DataFormatURI identifying this codec.
+	FormatURI() string
+	// Encode renders the result set.
+	Encode(rs *sqlengine.ResultSet) ([]byte, error)
+	// Decode parses a rendering produced by Encode.
+	Decode(data []byte) (*sqlengine.ResultSet, error)
+}
+
+// Registry maps format URIs to codecs; it backs a data service's
+// DatasetMap property.
+type Registry struct {
+	mu     sync.RWMutex
+	codecs map[string]Codec
+}
+
+// NewRegistry returns a registry preloaded with the three standard
+// codecs.
+func NewRegistry() *Registry {
+	r := &Registry{codecs: map[string]Codec{}}
+	r.Register(SQLRowsetCodec{})
+	r.Register(WebRowSetCodec{})
+	r.Register(CSVCodec{})
+	return r
+}
+
+// Register adds (or replaces) a codec.
+func (r *Registry) Register(c Codec) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.codecs[c.FormatURI()] = c
+}
+
+// Lookup resolves a format URI. An empty URI selects the SQLRowset
+// default, matching the WS-DAI rule that DataFormatURI is optional.
+func (r *Registry) Lookup(uri string) (Codec, error) {
+	if uri == "" {
+		uri = FormatSQLRowset
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, ok := r.codecs[uri]
+	if !ok {
+		return nil, fmt.Errorf("rowset: unsupported dataset format %q", uri)
+	}
+	return c, nil
+}
+
+// URIs lists the registered format URIs, sorted, for DatasetMap
+// property rendering.
+func (r *Registry) URIs() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.codecs))
+	for u := range r.codecs {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// typeName/typeFromName serialise column types.
+func typeName(t sqlengine.Type) string { return t.String() }
+
+// effectiveColumns resolves untyped (computed) columns by inferring the
+// type from the first non-null value in that column, so expressions
+// like AVG(x) round-trip with their runtime type instead of decaying to
+// VARCHAR.
+func effectiveColumns(rs *sqlengine.ResultSet) []sqlengine.ResultColumn {
+	cols := append([]sqlengine.ResultColumn(nil), rs.Columns...)
+	for i := range cols {
+		if cols[i].Type != sqlengine.TypeNull {
+			continue
+		}
+		for _, row := range rs.Rows {
+			if !row[i].IsNull() {
+				cols[i].Type = row[i].Type
+				break
+			}
+		}
+		if cols[i].Type == sqlengine.TypeNull {
+			cols[i].Type = sqlengine.TypeVarchar
+		}
+	}
+	return cols
+}
+
+func typeFromName(s string) sqlengine.Type {
+	t, err := sqlengine.TypeFromName(s)
+	if err != nil {
+		return sqlengine.TypeVarchar
+	}
+	return t
+}
+
+// valueFromText reconstructs a typed value from its string rendering.
+func valueFromText(t sqlengine.Type, text string, isNull bool) (sqlengine.Value, error) {
+	if isNull {
+		return sqlengine.Null, nil
+	}
+	return sqlengine.NewString(text).Coerce(t)
+}
+
+// --- SQLRowset XML ---
+
+// NSDAIR is the WS-DAIR namespace used by the SQLRowset rendering.
+const NSDAIR = "http://www.ggf.org/namespaces/2005/12/WS-DAIR"
+
+// SQLRowsetCodec is the WS-DAIR native XML rendering: column metadata
+// followed by row elements.
+type SQLRowsetCodec struct{}
+
+// FormatURI identifies the SQLRowset format.
+func (SQLRowsetCodec) FormatURI() string { return FormatSQLRowset }
+
+// Encode renders the result set as an SQLRowset element.
+func (SQLRowsetCodec) Encode(rs *sqlengine.ResultSet) ([]byte, error) {
+	return xmlutil.Marshal(SQLRowsetElement(rs)), nil
+}
+
+// SQLRowsetElement builds the XML tree without serialising, for callers
+// that embed the rowset inside a SOAP response.
+func SQLRowsetElement(rs *sqlengine.ResultSet) *xmlutil.Element {
+	root := xmlutil.NewElement(NSDAIR, "SQLRowset")
+	meta := root.Add(NSDAIR, "Metadata")
+	for _, c := range effectiveColumns(rs) {
+		col := meta.Add(NSDAIR, "Column")
+		col.SetAttr("", "name", c.Name)
+		col.SetAttr("", "type", typeName(c.Type))
+		if c.Table != "" {
+			col.SetAttr("", "table", c.Table)
+		}
+	}
+	for _, row := range rs.Rows {
+		re := root.Add(NSDAIR, "Row")
+		for _, v := range row {
+			ce := re.Add(NSDAIR, "Value")
+			if v.IsNull() {
+				ce.SetAttr("", "isNull", "true")
+			} else {
+				ce.SetText(v.String())
+			}
+		}
+	}
+	return root
+}
+
+// Decode parses an SQLRowset rendering.
+func (SQLRowsetCodec) Decode(data []byte) (*sqlengine.ResultSet, error) {
+	root, err := xmlutil.Parse(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("rowset: %w", err)
+	}
+	return DecodeSQLRowsetElement(root)
+}
+
+// DecodeSQLRowsetElement reconstructs a result set from an SQLRowset
+// element tree.
+func DecodeSQLRowsetElement(root *xmlutil.Element) (*sqlengine.ResultSet, error) {
+	if root.Name.Local != "SQLRowset" {
+		return nil, fmt.Errorf("rowset: root element %s is not SQLRowset", root.Name)
+	}
+	rs := &sqlengine.ResultSet{}
+	meta := root.Find(NSDAIR, "Metadata")
+	if meta == nil {
+		return nil, fmt.Errorf("rowset: SQLRowset missing Metadata")
+	}
+	for _, c := range meta.FindAll(NSDAIR, "Column") {
+		rs.Columns = append(rs.Columns, sqlengine.ResultColumn{
+			Name:  c.AttrValue("", "name"),
+			Type:  typeFromName(c.AttrValue("", "type")),
+			Table: c.AttrValue("", "table"),
+		})
+	}
+	for _, re := range root.FindAll(NSDAIR, "Row") {
+		vals := re.FindAll(NSDAIR, "Value")
+		if len(vals) != len(rs.Columns) {
+			return nil, fmt.Errorf("rowset: row has %d values for %d columns", len(vals), len(rs.Columns))
+		}
+		row := make([]sqlengine.Value, len(vals))
+		for i, ve := range vals {
+			v, err := valueFromText(rs.Columns[i].Type, ve.Text(), ve.AttrValue("", "isNull") == "true")
+			if err != nil {
+				return nil, fmt.Errorf("rowset: column %s: %w", rs.Columns[i].Name, err)
+			}
+			row[i] = v
+		}
+		rs.Rows = append(rs.Rows, row)
+	}
+	return rs, nil
+}
+
+// --- WebRowSet ---
+
+// NSWebRowSet is the Sun WebRowSet schema namespace.
+const NSWebRowSet = "http://java.sun.com/xml/ns/jdbc"
+
+// WebRowSetCodec renders results in the JDBC WebRowSet XML dialect the
+// paper's Fig. 5 pipeline converts into (properties/metadata/data with
+// currentRow/columnValue entries).
+type WebRowSetCodec struct{}
+
+// FormatURI identifies the WebRowSet format.
+func (WebRowSetCodec) FormatURI() string { return FormatWebRowSet }
+
+// Encode renders the result set as a webRowSet document.
+func (WebRowSetCodec) Encode(rs *sqlengine.ResultSet) ([]byte, error) {
+	root := xmlutil.NewElement(NSWebRowSet, "webRowSet")
+	props := root.Add(NSWebRowSet, "properties")
+	props.AddText(NSWebRowSet, "concurrency", "1007")
+	props.AddText(NSWebRowSet, "rowset-type", "ResultSet.TYPE_SCROLL_INSENSITIVE")
+
+	meta := root.Add(NSWebRowSet, "metadata")
+	meta.AddText(NSWebRowSet, "column-count", fmt.Sprintf("%d", len(rs.Columns)))
+	for i, c := range effectiveColumns(rs) {
+		cd := meta.Add(NSWebRowSet, "column-definition")
+		cd.AddText(NSWebRowSet, "column-index", fmt.Sprintf("%d", i+1))
+		cd.AddText(NSWebRowSet, "column-name", c.Name)
+		cd.AddText(NSWebRowSet, "column-type-name", typeName(c.Type))
+		if c.Table != "" {
+			cd.AddText(NSWebRowSet, "table-name", c.Table)
+		}
+	}
+	data := root.Add(NSWebRowSet, "data")
+	for _, row := range rs.Rows {
+		cr := data.Add(NSWebRowSet, "currentRow")
+		for _, v := range row {
+			cv := cr.Add(NSWebRowSet, "columnValue")
+			if v.IsNull() {
+				cv.Add(NSWebRowSet, "null")
+			} else {
+				cv.SetText(v.String())
+			}
+		}
+	}
+	return xmlutil.Marshal(root), nil
+}
+
+// Decode parses a webRowSet document.
+func (WebRowSetCodec) Decode(data []byte) (*sqlengine.ResultSet, error) {
+	root, err := xmlutil.Parse(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("rowset: %w", err)
+	}
+	if root.Name.Local != "webRowSet" {
+		return nil, fmt.Errorf("rowset: root element %s is not webRowSet", root.Name)
+	}
+	rs := &sqlengine.ResultSet{}
+	meta := root.Find(NSWebRowSet, "metadata")
+	if meta == nil {
+		return nil, fmt.Errorf("rowset: webRowSet missing metadata")
+	}
+	for _, cd := range meta.FindAll(NSWebRowSet, "column-definition") {
+		rs.Columns = append(rs.Columns, sqlengine.ResultColumn{
+			Name:  cd.FindText(NSWebRowSet, "column-name"),
+			Type:  typeFromName(cd.FindText(NSWebRowSet, "column-type-name")),
+			Table: cd.FindText(NSWebRowSet, "table-name"),
+		})
+	}
+	dataEl := root.Find(NSWebRowSet, "data")
+	if dataEl == nil {
+		return nil, fmt.Errorf("rowset: webRowSet missing data")
+	}
+	for _, cr := range dataEl.FindAll(NSWebRowSet, "currentRow") {
+		cvs := cr.FindAll(NSWebRowSet, "columnValue")
+		if len(cvs) != len(rs.Columns) {
+			return nil, fmt.Errorf("rowset: row has %d values for %d columns", len(cvs), len(rs.Columns))
+		}
+		row := make([]sqlengine.Value, len(cvs))
+		for i, cv := range cvs {
+			isNull := cv.Find(NSWebRowSet, "null") != nil
+			v, err := valueFromText(rs.Columns[i].Type, cv.Text(), isNull)
+			if err != nil {
+				return nil, fmt.Errorf("rowset: column %s: %w", rs.Columns[i].Name, err)
+			}
+			row[i] = v
+		}
+		rs.Rows = append(rs.Rows, row)
+	}
+	return rs, nil
+}
+
+// --- CSV ---
+
+// CSVCodec renders results as RFC 4180 CSV. The first line carries
+// "name:TYPE" headers; NULL is encoded as an empty unquoted field with
+// a sentinel, so it survives round trips for VARCHAR columns too.
+type CSVCodec struct{}
+
+// nullSentinel marks SQL NULL in CSV output and emptySentinel marks the
+// empty string (a row of empty fields would otherwise serialise as a
+// blank line, which csv.Reader skips). Literal fields starting with a
+// backslash are escaped by doubling it.
+const (
+	nullSentinel  = `\N`
+	emptySentinel = `\E`
+)
+
+// FormatURI identifies the CSV format.
+func (CSVCodec) FormatURI() string { return FormatCSV }
+
+// Encode renders the result set as CSV with a typed header row.
+func (CSVCodec) Encode(rs *sqlengine.ResultSet) ([]byte, error) {
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	header := make([]string, len(rs.Columns))
+	for i, c := range effectiveColumns(rs) {
+		header[i] = c.Name + ":" + typeName(c.Type)
+	}
+	if err := w.Write(header); err != nil {
+		return nil, err
+	}
+	rec := make([]string, len(rs.Columns))
+	for _, row := range rs.Rows {
+		for i, v := range row {
+			switch {
+			case v.IsNull():
+				rec[i] = nullSentinel
+			case v.String() == "":
+				rec[i] = emptySentinel
+			case strings.HasPrefix(v.String(), `\`):
+				rec[i] = `\` + v.String()
+			default:
+				rec[i] = v.String()
+			}
+		}
+		if err := w.Write(rec); err != nil {
+			return nil, err
+		}
+	}
+	w.Flush()
+	return buf.Bytes(), w.Error()
+}
+
+// Decode parses CSV produced by Encode.
+func (CSVCodec) Decode(data []byte) (*sqlengine.ResultSet, error) {
+	r := csv.NewReader(bytes.NewReader(data))
+	records, err := r.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("rowset: csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("rowset: csv missing header")
+	}
+	rs := &sqlengine.ResultSet{}
+	for _, h := range records[0] {
+		name, tname := h, "VARCHAR"
+		if i := strings.LastIndex(h, ":"); i >= 0 {
+			name, tname = h[:i], h[i+1:]
+		}
+		rs.Columns = append(rs.Columns, sqlengine.ResultColumn{Name: name, Type: typeFromName(tname)})
+	}
+	for _, rec := range records[1:] {
+		if len(rec) != len(rs.Columns) {
+			return nil, fmt.Errorf("rowset: csv row has %d fields for %d columns", len(rec), len(rs.Columns))
+		}
+		row := make([]sqlengine.Value, len(rec))
+		for i, f := range rec {
+			switch {
+			case f == nullSentinel:
+				row[i] = sqlengine.Null
+			case f == emptySentinel:
+				row[i] = sqlengine.NewString("")
+			default:
+				if strings.HasPrefix(f, `\\`) {
+					f = f[1:]
+				}
+				v, err := valueFromText(rs.Columns[i].Type, f, false)
+				if err != nil {
+					return nil, fmt.Errorf("rowset: column %s: %w", rs.Columns[i].Name, err)
+				}
+				row[i] = v
+			}
+		}
+		rs.Rows = append(rs.Rows, row)
+	}
+	return rs, nil
+}
+
+// Slice returns a paged copy of the result set: rows
+// [start, start+count), clamped to the available range. It implements
+// the WS-DAIR RowsetAccess GetTuples(StartPosition, Count) semantics,
+// where StartPosition is 1-based.
+func Slice(rs *sqlengine.ResultSet, startPosition, count int) *sqlengine.ResultSet {
+	out := &sqlengine.ResultSet{Columns: rs.Columns}
+	if startPosition < 1 {
+		startPosition = 1
+	}
+	from := startPosition - 1
+	if from >= len(rs.Rows) || count <= 0 {
+		return out
+	}
+	to := from + count
+	if to > len(rs.Rows) {
+		to = len(rs.Rows)
+	}
+	out.Rows = append(out.Rows, rs.Rows[from:to]...)
+	return out
+}

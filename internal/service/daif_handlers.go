@@ -1,0 +1,198 @@
+package service
+
+import (
+	"encoding/base64"
+	"fmt"
+
+	"dais/internal/core"
+	"dais/internal/daif"
+	"dais/internal/filestore"
+	"dais/internal/xmlutil"
+)
+
+// NSDAIF re-exports the files realisation namespace.
+const NSDAIF = daif.NSDAIF
+
+// WS-DAIF action URIs.
+const (
+	ActReadFile          = NSDAIF + "/ReadFile"
+	ActWriteFile         = NSDAIF + "/WriteFile"
+	ActAppendFile        = NSDAIF + "/AppendFile"
+	ActDeleteFile        = NSDAIF + "/DeleteFile"
+	ActListFiles         = NSDAIF + "/ListFiles"
+	ActStatFile          = NSDAIF + "/StatFile"
+	ActFileSelectFactory = NSDAIF + "/FileSelectFactory"
+)
+
+// fileReader is satisfied by both the base file resource and staged
+// snapshots, so read-side operations work against either.
+type fileReader interface {
+	core.DataResource
+	ReadFile(name string, offset, count int64) ([]byte, error)
+	ListFiles(pattern string) ([]filestore.FileInfo, error)
+}
+
+// resolveFileReader resolves an abstract name to any readable file
+// resource.
+func (e *Endpoint) resolveFileReader(name string) (fileReader, error) {
+	r, err := e.svc.Resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	fr, ok := r.(fileReader)
+	if !ok {
+		return nil, typeFault(name, "file")
+	}
+	return fr, nil
+}
+
+// resolveFile resolves an abstract name to a writable base file
+// resource.
+func (e *Endpoint) resolveFile(name string) (*daif.FileDataResource, error) {
+	r, err := e.svc.Resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	fr, ok := r.(*daif.FileDataResource)
+	if !ok {
+		return nil, typeFault(name, "file")
+	}
+	return fr, nil
+}
+
+// registerDAIF wires the WS-DAIF operations.
+func (e *Endpoint) registerDAIF() {
+	e.handle(FileAccess, ActReadFile, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+		name, err := AbstractNameOf(body)
+		if err != nil {
+			return nil, err
+		}
+		fr, err := e.resolveFileReader(name)
+		if err != nil {
+			return nil, err
+		}
+		fileName := body.FindText(NSDAIF, "FileName")
+		offset, err := intChild(body, NSDAIF, "Offset", 0)
+		if err != nil {
+			return nil, &core.InvalidExpressionFault{Detail: err.Error()}
+		}
+		count, err := intChild(body, NSDAIF, "Count", -1)
+		if err != nil {
+			return nil, &core.InvalidExpressionFault{Detail: err.Error()}
+		}
+		data, err := fr.ReadFile(fileName, int64(offset), int64(count))
+		if err != nil {
+			return nil, err
+		}
+		resp := xmlutil.NewElement(NSDAIF, "ReadFileResponse")
+		d := resp.Add(NSDAIF, "Data")
+		d.SetAttr("", "encoding", "base64")
+		d.SetText(base64.StdEncoding.EncodeToString(data))
+		return resp, nil
+	})
+
+	writeOp := func(action string, apply func(*daif.FileDataResource, string, []byte) error, respName string) {
+		e.handle(FileAccess, action, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+			name, err := AbstractNameOf(body)
+			if err != nil {
+				return nil, err
+			}
+			fr, err := e.resolveFile(name)
+			if err != nil {
+				return nil, err
+			}
+			data, err := base64.StdEncoding.DecodeString(body.FindText(NSDAIF, "Data"))
+			if err != nil {
+				return nil, &core.InvalidExpressionFault{Detail: "bad base64 payload: " + err.Error()}
+			}
+			if err := apply(fr, body.FindText(NSDAIF, "FileName"), data); err != nil {
+				return nil, err
+			}
+			return xmlutil.NewElement(NSDAIF, respName), nil
+		})
+	}
+	writeOp(ActWriteFile, func(fr *daif.FileDataResource, n string, d []byte) error {
+		return fr.WriteFile(n, d)
+	}, "WriteFileResponse")
+	writeOp(ActAppendFile, func(fr *daif.FileDataResource, n string, d []byte) error {
+		return fr.AppendFile(n, d)
+	}, "AppendFileResponse")
+
+	e.handle(FileAccess, ActDeleteFile, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+		name, err := AbstractNameOf(body)
+		if err != nil {
+			return nil, err
+		}
+		fr, err := e.resolveFile(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := fr.DeleteFile(body.FindText(NSDAIF, "FileName")); err != nil {
+			return nil, err
+		}
+		return xmlutil.NewElement(NSDAIF, "DeleteFileResponse"), nil
+	})
+
+	e.handle(FileAccess, ActListFiles, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+		name, err := AbstractNameOf(body)
+		if err != nil {
+			return nil, err
+		}
+		fr, err := e.resolveFileReader(name)
+		if err != nil {
+			return nil, err
+		}
+		infos, err := fr.ListFiles(body.FindText(NSDAIF, "Pattern"))
+		if err != nil {
+			return nil, err
+		}
+		resp := xmlutil.NewElement(NSDAIF, "ListFilesResponse")
+		resp.AppendChild(daif.FileListElement(infos))
+		return resp, nil
+	})
+
+	e.handle(FileAccess, ActStatFile, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+		name, err := AbstractNameOf(body)
+		if err != nil {
+			return nil, err
+		}
+		fr, err := e.resolveFileReader(name)
+		if err != nil {
+			return nil, err
+		}
+		infos, err := fr.ListFiles(body.FindText(NSDAIF, "FileName"))
+		if err != nil {
+			return nil, err
+		}
+		if len(infos) != 1 {
+			return nil, &core.InvalidExpressionFault{
+				Detail: fmt.Sprintf("StatFile matched %d files", len(infos))}
+		}
+		resp := xmlutil.NewElement(NSDAIF, "StatFileResponse")
+		resp.AppendChild(daif.FileListElement(infos))
+		return resp, nil
+	})
+
+	e.handle(FileFactory, ActFileSelectFactory, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+		name, err := AbstractNameOf(body)
+		if err != nil {
+			return nil, err
+		}
+		fr, err := e.resolveFile(name)
+		if err != nil {
+			return nil, err
+		}
+		cfg, err := core.ParseConfiguration(body.Find(NSDAI, "ConfigurationDocument"))
+		if err != nil {
+			return nil, &core.InvalidExpressionFault{Detail: err.Error()}
+		}
+		derived, err := daif.FileSelectFactory(fr, e.target.svc, body.FindText(NSDAIF, "Pattern"), &cfg)
+		if err != nil {
+			return nil, err
+		}
+		e.target.trackDerived(derived)
+		resp := xmlutil.NewElement(NSDAIF, "FileSelectFactoryResponse")
+		resp.AppendChild(e.target.EPRFor(derived.AbstractName()).Element(NSDAI, "DataResourceAddress"))
+		return resp, nil
+	})
+}

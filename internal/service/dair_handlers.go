@@ -1,0 +1,355 @@
+package service
+
+import (
+	"fmt"
+
+	"dais/internal/core"
+	"dais/internal/dair"
+	"dais/internal/rowset"
+	"dais/internal/xmlutil"
+)
+
+// resolveSQL resolves an abstract name to a relational base resource.
+func (e *Endpoint) resolveSQL(name string) (*dair.SQLDataResource, error) {
+	r, err := e.svc.Resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	sr, ok := r.(*dair.SQLDataResource)
+	if !ok {
+		return nil, typeFault(name, "SQL")
+	}
+	return sr, nil
+}
+
+// resolveResponse resolves an abstract name to an SQLResponse resource.
+func (e *Endpoint) resolveResponse(name string) (*dair.SQLResponseResource, error) {
+	r, err := e.svc.Resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	rr, ok := r.(*dair.SQLResponseResource)
+	if !ok {
+		return nil, typeFault(name, "SQLResponse")
+	}
+	return rr, nil
+}
+
+// resolveRowset resolves an abstract name to an SQLRowset resource.
+func (e *Endpoint) resolveRowset(name string) (*dair.SQLRowsetResource, error) {
+	r, err := e.svc.Resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	rr, ok := r.(*dair.SQLRowsetResource)
+	if !ok {
+		return nil, typeFault(name, "SQLRowset")
+	}
+	return rr, nil
+}
+
+// registerDAIR wires the WS-DAIR operations.
+func (e *Endpoint) registerDAIR() {
+	// SQLAccess.SQLExecute — the direct data access pattern of Fig. 2:
+	// the data comes back in the response, in the requested format,
+	// with the SQL communication area alongside.
+	e.handle(SQLAccess, ActSQLExecute, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+		name, err := AbstractNameOf(body)
+		if err != nil {
+			return nil, err
+		}
+		res, err := e.resolveSQL(name)
+		if err != nil {
+			return nil, err
+		}
+		expr, params, err := ParseSQLExpression(body)
+		if err != nil {
+			return nil, &core.InvalidExpressionFault{Detail: err.Error()}
+		}
+		formatURI := body.FindText(NSDAI, "DatasetFormatURI")
+		codec, err := res.Formats().Lookup(formatURI)
+		if err != nil {
+			return nil, &core.InvalidDatasetFormatFault{Format: formatURI}
+		}
+		data, err := res.SQLExecute(expr, params)
+		if err != nil {
+			return nil, err
+		}
+		resp := xmlutil.NewElement(NSDAIR, "SQLExecuteResponse")
+		if rs := data.FirstRowset(); rs != nil {
+			encoded, err := codec.Encode(rs)
+			if err != nil {
+				return nil, err
+			}
+			resp.AppendChild(datasetElement(codec.FormatURI(), encoded))
+		} else {
+			resp.AddText(NSDAIR, "UpdateCount", fmt.Sprintf("%d", data.UpdateCount()))
+		}
+		resp.AppendChild(data.CommunicationAreaElement())
+		return resp, nil
+	})
+
+	// SQLAccess.GetSQLPropertyDocument.
+	e.handle(SQLAccess, ActGetSQLPropertyDoc, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+		name, err := AbstractNameOf(body)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := e.resolveSQL(name); err != nil {
+			return nil, err
+		}
+		doc, err := e.svc.GetDataResourcePropertyDocument(name)
+		if err != nil {
+			return nil, err
+		}
+		resp := xmlutil.NewElement(NSDAIR, "GetSQLPropertyDocumentResponse")
+		resp.AppendChild(doc)
+		return resp, nil
+	})
+
+	// SQLFactory.SQLExecuteFactory — the indirect pattern of Fig. 3:
+	// the response carries an EPR to the derived SQLResponse resource.
+	e.handle(SQLFactory, ActSQLExecuteFactory, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+		name, err := AbstractNameOf(body)
+		if err != nil {
+			return nil, err
+		}
+		res, err := e.resolveSQL(name)
+		if err != nil {
+			return nil, err
+		}
+		expr, params, err := ParseSQLExpression(body)
+		if err != nil {
+			return nil, &core.InvalidExpressionFault{Detail: err.Error()}
+		}
+		cfg, err := core.ParseConfiguration(body.Find(NSDAI, "ConfigurationDocument"))
+		if err != nil {
+			return nil, &core.InvalidExpressionFault{Detail: err.Error()}
+		}
+		derived, err := dair.SQLExecuteFactory(res, e.target.svc, expr, params, &cfg)
+		if err != nil {
+			return nil, err
+		}
+		e.target.trackDerived(derived)
+		resp := xmlutil.NewElement(NSDAIR, "SQLExecuteFactoryResponse")
+		resp.AppendChild(e.target.EPRFor(derived.AbstractName()).Element(NSDAI, "DataResourceAddress"))
+		return resp, nil
+	})
+
+	// ResponseAccess operations.
+	e.handle(SQLResponseAccess, ActGetSQLRowset, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+		name, err := AbstractNameOf(body)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := e.resolveResponse(name)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := intChild(body, NSDAIR, "Index", 0)
+		if err != nil {
+			return nil, &core.InvalidExpressionFault{Detail: err.Error()}
+		}
+		set, err := rr.GetSQLRowset(idx)
+		if err != nil {
+			return nil, err
+		}
+		resp := xmlutil.NewElement(NSDAIR, "GetSQLRowsetResponse")
+		resp.AppendChild(rowset.SQLRowsetElement(set))
+		return resp, nil
+	})
+	e.handle(SQLResponseAccess, ActGetSQLUpdateCount, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+		name, err := AbstractNameOf(body)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := e.resolveResponse(name)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := intChild(body, NSDAIR, "Index", 0)
+		if err != nil {
+			return nil, &core.InvalidExpressionFault{Detail: err.Error()}
+		}
+		n, err := rr.GetSQLUpdateCount(idx)
+		if err != nil {
+			return nil, err
+		}
+		resp := xmlutil.NewElement(NSDAIR, "GetSQLUpdateCountResponse")
+		resp.AddText(NSDAIR, "UpdateCount", fmt.Sprintf("%d", n))
+		return resp, nil
+	})
+	e.handle(SQLResponseAccess, ActGetSQLCommArea, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+		name, err := AbstractNameOf(body)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := e.resolveResponse(name)
+		if err != nil {
+			return nil, err
+		}
+		data := &dair.SQLResponseData{CA: rr.GetSQLCommunicationArea()}
+		resp := xmlutil.NewElement(NSDAIR, "GetSQLCommunicationAreaResponse")
+		resp.AppendChild(data.CommunicationAreaElement())
+		return resp, nil
+	})
+	e.handle(SQLResponseAccess, ActGetSQLReturnValue, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+		name, err := AbstractNameOf(body)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := e.resolveResponse(name)
+		if err != nil {
+			return nil, err
+		}
+		v, err := rr.GetSQLReturnValue()
+		if err != nil {
+			return nil, err
+		}
+		resp := xmlutil.NewElement(NSDAIR, "GetSQLReturnValueResponse")
+		resp.AddText(NSDAIR, "Value", v.String())
+		return resp, nil
+	})
+	e.handle(SQLResponseAccess, ActGetSQLOutputParameter, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+		name, err := AbstractNameOf(body)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := e.resolveResponse(name)
+		if err != nil {
+			return nil, err
+		}
+		v, err := rr.GetSQLOutputParameter(body.FindText(NSDAIR, "ParameterName"))
+		if err != nil {
+			return nil, err
+		}
+		resp := xmlutil.NewElement(NSDAIR, "GetSQLOutputParameterResponse")
+		resp.AddText(NSDAIR, "Value", v.String())
+		return resp, nil
+	})
+	e.handle(SQLResponseAccess, ActGetSQLResponseItem, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+		name, err := AbstractNameOf(body)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := e.resolveResponse(name)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := intChild(body, NSDAIR, "Index", 0)
+		if err != nil {
+			return nil, &core.InvalidExpressionFault{Detail: err.Error()}
+		}
+		item, err := rr.GetSQLResponseItem(idx)
+		if err != nil {
+			return nil, err
+		}
+		resp := xmlutil.NewElement(NSDAIR, "GetSQLResponseItemResponse")
+		switch item.Kind {
+		case dair.ItemRowset:
+			resp.AppendChild(rowset.SQLRowsetElement(item.Rowset))
+		case dair.ItemUpdateCount:
+			resp.AddText(NSDAIR, "UpdateCount", fmt.Sprintf("%d", item.UpdateCount))
+		default:
+			resp.AddText(NSDAIR, "Value", item.Value.String())
+		}
+		return resp, nil
+	})
+	e.handle(SQLResponseAccess, ActGetSQLResponsePropDoc, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+		name, err := AbstractNameOf(body)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := e.resolveResponse(name); err != nil {
+			return nil, err
+		}
+		doc, err := e.svc.GetDataResourcePropertyDocument(name)
+		if err != nil {
+			return nil, err
+		}
+		resp := xmlutil.NewElement(NSDAIR, "GetSQLResponsePropertyDocumentResponse")
+		resp.AppendChild(doc)
+		return resp, nil
+	})
+
+	// ResponseFactory.SQLRowsetFactory — the second hop of Fig. 5.
+	e.handle(SQLResponseFactory, ActSQLRowsetFactory, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+		name, err := AbstractNameOf(body)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := e.resolveResponse(name)
+		if err != nil {
+			return nil, err
+		}
+		formatURI := body.FindText(NSDAI, "DatasetFormatURI")
+		count, err := intChild(body, NSDAIR, "Count", 0)
+		if err != nil {
+			return nil, &core.InvalidExpressionFault{Detail: err.Error()}
+		}
+		cfg, err := core.ParseConfiguration(body.Find(NSDAI, "ConfigurationDocument"))
+		if err != nil {
+			return nil, &core.InvalidExpressionFault{Detail: err.Error()}
+		}
+		derived, err := dair.SQLRowsetFactory(rr, e.target.svc, formatURI, count, &cfg)
+		if err != nil {
+			return nil, err
+		}
+		e.target.trackDerived(derived)
+		resp := xmlutil.NewElement(NSDAIR, "SQLRowsetFactoryResponse")
+		resp.AppendChild(e.target.EPRFor(derived.AbstractName()).Element(NSDAI, "DataResourceAddress"))
+		return resp, nil
+	})
+
+	// RowsetAccess operations — the third hop of Fig. 5.
+	e.handle(SQLRowsetAccess, ActGetTuples, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+		name, err := AbstractNameOf(body)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := e.resolveRowset(name)
+		if err != nil {
+			return nil, err
+		}
+		start, err := intChild(body, NSDAIR, "StartPosition", 1)
+		if err != nil {
+			return nil, &core.InvalidExpressionFault{Detail: err.Error()}
+		}
+		count, err := intChild(body, NSDAIR, "Count", rr.RowCount())
+		if err != nil {
+			return nil, &core.InvalidExpressionFault{Detail: err.Error()}
+		}
+		data, err := rr.GetTuples(start, count)
+		if err != nil {
+			return nil, err
+		}
+		resp := xmlutil.NewElement(NSDAIR, "GetTuplesResponse")
+		resp.AppendChild(datasetElement(rr.FormatURI(), data))
+		return resp, nil
+	})
+	e.handle(SQLRowsetAccess, ActGetRowsetPropDoc, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+		name, err := AbstractNameOf(body)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := e.resolveRowset(name); err != nil {
+			return nil, err
+		}
+		doc, err := e.svc.GetDataResourcePropertyDocument(name)
+		if err != nil {
+			return nil, err
+		}
+		resp := xmlutil.NewElement(NSDAIR, "GetRowsetPropertyDocumentResponse")
+		resp.AppendChild(doc)
+		return resp, nil
+	})
+}
+
+// trackDerived registers a factory-created resource with the endpoint's
+// WSRF registry (the factory already registered it with the data
+// service).
+func (e *Endpoint) trackDerived(r core.DataResource) {
+	if e.wsrfReg != nil {
+		e.wsrfReg.Add(r.AbstractName(), &propertyResource{svc: e.svc, res: r})
+	}
+}

@@ -1,0 +1,316 @@
+package service
+
+import (
+	"fmt"
+
+	"dais/internal/core"
+	"dais/internal/daix"
+	"dais/internal/xmlutil"
+)
+
+// resolveCollection resolves an abstract name to an XML collection
+// resource.
+func (e *Endpoint) resolveCollection(name string) (*daix.XMLCollectionResource, error) {
+	r, err := e.svc.Resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	cr, ok := r.(*daix.XMLCollectionResource)
+	if !ok {
+		return nil, typeFault(name, "XMLCollection")
+	}
+	return cr, nil
+}
+
+// resolveSequence resolves an abstract name to an XML sequence resource.
+func (e *Endpoint) resolveSequence(name string) (*daix.XMLSequenceResource, error) {
+	r, err := e.svc.Resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	sr, ok := r.(*daix.XMLSequenceResource)
+	if !ok {
+		return nil, typeFault(name, "XMLSequence")
+	}
+	return sr, nil
+}
+
+// registerDAIX wires the WS-DAIX operations.
+func (e *Endpoint) registerDAIX() {
+	// XMLCollectionAccess document operations.
+	e.handle(XMLCollectionAccess, ActAddDocument, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+		name, err := AbstractNameOf(body)
+		if err != nil {
+			return nil, err
+		}
+		cr, err := e.resolveCollection(name)
+		if err != nil {
+			return nil, err
+		}
+		docName := body.FindText(NSDAIX, "DocumentName")
+		docWrap := body.Find(NSDAIX, "Document")
+		if docName == "" || docWrap == nil || len(docWrap.ChildElements()) != 1 {
+			return nil, &core.InvalidExpressionFault{Detail: "AddDocument requires DocumentName and a single Document child"}
+		}
+		if err := cr.AddDocument(docName, docWrap.ChildElements()[0]); err != nil {
+			return nil, wrapDAIXErr(err)
+		}
+		return xmlutil.NewElement(NSDAIX, "AddDocumentResponse"), nil
+	})
+	e.handle(XMLCollectionAccess, ActGetDocument, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+		name, err := AbstractNameOf(body)
+		if err != nil {
+			return nil, err
+		}
+		cr, err := e.resolveCollection(name)
+		if err != nil {
+			return nil, err
+		}
+		doc, err := cr.GetDocument(body.FindText(NSDAIX, "DocumentName"))
+		if err != nil {
+			return nil, wrapDAIXErr(err)
+		}
+		resp := xmlutil.NewElement(NSDAIX, "GetDocumentResponse")
+		wrap := resp.Add(NSDAIX, "Document")
+		wrap.AppendChild(doc)
+		return resp, nil
+	})
+	e.handle(XMLCollectionAccess, ActRemoveDocument, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+		name, err := AbstractNameOf(body)
+		if err != nil {
+			return nil, err
+		}
+		cr, err := e.resolveCollection(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := cr.RemoveDocument(body.FindText(NSDAIX, "DocumentName")); err != nil {
+			return nil, wrapDAIXErr(err)
+		}
+		return xmlutil.NewElement(NSDAIX, "RemoveDocumentResponse"), nil
+	})
+	e.handle(XMLCollectionAccess, ActListDocuments, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+		name, err := AbstractNameOf(body)
+		if err != nil {
+			return nil, err
+		}
+		cr, err := e.resolveCollection(name)
+		if err != nil {
+			return nil, err
+		}
+		names, err := cr.ListDocuments()
+		if err != nil {
+			return nil, wrapDAIXErr(err)
+		}
+		resp := xmlutil.NewElement(NSDAIX, "ListDocumentsResponse")
+		for _, n := range names {
+			resp.AddText(NSDAIX, "DocumentName", n)
+		}
+		return resp, nil
+	})
+
+	// XMLCollectionAccess sub-collection operations.
+	e.handle(XMLCollectionAccess, ActCreateSubcollection, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+		name, err := AbstractNameOf(body)
+		if err != nil {
+			return nil, err
+		}
+		cr, err := e.resolveCollection(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := cr.CreateSubcollection(body.FindText(NSDAIX, "CollectionName")); err != nil {
+			return nil, wrapDAIXErr(err)
+		}
+		return xmlutil.NewElement(NSDAIX, "CreateSubcollectionResponse"), nil
+	})
+	e.handle(XMLCollectionAccess, ActRemoveSubcollection, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+		name, err := AbstractNameOf(body)
+		if err != nil {
+			return nil, err
+		}
+		cr, err := e.resolveCollection(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := cr.RemoveSubcollection(body.FindText(NSDAIX, "CollectionName")); err != nil {
+			return nil, wrapDAIXErr(err)
+		}
+		return xmlutil.NewElement(NSDAIX, "RemoveSubcollectionResponse"), nil
+	})
+	e.handle(XMLCollectionAccess, ActListSubcollections, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+		name, err := AbstractNameOf(body)
+		if err != nil {
+			return nil, err
+		}
+		cr, err := e.resolveCollection(name)
+		if err != nil {
+			return nil, err
+		}
+		names, err := cr.ListSubcollections()
+		if err != nil {
+			return nil, wrapDAIXErr(err)
+		}
+		resp := xmlutil.NewElement(NSDAIX, "ListSubcollectionsResponse")
+		for _, n := range names {
+			resp.AddText(NSDAIX, "CollectionName", n)
+		}
+		return resp, nil
+	})
+
+	// Query interfaces.
+	e.handle(XMLQueryAccess, ActXPathExecute, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+		name, err := AbstractNameOf(body)
+		if err != nil {
+			return nil, err
+		}
+		cr, err := e.resolveCollection(name)
+		if err != nil {
+			return nil, err
+		}
+		results, err := cr.XPathExecute(body.FindText(NSDAIX, "Expression"))
+		if err != nil {
+			return nil, err
+		}
+		resp := xmlutil.NewElement(NSDAIX, "XPathExecuteResponse")
+		resp.AppendChild(daix.WrapResults(results))
+		return resp, nil
+	})
+	e.handle(XMLQueryAccess, ActXQueryExecute, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+		name, err := AbstractNameOf(body)
+		if err != nil {
+			return nil, err
+		}
+		cr, err := e.resolveCollection(name)
+		if err != nil {
+			return nil, err
+		}
+		results, err := cr.XQueryExecute(body.FindText(NSDAIX, "Expression"))
+		if err != nil {
+			return nil, err
+		}
+		resp := xmlutil.NewElement(NSDAIX, "XQueryExecuteResponse")
+		resp.AppendChild(daix.WrapResults(results))
+		return resp, nil
+	})
+	e.handle(XMLQueryAccess, ActXUpdateExecute, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+		name, err := AbstractNameOf(body)
+		if err != nil {
+			return nil, err
+		}
+		cr, err := e.resolveCollection(name)
+		if err != nil {
+			return nil, err
+		}
+		mods := body.Find("", "modifications")
+		if mods == nil {
+			return nil, &core.InvalidExpressionFault{Detail: "XUpdateExecute requires an xupdate:modifications child"}
+		}
+		n, err := cr.XUpdateExecute(body.FindText(NSDAIX, "DocumentName"), mods)
+		if err != nil {
+			return nil, err
+		}
+		resp := xmlutil.NewElement(NSDAIX, "XUpdateExecuteResponse")
+		resp.AddText(NSDAIX, "NodesModified", fmt.Sprintf("%d", n))
+		return resp, nil
+	})
+
+	// Factories (indirect access).
+	e.handle(XMLFactory, ActXPathFactory, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+		return e.sequenceFactory(body, func(cr *daix.XMLCollectionResource, expr string, cfg *core.Configuration) (*daix.XMLSequenceResource, error) {
+			return daix.XPathFactory(cr, e.target.svc, expr, cfg)
+		}, "XPathExecuteFactoryResponse")
+	})
+	e.handle(XMLFactory, ActXQueryFactory, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+		return e.sequenceFactory(body, func(cr *daix.XMLCollectionResource, expr string, cfg *core.Configuration) (*daix.XMLSequenceResource, error) {
+			return daix.XQueryFactory(cr, e.target.svc, expr, cfg)
+		}, "XQueryExecuteFactoryResponse")
+	})
+	e.handle(XMLFactory, ActCollectionFactory, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+		name, err := AbstractNameOf(body)
+		if err != nil {
+			return nil, err
+		}
+		cr, err := e.resolveCollection(name)
+		if err != nil {
+			return nil, err
+		}
+		cfg, err := core.ParseConfiguration(body.Find(NSDAI, "ConfigurationDocument"))
+		if err != nil {
+			return nil, &core.InvalidExpressionFault{Detail: err.Error()}
+		}
+		derived, err := daix.CollectionFactory(cr, e.target.svc, body.FindText(NSDAIX, "CollectionName"), &cfg)
+		if err != nil {
+			return nil, wrapDAIXErr(err)
+		}
+		e.target.trackDerived(derived)
+		resp := xmlutil.NewElement(NSDAIX, "CollectionFactoryResponse")
+		resp.AppendChild(e.target.EPRFor(derived.AbstractName()).Element(NSDAI, "DataResourceAddress"))
+		return resp, nil
+	})
+
+	// Sequence access.
+	e.handle(XMLSequenceAccess, ActGetItems, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+		name, err := AbstractNameOf(body)
+		if err != nil {
+			return nil, err
+		}
+		sr, err := e.resolveSequence(name)
+		if err != nil {
+			return nil, err
+		}
+		start, err := intChild(body, NSDAIX, "StartPosition", 1)
+		if err != nil {
+			return nil, &core.InvalidExpressionFault{Detail: err.Error()}
+		}
+		count, err := intChild(body, NSDAIX, "Count", sr.ItemCount())
+		if err != nil {
+			return nil, &core.InvalidExpressionFault{Detail: err.Error()}
+		}
+		items, err := sr.GetItems(start, count)
+		if err != nil {
+			return nil, err
+		}
+		resp := xmlutil.NewElement(NSDAIX, "GetItemsResponse")
+		resp.AppendChild(daix.WrapResults(items))
+		return resp, nil
+	})
+}
+
+// sequenceFactory shares the XPath/XQuery factory plumbing.
+func (e *Endpoint) sequenceFactory(body *xmlutil.Element,
+	run func(*daix.XMLCollectionResource, string, *core.Configuration) (*daix.XMLSequenceResource, error),
+	respName string) (*xmlutil.Element, error) {
+	name, err := AbstractNameOf(body)
+	if err != nil {
+		return nil, err
+	}
+	cr, err := e.resolveCollection(name)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := core.ParseConfiguration(body.Find(NSDAI, "ConfigurationDocument"))
+	if err != nil {
+		return nil, &core.InvalidExpressionFault{Detail: err.Error()}
+	}
+	derived, err := run(cr, body.FindText(NSDAIX, "Expression"), &cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.target.trackDerived(derived)
+	resp := xmlutil.NewElement(NSDAIX, respName)
+	resp.AppendChild(e.target.EPRFor(derived.AbstractName()).Element(NSDAI, "DataResourceAddress"))
+	return resp, nil
+}
+
+// wrapDAIXErr converts plain xmldb errors into DAIS faults while
+// passing typed faults through.
+func wrapDAIXErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if core.FaultName(err) != "" {
+		return err
+	}
+	return &core.InvalidExpressionFault{Detail: err.Error()}
+}

@@ -1,0 +1,347 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+
+	"dais/internal/core"
+	"dais/internal/soap"
+	"dais/internal/wsaddr"
+	"dais/internal/wsrf"
+	"dais/internal/xmlutil"
+)
+
+// Interfaces selects which DAIS port types an endpoint exposes. The
+// paper (§4.3) notes "DAIS does not prescribe how these operations are
+// to be combined to form services; the proposed interfaces may be used
+// in isolation or in conjunction with others" — Fig. 5's three data
+// services expose three different combinations.
+type Interfaces uint32
+
+// Interface flags.
+const (
+	CoreDataAccess Interfaces = 1 << iota
+	CoreResourceList
+	SQLAccess
+	SQLFactory
+	SQLResponseAccess
+	SQLResponseFactory
+	SQLRowsetAccess
+	XMLCollectionAccess
+	XMLQueryAccess
+	XMLFactory
+	XMLSequenceAccess
+	FileAccess
+	FileFactory
+)
+
+// AllInterfaces enables everything.
+const AllInterfaces = CoreDataAccess | CoreResourceList | SQLAccess | SQLFactory |
+	SQLResponseAccess | SQLResponseFactory | SQLRowsetAccess |
+	XMLCollectionAccess | XMLQueryAccess | XMLFactory | XMLSequenceAccess |
+	FileAccess | FileFactory
+
+// Endpoint hosts one data service over SOAP/HTTP, optionally layered
+// with WSRF. It implements http.Handler.
+type Endpoint struct {
+	svc        *core.DataService
+	soapSrv    *soap.Server
+	wsrfReg    *wsrf.Registry
+	interfaces Interfaces
+	// target is where factory operations register derived resources;
+	// defaults to this endpoint (paper Fig. 5 uses distinct services).
+	target *Endpoint
+}
+
+// EndpointOption configures an Endpoint.
+type EndpointOption func(*Endpoint)
+
+// WithWSRF layers WS-ResourceProperties and WS-ResourceLifetime over
+// the endpoint (paper §5 / Fig. 7).
+func WithWSRF() EndpointOption {
+	return func(e *Endpoint) {
+		e.wsrfReg = wsrf.NewRegistry(wsrf.WithDestroyCallback(func(id string) {
+			// WSRF destroy tears down the DAIS relationship too.
+			e.svc.DestroyDataResource(id) //nolint:errcheck // already gone is fine
+		}))
+	}
+}
+
+// WithInterfaces restricts the exposed port types.
+func WithInterfaces(i Interfaces) EndpointOption {
+	return func(e *Endpoint) { e.interfaces = i }
+}
+
+// WithFactoryTarget directs factory-created resources to another
+// endpoint (Fig. 5's Data Service 2 / 3 pattern).
+func WithFactoryTarget(t *Endpoint) EndpointOption {
+	return func(e *Endpoint) { e.target = t }
+}
+
+// NewEndpoint builds an endpoint for a data service.
+func NewEndpoint(svc *core.DataService, opts ...EndpointOption) *Endpoint {
+	e := &Endpoint{svc: svc, soapSrv: soap.NewServer(), interfaces: AllInterfaces}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.target == nil {
+		e.target = e
+	}
+	// Keep the WSRF registry in sync with plain-DAIS destroys.
+	if e.wsrfReg != nil {
+		reg := e.wsrfReg
+		svc.OnDestroy(func(name string) { reg.Remove(name) })
+	}
+	e.registerCore()
+	e.registerDAIR()
+	e.registerDAIX()
+	e.registerDAIF()
+	e.registerWSRF()
+	return e
+}
+
+// Service returns the hosted data service.
+func (e *Endpoint) Service() *core.DataService { return e.svc }
+
+// WSRF returns the WSRF registry, or nil when the layer is disabled.
+func (e *Endpoint) WSRF() *wsrf.Registry { return e.wsrfReg }
+
+// ServeHTTP implements http.Handler. POST carries SOAP; GET with a
+// ?wsdl query serves the generated interface description.
+func (e *Endpoint) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet {
+		if _, ok := r.URL.Query()["wsdl"]; ok {
+			e.serveWSDL(w)
+			return
+		}
+		http.Error(w, "DAIS endpoint: POST SOAP requests here, or GET ?wsdl for the description", http.StatusBadRequest)
+		return
+	}
+	e.soapSrv.ServeHTTP(w, r)
+}
+
+// Register adds a resource to the data service and, when WSRF is
+// enabled, to the WSRF registry.
+func (e *Endpoint) Register(r core.DataResource) {
+	e.svc.AddResource(r)
+	if e.wsrfReg != nil {
+		e.wsrfReg.Add(r.AbstractName(), &propertyResource{svc: e.svc, res: r})
+	}
+}
+
+// EPRFor mints an EPR for a resource hosted here: the service address
+// plus the abstract name as a reference parameter (paper §3).
+func (e *Endpoint) EPRFor(abstractName string) *wsaddr.EndpointReference {
+	epr := wsaddr.NewEPR(e.svc.Address())
+	p := xmlutil.NewElement(NSDAI, "DataResourceAbstractName")
+	p.SetText(abstractName)
+	epr.AddReferenceParameter(p)
+	return epr
+}
+
+// propertyResource adapts a DAIS resource to the wsrf.Resource
+// interface: its property document is the WS-DAI document the service
+// builds.
+type propertyResource struct {
+	svc *core.DataService
+	res core.DataResource
+}
+
+func (p *propertyResource) PropertyDocument() *xmlutil.Element {
+	return p.svc.BuildPropertyDocument(p.res)
+}
+
+// has reports whether an interface flag is enabled.
+func (e *Endpoint) has(i Interfaces) bool { return e.interfaces&i != 0 }
+
+// handle wraps a body-level handler with envelope plumbing: the
+// ConcurrentAccess gate, fault mapping and WS-Addressing reply headers.
+func (e *Endpoint) handle(iface Interfaces, action string, f func(body *xmlutil.Element) (*xmlutil.Element, error)) {
+	if !e.has(iface) {
+		return
+	}
+	e.soapSrv.Handle(action, func(_ string, env *soap.Envelope) (*soap.Envelope, error) {
+		body := env.BodyEntry()
+		if body == nil {
+			return nil, soap.ClientFault("empty SOAP body")
+		}
+		release := e.svc.Enter()
+		resp, err := f(body)
+		release()
+		if err != nil {
+			return nil, toSOAPFault(err)
+		}
+		out := soap.NewEnvelope(resp)
+		req := wsaddr.FromEnvelope(env)
+		wsaddr.ReplyHeaders(req, action+"Response").Attach(out)
+		return out, nil
+	})
+}
+
+// toSOAPFault maps DAIS typed faults to SOAP faults with structured
+// detail; everything else becomes a Server fault.
+func toSOAPFault(err error) *soap.Fault {
+	if f, ok := err.(*soap.Fault); ok {
+		return f
+	}
+	name := core.FaultName(err)
+	if name == "" {
+		return soap.ServerFault("%v", err)
+	}
+	detail := xmlutil.NewElement(NSDAI, name)
+	detail.AddText(NSDAI, "Message", err.Error())
+	detail.AddText(NSDAI, "Value", faultValue(err))
+	f := soap.ClientFault("%v", err)
+	f.Detail = detail
+	return f
+}
+
+// faultValue extracts the typed payload of a DAIS fault so consumers
+// can reconstruct the fault exactly.
+func faultValue(err error) string {
+	switch f := err.(type) {
+	case *core.InvalidResourceNameFault:
+		return f.Name
+	case *core.InvalidLanguageFault:
+		return f.Language
+	case *core.InvalidDatasetFormatFault:
+		return f.Format
+	case *core.NotAuthorizedFault:
+		return f.Reason
+	case *core.InvalidExpressionFault:
+		return f.Detail
+	}
+	return ""
+}
+
+// DecodeFault converts a SOAP fault received by a consumer back into
+// the matching DAIS typed fault when the detail identifies one.
+func DecodeFault(err error) error {
+	f, ok := err.(*soap.Fault)
+	if !ok || f.Detail == nil {
+		return err
+	}
+	value := f.Detail.FindText(NSDAI, "Value")
+	if value == "" {
+		value = f.Detail.FindText(NSDAI, "Message")
+	}
+	switch f.Detail.Name.Local {
+	case "InvalidResourceNameFault":
+		return &core.InvalidResourceNameFault{Name: value}
+	case "InvalidLanguageFault":
+		return &core.InvalidLanguageFault{Language: value}
+	case "InvalidDatasetFormatFault":
+		return &core.InvalidDatasetFormatFault{Format: value}
+	case "NotAuthorizedFault":
+		return &core.NotAuthorizedFault{Reason: value}
+	case "InvalidExpressionFault":
+		return &core.InvalidExpressionFault{Detail: value}
+	case "ServiceBusyFault":
+		return &core.ServiceBusyFault{}
+	}
+	return err
+}
+
+// datasetElement embeds encoded data in a response: XML formats are
+// embedded as element trees, others (CSV) as text.
+func datasetElement(formatURI string, data []byte) *xmlutil.Element {
+	e := xmlutil.NewElement(NSDAI, "Dataset")
+	e.SetAttr("", "formatURI", formatURI)
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) > 0 && trimmed[0] == '<' {
+		if parsed, err := xmlutil.Parse(bytes.NewReader(trimmed)); err == nil {
+			e.AppendChild(parsed)
+			return e
+		}
+	}
+	e.SetText(string(data))
+	return e
+}
+
+// DatasetPayload extracts the raw bytes and format URI from a Dataset
+// element produced by datasetElement.
+func DatasetPayload(e *xmlutil.Element) ([]byte, string) {
+	if e == nil {
+		return nil, ""
+	}
+	format := e.AttrValue("", "formatURI")
+	if kids := e.ChildElements(); len(kids) == 1 {
+		return xmlutil.Marshal(kids[0]), format
+	}
+	return []byte(e.Text()), format
+}
+
+// registerCore wires the WS-DAI operations.
+func (e *Endpoint) registerCore() {
+	e.handle(CoreDataAccess, ActGetPropertyDocument, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+		name, err := AbstractNameOf(body)
+		if err != nil {
+			return nil, err
+		}
+		doc, err := e.svc.GetDataResourcePropertyDocument(name)
+		if err != nil {
+			return nil, err
+		}
+		resp := xmlutil.NewElement(NSDAI, "GetDataResourcePropertyDocumentResponse")
+		resp.AppendChild(doc)
+		return resp, nil
+	})
+	e.handle(CoreDataAccess, ActGenericQuery, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+		name, err := AbstractNameOf(body)
+		if err != nil {
+			return nil, err
+		}
+		lang := body.FindText(NSDAI, "GenericQueryLanguage")
+		expr := body.FindText(NSDAI, "Expression")
+		result, err := e.svc.GenericQuery(name, lang, expr)
+		if err != nil {
+			return nil, err
+		}
+		resp := xmlutil.NewElement(NSDAI, "GenericQueryResponse")
+		resp.AppendChild(result)
+		return resp, nil
+	})
+	e.handle(CoreDataAccess, ActDestroyDataResource, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+		name, err := AbstractNameOf(body)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.svc.DestroyDataResource(name); err != nil {
+			return nil, err
+		}
+		return xmlutil.NewElement(NSDAI, "DestroyDataResourceResponse"), nil
+	})
+	e.handle(CoreResourceList, ActGetResourceList, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+		resp := xmlutil.NewElement(NSDAI, "GetResourceListResponse")
+		for _, n := range e.svc.GetResourceList() {
+			resp.AddText(NSDAI, "DataResourceAbstractName", n)
+		}
+		return resp, nil
+	})
+	e.handle(CoreResourceList, ActResolve, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+		name, err := AbstractNameOf(body)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := e.svc.Resolve(name); err != nil {
+			return nil, err
+		}
+		resp := xmlutil.NewElement(NSDAI, "ResolveResponse")
+		resp.AppendChild(e.EPRFor(name).Element(NSDAI, "DataResourceAddress"))
+		return resp, nil
+	})
+}
+
+// typeFault builds the fault for a resource of the wrong realisation.
+func typeFault(name, want string) error {
+	return &core.InvalidResourceNameFault{Name: name + " (not a " + want + " resource)"}
+}
+
+// splitQName separates an optional prefix from a QName string.
+func localOfQName(q string) string {
+	if i := strings.LastIndex(q, ":"); i >= 0 {
+		return q[i+1:]
+	}
+	return q
+}

@@ -1,0 +1,158 @@
+// Package service binds the WS-DAI, WS-DAIR and WS-DAIX operations to
+// SOAP over HTTP, preserving the message patterns the paper prescribes:
+// every request carries the data resource abstract name in the SOAP
+// body (paper §3: "DAIS mandates the inclusion of the data resource's
+// abstract name in the body of the message so that the messaging
+// framework is the same regardless of whether WSRF is used or not"),
+// with an optional WS-Addressing EPR in the header; factory responses
+// return EPRs whose reference parameters carry the derived resource's
+// abstract name; and the optional WSRF layer adds fine-grained property
+// access and soft-state lifetime management over the same resources.
+package service
+
+import (
+	"fmt"
+	"strconv"
+
+	"dais/internal/core"
+	"dais/internal/dair"
+	"dais/internal/daix"
+	"dais/internal/sqlengine"
+	"dais/internal/wsrf"
+	"dais/internal/xmlutil"
+)
+
+// Namespace aliases re-exported for message construction.
+const (
+	NSDAI  = core.NSDAI
+	NSDAIR = dair.NSDAIR
+	NSDAIX = daix.NSDAIX
+)
+
+// Action URIs, one per operation. The SOAP dispatcher routes on them.
+const (
+	// WS-DAI core.
+	ActGetPropertyDocument = NSDAI + "/GetDataResourcePropertyDocument"
+	ActGenericQuery        = NSDAI + "/GenericQuery"
+	ActDestroyDataResource = NSDAI + "/DestroyDataResource"
+	ActGetResourceList     = NSDAI + "/GetResourceList"
+	ActResolve             = NSDAI + "/Resolve"
+
+	// WS-DAIR.
+	ActSQLExecute            = NSDAIR + "/SQLExecute"
+	ActGetSQLPropertyDoc     = NSDAIR + "/GetSQLPropertyDocument"
+	ActSQLExecuteFactory     = NSDAIR + "/SQLExecuteFactory"
+	ActGetSQLRowset          = NSDAIR + "/GetSQLRowset"
+	ActGetSQLUpdateCount     = NSDAIR + "/GetSQLUpdateCount"
+	ActGetSQLReturnValue     = NSDAIR + "/GetSQLReturnValue"
+	ActGetSQLOutputParameter = NSDAIR + "/GetSQLOutputParameter"
+	ActGetSQLCommArea        = NSDAIR + "/GetSQLCommunicationArea"
+	ActGetSQLResponseItem    = NSDAIR + "/GetSQLResponseItem"
+	ActGetSQLResponsePropDoc = NSDAIR + "/GetSQLResponsePropertyDocument"
+	ActSQLRowsetFactory      = NSDAIR + "/SQLRowsetFactory"
+	ActGetTuples             = NSDAIR + "/GetTuples"
+	ActGetRowsetPropDoc      = NSDAIR + "/GetRowsetPropertyDocument"
+
+	// WS-DAIX.
+	ActAddDocument         = NSDAIX + "/AddDocument"
+	ActGetDocument         = NSDAIX + "/GetDocument"
+	ActRemoveDocument      = NSDAIX + "/RemoveDocument"
+	ActListDocuments       = NSDAIX + "/ListDocuments"
+	ActCreateSubcollection = NSDAIX + "/CreateSubcollection"
+	ActRemoveSubcollection = NSDAIX + "/RemoveSubcollection"
+	ActListSubcollections  = NSDAIX + "/ListSubcollections"
+	ActXPathExecute        = NSDAIX + "/XPathExecute"
+	ActXQueryExecute       = NSDAIX + "/XQueryExecute"
+	ActXUpdateExecute      = NSDAIX + "/XUpdateExecute"
+	ActXPathFactory        = NSDAIX + "/XPathExecuteFactory"
+	ActXQueryFactory       = NSDAIX + "/XQueryExecuteFactory"
+	ActCollectionFactory   = NSDAIX + "/CollectionFactory"
+	ActGetItems            = NSDAIX + "/GetItems"
+
+	// WSRF (optional layer).
+	ActGetResourceProperty      = wsrf.NSRP + "/GetResourceProperty"
+	ActSetResourceProperties    = wsrf.NSRP + "/SetResourceProperties"
+	ActGetMultipleResourceProps = wsrf.NSRP + "/GetMultipleResourceProperties"
+	ActQueryResourceProperties  = wsrf.NSRP + "/QueryResourceProperties"
+	ActSetTerminationTime       = wsrf.NSRL + "/SetTerminationTime"
+	ActWSRFDestroy              = wsrf.NSRL + "/Destroy"
+)
+
+// NewRequest builds a request body element in the given namespace with
+// the mandatory DataResourceAbstractName child.
+func NewRequest(ns, local, abstractName string) *xmlutil.Element {
+	e := xmlutil.NewElement(ns, local)
+	e.AddText(NSDAI, "DataResourceAbstractName", abstractName)
+	return e
+}
+
+// AbstractNameOf extracts the mandatory abstract name from a request
+// body, enforcing the §3/§5 framing rule.
+func AbstractNameOf(body *xmlutil.Element) (string, error) {
+	if body == nil {
+		return "", fmt.Errorf("service: empty request body")
+	}
+	n := body.FindText(NSDAI, "DataResourceAbstractName")
+	if n == "" {
+		return "", fmt.Errorf("service: request %s is missing the DataResourceAbstractName body element", body.Name.Local)
+	}
+	return n, nil
+}
+
+// AddSQLExpression renders an SQLExpression element (expression text
+// plus positional parameters) into a request.
+func AddSQLExpression(req *xmlutil.Element, expression string, params []sqlengine.Value) {
+	se := req.Add(NSDAIR, "SQLExpression")
+	se.AddText(NSDAIR, "Expression", expression)
+	for _, p := range params {
+		pe := se.Add(NSDAIR, "Parameter")
+		if p.IsNull() {
+			pe.SetAttr("", "isNull", "true")
+		} else {
+			pe.SetAttr("", "type", p.Type.String())
+			pe.SetText(p.String())
+		}
+	}
+}
+
+// ParseSQLExpression decodes an SQLExpression element.
+func ParseSQLExpression(req *xmlutil.Element) (string, []sqlengine.Value, error) {
+	se := req.Find(NSDAIR, "SQLExpression")
+	if se == nil {
+		return "", nil, fmt.Errorf("service: request is missing SQLExpression")
+	}
+	expr := se.FindText(NSDAIR, "Expression")
+	if expr == "" {
+		return "", nil, fmt.Errorf("service: SQLExpression has no Expression")
+	}
+	var params []sqlengine.Value
+	for _, pe := range se.FindAll(NSDAIR, "Parameter") {
+		if pe.AttrValue("", "isNull") == "true" {
+			params = append(params, sqlengine.Null)
+			continue
+		}
+		t, err := sqlengine.TypeFromName(pe.AttrValue("", "type"))
+		if err != nil {
+			t = sqlengine.TypeVarchar
+		}
+		v, err := sqlengine.NewString(pe.Text()).Coerce(t)
+		if err != nil {
+			return "", nil, fmt.Errorf("service: bad parameter %q: %w", pe.Text(), err)
+		}
+		params = append(params, v)
+	}
+	return expr, params, nil
+}
+
+// intChild reads an integer child element, with a default when absent.
+func intChild(body *xmlutil.Element, ns, local string, def int) (int, error) {
+	el := body.Find(ns, local)
+	if el == nil {
+		return def, nil
+	}
+	n, err := strconv.Atoi(el.Text())
+	if err != nil {
+		return 0, fmt.Errorf("service: %s: %w", local, err)
+	}
+	return n, nil
+}

@@ -1,0 +1,224 @@
+package soap
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"dais/internal/xmlutil"
+)
+
+// contentType is the SOAP 1.1 HTTP media type.
+const contentType = "text/xml; charset=utf-8"
+
+// Client issues SOAP calls over HTTP. The zero value is not usable;
+// construct with NewClient.
+type Client struct {
+	httpClient *http.Client
+	// BytesSent and BytesReceived accumulate wire sizes for the
+	// evaluation harness (E1/E2/E3 measure data movement).
+	bytesSent     atomic.Int64
+	bytesReceived atomic.Int64
+}
+
+// NewClient returns a Client using the given HTTP client, or
+// http.DefaultClient when nil.
+func NewClient(hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{httpClient: hc}
+}
+
+// BytesSent reports the cumulative request bytes written by this client.
+func (c *Client) BytesSent() int64 { return c.bytesSent.Load() }
+
+// BytesReceived reports the cumulative response bytes read.
+func (c *Client) BytesReceived() int64 { return c.bytesReceived.Load() }
+
+// ResetCounters zeroes the byte counters.
+func (c *Client) ResetCounters() {
+	c.bytesSent.Store(0)
+	c.bytesReceived.Store(0)
+}
+
+// Call posts the request envelope to url with the given SOAPAction and
+// returns the response envelope. A SOAP fault in the response is
+// returned as a *Fault error; the envelope is still returned for
+// callers that need header context.
+func (c *Client) Call(url, action string, req *Envelope) (*Envelope, error) {
+	payload := req.Marshal()
+	c.bytesSent.Add(int64(len(payload)))
+	httpReq, err := http.NewRequest(http.MethodPost, url, io.NopCloser(newBytesReader(payload)))
+	if err != nil {
+		return nil, fmt.Errorf("soap: build request: %w", err)
+	}
+	httpReq.ContentLength = int64(len(payload))
+	httpReq.Header.Set("Content-Type", contentType)
+	httpReq.Header.Set("SOAPAction", `"`+action+`"`)
+	resp, err := c.httpClient.Do(httpReq)
+	if err != nil {
+		return nil, fmt.Errorf("soap: transport: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("soap: read response: %w", err)
+	}
+	c.bytesReceived.Add(int64(len(data)))
+	env, err := ParseEnvelope(data)
+	if err != nil {
+		return nil, fmt.Errorf("soap: response (HTTP %d): %w", resp.StatusCode, err)
+	}
+	if f, ok := AsFault(env.BodyEntry()); ok {
+		return env, f
+	}
+	return env, nil
+}
+
+// HandlerFunc processes one SOAP request. Returning a *Fault (as the
+// error) produces a SOAP fault response; any other error becomes a
+// Server fault with the error text.
+type HandlerFunc func(action string, req *Envelope) (*Envelope, error)
+
+// Server routes SOAP requests by wsa:Action / SOAPAction to registered
+// handlers. It implements http.Handler.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[string]HandlerFunc
+	fallback HandlerFunc
+}
+
+// NewServer returns an empty SOAP dispatch server.
+func NewServer() *Server {
+	return &Server{handlers: make(map[string]HandlerFunc)}
+}
+
+// Handle registers a handler for an action URI.
+func (s *Server) Handle(action string, h HandlerFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[action] = h
+}
+
+// HandleFallback registers a handler invoked when no action matches.
+func (s *Server) HandleFallback(h HandlerFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fallback = h
+}
+
+// Actions returns the registered action URIs (for service metadata).
+func (s *Server) Actions() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.handlers))
+	for a := range s.handlers {
+		out = append(out, a)
+	}
+	return out
+}
+
+// ServeHTTP decodes the envelope, resolves the action (preferring the
+// wsa:Action header over the HTTP SOAPAction header), dispatches, and
+// writes the response envelope. Faults are returned with HTTP 500 as
+// SOAP 1.1 over HTTP requires.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "SOAP endpoint: POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		s.writeFault(w, ClientFault("unreadable request: %v", err))
+		return
+	}
+	env, err := ParseEnvelope(data)
+	if err != nil {
+		s.writeFault(w, ClientFault("malformed envelope: %v", err))
+		return
+	}
+	action := headerAction(env)
+	if action == "" {
+		action = trimQuotes(r.Header.Get("SOAPAction"))
+	}
+	s.mu.RLock()
+	h, ok := s.handlers[action]
+	fb := s.fallback
+	s.mu.RUnlock()
+	if !ok {
+		if fb == nil {
+			s.writeFault(w, ClientFault("no handler for action %q", action))
+			return
+		}
+		h = fb
+	}
+	resp, err := h(action, env)
+	if err != nil {
+		if f, ok := err.(*Fault); ok {
+			s.writeFault(w, f)
+			return
+		}
+		s.writeFault(w, ServerFault("%v", err))
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.WriteHeader(http.StatusOK)
+	w.Write(resp.Marshal())
+}
+
+func (s *Server) writeFault(w http.ResponseWriter, f *Fault) {
+	env := NewEnvelope(f.Element())
+	w.Header().Set("Content-Type", contentType)
+	w.WriteHeader(http.StatusInternalServerError)
+	w.Write(env.Marshal())
+}
+
+// headerAction extracts a WS-Addressing Action header if present. The
+// wsaddr package owns full header handling; this lightweight probe
+// avoids an import cycle.
+func headerAction(env *Envelope) string {
+	for _, h := range env.Header {
+		if h.Name.Local == "Action" {
+			return h.Text()
+		}
+	}
+	return ""
+}
+
+func trimQuotes(s string) string {
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+// bytesReader is a minimal io.Reader over a byte slice; bytes.Reader
+// would also work but this keeps ContentLength handling explicit.
+type bytesReader struct {
+	data []byte
+	off  int
+}
+
+func newBytesReader(b []byte) *bytesReader { return &bytesReader{data: b} }
+
+func (r *bytesReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// MustBody panics if the envelope has no body entry; used by handlers
+// after the dispatcher has already validated the envelope shape.
+func MustBody(env *Envelope) *xmlutil.Element {
+	b := env.BodyEntry()
+	if b == nil {
+		panic("soap: empty body")
+	}
+	return b
+}

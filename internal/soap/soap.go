@@ -1,0 +1,154 @@
+// Package soap implements the subset of SOAP 1.1 needed by the DAIS
+// specifications: envelope construction and parsing, fault generation
+// and decoding, and HTTP transport for both consumers and services.
+//
+// The DAIS message patterns are defined at the level of SOAP body
+// contents (the data resource abstract name is always carried in the
+// body, WS-Addressing headers optionally in the header), so this
+// package deals in xmlutil element trees rather than Go structs.
+package soap
+
+import (
+	"bytes"
+	"fmt"
+
+	"dais/internal/xmlutil"
+)
+
+// Namespace URIs used by the envelope layer.
+const (
+	NSEnvelope = "http://schemas.xmlsoap.org/soap/envelope/"
+)
+
+// Envelope is a decoded SOAP 1.1 envelope. Header may be nil; Body
+// holds zero or more body entry elements (DAIS messages use exactly
+// one).
+type Envelope struct {
+	Header []*xmlutil.Element
+	Body   []*xmlutil.Element
+}
+
+// NewEnvelope returns an envelope with the given single body entry.
+func NewEnvelope(body *xmlutil.Element) *Envelope {
+	return &Envelope{Body: []*xmlutil.Element{body}}
+}
+
+// AddHeader appends a header entry.
+func (e *Envelope) AddHeader(h *xmlutil.Element) { e.Header = append(e.Header, h) }
+
+// BodyEntry returns the first body entry, or nil for an empty body.
+func (e *Envelope) BodyEntry() *xmlutil.Element {
+	if len(e.Body) == 0 {
+		return nil
+	}
+	return e.Body[0]
+}
+
+// FindHeader returns the first header entry with the given name.
+func (e *Envelope) FindHeader(space, local string) *xmlutil.Element {
+	for _, h := range e.Header {
+		if h.Name.Local == local && (space == "" || h.Name.Space == space) {
+			return h
+		}
+	}
+	return nil
+}
+
+// Marshal serialises the envelope, prepending the XML declaration.
+func (e *Envelope) Marshal() []byte {
+	env := xmlutil.NewElement(NSEnvelope, "Envelope")
+	if len(e.Header) > 0 {
+		hdr := env.Add(NSEnvelope, "Header")
+		for _, h := range e.Header {
+			hdr.AppendChild(h.Clone())
+		}
+	}
+	body := env.Add(NSEnvelope, "Body")
+	for _, b := range e.Body {
+		body.AppendChild(b.Clone())
+	}
+	var buf bytes.Buffer
+	buf.WriteString(`<?xml version="1.0" encoding="UTF-8"?>`)
+	buf.Write(xmlutil.Marshal(env))
+	return buf.Bytes()
+}
+
+// ParseEnvelope decodes a serialised envelope.
+func ParseEnvelope(data []byte) (*Envelope, error) {
+	root, err := xmlutil.Parse(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("soap: %w", err)
+	}
+	if root.Name.Space != NSEnvelope || root.Name.Local != "Envelope" {
+		return nil, fmt.Errorf("soap: root element %s is not a SOAP envelope", root.Name)
+	}
+	env := &Envelope{}
+	if hdr := root.Find(NSEnvelope, "Header"); hdr != nil {
+		env.Header = hdr.ChildElements()
+	}
+	body := root.Find(NSEnvelope, "Body")
+	if body == nil {
+		return nil, fmt.Errorf("soap: envelope has no Body")
+	}
+	env.Body = body.ChildElements()
+	return env, nil
+}
+
+// Fault is a SOAP 1.1 fault. Detail may carry structured DAIS fault
+// information and is optional.
+type Fault struct {
+	Code   string // qualified fault code local part, e.g. "Client" or "Server"
+	String string // human-readable explanation
+	Actor  string // optional
+	Detail *xmlutil.Element
+}
+
+// Error implements the error interface so faults propagate naturally
+// through consumer code.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("soap fault %s: %s", f.Code, f.String)
+}
+
+// Element renders the fault as a SOAP Body entry.
+func (f *Fault) Element() *xmlutil.Element {
+	el := xmlutil.NewElement(NSEnvelope, "Fault")
+	// faultcode is a QName in the envelope namespace per SOAP 1.1.
+	el.AddText("", "faultcode", f.Code)
+	el.AddText("", "faultstring", f.String)
+	if f.Actor != "" {
+		el.AddText("", "faultactor", f.Actor)
+	}
+	if f.Detail != nil {
+		d := el.Add("", "detail")
+		d.AppendChild(f.Detail.Clone())
+	}
+	return el
+}
+
+// AsFault inspects a body entry and decodes it as a Fault if it is one.
+func AsFault(body *xmlutil.Element) (*Fault, bool) {
+	if body == nil || body.Name.Local != "Fault" || body.Name.Space != NSEnvelope {
+		return nil, false
+	}
+	f := &Fault{
+		Code:   body.FindText("", "faultcode"),
+		String: body.FindText("", "faultstring"),
+		Actor:  body.FindText("", "faultactor"),
+	}
+	if d := body.Find("", "detail"); d != nil {
+		if kids := d.ChildElements(); len(kids) > 0 {
+			f.Detail = kids[0]
+		}
+	}
+	return f, true
+}
+
+// ClientFault builds a sender-side fault (bad request).
+func ClientFault(format string, args ...any) *Fault {
+	return &Fault{Code: "Client", String: fmt.Sprintf(format, args...)}
+}
+
+// ServerFault builds a receiver-side fault (processing failure).
+func ServerFault(format string, args ...any) *Fault {
+	return &Fault{Code: "Server", String: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,241 @@
+package soap
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dais/internal/xmlutil"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	body := xmlutil.NewElement("urn:test", "DoThing")
+	body.AddText("urn:test", "Arg", "value")
+	env := NewEnvelope(body)
+	hdr := xmlutil.NewElement("urn:hdr", "Action")
+	hdr.SetText("urn:test/DoThing")
+	env.AddHeader(hdr)
+
+	data := env.Marshal()
+	if !strings.HasPrefix(string(data), `<?xml`) {
+		t.Fatal("missing XML declaration")
+	}
+	got, err := ParseEnvelope(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Header) != 1 || got.Header[0].Text() != "urn:test/DoThing" {
+		t.Fatalf("header = %+v", got.Header)
+	}
+	be := got.BodyEntry()
+	if be == nil || be.Name.Local != "DoThing" {
+		t.Fatalf("body = %v", be)
+	}
+	if be.FindText("urn:test", "Arg") != "value" {
+		t.Fatal("body arg lost")
+	}
+}
+
+func TestEnvelopeNoHeader(t *testing.T) {
+	env := NewEnvelope(xmlutil.NewElement("urn:x", "Op"))
+	got, err := ParseEnvelope(env.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Header) != 0 {
+		t.Fatalf("expected no headers, got %d", len(got.Header))
+	}
+}
+
+func TestParseEnvelopeErrors(t *testing.T) {
+	cases := []string{
+		`<NotAnEnvelope/>`,
+		`<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/"><Header/></Envelope>`, // no body
+		`garbage`,
+	}
+	for _, c := range cases {
+		if _, err := ParseEnvelope([]byte(c)); err == nil {
+			t.Errorf("ParseEnvelope(%q): expected error", c)
+		}
+	}
+}
+
+func TestFaultRoundTrip(t *testing.T) {
+	detail := xmlutil.NewElement("urn:dais", "InvalidResourceNameFault")
+	detail.AddText("urn:dais", "Name", "urn:missing")
+	f := &Fault{Code: "Client", String: "unknown resource", Detail: detail}
+	env := NewEnvelope(f.Element())
+	got, err := ParseEnvelope(env.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf, ok := AsFault(got.BodyEntry())
+	if !ok {
+		t.Fatal("not detected as fault")
+	}
+	if gf.Code != "Client" || gf.String != "unknown resource" {
+		t.Fatalf("fault = %+v", gf)
+	}
+	if gf.Detail == nil || gf.Detail.FindText("urn:dais", "Name") != "urn:missing" {
+		t.Fatalf("detail = %v", gf.Detail)
+	}
+	if !strings.Contains(gf.Error(), "unknown resource") {
+		t.Fatal("Error() should include fault string")
+	}
+}
+
+func TestAsFaultNonFault(t *testing.T) {
+	if _, ok := AsFault(xmlutil.NewElement("urn:x", "Response")); ok {
+		t.Fatal("non-fault detected as fault")
+	}
+	if _, ok := AsFault(nil); ok {
+		t.Fatal("nil detected as fault")
+	}
+}
+
+func TestServerDispatch(t *testing.T) {
+	srv := NewServer()
+	srv.Handle("urn:test/Echo", func(action string, req *Envelope) (*Envelope, error) {
+		in := MustBody(req)
+		out := xmlutil.NewElement("urn:test", "EchoResponse")
+		out.AddText("urn:test", "Value", in.FindText("urn:test", "Value"))
+		return NewEnvelope(out), nil
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	body := xmlutil.NewElement("urn:test", "Echo")
+	body.AddText("urn:test", "Value", "ping")
+	client := NewClient(nil)
+	resp, err := client.Call(ts.URL, "urn:test/Echo", NewEnvelope(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.BodyEntry().FindText("urn:test", "Value"); got != "ping" {
+		t.Fatalf("echo = %q", got)
+	}
+	if client.BytesSent() == 0 || client.BytesReceived() == 0 {
+		t.Fatal("byte counters not updated")
+	}
+	client.ResetCounters()
+	if client.BytesSent() != 0 || client.BytesReceived() != 0 {
+		t.Fatal("counters not reset")
+	}
+}
+
+func TestServerUnknownAction(t *testing.T) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := NewClient(nil)
+	_, err := client.Call(ts.URL, "urn:test/Missing", NewEnvelope(xmlutil.NewElement("urn:t", "X")))
+	f, ok := err.(*Fault)
+	if !ok {
+		t.Fatalf("expected fault, got %v", err)
+	}
+	if f.Code != "Client" {
+		t.Fatalf("code = %s", f.Code)
+	}
+}
+
+func TestServerFallback(t *testing.T) {
+	srv := NewServer()
+	srv.HandleFallback(func(action string, req *Envelope) (*Envelope, error) {
+		out := xmlutil.NewElement("urn:t", "Any")
+		out.SetText(action)
+		return NewEnvelope(out), nil
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := NewClient(nil).Call(ts.URL, "urn:whatever", NewEnvelope(xmlutil.NewElement("urn:t", "X")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.BodyEntry().Text() != "urn:whatever" {
+		t.Fatalf("fallback action = %q", resp.BodyEntry().Text())
+	}
+}
+
+func TestServerHandlerFaultAndError(t *testing.T) {
+	srv := NewServer()
+	srv.Handle("urn:t/Fault", func(string, *Envelope) (*Envelope, error) {
+		return nil, ClientFault("explicit fault")
+	})
+	srv.Handle("urn:t/Err", func(string, *Envelope) (*Envelope, error) {
+		return nil, &plainError{"boom"}
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := NewClient(nil)
+
+	_, err := c.Call(ts.URL, "urn:t/Fault", NewEnvelope(xmlutil.NewElement("urn:t", "X")))
+	if f, ok := err.(*Fault); !ok || f.Code != "Client" || f.String != "explicit fault" {
+		t.Fatalf("fault err = %v", err)
+	}
+	_, err = c.Call(ts.URL, "urn:t/Err", NewEnvelope(xmlutil.NewElement("urn:t", "X")))
+	if f, ok := err.(*Fault); !ok || f.Code != "Server" || f.String != "boom" {
+		t.Fatalf("error err = %v", err)
+	}
+}
+
+type plainError struct{ s string }
+
+func (e *plainError) Error() string { return e.s }
+
+func TestWSAddressingActionPreferred(t *testing.T) {
+	srv := NewServer()
+	var got string
+	srv.Handle("urn:wsa/Action", func(action string, req *Envelope) (*Envelope, error) {
+		got = action
+		return NewEnvelope(xmlutil.NewElement("urn:t", "OK")), nil
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	body := xmlutil.NewElement("urn:t", "X")
+	env := NewEnvelope(body)
+	a := xmlutil.NewElement("http://www.w3.org/2005/08/addressing", "Action")
+	a.SetText("urn:wsa/Action")
+	env.AddHeader(a)
+	// HTTP SOAPAction deliberately different; wsa:Action must win.
+	if _, err := NewClient(nil).Call(ts.URL, "urn:other", env); err != nil {
+		t.Fatal(err)
+	}
+	if got != "urn:wsa/Action" {
+		t.Fatalf("dispatched action = %q", got)
+	}
+}
+
+func TestServerRejectsGet(t *testing.T) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status = %d", resp.StatusCode)
+	}
+}
+
+func TestClientServerRoundTripBytes(t *testing.T) {
+	// E-harness sanity: counted bytes equal actual wire payload sizes.
+	srv := NewServer()
+	srv.Handle("a", func(string, *Envelope) (*Envelope, error) {
+		return NewEnvelope(xmlutil.NewElement("urn:t", "R")), nil
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := NewClient(nil)
+	req := NewEnvelope(xmlutil.NewElement("urn:t", "Q"))
+	want := int64(len(req.Marshal()))
+	if _, err := c.Call(ts.URL, "a", req); err != nil {
+		t.Fatal(err)
+	}
+	if c.BytesSent() != want {
+		t.Fatalf("BytesSent = %d, want %d", c.BytesSent(), want)
+	}
+}

@@ -1,0 +1,451 @@
+package sqlengine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Column is catalog metadata for one table column.
+type Column struct {
+	Name       string
+	Type       Type
+	NotNull    bool
+	Unique     bool
+	PrimaryKey bool
+	Default    Expr
+}
+
+// Table holds a table's schema and row storage. Rows are identified by
+// a monotonically increasing rowID so indexes and transaction undo
+// records can reference them stably; the rows map preserves no order,
+// and scans iterate in rowID order for determinism.
+type Table struct {
+	Name    string
+	Columns []Column
+	colIdx  map[string]int // lower-cased column name -> position
+
+	rows   map[int64][]Value
+	nextID int64
+	order  []int64 // insertion order of live rowIDs
+
+	indexes map[string]*Index // lower-cased index name -> index
+}
+
+// Index is a hash index over a single column.
+type Index struct {
+	Name   string
+	Table  string
+	Column string
+	Unique bool
+	// buckets maps group-keyed values to rowIDs. NULLs are not indexed.
+	buckets map[string][]int64
+}
+
+func newTable(name string, cols []Column) *Table {
+	t := &Table{
+		Name:    name,
+		Columns: cols,
+		colIdx:  make(map[string]int, len(cols)),
+		rows:    make(map[int64][]Value),
+		indexes: make(map[string]*Index),
+	}
+	for i, c := range cols {
+		t.colIdx[strings.ToLower(c.Name)] = i
+	}
+	return t
+}
+
+// ColumnIndex resolves a column name (case-insensitive) to its
+// position, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	if i, ok := t.colIdx[strings.ToLower(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+// RowCount returns the number of live rows.
+func (t *Table) RowCount() int { return len(t.order) }
+
+// scan returns live rowIDs in insertion order. The returned slice is
+// shared; callers must not mutate it.
+func (t *Table) scan() []int64 { return t.order }
+
+// insertRow stores a row and maintains indexes. The row must already be
+// coerced and validated.
+func (t *Table) insertRow(row []Value) (int64, error) {
+	id := t.nextID
+	for _, idx := range t.indexes {
+		ci := t.ColumnIndex(idx.Column)
+		v := row[ci]
+		if v.IsNull() {
+			continue
+		}
+		if idx.Unique && len(idx.buckets[v.groupKey()]) > 0 {
+			return 0, fmt.Errorf("unique constraint %s violated on %s.%s (value %s)",
+				idx.Name, t.Name, idx.Column, v)
+		}
+	}
+	t.nextID++
+	t.rows[id] = row
+	t.order = append(t.order, id)
+	for _, idx := range t.indexes {
+		ci := t.ColumnIndex(idx.Column)
+		if v := row[ci]; !v.IsNull() {
+			idx.buckets[v.groupKey()] = append(idx.buckets[v.groupKey()], id)
+		}
+	}
+	return id, nil
+}
+
+// deleteRow removes a row by id, maintaining indexes.
+func (t *Table) deleteRow(id int64) {
+	row, ok := t.rows[id]
+	if !ok {
+		return
+	}
+	for _, idx := range t.indexes {
+		ci := t.ColumnIndex(idx.Column)
+		if v := row[ci]; !v.IsNull() {
+			idx.remove(v, id)
+		}
+	}
+	delete(t.rows, id)
+	for i, oid := range t.order {
+		if oid == id {
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// updateRow replaces a row's values in place, maintaining indexes.
+func (t *Table) updateRow(id int64, newRow []Value) error {
+	old, ok := t.rows[id]
+	if !ok {
+		return fmt.Errorf("row %d not found", id)
+	}
+	for _, idx := range t.indexes {
+		ci := t.ColumnIndex(idx.Column)
+		nv := newRow[ci]
+		if nv.IsNull() || Equal(old[ci], nv) {
+			continue
+		}
+		if idx.Unique {
+			for _, rid := range idx.buckets[nv.groupKey()] {
+				if rid != id {
+					return fmt.Errorf("unique constraint %s violated on %s.%s (value %s)",
+						idx.Name, t.Name, idx.Column, nv)
+				}
+			}
+		}
+	}
+	for _, idx := range t.indexes {
+		ci := t.ColumnIndex(idx.Column)
+		ov, nv := old[ci], newRow[ci]
+		if Equal(ov, nv) || (ov.IsNull() && nv.IsNull()) {
+			continue
+		}
+		if !ov.IsNull() {
+			idx.remove(ov, id)
+		}
+		if !nv.IsNull() {
+			idx.buckets[nv.groupKey()] = append(idx.buckets[nv.groupKey()], id)
+		}
+	}
+	t.rows[id] = newRow
+	return nil
+}
+
+func (ix *Index) remove(v Value, id int64) {
+	key := v.groupKey()
+	b := ix.buckets[key]
+	for i, rid := range b {
+		if rid == id {
+			ix.buckets[key] = append(b[:i], b[i+1:]...)
+			break
+		}
+	}
+	if len(ix.buckets[key]) == 0 {
+		delete(ix.buckets, key)
+	}
+}
+
+// lookup returns rowIDs matching an equality value via the index.
+func (ix *Index) lookup(v Value) []int64 {
+	if v.IsNull() {
+		return nil
+	}
+	return ix.buckets[v.groupKey()]
+}
+
+// Database is the catalog: a named set of tables plus index metadata.
+// It is guarded by a single RW mutex; the Engine layer chooses whether
+// to exploit reader concurrency (the DAIS ConcurrentAccess property).
+type Database struct {
+	mu      sync.RWMutex
+	name    string
+	tables  map[string]*Table // lower-cased name
+	indexes map[string]*Index // lower-cased index name -> owning index
+	views   map[string]*viewDef
+}
+
+// viewDef is a stored view: a name bound to a SELECT.
+type viewDef struct {
+	Name   string
+	Select *SelectStmt
+}
+
+// NewDatabase creates an empty database with the given name.
+func NewDatabase(name string) *Database {
+	return &Database{
+		name:    name,
+		tables:  make(map[string]*Table),
+		indexes: make(map[string]*Index),
+		views:   make(map[string]*viewDef),
+	}
+}
+
+// Name returns the database name.
+func (d *Database) Name() string { return d.name }
+
+// table resolves a table name; callers must hold the lock.
+func (d *Database) table(name string) (*Table, error) {
+	t, ok := d.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("table %q does not exist", name)
+	}
+	return t, nil
+}
+
+// TableNames returns the sorted list of table names (catalog metadata
+// for the CIM rendering and property documents).
+func (d *Database) TableNames() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	names := make([]string, 0, len(d.tables))
+	for _, t := range d.tables {
+		names = append(names, t.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TableSchema returns a copy of the column metadata for a table.
+func (d *Database) TableSchema(name string) ([]Column, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	t, err := d.table(name)
+	if err != nil {
+		return nil, err
+	}
+	return append([]Column(nil), t.Columns...), nil
+}
+
+// TableRowCount returns the number of rows in a table.
+func (d *Database) TableRowCount(name string) (int, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	t, err := d.table(name)
+	if err != nil {
+		return 0, err
+	}
+	return t.RowCount(), nil
+}
+
+// IndexInfo describes one index for catalog consumers.
+type IndexInfo struct {
+	Name   string
+	Table  string
+	Column string
+	Unique bool
+}
+
+// Indexes returns metadata for all indexes, sorted by name.
+func (d *Database) Indexes() []IndexInfo {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]IndexInfo, 0, len(d.indexes))
+	for _, ix := range d.indexes {
+		out = append(out, IndexInfo{Name: ix.Name, Table: ix.Table, Column: ix.Column, Unique: ix.Unique})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (d *Database) createTable(st *CreateTableStmt) error {
+	key := strings.ToLower(st.Name)
+	if _, exists := d.tables[key]; exists {
+		if st.IfNotExists {
+			return nil
+		}
+		return fmt.Errorf("table %q already exists", st.Name)
+	}
+	if _, exists := d.views[key]; exists {
+		return fmt.Errorf("a view named %q already exists", st.Name)
+	}
+	if len(st.Columns) == 0 {
+		return fmt.Errorf("table %q has no columns", st.Name)
+	}
+	cols := make([]Column, len(st.Columns))
+	seen := map[string]bool{}
+	for i, cd := range st.Columns {
+		lk := strings.ToLower(cd.Name)
+		if seen[lk] {
+			return fmt.Errorf("duplicate column %q", cd.Name)
+		}
+		seen[lk] = true
+		cols[i] = Column{
+			Name: cd.Name, Type: cd.Type, NotNull: cd.NotNull,
+			Unique: cd.Unique, PrimaryKey: cd.PrimaryKey, Default: cd.Default,
+		}
+	}
+	t := newTable(st.Name, cols)
+	// Primary key / unique column constraints become unique indexes.
+	for _, pk := range st.PrimaryKey {
+		ci := t.ColumnIndex(pk)
+		if ci < 0 {
+			return fmt.Errorf("primary key column %q not in table", pk)
+		}
+		t.Columns[ci].PrimaryKey = true
+		t.Columns[ci].NotNull = true
+		ixName := fmt.Sprintf("pk_%s_%s", strings.ToLower(st.Name), strings.ToLower(pk))
+		ix := &Index{Name: ixName, Table: st.Name, Column: t.Columns[ci].Name, Unique: true, buckets: map[string][]int64{}}
+		t.indexes[ixName] = ix
+		d.indexes[ixName] = ix
+	}
+	for i := range t.Columns {
+		if t.Columns[i].Unique && !t.Columns[i].PrimaryKey {
+			ixName := fmt.Sprintf("uq_%s_%s", strings.ToLower(st.Name), strings.ToLower(t.Columns[i].Name))
+			ix := &Index{Name: ixName, Table: st.Name, Column: t.Columns[i].Name, Unique: true, buckets: map[string][]int64{}}
+			t.indexes[ixName] = ix
+			d.indexes[ixName] = ix
+		}
+	}
+	d.tables[key] = t
+	return nil
+}
+
+func (d *Database) dropTable(st *DropTableStmt) error {
+	key := strings.ToLower(st.Name)
+	t, exists := d.tables[key]
+	if !exists {
+		if st.IfExists {
+			return nil
+		}
+		return fmt.Errorf("table %q does not exist", st.Name)
+	}
+	for name := range t.indexes {
+		delete(d.indexes, name)
+	}
+	delete(d.tables, key)
+	return nil
+}
+
+func (d *Database) createIndex(st *CreateIndexStmt) error {
+	key := strings.ToLower(st.Name)
+	if _, exists := d.indexes[key]; exists {
+		return fmt.Errorf("index %q already exists", st.Name)
+	}
+	t, err := d.table(st.Table)
+	if err != nil {
+		return err
+	}
+	ci := t.ColumnIndex(st.Column)
+	if ci < 0 {
+		return fmt.Errorf("column %q not in table %q", st.Column, st.Table)
+	}
+	ix := &Index{Name: key, Table: t.Name, Column: t.Columns[ci].Name, Unique: st.Unique, buckets: map[string][]int64{}}
+	// Build from existing rows.
+	for _, id := range t.order {
+		v := t.rows[id][ci]
+		if v.IsNull() {
+			continue
+		}
+		if ix.Unique && len(ix.buckets[v.groupKey()]) > 0 {
+			return fmt.Errorf("cannot create unique index %q: duplicate value %s", st.Name, v)
+		}
+		ix.buckets[v.groupKey()] = append(ix.buckets[v.groupKey()], id)
+	}
+	t.indexes[key] = ix
+	d.indexes[key] = ix
+	return nil
+}
+
+func (d *Database) dropIndex(st *DropIndexStmt) error {
+	key := strings.ToLower(st.Name)
+	ix, exists := d.indexes[key]
+	if !exists {
+		return fmt.Errorf("index %q does not exist", st.Name)
+	}
+	if t, ok := d.tables[strings.ToLower(ix.Table)]; ok {
+		delete(t.indexes, key)
+	}
+	delete(d.indexes, key)
+	return nil
+}
+
+// ViewNames returns the sorted list of view names.
+func (d *Database) ViewNames() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	names := make([]string, 0, len(d.views))
+	for _, v := range d.views {
+		names = append(names, v.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (d *Database) createView(st *CreateViewStmt) error {
+	key := strings.ToLower(st.Name)
+	if _, exists := d.views[key]; exists {
+		return fmt.Errorf("view %q already exists", st.Name)
+	}
+	if _, exists := d.tables[key]; exists {
+		return fmt.Errorf("a table named %q already exists", st.Name)
+	}
+	d.views[key] = &viewDef{Name: st.Name, Select: st.Select}
+	return nil
+}
+
+func (d *Database) dropView(st *DropViewStmt) error {
+	key := strings.ToLower(st.Name)
+	if _, exists := d.views[key]; !exists {
+		return fmt.Errorf("view %q does not exist", st.Name)
+	}
+	delete(d.views, key)
+	return nil
+}
+
+// expandViewTables resolves every name to the base tables it depends
+// on, recursing through views, so the session lock set covers view
+// expansion. depth bounds pathological view cycles.
+func (d *Database) expandViewTables(names []string) []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	seen := map[string]bool{}
+	var out []string
+	var walk func(name string, depth int)
+	walk = func(name string, depth int) {
+		key := strings.ToLower(name)
+		if seen[key] || depth > 16 {
+			return
+		}
+		seen[key] = true
+		if v, ok := d.views[key]; ok {
+			for _, t := range tablesOfSelect(v.Select) {
+				walk(t, depth+1)
+			}
+			return
+		}
+		out = append(out, key)
+	}
+	for _, n := range names {
+		walk(n, 0)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,276 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// undoEntry reverses one physical change; applied in reverse order on
+// rollback while holding the database write lock.
+type undoEntry struct {
+	table string
+	kind  undoKind
+	rowID int64
+	row   []Value // previous image for update/delete
+}
+
+type undoKind int
+
+const (
+	undoInsert undoKind = iota // delete the inserted row
+	undoDelete                 // re-insert the previous image
+	undoUpdate                 // restore the previous image
+)
+
+// execInsert applies an INSERT. Caller holds d.mu for writing. Returns
+// the rows inserted and the undo entries recorded.
+func (d *Database) execInsert(st *InsertStmt, params []Value) (int, []undoEntry, error) {
+	t, err := d.table(st.Table)
+	if err != nil {
+		return 0, nil, err
+	}
+	// Resolve target columns.
+	var targets []int
+	if len(st.Columns) == 0 {
+		targets = make([]int, len(t.Columns))
+		for i := range t.Columns {
+			targets[i] = i
+		}
+	} else {
+		targets = make([]int, len(st.Columns))
+		for i, name := range st.Columns {
+			ci := t.ColumnIndex(name)
+			if ci < 0 {
+				return 0, nil, fmt.Errorf("column %q not in table %q", name, st.Table)
+			}
+			targets[i] = ci
+		}
+	}
+	env := &evalEnv{params: params, db: d}
+	exprRows := st.Rows
+	if st.Query != nil {
+		// INSERT ... SELECT: materialise the query first, then insert
+		// its rows as literal expression rows so the shared validation
+		// and undo paths apply unchanged.
+		set, err := d.execSelectEnv(st.Query, &evalEnv{params: params, db: d})
+		if err != nil {
+			return 0, nil, err
+		}
+		if len(set.Columns) != len(targets) {
+			return 0, nil, fmt.Errorf("INSERT SELECT has %d columns for %d targets", len(set.Columns), len(targets))
+		}
+		exprRows = make([][]Expr, len(set.Rows))
+		for i, r := range set.Rows {
+			row := make([]Expr, len(r))
+			for j, v := range r {
+				row[j] = &LiteralExpr{Value: v}
+			}
+			exprRows[i] = row
+		}
+	}
+	var undo []undoEntry
+	count := 0
+	for _, exprRow := range exprRows {
+		if len(exprRow) != len(targets) {
+			return count, undo, fmt.Errorf("INSERT has %d values for %d columns", len(exprRow), len(targets))
+		}
+		row := make([]Value, len(t.Columns))
+		assigned := make([]bool, len(t.Columns))
+		for i, e := range exprRow {
+			v, err := eval(e, env)
+			if err != nil {
+				return count, undo, err
+			}
+			cv, err := v.Coerce(t.Columns[targets[i]].Type)
+			if err != nil {
+				return count, undo, fmt.Errorf("column %q: %w", t.Columns[targets[i]].Name, err)
+			}
+			row[targets[i]] = cv
+			assigned[targets[i]] = true
+		}
+		for i := range row {
+			if !assigned[i] {
+				if t.Columns[i].Default != nil {
+					v, err := eval(t.Columns[i].Default, env)
+					if err != nil {
+						return count, undo, err
+					}
+					cv, err := v.Coerce(t.Columns[i].Type)
+					if err != nil {
+						return count, undo, err
+					}
+					row[i] = cv
+				} else {
+					row[i] = Null
+				}
+			}
+		}
+		for i, c := range t.Columns {
+			if c.NotNull && row[i].IsNull() {
+				return count, undo, fmt.Errorf("column %q may not be NULL", c.Name)
+			}
+		}
+		id, err := t.insertRow(row)
+		if err != nil {
+			return count, undo, err
+		}
+		undo = append(undo, undoEntry{table: t.Name, kind: undoInsert, rowID: id})
+		count++
+	}
+	return count, undo, nil
+}
+
+// execUpdate applies an UPDATE. Caller holds d.mu for writing.
+func (d *Database) execUpdate(st *UpdateStmt, params []Value) (int, []undoEntry, error) {
+	t, err := d.table(st.Table)
+	if err != nil {
+		return 0, nil, err
+	}
+	env := &evalEnv{params: params, cols: tableBindings(t), db: d}
+	// Pre-resolve SET targets.
+	type setTarget struct {
+		col  int
+		expr Expr
+	}
+	sets := make([]setTarget, len(st.Set))
+	for i, sc := range st.Set {
+		ci := t.ColumnIndex(sc.Column)
+		if ci < 0 {
+			return 0, nil, fmt.Errorf("column %q not in table %q", sc.Column, st.Table)
+		}
+		sets[i] = setTarget{col: ci, expr: sc.Value}
+	}
+	var undo []undoEntry
+	count := 0
+	// Snapshot IDs first: updates must not see their own effects.
+	ids := append([]int64(nil), t.scan()...)
+	for _, id := range ids {
+		row := t.rows[id]
+		env.row = row
+		if st.Where != nil {
+			v, err := eval(st.Where, env)
+			if err != nil {
+				return count, undo, err
+			}
+			ok, err := truthy(v)
+			if err != nil {
+				return count, undo, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		newRow := append([]Value(nil), row...)
+		for _, s := range sets {
+			v, err := eval(s.expr, env)
+			if err != nil {
+				return count, undo, err
+			}
+			cv, err := v.Coerce(t.Columns[s.col].Type)
+			if err != nil {
+				return count, undo, fmt.Errorf("column %q: %w", t.Columns[s.col].Name, err)
+			}
+			if t.Columns[s.col].NotNull && cv.IsNull() {
+				return count, undo, fmt.Errorf("column %q may not be NULL", t.Columns[s.col].Name)
+			}
+			newRow[s.col] = cv
+		}
+		prev := append([]Value(nil), row...)
+		if err := t.updateRow(id, newRow); err != nil {
+			return count, undo, err
+		}
+		undo = append(undo, undoEntry{table: t.Name, kind: undoUpdate, rowID: id, row: prev})
+		count++
+	}
+	return count, undo, nil
+}
+
+// execDelete applies a DELETE. Caller holds d.mu for writing.
+func (d *Database) execDelete(st *DeleteStmt, params []Value) (int, []undoEntry, error) {
+	t, err := d.table(st.Table)
+	if err != nil {
+		return 0, nil, err
+	}
+	env := &evalEnv{params: params, cols: tableBindings(t), db: d}
+	var doomed []int64
+	for _, id := range t.scan() {
+		if st.Where != nil {
+			env.row = t.rows[id]
+			v, err := eval(st.Where, env)
+			if err != nil {
+				return 0, nil, err
+			}
+			ok, err := truthy(v)
+			if err != nil {
+				return 0, nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		doomed = append(doomed, id)
+	}
+	var undo []undoEntry
+	for _, id := range doomed {
+		prev := append([]Value(nil), t.rows[id]...)
+		t.deleteRow(id)
+		undo = append(undo, undoEntry{table: t.Name, kind: undoDelete, rowID: id, row: prev})
+	}
+	return len(doomed), undo, nil
+}
+
+// applyUndo reverses recorded changes, newest first. Caller holds d.mu
+// for writing.
+func (d *Database) applyUndo(entries []undoEntry) {
+	for i := len(entries) - 1; i >= 0; i-- {
+		e := entries[i]
+		t, err := d.table(e.table)
+		if err != nil {
+			continue // table dropped; nothing to restore into
+		}
+		switch e.kind {
+		case undoInsert:
+			t.deleteRow(e.rowID)
+		case undoDelete:
+			// Restore with the original rowID to keep ordering stable.
+			t.rows[e.rowID] = e.row
+			t.order = append(t.order, e.rowID)
+			sortIDs(t.order)
+			for _, idx := range t.indexes {
+				ci := t.ColumnIndex(idx.Column)
+				if v := e.row[ci]; !v.IsNull() {
+					idx.buckets[v.groupKey()] = append(idx.buckets[v.groupKey()], e.rowID)
+				}
+			}
+		case undoUpdate:
+			// updateRow re-validates unique constraints; restoring the
+			// previous image cannot violate them, but fall back to a
+			// raw write if it reports an error (it cannot in practice).
+			if err := t.updateRow(e.rowID, e.row); err != nil {
+				t.rows[e.rowID] = e.row
+			}
+		}
+	}
+}
+
+func sortIDs(ids []int64) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j-1] > ids[j]; j-- {
+			ids[j-1], ids[j] = ids[j], ids[j-1]
+		}
+	}
+}
+
+// tableBindings builds evaluation bindings for a single table.
+func tableBindings(t *Table) []boundColumn {
+	cols := make([]boundColumn, len(t.Columns))
+	for i, c := range t.Columns {
+		cols[i] = boundColumn{
+			qualifier: strings.ToLower(t.Name),
+			name:      strings.ToLower(c.Name),
+			typ:       c.Type,
+			origName:  c.Name,
+		}
+	}
+	return cols
+}

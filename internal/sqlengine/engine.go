@@ -1,0 +1,481 @@
+package sqlengine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// IsolationLevel enumerates the ANSI transaction isolation levels,
+// mirroring the values of the DAIS TransactionIsolation property.
+type IsolationLevel int
+
+// Isolation levels, weakest first.
+const (
+	ReadUncommitted IsolationLevel = iota
+	ReadCommitted
+	RepeatableRead
+	Serializable
+)
+
+// String returns the SQL name of the isolation level.
+func (l IsolationLevel) String() string {
+	switch l {
+	case ReadUncommitted:
+		return "READ UNCOMMITTED"
+	case ReadCommitted:
+		return "READ COMMITTED"
+	case RepeatableRead:
+		return "REPEATABLE READ"
+	case Serializable:
+		return "SERIALIZABLE"
+	}
+	return fmt.Sprintf("IsolationLevel(%d)", int(l))
+}
+
+// ParseIsolationLevel resolves a level name (case/format tolerant).
+func ParseIsolationLevel(s string) (IsolationLevel, error) {
+	switch strings.ToUpper(strings.NewReplacer("-", " ", "_", " ").Replace(strings.TrimSpace(s))) {
+	case "READ UNCOMMITTED", "READUNCOMMITTED":
+		return ReadUncommitted, nil
+	case "READ COMMITTED", "READCOMMITTED":
+		return ReadCommitted, nil
+	case "REPEATABLE READ", "REPEATABLEREAD":
+		return RepeatableRead, nil
+	case "SERIALIZABLE":
+		return Serializable, nil
+	}
+	return ReadCommitted, fmt.Errorf("unknown isolation level %q", s)
+}
+
+// SQLCA is the SQL communication area returned with every WS-DAIR
+// response (paper Fig. 2: "the SQL realisation extends the message
+// pattern to also include information from the SQL communication
+// area").
+type SQLCA struct {
+	SQLState    string // five-character SQLSTATE
+	SQLCode     int    // 0 success, 100 no data, negative on error
+	Message     string
+	UpdateCount int
+	RowsFetched int
+}
+
+// Common SQLSTATE values.
+const (
+	StateSuccess       = "00000"
+	StateNoData        = "02000"
+	StateSyntax        = "42000"
+	StateConstraint    = "23000"
+	StateSerialization = "40001"
+	StateInvalidTxn    = "25000"
+	StateGeneral       = "HY000"
+)
+
+// Result is the outcome of executing one statement.
+type Result struct {
+	// Set is non-nil for queries.
+	Set *ResultSet
+	// UpdateCount is the number of rows affected by DML; -1 for queries
+	// and DDL.
+	UpdateCount int
+	CA          SQLCA
+}
+
+// Engine wraps a Database with session, transaction and locking
+// machinery. One Engine corresponds to one "externally managed data
+// resource" in DAIS terms.
+type Engine struct {
+	db    *Database
+	locks *lockManager
+}
+
+// Option configures engine construction.
+type Option func(*Engine)
+
+// WithLockTimeout sets the lock-wait timeout used to break deadlocks.
+func WithLockTimeout(d time.Duration) Option {
+	return func(e *Engine) { e.locks.timeout = d }
+}
+
+// New creates an empty engine whose database has the given name.
+func New(name string, opts ...Option) *Engine {
+	e := &Engine{db: NewDatabase(name), locks: newLockManager(2 * time.Second)}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Database exposes catalog metadata (table names, schemas, indexes).
+func (e *Engine) Database() *Database { return e.db }
+
+// NewSession opens a session with READ COMMITTED isolation.
+func (e *Engine) NewSession() *Session {
+	return &Session{engine: e, isolation: ReadCommitted}
+}
+
+// Exec is a convenience for one-shot statements on a throwaway session.
+func (e *Engine) Exec(sql string, params ...Value) (*Result, error) {
+	return e.NewSession().Execute(sql, params...)
+}
+
+// MustExec executes and panics on error; intended for test and example
+// seeding only.
+func (e *Engine) MustExec(sql string, params ...Value) *Result {
+	r, err := e.Exec(sql, params...)
+	if err != nil {
+		panic(fmt.Sprintf("sqlengine: %s: %v", sql, err))
+	}
+	return r
+}
+
+// Session is a connection-like execution context owning at most one
+// open transaction. Sessions are not safe for concurrent use by
+// multiple goroutines; open one session per consumer.
+type Session struct {
+	engine    *Engine
+	isolation IsolationLevel
+	inTxn     bool
+	undo      []undoEntry
+	aborted   bool
+}
+
+// SetIsolation changes the isolation level for subsequent transactions.
+// It is an error to change the level inside an open transaction.
+func (s *Session) SetIsolation(l IsolationLevel) error {
+	if s.inTxn {
+		return errors.New("cannot change isolation inside a transaction")
+	}
+	s.isolation = l
+	return nil
+}
+
+// Isolation returns the session's isolation level.
+func (s *Session) Isolation() IsolationLevel { return s.isolation }
+
+// InTransaction reports whether an explicit transaction is open.
+func (s *Session) InTransaction() bool { return s.inTxn }
+
+// Execute parses and runs one statement, returning its result. SQL
+// errors are reflected both in the error and in Result.CA so service
+// layers can ship the communication area regardless.
+func (s *Session) Execute(sql string, params ...Value) (*Result, error) {
+	st, nparams, err := Parse(sql)
+	if err != nil {
+		return errResult(StateSyntax, err), err
+	}
+	if nparams > len(params) {
+		err := fmt.Errorf("statement requires %d parameters, got %d", nparams, len(params))
+		return errResult(StateSyntax, err), err
+	}
+	return s.ExecuteStmt(st, params)
+}
+
+// ExecuteStmt runs an already-parsed statement. This is the entry point
+// thick DAIS wrappers use after their own parse/validate pass.
+func (s *Session) ExecuteStmt(st Statement, params []Value) (*Result, error) {
+	switch st.(type) {
+	case *BeginStmt:
+		return s.begin()
+	case *CommitStmt:
+		return s.commit()
+	case *RollbackStmt:
+		return s.rollback()
+	}
+	if s.aborted {
+		err := errors.New("transaction is aborted; ROLLBACK required")
+		return errResult(StateInvalidTxn, err), err
+	}
+	implicit := !s.inTxn
+	res, err := s.run(st, params)
+	if err != nil {
+		if implicit {
+			// Auto-commit statement failed: undo its partial effects.
+			s.engine.db.mu.Lock()
+			s.engine.db.applyUndo(s.undo)
+			s.engine.db.mu.Unlock()
+			s.undo = nil
+			s.engine.locks.releaseAll(s)
+		} else {
+			var lt *errLockTimeout
+			if errors.As(err, &lt) {
+				// Serialization failure: abort the transaction.
+				s.aborted = true
+			}
+		}
+		return res, err
+	}
+	if implicit {
+		s.undo = nil
+		s.engine.locks.releaseAll(s)
+	} else if s.isolation <= ReadCommitted {
+		s.engine.locks.releaseShared(s)
+	}
+	return res, nil
+}
+
+func (s *Session) begin() (*Result, error) {
+	if s.inTxn {
+		err := errors.New("transaction already open")
+		return errResult(StateInvalidTxn, err), err
+	}
+	s.inTxn = true
+	s.aborted = false
+	s.undo = nil
+	return okResult(-1), nil
+}
+
+func (s *Session) commit() (*Result, error) {
+	if !s.inTxn {
+		err := errors.New("no transaction open")
+		return errResult(StateInvalidTxn, err), err
+	}
+	if s.aborted {
+		s.engine.db.mu.Lock()
+		s.engine.db.applyUndo(s.undo)
+		s.engine.db.mu.Unlock()
+		s.finishTxn()
+		err := errors.New("transaction was aborted and has been rolled back")
+		return errResult(StateInvalidTxn, err), err
+	}
+	s.finishTxn()
+	return okResult(-1), nil
+}
+
+func (s *Session) rollback() (*Result, error) {
+	if !s.inTxn {
+		err := errors.New("no transaction open")
+		return errResult(StateInvalidTxn, err), err
+	}
+	s.engine.db.mu.Lock()
+	s.engine.db.applyUndo(s.undo)
+	s.engine.db.mu.Unlock()
+	s.finishTxn()
+	return okResult(-1), nil
+}
+
+func (s *Session) finishTxn() {
+	s.inTxn = false
+	s.aborted = false
+	s.undo = nil
+	s.engine.locks.releaseAll(s)
+}
+
+// run executes a single non-transaction-control statement.
+func (s *Session) run(st Statement, params []Value) (*Result, error) {
+	db := s.engine.db
+	switch n := st.(type) {
+	case *SelectStmt:
+		if err := s.lockForRead(tablesOfSelect(n)); err != nil {
+			return errResult(StateSerialization, err), err
+		}
+		db.mu.RLock()
+		set, err := db.execSelect(n, params)
+		db.mu.RUnlock()
+		if err != nil {
+			return errResult(stateFor(err), err), err
+		}
+		ca := SQLCA{SQLState: StateSuccess, UpdateCount: -1, RowsFetched: len(set.Rows)}
+		if len(set.Rows) == 0 {
+			ca.SQLState = StateNoData
+			ca.SQLCode = 100
+		}
+		return &Result{Set: set, UpdateCount: -1, CA: ca}, nil
+	case *InsertStmt:
+		return s.runDML(n.Table, func() (int, []undoEntry, error) { return db.execInsert(n, params) })
+	case *UpdateStmt:
+		return s.runDML(n.Table, func() (int, []undoEntry, error) { return db.execUpdate(n, params) })
+	case *DeleteStmt:
+		return s.runDML(n.Table, func() (int, []undoEntry, error) { return db.execDelete(n, params) })
+	case *CreateTableStmt:
+		return s.runDDL(func() error { return db.createTable(n) })
+	case *DropTableStmt:
+		return s.runDDL(func() error { return db.dropTable(n) })
+	case *CreateViewStmt:
+		return s.runDDL(func() error { return db.createView(n) })
+	case *DropViewStmt:
+		return s.runDDL(func() error { return db.dropView(n) })
+	case *CreateIndexStmt:
+		return s.runDDL(func() error { return db.createIndex(n) })
+	case *DropIndexStmt:
+		return s.runDDL(func() error { return db.dropIndex(n) })
+	}
+	err := fmt.Errorf("unsupported statement %T", st)
+	return errResult(StateGeneral, err), err
+}
+
+func (s *Session) runDML(table string, f func() (int, []undoEntry, error)) (*Result, error) {
+	if err := s.engine.locks.acquire(s, strings.ToLower(table), lockExclusive); err != nil {
+		return errResult(StateSerialization, err), err
+	}
+	db := s.engine.db
+	db.mu.Lock()
+	n, undo, err := f()
+	if err != nil {
+		// Undo this statement's partial effects immediately; statement
+		// atomicity holds inside explicit transactions too.
+		db.applyUndo(undo)
+		db.mu.Unlock()
+		return errResult(stateFor(err), err), err
+	}
+	db.mu.Unlock()
+	s.undo = append(s.undo, undo...)
+	res := okResult(n)
+	if n == 0 {
+		res.CA.SQLState = StateNoData
+		res.CA.SQLCode = 100
+	}
+	return res, nil
+}
+
+func (s *Session) runDDL(f func() error) (*Result, error) {
+	if s.inTxn {
+		err := errors.New("DDL is not allowed inside a transaction")
+		return errResult(StateInvalidTxn, err), err
+	}
+	db := s.engine.db
+	db.mu.Lock()
+	err := f()
+	db.mu.Unlock()
+	if err != nil {
+		return errResult(stateFor(err), err), err
+	}
+	return okResult(-1), nil
+}
+
+// lockForRead acquires shared locks for the given tables according to
+// the isolation level: READ UNCOMMITTED takes none (dirty reads
+// allowed); everything stronger takes shared locks, whose release
+// policy in ExecuteStmt distinguishes READ COMMITTED from
+// REPEATABLE READ/SERIALIZABLE.
+func (s *Session) lockForRead(tables []string) error {
+	if s.isolation == ReadUncommitted {
+		return nil
+	}
+	// Views expand to the base tables they read, so the lock set covers
+	// the whole access path.
+	for _, t := range s.engine.db.expandViewTables(tables) {
+		if err := s.engine.locks.acquire(s, t, lockShared); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// tablesOfSelect collects every table a SELECT touches, including
+// union arms and subqueries, so read locks cover the whole statement.
+func tablesOfSelect(st *SelectStmt) []string {
+	seen := map[string]bool{}
+	var collectSelect func(*SelectStmt)
+	var collectExpr func(Expr)
+	collectExpr = func(e Expr) {
+		switch n := e.(type) {
+		case nil:
+		case *SubqueryExpr:
+			collectSelect(n.Select)
+		case *ExistsExpr:
+			collectSelect(n.Select)
+		case *InExpr:
+			collectExpr(n.Operand)
+			for _, it := range n.List {
+				collectExpr(it)
+			}
+			if n.Subquery != nil {
+				collectSelect(n.Subquery)
+			}
+		case *BinaryExpr:
+			collectExpr(n.Left)
+			collectExpr(n.Right)
+		case *UnaryExpr:
+			collectExpr(n.Operand)
+		case *IsNullExpr:
+			collectExpr(n.Operand)
+		case *BetweenExpr:
+			collectExpr(n.Operand)
+			collectExpr(n.Lo)
+			collectExpr(n.Hi)
+		case *FuncExpr:
+			for _, a := range n.Args {
+				collectExpr(a)
+			}
+		case *CaseExpr:
+			collectExpr(n.Operand)
+			collectExpr(n.Else)
+			for _, w := range n.Whens {
+				collectExpr(w.When)
+				collectExpr(w.Then)
+			}
+		case *CastExpr:
+			collectExpr(n.Operand)
+		}
+	}
+	collectSelect = func(s *SelectStmt) {
+		if s == nil {
+			return
+		}
+		ref := func(tr *TableRef) {
+			if tr == nil {
+				return
+			}
+			if tr.Subquery != nil {
+				collectSelect(tr.Subquery)
+				return
+			}
+			seen[strings.ToLower(tr.Table)] = true
+		}
+		ref(s.From)
+		for _, j := range s.Joins {
+			ref(j.Table)
+			collectExpr(j.On)
+		}
+		collectExpr(s.Where)
+		collectExpr(s.Having)
+		for _, it := range s.Items {
+			collectExpr(it.Expr)
+		}
+		for _, g := range s.GroupBy {
+			collectExpr(g)
+		}
+		for _, u := range s.Unions {
+			collectSelect(u.Sel)
+		}
+	}
+	collectSelect(st)
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out) // deterministic lock order prevents ABBA deadlocks
+	return out
+}
+
+func okResult(updateCount int) *Result {
+	return &Result{
+		UpdateCount: updateCount,
+		CA:          SQLCA{SQLState: StateSuccess, UpdateCount: updateCount},
+	}
+}
+
+func errResult(state string, err error) *Result {
+	return &Result{
+		UpdateCount: -1,
+		CA:          SQLCA{SQLState: state, SQLCode: -1, Message: err.Error(), UpdateCount: -1},
+	}
+}
+
+// stateFor maps engine errors to SQLSTATE classes.
+func stateFor(err error) string {
+	msg := err.Error()
+	switch {
+	case strings.Contains(msg, "unique constraint"), strings.Contains(msg, "may not be NULL"):
+		return StateConstraint
+	case strings.Contains(msg, "lock wait timeout"):
+		return StateSerialization
+	case strings.Contains(msg, "does not exist"), strings.Contains(msg, "unknown column"),
+		strings.Contains(msg, "not in table"):
+		return StateSyntax
+	}
+	return StateGeneral
+}

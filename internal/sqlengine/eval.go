@@ -1,0 +1,651 @@
+package sqlengine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"regexp"
+	"strings"
+	"sync"
+)
+
+// evalEnv supplies column values and parameters during expression
+// evaluation. row is the concatenated joined row; cols describes each
+// position's qualifier and name.
+type evalEnv struct {
+	cols   []boundColumn
+	row    []Value
+	params []Value
+	// aliases maps select-list aliases to already-computed values
+	// (used by ORDER BY / HAVING referencing output names).
+	aliases map[string]Value
+	// db enables subquery evaluation; outer chains to the enclosing
+	// query's environment for correlated subqueries.
+	db    *Database
+	outer *evalEnv
+}
+
+// errUnknownColumn distinguishes "not here, try the outer scope" from
+// hard resolution errors like ambiguity.
+type errUnknownColumn struct{ name string }
+
+func (e *errUnknownColumn) Error() string { return fmt.Sprintf("unknown column %q", e.name) }
+
+// boundColumn describes one position in a joined row.
+type boundColumn struct {
+	qualifier string // table name or alias, lower-cased
+	name      string // column name, lower-cased
+	typ       Type
+	origName  string // original column name casing
+}
+
+// resolve finds the position of a (possibly qualified) column
+// reference. Ambiguous unqualified references are an error.
+func (env *evalEnv) resolve(table, column string) (int, error) {
+	tl, cl := strings.ToLower(table), strings.ToLower(column)
+	found := -1
+	for i, c := range env.cols {
+		if c.name != cl {
+			continue
+		}
+		if tl != "" && c.qualifier != tl {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("ambiguous column reference %q", column)
+		}
+		found = i
+	}
+	if found < 0 {
+		if table != "" {
+			return 0, &errUnknownColumn{name: table + "." + column}
+		}
+		return 0, &errUnknownColumn{name: column}
+	}
+	return found, nil
+}
+
+// lookupColumn resolves a column through the environment chain: first
+// the current scope, then enclosing query scopes (correlated
+// subqueries). Ambiguity within a scope is a hard error.
+func lookupColumn(env *evalEnv, table, column string) (Value, error) {
+	for e := env; e != nil; e = e.outer {
+		if e.aliases != nil && table == "" {
+			if v, ok := e.aliases[strings.ToLower(column)]; ok {
+				return v, nil
+			}
+		}
+		i, err := e.resolve(table, column)
+		if err == nil {
+			return e.row[i], nil
+		}
+		var unknown *errUnknownColumn
+		if !errors.As(err, &unknown) {
+			return Null, err
+		}
+	}
+	if table != "" {
+		return Null, &errUnknownColumn{name: table + "." + column}
+	}
+	return Null, &errUnknownColumn{name: column}
+}
+
+// eval evaluates an expression to a Value using three-valued logic for
+// booleans (NULL is represented by Value.IsNull).
+func eval(e Expr, env *evalEnv) (Value, error) {
+	switch n := e.(type) {
+	case *LiteralExpr:
+		return n.Value, nil
+	case *ParamExpr:
+		if n.Index >= len(env.params) {
+			return Null, fmt.Errorf("missing value for parameter %d", n.Index+1)
+		}
+		return env.params[n.Index], nil
+	case *ColumnExpr:
+		return lookupColumn(env, n.Table, n.Column)
+	case *SubqueryExpr:
+		return evalScalarSubquery(n.Select, env)
+	case *ExistsExpr:
+		set, err := runSubquery(n.Select, env)
+		if err != nil {
+			return Null, err
+		}
+		return NewBool(len(set.Rows) > 0), nil
+	case *BinaryExpr:
+		return evalBinary(n, env)
+	case *UnaryExpr:
+		v, err := eval(n.Operand, env)
+		if err != nil {
+			return Null, err
+		}
+		switch n.Op {
+		case "-":
+			if v.IsNull() {
+				return Null, nil
+			}
+			switch v.Type {
+			case TypeInteger, TypeBigint:
+				return Value{Type: v.Type, I: -v.I}, nil
+			case TypeDouble:
+				return NewDouble(-v.F), nil
+			}
+			return Null, fmt.Errorf("cannot negate %s", v.Type)
+		case "NOT":
+			if v.IsNull() {
+				return Null, nil
+			}
+			b, err := v.Coerce(TypeBoolean)
+			if err != nil {
+				return Null, err
+			}
+			return NewBool(!b.B), nil
+		}
+		return Null, fmt.Errorf("unknown unary operator %q", n.Op)
+	case *IsNullExpr:
+		v, err := eval(n.Operand, env)
+		if err != nil {
+			return Null, err
+		}
+		res := v.IsNull()
+		if n.Negate {
+			res = !res
+		}
+		return NewBool(res), nil
+	case *InExpr:
+		v, err := eval(n.Operand, env)
+		if err != nil {
+			return Null, err
+		}
+		if v.IsNull() {
+			return Null, nil
+		}
+		if n.Subquery != nil {
+			return evalInSubquery(n, v, env)
+		}
+		sawNull := false
+		for _, item := range n.List {
+			iv, err := eval(item, env)
+			if err != nil {
+				return Null, err
+			}
+			if iv.IsNull() {
+				sawNull = true
+				continue
+			}
+			c, err := Compare(v, iv)
+			if err != nil {
+				return Null, err
+			}
+			if c == 0 {
+				return NewBool(!n.Negate), nil
+			}
+		}
+		if sawNull {
+			return Null, nil // unknown per three-valued logic
+		}
+		return NewBool(n.Negate), nil
+	case *BetweenExpr:
+		v, err := eval(n.Operand, env)
+		if err != nil {
+			return Null, err
+		}
+		lo, err := eval(n.Lo, env)
+		if err != nil {
+			return Null, err
+		}
+		hi, err := eval(n.Hi, env)
+		if err != nil {
+			return Null, err
+		}
+		if v.IsNull() || lo.IsNull() || hi.IsNull() {
+			return Null, nil
+		}
+		cl, err := Compare(v, lo)
+		if err != nil {
+			return Null, err
+		}
+		ch, err := Compare(v, hi)
+		if err != nil {
+			return Null, err
+		}
+		res := cl >= 0 && ch <= 0
+		if n.Negate {
+			res = !res
+		}
+		return NewBool(res), nil
+	case *FuncExpr:
+		return evalScalarFunc(n, env)
+	case *CaseExpr:
+		return evalCase(n, env)
+	case *CastExpr:
+		v, err := eval(n.Operand, env)
+		if err != nil {
+			return Null, err
+		}
+		return v.Coerce(n.Target)
+	}
+	return Null, fmt.Errorf("unsupported expression %T", e)
+}
+
+// runSubquery executes a nested SELECT with the current environment as
+// the outer scope for correlated column references.
+func runSubquery(st *SelectStmt, env *evalEnv) (*ResultSet, error) {
+	if env.db == nil {
+		return nil, fmt.Errorf("subqueries are not available in this context")
+	}
+	inner := &evalEnv{params: env.params, db: env.db, outer: env}
+	return env.db.execSelectEnv(st, inner)
+}
+
+// evalScalarSubquery evaluates (SELECT ...) to a single value: one
+// column required, zero rows yield NULL, more than one row is an error.
+func evalScalarSubquery(st *SelectStmt, env *evalEnv) (Value, error) {
+	set, err := runSubquery(st, env)
+	if err != nil {
+		return Null, err
+	}
+	if len(set.Columns) != 1 {
+		return Null, fmt.Errorf("scalar subquery must return one column, got %d", len(set.Columns))
+	}
+	switch len(set.Rows) {
+	case 0:
+		return Null, nil
+	case 1:
+		return set.Rows[0][0], nil
+	}
+	return Null, fmt.Errorf("scalar subquery returned %d rows", len(set.Rows))
+}
+
+// evalInSubquery implements expr [NOT] IN (SELECT ...) with SQL's
+// three-valued semantics.
+func evalInSubquery(n *InExpr, v Value, env *evalEnv) (Value, error) {
+	set, err := runSubquery(n.Subquery, env)
+	if err != nil {
+		return Null, err
+	}
+	if len(set.Columns) != 1 {
+		return Null, fmt.Errorf("IN subquery must return one column, got %d", len(set.Columns))
+	}
+	sawNull := false
+	for _, row := range set.Rows {
+		if row[0].IsNull() {
+			sawNull = true
+			continue
+		}
+		c, err := Compare(v, row[0])
+		if err != nil {
+			return Null, err
+		}
+		if c == 0 {
+			return NewBool(!n.Negate), nil
+		}
+	}
+	if sawNull {
+		return Null, nil
+	}
+	return NewBool(n.Negate), nil
+}
+
+func evalBinary(n *BinaryExpr, env *evalEnv) (Value, error) {
+	// AND/OR need three-valued short-circuit semantics.
+	switch n.Op {
+	case "AND":
+		l, err := eval(n.Left, env)
+		if err != nil {
+			return Null, err
+		}
+		if !l.IsNull() {
+			lb, err := l.Coerce(TypeBoolean)
+			if err != nil {
+				return Null, err
+			}
+			if !lb.B {
+				return NewBool(false), nil
+			}
+		}
+		r, err := eval(n.Right, env)
+		if err != nil {
+			return Null, err
+		}
+		if r.IsNull() || l.IsNull() {
+			if !r.IsNull() {
+				rb, _ := r.Coerce(TypeBoolean)
+				if !rb.B {
+					return NewBool(false), nil
+				}
+			}
+			return Null, nil
+		}
+		rb, err := r.Coerce(TypeBoolean)
+		if err != nil {
+			return Null, err
+		}
+		return NewBool(rb.B), nil
+	case "OR":
+		l, err := eval(n.Left, env)
+		if err != nil {
+			return Null, err
+		}
+		if !l.IsNull() {
+			lb, err := l.Coerce(TypeBoolean)
+			if err != nil {
+				return Null, err
+			}
+			if lb.B {
+				return NewBool(true), nil
+			}
+		}
+		r, err := eval(n.Right, env)
+		if err != nil {
+			return Null, err
+		}
+		if r.IsNull() || l.IsNull() {
+			if !r.IsNull() {
+				rb, _ := r.Coerce(TypeBoolean)
+				if rb.B {
+					return NewBool(true), nil
+				}
+			}
+			return Null, nil
+		}
+		rb, err := r.Coerce(TypeBoolean)
+		if err != nil {
+			return Null, err
+		}
+		return NewBool(rb.B), nil
+	}
+	l, err := eval(n.Left, env)
+	if err != nil {
+		return Null, err
+	}
+	r, err := eval(n.Right, env)
+	if err != nil {
+		return Null, err
+	}
+	switch n.Op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		if l.IsNull() || r.IsNull() {
+			return Null, nil
+		}
+		c, err := Compare(l, r)
+		if err != nil {
+			return Null, err
+		}
+		switch n.Op {
+		case "=":
+			return NewBool(c == 0), nil
+		case "<>":
+			return NewBool(c != 0), nil
+		case "<":
+			return NewBool(c < 0), nil
+		case "<=":
+			return NewBool(c <= 0), nil
+		case ">":
+			return NewBool(c > 0), nil
+		case ">=":
+			return NewBool(c >= 0), nil
+		}
+	case "+", "-", "*", "/", "%":
+		if l.IsNull() || r.IsNull() {
+			return Null, nil
+		}
+		return evalArith(n.Op, l, r)
+	case "||":
+		if l.IsNull() || r.IsNull() {
+			return Null, nil
+		}
+		return NewString(l.String() + r.String()), nil
+	case "LIKE":
+		if l.IsNull() || r.IsNull() {
+			return Null, nil
+		}
+		ls, err := l.Coerce(TypeVarchar)
+		if err != nil {
+			return Null, err
+		}
+		rs, err := r.Coerce(TypeVarchar)
+		if err != nil {
+			return Null, err
+		}
+		ok, err := likeMatch(ls.S, rs.S)
+		if err != nil {
+			return Null, err
+		}
+		return NewBool(ok), nil
+	}
+	return Null, fmt.Errorf("unknown operator %q", n.Op)
+}
+
+func evalArith(op string, l, r Value) (Value, error) {
+	if !l.Type.isNumeric() || !r.Type.isNumeric() {
+		return Null, fmt.Errorf("operator %s requires numeric operands, got %s and %s", op, l.Type, r.Type)
+	}
+	if l.Type == TypeDouble || r.Type == TypeDouble {
+		lf, rf := l.asFloat(), r.asFloat()
+		switch op {
+		case "+":
+			return NewDouble(lf + rf), nil
+		case "-":
+			return NewDouble(lf - rf), nil
+		case "*":
+			return NewDouble(lf * rf), nil
+		case "/":
+			if rf == 0 {
+				return Null, fmt.Errorf("division by zero")
+			}
+			return NewDouble(lf / rf), nil
+		case "%":
+			if rf == 0 {
+				return Null, fmt.Errorf("division by zero")
+			}
+			return NewDouble(math.Mod(lf, rf)), nil
+		}
+	}
+	out := TypeInteger
+	if l.Type == TypeBigint || r.Type == TypeBigint {
+		out = TypeBigint
+	}
+	switch op {
+	case "+":
+		return Value{Type: out, I: l.I + r.I}, nil
+	case "-":
+		return Value{Type: out, I: l.I - r.I}, nil
+	case "*":
+		return Value{Type: out, I: l.I * r.I}, nil
+	case "/":
+		if r.I == 0 {
+			return Null, fmt.Errorf("division by zero")
+		}
+		return Value{Type: out, I: l.I / r.I}, nil
+	case "%":
+		if r.I == 0 {
+			return Null, fmt.Errorf("division by zero")
+		}
+		return Value{Type: out, I: l.I % r.I}, nil
+	}
+	return Null, fmt.Errorf("unknown arithmetic operator %q", op)
+}
+
+// likeCache memoises compiled LIKE patterns.
+var likeCache sync.Map // string -> *regexp.Regexp
+
+// likeMatch implements SQL LIKE with % and _ wildcards.
+func likeMatch(s, pattern string) (bool, error) {
+	if re, ok := likeCache.Load(pattern); ok {
+		return re.(*regexp.Regexp).MatchString(s), nil
+	}
+	var b strings.Builder
+	b.WriteString("(?s)^")
+	for _, r := range pattern {
+		switch r {
+		case '%':
+			b.WriteString(".*")
+		case '_':
+			b.WriteString(".")
+		default:
+			b.WriteString(regexp.QuoteMeta(string(r)))
+		}
+	}
+	b.WriteString("$")
+	re, err := regexp.Compile(b.String())
+	if err != nil {
+		return false, fmt.Errorf("bad LIKE pattern %q: %w", pattern, err)
+	}
+	likeCache.Store(pattern, re)
+	return re.MatchString(s), nil
+}
+
+// evalScalarFunc handles non-aggregate functions. Aggregates reaching
+// here (outside GROUP BY context) are an error.
+func evalScalarFunc(n *FuncExpr, env *evalEnv) (Value, error) {
+	if aggregateNames[n.Name] {
+		return Null, fmt.Errorf("aggregate %s not allowed here", n.Name)
+	}
+	args := make([]Value, len(n.Args))
+	for i, a := range n.Args {
+		v, err := eval(a, env)
+		if err != nil {
+			return Null, err
+		}
+		args[i] = v
+	}
+	switch n.Name {
+	case "UPPER":
+		if err := wantArgs(n, args, 1); err != nil {
+			return Null, err
+		}
+		if args[0].IsNull() {
+			return Null, nil
+		}
+		return NewString(strings.ToUpper(args[0].String())), nil
+	case "LOWER":
+		if err := wantArgs(n, args, 1); err != nil {
+			return Null, err
+		}
+		if args[0].IsNull() {
+			return Null, nil
+		}
+		return NewString(strings.ToLower(args[0].String())), nil
+	case "LENGTH", "CHAR_LENGTH":
+		if err := wantArgs(n, args, 1); err != nil {
+			return Null, err
+		}
+		if args[0].IsNull() {
+			return Null, nil
+		}
+		return NewInt(int64(len([]rune(args[0].String())))), nil
+	case "ABS":
+		if err := wantArgs(n, args, 1); err != nil {
+			return Null, err
+		}
+		v := args[0]
+		if v.IsNull() {
+			return Null, nil
+		}
+		switch v.Type {
+		case TypeInteger, TypeBigint:
+			if v.I < 0 {
+				return Value{Type: v.Type, I: -v.I}, nil
+			}
+			return v, nil
+		case TypeDouble:
+			return NewDouble(math.Abs(v.F)), nil
+		}
+		return Null, fmt.Errorf("ABS requires a numeric argument")
+	case "COALESCE":
+		for _, a := range args {
+			if !a.IsNull() {
+				return a, nil
+			}
+		}
+		return Null, nil
+	case "SUBSTR", "SUBSTRING":
+		if len(args) != 2 && len(args) != 3 {
+			return Null, fmt.Errorf("%s expects 2 or 3 arguments", n.Name)
+		}
+		if args[0].IsNull() || args[1].IsNull() {
+			return Null, nil
+		}
+		s := []rune(args[0].String())
+		start, err := args[1].Coerce(TypeBigint)
+		if err != nil {
+			return Null, err
+		}
+		// SQL is 1-based.
+		from := int(start.I) - 1
+		if from < 0 {
+			from = 0
+		}
+		if from > len(s) {
+			from = len(s)
+		}
+		to := len(s)
+		if len(args) == 3 {
+			if args[2].IsNull() {
+				return Null, nil
+			}
+			l, err := args[2].Coerce(TypeBigint)
+			if err != nil {
+				return Null, err
+			}
+			to = from + int(l.I)
+			if to > len(s) {
+				to = len(s)
+			}
+			if to < from {
+				to = from
+			}
+		}
+		return NewString(string(s[from:to])), nil
+	case "TRIM":
+		if err := wantArgs(n, args, 1); err != nil {
+			return Null, err
+		}
+		if args[0].IsNull() {
+			return Null, nil
+		}
+		return NewString(strings.TrimSpace(args[0].String())), nil
+	case "ROUND":
+		if len(args) != 1 && len(args) != 2 {
+			return Null, fmt.Errorf("ROUND expects 1 or 2 arguments")
+		}
+		if args[0].IsNull() {
+			return Null, nil
+		}
+		f, err := args[0].Coerce(TypeDouble)
+		if err != nil {
+			return Null, err
+		}
+		digits := 0
+		if len(args) == 2 {
+			d, err := args[1].Coerce(TypeBigint)
+			if err != nil {
+				return Null, err
+			}
+			digits = int(d.I)
+		}
+		scale := math.Pow(10, float64(digits))
+		return NewDouble(math.Round(f.F*scale) / scale), nil
+	}
+	return Null, fmt.Errorf("unknown function %s", n.Name)
+}
+
+func wantArgs(n *FuncExpr, args []Value, want int) error {
+	if len(args) != want {
+		return fmt.Errorf("%s expects %d argument(s), got %d", n.Name, want, len(args))
+	}
+	return nil
+}
+
+// truthy interprets an evaluated predicate value: NULL and false both
+// reject the row.
+func truthy(v Value) (bool, error) {
+	if v.IsNull() {
+		return false, nil
+	}
+	b, err := v.Coerce(TypeBoolean)
+	if err != nil {
+		return false, fmt.Errorf("predicate is not boolean: %w", err)
+	}
+	return b.B, nil
+}

@@ -1,0 +1,906 @@
+package sqlengine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ResultColumn is metadata for one result-set column, surfaced through
+// WS-DAIR rowset property documents.
+type ResultColumn struct {
+	Name  string
+	Type  Type
+	Table string // originating table, "" for computed columns
+}
+
+// ResultSet is a fully materialised query result.
+type ResultSet struct {
+	Columns []ResultColumn
+	Rows    [][]Value
+}
+
+// execSelect runs a SELECT against the database. The caller must hold
+// d.mu for reading.
+func (d *Database) execSelect(st *SelectStmt, params []Value) (*ResultSet, error) {
+	return d.execSelectEnv(st, &evalEnv{params: params, db: d})
+}
+
+// execSelectEnv runs a SELECT with an explicit environment; the
+// environment's outer chain makes correlated subqueries work.
+func (d *Database) execSelectEnv(st *SelectStmt, env *evalEnv) (*ResultSet, error) {
+	if env.db == nil {
+		env.db = d
+	}
+	if len(st.Unions) > 0 {
+		return d.execUnion(st, env)
+	}
+	var rows [][]Value
+
+	if st.From == nil {
+		rows = [][]Value{nil} // one empty row for expression-only SELECT
+	} else {
+		base, cols, err := d.bindTableForSelect(st, env)
+		if err != nil {
+			return nil, err
+		}
+		env.cols = cols
+		rows = base
+		for _, j := range st.Joins {
+			right, rcols, err := d.bindTable(j.Table, env)
+			if err != nil {
+				return nil, err
+			}
+			rows, err = joinRows(rows, right, env, rcols, j)
+			if err != nil {
+				return nil, err
+			}
+			env.cols = append(env.cols, rcols...)
+		}
+	}
+
+	// WHERE.
+	if st.Where != nil {
+		if containsAggregate(st.Where) {
+			return nil, fmt.Errorf("aggregates are not allowed in WHERE")
+		}
+		filtered := rows[:0:0]
+		for _, r := range rows {
+			env.row = r
+			v, err := eval(st.Where, env)
+			if err != nil {
+				return nil, err
+			}
+			ok, err := truthy(v)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				filtered = append(filtered, r)
+			}
+		}
+		rows = filtered
+	}
+
+	grouped := len(st.GroupBy) > 0 || st.Having != nil || selectHasAggregate(st)
+	var out *ResultSet
+	var orderKeys [][]Value
+	var err error
+	if grouped {
+		out, orderKeys, err = d.execGrouped(st, rows, env)
+	} else {
+		out, orderKeys, err = d.execProjection(st, rows, env)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// DISTINCT.
+	if st.Distinct {
+		seen := map[string]bool{}
+		var dr [][]Value
+		var dk [][]Value
+		for i, r := range out.Rows {
+			key := rowKey(r)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			dr = append(dr, r)
+			if orderKeys != nil {
+				dk = append(dk, orderKeys[i])
+			}
+		}
+		out.Rows = dr
+		if orderKeys != nil {
+			orderKeys = dk
+		}
+	}
+
+	// ORDER BY.
+	if len(st.OrderBy) > 0 {
+		if err := sortRows(out, orderKeys, st.OrderBy); err != nil {
+			return nil, err
+		}
+	}
+
+	// OFFSET / LIMIT.
+	if st.Offset != nil {
+		n, err := evalCount(st.Offset, env)
+		if err != nil {
+			return nil, fmt.Errorf("OFFSET: %w", err)
+		}
+		if n >= len(out.Rows) {
+			out.Rows = nil
+		} else {
+			out.Rows = out.Rows[n:]
+		}
+	}
+	if st.Limit != nil {
+		n, err := evalCount(st.Limit, env)
+		if err != nil {
+			return nil, fmt.Errorf("LIMIT: %w", err)
+		}
+		if n < len(out.Rows) {
+			out.Rows = out.Rows[:n]
+		}
+	}
+	return out, nil
+}
+
+// execUnion evaluates a UNION chain: each arm runs independently, the
+// results are concatenated left to right, and every non-ALL step
+// deduplicates the accumulated rows. ORDER BY on a union may reference
+// output columns by name or ordinal only.
+func (d *Database) execUnion(st *SelectStmt, env *evalEnv) (*ResultSet, error) {
+	first := *st
+	first.Unions, first.OrderBy, first.Limit, first.Offset = nil, nil, nil, nil
+	out, err := d.execSelectEnv(&first, &evalEnv{params: env.params, db: d, outer: env.outer})
+	if err != nil {
+		return nil, err
+	}
+	for _, part := range st.Unions {
+		right, err := d.execSelectEnv(part.Sel, &evalEnv{params: env.params, db: d, outer: env.outer})
+		if err != nil {
+			return nil, err
+		}
+		if len(right.Columns) != len(out.Columns) {
+			return nil, fmt.Errorf("UNION arms have %d and %d columns", len(out.Columns), len(right.Columns))
+		}
+		out.Rows = append(out.Rows, right.Rows...)
+		if !part.All {
+			seen := map[string]bool{}
+			dedup := out.Rows[:0:0]
+			for _, r := range out.Rows {
+				k := rowKey(r)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				dedup = append(dedup, r)
+			}
+			out.Rows = dedup
+		}
+	}
+	if len(st.OrderBy) > 0 {
+		keys := make([][]Value, len(out.Rows))
+		for i, r := range out.Rows {
+			keys[i] = make([]Value, len(st.OrderBy))
+			for k, oi := range st.OrderBy {
+				pos, ok := ordinalRef(oi.Expr, len(out.Columns))
+				if !ok {
+					ce, isCol := oi.Expr.(*ColumnExpr)
+					if !isCol {
+						return nil, fmt.Errorf("ORDER BY on a UNION must use output column names or ordinals")
+					}
+					pos = -1
+					for ci, c := range out.Columns {
+						if strings.EqualFold(c.Name, ce.Column) {
+							pos = ci
+							break
+						}
+					}
+					if pos < 0 {
+						return nil, fmt.Errorf("ORDER BY column %q is not in the UNION output", ce.Column)
+					}
+				}
+				keys[i][k] = r[pos]
+			}
+		}
+		if err := sortRows(out, keys, st.OrderBy); err != nil {
+			return nil, err
+		}
+	}
+	if st.Offset != nil {
+		n, err := evalCount(st.Offset, env)
+		if err != nil {
+			return nil, fmt.Errorf("OFFSET: %w", err)
+		}
+		if n >= len(out.Rows) {
+			out.Rows = nil
+		} else {
+			out.Rows = out.Rows[n:]
+		}
+	}
+	if st.Limit != nil {
+		n, err := evalCount(st.Limit, env)
+		if err != nil {
+			return nil, fmt.Errorf("LIMIT: %w", err)
+		}
+		if n < len(out.Rows) {
+			out.Rows = out.Rows[:n]
+		}
+	}
+	return out, nil
+}
+
+// bindTableForSelect materialises the FROM table's rows, using a hash
+// index to narrow the scan when the query has no joins and the WHERE
+// clause contains an equality conjunct on an indexed column. The full
+// WHERE predicate is still applied afterwards, so index selection is
+// purely an access-path optimisation.
+func (d *Database) bindTableForSelect(st *SelectStmt, env *evalEnv) ([][]Value, []boundColumn, error) {
+	if st.From.Subquery != nil || len(st.Joins) > 0 || st.Where == nil {
+		return d.bindTable(st.From, env)
+	}
+	if _, isView := d.views[strings.ToLower(st.From.Table)]; isView {
+		return d.bindTable(st.From, env)
+	}
+	t, err := d.table(st.From.Table)
+	if err != nil {
+		return nil, nil, err
+	}
+	qual := strings.ToLower(st.From.Table)
+	if st.From.Alias != "" {
+		qual = strings.ToLower(st.From.Alias)
+	}
+	col, val, ok := indexableConjunct(st.Where, t, qual, env)
+	if !ok {
+		return d.bindTable(st.From, env)
+	}
+	var ix *Index
+	for _, candidate := range t.indexes {
+		if strings.EqualFold(candidate.Column, col) {
+			ix = candidate
+			break
+		}
+	}
+	if ix == nil {
+		return d.bindTable(st.From, env)
+	}
+	cols := make([]boundColumn, len(t.Columns))
+	for i, c := range t.Columns {
+		cols[i] = boundColumn{qualifier: qual, name: strings.ToLower(c.Name), typ: c.Type, origName: c.Name}
+	}
+	ids := append([]int64(nil), ix.lookup(val)...)
+	sortIDs(ids)
+	rows := make([][]Value, 0, len(ids))
+	for _, id := range ids {
+		if r, ok := t.rows[id]; ok {
+			rows = append(rows, r)
+		}
+	}
+	return rows, cols, nil
+}
+
+// indexableConjunct walks the AND-tree of a WHERE clause looking for a
+// `column = constant` conjunct whose constant can be evaluated without
+// row context. It returns the column name and the comparison value.
+func indexableConjunct(e Expr, t *Table, qual string, env *evalEnv) (string, Value, bool) {
+	switch n := e.(type) {
+	case *BinaryExpr:
+		if n.Op == "AND" {
+			if c, v, ok := indexableConjunct(n.Left, t, qual, env); ok {
+				return c, v, ok
+			}
+			return indexableConjunct(n.Right, t, qual, env)
+		}
+		if n.Op != "=" {
+			return "", Null, false
+		}
+		if c, v, ok := columnConstPair(n.Left, n.Right, t, qual, env); ok {
+			return c, v, ok
+		}
+		return columnConstPair(n.Right, n.Left, t, qual, env)
+	}
+	return "", Null, false
+}
+
+// columnConstPair matches (ColumnExpr, constant expr) in that order.
+func columnConstPair(colSide, constSide Expr, t *Table, qual string, env *evalEnv) (string, Value, bool) {
+	ce, ok := colSide.(*ColumnExpr)
+	if !ok {
+		return "", Null, false
+	}
+	if ce.Table != "" && strings.ToLower(ce.Table) != qual {
+		return "", Null, false
+	}
+	ci := t.ColumnIndex(ce.Column)
+	if ci < 0 {
+		return "", Null, false
+	}
+	switch constSide.(type) {
+	case *LiteralExpr, *ParamExpr:
+	default:
+		return "", Null, false
+	}
+	v, err := eval(constSide, &evalEnv{params: env.params})
+	if err != nil || v.IsNull() {
+		return "", Null, false
+	}
+	// Coerce to the column type so the index group key matches the
+	// stored representation (e.g. literal 5 against a DOUBLE column).
+	cv, err := v.Coerce(t.Columns[ci].Type)
+	if err != nil {
+		return "", Null, false
+	}
+	return t.Columns[ci].Name, cv, true
+}
+
+// bindTable materialises a table's rows and column bindings under an
+// optional alias. Derived tables (FROM (SELECT ...) alias) evaluate
+// their subquery with the caller's environment as outer scope.
+func (d *Database) bindTable(tr *TableRef, env *evalEnv) ([][]Value, []boundColumn, error) {
+	if tr.Subquery != nil {
+		set, err := d.execSelectEnv(tr.Subquery, &evalEnv{params: env.params, db: d, outer: env.outer})
+		if err != nil {
+			return nil, nil, err
+		}
+		qual := strings.ToLower(tr.Alias)
+		cols := make([]boundColumn, len(set.Columns))
+		for i, c := range set.Columns {
+			cols[i] = boundColumn{qualifier: qual, name: strings.ToLower(c.Name), typ: c.Type, origName: c.Name}
+		}
+		return set.Rows, cols, nil
+	}
+	// A view expands into its stored SELECT, evaluated as a derived
+	// table whose qualifier is the view name (or its alias).
+	if v, ok := d.views[strings.ToLower(tr.Table)]; ok {
+		expanded := &TableRef{Subquery: v.Select, Alias: tr.Alias}
+		if expanded.Alias == "" {
+			expanded.Alias = v.Name
+		}
+		return d.bindTable(expanded, env)
+	}
+	t, err := d.table(tr.Table)
+	if err != nil {
+		return nil, nil, err
+	}
+	qual := strings.ToLower(tr.Table)
+	if tr.Alias != "" {
+		qual = strings.ToLower(tr.Alias)
+	}
+	cols := make([]boundColumn, len(t.Columns))
+	for i, c := range t.Columns {
+		cols[i] = boundColumn{
+			qualifier: qual,
+			name:      strings.ToLower(c.Name),
+			typ:       c.Type,
+			origName:  c.Name,
+		}
+	}
+	rows := make([][]Value, 0, len(t.order))
+	for _, id := range t.scan() {
+		rows = append(rows, t.rows[id])
+	}
+	return rows, cols, nil
+}
+
+// joinRows performs a nested-loop join of the accumulated left rows
+// with the right table's rows. env.cols currently describes only the
+// left side; the ON expression is evaluated against left+right.
+func joinRows(left [][]Value, right [][]Value, env *evalEnv, rcols []boundColumn, j JoinClause) ([][]Value, error) {
+	joinEnv := &evalEnv{
+		cols:   append(append([]boundColumn{}, env.cols...), rcols...),
+		params: env.params,
+		db:     env.db,
+		outer:  env.outer,
+	}
+	var out [][]Value
+	nullRight := make([]Value, len(rcols))
+	for i := range nullRight {
+		nullRight[i] = Null
+	}
+	match := func(l, r []Value) (bool, error) {
+		if j.On == nil {
+			return true, nil
+		}
+		combined := append(append(make([]Value, 0, len(l)+len(r)), l...), r...)
+		joinEnv.row = combined
+		v, err := eval(j.On, joinEnv)
+		if err != nil {
+			return false, err
+		}
+		return truthy(v)
+	}
+	for _, l := range left {
+		matched := false
+		for _, r := range right {
+			ok, err := match(l, r)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			matched = true
+			out = append(out, append(append(make([]Value, 0, len(l)+len(r)), l...), r...))
+		}
+		if !matched && j.Kind == JoinLeft {
+			out = append(out, append(append(make([]Value, 0, len(l)+len(nullRight)), l...), nullRight...))
+		}
+	}
+	if j.Kind == JoinRight {
+		// Preserve right rows with no left match; the left side of the
+		// combined row is NULL. Column order stays left-then-right.
+		var nullLeft []Value
+		if len(left) > 0 {
+			nullLeft = make([]Value, len(left[0]))
+		} else {
+			nullLeft = make([]Value, len(env.cols))
+		}
+		for i := range nullLeft {
+			nullLeft[i] = Null
+		}
+		for _, r := range right {
+			matched := false
+			for _, l := range left {
+				ok, err := match(l, r)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				out = append(out, append(append(make([]Value, 0, len(nullLeft)+len(r)), nullLeft...), r...))
+			}
+		}
+	}
+	return out, nil
+}
+
+func selectHasAggregate(st *SelectStmt) bool {
+	for _, it := range st.Items {
+		if it.Expr != nil && containsAggregate(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+// execProjection projects the select list over plain (non-grouped)
+// rows. It also computes ORDER BY keys per row so sorting can reference
+// columns not in the output.
+func (d *Database) execProjection(st *SelectStmt, rows [][]Value, env *evalEnv) (*ResultSet, [][]Value, error) {
+	cols, exprs, err := expandSelectItems(st, env)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := &ResultSet{Columns: cols}
+	var orderKeys [][]Value
+	for _, r := range rows {
+		env.row = r
+		vals := make([]Value, len(exprs))
+		aliases := map[string]Value{}
+		for i, e := range exprs {
+			v, err := eval(e, env)
+			if err != nil {
+				return nil, nil, err
+			}
+			vals[i] = v
+			aliases[strings.ToLower(cols[i].Name)] = v
+		}
+		out.Rows = append(out.Rows, vals)
+		if len(st.OrderBy) > 0 {
+			env.aliases = aliases
+			keys, err := evalOrderKeys(st.OrderBy, env, vals)
+			env.aliases = nil
+			if err != nil {
+				return nil, nil, err
+			}
+			orderKeys = append(orderKeys, keys)
+		}
+	}
+	return out, orderKeys, nil
+}
+
+// expandSelectItems resolves * and computes output column metadata and
+// the expression list to evaluate per row.
+func expandSelectItems(st *SelectStmt, env *evalEnv) ([]ResultColumn, []Expr, error) {
+	var cols []ResultColumn
+	var exprs []Expr
+	for _, it := range st.Items {
+		if it.Star {
+			if len(env.cols) == 0 {
+				return nil, nil, fmt.Errorf("SELECT * requires a FROM clause")
+			}
+			want := strings.ToLower(it.StarTable)
+			found := false
+			for _, bc := range env.cols {
+				if want != "" && bc.qualifier != want {
+					continue
+				}
+				found = true
+				cols = append(cols, ResultColumn{Name: bc.origName, Type: bc.typ, Table: bc.qualifier})
+				exprs = append(exprs, &ColumnExpr{Table: bc.qualifier, Column: bc.name})
+			}
+			if !found {
+				return nil, nil, fmt.Errorf("unknown table %q in select list", it.StarTable)
+			}
+			continue
+		}
+		name := it.Alias
+		typ := TypeNull
+		table := ""
+		if name == "" {
+			if ce, ok := it.Expr.(*ColumnExpr); ok {
+				name = ce.Column
+			} else {
+				name = fmt.Sprintf("column%d", len(cols)+1)
+			}
+		}
+		if ce, ok := it.Expr.(*ColumnExpr); ok {
+			if i, err := env.resolve(ce.Table, ce.Column); err == nil {
+				typ = env.cols[i].typ
+				table = env.cols[i].qualifier
+				if it.Alias == "" {
+					name = env.cols[i].origName
+				}
+			}
+		}
+		cols = append(cols, ResultColumn{Name: name, Type: typ, Table: table})
+		exprs = append(exprs, it.Expr)
+	}
+	if len(cols) == 0 {
+		return nil, nil, fmt.Errorf("empty select list")
+	}
+	return cols, exprs, nil
+}
+
+// execGrouped handles GROUP BY / aggregate queries.
+func (d *Database) execGrouped(st *SelectStmt, rows [][]Value, env *evalEnv) (*ResultSet, [][]Value, error) {
+	cols, exprs, err := expandSelectItems(st, env)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Partition rows into groups.
+	type group struct {
+		key  string
+		rows [][]Value
+	}
+	var groups []*group
+	if len(st.GroupBy) == 0 {
+		groups = []*group{{rows: rows}} // single implicit group (may be empty)
+	} else {
+		byKey := map[string]*group{}
+		for _, r := range rows {
+			env.row = r
+			var kb strings.Builder
+			for _, ge := range st.GroupBy {
+				v, err := eval(ge, env)
+				if err != nil {
+					return nil, nil, err
+				}
+				kb.WriteString(v.groupKey())
+				kb.WriteByte('\x01')
+			}
+			k := kb.String()
+			g, ok := byKey[k]
+			if !ok {
+				g = &group{key: k}
+				byKey[k] = g
+				groups = append(groups, g)
+			}
+			g.rows = append(g.rows, r)
+		}
+	}
+
+	out := &ResultSet{Columns: cols}
+	var orderKeys [][]Value
+	for _, g := range groups {
+		// HAVING.
+		if st.Having != nil {
+			v, err := evalGrouped(st.Having, g.rows, env)
+			if err != nil {
+				return nil, nil, err
+			}
+			ok, err := truthy(v)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		vals := make([]Value, len(exprs))
+		aliases := map[string]Value{}
+		for i, e := range exprs {
+			v, err := evalGrouped(e, g.rows, env)
+			if err != nil {
+				return nil, nil, err
+			}
+			vals[i] = v
+			aliases[strings.ToLower(cols[i].Name)] = v
+		}
+		out.Rows = append(out.Rows, vals)
+		if len(st.OrderBy) > 0 {
+			keys := make([]Value, len(st.OrderBy))
+			for i, oi := range st.OrderBy {
+				if ord, ok := ordinalRef(oi.Expr, len(vals)); ok {
+					keys[i] = vals[ord]
+					continue
+				}
+				env.aliases = aliases
+				v, err := evalGrouped(oi.Expr, g.rows, env)
+				env.aliases = nil
+				if err != nil {
+					return nil, nil, err
+				}
+				keys[i] = v
+			}
+			orderKeys = append(orderKeys, keys)
+		}
+	}
+	return out, orderKeys, nil
+}
+
+// evalGrouped evaluates an expression in grouped context: aggregate
+// calls consume the group's rows; everything else evaluates against the
+// group's first row (or NULL for an empty implicit group).
+func evalGrouped(e Expr, group [][]Value, env *evalEnv) (Value, error) {
+	switch n := e.(type) {
+	case *FuncExpr:
+		if aggregateNames[n.Name] {
+			return evalAggregate(n, group, env)
+		}
+	case *BinaryExpr:
+		l, err := evalGrouped(n.Left, group, env)
+		if err != nil {
+			return Null, err
+		}
+		r, err := evalGrouped(n.Right, group, env)
+		if err != nil {
+			return Null, err
+		}
+		return evalBinary(&BinaryExpr{Op: n.Op, Left: &LiteralExpr{Value: l}, Right: &LiteralExpr{Value: r}}, env)
+	case *UnaryExpr:
+		v, err := evalGrouped(n.Operand, group, env)
+		if err != nil {
+			return Null, err
+		}
+		return eval(&UnaryExpr{Op: n.Op, Operand: &LiteralExpr{Value: v}}, env)
+	case *CastExpr:
+		v, err := evalGrouped(n.Operand, group, env)
+		if err != nil {
+			return Null, err
+		}
+		return v.Coerce(n.Target)
+	}
+	// Non-aggregate leaf: evaluate against the first group row.
+	if len(group) > 0 {
+		env.row = group[0]
+	} else {
+		env.row = nil
+	}
+	return eval(e, env)
+}
+
+// evalAggregate computes one aggregate over a group.
+func evalAggregate(n *FuncExpr, group [][]Value, env *evalEnv) (Value, error) {
+	if n.Star {
+		if n.Name != "COUNT" {
+			return Null, fmt.Errorf("%s(*) is not valid", n.Name)
+		}
+		return NewBigint(int64(len(group))), nil
+	}
+	if len(n.Args) != 1 {
+		return Null, fmt.Errorf("%s expects exactly one argument", n.Name)
+	}
+	var vals []Value
+	seen := map[string]bool{}
+	for _, r := range group {
+		env.row = r
+		v, err := eval(n.Args[0], env)
+		if err != nil {
+			return Null, err
+		}
+		if v.IsNull() {
+			continue
+		}
+		if n.Distinct {
+			k := v.groupKey()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		vals = append(vals, v)
+	}
+	switch n.Name {
+	case "COUNT":
+		return NewBigint(int64(len(vals))), nil
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return Null, nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c, err := Compare(v, best)
+			if err != nil {
+				return Null, err
+			}
+			if (n.Name == "MIN" && c < 0) || (n.Name == "MAX" && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	case "SUM", "AVG":
+		if len(vals) == 0 {
+			return Null, nil
+		}
+		allInt := true
+		var sumI int64
+		var sumF float64
+		for _, v := range vals {
+			if !v.Type.isNumeric() {
+				return Null, fmt.Errorf("%s requires numeric values, got %s", n.Name, v.Type)
+			}
+			if v.Type == TypeDouble {
+				allInt = false
+			}
+			sumI += v.I
+			sumF += v.asFloat()
+		}
+		if n.Name == "AVG" {
+			return NewDouble(sumF / float64(len(vals))), nil
+		}
+		if allInt {
+			return NewBigint(sumI), nil
+		}
+		return NewDouble(sumF), nil
+	}
+	return Null, fmt.Errorf("unknown aggregate %s", n.Name)
+}
+
+// evalOrderKeys computes ORDER BY key values for one output row in
+// non-grouped context. Ordinal references (ORDER BY 2) index the
+// projected values.
+func evalOrderKeys(items []OrderItem, env *evalEnv, projected []Value) ([]Value, error) {
+	keys := make([]Value, len(items))
+	for i, oi := range items {
+		if ord, ok := ordinalRef(oi.Expr, len(projected)); ok {
+			keys[i] = projected[ord]
+			continue
+		}
+		v, err := eval(oi.Expr, env)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = v
+	}
+	return keys, nil
+}
+
+// ordinalRef detects ORDER BY <integer literal> and returns the 0-based
+// projection index.
+func ordinalRef(e Expr, n int) (int, bool) {
+	lit, ok := e.(*LiteralExpr)
+	if !ok || (lit.Value.Type != TypeInteger && lit.Value.Type != TypeBigint) {
+		return 0, false
+	}
+	i := int(lit.Value.I)
+	if i < 1 || i > n {
+		return 0, false
+	}
+	return i - 1, true
+}
+
+// sortRows sorts result rows by the precomputed keys.
+func sortRows(rs *ResultSet, keys [][]Value, items []OrderItem) error {
+	if len(keys) != len(rs.Rows) {
+		return fmt.Errorf("internal: order keys mismatch (%d keys, %d rows)", len(keys), len(rs.Rows))
+	}
+	idx := make([]int, len(rs.Rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	var sortErr error
+	sort.SliceStable(idx, func(a, b int) bool {
+		for k, it := range items {
+			c, err := Compare(keys[idx[a]][k], keys[idx[b]][k])
+			if err != nil {
+				if sortErr == nil {
+					sortErr = err
+				}
+				return false
+			}
+			if c == 0 {
+				continue
+			}
+			if it.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	if sortErr != nil {
+		return sortErr
+	}
+	newRows := make([][]Value, len(rs.Rows))
+	for i, j := range idx {
+		newRows[i] = rs.Rows[j]
+	}
+	rs.Rows = newRows
+	return nil
+}
+
+func evalCount(e Expr, env *evalEnv) (int, error) {
+	v, err := eval(e, env)
+	if err != nil {
+		return 0, err
+	}
+	iv, err := v.Coerce(TypeBigint)
+	if err != nil {
+		return 0, err
+	}
+	if iv.IsNull() || iv.I < 0 {
+		return 0, fmt.Errorf("expected a non-negative integer")
+	}
+	return int(iv.I), nil
+}
+
+func rowKey(r []Value) string {
+	var b strings.Builder
+	for _, v := range r {
+		b.WriteString(v.groupKey())
+		b.WriteByte('\x01')
+	}
+	return b.String()
+}
+
+// evalCase handles CASE expressions (both simple and searched forms).
+func evalCase(n *CaseExpr, env *evalEnv) (Value, error) {
+	if n.Operand != nil {
+		op, err := eval(n.Operand, env)
+		if err != nil {
+			return Null, err
+		}
+		for _, w := range n.Whens {
+			wv, err := eval(w.When, env)
+			if err != nil {
+				return Null, err
+			}
+			if !op.IsNull() && !wv.IsNull() {
+				c, err := Compare(op, wv)
+				if err != nil {
+					return Null, err
+				}
+				if c == 0 {
+					return eval(w.Then, env)
+				}
+			}
+		}
+	} else {
+		for _, w := range n.Whens {
+			wv, err := eval(w.When, env)
+			if err != nil {
+				return Null, err
+			}
+			ok, err := truthy(wv)
+			if err != nil {
+				return Null, err
+			}
+			if ok {
+				return eval(w.Then, env)
+			}
+		}
+	}
+	if n.Else != nil {
+		return eval(n.Else, env)
+	}
+	return Null, nil
+}

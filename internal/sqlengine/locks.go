@@ -1,0 +1,152 @@
+package sqlengine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// lockMode is the strength of a logical table lock.
+type lockMode int
+
+const (
+	lockShared lockMode = iota
+	lockExclusive
+)
+
+// lockManager implements table-granularity strict two-phase locking for
+// transaction isolation. Physical consistency is separately guaranteed
+// by the Database mutex; these logical locks only control statement
+// interleaving between transactions, which is what the ANSI isolation
+// levels observable through the DAIS TransactionIsolation property
+// describe.
+//
+// Deadlocks are resolved by timeout: a transaction that cannot acquire
+// a lock within the configured wait fails with a serialization error
+// (SQLSTATE 40001) and should be rolled back by the caller.
+type lockManager struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	tables  map[string]*tableLock
+	timeout time.Duration
+}
+
+type tableLock struct {
+	// holders maps owner tokens to the strongest mode held.
+	holders map[*Session]lockMode
+}
+
+func newLockManager(timeout time.Duration) *lockManager {
+	lm := &lockManager{tables: make(map[string]*tableLock), timeout: timeout}
+	lm.cond = sync.NewCond(&lm.mu)
+	return lm
+}
+
+// errLockTimeout marks a lock wait that expired (deadlock surrogate).
+type errLockTimeout struct{ table string }
+
+func (e *errLockTimeout) Error() string {
+	return fmt.Sprintf("lock wait timeout on table %q (possible deadlock)", e.table)
+}
+
+// acquire blocks until the session holds the table in at least the
+// given mode, or the timeout elapses.
+func (lm *lockManager) acquire(s *Session, table string, mode lockMode) error {
+	deadline := time.Now().Add(lm.timeout)
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	tl, ok := lm.tables[table]
+	if !ok {
+		tl = &tableLock{holders: make(map[*Session]lockMode)}
+		lm.tables[table] = tl
+	}
+	for {
+		if held, ok := tl.holders[s]; ok && held >= mode {
+			return nil // already strong enough
+		}
+		if tl.compatible(s, mode) {
+			tl.holders[s] = mode
+			return nil
+		}
+		if !lm.waitUntil(deadline) {
+			return &errLockTimeout{table: table}
+		}
+		// Re-fetch: the table entry may have been cleaned up while waiting.
+		if nt, ok := lm.tables[table]; ok {
+			tl = nt
+		} else {
+			tl = &tableLock{holders: make(map[*Session]lockMode)}
+			lm.tables[table] = tl
+		}
+	}
+}
+
+// compatible reports whether the session may take mode given the other
+// holders.
+func (tl *tableLock) compatible(s *Session, mode lockMode) bool {
+	for holder, held := range tl.holders {
+		if holder == s {
+			continue
+		}
+		if mode == lockExclusive || held == lockExclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// waitUntil waits on the condition variable with a deadline, returning
+// false when the deadline has passed. Cond has no native timeout, so a
+// timer goroutine broadcasts wakeups.
+func (lm *lockManager) waitUntil(deadline time.Time) bool {
+	remaining := time.Until(deadline)
+	if remaining <= 0 {
+		return false
+	}
+	done := make(chan struct{})
+	t := time.AfterFunc(remaining, func() {
+		lm.mu.Lock()
+		lm.cond.Broadcast()
+		lm.mu.Unlock()
+		close(done)
+	})
+	lm.cond.Wait()
+	if !t.Stop() {
+		select {
+		case <-done:
+		default:
+		}
+	}
+	return time.Now().Before(deadline)
+}
+
+// releaseShared drops the session's shared locks, keeping exclusive
+// ones (READ COMMITTED releases read locks at statement end).
+func (lm *lockManager) releaseShared(s *Session) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for name, tl := range lm.tables {
+		if mode, ok := tl.holders[s]; ok && mode == lockShared {
+			delete(tl.holders, s)
+			if len(tl.holders) == 0 {
+				delete(lm.tables, name)
+			}
+		}
+	}
+	lm.cond.Broadcast()
+}
+
+// releaseAll drops every lock the session holds (end of transaction).
+func (lm *lockManager) releaseAll(s *Session) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for name, tl := range lm.tables {
+		if _, ok := tl.holders[s]; ok {
+			delete(tl.holders, s)
+			if len(tl.holders) == 0 {
+				delete(lm.tables, name)
+			}
+		}
+	}
+	lm.cond.Broadcast()
+}

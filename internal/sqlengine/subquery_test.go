@@ -1,0 +1,261 @@
+package sqlengine
+
+import (
+	"strings"
+	"testing"
+)
+
+// seedOrgs builds dept/emp tables for subquery and union tests.
+func seedOrgs(t testing.TB) *Engine {
+	t.Helper()
+	e := New("orgs")
+	e.MustExec(`CREATE TABLE dept (id INTEGER PRIMARY KEY, name VARCHAR(32), budget INTEGER)`)
+	e.MustExec(`CREATE TABLE emp (id INTEGER PRIMARY KEY, name VARCHAR(32), dept_id INTEGER, salary INTEGER)`)
+	e.MustExec(`INSERT INTO dept VALUES (1, 'eng', 500), (2, 'sales', 300), (3, 'legal', 100)`)
+	e.MustExec(`INSERT INTO emp VALUES
+		(1, 'ann', 1, 120), (2, 'bob', 1, 95), (3, 'carol', 2, 87), (4, 'dan', 2, 91), (5, 'eve', NULL, 150)`)
+	return e
+}
+
+func TestScalarSubquery(t *testing.T) {
+	e := seedOrgs(t)
+	rows := queryStrings(t, e, `SELECT name FROM emp WHERE salary > (SELECT AVG(salary) FROM emp) ORDER BY name`)
+	if len(rows) != 2 || rows[0][0] != "ann" || rows[1][0] != "eve" {
+		t.Fatalf("rows = %v", rows)
+	}
+	// In the select list.
+	rows = queryStrings(t, e, `SELECT name, (SELECT MAX(budget) FROM dept) FROM emp WHERE id = 1`)
+	if rows[0][1] != "500" {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Empty scalar subquery yields NULL.
+	rows = queryStrings(t, e, `SELECT (SELECT name FROM dept WHERE id = 99)`)
+	if rows[0][0] != "NULL" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestScalarSubqueryErrors(t *testing.T) {
+	e := seedOrgs(t)
+	if _, err := e.Exec(`SELECT (SELECT id, name FROM dept WHERE id = 1)`); err == nil ||
+		!strings.Contains(err.Error(), "one column") {
+		t.Fatalf("expected column-count error, got %v", err)
+	}
+	if _, err := e.Exec(`SELECT (SELECT id FROM dept)`); err == nil ||
+		!strings.Contains(err.Error(), "rows") {
+		t.Fatalf("expected row-count error, got %v", err)
+	}
+}
+
+func TestInSubquery(t *testing.T) {
+	e := seedOrgs(t)
+	rows := queryStrings(t, e, `SELECT name FROM emp WHERE dept_id IN (SELECT id FROM dept WHERE budget > 200) ORDER BY name`)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %v", rows)
+	}
+	rows = queryStrings(t, e, `SELECT name FROM dept WHERE id NOT IN (SELECT dept_id FROM emp WHERE dept_id IS NOT NULL) ORDER BY name`)
+	if len(rows) != 1 || rows[0][0] != "legal" {
+		t.Fatalf("rows = %v", rows)
+	}
+	// NULL in the subquery result poisons NOT IN entirely.
+	rows = queryStrings(t, e, `SELECT name FROM dept WHERE id NOT IN (SELECT dept_id FROM emp)`)
+	if len(rows) != 0 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestExistsCorrelated(t *testing.T) {
+	e := seedOrgs(t)
+	rows := queryStrings(t, e, `SELECT d.name FROM dept d
+		WHERE EXISTS (SELECT 1 FROM emp e WHERE e.dept_id = d.id) ORDER BY d.name`)
+	if len(rows) != 2 || rows[0][0] != "eng" || rows[1][0] != "sales" {
+		t.Fatalf("rows = %v", rows)
+	}
+	rows = queryStrings(t, e, `SELECT d.name FROM dept d
+		WHERE NOT EXISTS (SELECT 1 FROM emp e WHERE e.dept_id = d.id)`)
+	if len(rows) != 1 || rows[0][0] != "legal" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestCorrelatedScalarSubquery(t *testing.T) {
+	e := seedOrgs(t)
+	rows := queryStrings(t, e, `SELECT d.name, (SELECT COUNT(*) FROM emp e WHERE e.dept_id = d.id) AS heads
+		FROM dept d ORDER BY d.id`)
+	want := [][2]string{{"eng", "2"}, {"sales", "2"}, {"legal", "0"}}
+	for i, w := range want {
+		if rows[i][0] != w[0] || rows[i][1] != w[1] {
+			t.Fatalf("rows = %v", rows)
+		}
+	}
+}
+
+func TestSubqueryInUpdateDelete(t *testing.T) {
+	e := seedOrgs(t)
+	res, err := e.Exec(`UPDATE emp SET salary = salary + 10
+		WHERE dept_id IN (SELECT id FROM dept WHERE name = 'eng')`)
+	if err != nil || res.UpdateCount != 2 {
+		t.Fatalf("res = %+v, %v", res, err)
+	}
+	res, err = e.Exec(`DELETE FROM emp WHERE salary < (SELECT AVG(salary) FROM emp)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UpdateCount == 0 {
+		t.Fatal("delete matched nothing")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	e := seedOrgs(t)
+	rows := queryStrings(t, e, `SELECT name FROM dept UNION SELECT name FROM emp ORDER BY name`)
+	if len(rows) != 8 { // 3 depts + 5 emps, no overlap
+		t.Fatalf("rows = %v", rows)
+	}
+	// UNION dedups; UNION ALL keeps duplicates.
+	rows = queryStrings(t, e, `SELECT dept_id FROM emp WHERE dept_id IS NOT NULL UNION SELECT dept_id FROM emp WHERE dept_id IS NOT NULL ORDER BY 1`)
+	if len(rows) != 2 {
+		t.Fatalf("union rows = %v", rows)
+	}
+	rows = queryStrings(t, e, `SELECT dept_id FROM emp WHERE dept_id = 1 UNION ALL SELECT dept_id FROM emp WHERE dept_id = 1`)
+	if len(rows) != 4 {
+		t.Fatalf("union all rows = %v", rows)
+	}
+}
+
+func TestUnionOrderLimit(t *testing.T) {
+	e := seedOrgs(t)
+	rows := queryStrings(t, e, `SELECT name FROM dept UNION SELECT name FROM emp ORDER BY name DESC LIMIT 3`)
+	if len(rows) != 3 || rows[0][0] != "sales" {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Ordinal ordering.
+	rows = queryStrings(t, e, `SELECT id FROM dept UNION SELECT id FROM emp ORDER BY 1 LIMIT 2 OFFSET 1`)
+	if len(rows) != 2 || rows[0][0] != "2" || rows[1][0] != "3" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestUnionErrors(t *testing.T) {
+	e := seedOrgs(t)
+	if _, err := e.Exec(`SELECT id, name FROM dept UNION SELECT id FROM emp`); err == nil {
+		t.Fatal("column-count mismatch should fail")
+	}
+	if _, err := e.Exec(`SELECT id FROM dept UNION SELECT id FROM emp ORDER BY salary`); err == nil {
+		t.Fatal("ORDER BY on a column not in union output should fail")
+	}
+}
+
+func TestInsertSelect(t *testing.T) {
+	e := seedOrgs(t)
+	e.MustExec(`CREATE TABLE rich (id INTEGER PRIMARY KEY, name VARCHAR(32))`)
+	res, err := e.Exec(`INSERT INTO rich SELECT id, name FROM emp WHERE salary > 100`)
+	if err != nil || res.UpdateCount != 2 {
+		t.Fatalf("res = %+v, %v", res, err)
+	}
+	rows := queryStrings(t, e, `SELECT name FROM rich ORDER BY name`)
+	if rows[0][0] != "ann" || rows[1][0] != "eve" {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Column-count mismatch.
+	if _, err := e.Exec(`INSERT INTO rich SELECT id FROM emp`); err == nil {
+		t.Fatal("column mismatch should fail")
+	}
+	// Constraint failure rolls back the whole INSERT SELECT.
+	before, _ := e.Database().TableRowCount("rich")
+	if _, err := e.Exec(`INSERT INTO rich SELECT id, name FROM emp`); err == nil {
+		t.Fatal("duplicate ids should fail")
+	}
+	after, _ := e.Database().TableRowCount("rich")
+	if before != after {
+		t.Fatalf("partial insert persisted: %d -> %d", before, after)
+	}
+}
+
+func TestInsertSelectIntoColumns(t *testing.T) {
+	e := seedOrgs(t)
+	e.MustExec(`CREATE TABLE names (n VARCHAR(32), tag VARCHAR(8) DEFAULT 'x')`)
+	res, err := e.Exec(`INSERT INTO names (n) SELECT name FROM dept`)
+	if err != nil || res.UpdateCount != 3 {
+		t.Fatalf("res = %+v, %v", res, err)
+	}
+	rows := queryStrings(t, e, `SELECT COUNT(*) FROM names WHERE tag = 'x'`)
+	if rows[0][0] != "3" {
+		t.Fatalf("defaults not applied: %v", rows)
+	}
+}
+
+func TestSubqueryRollback(t *testing.T) {
+	e := seedOrgs(t)
+	s := e.NewSession()
+	mustSess(t, s, `BEGIN`)
+	mustSess(t, s, `DELETE FROM emp WHERE dept_id IN (SELECT id FROM dept)`)
+	mustSess(t, s, `ROLLBACK`)
+	if n, _ := e.Database().TableRowCount("emp"); n != 5 {
+		t.Fatalf("rowcount = %d", n)
+	}
+}
+
+func TestNestedSubqueries(t *testing.T) {
+	e := seedOrgs(t)
+	rows := queryStrings(t, e, `SELECT name FROM emp
+		WHERE dept_id IN (SELECT id FROM dept WHERE budget = (SELECT MAX(budget) FROM dept))
+		ORDER BY name`)
+	if len(rows) != 2 || rows[0][0] != "ann" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestDerivedTables(t *testing.T) {
+	e := seedOrgs(t)
+	rows := queryStrings(t, e, `SELECT dt.name FROM (SELECT name, salary FROM emp WHERE salary > 90) dt
+		WHERE dt.salary < 130 ORDER BY dt.name`)
+	if len(rows) != 3 || rows[0][0] != "ann" || rows[2][0] != "dan" {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Aggregating over a derived table.
+	rows = queryStrings(t, e, `SELECT COUNT(*), AVG(t.pay) FROM
+		(SELECT salary AS pay FROM emp WHERE dept_id IS NOT NULL) AS t`)
+	if rows[0][0] != "4" {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Joining a base table with a derived table.
+	rows = queryStrings(t, e, `SELECT d.name, agg.heads FROM dept d
+		JOIN (SELECT dept_id, COUNT(*) AS heads FROM emp WHERE dept_id IS NOT NULL GROUP BY dept_id) agg
+		ON d.id = agg.dept_id ORDER BY d.name`)
+	if len(rows) != 2 || rows[0][0] != "eng" || rows[0][1] != "2" {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Alias is mandatory.
+	if _, err := e.Exec(`SELECT * FROM (SELECT 1)`); err == nil {
+		t.Fatal("derived table without alias should fail")
+	}
+	// Nested derived tables.
+	rows = queryStrings(t, e, `SELECT MAX(x.n) FROM (SELECT COUNT(*) AS n FROM (SELECT id FROM emp) inner1) x`)
+	if rows[0][0] != "5" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestRightJoin(t *testing.T) {
+	e := seedOrgs(t)
+	// legal has no employees; RIGHT JOIN on dept keeps it.
+	rows := queryStrings(t, e, `SELECT e.name, d.name FROM emp e RIGHT JOIN dept d ON e.dept_id = d.id ORDER BY d.name, e.name`)
+	if len(rows) != 5 { // 4 matched emp rows + legal with NULL emp
+		t.Fatalf("rows = %v", rows)
+	}
+	var legal []string
+	for _, r := range rows {
+		if r[1] == "legal" {
+			legal = r
+		}
+	}
+	if legal == nil || legal[0] != "NULL" {
+		t.Fatalf("legal row = %v", legal)
+	}
+	// RIGHT OUTER JOIN spelling.
+	rows = queryStrings(t, e, `SELECT COUNT(*) FROM emp e RIGHT OUTER JOIN dept d ON e.dept_id = d.id`)
+	if rows[0][0] != "5" {
+		t.Fatalf("rows = %v", rows)
+	}
+}

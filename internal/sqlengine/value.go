@@ -1,0 +1,313 @@
+// Package sqlengine implements a self-contained, in-memory relational
+// database engine with a practical SQL subset: DDL (CREATE/DROP TABLE,
+// CREATE/DROP INDEX), DML (INSERT, UPDATE, DELETE), and queries
+// (SELECT with WHERE, INNER/LEFT JOIN, GROUP BY/HAVING, aggregates,
+// DISTINCT, ORDER BY, LIMIT/OFFSET, parameter markers), plus
+// transactions with the four ANSI isolation levels.
+//
+// The DAIS specifications treat the DBMS as an existing system that
+// services wrap (paper §2.1: "web service wrappers for databases"), so
+// this engine is the substitute substrate for the commercial DBMSs the
+// OGSA-DAI reference implementation targeted. It exposes the artefacts
+// WS-DAIR needs: result sets with column metadata, update counts, and
+// an SQL communication area (SQLSTATE) per statement.
+package sqlengine
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Type enumerates the engine's column types.
+type Type int
+
+const (
+	TypeNull Type = iota
+	TypeInteger
+	TypeBigint
+	TypeDouble
+	TypeVarchar
+	TypeBoolean
+	TypeTimestamp
+)
+
+// String returns the SQL name of the type.
+func (t Type) String() string {
+	switch t {
+	case TypeNull:
+		return "NULL"
+	case TypeInteger:
+		return "INTEGER"
+	case TypeBigint:
+		return "BIGINT"
+	case TypeDouble:
+		return "DOUBLE"
+	case TypeVarchar:
+		return "VARCHAR"
+	case TypeBoolean:
+		return "BOOLEAN"
+	case TypeTimestamp:
+		return "TIMESTAMP"
+	}
+	return fmt.Sprintf("Type(%d)", int(t))
+}
+
+// TypeFromName resolves a SQL type name (with optional length suffix
+// already stripped) to a Type.
+func TypeFromName(name string) (Type, error) {
+	switch strings.ToUpper(name) {
+	case "INT", "INTEGER", "SMALLINT":
+		return TypeInteger, nil
+	case "BIGINT":
+		return TypeBigint, nil
+	case "DOUBLE", "FLOAT", "REAL", "DECIMAL", "NUMERIC":
+		return TypeDouble, nil
+	case "VARCHAR", "CHAR", "TEXT", "CHARACTER", "STRING", "CLOB":
+		return TypeVarchar, nil
+	case "BOOLEAN", "BOOL":
+		return TypeBoolean, nil
+	case "TIMESTAMP", "DATETIME", "DATE":
+		return TypeTimestamp, nil
+	}
+	return TypeNull, fmt.Errorf("unknown type %q", name)
+}
+
+// Value is a typed SQL value. A Value with Type == TypeNull is the SQL
+// NULL regardless of the other fields.
+type Value struct {
+	Type Type
+	I    int64     // Integer, Bigint
+	F    float64   // Double
+	S    string    // Varchar
+	B    bool      // Boolean
+	T    time.Time // Timestamp
+}
+
+// Null is the SQL NULL value.
+var Null = Value{Type: TypeNull}
+
+// NewInt returns an INTEGER value.
+func NewInt(i int64) Value { return Value{Type: TypeInteger, I: i} }
+
+// NewBigint returns a BIGINT value.
+func NewBigint(i int64) Value { return Value{Type: TypeBigint, I: i} }
+
+// NewDouble returns a DOUBLE value.
+func NewDouble(f float64) Value { return Value{Type: TypeDouble, F: f} }
+
+// NewString returns a VARCHAR value.
+func NewString(s string) Value { return Value{Type: TypeVarchar, S: s} }
+
+// NewBool returns a BOOLEAN value.
+func NewBool(b bool) Value { return Value{Type: TypeBoolean, B: b} }
+
+// NewTimestamp returns a TIMESTAMP value.
+func NewTimestamp(t time.Time) Value { return Value{Type: TypeTimestamp, T: t.UTC()} }
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return v.Type == TypeNull }
+
+// String renders the value for result sets and diagnostics. NULL
+// renders as "NULL"; use IsNull to distinguish it from the string.
+func (v Value) String() string {
+	switch v.Type {
+	case TypeNull:
+		return "NULL"
+	case TypeInteger, TypeBigint:
+		return strconv.FormatInt(v.I, 10)
+	case TypeDouble:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case TypeVarchar:
+		return v.S
+	case TypeBoolean:
+		if v.B {
+			return "true"
+		}
+		return "false"
+	case TypeTimestamp:
+		return v.T.UTC().Format(time.RFC3339Nano)
+	}
+	return "?"
+}
+
+// isNumeric reports whether the type participates in arithmetic.
+func (t Type) isNumeric() bool {
+	return t == TypeInteger || t == TypeBigint || t == TypeDouble
+}
+
+// asFloat converts any numeric value to float64.
+func (v Value) asFloat() float64 {
+	switch v.Type {
+	case TypeInteger, TypeBigint:
+		return float64(v.I)
+	case TypeDouble:
+		return v.F
+	}
+	return math.NaN()
+}
+
+// Coerce converts v to the target column type, applying the implicit
+// conversions SQL permits on INSERT/UPDATE. NULL coerces to any type.
+func (v Value) Coerce(t Type) (Value, error) {
+	if v.IsNull() || v.Type == t {
+		if v.IsNull() {
+			return Null, nil
+		}
+		return v, nil
+	}
+	switch t {
+	case TypeInteger, TypeBigint:
+		switch v.Type {
+		case TypeInteger, TypeBigint:
+			return Value{Type: t, I: v.I}, nil
+		case TypeDouble:
+			if v.F != math.Trunc(v.F) || math.IsInf(v.F, 0) || math.IsNaN(v.F) {
+				return Null, fmt.Errorf("cannot coerce %v to %s without loss", v.F, t)
+			}
+			return Value{Type: t, I: int64(v.F)}, nil
+		case TypeVarchar:
+			i, err := strconv.ParseInt(strings.TrimSpace(v.S), 10, 64)
+			if err != nil {
+				return Null, fmt.Errorf("cannot coerce %q to %s", v.S, t)
+			}
+			return Value{Type: t, I: i}, nil
+		case TypeBoolean:
+			if v.B {
+				return Value{Type: t, I: 1}, nil
+			}
+			return Value{Type: t, I: 0}, nil
+		}
+	case TypeDouble:
+		switch v.Type {
+		case TypeInteger, TypeBigint:
+			return NewDouble(float64(v.I)), nil
+		case TypeVarchar:
+			f, err := strconv.ParseFloat(strings.TrimSpace(v.S), 64)
+			if err != nil {
+				return Null, fmt.Errorf("cannot coerce %q to DOUBLE", v.S)
+			}
+			return NewDouble(f), nil
+		}
+	case TypeVarchar:
+		return NewString(v.String()), nil
+	case TypeBoolean:
+		switch v.Type {
+		case TypeInteger, TypeBigint:
+			return NewBool(v.I != 0), nil
+		case TypeVarchar:
+			switch strings.ToLower(strings.TrimSpace(v.S)) {
+			case "true", "t", "1":
+				return NewBool(true), nil
+			case "false", "f", "0":
+				return NewBool(false), nil
+			}
+			return Null, fmt.Errorf("cannot coerce %q to BOOLEAN", v.S)
+		}
+	case TypeTimestamp:
+		if v.Type == TypeVarchar {
+			return parseTimestamp(v.S)
+		}
+	}
+	return Null, fmt.Errorf("cannot coerce %s to %s", v.Type, t)
+}
+
+// parseTimestamp accepts the common SQL and RFC 3339 layouts.
+func parseTimestamp(s string) (Value, error) {
+	s = strings.TrimSpace(s)
+	layouts := []string{
+		time.RFC3339Nano,
+		time.RFC3339,
+		"2006-01-02 15:04:05.999999999",
+		"2006-01-02 15:04:05",
+		"2006-01-02",
+	}
+	for _, l := range layouts {
+		if t, err := time.Parse(l, s); err == nil {
+			return NewTimestamp(t), nil
+		}
+	}
+	return Null, fmt.Errorf("cannot parse timestamp %q", s)
+}
+
+// Compare orders two values. NULLs compare less than everything (the
+// executor handles three-valued logic before calling Compare; ORDER BY
+// uses this NULLS FIRST behaviour). Numeric types compare numerically
+// across widths.
+func Compare(a, b Value) (int, error) {
+	if a.IsNull() || b.IsNull() {
+		switch {
+		case a.IsNull() && b.IsNull():
+			return 0, nil
+		case a.IsNull():
+			return -1, nil
+		default:
+			return 1, nil
+		}
+	}
+	if a.Type.isNumeric() && b.Type.isNumeric() {
+		if a.Type != TypeDouble && b.Type != TypeDouble {
+			switch {
+			case a.I < b.I:
+				return -1, nil
+			case a.I > b.I:
+				return 1, nil
+			}
+			return 0, nil
+		}
+		af, bf := a.asFloat(), b.asFloat()
+		switch {
+		case af < bf:
+			return -1, nil
+		case af > bf:
+			return 1, nil
+		}
+		return 0, nil
+	}
+	if a.Type != b.Type {
+		return 0, fmt.Errorf("cannot compare %s with %s", a.Type, b.Type)
+	}
+	switch a.Type {
+	case TypeVarchar:
+		return strings.Compare(a.S, b.S), nil
+	case TypeBoolean:
+		switch {
+		case a.B == b.B:
+			return 0, nil
+		case !a.B:
+			return -1, nil
+		default:
+			return 1, nil
+		}
+	case TypeTimestamp:
+		switch {
+		case a.T.Before(b.T):
+			return -1, nil
+		case a.T.After(b.T):
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("cannot compare values of type %s", a.Type)
+}
+
+// Equal reports SQL equality (NULL = NULL is false; use for hashing
+// only after checking IsNull).
+func Equal(a, b Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return false
+	}
+	c, err := Compare(a, b)
+	return err == nil && c == 0
+}
+
+// groupKey renders a value for use in hash-grouping keys; distinct from
+// String so that NULL and the string "NULL" cannot collide.
+func (v Value) groupKey() string {
+	if v.IsNull() {
+		return "\x00null"
+	}
+	return fmt.Sprintf("%d\x00%s", int(v.Type), v.String())
+}

@@ -1,0 +1,201 @@
+package sqlengine
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTypeFromName(t *testing.T) {
+	cases := map[string]Type{
+		"int": TypeInteger, "INTEGER": TypeInteger, "BigInt": TypeBigint,
+		"double": TypeDouble, "FLOAT": TypeDouble, "varchar": TypeVarchar,
+		"TEXT": TypeVarchar, "bool": TypeBoolean, "TIMESTAMP": TypeTimestamp,
+	}
+	for name, want := range cases {
+		got, err := TypeFromName(name)
+		if err != nil || got != want {
+			t.Errorf("TypeFromName(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := TypeFromName("BLOB"); err == nil {
+		t.Error("expected error for unknown type")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	ts := time.Date(2005, 9, 1, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "NULL"},
+		{NewInt(42), "42"},
+		{NewBigint(-7), "-7"},
+		{NewDouble(2.5), "2.5"},
+		{NewString("hi"), "hi"},
+		{NewBool(true), "true"},
+		{NewBool(false), "false"},
+		{NewTimestamp(ts), "2005-09-01T12:00:00Z"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%v.String() = %q, want %q", c.v.Type, got, c.want)
+		}
+	}
+}
+
+func TestCoerce(t *testing.T) {
+	ok := []struct {
+		in   Value
+		to   Type
+		want Value
+	}{
+		{NewString("42"), TypeInteger, NewInt(42)},
+		{NewString(" 3.5 "), TypeDouble, NewDouble(3.5)},
+		{NewInt(1), TypeBoolean, NewBool(true)},
+		{NewInt(0), TypeBoolean, NewBool(false)},
+		{NewDouble(4), TypeInteger, NewInt(4)},
+		{NewInt(7), TypeDouble, NewDouble(7)},
+		{NewBool(true), TypeInteger, NewInt(1)},
+		{NewString("true"), TypeBoolean, NewBool(true)},
+		{NewInt(5), TypeVarchar, NewString("5")},
+		{Null, TypeInteger, Null},
+		{NewString("2005-09-01"), TypeTimestamp, NewTimestamp(time.Date(2005, 9, 1, 0, 0, 0, 0, time.UTC))},
+		{NewString("2005-09-01 10:30:00"), TypeTimestamp, NewTimestamp(time.Date(2005, 9, 1, 10, 30, 0, 0, time.UTC))},
+	}
+	for _, c := range ok {
+		got, err := c.in.Coerce(c.to)
+		if err != nil {
+			t.Errorf("Coerce(%v, %v): %v", c.in, c.to, err)
+			continue
+		}
+		if got.Type != c.want.Type || got.String() != c.want.String() {
+			t.Errorf("Coerce(%v, %v) = %v, want %v", c.in, c.to, got, c.want)
+		}
+	}
+	bad := []struct {
+		in Value
+		to Type
+	}{
+		{NewString("abc"), TypeInteger},
+		{NewDouble(2.5), TypeInteger},
+		{NewString("maybe"), TypeBoolean},
+		{NewString("not a date"), TypeTimestamp},
+		{NewBool(true), TypeTimestamp},
+	}
+	for _, c := range bad {
+		if _, err := c.in.Coerce(c.to); err == nil {
+			t.Errorf("Coerce(%v, %v): expected error", c.in, c.to)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	lt := [][2]Value{
+		{NewInt(1), NewInt(2)},
+		{NewInt(1), NewDouble(1.5)},
+		{NewBigint(-5), NewInt(0)},
+		{NewString("a"), NewString("b")},
+		{NewBool(false), NewBool(true)},
+		{NewTimestamp(time.Unix(0, 0)), NewTimestamp(time.Unix(1, 0))},
+		{Null, NewInt(0)}, // NULLs order first
+	}
+	for _, c := range lt {
+		got, err := Compare(c[0], c[1])
+		if err != nil || got != -1 {
+			t.Errorf("Compare(%v, %v) = %d, %v; want -1", c[0], c[1], got, err)
+		}
+		rev, err := Compare(c[1], c[0])
+		if err != nil || rev != 1 {
+			t.Errorf("Compare(%v, %v) = %d, %v; want 1", c[1], c[0], rev, err)
+		}
+	}
+	if c, err := Compare(NewInt(3), NewDouble(3.0)); err != nil || c != 0 {
+		t.Errorf("cross-width numeric equality failed: %d, %v", c, err)
+	}
+	if _, err := Compare(NewInt(1), NewString("1")); err == nil {
+		t.Error("expected type mismatch error")
+	}
+}
+
+func TestEqualNullSemantics(t *testing.T) {
+	if Equal(Null, Null) {
+		t.Error("NULL = NULL must be false in SQL equality")
+	}
+	if !Equal(NewInt(1), NewBigint(1)) {
+		t.Error("1 = 1 across widths should hold")
+	}
+}
+
+// Property: Compare is antisymmetric for comparable same-type values.
+func TestQuickCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, y := NewBigint(a), NewBigint(b)
+		c1, err1 := Compare(x, y)
+		c2, err2 := Compare(y, x)
+		return err1 == nil && err2 == nil && c1 == -c2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: string round trip through VARCHAR coercion is identity for
+// int values.
+func TestQuickIntStringRoundTrip(t *testing.T) {
+	f := func(i int64) bool {
+		s, err := NewBigint(i).Coerce(TypeVarchar)
+		if err != nil {
+			return false
+		}
+		back, err := s.Coerce(TypeBigint)
+		return err == nil && back.I == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: groupKey distinguishes NULL from every non-null value and
+// equal values share keys.
+func TestQuickGroupKey(t *testing.T) {
+	f := func(s string) bool {
+		v := NewString(s)
+		return v.groupKey() != Null.groupKey() && v.groupKey() == NewString(s).groupKey()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if NewString("NULL").groupKey() == Null.groupKey() {
+		t.Error(`string "NULL" must not collide with SQL NULL`)
+	}
+	if NewInt(1).groupKey() == NewString("1").groupKey() {
+		t.Error("different types with same rendering must not collide")
+	}
+}
+
+func TestParseIsolationLevel(t *testing.T) {
+	cases := map[string]IsolationLevel{
+		"serializable":     Serializable,
+		"READ COMMITTED":   ReadCommitted,
+		"read-uncommitted": ReadUncommitted,
+		"RepeatableRead":   RepeatableRead,
+		"repeatable_read":  RepeatableRead,
+	}
+	for in, want := range cases {
+		got, err := ParseIsolationLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseIsolationLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseIsolationLevel("chaos"); err == nil {
+		t.Error("expected error")
+	}
+	for _, l := range []IsolationLevel{ReadUncommitted, ReadCommitted, RepeatableRead, Serializable} {
+		back, err := ParseIsolationLevel(l.String())
+		if err != nil || back != l {
+			t.Errorf("round trip %v failed: %v %v", l, back, err)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package sqlengine
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCreateAndQueryView(t *testing.T) {
+	e := seedOrgs(t)
+	e.MustExec(`CREATE VIEW wellpaid AS SELECT name, salary FROM emp WHERE salary > 90`)
+	rows := queryStrings(t, e, `SELECT name FROM wellpaid ORDER BY name`)
+	if len(rows) != 4 || rows[0][0] != "ann" {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Views are live: new qualifying rows appear.
+	e.MustExec(`INSERT INTO emp VALUES (6, 'frank', 3, 200)`)
+	rows = queryStrings(t, e, `SELECT COUNT(*) FROM wellpaid`)
+	if rows[0][0] != "5" {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Qualified references and aliases.
+	rows = queryStrings(t, e, `SELECT w.name FROM wellpaid w WHERE w.salary > 150 ORDER BY w.name`)
+	if len(rows) != 1 || rows[0][0] != "frank" {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Aggregation over a view.
+	rows = queryStrings(t, e, `SELECT MAX(salary) FROM wellpaid`)
+	if rows[0][0] != "200" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestViewOverView(t *testing.T) {
+	e := seedOrgs(t)
+	e.MustExec(`CREATE VIEW engonly AS SELECT * FROM emp WHERE dept_id = 1`)
+	e.MustExec(`CREATE VIEW engnames AS SELECT name FROM engonly`)
+	rows := queryStrings(t, e, `SELECT name FROM engnames ORDER BY name`)
+	if len(rows) != 2 || rows[0][0] != "ann" || rows[1][0] != "bob" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestViewJoinsAndSubqueries(t *testing.T) {
+	e := seedOrgs(t)
+	e.MustExec(`CREATE VIEW headcount AS
+		SELECT dept_id, COUNT(*) AS heads FROM emp WHERE dept_id IS NOT NULL GROUP BY dept_id`)
+	rows := queryStrings(t, e, `SELECT d.name, h.heads FROM dept d JOIN headcount h ON d.id = h.dept_id ORDER BY d.name`)
+	if len(rows) != 2 || rows[0][1] != "2" {
+		t.Fatalf("rows = %v", rows)
+	}
+	rows = queryStrings(t, e, `SELECT name FROM dept WHERE id IN (SELECT dept_id FROM headcount) ORDER BY name`)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestViewCatalogRules(t *testing.T) {
+	e := seedOrgs(t)
+	e.MustExec(`CREATE VIEW v1 AS SELECT 1`)
+	if _, err := e.Exec(`CREATE VIEW v1 AS SELECT 2`); err == nil {
+		t.Fatal("duplicate view")
+	}
+	if _, err := e.Exec(`CREATE VIEW emp AS SELECT 1`); err == nil {
+		t.Fatal("view shadowing a table")
+	}
+	if _, err := e.Exec(`CREATE TABLE v1 (a INTEGER)`); err == nil {
+		t.Fatal("table shadowing a view")
+	}
+	names := e.Database().ViewNames()
+	if len(names) != 1 || names[0] != "v1" {
+		t.Fatalf("views = %v", names)
+	}
+	e.MustExec(`DROP VIEW v1`)
+	if _, err := e.Exec(`DROP VIEW v1`); err == nil {
+		t.Fatal("double drop")
+	}
+	if _, err := e.Exec(`SELECT * FROM v1`); err == nil {
+		t.Fatal("dropped view still queryable")
+	}
+}
+
+func TestViewErrorsSurfaceAtQueryTime(t *testing.T) {
+	e := seedOrgs(t)
+	// A view over a table that is later dropped fails when queried.
+	e.MustExec(`CREATE VIEW doomed AS SELECT * FROM dept`)
+	e.MustExec(`DROP TABLE dept`)
+	if _, err := e.Exec(`SELECT * FROM doomed`); err == nil ||
+		!strings.Contains(err.Error(), "does not exist") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestViewWriteIsRejected(t *testing.T) {
+	e := seedOrgs(t)
+	e.MustExec(`CREATE VIEW v AS SELECT * FROM emp`)
+	if _, err := e.Exec(`INSERT INTO v VALUES (9, 'x', 1, 1)`); err == nil {
+		t.Fatal("insert into a view should fail")
+	}
+	if _, err := e.Exec(`UPDATE v SET salary = 0`); err == nil {
+		t.Fatal("update of a view should fail")
+	}
+	if _, err := e.Exec(`DELETE FROM v`); err == nil {
+		t.Fatal("delete from a view should fail")
+	}
+}
+
+func TestViewLockingExpandsToBaseTables(t *testing.T) {
+	e := New("t", WithLockTimeout(100*time.Millisecond))
+	e.MustExec(`CREATE TABLE acct (id INTEGER PRIMARY KEY, bal INTEGER)`)
+	e.MustExec(`INSERT INTO acct VALUES (1, 100)`)
+	e.MustExec(`CREATE VIEW balances AS SELECT bal FROM acct`)
+
+	reader := e.NewSession()
+	if err := reader.SetIsolation(RepeatableRead); err != nil {
+		t.Fatal(err)
+	}
+	mustSess(t, reader, `BEGIN`)
+	if _, err := reader.Execute(`SELECT * FROM balances`); err != nil {
+		t.Fatal(err)
+	}
+	// The reader's view access must hold a lock on the BASE table, so a
+	// writer cannot sneak in.
+	writer := e.NewSession()
+	if _, err := writer.Execute(`UPDATE acct SET bal = 0`); err == nil {
+		t.Fatal("writer should block on the view reader's base-table lock")
+	}
+	mustSess(t, reader, `COMMIT`)
+}

@@ -1,0 +1,163 @@
+package wsaddr
+
+import (
+	"regexp"
+	"testing"
+
+	"dais/internal/soap"
+	"dais/internal/xmlutil"
+)
+
+const nsDAI = "http://www.ggf.org/namespaces/2005/12/WS-DAI"
+
+func TestEPRRoundTrip(t *testing.T) {
+	epr := NewEPR("http://example.org/data")
+	name := xmlutil.NewElement(nsDAI, "DataResourceAbstractName")
+	name.SetText("urn:dais:resource:42")
+	epr.AddReferenceParameter(name)
+	epr.Metadata = append(epr.Metadata, xmlutil.NewElement("urn:m", "PortType"))
+
+	el := epr.Element(nsDAI, "DataResourceAddress")
+	if el.Name.Local != "DataResourceAddress" {
+		t.Fatalf("element name = %v", el.Name)
+	}
+	got, err := ParseEPR(el)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Address != "http://example.org/data" {
+		t.Fatalf("address = %q", got.Address)
+	}
+	rp := got.ReferenceParameter(nsDAI, "DataResourceAbstractName")
+	if rp == nil || rp.Text() != "urn:dais:resource:42" {
+		t.Fatalf("refparam = %v", rp)
+	}
+	if len(got.Metadata) != 1 {
+		t.Fatalf("metadata = %d", len(got.Metadata))
+	}
+}
+
+func TestEPRThroughXMLSerialisation(t *testing.T) {
+	epr := NewEPR("http://svc/endpoint")
+	p := xmlutil.NewElement(nsDAI, "DataResourceAbstractName")
+	p.SetText("urn:r1")
+	epr.AddReferenceParameter(p)
+
+	el := epr.Element(nsDAI, "Reference")
+	re, err := xmlutil.ParseString(xmlutil.MarshalString(el))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseEPR(re)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Address != epr.Address {
+		t.Fatalf("address = %q", got.Address)
+	}
+	if got.ReferenceParameter(nsDAI, "DataResourceAbstractName").Text() != "urn:r1" {
+		t.Fatal("reference parameter lost in serialisation")
+	}
+}
+
+func TestParseEPRErrors(t *testing.T) {
+	if _, err := ParseEPR(nil); err == nil {
+		t.Fatal("nil should error")
+	}
+	if _, err := ParseEPR(xmlutil.NewElement("urn:x", "EPR")); err == nil {
+		t.Fatal("missing Address should error")
+	}
+}
+
+func TestMessageIDFormat(t *testing.T) {
+	re := regexp.MustCompile(`^urn:uuid:[0-9a-f]{8}-[0-9a-f]{4}-4[0-9a-f]{3}-[89ab][0-9a-f]{3}-[0-9a-f]{12}$`)
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewMessageID()
+		if !re.MatchString(id) {
+			t.Fatalf("bad message id %q", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestHeadersAttachExtract(t *testing.T) {
+	env := soap.NewEnvelope(xmlutil.NewElement("urn:t", "Op"))
+	refParam := xmlutil.NewElement(nsDAI, "DataResourceAbstractName")
+	refParam.SetText("urn:r9")
+	h := &MessageHeaders{
+		To:                  "http://svc",
+		Action:              "urn:act",
+		MessageID:           NewMessageID(),
+		ReplyTo:             NewEPR(AnonymousURI),
+		ReferenceParameters: []*xmlutil.Element{refParam},
+	}
+	h.Attach(env)
+
+	// Simulate the wire.
+	parsed, err := soap.ParseEnvelope(env.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := FromEnvelope(parsed)
+	if got.To != "http://svc" || got.Action != "urn:act" || got.MessageID != h.MessageID {
+		t.Fatalf("headers = %+v", got)
+	}
+	if got.ReplyTo == nil || got.ReplyTo.Address != AnonymousURI {
+		t.Fatalf("replyTo = %+v", got.ReplyTo)
+	}
+	if len(got.ReferenceParameters) != 1 || got.ReferenceParameters[0].Text() != "urn:r9" {
+		t.Fatalf("refparams = %+v", got.ReferenceParameters)
+	}
+}
+
+func TestRequestHeaders(t *testing.T) {
+	epr := NewEPR("http://svc/data")
+	p := xmlutil.NewElement(nsDAI, "DataResourceAbstractName")
+	p.SetText("urn:abc")
+	epr.AddReferenceParameter(p)
+
+	h := RequestHeaders(epr, "urn:dais/SQLExecute")
+	if h.To != "http://svc/data" {
+		t.Fatalf("To = %q", h.To)
+	}
+	if h.Action != "urn:dais/SQLExecute" {
+		t.Fatalf("Action = %q", h.Action)
+	}
+	if h.MessageID == "" {
+		t.Fatal("MessageID empty")
+	}
+	if h.ReplyTo.Address != AnonymousURI {
+		t.Fatal("ReplyTo should be anonymous")
+	}
+	if len(h.ReferenceParameters) != 1 {
+		t.Fatal("reference parameters not copied")
+	}
+	// Mutating the header copy must not affect the EPR.
+	h.ReferenceParameters[0].SetText("changed")
+	if epr.ReferenceParameters[0].Text() != "urn:abc" {
+		t.Fatal("RequestHeaders aliases EPR reference parameters")
+	}
+}
+
+func TestReplyHeaders(t *testing.T) {
+	req := &MessageHeaders{MessageID: "urn:uuid:1"}
+	rep := ReplyHeaders(req, "urn:resp")
+	if rep.RelatesTo != "urn:uuid:1" {
+		t.Fatalf("RelatesTo = %q", rep.RelatesTo)
+	}
+	if rep.Action != "urn:resp" || rep.MessageID == "" {
+		t.Fatalf("reply = %+v", rep)
+	}
+}
+
+func TestEmptyHeadersSkipped(t *testing.T) {
+	env := soap.NewEnvelope(xmlutil.NewElement("urn:t", "Op"))
+	(&MessageHeaders{Action: "urn:a"}).Attach(env)
+	if len(env.Header) != 1 {
+		t.Fatalf("header count = %d, want 1 (empty fields skipped)", len(env.Header))
+	}
+}

@@ -1,0 +1,329 @@
+// Package wsrf implements the Web Services Resource Framework pieces
+// the DAIS specifications layer on top of plain SOAP services (paper
+// §5): WS-ResourceProperties for fine-grained access to a resource's
+// property document, and WS-ResourceLifetime for soft-state lifetime
+// management (scheduled termination plus explicit destroy).
+//
+// Without WSRF a DAIS consumer "can only retrieve the whole property
+// document" and must destroy resources explicitly; with it, individual
+// properties can be fetched or queried with XPath, and service-managed
+// resources are reaped when their termination time passes. The paper's
+// caveat — the data resource abstract name stays in the SOAP body
+// either way — is enforced by the service layer, not here.
+package wsrf
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"dais/internal/xmldb"
+	"dais/internal/xmlutil"
+)
+
+// Namespace URIs for the WSRF specifications.
+const (
+	NSRP = "http://docs.oasis-open.org/wsrf/rp-2"
+	NSRL = "http://docs.oasis-open.org/wsrf/rl-2"
+)
+
+// Resource is any entity exposing a WSRF property document. The
+// returned element's children are the individual resource properties.
+type Resource interface {
+	PropertyDocument() *xmlutil.Element
+}
+
+// Clock abstracts time for lifetime tests.
+type Clock func() time.Time
+
+// Registry tracks WS-Resources keyed by identifier (DAIS uses the data
+// resource abstract name) and manages their lifetimes.
+type Registry struct {
+	mu        sync.Mutex
+	entries   map[string]*entry
+	clock     Clock
+	onDestroy func(id string)
+	destroyed int64
+}
+
+type entry struct {
+	res         Resource
+	created     time.Time
+	termination time.Time // zero value = no scheduled termination
+}
+
+// Option configures a Registry.
+type Option func(*Registry)
+
+// WithClock substitutes the time source (tests).
+func WithClock(c Clock) Option { return func(r *Registry) { r.clock = c } }
+
+// WithDestroyCallback registers a hook invoked (outside the registry
+// lock) whenever a resource is destroyed, explicitly or by the reaper.
+func WithDestroyCallback(f func(id string)) Option {
+	return func(r *Registry) { r.onDestroy = f }
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry(opts ...Option) *Registry {
+	r := &Registry{entries: map[string]*entry{}, clock: time.Now}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// Add registers a resource. Adding an existing id replaces it but
+// preserves nothing from the prior registration.
+func (r *Registry) Add(id string, res Resource) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries[id] = &entry{res: res, created: r.clock()}
+}
+
+// Remove unregisters a resource without firing the destroy callback or
+// counting a destruction. The service layer uses it to keep the
+// registry in sync when a resource is destroyed through the plain DAIS
+// DestroyDataResource path rather than through WSRF.
+func (r *Registry) Remove(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.entries, id)
+}
+
+// Get returns the resource for an id.
+func (r *Registry) Get(id string) (Resource, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[id]
+	if !ok {
+		return nil, false
+	}
+	return e.res, true
+}
+
+// IDs returns the registered identifiers, sorted.
+func (r *Registry) IDs() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.entries))
+	for id := range r.entries {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DestroyedCount reports how many resources have been destroyed over
+// the registry's lifetime (explicitly or by the reaper).
+func (r *Registry) DestroyedCount() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.destroyed
+}
+
+// propertyDocumentWithLifetime returns the resource's property document
+// with the WS-ResourceLifetime CurrentTime and TerminationTime
+// properties appended.
+func (r *Registry) propertyDocumentWithLifetime(id string) (*xmlutil.Element, error) {
+	r.mu.Lock()
+	e, ok := r.entries[id]
+	if !ok {
+		r.mu.Unlock()
+		return nil, &UnknownResourceError{ID: id}
+	}
+	term := e.termination
+	res := e.res
+	now := r.clock()
+	r.mu.Unlock()
+
+	doc := res.PropertyDocument().Clone()
+	doc.AddText(NSRL, "CurrentTime", now.UTC().Format(time.RFC3339Nano))
+	tt := doc.Add(NSRL, "TerminationTime")
+	if term.IsZero() {
+		tt.SetAttr("", "nil", "true")
+	} else {
+		tt.SetText(term.UTC().Format(time.RFC3339Nano))
+	}
+	return doc, nil
+}
+
+// UnknownResourceError identifies requests for unregistered resources.
+type UnknownResourceError struct{ ID string }
+
+func (e *UnknownResourceError) Error() string {
+	return fmt.Sprintf("wsrf: unknown resource %q", e.ID)
+}
+
+// GetResourcePropertyDocument implements wsrf:GetResourcePropertyDocument.
+func (r *Registry) GetResourcePropertyDocument(id string) (*xmlutil.Element, error) {
+	return r.propertyDocumentWithLifetime(id)
+}
+
+// GetResourceProperty implements wsrf:GetResourceProperty — it returns
+// every property child matching the qualified name.
+func (r *Registry) GetResourceProperty(id string, space, local string) ([]*xmlutil.Element, error) {
+	doc, err := r.propertyDocumentWithLifetime(id)
+	if err != nil {
+		return nil, err
+	}
+	matches := doc.FindAll(space, local)
+	out := make([]*xmlutil.Element, len(matches))
+	for i, m := range matches {
+		out[i] = m.Clone()
+	}
+	return out, nil
+}
+
+// GetMultipleResourceProperties implements the batched variant.
+func (r *Registry) GetMultipleResourceProperties(id string, names []xmlutil.Name) ([]*xmlutil.Element, error) {
+	doc, err := r.propertyDocumentWithLifetime(id)
+	if err != nil {
+		return nil, err
+	}
+	var out []*xmlutil.Element
+	for _, n := range names {
+		for _, m := range doc.FindAll(n.Space, n.Local) {
+			out = append(out, m.Clone())
+		}
+	}
+	return out, nil
+}
+
+// QueryResourceProperties implements the XPath query dialect of
+// wsrf:QueryResourceProperties against the property document.
+func (r *Registry) QueryResourceProperties(id, expr string) ([]*xmlutil.Element, error) {
+	doc, err := r.propertyDocumentWithLifetime(id)
+	if err != nil {
+		return nil, err
+	}
+	xp, err := xmldb.CompileXPath(expr)
+	if err != nil {
+		return nil, err
+	}
+	v, err := xp.Eval(doc)
+	if err != nil {
+		return nil, err
+	}
+	if v.Kind == xmldb.KindNodeSet {
+		out := make([]*xmlutil.Element, len(v.Nodes))
+		for i, n := range v.Nodes {
+			out[i] = n.Clone()
+		}
+		return out, nil
+	}
+	// Scalar result: wrap it so callers always receive elements.
+	res := xmlutil.NewElement(NSRP, "QueryResult")
+	res.SetText(v.AsString())
+	return []*xmlutil.Element{res}, nil
+}
+
+// SetTerminationTime implements wsrfl:SetTerminationTime. A nil
+// requested time clears any scheduled termination (infinite lifetime).
+// It returns the new termination time (nil for infinite) and the
+// current time, as the response message requires.
+func (r *Registry) SetTerminationTime(id string, requested *time.Time) (*time.Time, time.Time, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[id]
+	if !ok {
+		return nil, time.Time{}, &UnknownResourceError{ID: id}
+	}
+	now := r.clock()
+	if requested == nil {
+		e.termination = time.Time{}
+		return nil, now, nil
+	}
+	if requested.Before(now) {
+		// Setting a past time is an immediate-destruction request.
+		e.termination = *requested
+	} else {
+		e.termination = *requested
+	}
+	t := e.termination
+	return &t, now, nil
+}
+
+// TerminationTime reports the scheduled termination for an id (zero
+// time when none).
+func (r *Registry) TerminationTime(id string) (time.Time, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[id]
+	if !ok {
+		return time.Time{}, false
+	}
+	return e.termination, true
+}
+
+// Destroy implements wsrfl:Destroy: it unregisters the resource and
+// fires the destroy callback.
+func (r *Registry) Destroy(id string) error {
+	r.mu.Lock()
+	_, ok := r.entries[id]
+	if !ok {
+		r.mu.Unlock()
+		return &UnknownResourceError{ID: id}
+	}
+	delete(r.entries, id)
+	r.destroyed++
+	cb := r.onDestroy
+	r.mu.Unlock()
+	if cb != nil {
+		cb(id)
+	}
+	return nil
+}
+
+// SweepExpired destroys every resource whose termination time has
+// passed, returning the ids destroyed. The reaper calls this
+// periodically; tests call it directly with a fake clock.
+func (r *Registry) SweepExpired() []string {
+	now := r.clock()
+	r.mu.Lock()
+	var doomed []string
+	for id, e := range r.entries {
+		if !e.termination.IsZero() && !e.termination.After(now) {
+			doomed = append(doomed, id)
+		}
+	}
+	for _, id := range doomed {
+		delete(r.entries, id)
+		r.destroyed++
+	}
+	cb := r.onDestroy
+	r.mu.Unlock()
+	sort.Strings(doomed)
+	if cb != nil {
+		for _, id := range doomed {
+			cb(id)
+		}
+	}
+	return doomed
+}
+
+// StartReaper launches a goroutine sweeping expired resources every
+// interval. The returned stop function terminates it and waits for the
+// final sweep to finish.
+func (r *Registry) StartReaper(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				r.SweepExpired()
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}

@@ -1,0 +1,291 @@
+package xmldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"dais/internal/xmlutil"
+)
+
+// Store is an XML database: a root collection (with nested
+// sub-collections) of named XML documents. It is the "externally
+// managed data resource" substrate behind WS-DAIX services.
+type Store struct {
+	mu   sync.RWMutex
+	name string
+	root *Collection
+}
+
+// NewStore creates an empty store whose root collection carries the
+// store name.
+func NewStore(name string) *Store {
+	return &Store{name: name, root: newCollection(name)}
+}
+
+// Name returns the store name.
+func (s *Store) Name() string { return s.name }
+
+// Collection is a named set of XML documents plus sub-collections.
+// Access it only through Store methods, which handle locking.
+type Collection struct {
+	name string
+	docs map[string]*xmlutil.Element
+	subs map[string]*Collection
+}
+
+func newCollection(name string) *Collection {
+	return &Collection{name: name, docs: map[string]*xmlutil.Element{}, subs: map[string]*Collection{}}
+}
+
+// resolve walks a slash-separated collection path from the root. An
+// empty path resolves to the root collection.
+func (s *Store) resolve(path string) (*Collection, error) {
+	c := s.root
+	if path == "" || path == "/" {
+		return c, nil
+	}
+	for _, part := range strings.Split(strings.Trim(path, "/"), "/") {
+		if part == "" {
+			continue
+		}
+		sub, ok := c.subs[part]
+		if !ok {
+			return nil, fmt.Errorf("xmldb: collection %q does not exist", path)
+		}
+		c = sub
+	}
+	return c, nil
+}
+
+// CreateCollection creates a sub-collection at the given path; parents
+// must already exist.
+func (s *Store) CreateCollection(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	parent, base := splitPath(path)
+	if base == "" {
+		return fmt.Errorf("xmldb: empty collection name")
+	}
+	pc, err := s.resolve(parent)
+	if err != nil {
+		return err
+	}
+	if _, exists := pc.subs[base]; exists {
+		return fmt.Errorf("xmldb: collection %q already exists", path)
+	}
+	pc.subs[base] = newCollection(base)
+	return nil
+}
+
+// RemoveCollection removes a sub-collection and everything beneath it.
+func (s *Store) RemoveCollection(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	parent, base := splitPath(path)
+	pc, err := s.resolve(parent)
+	if err != nil {
+		return err
+	}
+	if _, exists := pc.subs[base]; !exists {
+		return fmt.Errorf("xmldb: collection %q does not exist", path)
+	}
+	delete(pc.subs, base)
+	return nil
+}
+
+// ListCollections returns the sorted names of sub-collections at path.
+func (s *Store) ListCollections(path string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, err := s.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(c.subs))
+	for n := range c.subs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// AddDocument stores a document under the given name in the collection
+// at path. It fails if the name is taken.
+func (s *Store) AddDocument(path, name string, doc *xmlutil.Element) error {
+	if name == "" {
+		return fmt.Errorf("xmldb: empty document name")
+	}
+	if doc == nil {
+		return fmt.Errorf("xmldb: nil document")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.resolve(path)
+	if err != nil {
+		return err
+	}
+	if _, exists := c.docs[name]; exists {
+		return fmt.Errorf("xmldb: document %q already exists in %q", name, path)
+	}
+	c.docs[name] = doc.Clone()
+	return nil
+}
+
+// PutDocument stores or replaces a document.
+func (s *Store) PutDocument(path, name string, doc *xmlutil.Element) error {
+	if name == "" || doc == nil {
+		return fmt.Errorf("xmldb: empty document name or nil document")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.resolve(path)
+	if err != nil {
+		return err
+	}
+	c.docs[name] = doc.Clone()
+	return nil
+}
+
+// GetDocument returns a deep copy of the named document.
+func (s *Store) GetDocument(path, name string) (*xmlutil.Element, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, err := s.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	doc, ok := c.docs[name]
+	if !ok {
+		return nil, fmt.Errorf("xmldb: document %q not found in %q", name, path)
+	}
+	return doc.Clone(), nil
+}
+
+// RemoveDocument deletes the named document.
+func (s *Store) RemoveDocument(path, name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.resolve(path)
+	if err != nil {
+		return err
+	}
+	if _, ok := c.docs[name]; !ok {
+		return fmt.Errorf("xmldb: document %q not found in %q", name, path)
+	}
+	delete(c.docs, name)
+	return nil
+}
+
+// ListDocuments returns the sorted document names in the collection.
+func (s *Store) ListDocuments(path string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, err := s.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(c.docs))
+	for n := range c.docs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// DocumentCount returns the number of documents in the collection
+// (not counting sub-collections).
+func (s *Store) DocumentCount(path string) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, err := s.resolve(path)
+	if err != nil {
+		return 0, err
+	}
+	return len(c.docs), nil
+}
+
+// QueryResult pairs a matched node with the document it came from.
+type QueryResult struct {
+	Document string
+	Node     *xmlutil.Element // deep copy, safe to retain
+	Value    string           // string-value for non-node results
+	IsNode   bool
+}
+
+// XPathQuery evaluates an XPath expression against every document in
+// the collection (sorted by document name) and returns the matches.
+// Node-set results yield one QueryResult per node; scalar results yield
+// a single QueryResult per document with Value set.
+func (s *Store) XPathQuery(path, expr string) ([]QueryResult, error) {
+	xp, err := CompileXPath(expr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, err := s.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(c.docs))
+	for n := range c.docs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var out []QueryResult
+	for _, name := range names {
+		v, err := xp.Eval(c.docs[name])
+		if err != nil {
+			return nil, fmt.Errorf("xmldb: document %q: %w", name, err)
+		}
+		if v.Kind == KindNodeSet {
+			for _, n := range v.Nodes {
+				out = append(out, QueryResult{Document: name, Node: n.Clone(), IsNode: true})
+			}
+		} else {
+			out = append(out, QueryResult{Document: name, Value: v.AsString()})
+		}
+	}
+	return out, nil
+}
+
+// XPathQueryDocument evaluates an XPath expression against one document.
+func (s *Store) XPathQueryDocument(path, name, expr string) ([]QueryResult, error) {
+	xp, err := CompileXPath(expr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, err := s.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	doc, ok := c.docs[name]
+	if !ok {
+		return nil, fmt.Errorf("xmldb: document %q not found in %q", name, path)
+	}
+	v, err := xp.Eval(doc)
+	if err != nil {
+		return nil, err
+	}
+	var out []QueryResult
+	if v.Kind == KindNodeSet {
+		for _, n := range v.Nodes {
+			out = append(out, QueryResult{Document: name, Node: n.Clone(), IsNode: true})
+		}
+	} else {
+		out = append(out, QueryResult{Document: name, Value: v.AsString()})
+	}
+	return out, nil
+}
+
+func splitPath(path string) (parent, base string) {
+	p := strings.Trim(path, "/")
+	if i := strings.LastIndex(p, "/"); i >= 0 {
+		return p[:i], p[i+1:]
+	}
+	return "", p
+}

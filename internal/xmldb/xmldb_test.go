@@ -1,0 +1,473 @@
+package xmldb
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"dais/internal/xmlutil"
+)
+
+func seedStore(t testing.TB) *Store {
+	t.Helper()
+	s := NewStore("library")
+	for i, doc := range []string{
+		`<book id="1"><title>Alpha</title><price>10</price></book>`,
+		`<book id="2"><title>Beta</title><price>30</price></book>`,
+		`<book id="3"><title>Gamma</title><price>20</price></book>`,
+	} {
+		e, err := xmlutil.ParseString(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AddDocument("", fmt.Sprintf("book%d.xml", i+1), e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestDocumentCRUD(t *testing.T) {
+	s := seedStore(t)
+	names, err := s.ListDocuments("")
+	if err != nil || len(names) != 3 {
+		t.Fatalf("list = %v, %v", names, err)
+	}
+	doc, err := s.GetDocument("", "book2.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.FindText("", "title") != "Beta" {
+		t.Fatalf("doc = %s", xmlutil.MarshalString(doc))
+	}
+	// GetDocument returns a copy: mutating it must not affect the store.
+	doc.Find("", "title").SetText("Mutated")
+	again, _ := s.GetDocument("", "book2.xml")
+	if again.FindText("", "title") != "Beta" {
+		t.Fatal("store shares state with returned document")
+	}
+	if err := s.RemoveDocument("", "book2.xml"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetDocument("", "book2.xml"); err == nil {
+		t.Fatal("removed document still readable")
+	}
+	if err := s.RemoveDocument("", "book2.xml"); err == nil {
+		t.Fatal("double remove should fail")
+	}
+	if n, _ := s.DocumentCount(""); n != 2 {
+		t.Fatalf("count = %d", n)
+	}
+}
+
+func TestAddDocumentErrors(t *testing.T) {
+	s := seedStore(t)
+	e, _ := xmlutil.ParseString(`<x/>`)
+	if err := s.AddDocument("", "book1.xml", e); err == nil {
+		t.Fatal("duplicate name should fail")
+	}
+	if err := s.AddDocument("", "", e); err == nil {
+		t.Fatal("empty name should fail")
+	}
+	if err := s.AddDocument("", "ok.xml", nil); err == nil {
+		t.Fatal("nil doc should fail")
+	}
+	if err := s.AddDocument("missing", "ok.xml", e); err == nil {
+		t.Fatal("missing collection should fail")
+	}
+	// PutDocument replaces silently.
+	if err := s.PutDocument("", "book1.xml", e); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.GetDocument("", "book1.xml")
+	if got.Name.Local != "x" {
+		t.Fatal("put did not replace")
+	}
+}
+
+func TestSubCollections(t *testing.T) {
+	s := NewStore("root")
+	if err := s.CreateCollection("science"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateCollection("science/physics"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateCollection("science"); err == nil {
+		t.Fatal("duplicate collection")
+	}
+	if err := s.CreateCollection("arts/painting"); err == nil {
+		t.Fatal("missing parent should fail")
+	}
+	subs, err := s.ListCollections("science")
+	if err != nil || len(subs) != 1 || subs[0] != "physics" {
+		t.Fatalf("subs = %v, %v", subs, err)
+	}
+	e, _ := xmlutil.ParseString(`<paper/>`)
+	if err := s.AddDocument("science/physics", "p1.xml", e); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := s.ListDocuments("science/physics")
+	if len(names) != 1 {
+		t.Fatalf("names = %v", names)
+	}
+	// Documents in sub-collections are invisible to the parent.
+	rootNames, _ := s.ListDocuments("science")
+	if len(rootNames) != 0 {
+		t.Fatalf("parent sees child docs: %v", rootNames)
+	}
+	if err := s.RemoveCollection("science"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ListDocuments("science/physics"); err == nil {
+		t.Fatal("removed subtree still resolvable")
+	}
+}
+
+func TestXPathQueryAcrossDocuments(t *testing.T) {
+	s := seedStore(t)
+	res, err := s.XPathQuery("", "/book[price > 15]/title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("res = %+v", res)
+	}
+	// Sorted by document name: book2 then book3.
+	if res[0].Node.Text() != "Beta" || res[1].Node.Text() != "Gamma" {
+		t.Fatalf("res = %v %v", res[0].Node.Text(), res[1].Node.Text())
+	}
+	if res[0].Document != "book2.xml" {
+		t.Fatalf("doc = %s", res[0].Document)
+	}
+}
+
+func TestXPathQueryScalar(t *testing.T) {
+	s := seedStore(t)
+	res, err := s.XPathQuery("", "count(/book/price)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("res = %+v", res)
+	}
+	for _, r := range res {
+		if r.IsNode || r.Value != "1" {
+			t.Fatalf("r = %+v", r)
+		}
+	}
+}
+
+func TestXPathQueryDocument(t *testing.T) {
+	s := seedStore(t)
+	res, err := s.XPathQueryDocument("", "book1.xml", "/book/@id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Node.Text() != "1" {
+		t.Fatalf("res = %+v", res)
+	}
+	if _, err := s.XPathQueryDocument("", "missing.xml", "/book"); err == nil {
+		t.Fatal("missing doc")
+	}
+	if _, err := s.XPathQuery("", "bad["); err == nil {
+		t.Fatal("bad xpath")
+	}
+}
+
+func TestXUpdateOperations(t *testing.T) {
+	s := seedStore(t)
+	mods := buildMods(t, `
+		<xu:append select="/book">
+			<xu:element name="publisher">Springer</xu:element>
+		</xu:append>
+		<xu:update select="/book/price">99</xu:update>
+		<xu:rename select="/book/title">name</xu:rename>`)
+	n, err := s.XUpdate("", "book1.xml", mods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("affected = %d", n)
+	}
+	doc, _ := s.GetDocument("", "book1.xml")
+	if doc.FindText("", "publisher") != "Springer" {
+		t.Fatalf("append failed: %s", xmlutil.MarshalString(doc))
+	}
+	if doc.FindText("", "price") != "99" {
+		t.Fatal("update failed")
+	}
+	if doc.Find("", "name") == nil || doc.Find("", "title") != nil {
+		t.Fatal("rename failed")
+	}
+}
+
+func TestXUpdateInsertRemove(t *testing.T) {
+	s := seedStore(t)
+	mods := buildMods(t, `
+		<xu:insert-before select="/book/price">
+			<xu:element name="isbn">12345</xu:element>
+		</xu:insert-before>
+		<xu:insert-after select="/book/price">
+			<xu:element name="stock">7</xu:element>
+		</xu:insert-after>`)
+	if _, err := s.XUpdate("", "book1.xml", mods); err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := s.GetDocument("", "book1.xml")
+	kids := doc.ChildElements()
+	names := make([]string, len(kids))
+	for i, k := range kids {
+		names[i] = k.Name.Local
+	}
+	want := "title,isbn,price,stock"
+	if strings.Join(names, ",") != want {
+		t.Fatalf("children = %v, want %s", names, want)
+	}
+
+	rm := buildMods(t, `<xu:remove select="/book/isbn"/>`)
+	if _, err := s.XUpdate("", "book1.xml", rm); err != nil {
+		t.Fatal(err)
+	}
+	doc, _ = s.GetDocument("", "book1.xml")
+	if doc.Find("", "isbn") != nil {
+		t.Fatal("remove failed")
+	}
+}
+
+func TestXUpdateNestedElementsAndAttributes(t *testing.T) {
+	s := seedStore(t)
+	mods := buildMods(t, `
+		<xu:append select="/book">
+			<xu:element name="review">
+				<xu:attribute name="stars">5</xu:attribute>
+				<xu:element name="by">anon</xu:element>
+				great
+			</xu:element>
+		</xu:append>`)
+	if _, err := s.XUpdate("", "book1.xml", mods); err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := s.GetDocument("", "book1.xml")
+	rev := doc.Find("", "review")
+	if rev == nil || rev.AttrValue("", "stars") != "5" {
+		t.Fatalf("review = %s", xmlutil.MarshalString(doc))
+	}
+	if rev.FindText("", "by") != "anon" {
+		t.Fatal("nested element lost")
+	}
+	if !strings.Contains(rev.Text(), "great") {
+		t.Fatal("text content lost")
+	}
+}
+
+func TestXUpdateAtomicity(t *testing.T) {
+	s := seedStore(t)
+	// Second op fails (root removal); the first must not be applied.
+	mods := buildMods(t, `
+		<xu:update select="/book/price">1</xu:update>
+		<xu:remove select="/book"/>`)
+	if _, err := s.XUpdate("", "book1.xml", mods); err == nil {
+		t.Fatal("expected failure")
+	}
+	doc, _ := s.GetDocument("", "book1.xml")
+	if doc.FindText("", "price") != "10" {
+		t.Fatal("partial update leaked")
+	}
+}
+
+func TestXUpdateErrors(t *testing.T) {
+	s := seedStore(t)
+	if _, err := s.XUpdate("", "book1.xml", nil); err == nil {
+		t.Fatal("nil modifications")
+	}
+	bad, _ := xmlutil.ParseString(`<wrong/>`)
+	if _, err := s.XUpdate("", "book1.xml", bad); err == nil {
+		t.Fatal("wrong root")
+	}
+	noSel := buildMods(t, `<xu:remove/>`)
+	if _, err := s.XUpdate("", "book1.xml", noSel); err == nil {
+		t.Fatal("missing select")
+	}
+	unknown := buildMods(t, `<xu:teleport select="/book"/>`)
+	if _, err := s.XUpdate("", "book1.xml", unknown); err == nil {
+		t.Fatal("unknown operation")
+	}
+	if _, err := s.XUpdate("", "nope.xml", buildMods(t, `<xu:remove select="/x"/>`)); err == nil {
+		t.Fatal("missing document")
+	}
+}
+
+func TestXQueryPlainXPath(t *testing.T) {
+	s := seedStore(t)
+	res, err := s.XQueryExecute("", "/book/title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("res = %d", len(res))
+	}
+}
+
+func TestXQueryFLWOR(t *testing.T) {
+	s := seedStore(t)
+	res, err := s.XQueryExecute("", `for $b in /book
+		where $b/price > 15
+		order by $b/price descending
+		return <hit><t>{$b/title}</t><p>{$b/price}</p></hit>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res[0].Node.FindText("", "t") != "Beta" || res[0].Node.FindText("", "p") != "30" {
+		t.Fatalf("first = %s", xmlutil.MarshalString(res[0].Node))
+	}
+	if res[1].Node.FindText("", "t") != "Gamma" {
+		t.Fatalf("second = %s", xmlutil.MarshalString(res[1].Node))
+	}
+}
+
+func TestXQueryLet(t *testing.T) {
+	s := seedStore(t)
+	res, err := s.XQueryExecute("", `for $b in /book
+		let $t := $b/title
+		where $b/price < 15
+		return <cheap>{$t}</cheap>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Node.Text() != "Alpha" {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestXQueryIdentityReturn(t *testing.T) {
+	s := seedStore(t)
+	res, err := s.XQueryExecute("", `for $b in /book where $b/@id = '2' return {$b}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Node.FindText("", "title") != "Beta" {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestXQueryOrderAscendingNumeric(t *testing.T) {
+	s := seedStore(t)
+	res, err := s.XQueryExecute("", `for $b in /book order by $b/price return <p>{$b/price}</p>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []string{res[0].Node.Text(), res[1].Node.Text(), res[2].Node.Text()}
+	if got[0] != "10" || got[1] != "20" || got[2] != "30" {
+		t.Fatalf("order = %v", got)
+	}
+}
+
+func TestXQueryErrors(t *testing.T) {
+	s := seedStore(t)
+	bad := []string{
+		`for $b`,
+		`for $b in`,
+		`for $b in /book`,
+		`for $b in /book return`,
+		`for $b in /book order price return <x/>`,
+		`for $b in /book return <x>{$unbound}</x>`,
+		`for $b in /book return <unclosed>{$b}`,
+	}
+	for _, q := range bad {
+		if _, err := s.XQueryExecute("", q); err == nil {
+			t.Errorf("XQueryExecute(%q): expected error", q)
+		}
+	}
+}
+
+func TestConcurrentStoreAccess(t *testing.T) {
+	s := seedStore(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 30; j++ {
+				name := fmt.Sprintf("w%d-%d.xml", i, j)
+				e, _ := xmlutil.ParseString(`<book><price>5</price></book>`)
+				if err := s.AddDocument("", name, e); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.XPathQuery("", "/book/price"); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := s.RemoveDocument("", name); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if n, _ := s.DocumentCount(""); n != 3 {
+		t.Fatalf("count = %d", n)
+	}
+}
+
+// Property: adding N uniquely named documents yields exactly N listed
+// names, sorted.
+func TestQuickDocumentNames(t *testing.T) {
+	f := func(raw []string) bool {
+		s := NewStore("q")
+		seen := map[string]bool{}
+		want := 0
+		for i, r := range raw {
+			name := fmt.Sprintf("%s-%d", sanitize(r), i)
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			e, _ := xmlutil.ParseString(`<d/>`)
+			if err := s.AddDocument("", name, e); err != nil {
+				return false
+			}
+			want++
+		}
+		names, err := s.ListDocuments("")
+		if err != nil || len(names) != want {
+			return false
+		}
+		for i := 1; i < len(names); i++ {
+			if names[i-1] >= names[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' {
+			b.WriteRune(r)
+		}
+	}
+	return "d" + b.String()
+}
+
+func buildMods(t testing.TB, inner string) *xmlutil.Element {
+	t.Helper()
+	doc := `<xu:modifications xmlns:xu="` + NSXUpdate + `">` + inner + `</xu:modifications>`
+	e, err := xmlutil.ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}

@@ -1,0 +1,353 @@
+package xmldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dais/internal/xmlutil"
+)
+
+// XQuery implements a FLWOR-lite subset of XQuery sufficient for the
+// WS-DAIX XQueryExecute operation:
+//
+//	for $v in <xpath>
+//	[let $w := <xpath>]...
+//	[where <condition>]
+//	[order by <xpath> [descending]]
+//	return <template>
+//
+// The for clause binds $v to each node selected by the XPath across all
+// documents in the target collection. let binds additional expressions
+// evaluated relative to $v. The condition and ordering key are XPath
+// expressions evaluated with $v as context node (a leading $v/ prefix
+// is accepted and stripped; bare $w references resolve let bindings).
+// The return template is an XML fragment in which {$v}, {$w} and
+// {$v/path} placeholders are substituted. A bare XPath string (no
+// "for") is evaluated as a plain collection-wide XPath query.
+type XQuery struct {
+	source   string
+	plainXP  *XPath // non-nil for bare XPath queries
+	forVar   string
+	forPath  *XPath
+	lets     []letClause
+	where    *XPath
+	orderBy  *XPath
+	orderDsc bool
+	template string
+}
+
+type letClause struct {
+	name string
+	path *XPath
+}
+
+// CompileXQuery parses a FLWOR-lite query.
+func CompileXQuery(q string) (*XQuery, error) {
+	src := strings.TrimSpace(q)
+	if !strings.HasPrefix(src, "for ") {
+		xp, err := CompileXPath(src)
+		if err != nil {
+			return nil, fmt.Errorf("xquery: %w", err)
+		}
+		return &XQuery{source: q, plainXP: xp}, nil
+	}
+	xq := &XQuery{source: q}
+	rest := src[len("for "):]
+
+	// for $v in PATH
+	varName, rest, err := takeVar(rest)
+	if err != nil {
+		return nil, fmt.Errorf("xquery: for clause: %w", err)
+	}
+	xq.forVar = varName
+	rest = strings.TrimSpace(rest)
+	if !strings.HasPrefix(rest, "in ") {
+		return nil, fmt.Errorf("xquery: expected 'in' after for variable")
+	}
+	rest = rest[len("in "):]
+	pathText, rest := takeUntilKeyword(rest, []string{"let ", "where ", "order ", "return "})
+	fp, err := CompileXPath(strings.TrimSpace(pathText))
+	if err != nil {
+		return nil, fmt.Errorf("xquery: for path: %w", err)
+	}
+	xq.forPath = fp
+
+	for {
+		rest = strings.TrimSpace(rest)
+		switch {
+		case strings.HasPrefix(rest, "let "):
+			rest = rest[len("let "):]
+			name, r2, err := takeVar(rest)
+			if err != nil {
+				return nil, fmt.Errorf("xquery: let clause: %w", err)
+			}
+			rest = strings.TrimSpace(r2)
+			if !strings.HasPrefix(rest, ":=") {
+				return nil, fmt.Errorf("xquery: expected ':=' in let clause")
+			}
+			rest = rest[2:]
+			var text string
+			text, rest = takeUntilKeyword(rest, []string{"let ", "where ", "order ", "return "})
+			lp, err := CompileXPath(stripVarPrefix(strings.TrimSpace(text), xq.forVar))
+			if err != nil {
+				return nil, fmt.Errorf("xquery: let path: %w", err)
+			}
+			xq.lets = append(xq.lets, letClause{name: name, path: lp})
+		case strings.HasPrefix(rest, "where "):
+			var text string
+			text, rest = takeUntilKeyword(rest[len("where "):], []string{"order ", "return "})
+			wp, err := CompileXPath(stripVarPrefix(strings.TrimSpace(text), xq.forVar))
+			if err != nil {
+				return nil, fmt.Errorf("xquery: where: %w", err)
+			}
+			xq.where = wp
+		case strings.HasPrefix(rest, "order by "):
+			var text string
+			text, rest = takeUntilKeyword(rest[len("order by "):], []string{"return "})
+			text = strings.TrimSpace(text)
+			if strings.HasSuffix(text, " descending") {
+				xq.orderDsc = true
+				text = strings.TrimSuffix(text, " descending")
+			} else {
+				text = strings.TrimSuffix(text, " ascending")
+			}
+			op, err := CompileXPath(stripVarPrefix(strings.TrimSpace(text), xq.forVar))
+			if err != nil {
+				return nil, fmt.Errorf("xquery: order by: %w", err)
+			}
+			xq.orderBy = op
+		case strings.HasPrefix(rest, "order "):
+			return nil, fmt.Errorf("xquery: expected 'order by'")
+		case strings.HasPrefix(rest, "return "):
+			xq.template = strings.TrimSpace(rest[len("return "):])
+			if xq.template == "" {
+				return nil, fmt.Errorf("xquery: empty return clause")
+			}
+			return xq, nil
+		default:
+			return nil, fmt.Errorf("xquery: expected let/where/order by/return near %q", truncate(rest, 30))
+		}
+	}
+}
+
+func takeVar(s string) (string, string, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "$") {
+		return "", s, fmt.Errorf("expected $variable")
+	}
+	i := 1
+	for i < len(s) && (isXPNamePart(s[i])) {
+		i++
+	}
+	if i == 1 {
+		return "", s, fmt.Errorf("empty variable name")
+	}
+	return s[1:i], s[i:], nil
+}
+
+// takeUntilKeyword splits s at the first top-level occurrence of any
+// keyword (outside quotes/brackets), returning the prefix and the rest
+// starting at the keyword.
+func takeUntilKeyword(s string, kws []string) (string, string) {
+	depth := 0
+	inStr := byte(0)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if inStr != 0 {
+			if c == inStr {
+				inStr = 0
+			}
+			continue
+		}
+		switch c {
+		case '\'', '"':
+			inStr = c
+		case '[', '(':
+			depth++
+		case ']', ')':
+			depth--
+		}
+		if depth == 0 && (i == 0 || s[i-1] == ' ' || s[i-1] == '\n' || s[i-1] == '\t') {
+			for _, kw := range kws {
+				if strings.HasPrefix(s[i:], kw) {
+					return s[:i], s[i:]
+				}
+			}
+		}
+	}
+	return s, ""
+}
+
+// stripVarPrefix rewrites "$v/path" to "path" and "$v" to "." so the
+// expression can be evaluated with the bound node as context.
+func stripVarPrefix(expr, varName string) string {
+	pfx := "$" + varName
+	out := expr
+	for {
+		i := strings.Index(out, pfx)
+		if i < 0 {
+			return out
+		}
+		end := i + len(pfx)
+		if end < len(out) && out[end] == '/' {
+			out = out[:i] + out[end+1:]
+		} else {
+			out = out[:i] + "." + out[end:]
+		}
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+// Execute runs the query over the collection at path, returning result
+// elements (one per for-binding for FLWOR queries, or per match for
+// plain XPath queries).
+func (s *Store) XQueryExecute(path, query string) ([]QueryResult, error) {
+	xq, err := CompileXQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	if xq.plainXP != nil {
+		return s.XPathQuery(path, xq.plainXP.String())
+	}
+	// Gather bindings across all documents.
+	matches, err := s.XPathQuery(path, xq.forPath.String())
+	if err != nil {
+		return nil, err
+	}
+	type binding struct {
+		doc  string
+		node *xmlutil.Element
+		lets map[string]string
+		key  string
+	}
+	var bindings []binding
+	for _, m := range matches {
+		if !m.IsNode {
+			continue
+		}
+		b := binding{doc: m.Document, node: m.Node, lets: map[string]string{}}
+		for _, lc := range xq.lets {
+			v, err := lc.path.Eval(m.Node)
+			if err != nil {
+				return nil, fmt.Errorf("xquery: let $%s: %w", lc.name, err)
+			}
+			b.lets[lc.name] = v.AsString()
+		}
+		if xq.where != nil {
+			v, err := xq.where.Eval(m.Node)
+			if err != nil {
+				return nil, fmt.Errorf("xquery: where: %w", err)
+			}
+			if !v.AsBool() {
+				continue
+			}
+		}
+		if xq.orderBy != nil {
+			v, err := xq.orderBy.Eval(m.Node)
+			if err != nil {
+				return nil, fmt.Errorf("xquery: order by: %w", err)
+			}
+			b.key = v.AsString()
+		}
+		bindings = append(bindings, b)
+	}
+	if xq.orderBy != nil {
+		sort.SliceStable(bindings, func(i, j int) bool {
+			a, b := bindings[i].key, bindings[j].key
+			// Numeric comparison when both parse as numbers.
+			an, bn := stringValue(a).AsNumber(), stringValue(b).AsNumber()
+			var less bool
+			if an == an && bn == bn { // neither is NaN
+				less = an < bn
+			} else {
+				less = a < b
+			}
+			if xq.orderDsc {
+				return !less && a != b
+			}
+			return less
+		})
+	}
+	out := make([]QueryResult, 0, len(bindings))
+	for _, b := range bindings {
+		frag, err := xq.instantiate(b.node, b.lets)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, QueryResult{Document: b.doc, Node: frag, IsNode: true})
+	}
+	return out, nil
+}
+
+// instantiate substitutes {$var} and {$v/path} placeholders in the
+// return template and parses the result as XML. A template that is a
+// single placeholder returning the bound node itself yields a clone of
+// that node.
+func (xq *XQuery) instantiate(node *xmlutil.Element, lets map[string]string) (*xmlutil.Element, error) {
+	tpl := xq.template
+	if tpl == "{$"+xq.forVar+"}" {
+		return node.Clone(), nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(tpl); {
+		j := strings.Index(tpl[i:], "{")
+		if j < 0 {
+			b.WriteString(tpl[i:])
+			break
+		}
+		b.WriteString(tpl[i : i+j])
+		i += j
+		k := strings.Index(tpl[i:], "}")
+		if k < 0 {
+			return nil, fmt.Errorf("xquery: unterminated placeholder in template")
+		}
+		expr := strings.TrimSpace(tpl[i+1 : i+k])
+		i += k + 1
+		val, err := xq.placeholderValue(expr, node, lets)
+		if err != nil {
+			return nil, err
+		}
+		b.WriteString(escapeForXML(val))
+	}
+	frag, err := xmlutil.ParseString(b.String())
+	if err != nil {
+		return nil, fmt.Errorf("xquery: return template produced invalid XML: %w", err)
+	}
+	return frag, nil
+}
+
+func (xq *XQuery) placeholderValue(expr string, node *xmlutil.Element, lets map[string]string) (string, error) {
+	if strings.HasPrefix(expr, "$") {
+		name := expr[1:]
+		if i := strings.IndexAny(name, "/["); i < 0 {
+			if name == xq.forVar {
+				return node.Text(), nil
+			}
+			if v, ok := lets[name]; ok {
+				return v, nil
+			}
+			return "", fmt.Errorf("xquery: unbound variable $%s", name)
+		}
+	}
+	xp, err := CompileXPath(stripVarPrefix(expr, xq.forVar))
+	if err != nil {
+		return "", fmt.Errorf("xquery: placeholder %q: %w", expr, err)
+	}
+	v, err := xp.Eval(node)
+	if err != nil {
+		return "", err
+	}
+	return v.AsString(), nil
+}
+
+func escapeForXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

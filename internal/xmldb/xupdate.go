@@ -1,0 +1,193 @@
+package xmldb
+
+import (
+	"fmt"
+
+	"dais/internal/xmlutil"
+)
+
+// NSXUpdate is the XUpdate namespace the WS-DAIX XUpdateExecute
+// operation accepts.
+const NSXUpdate = "http://www.xmldb.org/xupdate"
+
+// XUpdate executes an XUpdate modifications document against the named
+// document in the collection at path, in place. It returns the number
+// of nodes affected.
+//
+// Supported operations (children of xupdate:modifications, each with a
+// select attribute holding an XPath to the target nodes):
+//
+//	<xupdate:insert-before> / <xupdate:insert-after>  — new sibling
+//	<xupdate:append>                                  — new last child
+//	<xupdate:update>                                  — replace content
+//	<xupdate:remove>                                  — delete node
+//	<xupdate:rename>                                  — change element name
+//
+// Content for insert/append is given by xupdate:element children (with
+// name attributes, nested arbitrarily) or literal elements; update
+// takes the new text content.
+func (s *Store) XUpdate(path, name string, modifications *xmlutil.Element) (int, error) {
+	if modifications == nil || modifications.Name.Local != "modifications" {
+		return 0, fmt.Errorf("xupdate: root element must be xupdate:modifications")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.resolve(path)
+	if err != nil {
+		return 0, err
+	}
+	doc, ok := c.docs[name]
+	if !ok {
+		return 0, fmt.Errorf("xmldb: document %q not found in %q", name, path)
+	}
+	// Work on a copy so a failing operation mid-sequence leaves the
+	// stored document untouched (operation-list atomicity).
+	work := doc.Clone()
+	total := 0
+	for _, op := range modifications.ChildElements() {
+		n, err := applyXUpdateOp(work, op)
+		if err != nil {
+			return 0, fmt.Errorf("xupdate: %s: %w", op.Name.Local, err)
+		}
+		total += n
+	}
+	c.docs[name] = work
+	return total, nil
+}
+
+func applyXUpdateOp(doc *xmlutil.Element, op *xmlutil.Element) (int, error) {
+	sel, ok := op.Attr("", "select")
+	if !ok {
+		return 0, fmt.Errorf("missing select attribute")
+	}
+	xp, err := CompileXPath(sel)
+	if err != nil {
+		return 0, err
+	}
+	targets, err := xp.Select(doc)
+	if err != nil {
+		return 0, err
+	}
+	switch op.Name.Local {
+	case "insert-before", "insert-after":
+		content, err := xupdateContent(op)
+		if err != nil {
+			return 0, err
+		}
+		for _, t := range targets {
+			parent := t.Parent()
+			if parent == nil {
+				return 0, fmt.Errorf("cannot insert siblings of the document root")
+			}
+			idx := childIndex(parent, t)
+			if idx < 0 {
+				return 0, fmt.Errorf("target detached from parent")
+			}
+			if op.Name.Local == "insert-after" {
+				idx++
+			}
+			for k, ce := range content {
+				insertChildAt(parent, idx+k, ce.Clone())
+			}
+		}
+		return len(targets), nil
+	case "append":
+		content, err := xupdateContent(op)
+		if err != nil {
+			return 0, err
+		}
+		for _, t := range targets {
+			for _, ce := range content {
+				t.AppendChild(ce.Clone())
+			}
+		}
+		return len(targets), nil
+	case "update":
+		for _, t := range targets {
+			t.SetText(op.Text())
+		}
+		return len(targets), nil
+	case "remove":
+		for _, t := range targets {
+			parent := t.Parent()
+			if parent == nil {
+				return 0, fmt.Errorf("cannot remove the document root")
+			}
+			parent.RemoveChild(t)
+		}
+		return len(targets), nil
+	case "rename":
+		newName := op.Text()
+		if newName == "" {
+			return 0, fmt.Errorf("rename requires the new name as content")
+		}
+		for _, t := range targets {
+			t.Name.Local = newName
+		}
+		return len(targets), nil
+	}
+	return 0, fmt.Errorf("unsupported operation %q", op.Name.Local)
+}
+
+// xupdateContent converts an operation's children into the elements to
+// insert: xupdate:element wrappers become elements named by their name
+// attribute; anything else is taken literally.
+func xupdateContent(op *xmlutil.Element) ([]*xmlutil.Element, error) {
+	var out []*xmlutil.Element
+	for _, c := range op.ChildElements() {
+		e, err := expandXUpdateElement(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no content to insert")
+	}
+	return out, nil
+}
+
+func expandXUpdateElement(e *xmlutil.Element) (*xmlutil.Element, error) {
+	if e.Name.Space == NSXUpdate && e.Name.Local == "element" {
+		name, ok := e.Attr("", "name")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("xupdate:element requires a name attribute")
+		}
+		ne := xmlutil.NewElement("", name)
+		for _, c := range e.Children {
+			switch n := c.(type) {
+			case xmlutil.Text:
+				ne.Children = append(ne.Children, n)
+			case *xmlutil.Element:
+				if n.Name.Space == NSXUpdate && n.Name.Local == "attribute" {
+					aname, _ := n.Attr("", "name")
+					if aname == "" {
+						return nil, fmt.Errorf("xupdate:attribute requires a name attribute")
+					}
+					ne.SetAttr("", aname, n.Text())
+					continue
+				}
+				ce, err := expandXUpdateElement(n)
+				if err != nil {
+					return nil, err
+				}
+				ne.AppendChild(ce)
+			}
+		}
+		return ne, nil
+	}
+	return e.Clone(), nil
+}
+
+func childIndex(parent, child *xmlutil.Element) int {
+	for i, c := range parent.Children {
+		if el, ok := c.(*xmlutil.Element); ok && el == child {
+			return i
+		}
+	}
+	return -1
+}
+
+func insertChildAt(parent *xmlutil.Element, idx int, child *xmlutil.Element) {
+	parent.InsertChildAt(idx, child)
+}

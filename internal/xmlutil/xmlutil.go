@@ -1,0 +1,558 @@
+// Package xmlutil provides a small namespace-aware XML element tree.
+//
+// The Go standard library's encoding/xml package offers struct-based
+// marshalling and a streaming tokenizer, but no document object model.
+// SOAP processing, WSRF property documents and the WS-DAIX document
+// store all need to hold, inspect and re-serialise arbitrary XML whose
+// shape is not known at compile time, so this package builds a minimal
+// infoset on top of the encoding/xml tokenizer: elements with qualified
+// names, attributes, character data and child elements.
+package xmlutil
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Name is a qualified XML name: a namespace URI plus a local part.
+type Name struct {
+	Space string // namespace URI, "" for no namespace
+	Local string // local name
+}
+
+// String renders the name in Clark notation ({uri}local) for debugging.
+func (n Name) String() string {
+	if n.Space == "" {
+		return n.Local
+	}
+	return "{" + n.Space + "}" + n.Local
+}
+
+// Attr is a single attribute. Namespace declarations are not stored as
+// attributes; prefixes are re-synthesised at serialisation time.
+type Attr struct {
+	Name  Name
+	Value string
+}
+
+// Element is a node in the tree. Children preserves document order and
+// may interleave *Element and Text nodes.
+type Element struct {
+	Name     Name
+	Attrs    []Attr
+	Children []Node
+	parent   *Element
+}
+
+// Node is implemented by the two child node kinds: *Element and Text.
+type Node interface{ isNode() }
+
+// Text is a character-data child node.
+type Text string
+
+func (Text) isNode()     {}
+func (*Element) isNode() {}
+
+// NewElement returns an element with the given namespace and local name.
+func NewElement(space, local string) *Element {
+	return &Element{Name: Name{Space: space, Local: local}}
+}
+
+// Parent returns the element's parent, or nil for a root element.
+func (e *Element) Parent() *Element { return e.parent }
+
+// AppendChild adds a child element and sets its parent pointer.
+func (e *Element) AppendChild(c *Element) *Element {
+	c.parent = e
+	e.Children = append(e.Children, c)
+	return c
+}
+
+// InsertChildAt inserts a child element at the given position among
+// Children (clamped to the valid range) and sets its parent pointer.
+func (e *Element) InsertChildAt(i int, c *Element) {
+	if i < 0 {
+		i = 0
+	}
+	if i > len(e.Children) {
+		i = len(e.Children)
+	}
+	c.parent = e
+	e.Children = append(e.Children, nil)
+	copy(e.Children[i+1:], e.Children[i:])
+	e.Children[i] = c
+}
+
+// Add creates a child element with the given name, appends it and
+// returns it, enabling fluent document construction.
+func (e *Element) Add(space, local string) *Element {
+	return e.AppendChild(NewElement(space, local))
+}
+
+// AddText creates a child element containing only the given text.
+func (e *Element) AddText(space, local, text string) *Element {
+	c := e.Add(space, local)
+	c.SetText(text)
+	return c
+}
+
+// SetText replaces the element's children with a single text node.
+func (e *Element) SetText(s string) *Element {
+	e.Children = []Node{Text(s)}
+	return e
+}
+
+// SetAttr sets (or replaces) an attribute value.
+func (e *Element) SetAttr(space, local, value string) *Element {
+	for i := range e.Attrs {
+		if e.Attrs[i].Name.Space == space && e.Attrs[i].Name.Local == local {
+			e.Attrs[i].Value = value
+			return e
+		}
+	}
+	e.Attrs = append(e.Attrs, Attr{Name: Name{Space: space, Local: local}, Value: value})
+	return e
+}
+
+// Attr returns the value of the named attribute and whether it exists.
+func (e *Element) Attr(space, local string) (string, bool) {
+	for _, a := range e.Attrs {
+		if a.Name.Space == space && a.Name.Local == local {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// AttrValue returns the attribute value or "" if absent.
+func (e *Element) AttrValue(space, local string) string {
+	v, _ := e.Attr(space, local)
+	return v
+}
+
+// Text returns the concatenation of all descendant character data, in
+// document order (the XPath string-value of the element).
+func (e *Element) Text() string {
+	var b strings.Builder
+	e.writeText(&b)
+	return b.String()
+}
+
+func (e *Element) writeText(b *strings.Builder) {
+	for _, c := range e.Children {
+		switch n := c.(type) {
+		case Text:
+			b.WriteString(string(n))
+		case *Element:
+			n.writeText(b)
+		}
+	}
+}
+
+// ChildElements returns the element children in document order.
+func (e *Element) ChildElements() []*Element {
+	var out []*Element
+	for _, c := range e.Children {
+		if el, ok := c.(*Element); ok {
+			out = append(out, el)
+		}
+	}
+	return out
+}
+
+// Find returns the first child element with the given name, or nil.
+func (e *Element) Find(space, local string) *Element {
+	for _, c := range e.Children {
+		if el, ok := c.(*Element); ok && el.Name.Local == local &&
+			(space == "" || el.Name.Space == space) {
+			return el
+		}
+	}
+	return nil
+}
+
+// FindAll returns every child element with the given name.
+func (e *Element) FindAll(space, local string) []*Element {
+	var out []*Element
+	for _, c := range e.Children {
+		if el, ok := c.(*Element); ok && el.Name.Local == local &&
+			(space == "" || el.Name.Space == space) {
+			out = append(out, el)
+		}
+	}
+	return out
+}
+
+// FindText returns the string-value of the first matching child, or "".
+func (e *Element) FindText(space, local string) string {
+	if c := e.Find(space, local); c != nil {
+		return c.Text()
+	}
+	return ""
+}
+
+// Path walks a chain of child names ({space,local} pairs are given as a
+// single namespace applied to each step) and returns the terminal
+// element, or nil if any step is missing.
+func (e *Element) Path(space string, locals ...string) *Element {
+	cur := e
+	for _, l := range locals {
+		cur = cur.Find(space, l)
+		if cur == nil {
+			return nil
+		}
+	}
+	return cur
+}
+
+// RemoveChild removes the first occurrence of the given child element.
+func (e *Element) RemoveChild(c *Element) bool {
+	for i, n := range e.Children {
+		if n == Node(c) {
+			e.Children = append(e.Children[:i], e.Children[i+1:]...)
+			c.parent = nil
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the element with a nil parent.
+func (e *Element) Clone() *Element {
+	cp := &Element{Name: e.Name}
+	cp.Attrs = append([]Attr(nil), e.Attrs...)
+	for _, c := range e.Children {
+		switch n := c.(type) {
+		case Text:
+			cp.Children = append(cp.Children, n)
+		case *Element:
+			child := n.Clone()
+			child.parent = cp
+			cp.Children = append(cp.Children, child)
+		}
+	}
+	return cp
+}
+
+// Parse reads a complete XML document from r and returns its root
+// element. Comments and processing instructions are discarded;
+// character data consisting solely of whitespace between elements is
+// kept only inside elements that contain no child elements, matching
+// the data-oriented documents DAIS deals in.
+func Parse(r io.Reader) (*Element, error) {
+	dec := xml.NewDecoder(r)
+	var root *Element
+	var cur *Element
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmlutil: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			el := NewElement(t.Name.Space, t.Name.Local)
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || (a.Name.Space == "" && a.Name.Local == "xmlns") {
+					continue // prefix declarations are resynthesised on output
+				}
+				el.Attrs = append(el.Attrs, Attr{
+					Name:  Name{Space: a.Name.Space, Local: a.Name.Local},
+					Value: a.Value,
+				})
+			}
+			if cur == nil {
+				if root != nil {
+					return nil, errors.New("xmlutil: multiple root elements")
+				}
+				root = el
+			} else {
+				cur.AppendChild(el)
+			}
+			cur = el
+		case xml.EndElement:
+			if cur == nil {
+				return nil, errors.New("xmlutil: unbalanced end element")
+			}
+			trimWhitespaceBetweenElements(cur)
+			cur = cur.parent
+		case xml.CharData:
+			if cur != nil {
+				cur.Children = append(cur.Children, Text(string(t)))
+			}
+		}
+	}
+	if root == nil {
+		return nil, errors.New("xmlutil: empty document")
+	}
+	if cur != nil {
+		return nil, errors.New("xmlutil: unexpected EOF inside element")
+	}
+	return root, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*Element, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// trimWhitespaceBetweenElements drops whitespace-only text nodes from
+// elements that have at least one element child (formatting noise).
+func trimWhitespaceBetweenElements(e *Element) {
+	hasElem := false
+	for _, c := range e.Children {
+		if _, ok := c.(*Element); ok {
+			hasElem = true
+			break
+		}
+	}
+	if !hasElem {
+		return
+	}
+	out := e.Children[:0]
+	for _, c := range e.Children {
+		if t, ok := c.(Text); ok && strings.TrimSpace(string(t)) == "" {
+			continue
+		}
+		out = append(out, c)
+	}
+	e.Children = out
+}
+
+// namespace prefix assignment for serialisation.
+type nsContext struct {
+	prefixes map[string]string // uri -> prefix
+	next     int
+}
+
+func (c *nsContext) prefix(uri string) string {
+	if uri == "" {
+		return ""
+	}
+	if p, ok := c.prefixes[uri]; ok {
+		return p
+	}
+	p := fmt.Sprintf("ns%d", c.next)
+	c.next++
+	c.prefixes[uri] = p
+	return p
+}
+
+// Marshal serialises the element as a standalone XML fragment. Every
+// namespace in the subtree is declared on the root element with a
+// generated prefix, which keeps the output deterministic and avoids
+// re-declaration churn in deep trees.
+func Marshal(e *Element) []byte {
+	var b strings.Builder
+	ctx := &nsContext{prefixes: map[string]string{}}
+	collectNamespaces(e, ctx)
+	writeElement(&b, e, ctx, true)
+	return []byte(b.String())
+}
+
+// MarshalString is Marshal returning a string.
+func MarshalString(e *Element) string { return string(Marshal(e)) }
+
+// MarshalIndent serialises with two-space indentation for human output.
+func MarshalIndent(e *Element) []byte {
+	raw := Marshal(e)
+	parsed, err := Parse(strings.NewReader(string(raw)))
+	if err != nil {
+		return raw
+	}
+	var b strings.Builder
+	ctx := &nsContext{prefixes: map[string]string{}}
+	collectNamespaces(parsed, ctx)
+	writeIndented(&b, parsed, ctx, true, 0)
+	return []byte(b.String())
+}
+
+func collectNamespaces(e *Element, ctx *nsContext) {
+	// Deterministic ordering: gather URIs then sort before assignment.
+	uris := map[string]bool{}
+	var walk func(*Element)
+	walk = func(el *Element) {
+		if el.Name.Space != "" {
+			uris[el.Name.Space] = true
+		}
+		for _, a := range el.Attrs {
+			if a.Name.Space != "" {
+				uris[a.Name.Space] = true
+			}
+		}
+		for _, c := range el.Children {
+			if ch, ok := c.(*Element); ok {
+				walk(ch)
+			}
+		}
+	}
+	walk(e)
+	sorted := make([]string, 0, len(uris))
+	for u := range uris {
+		sorted = append(sorted, u)
+	}
+	sort.Strings(sorted)
+	for _, u := range sorted {
+		ctx.prefix(u)
+	}
+}
+
+func writeOpenTag(b *strings.Builder, e *Element, ctx *nsContext, root bool) {
+	b.WriteByte('<')
+	writeQName(b, e.Name, ctx)
+	if root {
+		// Declare all namespaces on the root.
+		uris := make([]string, 0, len(ctx.prefixes))
+		for u := range ctx.prefixes {
+			uris = append(uris, u)
+		}
+		sort.Strings(uris)
+		for _, u := range uris {
+			fmt.Fprintf(b, ` xmlns:%s="%s"`, ctx.prefixes[u], escapeAttr(u))
+		}
+	}
+	for _, a := range e.Attrs {
+		b.WriteByte(' ')
+		writeQName(b, a.Name, ctx)
+		b.WriteString(`="`)
+		b.WriteString(escapeAttr(a.Value))
+		b.WriteByte('"')
+	}
+}
+
+func writeElement(b *strings.Builder, e *Element, ctx *nsContext, root bool) {
+	writeOpenTag(b, e, ctx, root)
+	if len(e.Children) == 0 {
+		b.WriteString("/>")
+		return
+	}
+	b.WriteByte('>')
+	for _, c := range e.Children {
+		switch n := c.(type) {
+		case Text:
+			b.WriteString(escapeText(string(n)))
+		case *Element:
+			writeElement(b, n, ctx, false)
+		}
+	}
+	b.WriteString("</")
+	writeQName(b, e.Name, ctx)
+	b.WriteByte('>')
+}
+
+func writeIndented(b *strings.Builder, e *Element, ctx *nsContext, root bool, depth int) {
+	indent := strings.Repeat("  ", depth)
+	b.WriteString(indent)
+	writeOpenTag(b, e, ctx, root)
+	if len(e.Children) == 0 {
+		b.WriteString("/>\n")
+		return
+	}
+	elems := e.ChildElements()
+	if len(elems) == 0 {
+		b.WriteByte('>')
+		b.WriteString(escapeText(e.Text()))
+		b.WriteString("</")
+		writeQName(b, e.Name, ctx)
+		b.WriteString(">\n")
+		return
+	}
+	b.WriteString(">\n")
+	for _, c := range elems {
+		writeIndented(b, c, ctx, false, depth+1)
+	}
+	b.WriteString(indent)
+	b.WriteString("</")
+	writeQName(b, e.Name, ctx)
+	b.WriteString(">\n")
+}
+
+func writeQName(b *strings.Builder, n Name, ctx *nsContext) {
+	if n.Space != "" {
+		b.WriteString(ctx.prefixes[n.Space])
+		b.WriteByte(':')
+	}
+	b.WriteString(n.Local)
+}
+
+func escapeText(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+func escapeAttr(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// Equal reports deep equality of two elements: same name, attributes
+// (order-insensitive), and children (order-sensitive, whitespace-only
+// text ignored around element children).
+func Equal(a, b *Element) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Name != b.Name {
+		return false
+	}
+	if len(a.Attrs) != len(b.Attrs) {
+		return false
+	}
+	for _, attr := range a.Attrs {
+		v, ok := b.Attr(attr.Name.Space, attr.Name.Local)
+		if !ok || v != attr.Value {
+			return false
+		}
+	}
+	ac, bc := normalChildren(a), normalChildren(b)
+	if len(ac) != len(bc) {
+		return false
+	}
+	for i := range ac {
+		switch an := ac[i].(type) {
+		case Text:
+			bn, ok := bc[i].(Text)
+			if !ok || an != bn {
+				return false
+			}
+		case *Element:
+			bn, ok := bc[i].(*Element)
+			if !ok || !Equal(an, bn) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func normalChildren(e *Element) []Node {
+	hasElem := false
+	for _, c := range e.Children {
+		if _, ok := c.(*Element); ok {
+			hasElem = true
+		}
+	}
+	var out []Node
+	for _, c := range e.Children {
+		if t, ok := c.(Text); ok {
+			if hasElem && strings.TrimSpace(string(t)) == "" {
+				continue
+			}
+			// merge adjacent text
+			if len(out) > 0 {
+				if prev, ok := out[len(out)-1].(Text); ok {
+					out[len(out)-1] = prev + t
+					continue
+				}
+			}
+		}
+		out = append(out, c)
+	}
+	return out
+}
