@@ -6,6 +6,7 @@
 package dais_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -29,7 +30,7 @@ func BenchmarkE1DirectVsIndirect(b *testing.B) {
 			c := client.New(nil)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := c.SQLExecute(f.Ref, query, nil, ""); err != nil {
+				if _, err := c.SQLExecute(context.Background(), f.Ref, query, nil, ""); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -39,20 +40,20 @@ func BenchmarkE1DirectVsIndirect(b *testing.B) {
 			c := client.New(nil)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				respRef, err := c.SQLExecuteFactory(f.Ref, query, nil, nil)
+				respRef, err := c.SQLExecuteFactory(context.Background(), f.Ref, query, nil, nil)
 				if err != nil {
 					b.Fatal(err)
 				}
-				rowsetRef, err := c.SQLRowsetFactory(respRef, "", 0, nil)
+				rowsetRef, err := c.SQLRowsetFactory(context.Background(), respRef, "", 0, nil)
 				if err != nil {
 					b.Fatal(err)
 				}
 				reader := client.New(nil)
-				if _, err := reader.GetTuplesSet(rowsetRef, 1, n+1); err != nil {
+				if _, err := reader.GetTuplesSet(context.Background(), rowsetRef, 1, n+1); err != nil {
 					b.Fatal(err)
 				}
-				c.DestroyDataResource(rowsetRef) //nolint:errcheck
-				c.DestroyDataResource(respRef)   //nolint:errcheck
+				c.DestroyDataResource(context.Background(), rowsetRef) //nolint:errcheck
+				c.DestroyDataResource(context.Background(), respRef)   //nolint:errcheck
 			}
 			b.ReportMetric(float64(c.BytesReceived())/float64(b.N), "consumer1-wire-B/op")
 		})
@@ -68,7 +69,7 @@ func BenchmarkE2ThirdPartyDelivery(b *testing.B) {
 	b.Run("relay", func(b *testing.B) {
 		c := client.New(nil)
 		for i := 0; i < b.N; i++ {
-			if _, err := c.SQLExecute(f.Ref, query, nil, ""); err != nil {
+			if _, err := c.SQLExecute(context.Background(), f.Ref, query, nil, ""); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -77,16 +78,16 @@ func BenchmarkE2ThirdPartyDelivery(b *testing.B) {
 	b.Run("epr-handoff", func(b *testing.B) {
 		c := client.New(nil)
 		for i := 0; i < b.N; i++ {
-			respRef, err := c.SQLExecuteFactory(f.Ref, query, nil, nil)
+			respRef, err := c.SQLExecuteFactory(context.Background(), f.Ref, query, nil, nil)
 			if err != nil {
 				b.Fatal(err)
 			}
-			rowsetRef, err := c.SQLRowsetFactory(respRef, "", 0, nil)
+			rowsetRef, err := c.SQLRowsetFactory(context.Background(), respRef, "", 0, nil)
 			if err != nil {
 				b.Fatal(err)
 			}
-			c.DestroyDataResource(rowsetRef) //nolint:errcheck
-			c.DestroyDataResource(respRef)   //nolint:errcheck
+			c.DestroyDataResource(context.Background(), rowsetRef) //nolint:errcheck
+			c.DestroyDataResource(context.Background(), respRef)   //nolint:errcheck
 		}
 		b.ReportMetric(float64(c.BytesReceived())/float64(b.N), "consumer1-wire-B/op")
 	})
@@ -99,7 +100,7 @@ func BenchmarkE3PropertyGranularity(b *testing.B) {
 		b.Run(fmt.Sprintf("wholedoc/tables=%d", tables), func(b *testing.B) {
 			c := client.New(nil)
 			for i := 0; i < b.N; i++ {
-				if _, err := c.GetPropertyDocument(f.Ref); err != nil {
+				if _, err := c.GetPropertyDocument(context.Background(), f.Ref); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -108,7 +109,7 @@ func BenchmarkE3PropertyGranularity(b *testing.B) {
 		b.Run(fmt.Sprintf("singleprop/tables=%d", tables), func(b *testing.B) {
 			c := client.New(nil)
 			for i := 0; i < b.N; i++ {
-				if _, err := c.GetResourceProperty(f.Ref, "Readable"); err != nil {
+				if _, err := c.GetResourceProperty(context.Background(), f.Ref, "Readable"); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -125,11 +126,11 @@ func BenchmarkE4TuplePaging(b *testing.B) {
 	f := bench.MustSQLFixture(bench.FixtureOption{Rows: totalRows, Concurrent: true, WSRF: true})
 	defer f.Close()
 	c := client.New(nil)
-	respRef, err := c.SQLExecuteFactory(f.Ref, `SELECT id, payload, num FROM data ORDER BY id`, nil, nil)
+	respRef, err := c.SQLExecuteFactory(context.Background(), f.Ref, `SELECT id, payload, num FROM data ORDER BY id`, nil, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
-	rowsetRef, err := c.SQLRowsetFactory(respRef, "", 0, nil)
+	rowsetRef, err := c.SQLRowsetFactory(context.Background(), respRef, "", 0, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func BenchmarkE4TuplePaging(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				got := 0
 				for pos := 1; ; pos += page {
-					set, err := pc.GetTuplesSet(rowsetRef, pos, page)
+					set, err := pc.GetTuplesSet(context.Background(), rowsetRef, pos, page)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -170,7 +171,7 @@ func BenchmarkE5ThinThickWrapper(b *testing.B) {
 		r := dair.NewSQLDataResource(eng)
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := r.SQLExecute(query, nil); err != nil {
+			if _, err := r.SQLExecute(context.Background(), query, nil); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -179,7 +180,7 @@ func BenchmarkE5ThinThickWrapper(b *testing.B) {
 		r := dair.NewSQLDataResource(eng, dair.WithWrapper(dair.ThickWrapper{}))
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := r.SQLExecute(query, nil); err != nil {
+			if _, err := r.SQLExecute(context.Background(), query, nil); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -228,7 +229,7 @@ func BenchmarkE7SOAPOverhead(b *testing.B) {
 		b.Run(fmt.Sprintf("soap/rows=%d", n), func(b *testing.B) {
 			c := client.New(nil)
 			for i := 0; i < b.N; i++ {
-				if _, err := c.SQLExecute(f.Ref, query, nil, ""); err != nil {
+				if _, err := c.SQLExecute(context.Background(), f.Ref, query, nil, ""); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -244,11 +245,11 @@ func BenchmarkE8Lifetime(b *testing.B) {
 	c := client.New(nil)
 	b.Run("explicit-destroy", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			ref, err := c.SQLExecuteFactory(f.Ref, `SELECT id FROM data`, nil, nil)
+			ref, err := c.SQLExecuteFactory(context.Background(), f.Ref, `SELECT id FROM data`, nil, nil)
 			if err != nil {
 				b.Fatal(err)
 			}
-			if err := c.DestroyDataResource(ref); err != nil {
+			if err := c.DestroyDataResource(context.Background(), ref); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -256,11 +257,11 @@ func BenchmarkE8Lifetime(b *testing.B) {
 	b.Run("soft-state", func(b *testing.B) {
 		past := time.Now().Add(-time.Second)
 		for i := 0; i < b.N; i++ {
-			ref, err := c.SQLExecuteFactory(f.Ref, `SELECT id FROM data`, nil, nil)
+			ref, err := c.SQLExecuteFactory(context.Background(), f.Ref, `SELECT id FROM data`, nil, nil)
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := c.SetTerminationTime(ref, &past); err != nil {
+			if _, err := c.SetTerminationTime(context.Background(), ref, &past); err != nil {
 				b.Fatal(err)
 			}
 			if swept := f.Endpoint.WSRF().SweepExpired(); len(swept) != 1 {
@@ -335,7 +336,7 @@ func BenchmarkE10Transactions(b *testing.B) {
 			}))
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := res.SQLExecute(`UPDATE acct SET bal = bal + 1`, nil); err != nil {
+				if _, err := res.SQLExecute(context.Background(), `UPDATE acct SET bal = bal + 1`, nil); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -12,12 +12,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"dais/internal/core"
@@ -27,6 +31,7 @@ import (
 	"dais/internal/filestore"
 	"dais/internal/service"
 	"dais/internal/sqlengine"
+	"dais/internal/wsrf"
 	"dais/internal/xmldb"
 	"dais/internal/xmlutil"
 )
@@ -62,9 +67,29 @@ func main() {
 	fmt.Printf("    resource: %s\n", srv.fileRes.AbstractName())
 	fmt.Printf("  wsrf: %v  concurrent access: %v\n", *useWSRF, *concurrent)
 
-	if err := http.Serve(ln, srv.mux); err != nil {
-		fmt.Fprintf(os.Stderr, "daisd: %v\n", err)
-		os.Exit(1)
+	// Serve until interrupted, then drain in-flight requests and stop
+	// the WSRF reapers so no goroutine outlives the listener.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	httpSrv := &http.Server{Handler: srv.mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "daisd: %v\n", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		fmt.Println("daisd: shutting down")
+		shutCtx, done := context.WithTimeout(context.Background(), 5*time.Second)
+		defer done()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "daisd: shutdown: %v\n", err)
+		}
+		<-errCh
 	}
 }
 
@@ -88,7 +113,8 @@ type server struct {
 }
 
 // buildServer assembles the relational and XML data services on a mux.
-// The returned stop function terminates the WSRF reapers.
+// The returned stop function closes the WSRF registries, stopping their
+// reaper goroutines.
 func buildServer(base string, cfg config) (*server, func()) {
 	eng := sqlengine.New("hr")
 	seedRelational(eng, cfg.seedRows)
@@ -132,16 +158,15 @@ func buildServer(base string, cfg config) (*server, func()) {
 	fileEp.Register(fileRes)
 	fileSvc.SetAddress(base + "/files")
 
-	var stops []func()
-	if cfg.wsrf && cfg.reap > 0 {
-		if reg := sqlEp.WSRF(); reg != nil {
-			stops = append(stops, reg.StartReaper(cfg.reap))
-		}
-		if reg := xmlEp.WSRF(); reg != nil {
-			stops = append(stops, reg.StartReaper(cfg.reap))
-		}
-		if reg := fileEp.WSRF(); reg != nil {
-			stops = append(stops, reg.StartReaper(cfg.reap))
+	var regs []*wsrf.Registry
+	if cfg.wsrf {
+		for _, ep := range []*service.Endpoint{sqlEp, xmlEp, fileEp} {
+			if reg := ep.WSRF(); reg != nil {
+				regs = append(regs, reg)
+				if cfg.reap > 0 {
+					reg.StartReaper(cfg.reap)
+				}
+			}
 		}
 	}
 
@@ -155,8 +180,8 @@ func buildServer(base string, cfg config) (*server, func()) {
 	return &server{mux: mux, sqlEp: sqlEp, xmlEp: xmlEp, fileEp: fileEp,
 			sqlRes: sqlRes, xmlRes: xmlRes, fileRes: fileRes},
 		func() {
-			for _, s := range stops {
-				s()
+			for _, r := range regs {
+				r.Close()
 			}
 		}
 }

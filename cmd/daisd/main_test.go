@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -43,14 +44,14 @@ func TestServerComposition(t *testing.T) {
 
 	// The relational service answers end-to-end.
 	sqlRef := client.Ref(base+"/sql", srv.sqlRes.AbstractName())
-	res, err := c.SQLExecute(sqlRef, `SELECT COUNT(*) FROM emp`, nil, "")
+	res, err := c.SQLExecute(context.Background(), sqlRef, `SELECT COUNT(*) FROM emp`, nil, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Set.Rows[0][0].I != 25 {
 		t.Fatalf("seeded rows = %v", res.Set.Rows[0][0])
 	}
-	joined, err := c.SQLExecute(sqlRef,
+	joined, err := c.SQLExecute(context.Background(), sqlRef,
 		`SELECT d.name, COUNT(*) FROM emp e JOIN dept d ON e.dept_id = d.id GROUP BY d.name ORDER BY d.name`, nil, "")
 	if err != nil {
 		t.Fatal(err)
@@ -61,7 +62,7 @@ func TestServerComposition(t *testing.T) {
 
 	// The XML service answers end-to-end.
 	xmlRef := client.Ref(base+"/xml", srv.xmlRes.AbstractName())
-	items, err := c.XPathExecute(xmlRef, `/book[@genre='db']/title`)
+	items, err := c.XPathExecute(context.Background(), xmlRef, `/book[@genre='db']/title`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,17 +71,17 @@ func TestServerComposition(t *testing.T) {
 	}
 
 	// The reaper collects an expired derived resource automatically.
-	derived, err := c.SQLExecuteFactory(sqlRef, `SELECT id FROM emp`, nil, nil)
+	derived, err := c.SQLExecuteFactory(context.Background(), sqlRef, `SELECT id FROM emp`, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	past := time.Now().Add(-time.Second)
-	if _, err := c.SetTerminationTime(derived, &past); err != nil {
+	if _, err := c.SetTerminationTime(context.Background(), derived, &past); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		if _, err := c.GetSQLRowset(derived, 0); err != nil {
+		if _, err := c.GetSQLRowset(context.Background(), derived, 0); err != nil {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -95,11 +96,11 @@ func TestServerWithoutWSRF(t *testing.T) {
 	c := client.New(nil)
 	sqlRef := client.Ref(base+"/sql", srv.sqlRes.AbstractName())
 	// Core operations work.
-	if _, err := c.GetPropertyDocument(sqlRef); err != nil {
+	if _, err := c.GetPropertyDocument(context.Background(), sqlRef); err != nil {
 		t.Fatal(err)
 	}
 	// WSRF operations are not routed.
-	if _, err := c.GetResourceProperty(sqlRef, "Readable"); err == nil ||
+	if _, err := c.GetResourceProperty(context.Background(), sqlRef, "Readable"); err == nil ||
 		!strings.Contains(err.Error(), "no handler") {
 		t.Fatalf("err = %v", err)
 	}
@@ -144,19 +145,19 @@ func TestFileServiceComposition(t *testing.T) {
 	srv.fileEp.Service().SetAddress(base + "/files")
 	c := client.New(nil)
 	ref := client.Ref(base+"/files", srv.fileRes.AbstractName())
-	infos, err := c.ListFiles(ref, "runs/**")
+	infos, err := c.ListFiles(context.Background(), ref, "runs/**")
 	if err != nil || len(infos) != 2 {
 		t.Fatalf("list = %v, %v", infos, err)
 	}
-	data, err := c.ReadFile(ref, "calib/atlas.cal", 0, -1)
+	data, err := c.ReadFile(context.Background(), ref, "calib/atlas.cal", 0, -1)
 	if err != nil || string(data) != "gain=1.07" {
 		t.Fatalf("read = %q, %v", data, err)
 	}
-	staged, err := c.FileSelectFactory(ref, "runs/**", nil)
+	staged, err := c.FileSelectFactory(context.Background(), ref, "runs/**", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.ListFiles(staged, ""); err != nil {
+	if _, err := c.ListFiles(context.Background(), staged, ""); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -14,6 +14,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -22,6 +23,7 @@ import (
 
 	"dais/internal/client"
 	"dais/internal/rowset"
+	"dais/internal/soap"
 	"dais/internal/sqlengine"
 )
 
@@ -33,6 +35,7 @@ func main() {
 	page := flag.Int("page", 100, "page size for indirect access")
 	destroy := flag.Bool("destroy", true, "destroy derived resources after use")
 	interactive := flag.Bool("i", false, "interactive mode: read statements from stdin")
+	timeout := flag.Duration("timeout", 0, "per-call deadline (0 disables)")
 	flag.Parse()
 	if !*interactive && flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: daisql [flags] 'SELECT ...'   (or daisql -i)")
@@ -45,10 +48,15 @@ func main() {
 		log.Fatalf("daisql: %v", err)
 	}
 
-	c := client.New(nil)
+	ctx := context.Background()
+	var ics []soap.Interceptor
+	if *timeout > 0 {
+		ics = append(ics, soap.ClientTimeout(*timeout))
+	}
+	c := client.New(nil, ics...)
 	name := *resource
 	if name == "" {
-		names, err := c.GetResourceList(*url)
+		names, err := c.GetResourceList(ctx, *url)
 		if err != nil {
 			log.Fatalf("daisql: GetResourceList: %v", err)
 		}
@@ -60,21 +68,21 @@ func main() {
 	ref := client.Ref(*url, name)
 
 	if *interactive {
-		repl(c, ref, formatURI)
+		repl(ctx, c, ref, formatURI)
 		return
 	}
 	query := flag.Arg(0)
 	if *indirect {
-		runIndirect(c, ref, query, formatURI, *page, *destroy)
+		runIndirect(ctx, c, ref, query, formatURI, *page, *destroy)
 		return
 	}
-	if err := runDirect(c, ref, query, formatURI); err != nil {
+	if err := runDirect(ctx, c, ref, query, formatURI); err != nil {
 		log.Fatalf("daisql: %v", err)
 	}
 }
 
-func runDirect(c *client.Client, ref client.ResourceRef, query, formatURI string) error {
-	res, err := c.SQLExecute(ref, query, nil, formatURI)
+func runDirect(ctx context.Context, c *client.Client, ref client.ResourceRef, query, formatURI string) error {
+	res, err := c.SQLExecute(ctx, ref, query, nil, formatURI)
 	if err != nil {
 		return err
 	}
@@ -93,7 +101,7 @@ func runDirect(c *client.Client, ref client.ResourceRef, query, formatURI string
 // transaction statements (BEGIN/COMMIT/ROLLBACK) pass straight through,
 // so a service configured with TransactionConsumerControlled exposes
 // multi-message transactions here.
-func repl(c *client.Client, ref client.ResourceRef, formatURI string) {
+func repl(ctx context.Context, c *client.Client, ref client.ResourceRef, formatURI string) {
 	fmt.Printf("connected to %s (resource %s)\ntype SQL statements; \\q quits\n", ref.Address, ref.AbstractName)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -110,26 +118,26 @@ func repl(c *client.Client, ref client.ResourceRef, formatURI string) {
 		case line == `\q` || line == "quit" || line == "exit":
 			return
 		}
-		if err := runDirect(c, ref, line, formatURI); err != nil {
+		if err := runDirect(ctx, c, ref, line, formatURI); err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		}
 	}
 }
 
-func runIndirect(c *client.Client, ref client.ResourceRef, query, formatURI string, page int, destroy bool) {
-	respRef, err := c.SQLExecuteFactory(ref, query, nil, nil)
+func runIndirect(ctx context.Context, c *client.Client, ref client.ResourceRef, query, formatURI string, page int, destroy bool) {
+	respRef, err := c.SQLExecuteFactory(ctx, ref, query, nil, nil)
 	if err != nil {
 		log.Fatalf("daisql: SQLExecuteFactory: %v", err)
 	}
 	fmt.Printf("-- response resource: %s @ %s\n", respRef.AbstractName, respRef.Address)
-	rowsetRef, err := c.SQLRowsetFactory(respRef, formatURI, 0, nil)
+	rowsetRef, err := c.SQLRowsetFactory(ctx, respRef, formatURI, 0, nil)
 	if err != nil {
 		log.Fatalf("daisql: SQLRowsetFactory: %v", err)
 	}
 	fmt.Printf("-- rowset resource:   %s @ %s\n", rowsetRef.AbstractName, rowsetRef.Address)
 	total := 0
 	for pos := 1; ; pos += page {
-		set, err := c.GetTuplesSet(rowsetRef, pos, page)
+		set, err := c.GetTuplesSet(ctx, rowsetRef, pos, page)
 		if err != nil {
 			log.Fatalf("daisql: GetTuples: %v", err)
 		}
@@ -144,10 +152,10 @@ func runIndirect(c *client.Client, ref client.ResourceRef, query, formatURI stri
 	}
 	fmt.Printf("-- %d row(s) via %d-row pages\n", total, page)
 	if destroy {
-		if err := c.DestroyDataResource(rowsetRef); err != nil {
+		if err := c.DestroyDataResource(ctx, rowsetRef); err != nil {
 			log.Printf("daisql: destroy rowset: %v", err)
 		}
-		if err := c.DestroyDataResource(respRef); err != nil {
+		if err := c.DestroyDataResource(ctx, respRef); err != nil {
 			log.Printf("daisql: destroy response: %v", err)
 		}
 	}

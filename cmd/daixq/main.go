@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -31,10 +32,11 @@ func main() {
 	if flag.NArg() < 1 {
 		usage()
 	}
+	ctx := context.Background()
 	c := client.New(nil)
 	name := *resource
 	if name == "" {
-		names, err := c.GetResourceList(*url)
+		names, err := c.GetResourceList(ctx, *url)
 		if err != nil {
 			log.Fatalf("daixq: GetResourceList: %v", err)
 		}
@@ -54,9 +56,9 @@ func main() {
 		var items []client.SequenceItem
 		var err error
 		if cmd == "xpath" {
-			items, err = c.XPathExecute(ref, flag.Arg(1))
+			items, err = c.XPathExecute(ctx, ref, flag.Arg(1))
 		} else {
-			items, err = c.XQueryExecute(ref, flag.Arg(1))
+			items, err = c.XQueryExecute(ctx, ref, flag.Arg(1))
 		}
 		if err != nil {
 			log.Fatalf("daixq: %s: %v", cmd, err)
@@ -70,7 +72,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "-- %d item(s)\n", len(items))
 	case "list":
-		names, err := c.ListDocuments(ref)
+		names, err := c.ListDocuments(ctx, ref)
 		if err != nil {
 			log.Fatalf("daixq: list: %v", err)
 		}
@@ -81,7 +83,7 @@ func main() {
 		if flag.NArg() != 2 {
 			usage()
 		}
-		doc, err := c.GetDocument(ref, flag.Arg(1))
+		doc, err := c.GetDocument(ctx, ref, flag.Arg(1))
 		if err != nil {
 			log.Fatalf("daixq: get: %v", err)
 		}
@@ -94,14 +96,14 @@ func main() {
 		if err != nil {
 			log.Fatalf("daixq: put: bad document: %v", err)
 		}
-		if err := c.AddDocument(ref, flag.Arg(1), doc); err != nil {
+		if err := c.AddDocument(ctx, ref, flag.Arg(1), doc); err != nil {
 			log.Fatalf("daixq: put: %v", err)
 		}
 	case "rm":
 		if flag.NArg() != 2 {
 			usage()
 		}
-		if err := c.RemoveDocument(ref, flag.Arg(1)); err != nil {
+		if err := c.RemoveDocument(ctx, ref, flag.Arg(1)); err != nil {
 			log.Fatalf("daixq: rm: %v", err)
 		}
 	case "xupdate":
@@ -112,7 +114,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("daixq: xupdate: bad modifications: %v", err)
 		}
-		n, err := c.XUpdateExecute(ref, flag.Arg(1), mods)
+		n, err := c.XUpdateExecute(ctx, ref, flag.Arg(1), mods)
 		if err != nil {
 			log.Fatalf("daixq: xupdate: %v", err)
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -21,6 +22,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// The producer site's file store.
 	store := filestore.NewStore("detector-site")
 	for i := 1; i <= 3; i++ {
@@ -53,7 +55,7 @@ func main() {
 	ref := client.Ref(svc.Address(), res.AbstractName())
 
 	// Discover what the site holds (GenericQuery with the glob language).
-	infos, err := coordinator.ListFiles(ref, "runs/2005/*.dat")
+	infos, err := coordinator.ListFiles(ctx, ref, "runs/2005/*.dat")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,7 +66,7 @@ func main() {
 
 	// Stage the 2005 selection: the coordinator moves no data, only the
 	// factory request and the EPR.
-	stagedRef, err := coordinator.FileSelectFactory(ref, "runs/2005/*.dat", nil)
+	stagedRef, err := coordinator.FileSelectFactory(ctx, ref, "runs/2005/*.dat", nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,21 +74,21 @@ func main() {
 		stagedRef.AbstractName, coordinator.BytesReceived())
 
 	// The producer keeps working — it overwrites a run file.
-	if err := coordinator.WriteFile(ref, "runs/2005/run-001.dat", []byte("REPROCESSED")); err != nil {
+	if err := coordinator.WriteFile(ctx, ref, "runs/2005/run-001.dat", []byte("REPROCESSED")); err != nil {
 		log.Fatal(err)
 	}
 
 	// The analysis consumer pulls the pinned snapshot in 64-byte chunks.
 	analysis := client.New(nil)
 	fmt.Println("\nanalysis consumer pulls the staged snapshot:")
-	staged, err := analysis.ListFiles(stagedRef, "")
+	staged, err := analysis.ListFiles(ctx, stagedRef, "")
 	if err != nil {
 		log.Fatal(err)
 	}
 	for _, fi := range staged {
 		var got []byte
 		for off := int64(0); ; off += 64 {
-			chunk, err := analysis.ReadFile(stagedRef, fi.Name, off, 64)
+			chunk, err := analysis.ReadFile(ctx, stagedRef, fi.Name, off, 64)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -99,14 +101,14 @@ func main() {
 	}
 
 	// Proof of pinning: the parent changed, the snapshot did not.
-	live, _ := analysis.ReadFile(ref, "runs/2005/run-001.dat", 0, -1)
-	snap, _ := analysis.ReadFile(stagedRef, "runs/2005/run-001.dat", 0, 16)
+	live, _ := analysis.ReadFile(ctx, ref, "runs/2005/run-001.dat", 0, -1)
+	snap, _ := analysis.ReadFile(ctx, stagedRef, "runs/2005/run-001.dat", 0, 16)
 	fmt.Printf("\nparent run-001 now: %q\nstaged run-001 still begins: %q\n", live, snap)
 
 	// Done: destroy the staged resource; the site's files remain.
-	if err := analysis.DestroyDataResource(stagedRef); err != nil {
+	if err := analysis.DestroyDataResource(ctx, stagedRef); err != nil {
 		log.Fatal(err)
 	}
-	left, _ := coordinator.ListFiles(ref, "**")
+	left, _ := coordinator.ListFiles(ctx, ref, "**")
 	fmt.Printf("\nstaged snapshot destroyed; producer still holds %d files\n", len(left))
 }

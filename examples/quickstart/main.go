@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -17,6 +18,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// 1. The "existing database" the DAIS service wraps.
 	eng := sqlengine.New("hr")
 	eng.MustExec(`CREATE TABLE emp (id INTEGER PRIMARY KEY, name VARCHAR(64) NOT NULL, salary DOUBLE)`)
@@ -40,13 +42,13 @@ func main() {
 
 	// 3. A consumer discovers and queries the resource.
 	c := client.New(nil)
-	names, err := c.GetResourceList(svc.Address())
+	names, err := c.GetResourceList(ctx, svc.Address())
 	if err != nil {
 		log.Fatal(err)
 	}
 	ref := client.Ref(svc.Address(), names[0])
 
-	doc, err := c.GetPropertyDocument(ref)
+	doc, err := c.GetPropertyDocument(ctx, ref)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,7 +57,7 @@ func main() {
 		fmt.Printf("  %-24s %s\n", p, doc.FindText(core.NSDAI, p))
 	}
 
-	result, err := c.SQLExecute(ref, `SELECT name, salary FROM emp WHERE salary > ? ORDER BY salary DESC`,
+	result, err := c.SQLExecute(ctx, ref, `SELECT name, salary FROM emp WHERE salary > ? ORDER BY salary DESC`,
 		[]sqlengine.Value{sqlengine.NewDouble(90000)}, "")
 	if err != nil {
 		log.Fatal(err)
@@ -67,7 +69,7 @@ func main() {
 	fmt.Printf("SQLSTATE %s, %d row(s)\n", result.CA.SQLState, result.CA.RowsFetched)
 
 	// 4. The same data through the model-agnostic GenericQuery.
-	generic, err := c.GenericQuery(ref, dair.LanguageSQL92, `SELECT COUNT(*) FROM emp`)
+	generic, err := c.GenericQuery(ctx, ref, dair.LanguageSQL92, `SELECT COUNT(*) FROM emp`)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -36,6 +37,7 @@ func serve(ep *service.Endpoint) string {
 }
 
 func main() {
+	ctx := context.Background()
 	// The externally managed relational resource behind Data Service 1.
 	eng := sqlengine.New("sensors")
 	eng.MustExec(`CREATE TABLE reading (id INTEGER PRIMARY KEY, station VARCHAR(16), value DOUBLE)`)
@@ -64,7 +66,7 @@ func main() {
 
 	// Consumer 1 runs the query indirectly: only an EPR comes back.
 	consumer1 := client.New(nil)
-	respRef, err := consumer1.SQLExecuteFactory(
+	respRef, err := consumer1.SQLExecuteFactory(ctx,
 		client.Ref(ds1.Service().Address(), src.AbstractName()),
 		`SELECT station, AVG(value) AS mean FROM reading GROUP BY station ORDER BY station`, nil, nil)
 	if err != nil {
@@ -75,7 +77,7 @@ func main() {
 
 	// Consumer 1 hands the EPR to Consumer 2 (out of band).
 	consumer2 := client.New(nil)
-	rowsetRef, err := consumer2.SQLRowsetFactory(respRef, rowset.FormatWebRowSet, 0, nil)
+	rowsetRef, err := consumer2.SQLRowsetFactory(ctx, respRef, rowset.FormatWebRowSet, 0, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -86,7 +88,7 @@ func main() {
 	consumer3 := client.New(nil)
 	fmt.Println("\nconsumer3: station means pulled page by page:")
 	for pos := 1; ; pos += 3 {
-		page, err := consumer3.GetTuplesSet(rowsetRef, pos, 3)
+		page, err := consumer3.GetTuplesSet(ctx, rowsetRef, pos, 3)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -101,10 +103,10 @@ func main() {
 		consumer3.BytesReceived())
 
 	// Clean up the derived, service-managed resources.
-	if err := consumer3.DestroyDataResource(rowsetRef); err != nil {
+	if err := consumer3.DestroyDataResource(ctx, rowsetRef); err != nil {
 		log.Fatal(err)
 	}
-	if err := consumer2.DestroyDataResource(respRef); err != nil {
+	if err := consumer2.DestroyDataResource(ctx, respRef); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nderived resources destroyed; the external database remains in place:")

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -32,6 +33,7 @@ func serve(ep *service.Endpoint) string {
 }
 
 func main() {
+	ctx := context.Background()
 	// Site A: experiment metadata in a relational database.
 	engA := sqlengine.New("siteA")
 	engA.MustExec(`CREATE TABLE run (id INTEGER PRIMARY KEY, detector VARCHAR(16), events INTEGER)`)
@@ -61,16 +63,16 @@ func main() {
 	// A consumer discovers both sites' resources.
 	c := client.New(nil)
 	for _, url := range []string{urlA, urlB} {
-		names, err := c.GetResourceList(url)
+		names, err := c.GetResourceList(ctx, url)
 		if err != nil {
 			log.Fatal(err)
 		}
 		for _, n := range names {
-			ref, err := c.Resolve(url, n)
+			ref, err := c.Resolve(ctx, url, n)
 			if err != nil {
 				log.Fatal(err)
 			}
-			mgmt, err := c.GetResourceProperty(ref, "DataResourceManagement")
+			mgmt, err := c.GetResourceProperty(ctx, ref, "DataResourceManagement")
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -81,7 +83,7 @@ func main() {
 	// Fine-grained WSRF property access: one property, not the whole
 	// document.
 	refA := client.Ref(urlA, resA.AbstractName())
-	langs, err := c.QueryResourceProperties(refA, "GenericQueryLanguage")
+	langs, err := c.QueryResourceProperties(ctx, refA, "GenericQueryLanguage")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -89,12 +91,12 @@ func main() {
 
 	// Derive a summary resource at site A and give it a 50ms lifetime —
 	// soft-state lifetime management instead of an explicit destroy.
-	summary, err := c.SQLExecuteFactory(refA,
+	summary, err := c.SQLExecuteFactory(ctx, refA,
 		`SELECT detector, SUM(events) FROM run GROUP BY detector ORDER BY detector`, nil, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	set, err := c.GetSQLRowset(summary, 0)
+	set, err := c.GetSQLRowset(ctx, summary, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -104,13 +106,13 @@ func main() {
 	}
 
 	tt := time.Now().Add(50 * time.Millisecond)
-	if _, err := c.SetTerminationTime(summary, &tt); err != nil {
+	if _, err := c.SetTerminationTime(ctx, summary, &tt); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nscheduled termination in 50ms; waiting for the reaper...")
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		if _, err := c.GetSQLRowset(summary, 0); err != nil {
+		if _, err := c.GetSQLRowset(ctx, summary, 0); err != nil {
 			fmt.Println("  derived resource reaped:", err)
 			break
 		}
@@ -121,6 +123,6 @@ func main() {
 	}
 
 	// The externally managed resources live on.
-	names, _ := c.GetResourceList(urlA)
+	names, _ := c.GetResourceList(ctx, urlA)
 	fmt.Printf("\nsite A still hosts %d externally managed resource(s)\n", len(names))
 }

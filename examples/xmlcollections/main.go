@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -18,6 +19,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	store := xmldb.NewStore("library")
 	res := daix.NewXMLCollectionResource(store, "")
 	svc := core.NewDataService("xml", core.WithConfigurationMap(daix.StandardConfigurationMaps()...))
@@ -46,15 +48,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := c.AddDocument(ref, name, doc); err != nil {
+		if err := c.AddDocument(ctx, ref, name, doc); err != nil {
 			log.Fatal(err)
 		}
 	}
-	names, _ := c.ListDocuments(ref)
+	names, _ := c.ListDocuments(ctx, ref)
 	fmt.Println("documents:", names)
 
 	// Direct XPath access.
-	items, err := c.XPathExecute(ref, `/book[@genre='db']/title`)
+	items, err := c.XPathExecute(ctx, ref, `/book[@genre='db']/title`)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,7 +66,7 @@ func main() {
 	}
 
 	// Direct XQuery access with ordering.
-	items, err = c.XQueryExecute(ref,
+	items, err = c.XQueryExecute(ctx, ref,
 		`for $b in /book where $b/price < 100 order by $b/price return <cheap><t>{$b/title}</t><p>{$b/price}</p></cheap>`)
 	if err != nil {
 		log.Fatal(err)
@@ -79,23 +81,23 @@ func main() {
 		<xu:update select="/book/price">95</xu:update>
 		<xu:append select="/book"><xu:element name="onsale">true</xu:element></xu:append>
 	</xu:modifications>`)
-	n, err := c.XUpdateExecute(ref, "gray.xml", mods)
+	n, err := c.XUpdateExecute(ctx, ref, "gray.xml", mods)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nXUpdate modified %d node(s) in gray.xml\n", n)
-	doc, _ := c.GetDocument(ref, "gray.xml")
+	doc, _ := c.GetDocument(ctx, ref, "gray.xml")
 	fmt.Printf("  new price: %s, onsale: %s\n", doc.FindText("", "price"), doc.FindText("", "onsale"))
 
 	// Indirect access: derive a sequence resource and page through it.
-	seqRef, err := c.XQueryExecuteFactory(ref,
+	seqRef, err := c.XQueryExecuteFactory(ctx, ref,
 		`for $b in /book order by $b/price descending return <entry>{$b/title}</entry>`, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nderived sequence resource %s\n", seqRef.AbstractName)
 	for pos := 1; ; pos++ {
-		page, err := c.GetItems(seqRef, pos, 1)
+		page, err := c.GetItems(ctx, seqRef, pos, 1)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -104,7 +106,7 @@ func main() {
 		}
 		fmt.Printf("  item %d: %s\n", pos, page[0].Value)
 	}
-	if err := c.DestroyDataResource(seqRef); err != nil {
+	if err := c.DestroyDataResource(ctx, seqRef); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("sequence resource destroyed")

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -204,7 +205,7 @@ func TestFixtureOptions(t *testing.T) {
 		t.Errorf("tables = %v", f.Engine.Database().TableNames())
 	}
 	// Thick wrapper rejects bad SQL before execution.
-	if _, err := f.Resource.SQLExecute("NOT SQL AT ALL", nil); err == nil {
+	if _, err := f.Resource.SQLExecute(context.Background(), "NOT SQL AT ALL", nil); err == nil {
 		t.Error("thick wrapper should reject")
 	}
 }

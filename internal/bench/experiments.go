@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -28,6 +29,7 @@ type E1Row struct {
 
 // RunE1 measures the two access patterns for growing result sizes.
 func RunE1(sizes []int) ([]E1Row, error) {
+	ctx := context.Background()
 	maxRows := 0
 	for _, s := range sizes {
 		if s > maxRows {
@@ -48,7 +50,7 @@ func RunE1(sizes []int) ([]E1Row, error) {
 		// Direct: the data comes back to the requesting consumer.
 		c1 := client.New(nil)
 		start := time.Now()
-		res, err := c1.SQLExecute(f.Ref, query, nil, "")
+		res, err := c1.SQLExecute(ctx, f.Ref, query, nil, "")
 		if err != nil {
 			return nil, err
 		}
@@ -62,11 +64,11 @@ func RunE1(sizes []int) ([]E1Row, error) {
 		// party pulls the data later.
 		c2 := client.New(nil)
 		start = time.Now()
-		respRef, err := c2.SQLExecuteFactory(f.Ref, query, nil, nil)
+		respRef, err := c2.SQLExecuteFactory(ctx, f.Ref, query, nil, nil)
 		if err != nil {
 			return nil, err
 		}
-		rowsetRef, err := c2.SQLRowsetFactory(respRef, "", 0, nil)
+		rowsetRef, err := c2.SQLRowsetFactory(ctx, respRef, "", 0, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -74,7 +76,7 @@ func RunE1(sizes []int) ([]E1Row, error) {
 		row.IndirectBytes = c2.BytesReceived()
 
 		c3 := client.New(nil)
-		set, err := c3.GetTuplesSet(rowsetRef, 1, n+1)
+		set, err := c3.GetTuplesSet(ctx, rowsetRef, 1, n+1)
 		if err != nil {
 			return nil, err
 		}
@@ -83,8 +85,8 @@ func RunE1(sizes []int) ([]E1Row, error) {
 		if len(set.Rows) != n {
 			return nil, fmt.Errorf("E1: indirect returned %d rows, want %d", len(set.Rows), n)
 		}
-		c2.DestroyDataResource(rowsetRef) //nolint:errcheck
-		c2.DestroyDataResource(respRef)   //nolint:errcheck
+		c2.DestroyDataResource(ctx, rowsetRef) //nolint:errcheck
+		c2.DestroyDataResource(ctx, respRef)   //nolint:errcheck
 		out = append(out, row)
 	}
 	return out, nil
@@ -101,6 +103,7 @@ type E2Row struct {
 // RunE2 compares relaying data through the first consumer against
 // handing over an EPR.
 func RunE2(sizes []int) ([]E2Row, error) {
+	ctx := context.Background()
 	maxRows := 0
 	for _, s := range sizes {
 		if s > maxRows {
@@ -121,30 +124,30 @@ func RunE2(sizes []int) ([]E2Row, error) {
 		// Relay: consumer 1 pulls the whole result (then would forward
 		// it out of band, costing at least as much again).
 		relay := client.New(nil)
-		if _, err := relay.SQLExecute(f.Ref, query, nil, ""); err != nil {
+		if _, err := relay.SQLExecute(ctx, f.Ref, query, nil, ""); err != nil {
 			return nil, err
 		}
 		row.RelayBytes = relay.BytesReceived()
 
 		// Hand-off: consumer 1 only moves factory responses (EPRs).
 		c1 := client.New(nil)
-		respRef, err := c1.SQLExecuteFactory(f.Ref, query, nil, nil)
+		respRef, err := c1.SQLExecuteFactory(ctx, f.Ref, query, nil, nil)
 		if err != nil {
 			return nil, err
 		}
-		rowsetRef, err := c1.SQLRowsetFactory(respRef, "", 0, nil)
+		rowsetRef, err := c1.SQLRowsetFactory(ctx, respRef, "", 0, nil)
 		if err != nil {
 			return nil, err
 		}
 		row.EPRBytes = c1.BytesReceived()
 
 		reader := client.New(nil)
-		if _, err := reader.GetTuplesSet(rowsetRef, 1, n+1); err != nil {
+		if _, err := reader.GetTuplesSet(ctx, rowsetRef, 1, n+1); err != nil {
 			return nil, err
 		}
 		row.ReaderBytes = reader.BytesReceived()
-		c1.DestroyDataResource(rowsetRef) //nolint:errcheck
-		c1.DestroyDataResource(respRef)   //nolint:errcheck
+		c1.DestroyDataResource(ctx, rowsetRef) //nolint:errcheck
+		c1.DestroyDataResource(ctx, respRef)   //nolint:errcheck
 		out = append(out, row)
 	}
 	return out, nil
@@ -163,6 +166,7 @@ type E3Row struct {
 // CIMDescription) and compares whole-document retrieval against WSRF
 // fine-grained access.
 func RunE3(tableCounts []int) ([]E3Row, error) {
+	ctx := context.Background()
 	var out []E3Row
 	for _, tables := range tableCounts {
 		f, err := NewSQLFixture(FixtureOption{Rows: 10, Concurrent: true, WSRF: true, ExtraTables: tables})
@@ -173,7 +177,7 @@ func RunE3(tableCounts []int) ([]E3Row, error) {
 
 		c := client.New(nil)
 		start := time.Now()
-		if _, err := c.GetPropertyDocument(f.Ref); err != nil {
+		if _, err := c.GetPropertyDocument(ctx, f.Ref); err != nil {
 			f.Close()
 			return nil, err
 		}
@@ -182,7 +186,7 @@ func RunE3(tableCounts []int) ([]E3Row, error) {
 
 		c2 := client.New(nil)
 		start = time.Now()
-		props, err := c2.GetResourceProperty(f.Ref, "Readable")
+		props, err := c2.GetResourceProperty(ctx, f.Ref, "Readable")
 		if err != nil {
 			f.Close()
 			return nil, err
@@ -210,17 +214,18 @@ type E4Row struct {
 
 // RunE4 pages a fixed rowset with different page sizes.
 func RunE4(totalRows int, pageSizes []int) ([]E4Row, error) {
+	ctx := context.Background()
 	f, err := NewSQLFixture(FixtureOption{Rows: totalRows, Concurrent: true, WSRF: true})
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
 	c := client.New(nil)
-	respRef, err := c.SQLExecuteFactory(f.Ref, `SELECT id, payload, num FROM data ORDER BY id`, nil, nil)
+	respRef, err := c.SQLExecuteFactory(ctx, f.Ref, `SELECT id, payload, num FROM data ORDER BY id`, nil, nil)
 	if err != nil {
 		return nil, err
 	}
-	rowsetRef, err := c.SQLRowsetFactory(respRef, "", 0, nil)
+	rowsetRef, err := c.SQLRowsetFactory(ctx, respRef, "", 0, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -231,7 +236,7 @@ func RunE4(totalRows int, pageSizes []int) ([]E4Row, error) {
 		start := time.Now()
 		calls, got := 0, 0
 		for pos := 1; ; pos += page {
-			set, err := pc.GetTuplesSet(rowsetRef, pos, page)
+			set, err := pc.GetTuplesSet(ctx, rowsetRef, pos, page)
 			if err != nil {
 				return nil, err
 			}
@@ -267,6 +272,7 @@ type E5Row struct {
 // RunE5 measures the wrapper strategies in-process (the wrapper cost
 // must not be drowned in HTTP noise).
 func RunE5(iters int) ([]E5Row, error) {
+	ctx := context.Background()
 	eng := sqlengine.New("bench")
 	eng.MustExec(`CREATE TABLE data (id INTEGER PRIMARY KEY, payload VARCHAR(64))`)
 	for i := 0; i < 100; i++ {
@@ -285,7 +291,7 @@ func RunE5(iters int) ([]E5Row, error) {
 		measure := func(r *dair.SQLDataResource) (time.Duration, error) {
 			start := time.Now()
 			for i := 0; i < iters; i++ {
-				if _, err := r.SQLExecute(stmt, nil); err != nil {
+				if _, err := r.SQLExecute(ctx, stmt, nil); err != nil {
 					return 0, err
 				}
 			}
@@ -340,6 +346,7 @@ func (w SlowWrapper) Prepare(s string) (string, error) {
 // I/O-bound) resource; the probe hits a fast resource on the same
 // service, so the only coupling between them is the service gate.
 func RunE6(scannerCounts []int, probes int) ([]E6Row, error) {
+	ctx := context.Background()
 	run := func(concurrent bool, scanners int) (time.Duration, error) {
 		eng := sqlengine.New("e6")
 		eng.MustExec(`CREATE TABLE data (id INTEGER PRIMARY KEY, num DOUBLE)`)
@@ -371,7 +378,7 @@ func RunE6(scannerCounts []int, probes int) ([]E6Row, error) {
 						return
 					default:
 					}
-					c.SQLExecute(slowRef, `SELECT COUNT(*) FROM data`, nil, "") //nolint:errcheck
+					c.SQLExecute(ctx, slowRef, `SELECT COUNT(*) FROM data`, nil, "") //nolint:errcheck
 				}
 			}()
 		}
@@ -381,7 +388,7 @@ func RunE6(scannerCounts []int, probes int) ([]E6Row, error) {
 		var total time.Duration
 		for i := 0; i < probes; i++ {
 			start := time.Now()
-			if _, err := c.SQLExecute(fastRef, `SELECT COUNT(*) FROM data WHERE id = 1`, nil, ""); err != nil {
+			if _, err := c.SQLExecute(ctx, fastRef, `SELECT COUNT(*) FROM data WHERE id = 1`, nil, ""); err != nil {
 				close(stop)
 				wg.Wait()
 				return 0, err
@@ -425,6 +432,7 @@ type E7Row struct {
 // RunE7 decomposes the wrapper cost by executing the same statement
 // in-process and over the wire.
 func RunE7(sizes []int, iters int) ([]E7Row, error) {
+	ctx := context.Background()
 	maxRows := 0
 	for _, s := range sizes {
 		if s > maxRows {
@@ -452,7 +460,7 @@ func RunE7(sizes []int, iters int) ([]E7Row, error) {
 
 		start = time.Now()
 		for i := 0; i < iters; i++ {
-			if _, err := c.SQLExecute(f.Ref, query, nil, ""); err != nil {
+			if _, err := c.SQLExecute(ctx, f.Ref, query, nil, ""); err != nil {
 				return nil, err
 			}
 		}
@@ -480,6 +488,7 @@ type E8Row struct {
 // RunE8 creates K derived resources and compares explicit destruction
 // with scheduled termination + reaper sweep.
 func RunE8(counts []int) ([]E8Row, error) {
+	ctx := context.Background()
 	var out []E8Row
 	for _, k := range counts {
 		f, err := NewSQLFixture(FixtureOption{Rows: 10, Concurrent: true, WSRF: true})
@@ -492,7 +501,7 @@ func RunE8(counts []int) ([]E8Row, error) {
 		// Explicit destroy path.
 		refs := make([]client.ResourceRef, 0, k)
 		for i := 0; i < k; i++ {
-			r, err := c.SQLExecuteFactory(f.Ref, `SELECT id FROM data`, nil, nil)
+			r, err := c.SQLExecuteFactory(ctx, f.Ref, `SELECT id FROM data`, nil, nil)
 			if err != nil {
 				f.Close()
 				return nil, err
@@ -501,7 +510,7 @@ func RunE8(counts []int) ([]E8Row, error) {
 		}
 		start := time.Now()
 		for _, r := range refs {
-			if err := c.DestroyDataResource(r); err != nil {
+			if err := c.DestroyDataResource(ctx, r); err != nil {
 				f.Close()
 				return nil, err
 			}
@@ -511,12 +520,12 @@ func RunE8(counts []int) ([]E8Row, error) {
 		// Soft-state path: schedule termination in the past, then sweep.
 		past := time.Now().Add(-time.Millisecond)
 		for i := 0; i < k; i++ {
-			r, err := c.SQLExecuteFactory(f.Ref, `SELECT id FROM data`, nil, nil)
+			r, err := c.SQLExecuteFactory(ctx, f.Ref, `SELECT id FROM data`, nil, nil)
 			if err != nil {
 				f.Close()
 				return nil, err
 			}
-			if _, err := c.SetTerminationTime(r, &past); err != nil {
+			if _, err := c.SetTerminationTime(ctx, r, &past); err != nil {
 				f.Close()
 				return nil, err
 			}
@@ -600,6 +609,7 @@ type E10Row struct {
 // RunE10 exercises the TransactionInitiation modes and shows the
 // isolation difference between READ UNCOMMITTED and READ COMMITTED.
 func RunE10(iters int) ([]E10Row, error) {
+	ctx := context.Background()
 	var out []E10Row
 	for _, mode := range []core.TransactionInitiation{
 		core.TransactionNotSupported,
@@ -616,7 +626,7 @@ func RunE10(iters int) ([]E10Row, error) {
 		}))
 		start := time.Now()
 		for i := 0; i < iters; i++ {
-			if _, err := res.SQLExecute(`UPDATE acct SET bal = bal + 1`, nil); err != nil {
+			if _, err := res.SQLExecute(ctx, `UPDATE acct SET bal = bal + 1`, nil); err != nil {
 				return nil, err
 			}
 		}
@@ -673,8 +683,8 @@ func RunE10(iters int) ([]E10Row, error) {
 	eng := sqlengine.New("atomic")
 	eng.MustExec(`CREATE TABLE u (id INTEGER PRIMARY KEY)`)
 	res := dair.NewSQLDataResource(eng)
-	res.SQLExecute(`INSERT INTO u VALUES (1)`, nil)           //nolint:errcheck
-	res.SQLExecute(`INSERT INTO u VALUES (2), (1), (3)`, nil) //nolint:errcheck
+	res.SQLExecute(ctx, `INSERT INTO u VALUES (1)`, nil)           //nolint:errcheck
+	res.SQLExecute(ctx, `INSERT INTO u VALUES (2), (1), (3)`, nil) //nolint:errcheck
 	n, _ := eng.Database().TableRowCount("u")
 	out = append(out, E10Row{Mode: "per-message atomicity", LostAfterErr: n - 1})
 	return out, nil
@@ -695,6 +705,7 @@ type E11Row struct {
 // RunE11 compares relaying file contents through the coordinator with
 // the select-and-stage hand-off.
 func RunE11(fileCounts []int, fileSize int) ([]E11Row, error) {
+	ctx := context.Background()
 	var out []E11Row
 	for _, k := range fileCounts {
 		store := filestore.NewStore("bench")
@@ -720,13 +731,13 @@ func RunE11(fileCounts []int, fileSize int) ([]E11Row, error) {
 
 		// Relay: the coordinator pulls every file itself.
 		relay := client.New(nil)
-		infos, err := relay.ListFiles(ref, "runs/*")
+		infos, err := relay.ListFiles(ctx, ref, "runs/*")
 		if err != nil {
 			f.Close()
 			return nil, err
 		}
 		for _, fi := range infos {
-			if _, err := relay.ReadFile(ref, fi.Name, 0, -1); err != nil {
+			if _, err := relay.ReadFile(ctx, ref, fi.Name, 0, -1); err != nil {
 				f.Close()
 				return nil, err
 			}
@@ -736,7 +747,7 @@ func RunE11(fileCounts []int, fileSize int) ([]E11Row, error) {
 		// Stage: one factory call; only the EPR moves.
 		coord := client.New(nil)
 		start := time.Now()
-		stagedRef, err := coord.FileSelectFactory(ref, "runs/*", nil)
+		stagedRef, err := coord.FileSelectFactory(ctx, ref, "runs/*", nil)
 		if err != nil {
 			f.Close()
 			return nil, err
@@ -746,19 +757,19 @@ func RunE11(fileCounts []int, fileSize int) ([]E11Row, error) {
 
 		// The analysis consumer pulls the staged snapshot.
 		reader := client.New(nil)
-		staged, err := reader.ListFiles(stagedRef, "")
+		staged, err := reader.ListFiles(ctx, stagedRef, "")
 		if err != nil {
 			f.Close()
 			return nil, err
 		}
 		for _, fi := range staged {
-			if _, err := reader.ReadFile(stagedRef, fi.Name, 0, -1); err != nil {
+			if _, err := reader.ReadFile(ctx, stagedRef, fi.Name, 0, -1); err != nil {
 				f.Close()
 				return nil, err
 			}
 		}
 		row.ReaderBytes = reader.BytesReceived()
-		coord.DestroyDataResource(stagedRef) //nolint:errcheck
+		coord.DestroyDataResource(ctx, stagedRef) //nolint:errcheck
 		f.Close()
 		out = append(out, row)
 	}

@@ -6,6 +6,7 @@
 package client
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"time"
@@ -62,8 +63,12 @@ type Client struct {
 }
 
 // New builds a client over the given HTTP client (nil for the default).
-func New(hc *http.Client) *Client {
-	return &Client{soap: soap.NewClient(hc)}
+// Every call runs through the request-ID interceptor — so each request
+// carries a correlatable ID in its SOAP header — followed by any extra
+// interceptors supplied here (outermost first).
+func New(hc *http.Client, interceptors ...soap.Interceptor) *Client {
+	ics := append([]soap.Interceptor{soap.ClientRequestID()}, interceptors...)
+	return &Client{soap: soap.NewClient(hc, ics...)}
 }
 
 // BytesSent and BytesReceived expose wire counters for the evaluation
@@ -76,7 +81,7 @@ func (c *Client) ResetCounters() { c.soap.ResetCounters() }
 
 // call performs one SOAP request/response round trip with WS-Addressing
 // headers, returning the response body element.
-func (c *Client) call(address, action string, body *xmlutil.Element) (*xmlutil.Element, error) {
+func (c *Client) call(ctx context.Context, address, action string, body *xmlutil.Element) (*xmlutil.Element, error) {
 	env := soap.NewEnvelope(body)
 	h := &wsaddr.MessageHeaders{
 		To:        address,
@@ -85,7 +90,7 @@ func (c *Client) call(address, action string, body *xmlutil.Element) (*xmlutil.E
 		ReplyTo:   wsaddr.NewEPR(wsaddr.AnonymousURI),
 	}
 	h.Attach(env)
-	resp, err := c.soap.Call(address, action, env)
+	resp, err := c.soap.Call(ctx, address, action, env)
 	if err != nil {
 		return nil, service.DecodeFault(err)
 	}
@@ -96,9 +101,9 @@ func (c *Client) call(address, action string, body *xmlutil.Element) (*xmlutil.E
 
 // GetPropertyDocument fetches the whole WS-DAI property document
 // (paper §4.3; the only granularity available without WSRF).
-func (c *Client) GetPropertyDocument(ref ResourceRef) (*xmlutil.Element, error) {
+func (c *Client) GetPropertyDocument(ctx context.Context, ref ResourceRef) (*xmlutil.Element, error) {
 	req := service.NewRequest(core.NSDAI, "GetDataResourcePropertyDocumentRequest", ref.AbstractName)
-	resp, err := c.call(ref.Address, service.ActGetPropertyDocument, req)
+	resp, err := c.call(ctx, ref.Address, service.ActGetPropertyDocument, req)
 	if err != nil {
 		return nil, err
 	}
@@ -110,11 +115,11 @@ func (c *Client) GetPropertyDocument(ref ResourceRef) (*xmlutil.Element, error) 
 }
 
 // GenericQuery runs a query in an advertised language.
-func (c *Client) GenericQuery(ref ResourceRef, languageURI, expression string) (*xmlutil.Element, error) {
+func (c *Client) GenericQuery(ctx context.Context, ref ResourceRef, languageURI, expression string) (*xmlutil.Element, error) {
 	req := service.NewRequest(core.NSDAI, "GenericQueryRequest", ref.AbstractName)
 	req.AddText(core.NSDAI, "GenericQueryLanguage", languageURI)
 	req.AddText(core.NSDAI, "Expression", expression)
-	resp, err := c.call(ref.Address, service.ActGenericQuery, req)
+	resp, err := c.call(ctx, ref.Address, service.ActGenericQuery, req)
 	if err != nil {
 		return nil, err
 	}
@@ -126,16 +131,16 @@ func (c *Client) GenericQuery(ref ResourceRef, languageURI, expression string) (
 }
 
 // DestroyDataResource removes the service / resource relationship.
-func (c *Client) DestroyDataResource(ref ResourceRef) error {
+func (c *Client) DestroyDataResource(ctx context.Context, ref ResourceRef) error {
 	req := service.NewRequest(core.NSDAI, "DestroyDataResourceRequest", ref.AbstractName)
-	_, err := c.call(ref.Address, service.ActDestroyDataResource, req)
+	_, err := c.call(ctx, ref.Address, service.ActDestroyDataResource, req)
 	return err
 }
 
 // GetResourceList lists the abstract names a service knows.
-func (c *Client) GetResourceList(address string) ([]string, error) {
+func (c *Client) GetResourceList(ctx context.Context, address string) ([]string, error) {
 	req := xmlutil.NewElement(core.NSDAI, "GetResourceListRequest")
-	resp, err := c.call(address, service.ActGetResourceList, req)
+	resp, err := c.call(ctx, address, service.ActGetResourceList, req)
 	if err != nil {
 		return nil, err
 	}
@@ -147,9 +152,9 @@ func (c *Client) GetResourceList(address string) ([]string, error) {
 }
 
 // Resolve maps an abstract name to a full resource reference.
-func (c *Client) Resolve(address, abstractName string) (ResourceRef, error) {
+func (c *Client) Resolve(ctx context.Context, address, abstractName string) (ResourceRef, error) {
 	req := service.NewRequest(core.NSDAI, "ResolveRequest", abstractName)
-	resp, err := c.call(address, service.ActResolve, req)
+	resp, err := c.call(ctx, address, service.ActResolve, req)
 	if err != nil {
 		return ResourceRef{}, err
 	}
@@ -174,13 +179,13 @@ type SQLResult struct {
 
 // SQLExecute performs direct data access (paper Fig. 2): the data comes
 // back in the response. formatURI "" selects the SQLRowset default.
-func (c *Client) SQLExecute(ref ResourceRef, expression string, params []sqlengine.Value, formatURI string) (*SQLResult, error) {
+func (c *Client) SQLExecute(ctx context.Context, ref ResourceRef, expression string, params []sqlengine.Value, formatURI string) (*SQLResult, error) {
 	req := service.NewRequest(service.NSDAIR, "SQLExecuteRequest", ref.AbstractName)
 	if formatURI != "" {
 		req.AddText(core.NSDAI, "DatasetFormatURI", formatURI)
 	}
 	service.AddSQLExpression(req, expression, params)
-	resp, err := c.call(ref.Address, service.ActSQLExecute, req)
+	resp, err := c.call(ctx, ref.Address, service.ActSQLExecute, req)
 	if err != nil {
 		return nil, err
 	}
@@ -211,14 +216,14 @@ func (c *Client) SQLExecute(ref ResourceRef, expression string, params []sqlengi
 
 // SQLExecuteFactory performs indirect access (paper Fig. 3): the
 // response is an EPR to a derived SQLResponse resource.
-func (c *Client) SQLExecuteFactory(ref ResourceRef, expression string, params []sqlengine.Value, cfg *core.Configuration) (ResourceRef, error) {
+func (c *Client) SQLExecuteFactory(ctx context.Context, ref ResourceRef, expression string, params []sqlengine.Value, cfg *core.Configuration) (ResourceRef, error) {
 	req := service.NewRequest(service.NSDAIR, "SQLExecuteFactoryRequest", ref.AbstractName)
 	req.AddText(core.NSDAI, "PortTypeQName", "dair:SQLResponseAccess")
 	if cfg != nil {
 		req.AppendChild(cfg.Element())
 	}
 	service.AddSQLExpression(req, expression, params)
-	resp, err := c.call(ref.Address, service.ActSQLExecuteFactory, req)
+	resp, err := c.call(ctx, ref.Address, service.ActSQLExecuteFactory, req)
 	if err != nil {
 		return ResourceRef{}, err
 	}
@@ -226,10 +231,10 @@ func (c *Client) SQLExecuteFactory(ref ResourceRef, expression string, params []
 }
 
 // GetSQLRowset fetches the index-th rowset of a response resource.
-func (c *Client) GetSQLRowset(ref ResourceRef, index int) (*sqlengine.ResultSet, error) {
+func (c *Client) GetSQLRowset(ctx context.Context, ref ResourceRef, index int) (*sqlengine.ResultSet, error) {
 	req := service.NewRequest(service.NSDAIR, "GetSQLRowsetRequest", ref.AbstractName)
 	req.AddText(service.NSDAIR, "Index", fmt.Sprintf("%d", index))
-	resp, err := c.call(ref.Address, service.ActGetSQLRowset, req)
+	resp, err := c.call(ctx, ref.Address, service.ActGetSQLRowset, req)
 	if err != nil {
 		return nil, err
 	}
@@ -241,10 +246,10 @@ func (c *Client) GetSQLRowset(ref ResourceRef, index int) (*sqlengine.ResultSet,
 }
 
 // GetSQLUpdateCount fetches the index-th update count.
-func (c *Client) GetSQLUpdateCount(ref ResourceRef, index int) (int, error) {
+func (c *Client) GetSQLUpdateCount(ctx context.Context, ref ResourceRef, index int) (int, error) {
 	req := service.NewRequest(service.NSDAIR, "GetSQLUpdateCountRequest", ref.AbstractName)
 	req.AddText(service.NSDAIR, "Index", fmt.Sprintf("%d", index))
-	resp, err := c.call(ref.Address, service.ActGetSQLUpdateCount, req)
+	resp, err := c.call(ctx, ref.Address, service.ActGetSQLUpdateCount, req)
 	if err != nil {
 		return 0, err
 	}
@@ -254,9 +259,9 @@ func (c *Client) GetSQLUpdateCount(ref ResourceRef, index int) (int, error) {
 }
 
 // GetSQLCommunicationArea fetches the response's communication area.
-func (c *Client) GetSQLCommunicationArea(ref ResourceRef) (sqlengine.SQLCA, error) {
+func (c *Client) GetSQLCommunicationArea(ctx context.Context, ref ResourceRef) (sqlengine.SQLCA, error) {
 	req := service.NewRequest(service.NSDAIR, "GetSQLCommunicationAreaRequest", ref.AbstractName)
-	resp, err := c.call(ref.Address, service.ActGetSQLCommArea, req)
+	resp, err := c.call(ctx, ref.Address, service.ActGetSQLCommArea, req)
 	if err != nil {
 		return sqlengine.SQLCA{}, err
 	}
@@ -275,7 +280,7 @@ func (c *Client) GetSQLCommunicationArea(ref ResourceRef) (sqlengine.SQLCA, erro
 
 // SQLRowsetFactory derives a rowset resource from a response resource
 // (the second hop of Fig. 5). count 0 copies every row.
-func (c *Client) SQLRowsetFactory(ref ResourceRef, formatURI string, count int, cfg *core.Configuration) (ResourceRef, error) {
+func (c *Client) SQLRowsetFactory(ctx context.Context, ref ResourceRef, formatURI string, count int, cfg *core.Configuration) (ResourceRef, error) {
 	req := service.NewRequest(service.NSDAIR, "SQLRowsetFactoryRequest", ref.AbstractName)
 	req.AddText(core.NSDAI, "PortTypeQName", "dair:SQLRowsetAccess")
 	if formatURI != "" {
@@ -287,7 +292,7 @@ func (c *Client) SQLRowsetFactory(ref ResourceRef, formatURI string, count int, 
 	if cfg != nil {
 		req.AppendChild(cfg.Element())
 	}
-	resp, err := c.call(ref.Address, service.ActSQLRowsetFactory, req)
+	resp, err := c.call(ctx, ref.Address, service.ActSQLRowsetFactory, req)
 	if err != nil {
 		return ResourceRef{}, err
 	}
@@ -296,11 +301,11 @@ func (c *Client) SQLRowsetFactory(ref ResourceRef, formatURI string, count int, 
 
 // GetTuples pages through a rowset resource (the third hop of Fig. 5),
 // returning the raw dataset bytes and their format URI.
-func (c *Client) GetTuples(ref ResourceRef, startPosition, count int) ([]byte, string, error) {
+func (c *Client) GetTuples(ctx context.Context, ref ResourceRef, startPosition, count int) ([]byte, string, error) {
 	req := service.NewRequest(service.NSDAIR, "GetTuplesRequest", ref.AbstractName)
 	req.AddText(service.NSDAIR, "StartPosition", fmt.Sprintf("%d", startPosition))
 	req.AddText(service.NSDAIR, "Count", fmt.Sprintf("%d", count))
-	resp, err := c.call(ref.Address, service.ActGetTuples, req)
+	resp, err := c.call(ctx, ref.Address, service.ActGetTuples, req)
 	if err != nil {
 		return nil, "", err
 	}
@@ -309,8 +314,8 @@ func (c *Client) GetTuples(ref ResourceRef, startPosition, count int) ([]byte, s
 }
 
 // GetTuplesSet is GetTuples decoded into a result set.
-func (c *Client) GetTuplesSet(ref ResourceRef, startPosition, count int) (*sqlengine.ResultSet, error) {
-	data, format, err := c.GetTuples(ref, startPosition, count)
+func (c *Client) GetTuplesSet(ctx context.Context, ref ResourceRef, startPosition, count int) (*sqlengine.ResultSet, error) {
+	data, format, err := c.GetTuples(ctx, ref, startPosition, count)
 	if err != nil {
 		return nil, err
 	}
@@ -336,10 +341,10 @@ func refFromResponse(resp *xmlutil.Element) (ResourceRef, error) {
 
 // GetResourceProperty fetches one property by QName (prefix dair:/daix:
 // selects the realisation namespace; wsrl: the lifetime namespace).
-func (c *Client) GetResourceProperty(ref ResourceRef, qname string) ([]*xmlutil.Element, error) {
+func (c *Client) GetResourceProperty(ctx context.Context, ref ResourceRef, qname string) ([]*xmlutil.Element, error) {
 	req := service.NewRequest(wsrf.NSRP, "GetResourceProperty", ref.AbstractName)
 	req.AddText(wsrf.NSRP, "ResourceProperty", qname)
-	resp, err := c.call(ref.Address, service.ActGetResourceProperty, req)
+	resp, err := c.call(ctx, ref.Address, service.ActGetResourceProperty, req)
 	if err != nil {
 		return nil, err
 	}
@@ -348,10 +353,10 @@ func (c *Client) GetResourceProperty(ref ResourceRef, qname string) ([]*xmlutil.
 
 // QueryResourceProperties evaluates an XPath over the property
 // document.
-func (c *Client) QueryResourceProperties(ref ResourceRef, expr string) ([]*xmlutil.Element, error) {
+func (c *Client) QueryResourceProperties(ctx context.Context, ref ResourceRef, expr string) ([]*xmlutil.Element, error) {
 	req := service.NewRequest(wsrf.NSRP, "QueryResourceProperties", ref.AbstractName)
 	req.AddText(wsrf.NSRP, "QueryExpression", expr)
-	resp, err := c.call(ref.Address, service.ActQueryResourceProperties, req)
+	resp, err := c.call(ctx, ref.Address, service.ActQueryResourceProperties, req)
 	if err != nil {
 		return nil, err
 	}
@@ -362,19 +367,19 @@ func (c *Client) QueryResourceProperties(ref ResourceRef, expr string) ([]*xmlut
 // the WSRF interface. Keys are property local names in the WS-DAI
 // namespace (Readable, Writeable, DataResourceDescription,
 // Sensitivity, TransactionIsolation, TransactionInitiation).
-func (c *Client) SetResourceProperties(ref ResourceRef, props map[string]string) error {
+func (c *Client) SetResourceProperties(ctx context.Context, ref ResourceRef, props map[string]string) error {
 	req := service.NewRequest(wsrf.NSRP, "SetResourceProperties", ref.AbstractName)
 	update := req.Add(wsrf.NSRP, "Update")
 	for k, v := range props {
 		update.AddText(core.NSDAI, k, v)
 	}
-	_, err := c.call(ref.Address, service.ActSetResourceProperties, req)
+	_, err := c.call(ctx, ref.Address, service.ActSetResourceProperties, req)
 	return err
 }
 
 // SetTerminationTime schedules (or clears, with nil) a resource's
 // soft-state termination.
-func (c *Client) SetTerminationTime(ref ResourceRef, t *time.Time) (*time.Time, error) {
+func (c *Client) SetTerminationTime(ctx context.Context, ref ResourceRef, t *time.Time) (*time.Time, error) {
 	req := service.NewRequest(wsrf.NSRL, "SetTerminationTime", ref.AbstractName)
 	rtt := req.Add(wsrf.NSRL, "RequestedTerminationTime")
 	if t == nil {
@@ -382,7 +387,7 @@ func (c *Client) SetTerminationTime(ref ResourceRef, t *time.Time) (*time.Time, 
 	} else {
 		rtt.SetText(t.UTC().Format(time.RFC3339Nano))
 	}
-	resp, err := c.call(ref.Address, service.ActSetTerminationTime, req)
+	resp, err := c.call(ctx, ref.Address, service.ActSetTerminationTime, req)
 	if err != nil {
 		return nil, err
 	}
@@ -398,8 +403,8 @@ func (c *Client) SetTerminationTime(ref ResourceRef, t *time.Time) (*time.Time, 
 }
 
 // WSRFDestroy destroys the resource through the lifetime interface.
-func (c *Client) WSRFDestroy(ref ResourceRef) error {
+func (c *Client) WSRFDestroy(ctx context.Context, ref ResourceRef) error {
 	req := service.NewRequest(wsrf.NSRL, "Destroy", ref.AbstractName)
-	_, err := c.call(ref.Address, service.ActWSRFDestroy, req)
+	_, err := c.call(ctx, ref.Address, service.ActWSRFDestroy, req)
 	return err
 }

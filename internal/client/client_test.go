@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -62,7 +63,7 @@ func TestFromEPRErrors(t *testing.T) {
 func TestCallAttachesAddressingHeaders(t *testing.T) {
 	var got *soap.Envelope
 	srv := soap.NewServer()
-	srv.HandleFallback(func(_ string, env *soap.Envelope) (*soap.Envelope, error) {
+	srv.HandleFallback(func(_ context.Context, _ string, env *soap.Envelope) (*soap.Envelope, error) {
 		got = env
 		return soap.NewEnvelope(xmlutil.NewElement("urn:t", "R")), nil
 	})
@@ -71,7 +72,7 @@ func TestCallAttachesAddressingHeaders(t *testing.T) {
 
 	c := New(nil)
 	req := service.NewRequest(core.NSDAI, "GetResourceListRequest", "urn:x")
-	if _, err := c.call(ts.URL, "urn:test/action", req); err != nil {
+	if _, err := c.call(context.Background(), ts.URL, "urn:test/action", req); err != nil {
 		t.Fatal(err)
 	}
 	h := wsaddr.FromEnvelope(got)
@@ -116,7 +117,7 @@ func TestDecodeSequenceVariants(t *testing.T) {
 
 func TestCallDecodesTypedFaults(t *testing.T) {
 	srv := soap.NewServer()
-	srv.HandleFallback(func(string, *soap.Envelope) (*soap.Envelope, error) {
+	srv.HandleFallback(func(context.Context, string, *soap.Envelope) (*soap.Envelope, error) {
 		detail := xmlutil.NewElement(core.NSDAI, "NotAuthorizedFault")
 		detail.AddText(core.NSDAI, "Message", "denied")
 		detail.AddText(core.NSDAI, "Value", "resource is read only")
@@ -128,7 +129,7 @@ func TestCallDecodesTypedFaults(t *testing.T) {
 	defer ts.Close()
 
 	c := New(nil)
-	_, err := c.call(ts.URL, "urn:a", xmlutil.NewElement("urn:t", "X"))
+	_, err := c.call(context.Background(), ts.URL, "urn:a", xmlutil.NewElement("urn:t", "X"))
 	naf, ok := err.(*core.NotAuthorizedFault)
 	if !ok {
 		t.Fatalf("err = %T %v", err, err)
@@ -140,7 +141,7 @@ func TestCallDecodesTypedFaults(t *testing.T) {
 
 func TestTransportErrorsSurface(t *testing.T) {
 	c := New(&http.Client{})
-	_, err := c.call("http://127.0.0.1:1/nothing", "urn:a", xmlutil.NewElement("urn:t", "X"))
+	_, err := c.call(context.Background(), "http://127.0.0.1:1/nothing", "urn:a", xmlutil.NewElement("urn:t", "X"))
 	if err == nil || !strings.Contains(err.Error(), "transport") {
 		t.Fatalf("err = %v", err)
 	}
@@ -148,13 +149,13 @@ func TestTransportErrorsSurface(t *testing.T) {
 
 func TestByteCounters(t *testing.T) {
 	srv := soap.NewServer()
-	srv.HandleFallback(func(string, *soap.Envelope) (*soap.Envelope, error) {
+	srv.HandleFallback(func(context.Context, string, *soap.Envelope) (*soap.Envelope, error) {
 		return soap.NewEnvelope(xmlutil.NewElement("urn:t", "R")), nil
 	})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	c := New(nil)
-	if _, err := c.call(ts.URL, "urn:a", xmlutil.NewElement("urn:t", "Q")); err != nil {
+	if _, err := c.call(context.Background(), ts.URL, "urn:a", xmlutil.NewElement("urn:t", "Q")); err != nil {
 		t.Fatal(err)
 	}
 	if c.BytesSent() == 0 || c.BytesReceived() == 0 {

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"fmt"
 
 	"dais/internal/core"
@@ -15,9 +16,9 @@ import (
 // document getters and the per-item response accessors.
 
 // propertyDocOp fetches a realisation-specific property document.
-func (c *Client) propertyDocOp(ref ResourceRef, action, reqName string) (*xmlutil.Element, error) {
+func (c *Client) propertyDocOp(ctx context.Context, ref ResourceRef, action, reqName string) (*xmlutil.Element, error) {
 	req := service.NewRequest(service.NSDAIR, reqName, ref.AbstractName)
-	resp, err := c.call(ref.Address, action, req)
+	resp, err := c.call(ctx, ref.Address, action, req)
 	if err != nil {
 		return nil, err
 	}
@@ -29,20 +30,20 @@ func (c *Client) propertyDocOp(ref ResourceRef, action, reqName string) (*xmluti
 }
 
 // GetSQLPropertyDocument implements SQLAccess.GetSQLPropertyDocument.
-func (c *Client) GetSQLPropertyDocument(ref ResourceRef) (*xmlutil.Element, error) {
-	return c.propertyDocOp(ref, service.ActGetSQLPropertyDoc, "GetSQLPropertyDocumentRequest")
+func (c *Client) GetSQLPropertyDocument(ctx context.Context, ref ResourceRef) (*xmlutil.Element, error) {
+	return c.propertyDocOp(ctx, ref, service.ActGetSQLPropertyDoc, "GetSQLPropertyDocumentRequest")
 }
 
 // GetSQLResponsePropertyDocument implements
 // ResponseAccess.GetSQLResponsePropertyDocument.
-func (c *Client) GetSQLResponsePropertyDocument(ref ResourceRef) (*xmlutil.Element, error) {
-	return c.propertyDocOp(ref, service.ActGetSQLResponsePropDoc, "GetSQLResponsePropertyDocumentRequest")
+func (c *Client) GetSQLResponsePropertyDocument(ctx context.Context, ref ResourceRef) (*xmlutil.Element, error) {
+	return c.propertyDocOp(ctx, ref, service.ActGetSQLResponsePropDoc, "GetSQLResponsePropertyDocumentRequest")
 }
 
 // GetRowsetPropertyDocument implements
 // RowsetAccess.GetRowsetPropertyDocument.
-func (c *Client) GetRowsetPropertyDocument(ref ResourceRef) (*xmlutil.Element, error) {
-	return c.propertyDocOp(ref, service.ActGetRowsetPropDoc, "GetRowsetPropertyDocumentRequest")
+func (c *Client) GetRowsetPropertyDocument(ctx context.Context, ref ResourceRef) (*xmlutil.Element, error) {
+	return c.propertyDocOp(ctx, ref, service.ActGetRowsetPropDoc, "GetRowsetPropertyDocumentRequest")
 }
 
 // ResponseItem is a decoded GetSQLResponseItem result: exactly one of
@@ -55,10 +56,10 @@ type ResponseItem struct {
 }
 
 // GetSQLResponseItem implements ResponseAccess.GetSQLResponseItem.
-func (c *Client) GetSQLResponseItem(ref ResourceRef, index int) (ResponseItem, error) {
+func (c *Client) GetSQLResponseItem(ctx context.Context, ref ResourceRef, index int) (ResponseItem, error) {
 	req := service.NewRequest(service.NSDAIR, "GetSQLResponseItemRequest", ref.AbstractName)
 	req.AddText(service.NSDAIR, "Index", fmt.Sprintf("%d", index))
-	resp, err := c.call(ref.Address, service.ActGetSQLResponseItem, req)
+	resp, err := c.call(ctx, ref.Address, service.ActGetSQLResponseItem, req)
 	if err != nil {
 		return ResponseItem{}, err
 	}
@@ -83,9 +84,9 @@ func (c *Client) GetSQLResponseItem(ref ResourceRef, index int) (ResponseItem, e
 }
 
 // GetSQLReturnValue implements ResponseAccess.GetSQLReturnValue.
-func (c *Client) GetSQLReturnValue(ref ResourceRef) (string, error) {
+func (c *Client) GetSQLReturnValue(ctx context.Context, ref ResourceRef) (string, error) {
 	req := service.NewRequest(service.NSDAIR, "GetSQLReturnValueRequest", ref.AbstractName)
-	resp, err := c.call(ref.Address, service.ActGetSQLReturnValue, req)
+	resp, err := c.call(ctx, ref.Address, service.ActGetSQLReturnValue, req)
 	if err != nil {
 		return "", err
 	}
@@ -93,10 +94,10 @@ func (c *Client) GetSQLReturnValue(ref ResourceRef) (string, error) {
 }
 
 // GetSQLOutputParameter implements ResponseAccess.GetSQLOutputParameter.
-func (c *Client) GetSQLOutputParameter(ref ResourceRef, name string) (string, error) {
+func (c *Client) GetSQLOutputParameter(ctx context.Context, ref ResourceRef, name string) (string, error) {
 	req := service.NewRequest(service.NSDAIR, "GetSQLOutputParameterRequest", ref.AbstractName)
 	req.AddText(service.NSDAIR, "ParameterName", name)
-	resp, err := c.call(ref.Address, service.ActGetSQLOutputParameter, req)
+	resp, err := c.call(ctx, ref.Address, service.ActGetSQLOutputParameter, req)
 	if err != nil {
 		return "", err
 	}
@@ -105,12 +106,12 @@ func (c *Client) GetSQLOutputParameter(ref ResourceRef, name string) (string, er
 
 // GetMultipleResourceProperties fetches several properties by QName in
 // one WSRF round trip.
-func (c *Client) GetMultipleResourceProperties(ref ResourceRef, qnames []string) ([]*xmlutil.Element, error) {
+func (c *Client) GetMultipleResourceProperties(ctx context.Context, ref ResourceRef, qnames []string) ([]*xmlutil.Element, error) {
 	req := service.NewRequest("http://docs.oasis-open.org/wsrf/rp-2", "GetMultipleResourceProperties", ref.AbstractName)
 	for _, q := range qnames {
 		req.AddText("http://docs.oasis-open.org/wsrf/rp-2", "ResourceProperty", q)
 	}
-	resp, err := c.call(ref.Address, service.ActGetMultipleResourceProps, req)
+	resp, err := c.call(ctx, ref.Address, service.ActGetMultipleResourceProps, req)
 	if err != nil {
 		return nil, err
 	}

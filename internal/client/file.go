@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"encoding/base64"
 	"fmt"
 	"time"
@@ -13,12 +14,12 @@ import (
 
 // ReadFile reads a byte range from a file resource (count < 0 reads to
 // the end).
-func (c *Client) ReadFile(ref ResourceRef, name string, offset, count int64) ([]byte, error) {
+func (c *Client) ReadFile(ctx context.Context, ref ResourceRef, name string, offset, count int64) ([]byte, error) {
 	req := service.NewRequest(service.NSDAIF, "ReadFileRequest", ref.AbstractName)
 	req.AddText(service.NSDAIF, "FileName", name)
 	req.AddText(service.NSDAIF, "Offset", fmt.Sprintf("%d", offset))
 	req.AddText(service.NSDAIF, "Count", fmt.Sprintf("%d", count))
-	resp, err := c.call(ref.Address, service.ActReadFile, req)
+	resp, err := c.call(ctx, ref.Address, service.ActReadFile, req)
 	if err != nil {
 		return nil, err
 	}
@@ -26,38 +27,38 @@ func (c *Client) ReadFile(ref ResourceRef, name string, offset, count int64) ([]
 }
 
 // WriteFile replaces a file's contents.
-func (c *Client) WriteFile(ref ResourceRef, name string, data []byte) error {
-	return c.filePayloadOp(ref, service.ActWriteFile, "WriteFileRequest", name, data)
+func (c *Client) WriteFile(ctx context.Context, ref ResourceRef, name string, data []byte) error {
+	return c.filePayloadOp(ctx, ref, service.ActWriteFile, "WriteFileRequest", name, data)
 }
 
 // AppendFile extends a file.
-func (c *Client) AppendFile(ref ResourceRef, name string, data []byte) error {
-	return c.filePayloadOp(ref, service.ActAppendFile, "AppendFileRequest", name, data)
+func (c *Client) AppendFile(ctx context.Context, ref ResourceRef, name string, data []byte) error {
+	return c.filePayloadOp(ctx, ref, service.ActAppendFile, "AppendFileRequest", name, data)
 }
 
-func (c *Client) filePayloadOp(ref ResourceRef, action, reqName, name string, data []byte) error {
+func (c *Client) filePayloadOp(ctx context.Context, ref ResourceRef, action, reqName, name string, data []byte) error {
 	req := service.NewRequest(service.NSDAIF, reqName, ref.AbstractName)
 	req.AddText(service.NSDAIF, "FileName", name)
 	d := req.Add(service.NSDAIF, "Data")
 	d.SetAttr("", "encoding", "base64")
 	d.SetText(base64.StdEncoding.EncodeToString(data))
-	_, err := c.call(ref.Address, action, req)
+	_, err := c.call(ctx, ref.Address, action, req)
 	return err
 }
 
 // DeleteFile removes a file.
-func (c *Client) DeleteFile(ref ResourceRef, name string) error {
+func (c *Client) DeleteFile(ctx context.Context, ref ResourceRef, name string) error {
 	req := service.NewRequest(service.NSDAIF, "DeleteFileRequest", ref.AbstractName)
 	req.AddText(service.NSDAIF, "FileName", name)
-	_, err := c.call(ref.Address, service.ActDeleteFile, req)
+	_, err := c.call(ctx, ref.Address, service.ActDeleteFile, req)
 	return err
 }
 
 // ListFiles lists files matching a glob pattern ("" lists everything).
-func (c *Client) ListFiles(ref ResourceRef, pattern string) ([]filestore.FileInfo, error) {
+func (c *Client) ListFiles(ctx context.Context, ref ResourceRef, pattern string) ([]filestore.FileInfo, error) {
 	req := service.NewRequest(service.NSDAIF, "ListFilesRequest", ref.AbstractName)
 	req.AddText(service.NSDAIF, "Pattern", pattern)
-	resp, err := c.call(ref.Address, service.ActListFiles, req)
+	resp, err := c.call(ctx, ref.Address, service.ActListFiles, req)
 	if err != nil {
 		return nil, err
 	}
@@ -65,10 +66,10 @@ func (c *Client) ListFiles(ref ResourceRef, pattern string) ([]filestore.FileInf
 }
 
 // StatFile returns one file's metadata.
-func (c *Client) StatFile(ref ResourceRef, name string) (filestore.FileInfo, error) {
+func (c *Client) StatFile(ctx context.Context, ref ResourceRef, name string) (filestore.FileInfo, error) {
 	req := service.NewRequest(service.NSDAIF, "StatFileRequest", ref.AbstractName)
 	req.AddText(service.NSDAIF, "FileName", name)
-	resp, err := c.call(ref.Address, service.ActStatFile, req)
+	resp, err := c.call(ctx, ref.Address, service.ActStatFile, req)
 	if err != nil {
 		return filestore.FileInfo{}, err
 	}
@@ -81,13 +82,13 @@ func (c *Client) StatFile(ref ResourceRef, name string) (filestore.FileInfo, err
 
 // FileSelectFactory stages the files matching the pattern into a
 // derived resource and returns its reference.
-func (c *Client) FileSelectFactory(ref ResourceRef, pattern string, cfg *core.Configuration) (ResourceRef, error) {
+func (c *Client) FileSelectFactory(ctx context.Context, ref ResourceRef, pattern string, cfg *core.Configuration) (ResourceRef, error) {
 	req := service.NewRequest(service.NSDAIF, "FileSelectFactoryRequest", ref.AbstractName)
 	req.AddText(service.NSDAIF, "Pattern", pattern)
 	if cfg != nil {
 		req.AppendChild(cfg.Element())
 	}
-	resp, err := c.call(ref.Address, service.ActFileSelectFactory, req)
+	resp, err := c.call(ctx, ref.Address, service.ActFileSelectFactory, req)
 	if err != nil {
 		return ResourceRef{}, err
 	}

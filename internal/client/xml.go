@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"fmt"
 
 	"dais/internal/core"
@@ -35,20 +36,20 @@ func decodeSequence(seq *xmlutil.Element) ([]SequenceItem, error) {
 }
 
 // AddDocument stores a document in an XML collection resource.
-func (c *Client) AddDocument(ref ResourceRef, name string, doc *xmlutil.Element) error {
+func (c *Client) AddDocument(ctx context.Context, ref ResourceRef, name string, doc *xmlutil.Element) error {
 	req := service.NewRequest(service.NSDAIX, "AddDocumentRequest", ref.AbstractName)
 	req.AddText(service.NSDAIX, "DocumentName", name)
 	wrap := req.Add(service.NSDAIX, "Document")
 	wrap.AppendChild(doc.Clone())
-	_, err := c.call(ref.Address, service.ActAddDocument, req)
+	_, err := c.call(ctx, ref.Address, service.ActAddDocument, req)
 	return err
 }
 
 // GetDocument fetches a document by name.
-func (c *Client) GetDocument(ref ResourceRef, name string) (*xmlutil.Element, error) {
+func (c *Client) GetDocument(ctx context.Context, ref ResourceRef, name string) (*xmlutil.Element, error) {
 	req := service.NewRequest(service.NSDAIX, "GetDocumentRequest", ref.AbstractName)
 	req.AddText(service.NSDAIX, "DocumentName", name)
-	resp, err := c.call(ref.Address, service.ActGetDocument, req)
+	resp, err := c.call(ctx, ref.Address, service.ActGetDocument, req)
 	if err != nil {
 		return nil, err
 	}
@@ -60,17 +61,17 @@ func (c *Client) GetDocument(ref ResourceRef, name string) (*xmlutil.Element, er
 }
 
 // RemoveDocument deletes a document by name.
-func (c *Client) RemoveDocument(ref ResourceRef, name string) error {
+func (c *Client) RemoveDocument(ctx context.Context, ref ResourceRef, name string) error {
 	req := service.NewRequest(service.NSDAIX, "RemoveDocumentRequest", ref.AbstractName)
 	req.AddText(service.NSDAIX, "DocumentName", name)
-	_, err := c.call(ref.Address, service.ActRemoveDocument, req)
+	_, err := c.call(ctx, ref.Address, service.ActRemoveDocument, req)
 	return err
 }
 
 // ListDocuments lists the collection's document names.
-func (c *Client) ListDocuments(ref ResourceRef) ([]string, error) {
+func (c *Client) ListDocuments(ctx context.Context, ref ResourceRef) ([]string, error) {
 	req := service.NewRequest(service.NSDAIX, "ListDocumentsRequest", ref.AbstractName)
-	resp, err := c.call(ref.Address, service.ActListDocuments, req)
+	resp, err := c.call(ctx, ref.Address, service.ActListDocuments, req)
 	if err != nil {
 		return nil, err
 	}
@@ -82,25 +83,25 @@ func (c *Client) ListDocuments(ref ResourceRef) ([]string, error) {
 }
 
 // CreateSubcollection creates a child collection.
-func (c *Client) CreateSubcollection(ref ResourceRef, name string) error {
+func (c *Client) CreateSubcollection(ctx context.Context, ref ResourceRef, name string) error {
 	req := service.NewRequest(service.NSDAIX, "CreateSubcollectionRequest", ref.AbstractName)
 	req.AddText(service.NSDAIX, "CollectionName", name)
-	_, err := c.call(ref.Address, service.ActCreateSubcollection, req)
+	_, err := c.call(ctx, ref.Address, service.ActCreateSubcollection, req)
 	return err
 }
 
 // RemoveSubcollection removes a child collection.
-func (c *Client) RemoveSubcollection(ref ResourceRef, name string) error {
+func (c *Client) RemoveSubcollection(ctx context.Context, ref ResourceRef, name string) error {
 	req := service.NewRequest(service.NSDAIX, "RemoveSubcollectionRequest", ref.AbstractName)
 	req.AddText(service.NSDAIX, "CollectionName", name)
-	_, err := c.call(ref.Address, service.ActRemoveSubcollection, req)
+	_, err := c.call(ctx, ref.Address, service.ActRemoveSubcollection, req)
 	return err
 }
 
 // ListSubcollections lists child collections.
-func (c *Client) ListSubcollections(ref ResourceRef) ([]string, error) {
+func (c *Client) ListSubcollections(ctx context.Context, ref ResourceRef) ([]string, error) {
 	req := service.NewRequest(service.NSDAIX, "ListSubcollectionsRequest", ref.AbstractName)
-	resp, err := c.call(ref.Address, service.ActListSubcollections, req)
+	resp, err := c.call(ctx, ref.Address, service.ActListSubcollections, req)
 	if err != nil {
 		return nil, err
 	}
@@ -112,10 +113,10 @@ func (c *Client) ListSubcollections(ref ResourceRef) ([]string, error) {
 }
 
 // XPathExecute runs an XPath across the collection (direct access).
-func (c *Client) XPathExecute(ref ResourceRef, expr string) ([]SequenceItem, error) {
+func (c *Client) XPathExecute(ctx context.Context, ref ResourceRef, expr string) ([]SequenceItem, error) {
 	req := service.NewRequest(service.NSDAIX, "XPathExecuteRequest", ref.AbstractName)
 	req.AddText(service.NSDAIX, "Expression", expr)
-	resp, err := c.call(ref.Address, service.ActXPathExecute, req)
+	resp, err := c.call(ctx, ref.Address, service.ActXPathExecute, req)
 	if err != nil {
 		return nil, err
 	}
@@ -123,10 +124,10 @@ func (c *Client) XPathExecute(ref ResourceRef, expr string) ([]SequenceItem, err
 }
 
 // XQueryExecute runs an XQuery across the collection.
-func (c *Client) XQueryExecute(ref ResourceRef, query string) ([]SequenceItem, error) {
+func (c *Client) XQueryExecute(ctx context.Context, ref ResourceRef, query string) ([]SequenceItem, error) {
 	req := service.NewRequest(service.NSDAIX, "XQueryExecuteRequest", ref.AbstractName)
 	req.AddText(service.NSDAIX, "Expression", query)
-	resp, err := c.call(ref.Address, service.ActXQueryExecute, req)
+	resp, err := c.call(ctx, ref.Address, service.ActXQueryExecute, req)
 	if err != nil {
 		return nil, err
 	}
@@ -135,11 +136,11 @@ func (c *Client) XQueryExecute(ref ResourceRef, query string) ([]SequenceItem, e
 
 // XUpdateExecute applies an XUpdate modifications document to one
 // stored document, returning the number of nodes affected.
-func (c *Client) XUpdateExecute(ref ResourceRef, docName string, modifications *xmlutil.Element) (int, error) {
+func (c *Client) XUpdateExecute(ctx context.Context, ref ResourceRef, docName string, modifications *xmlutil.Element) (int, error) {
 	req := service.NewRequest(service.NSDAIX, "XUpdateExecuteRequest", ref.AbstractName)
 	req.AddText(service.NSDAIX, "DocumentName", docName)
 	req.AppendChild(modifications.Clone())
-	resp, err := c.call(ref.Address, service.ActXUpdateExecute, req)
+	resp, err := c.call(ctx, ref.Address, service.ActXUpdateExecute, req)
 	if err != nil {
 		return 0, err
 	}
@@ -149,13 +150,13 @@ func (c *Client) XUpdateExecute(ref ResourceRef, docName string, modifications *
 }
 
 // XPathExecuteFactory derives a sequence resource from an XPath query.
-func (c *Client) XPathExecuteFactory(ref ResourceRef, expr string, cfg *core.Configuration) (ResourceRef, error) {
+func (c *Client) XPathExecuteFactory(ctx context.Context, ref ResourceRef, expr string, cfg *core.Configuration) (ResourceRef, error) {
 	req := service.NewRequest(service.NSDAIX, "XPathExecuteFactoryRequest", ref.AbstractName)
 	req.AddText(service.NSDAIX, "Expression", expr)
 	if cfg != nil {
 		req.AppendChild(cfg.Element())
 	}
-	resp, err := c.call(ref.Address, service.ActXPathFactory, req)
+	resp, err := c.call(ctx, ref.Address, service.ActXPathFactory, req)
 	if err != nil {
 		return ResourceRef{}, err
 	}
@@ -163,13 +164,13 @@ func (c *Client) XPathExecuteFactory(ref ResourceRef, expr string, cfg *core.Con
 }
 
 // XQueryExecuteFactory derives a sequence resource from an XQuery.
-func (c *Client) XQueryExecuteFactory(ref ResourceRef, query string, cfg *core.Configuration) (ResourceRef, error) {
+func (c *Client) XQueryExecuteFactory(ctx context.Context, ref ResourceRef, query string, cfg *core.Configuration) (ResourceRef, error) {
 	req := service.NewRequest(service.NSDAIX, "XQueryExecuteFactoryRequest", ref.AbstractName)
 	req.AddText(service.NSDAIX, "Expression", query)
 	if cfg != nil {
 		req.AppendChild(cfg.Element())
 	}
-	resp, err := c.call(ref.Address, service.ActXQueryFactory, req)
+	resp, err := c.call(ctx, ref.Address, service.ActXQueryFactory, req)
 	if err != nil {
 		return ResourceRef{}, err
 	}
@@ -177,13 +178,13 @@ func (c *Client) XQueryExecuteFactory(ref ResourceRef, query string, cfg *core.C
 }
 
 // CollectionFactory derives a live sub-collection resource.
-func (c *Client) CollectionFactory(ref ResourceRef, name string, cfg *core.Configuration) (ResourceRef, error) {
+func (c *Client) CollectionFactory(ctx context.Context, ref ResourceRef, name string, cfg *core.Configuration) (ResourceRef, error) {
 	req := service.NewRequest(service.NSDAIX, "CollectionFactoryRequest", ref.AbstractName)
 	req.AddText(service.NSDAIX, "CollectionName", name)
 	if cfg != nil {
 		req.AppendChild(cfg.Element())
 	}
-	resp, err := c.call(ref.Address, service.ActCollectionFactory, req)
+	resp, err := c.call(ctx, ref.Address, service.ActCollectionFactory, req)
 	if err != nil {
 		return ResourceRef{}, err
 	}
@@ -191,11 +192,11 @@ func (c *Client) CollectionFactory(ref ResourceRef, name string, cfg *core.Confi
 }
 
 // GetItems pages through a derived sequence resource.
-func (c *Client) GetItems(ref ResourceRef, startPosition, count int) ([]SequenceItem, error) {
+func (c *Client) GetItems(ctx context.Context, ref ResourceRef, startPosition, count int) ([]SequenceItem, error) {
 	req := service.NewRequest(service.NSDAIX, "GetItemsRequest", ref.AbstractName)
 	req.AddText(service.NSDAIX, "StartPosition", fmt.Sprintf("%d", startPosition))
 	req.AddText(service.NSDAIX, "Count", fmt.Sprintf("%d", count))
-	resp, err := c.call(ref.Address, service.ActGetItems, req)
+	resp, err := c.call(ctx, ref.Address, service.ActGetItems, req)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync"
@@ -22,7 +23,7 @@ type fakeResource struct {
 func (f *fakeResource) QueryLanguages() []string { return f.langs }
 func (f *fakeResource) DatasetFormats() []string { return f.formats }
 
-func (f *fakeResource) GenericQuery(lang, expr string) (*xmlutil.Element, error) {
+func (f *fakeResource) GenericQuery(_ context.Context, lang, expr string) (*xmlutil.Element, error) {
 	e := xmlutil.NewElement(NSDAI, "Result")
 	e.SetText(lang + ":" + expr)
 	return e, nil
@@ -98,13 +99,13 @@ func TestDestroySemantics(t *testing.T) {
 	var notified []string
 	s.OnDestroy(func(n string) { notified = append(notified, n) })
 
-	if err := s.DestroyDataResource("urn:ext"); err != nil {
+	if err := s.DestroyDataResource(context.Background(), "urn:ext"); err != nil {
 		t.Fatal(err)
 	}
 	if ext.wasReleased() {
 		t.Fatal("externally managed data must remain in place")
 	}
-	if err := s.DestroyDataResource("urn:svc"); err != nil {
+	if err := s.DestroyDataResource(context.Background(), "urn:svc"); err != nil {
 		t.Fatal(err)
 	}
 	if !svc.wasReleased() {
@@ -113,7 +114,7 @@ func TestDestroySemantics(t *testing.T) {
 	if len(notified) != 2 {
 		t.Fatalf("notified = %v", notified)
 	}
-	if err := s.DestroyDataResource("urn:ext"); err == nil {
+	if err := s.DestroyDataResource(context.Background(), "urn:ext"); err == nil {
 		t.Fatal("destroyed resource should be unknown")
 	}
 	if len(s.GetResourceList()) != 0 {
@@ -126,7 +127,7 @@ func TestGenericQueryValidation(t *testing.T) {
 	r := newFake("urn:r", ExternallyManaged)
 	s.AddResource(r)
 
-	res, err := s.GenericQuery("urn:r", "urn:sql", "SELECT 1")
+	res, err := s.GenericQuery(context.Background(), "urn:r", "urn:sql", "SELECT 1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,17 +135,17 @@ func TestGenericQueryValidation(t *testing.T) {
 		t.Fatalf("res = %q", res.Text())
 	}
 	var ilf *InvalidLanguageFault
-	if _, err := s.GenericQuery("urn:r", "urn:xquery", "x"); !errors.As(err, &ilf) {
+	if _, err := s.GenericQuery(context.Background(), "urn:r", "urn:xquery", "x"); !errors.As(err, &ilf) {
 		t.Fatalf("err = %v", err)
 	}
 	var irf *InvalidResourceNameFault
-	if _, err := s.GenericQuery("urn:none", "urn:sql", "x"); !errors.As(err, &irf) {
+	if _, err := s.GenericQuery(context.Background(), "urn:none", "urn:sql", "x"); !errors.As(err, &irf) {
 		t.Fatalf("err = %v", err)
 	}
 	// Unreadable resource refuses queries.
 	r.Config.Readable = false
 	var naf *NotAuthorizedFault
-	if _, err := s.GenericQuery("urn:r", "urn:sql", "x"); !errors.As(err, &naf) {
+	if _, err := s.GenericQuery(context.Background(), "urn:r", "urn:sql", "x"); !errors.As(err, &naf) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -309,7 +310,11 @@ func TestConcurrentAccessGate(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			release := s.Enter()
+			release, err := s.Enter(context.Background())
+			if err != nil {
+				t.Error(err)
+				return
+			}
 			mu.Lock()
 			active++
 			if active > maxActive {
@@ -335,7 +340,11 @@ func TestConcurrentAccessGate(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			release := c.Enter()
+			release, err := c.Enter(context.Background())
+			if err != nil {
+				t.Error(err)
+				return
+			}
 			mu.Lock()
 			cActive++
 			if cActive > cMax {

@@ -34,6 +34,9 @@ type (
 	// ServiceBusyFault reports that the service cannot accept the
 	// request (e.g. ConcurrentAccess=false and a request is in flight).
 	ServiceBusyFault struct{}
+	// RequestTimeoutFault reports that a request's deadline expired (or
+	// its context was cancelled) before the operation completed.
+	RequestTimeoutFault struct{ Detail string }
 )
 
 func (f *InvalidResourceNameFault) Error() string {
@@ -60,6 +63,13 @@ func (f *ServiceBusyFault) Error() string {
 	return "dais: ServiceBusyFault: service does not support concurrent access"
 }
 
+func (f *RequestTimeoutFault) Error() string {
+	if f.Detail == "" {
+		return "dais: RequestTimeoutFault: request deadline expired"
+	}
+	return fmt.Sprintf("dais: RequestTimeoutFault: %s", f.Detail)
+}
+
 // FaultName returns the DAIS fault element name for a typed fault, or
 // "" for other errors. The service layer uses it to build fault detail
 // elements.
@@ -77,6 +87,8 @@ func FaultName(err error) string {
 		return "InvalidExpressionFault"
 	case *ServiceBusyFault:
 		return "ServiceBusyFault"
+	case *RequestTimeoutFault:
+		return "RequestTimeoutFault"
 	}
 	return ""
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"crypto/rand"
 	"fmt"
 	"sync"
@@ -31,8 +32,9 @@ type DataResource interface {
 	DatasetFormats() []string
 	// GenericQuery runs a query in one of the advertised languages and
 	// returns the result as an XML element. It backs the WS-DAI
-	// GenericQuery operation.
-	GenericQuery(languageURI, expression string) (*xmlutil.Element, error)
+	// GenericQuery operation. Implementations observe ctx cancellation
+	// at row/document granularity.
+	GenericQuery(ctx context.Context, languageURI, expression string) (*xmlutil.Element, error)
 	// ExtendedProperties returns realisation-specific property elements
 	// appended to the WS-DAI property document (e.g. WS-DAIR's
 	// CIMDescription and NumberOfRows).

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -92,13 +93,19 @@ func (s *DataService) OnDestroy(f func(name string)) {
 // Enter acquires the service for one operation; the returned func
 // releases it. With ConcurrentAccess=true both are no-ops. This models
 // the §4.2 ConcurrentAccess property: "a boolean indicating whether the
-// data service supports concurrent access or not".
-func (s *DataService) Enter() func() {
+// data service supports concurrent access or not". When the context is
+// cancelled (or its deadline expires) while waiting for the gate, Enter
+// returns a ServiceBusyFault.
+func (s *DataService) Enter(ctx context.Context) (func(), error) {
 	if s.concurrent {
-		return func() {}
+		return func() {}, nil
 	}
-	s.gate <- struct{}{}
-	return func() { <-s.gate }
+	select {
+	case s.gate <- struct{}{}:
+		return func() { <-s.gate }, nil
+	case <-ctx.Done():
+		return nil, &ServiceBusyFault{}
+	}
 }
 
 // AddResource registers a data resource with the service.
@@ -140,7 +147,10 @@ func (s *DataService) GetResourceList() []string {
 // it "destroys the relationship between the data service and the data
 // resource" (paper §4.3). Service-managed resources release their data;
 // externally managed data remains in place.
-func (s *DataService) DestroyDataResource(abstractName string) error {
+func (s *DataService) DestroyDataResource(ctx context.Context, abstractName string) error {
+	if err := ctx.Err(); err != nil {
+		return &RequestTimeoutFault{Detail: err.Error()}
+	}
 	s.mu.Lock()
 	r, ok := s.resources[abstractName]
 	if !ok {
@@ -164,7 +174,7 @@ func (s *DataService) DestroyDataResource(abstractName string) error {
 // GenericQuery implements the WS-DAI GenericQuery operation: it
 // validates the language against the resource's GenericQueryLanguage
 // properties and delegates to the resource.
-func (s *DataService) GenericQuery(abstractName, languageURI, expression string) (*xmlutil.Element, error) {
+func (s *DataService) GenericQuery(ctx context.Context, abstractName, languageURI, expression string) (*xmlutil.Element, error) {
 	r, err := s.Resolve(abstractName)
 	if err != nil {
 		return nil, err
@@ -175,7 +185,7 @@ func (s *DataService) GenericQuery(abstractName, languageURI, expression string)
 	if err := CheckReadable(r); err != nil {
 		return nil, err
 	}
-	return r.GenericQuery(languageURI, expression)
+	return r.GenericQuery(ctx, languageURI, expression)
 }
 
 // GetDataResourcePropertyDocument implements the WS-DAI operation: the

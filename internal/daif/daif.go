@@ -15,6 +15,7 @@
 package daif
 
 import (
+	"context"
 	"fmt"
 
 	"dais/internal/core"
@@ -80,11 +81,11 @@ func (r *FileDataResource) DatasetFormats() []string { return []string{FormatBin
 
 // GenericQuery implements core.DataResource: a glob expression lists
 // matching files as a FileList element.
-func (r *FileDataResource) GenericQuery(languageURI, expression string) (*xmlutil.Element, error) {
+func (r *FileDataResource) GenericQuery(ctx context.Context, languageURI, expression string) (*xmlutil.Element, error) {
 	if languageURI != LanguageGlob {
 		return nil, &core.InvalidLanguageFault{Language: languageURI}
 	}
-	infos, err := r.ListFiles(expression)
+	infos, err := r.ListFiles(ctx, expression)
 	if err != nil {
 		return nil, err
 	}
@@ -108,9 +109,12 @@ func (r *FileDataResource) Release() error { return nil }
 
 // ReadFile implements FileAccess.ReadFile: up to count bytes from
 // offset (count < 0 reads to the end).
-func (r *FileDataResource) ReadFile(name string, offset, count int64) ([]byte, error) {
+func (r *FileDataResource) ReadFile(ctx context.Context, name string, offset, count int64) ([]byte, error) {
 	if err := core.CheckReadable(r); err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, &core.RequestTimeoutFault{Detail: err.Error()}
 	}
 	data, err := r.store.Read(name, offset, count)
 	if err != nil {
@@ -120,9 +124,12 @@ func (r *FileDataResource) ReadFile(name string, offset, count int64) ([]byte, e
 }
 
 // WriteFile implements FileAccess.WriteFile (full replace).
-func (r *FileDataResource) WriteFile(name string, data []byte) error {
+func (r *FileDataResource) WriteFile(ctx context.Context, name string, data []byte) error {
 	if err := core.CheckWriteable(r); err != nil {
 		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return &core.RequestTimeoutFault{Detail: err.Error()}
 	}
 	if err := r.store.Write(name, data); err != nil {
 		return &core.InvalidExpressionFault{Detail: err.Error()}
@@ -131,9 +138,12 @@ func (r *FileDataResource) WriteFile(name string, data []byte) error {
 }
 
 // AppendFile implements FileAccess.AppendFile.
-func (r *FileDataResource) AppendFile(name string, data []byte) error {
+func (r *FileDataResource) AppendFile(ctx context.Context, name string, data []byte) error {
 	if err := core.CheckWriteable(r); err != nil {
 		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return &core.RequestTimeoutFault{Detail: err.Error()}
 	}
 	if err := r.store.Append(name, data); err != nil {
 		return &core.InvalidExpressionFault{Detail: err.Error()}
@@ -142,9 +152,12 @@ func (r *FileDataResource) AppendFile(name string, data []byte) error {
 }
 
 // DeleteFile implements FileAccess.DeleteFile.
-func (r *FileDataResource) DeleteFile(name string) error {
+func (r *FileDataResource) DeleteFile(ctx context.Context, name string) error {
 	if err := core.CheckWriteable(r); err != nil {
 		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return &core.RequestTimeoutFault{Detail: err.Error()}
 	}
 	if err := r.store.Delete(name); err != nil {
 		return &core.InvalidExpressionFault{Detail: err.Error()}
@@ -153,9 +166,12 @@ func (r *FileDataResource) DeleteFile(name string) error {
 }
 
 // ListFiles implements FileAccess.ListFiles over a glob pattern.
-func (r *FileDataResource) ListFiles(pattern string) ([]filestore.FileInfo, error) {
+func (r *FileDataResource) ListFiles(ctx context.Context, pattern string) ([]filestore.FileInfo, error) {
 	if err := core.CheckReadable(r); err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, &core.RequestTimeoutFault{Detail: err.Error()}
 	}
 	infos, err := r.store.List(pattern)
 	if err != nil {
@@ -165,9 +181,12 @@ func (r *FileDataResource) ListFiles(pattern string) ([]filestore.FileInfo, erro
 }
 
 // StatFile implements FileAccess.StatFile.
-func (r *FileDataResource) StatFile(name string) (filestore.FileInfo, error) {
+func (r *FileDataResource) StatFile(ctx context.Context, name string) (filestore.FileInfo, error) {
 	if err := core.CheckReadable(r); err != nil {
 		return filestore.FileInfo{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return filestore.FileInfo{}, &core.RequestTimeoutFault{Detail: err.Error()}
 	}
 	info, err := r.store.Stat(name)
 	if err != nil {

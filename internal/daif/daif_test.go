@@ -2,6 +2,7 @@ package daif
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
 
@@ -27,35 +28,35 @@ func seedFiles(t testing.TB) *FileDataResource {
 
 func TestFileAccessOps(t *testing.T) {
 	r := seedFiles(t)
-	data, err := r.ReadFile("runs/2005/a.dat", 0, -1)
+	data, err := r.ReadFile(context.Background(), "runs/2005/a.dat", 0, -1)
 	if err != nil || string(data) != "run-a-data" {
 		t.Fatalf("read = %q, %v", data, err)
 	}
-	part, err := r.ReadFile("runs/2005/a.dat", 4, 1)
+	part, err := r.ReadFile(context.Background(), "runs/2005/a.dat", 4, 1)
 	if err != nil || string(part) != "a" {
 		t.Fatalf("range = %q, %v", part, err)
 	}
-	if err := r.WriteFile("new.txt", []byte("x")); err != nil {
+	if err := r.WriteFile(context.Background(), "new.txt", []byte("x")); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.AppendFile("new.txt", []byte("y")); err != nil {
+	if err := r.AppendFile(context.Background(), "new.txt", []byte("y")); err != nil {
 		t.Fatal(err)
 	}
-	got, _ := r.ReadFile("new.txt", 0, -1)
+	got, _ := r.ReadFile(context.Background(), "new.txt", 0, -1)
 	if string(got) != "xy" {
 		t.Fatalf("got %q", got)
 	}
-	info, err := r.StatFile("new.txt")
+	info, err := r.StatFile(context.Background(), "new.txt")
 	if err != nil || info.Size != 2 {
 		t.Fatalf("stat = %+v, %v", info, err)
 	}
-	if err := r.DeleteFile("new.txt"); err != nil {
+	if err := r.DeleteFile(context.Background(), "new.txt"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.ReadFile("new.txt", 0, -1); err == nil {
+	if _, err := r.ReadFile(context.Background(), "new.txt", 0, -1); err == nil {
 		t.Fatal("deleted file readable")
 	}
-	infos, err := r.ListFiles("runs/**")
+	infos, err := r.ListFiles(context.Background(), "runs/**")
 	if err != nil || len(infos) != 3 {
 		t.Fatalf("list = %v, %v", infos, err)
 	}
@@ -63,7 +64,7 @@ func TestFileAccessOps(t *testing.T) {
 
 func TestGenericQueryGlob(t *testing.T) {
 	r := seedFiles(t)
-	list, err := r.GenericQuery(LanguageGlob, "runs/2005/*.dat")
+	list, err := r.GenericQuery(context.Background(), LanguageGlob, "runs/2005/*.dat")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestGenericQueryGlob(t *testing.T) {
 		t.Fatalf("size = %s", files[0].AttrValue("", "size"))
 	}
 	var ilf *core.InvalidLanguageFault
-	if _, err := r.GenericQuery("urn:sql", "SELECT"); !errors.As(err, &ilf) {
+	if _, err := r.GenericQuery(context.Background(), "urn:sql", "SELECT"); !errors.As(err, &ilf) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -85,16 +86,16 @@ func TestReadWriteEnforcement(t *testing.T) {
 	cfg := core.Configuration{Readable: false, Writeable: false}
 	r := NewFileDataResource(store, WithFileConfiguration(cfg))
 	var naf *core.NotAuthorizedFault
-	if _, err := r.ReadFile("x", 0, -1); !errors.As(err, &naf) {
+	if _, err := r.ReadFile(context.Background(), "x", 0, -1); !errors.As(err, &naf) {
 		t.Fatalf("err = %v", err)
 	}
-	if err := r.WriteFile("x", nil); !errors.As(err, &naf) {
+	if err := r.WriteFile(context.Background(), "x", nil); !errors.As(err, &naf) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, err := r.ListFiles(""); !errors.As(err, &naf) {
+	if _, err := r.ListFiles(context.Background(), ""); !errors.As(err, &naf) {
 		t.Fatalf("err = %v", err)
 	}
-	if err := r.DeleteFile("x"); !errors.As(err, &naf) {
+	if err := r.DeleteFile(context.Background(), "x"); !errors.As(err, &naf) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -117,7 +118,7 @@ func TestExtendedProperties(t *testing.T) {
 func TestFileSelectFactoryStaging(t *testing.T) {
 	src := seedFiles(t)
 	ds := core.NewDataService("staging")
-	staged, err := FileSelectFactory(src, ds, "runs/2005/*", nil)
+	staged, err := FileSelectFactory(context.Background(), src, ds, "runs/2005/*", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,32 +132,32 @@ func TestFileSelectFactoryStaging(t *testing.T) {
 	if len(names) != 2 {
 		t.Fatalf("names = %v", names)
 	}
-	data, err := staged.ReadFile("runs/2005/a.dat", 0, -1)
+	data, err := staged.ReadFile(context.Background(), "runs/2005/a.dat", 0, -1)
 	if err != nil || string(data) != "run-a-data" {
 		t.Fatalf("staged read = %q, %v", data, err)
 	}
 
 	// The snapshot is pinned: mutating the parent does not change it.
-	if err := src.WriteFile("runs/2005/a.dat", []byte("MUTATED")); err != nil {
+	if err := src.WriteFile(context.Background(), "runs/2005/a.dat", []byte("MUTATED")); err != nil {
 		t.Fatal(err)
 	}
-	data, _ = staged.ReadFile("runs/2005/a.dat", 0, -1)
+	data, _ = staged.ReadFile(context.Background(), "runs/2005/a.dat", 0, -1)
 	if !bytes.Equal(data, []byte("run-a-data")) {
 		t.Fatalf("staged data changed: %q", data)
 	}
 
 	// Glob queries work on the staged set.
-	infos, err := staged.ListFiles("**/*.dat")
+	infos, err := staged.ListFiles(context.Background(), "**/*.dat")
 	if err != nil || len(infos) != 2 {
 		t.Fatalf("list = %v, %v", infos, err)
 	}
-	list, err := staged.GenericQuery(LanguageGlob, "")
+	list, err := staged.GenericQuery(context.Background(), LanguageGlob, "")
 	if err != nil || len(list.FindAll(NSDAIF, "File")) != 2 {
 		t.Fatalf("query = %v, %v", list, err)
 	}
 
 	// Destroy releases the snapshot.
-	if err := ds.DestroyDataResource(staged.AbstractName()); err != nil {
+	if err := ds.DestroyDataResource(context.Background(), staged.AbstractName()); err != nil {
 		t.Fatal(err)
 	}
 	if len(staged.Names()) != 0 {
@@ -167,13 +168,13 @@ func TestFileSelectFactoryStaging(t *testing.T) {
 func TestFactoryErrors(t *testing.T) {
 	src := seedFiles(t)
 	ds := core.NewDataService("ds")
-	if _, err := FileSelectFactory(src, ds, "[bad", nil); err == nil {
+	if _, err := FileSelectFactory(context.Background(), src, ds, "[bad", nil); err == nil {
 		t.Fatal("bad pattern should fail")
 	}
 	unreadable := NewFileDataResource(filestore.NewStore("s"),
 		WithFileConfiguration(core.Configuration{Readable: false}))
 	var naf *core.NotAuthorizedFault
-	if _, err := FileSelectFactory(unreadable, ds, "", nil); !errors.As(err, &naf) {
+	if _, err := FileSelectFactory(context.Background(), unreadable, ds, "", nil); !errors.As(err, &naf) {
 		t.Fatalf("err = %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package daif
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -58,7 +59,7 @@ func (r *StagedFileResource) QueryLanguages() []string { return []string{Languag
 func (r *StagedFileResource) DatasetFormats() []string { return []string{FormatBinary} }
 
 // GenericQuery lists the staged files matching a glob.
-func (r *StagedFileResource) GenericQuery(languageURI, expression string) (*xmlutil.Element, error) {
+func (r *StagedFileResource) GenericQuery(ctx context.Context, languageURI, expression string) (*xmlutil.Element, error) {
 	if languageURI != LanguageGlob {
 		return nil, &core.InvalidLanguageFault{Language: languageURI}
 	}
@@ -102,9 +103,12 @@ func (r *StagedFileResource) Names() []string {
 }
 
 // ReadFile reads a byte range from a staged file.
-func (r *StagedFileResource) ReadFile(name string, offset, count int64) ([]byte, error) {
+func (r *StagedFileResource) ReadFile(ctx context.Context, name string, offset, count int64) ([]byte, error) {
 	if err := core.CheckReadable(r); err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, &core.RequestTimeoutFault{Detail: err.Error()}
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -116,9 +120,12 @@ func (r *StagedFileResource) ReadFile(name string, offset, count int64) ([]byte,
 }
 
 // ListFiles lists staged files matching a glob.
-func (r *StagedFileResource) ListFiles(pattern string) ([]filestore.FileInfo, error) {
+func (r *StagedFileResource) ListFiles(ctx context.Context, pattern string) ([]filestore.FileInfo, error) {
 	if err := core.CheckReadable(r); err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, &core.RequestTimeoutFault{Detail: err.Error()}
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -134,10 +141,13 @@ func (r *StagedFileResource) ListFiles(pattern string) ([]filestore.FileInfo, er
 // resource, registers it with the target data service and returns it;
 // the service layer wraps it in an EPR (paper Fig. 3's pattern applied
 // to files).
-func FileSelectFactory(src *FileDataResource, target *core.DataService, pattern string,
+func FileSelectFactory(ctx context.Context, src *FileDataResource, target *core.DataService, pattern string,
 	cfg *core.Configuration) (*StagedFileResource, error) {
 	if err := core.CheckReadable(src); err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, &core.RequestTimeoutFault{Detail: err.Error()}
 	}
 	c := core.DefaultConfiguration()
 	if cfg != nil {

@@ -1,6 +1,7 @@
 package dair
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -21,7 +22,7 @@ func seedEngine(t testing.TB) *sqlengine.Engine {
 
 func TestSQLExecuteQuery(t *testing.T) {
 	r := NewSQLDataResource(seedEngine(t))
-	resp, err := r.SQLExecute(`SELECT name FROM emp WHERE salary > ? ORDER BY name`,
+	resp, err := r.SQLExecute(context.Background(), `SELECT name FROM emp WHERE salary > ? ORDER BY name`,
 		[]sqlengine.Value{sqlengine.NewDouble(90000)})
 	if err != nil {
 		t.Fatal(err)
@@ -40,7 +41,7 @@ func TestSQLExecuteQuery(t *testing.T) {
 
 func TestSQLExecuteUpdate(t *testing.T) {
 	r := NewSQLDataResource(seedEngine(t))
-	resp, err := r.SQLExecute(`UPDATE emp SET salary = salary + 1`, nil)
+	resp, err := r.SQLExecute(context.Background(), `UPDATE emp SET salary = salary + 1`, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestSQLExecuteUpdate(t *testing.T) {
 
 func TestSQLExecuteErrorCarriesCA(t *testing.T) {
 	r := NewSQLDataResource(seedEngine(t))
-	resp, err := r.SQLExecute(`SELECT * FROM missing`, nil)
+	resp, err := r.SQLExecute(context.Background(), `SELECT * FROM missing`, nil)
 	var ief *core.InvalidExpressionFault
 	if !errors.As(err, &ief) {
 		t.Fatalf("err = %v", err)
@@ -66,13 +67,13 @@ func TestSQLExecuteErrorCarriesCA(t *testing.T) {
 
 func TestThickWrapperRejectsEarly(t *testing.T) {
 	r := NewSQLDataResource(seedEngine(t), WithWrapper(ThickWrapper{}))
-	_, err := r.SQLExecute(`SELEKT * FROM emp`, nil)
+	_, err := r.SQLExecute(context.Background(), `SELEKT * FROM emp`, nil)
 	var ief *core.InvalidExpressionFault
 	if !errors.As(err, &ief) {
 		t.Fatalf("err = %v", err)
 	}
 	// Valid statements pass through unchanged.
-	resp, err := r.SQLExecute(`SELECT COUNT(*) FROM emp`, nil)
+	resp, err := r.SQLExecute(context.Background(), `SELECT COUNT(*) FROM emp`, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestThickWrapperRejectsEarly(t *testing.T) {
 
 func TestGenericQueryRendersRowset(t *testing.T) {
 	r := NewSQLDataResource(seedEngine(t))
-	el, err := r.GenericQuery(LanguageSQL92, `SELECT id FROM emp ORDER BY id`)
+	el, err := r.GenericQuery(context.Background(), LanguageSQL92, `SELECT id FROM emp ORDER BY id`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestGenericQueryRendersRowset(t *testing.T) {
 	if len(set.Rows) != 3 {
 		t.Fatalf("rows = %d", len(set.Rows))
 	}
-	upd, err := r.GenericQuery(LanguageSQL92, `DELETE FROM emp WHERE id = 3`)
+	upd, err := r.GenericQuery(context.Background(), LanguageSQL92, `DELETE FROM emp WHERE id = 3`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestResourceProperties(t *testing.T) {
 func TestSQLExecuteFactoryAndResponseAccess(t *testing.T) {
 	src := NewSQLDataResource(seedEngine(t))
 	svc2 := core.NewDataService("ds2")
-	resp, err := SQLExecuteFactory(src, svc2, `SELECT name, salary FROM emp ORDER BY salary DESC`, nil, nil)
+	resp, err := SQLExecuteFactory(context.Background(), src, svc2, `SELECT name, salary FROM emp ORDER BY salary DESC`, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestSQLExecuteFactoryAndResponseAccess(t *testing.T) {
 func TestFactoryUpdateResponse(t *testing.T) {
 	src := NewSQLDataResource(seedEngine(t))
 	svc := core.NewDataService("ds")
-	resp, err := SQLExecuteFactory(src, svc, `UPDATE emp SET salary = 1`, nil, nil)
+	resp, err := SQLExecuteFactory(context.Background(), src, svc, `UPDATE emp SET salary = 1`, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,11 +215,11 @@ func TestSQLRowsetFactoryChain(t *testing.T) {
 	ds2 := core.NewDataService("ds2")
 	ds3 := core.NewDataService("ds3")
 
-	resp, err := SQLExecuteFactory(src, ds2, `SELECT id, name FROM emp ORDER BY id`, nil, nil)
+	resp, err := SQLExecuteFactory(context.Background(), src, ds2, `SELECT id, name FROM emp ORDER BY id`, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rr, err := SQLRowsetFactory(resp, ds3, rowset.FormatWebRowSet, 0, nil)
+	rr, err := SQLRowsetFactory(context.Background(), resp, ds3, rowset.FormatWebRowSet, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,8 +248,8 @@ func TestSQLRowsetFactoryChain(t *testing.T) {
 func TestSQLRowsetFactoryCountLimit(t *testing.T) {
 	src := NewSQLDataResource(seedEngine(t))
 	ds := core.NewDataService("ds")
-	resp, _ := SQLExecuteFactory(src, ds, `SELECT id FROM emp ORDER BY id`, nil, nil)
-	rr, err := SQLRowsetFactory(resp, ds, "", 2, nil)
+	resp, _ := SQLExecuteFactory(context.Background(), src, ds, `SELECT id FROM emp ORDER BY id`, nil, nil)
+	rr, err := SQLRowsetFactory(context.Background(), resp, ds, "", 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,8 +261,8 @@ func TestSQLRowsetFactoryCountLimit(t *testing.T) {
 func TestSQLRowsetFactoryBadFormat(t *testing.T) {
 	src := NewSQLDataResource(seedEngine(t))
 	ds := core.NewDataService("ds")
-	resp, _ := SQLExecuteFactory(src, ds, `SELECT id FROM emp`, nil, nil)
-	_, err := SQLRowsetFactory(resp, ds, "urn:fmt:unknown", 0, nil)
+	resp, _ := SQLExecuteFactory(context.Background(), src, ds, `SELECT id FROM emp`, nil, nil)
+	_, err := SQLRowsetFactory(context.Background(), resp, ds, "urn:fmt:unknown", 0, nil)
 	var idf *core.InvalidDatasetFormatFault
 	if !errors.As(err, &idf) {
 		t.Fatalf("err = %v", err)
@@ -271,7 +272,7 @@ func TestSQLRowsetFactoryBadFormat(t *testing.T) {
 func TestRowsetFromSQLShortcut(t *testing.T) {
 	src := NewSQLDataResource(seedEngine(t))
 	ds := core.NewDataService("ds")
-	rr, err := RowsetFromSQL(src, ds, `SELECT name FROM emp`, nil, rowset.FormatCSV, nil)
+	rr, err := RowsetFromSQL(context.Background(), src, ds, `SELECT name FROM emp`, nil, rowset.FormatCSV, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +287,7 @@ func TestRowsetFromSQLShortcut(t *testing.T) {
 		t.Fatalf("csv = %s", data)
 	}
 	// Non-query expression fails.
-	if _, err := RowsetFromSQL(src, ds, `DELETE FROM emp WHERE id = 99`, nil, "", nil); err == nil {
+	if _, err := RowsetFromSQL(context.Background(), src, ds, `DELETE FROM emp WHERE id = 99`, nil, "", nil); err == nil {
 		t.Fatal("expected fault for non-query")
 	}
 }
@@ -296,7 +297,7 @@ func TestReadableWriteableEnforcement(t *testing.T) {
 		WithConfiguration(core.Configuration{Readable: false, TransactionIsolation: "READ COMMITTED"}))
 	ds := core.NewDataService("ds")
 	var naf *core.NotAuthorizedFault
-	if _, err := SQLExecuteFactory(src, ds, `SELECT 1`, nil, nil); !errors.As(err, &naf) {
+	if _, err := SQLExecuteFactory(context.Background(), src, ds, `SELECT 1`, nil, nil); !errors.As(err, &naf) {
 		t.Fatalf("err = %v", err)
 	}
 
@@ -304,7 +305,7 @@ func TestReadableWriteableEnforcement(t *testing.T) {
 	src2 := NewSQLDataResource(seedEngine(t))
 	cfg := core.DefaultConfiguration()
 	cfg.Readable = false
-	resp, err := SQLExecuteFactory(src2, ds, `SELECT 1`, nil, &cfg)
+	resp, err := SQLExecuteFactory(context.Background(), src2, ds, `SELECT 1`, nil, &cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,16 +321,16 @@ func TestConsumerControlledTransactions(t *testing.T) {
 		TransactionIsolation:  "READ COMMITTED",
 	}
 	r := NewSQLDataResource(seedEngine(t), WithConfiguration(cfg))
-	if _, err := r.SQLExecute(`BEGIN`, nil); err != nil {
+	if _, err := r.SQLExecute(context.Background(), `BEGIN`, nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.SQLExecute(`UPDATE emp SET salary = 0`, nil); err != nil {
+	if _, err := r.SQLExecute(context.Background(), `UPDATE emp SET salary = 0`, nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.SQLExecute(`ROLLBACK`, nil); err != nil {
+	if _, err := r.SQLExecute(context.Background(), `ROLLBACK`, nil); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := r.SQLExecute(`SELECT salary FROM emp WHERE id = 1`, nil)
+	resp, err := r.SQLExecute(context.Background(), `SELECT salary FROM emp WHERE id = 1`, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -341,8 +342,8 @@ func TestConsumerControlledTransactions(t *testing.T) {
 func TestResponseReleaseDropsData(t *testing.T) {
 	src := NewSQLDataResource(seedEngine(t))
 	ds := core.NewDataService("ds")
-	resp, _ := SQLExecuteFactory(src, ds, `SELECT * FROM emp`, nil, nil)
-	if err := ds.DestroyDataResource(resp.AbstractName()); err != nil {
+	resp, _ := SQLExecuteFactory(context.Background(), src, ds, `SELECT * FROM emp`, nil, nil)
+	if err := ds.DestroyDataResource(context.Background(), resp.AbstractName()); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := resp.GetSQLRowset(0); err == nil {
@@ -352,7 +353,7 @@ func TestResponseReleaseDropsData(t *testing.T) {
 
 func TestCommunicationAreaRoundTrip(t *testing.T) {
 	src := NewSQLDataResource(seedEngine(t))
-	resp, _ := src.SQLExecute(`SELECT * FROM emp`, nil)
+	resp, _ := src.SQLExecute(context.Background(), `SELECT * FROM emp`, nil)
 	el := resp.CommunicationAreaElement()
 	re, err := xmlutil.ParseString(xmlutil.MarshalString(el))
 	if err != nil {
@@ -373,7 +374,7 @@ func TestCommunicationAreaRoundTrip(t *testing.T) {
 func TestRowsetPropertyExtensions(t *testing.T) {
 	src := NewSQLDataResource(seedEngine(t))
 	ds := core.NewDataService("ds")
-	rr, _ := RowsetFromSQL(src, ds, `SELECT id, name FROM emp`, nil, "", nil)
+	rr, _ := RowsetFromSQL(context.Background(), src, ds, `SELECT id, name FROM emp`, nil, "", nil)
 	ext := rr.ExtendedProperties()
 	var found int
 	for _, e := range ext {
@@ -419,19 +420,19 @@ func TestSensitivitySemantics(t *testing.T) {
 	ds := core.NewDataService("ds")
 
 	insensitive := core.DefaultConfiguration() // Insensitive by default
-	snap, err := SQLExecuteFactory(src, ds, `SELECT COUNT(*) FROM emp`, nil, &insensitive)
+	snap, err := SQLExecuteFactory(context.Background(), src, ds, `SELECT COUNT(*) FROM emp`, nil, &insensitive)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sensitiveCfg := core.DefaultConfiguration()
 	sensitiveCfg.Sensitivity = core.Sensitive
-	live, err := SQLExecuteFactory(src, ds, `SELECT COUNT(*) FROM emp`, nil, &sensitiveCfg)
+	live, err := SQLExecuteFactory(context.Background(), src, ds, `SELECT COUNT(*) FROM emp`, nil, &sensitiveCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	// Mutate the parent after both derivations.
-	if _, err := src.SQLExecute(`DELETE FROM emp WHERE id = 1`, nil); err != nil {
+	if _, err := src.SQLExecute(context.Background(), `DELETE FROM emp WHERE id = 1`, nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -450,7 +451,7 @@ func TestSensitivitySemantics(t *testing.T) {
 		t.Fatalf("sensitive resource should reflect the parent: %v", liveSet.Rows[0][0])
 	}
 	// Release detaches the sensitive resource from its parent.
-	if err := ds.DestroyDataResource(live.AbstractName()); err != nil {
+	if err := ds.DestroyDataResource(context.Background(), live.AbstractName()); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := live.GetSQLRowset(0); err == nil {

@@ -1,6 +1,8 @@
 package dair
 
 import (
+	"context"
+
 	"dais/internal/core"
 	"dais/internal/rowset"
 	"dais/internal/sqlengine"
@@ -23,12 +25,12 @@ const (
 //
 // The configuration document controls the derived resource's
 // configurable properties; a nil config applies WS-DAI defaults.
-func SQLExecuteFactory(src *SQLDataResource, target *core.DataService, expression string,
+func SQLExecuteFactory(ctx context.Context, src *SQLDataResource, target *core.DataService, expression string,
 	params []sqlengine.Value, cfg *core.Configuration) (*SQLResponseResource, error) {
 	if err := core.CheckReadable(src); err != nil {
 		return nil, err
 	}
-	data, err := src.SQLExecute(expression, params)
+	data, err := src.SQLExecute(ctx, expression, params)
 	if err != nil {
 		return nil, err
 	}
@@ -41,8 +43,11 @@ func SQLExecuteFactory(src *SQLDataResource, target *core.DataService, expressio
 		// A Sensitive derived resource reflects later parent changes
 		// (paper §4.2) by re-evaluating the expression on each access.
 		expr, ps := expression, append([]sqlengine.Value(nil), params...)
+		// Refreshes run on later accesses, after the creating request's
+		// context is gone, so they execute under their own background
+		// context.
 		res.setRefresh(func() (*SQLResponseData, error) {
-			return src.SQLExecute(expr, ps)
+			return src.SQLExecute(context.Background(), expr, ps)
 		})
 	}
 	target.AddResource(res)
@@ -56,8 +61,11 @@ func SQLExecuteFactory(src *SQLDataResource, target *core.DataService, expressio
 // returns it. Count limits the number of rows copied into the derived
 // resource (0 = all), mirroring the Count element of the
 // SQLRowsetFactoryRequest message.
-func SQLRowsetFactory(src *SQLResponseResource, target *core.DataService, formatURI string,
+func SQLRowsetFactory(ctx context.Context, src *SQLResponseResource, target *core.DataService, formatURI string,
 	count int, cfg *core.Configuration) (*SQLRowsetResource, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, &core.RequestTimeoutFault{Detail: err.Error()}
+	}
 	if err := core.CheckReadable(src); err != nil {
 		return nil, err
 	}
@@ -88,12 +96,12 @@ func SQLRowsetFactory(src *SQLResponseResource, target *core.DataService, format
 // directly materialises a rowset resource (the short-cut the paper
 // notes at the end of §4.2: "all that would be required is for Data
 // Service 1 to support the SQLResponseFactory interface").
-func RowsetFromSQL(src *SQLDataResource, target *core.DataService, expression string,
+func RowsetFromSQL(ctx context.Context, src *SQLDataResource, target *core.DataService, expression string,
 	params []sqlengine.Value, formatURI string, cfg *core.Configuration) (*SQLRowsetResource, error) {
 	if err := core.CheckReadable(src); err != nil {
 		return nil, err
 	}
-	data, err := src.SQLExecute(expression, params)
+	data, err := src.SQLExecute(ctx, expression, params)
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,8 @@
 package dair
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -120,8 +122,8 @@ func (r *SQLDataResource) DatasetFormats() []string { return r.formats.URIs() }
 // GenericQuery implements the WS-DAI GenericQuery operation over SQL:
 // the result is rendered as an SQLRowset element (queries) or an
 // UpdateCount element (DML).
-func (r *SQLDataResource) GenericQuery(languageURI, expression string) (*xmlutil.Element, error) {
-	resp, err := r.SQLExecute(expression, nil)
+func (r *SQLDataResource) GenericQuery(ctx context.Context, languageURI, expression string) (*xmlutil.Element, error) {
+	resp, err := r.SQLExecute(ctx, expression, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -149,7 +151,7 @@ func (r *SQLDataResource) ExtendedProperties() []*xmlutil.Element {
 // resource's transaction policy and captures the outcome — rowset or
 // update count plus the SQL communication area — as an in-memory
 // response.
-func (r *SQLDataResource) SQLExecute(expression string, params []sqlengine.Value) (*SQLResponseData, error) {
+func (r *SQLDataResource) SQLExecute(ctx context.Context, expression string, params []sqlengine.Value) (*SQLResponseData, error) {
 	prepared, err := r.wrapper.Prepare(expression)
 	if err != nil {
 		return nil, err
@@ -169,7 +171,7 @@ func (r *SQLDataResource) SQLExecute(expression string, params []sqlengine.Value
 				r.txnSess.SetIsolation(iso)
 			}
 		}
-		res, err = r.txnSess.Execute(prepared, params...)
+		res, err = r.txnSess.ExecuteContext(ctx, prepared, params...)
 		r.txnMu.Unlock()
 	case core.TransactionPerMessage:
 		sess := r.engine.NewSession()
@@ -178,21 +180,32 @@ func (r *SQLDataResource) SQLExecute(expression string, params []sqlengine.Value
 		}
 		// Auto-commit in the engine is already statement-atomic, which
 		// is exactly the per-message atomic transaction semantics.
-		res, err = sess.Execute(prepared, params...)
+		res, err = sess.ExecuteContext(ctx, prepared, params...)
 	default: // TransactionNotSupported
-		res, err = r.engine.NewSession().Execute(prepared, params...)
+		res, err = r.engine.NewSession().ExecuteContext(ctx, prepared, params...)
 	}
 	if res == nil && err != nil {
-		return nil, &core.InvalidExpressionFault{Detail: err.Error()}
+		return nil, execFault(err)
 	}
 	data := newResponseData(res)
 	if err != nil {
 		// Execution failed: the communication area carries the
 		// diagnostic; surface both, letting service layers choose to
 		// fault or to ship the CA.
-		return data, &core.InvalidExpressionFault{Detail: err.Error()}
+		return data, execFault(err)
 	}
 	return data, nil
+}
+
+// execFault maps engine errors to DAIS faults: a cancelled or timed-out
+// execution becomes a RequestTimeoutFault, everything else an
+// InvalidExpressionFault.
+func execFault(err error) error {
+	var ce *sqlengine.CancelledError
+	if errors.As(err, &ce) {
+		return &core.RequestTimeoutFault{Detail: err.Error()}
+	}
+	return &core.InvalidExpressionFault{Detail: err.Error()}
 }
 
 // authorize enforces the Readable/Writeable configurable properties:

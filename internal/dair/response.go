@@ -1,6 +1,7 @@
 package dair
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -173,7 +174,7 @@ func (r *SQLResponseResource) QueryLanguages() []string { return nil }
 func (r *SQLResponseResource) DatasetFormats() []string { return r.formats.URIs() }
 
 // GenericQuery implements core.DataResource; responses reject it.
-func (r *SQLResponseResource) GenericQuery(lang, expr string) (*xmlutil.Element, error) {
+func (r *SQLResponseResource) GenericQuery(ctx context.Context, lang, expr string) (*xmlutil.Element, error) {
 	return nil, &core.InvalidLanguageFault{Language: lang}
 }
 
@@ -366,7 +367,7 @@ func (r *SQLRowsetResource) QueryLanguages() []string { return nil }
 func (r *SQLRowsetResource) DatasetFormats() []string { return []string{r.formatURI} }
 
 // GenericQuery implements core.DataResource; rowsets reject it.
-func (r *SQLRowsetResource) GenericQuery(lang, expr string) (*xmlutil.Element, error) {
+func (r *SQLRowsetResource) GenericQuery(ctx context.Context, lang, expr string) (*xmlutil.Element, error) {
 	return nil, &core.InvalidLanguageFault{Language: lang}
 }
 

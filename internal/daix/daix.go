@@ -11,6 +11,7 @@
 package daix
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -84,14 +85,14 @@ func (r *XMLCollectionResource) QueryLanguages() []string {
 func (r *XMLCollectionResource) DatasetFormats() []string { return []string{FormatXML} }
 
 // GenericQuery implements core.DataResource, dispatching on language.
-func (r *XMLCollectionResource) GenericQuery(languageURI, expression string) (*xmlutil.Element, error) {
+func (r *XMLCollectionResource) GenericQuery(ctx context.Context, languageURI, expression string) (*xmlutil.Element, error) {
 	var results []xmldb.QueryResult
 	var err error
 	switch languageURI {
 	case LanguageXPath:
-		results, err = r.XPathExecute(expression)
+		results, err = r.XPathExecute(ctx, expression)
 	case LanguageXQuery:
-		results, err = r.XQueryExecute(expression)
+		results, err = r.XQueryExecute(ctx, expression)
 	default:
 		return nil, &core.InvalidLanguageFault{Language: languageURI}
 	}
@@ -210,40 +211,52 @@ func (r *XMLCollectionResource) ListSubcollections() ([]string, error) {
 
 // XPathExecute implements XPathAccess.XPathExecute across the
 // collection's documents.
-func (r *XMLCollectionResource) XPathExecute(expr string) ([]xmldb.QueryResult, error) {
+func (r *XMLCollectionResource) XPathExecute(ctx context.Context, expr string) ([]xmldb.QueryResult, error) {
 	if err := core.CheckReadable(r); err != nil {
 		return nil, err
 	}
-	res, err := r.store.XPathQuery(r.path, expr)
+	res, err := r.store.XPathQueryContext(ctx, r.path, expr)
 	if err != nil {
-		return nil, &core.InvalidExpressionFault{Detail: err.Error()}
+		return nil, queryFault(ctx, err)
 	}
 	return res, nil
 }
 
 // XQueryExecute implements XQueryAccess.XQueryExecute.
-func (r *XMLCollectionResource) XQueryExecute(query string) ([]xmldb.QueryResult, error) {
+func (r *XMLCollectionResource) XQueryExecute(ctx context.Context, query string) ([]xmldb.QueryResult, error) {
 	if err := core.CheckReadable(r); err != nil {
 		return nil, err
 	}
-	res, err := r.store.XQueryExecute(r.path, query)
+	res, err := r.store.XQueryExecuteContext(ctx, r.path, query)
 	if err != nil {
-		return nil, &core.InvalidExpressionFault{Detail: err.Error()}
+		return nil, queryFault(ctx, err)
 	}
 	return res, nil
 }
 
 // XUpdateExecute implements XUpdateAccess.XUpdateExecute against one
 // document of the collection.
-func (r *XMLCollectionResource) XUpdateExecute(document string, modifications *xmlutil.Element) (int, error) {
+func (r *XMLCollectionResource) XUpdateExecute(ctx context.Context, document string, modifications *xmlutil.Element) (int, error) {
 	if err := core.CheckWriteable(r); err != nil {
 		return 0, err
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, &core.RequestTimeoutFault{Detail: err.Error()}
 	}
 	n, err := r.store.XUpdate(r.path, document, modifications)
 	if err != nil {
 		return 0, &core.InvalidExpressionFault{Detail: err.Error()}
 	}
 	return n, nil
+}
+
+// queryFault maps store errors to DAIS faults, recognising context
+// cancellation as a RequestTimeoutFault.
+func queryFault(ctx context.Context, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return &core.RequestTimeoutFault{Detail: ctxErr.Error()}
+	}
+	return &core.InvalidExpressionFault{Detail: err.Error()}
 }
 
 // WrapResults renders query results as a single XMLSequence element for

@@ -1,6 +1,7 @@
 package daix
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -76,7 +77,7 @@ func TestAddDocumentsBatch(t *testing.T) {
 
 func TestXPathExecute(t *testing.T) {
 	r := seedCollection(t)
-	res, err := r.XPathExecute("/book[price > 15]/title")
+	res, err := r.XPathExecute(context.Background(), "/book[price > 15]/title")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,14 +85,14 @@ func TestXPathExecute(t *testing.T) {
 		t.Fatalf("res = %+v", res)
 	}
 	var ief *core.InvalidExpressionFault
-	if _, err := r.XPathExecute("bad["); !errors.As(err, &ief) {
+	if _, err := r.XPathExecute(context.Background(), "bad["); !errors.As(err, &ief) {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestXQueryExecute(t *testing.T) {
 	r := seedCollection(t)
-	res, err := r.XQueryExecute(`for $b in /book where $b/price > 15 order by $b/price return <t>{$b/title}</t>`)
+	res, err := r.XQueryExecute(context.Background(), `for $b in /book where $b/price > 15 order by $b/price return <t>{$b/title}</t>`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestXUpdateExecute(t *testing.T) {
 		<xu:update select="/book/price">55</xu:update>
 	</xu:modifications>`
 	mods, _ := xmlutil.ParseString(modsDoc)
-	n, err := r.XUpdateExecute("book1.xml", mods)
+	n, err := r.XUpdateExecute(context.Background(), "book1.xml", mods)
 	if err != nil || n != 1 {
 		t.Fatalf("n = %d, %v", n, err)
 	}
@@ -118,17 +119,17 @@ func TestXUpdateExecute(t *testing.T) {
 
 func TestGenericQueryDispatch(t *testing.T) {
 	r := seedCollection(t)
-	seq, err := r.GenericQuery(LanguageXPath, "/book/title")
+	seq, err := r.GenericQuery(context.Background(), LanguageXPath, "/book/title")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if seq.Name.Local != "XMLSequence" || len(seq.FindAll(NSDAIX, "Item")) != 3 {
 		t.Fatalf("seq = %s", xmlutil.MarshalString(seq))
 	}
-	if _, err := r.GenericQuery("urn:sql", "SELECT"); err == nil {
+	if _, err := r.GenericQuery(context.Background(), "urn:sql", "SELECT"); err == nil {
 		t.Fatal("wrong language should fault")
 	}
-	xq, err := r.GenericQuery(LanguageXQuery, `for $b in /book where $b/price = 10 return <x>{$b/title}</x>`)
+	xq, err := r.GenericQuery(context.Background(), LanguageXQuery, `for $b in /book where $b/price = 10 return <x>{$b/title}</x>`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,10 +150,10 @@ func TestReadWriteEnforcement(t *testing.T) {
 	if err := r.AddDocument("x.xml", d); !errors.As(err, &naf) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, err := r.XPathExecute("/x"); !errors.As(err, &naf) {
+	if _, err := r.XPathExecute(context.Background(), "/x"); !errors.As(err, &naf) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, err := r.XUpdateExecute("x.xml", nil); !errors.As(err, &naf) {
+	if _, err := r.XUpdateExecute(context.Background(), "x.xml", nil); !errors.As(err, &naf) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -160,7 +161,7 @@ func TestReadWriteEnforcement(t *testing.T) {
 func TestXPathFactorySequence(t *testing.T) {
 	r := seedCollection(t)
 	ds := core.NewDataService("ds2")
-	seq, err := XPathFactory(r, ds, "/book/title", nil)
+	seq, err := XPathFactory(context.Background(), r, ds, "/book/title", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestXPathFactorySequence(t *testing.T) {
 		t.Fatal("beyond end should be empty")
 	}
 	// Destroy drops data.
-	if err := ds.DestroyDataResource(seq.AbstractName()); err != nil {
+	if err := ds.DestroyDataResource(context.Background(), seq.AbstractName()); err != nil {
 		t.Fatal(err)
 	}
 	if seq.ItemCount() != 0 {
@@ -192,7 +193,7 @@ func TestXPathFactorySequence(t *testing.T) {
 func TestXQueryFactory(t *testing.T) {
 	r := seedCollection(t)
 	ds := core.NewDataService("ds")
-	seq, err := XQueryFactory(r, ds, `for $b in /book where $b/price < 25 return <t>{$b/title}</t>`, nil)
+	seq, err := XQueryFactory(context.Background(), r, ds, `for $b in /book where $b/price < 25 return <t>{$b/title}</t>`, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +205,7 @@ func TestXQueryFactory(t *testing.T) {
 func TestCollectionFactoryLiveView(t *testing.T) {
 	r := seedCollection(t)
 	ds := core.NewDataService("ds")
-	sub, err := CollectionFactory(r, ds, "derived", nil)
+	sub, err := CollectionFactory(context.Background(), r, ds, "derived", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +225,7 @@ func TestCollectionFactoryLiveView(t *testing.T) {
 		t.Fatalf("store view = %v, %v", names, err)
 	}
 	// Destroying the derived resource removes the sub-collection.
-	if err := ds.DestroyDataResource(sub.AbstractName()); err != nil {
+	if err := ds.DestroyDataResource(context.Background(), sub.AbstractName()); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := r.Store().ListDocuments("derived"); err == nil {
@@ -265,7 +266,7 @@ func TestWrapResultsScalar(t *testing.T) {
 func TestSequencePropertiesAndPaging(t *testing.T) {
 	r := seedCollection(t)
 	ds := core.NewDataService("ds")
-	seq, _ := XPathFactory(r, ds, "//book", nil)
+	seq, _ := XPathFactory(context.Background(), r, ds, "//book", nil)
 	props := seq.ExtendedProperties()
 	if len(props) != 1 || props[0].Text() != "3" {
 		t.Fatalf("props = %v", props)

@@ -1,6 +1,7 @@
 package daix
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -45,7 +46,7 @@ func (r *XMLSequenceResource) QueryLanguages() []string { return nil }
 func (r *XMLSequenceResource) DatasetFormats() []string { return []string{FormatXML} }
 
 // GenericQuery implements core.DataResource; sequences reject it.
-func (r *XMLSequenceResource) GenericQuery(lang, expr string) (*xmlutil.Element, error) {
+func (r *XMLSequenceResource) GenericQuery(ctx context.Context, lang, expr string) (*xmlutil.Element, error) {
 	return nil, &core.InvalidLanguageFault{Language: lang}
 }
 
@@ -99,9 +100,9 @@ func (r *XMLSequenceResource) GetItems(startPosition, count int) ([]xmldb.QueryR
 // XPathFactory implements XPathAccessFactory.XPathExecuteFactory: it
 // evaluates the expression and wraps the result sequence as a new
 // service-managed resource registered with the target service.
-func XPathFactory(src *XMLCollectionResource, target *core.DataService, expr string,
+func XPathFactory(ctx context.Context, src *XMLCollectionResource, target *core.DataService, expr string,
 	cfg *core.Configuration) (*XMLSequenceResource, error) {
-	results, err := src.XPathExecute(expr)
+	results, err := src.XPathExecute(ctx, expr)
 	if err != nil {
 		return nil, err
 	}
@@ -115,9 +116,9 @@ func XPathFactory(src *XMLCollectionResource, target *core.DataService, expr str
 }
 
 // XQueryFactory implements XQueryFactory.XQueryExecuteFactory.
-func XQueryFactory(src *XMLCollectionResource, target *core.DataService, query string,
+func XQueryFactory(ctx context.Context, src *XMLCollectionResource, target *core.DataService, query string,
 	cfg *core.Configuration) (*XMLSequenceResource, error) {
-	results, err := src.XQueryExecute(query)
+	results, err := src.XQueryExecute(ctx, query)
 	if err != nil {
 		return nil, err
 	}
@@ -135,8 +136,11 @@ func XQueryFactory(src *XMLCollectionResource, target *core.DataService, query s
 // it as a new data resource and registers it with the target service.
 // Unlike sequences the new resource is a live view: documents added
 // through it are visible to the parent store.
-func CollectionFactory(src *XMLCollectionResource, target *core.DataService, name string,
+func CollectionFactory(ctx context.Context, src *XMLCollectionResource, target *core.DataService, name string,
 	cfg *core.Configuration) (*XMLCollectionResource, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, &core.RequestTimeoutFault{Detail: err.Error()}
+	}
 	if err := src.CreateSubcollection(name); err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/base64"
 	"fmt"
 
@@ -28,8 +29,8 @@ const (
 // snapshots, so read-side operations work against either.
 type fileReader interface {
 	core.DataResource
-	ReadFile(name string, offset, count int64) ([]byte, error)
-	ListFiles(pattern string) ([]filestore.FileInfo, error)
+	ReadFile(ctx context.Context, name string, offset, count int64) ([]byte, error)
+	ListFiles(ctx context.Context, pattern string) ([]filestore.FileInfo, error)
 }
 
 // resolveFileReader resolves an abstract name to any readable file
@@ -62,7 +63,7 @@ func (e *Endpoint) resolveFile(name string) (*daif.FileDataResource, error) {
 
 // registerDAIF wires the WS-DAIF operations.
 func (e *Endpoint) registerDAIF() {
-	e.handle(FileAccess, ActReadFile, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.handle(FileAccess, ActReadFile, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err
@@ -80,7 +81,7 @@ func (e *Endpoint) registerDAIF() {
 		if err != nil {
 			return nil, &core.InvalidExpressionFault{Detail: err.Error()}
 		}
-		data, err := fr.ReadFile(fileName, int64(offset), int64(count))
+		data, err := fr.ReadFile(ctx, fileName, int64(offset), int64(count))
 		if err != nil {
 			return nil, err
 		}
@@ -91,8 +92,8 @@ func (e *Endpoint) registerDAIF() {
 		return resp, nil
 	})
 
-	writeOp := func(action string, apply func(*daif.FileDataResource, string, []byte) error, respName string) {
-		e.handle(FileAccess, action, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	writeOp := func(action string, apply func(context.Context, *daif.FileDataResource, string, []byte) error, respName string) {
+		e.handle(FileAccess, action, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 			name, err := AbstractNameOf(body)
 			if err != nil {
 				return nil, err
@@ -105,20 +106,20 @@ func (e *Endpoint) registerDAIF() {
 			if err != nil {
 				return nil, &core.InvalidExpressionFault{Detail: "bad base64 payload: " + err.Error()}
 			}
-			if err := apply(fr, body.FindText(NSDAIF, "FileName"), data); err != nil {
+			if err := apply(ctx, fr, body.FindText(NSDAIF, "FileName"), data); err != nil {
 				return nil, err
 			}
 			return xmlutil.NewElement(NSDAIF, respName), nil
 		})
 	}
-	writeOp(ActWriteFile, func(fr *daif.FileDataResource, n string, d []byte) error {
-		return fr.WriteFile(n, d)
+	writeOp(ActWriteFile, func(ctx context.Context, fr *daif.FileDataResource, n string, d []byte) error {
+		return fr.WriteFile(ctx, n, d)
 	}, "WriteFileResponse")
-	writeOp(ActAppendFile, func(fr *daif.FileDataResource, n string, d []byte) error {
-		return fr.AppendFile(n, d)
+	writeOp(ActAppendFile, func(ctx context.Context, fr *daif.FileDataResource, n string, d []byte) error {
+		return fr.AppendFile(ctx, n, d)
 	}, "AppendFileResponse")
 
-	e.handle(FileAccess, ActDeleteFile, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.handle(FileAccess, ActDeleteFile, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err
@@ -127,13 +128,13 @@ func (e *Endpoint) registerDAIF() {
 		if err != nil {
 			return nil, err
 		}
-		if err := fr.DeleteFile(body.FindText(NSDAIF, "FileName")); err != nil {
+		if err := fr.DeleteFile(ctx, body.FindText(NSDAIF, "FileName")); err != nil {
 			return nil, err
 		}
 		return xmlutil.NewElement(NSDAIF, "DeleteFileResponse"), nil
 	})
 
-	e.handle(FileAccess, ActListFiles, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.handle(FileAccess, ActListFiles, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err
@@ -142,7 +143,7 @@ func (e *Endpoint) registerDAIF() {
 		if err != nil {
 			return nil, err
 		}
-		infos, err := fr.ListFiles(body.FindText(NSDAIF, "Pattern"))
+		infos, err := fr.ListFiles(ctx, body.FindText(NSDAIF, "Pattern"))
 		if err != nil {
 			return nil, err
 		}
@@ -151,7 +152,7 @@ func (e *Endpoint) registerDAIF() {
 		return resp, nil
 	})
 
-	e.handle(FileAccess, ActStatFile, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.handle(FileAccess, ActStatFile, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err
@@ -160,7 +161,7 @@ func (e *Endpoint) registerDAIF() {
 		if err != nil {
 			return nil, err
 		}
-		infos, err := fr.ListFiles(body.FindText(NSDAIF, "FileName"))
+		infos, err := fr.ListFiles(ctx, body.FindText(NSDAIF, "FileName"))
 		if err != nil {
 			return nil, err
 		}
@@ -173,7 +174,7 @@ func (e *Endpoint) registerDAIF() {
 		return resp, nil
 	})
 
-	e.handle(FileFactory, ActFileSelectFactory, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.handle(FileFactory, ActFileSelectFactory, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err
@@ -186,7 +187,7 @@ func (e *Endpoint) registerDAIF() {
 		if err != nil {
 			return nil, &core.InvalidExpressionFault{Detail: err.Error()}
 		}
-		derived, err := daif.FileSelectFactory(fr, e.target.svc, body.FindText(NSDAIF, "Pattern"), &cfg)
+		derived, err := daif.FileSelectFactory(ctx, fr, e.target.svc, body.FindText(NSDAIF, "Pattern"), &cfg)
 		if err != nil {
 			return nil, err
 		}

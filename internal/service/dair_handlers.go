@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 
 	"dais/internal/core"
@@ -53,7 +54,7 @@ func (e *Endpoint) registerDAIR() {
 	// SQLAccess.SQLExecute — the direct data access pattern of Fig. 2:
 	// the data comes back in the response, in the requested format,
 	// with the SQL communication area alongside.
-	e.handle(SQLAccess, ActSQLExecute, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.handle(SQLAccess, ActSQLExecute, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err
@@ -71,7 +72,7 @@ func (e *Endpoint) registerDAIR() {
 		if err != nil {
 			return nil, &core.InvalidDatasetFormatFault{Format: formatURI}
 		}
-		data, err := res.SQLExecute(expr, params)
+		data, err := res.SQLExecute(ctx, expr, params)
 		if err != nil {
 			return nil, err
 		}
@@ -90,7 +91,7 @@ func (e *Endpoint) registerDAIR() {
 	})
 
 	// SQLAccess.GetSQLPropertyDocument.
-	e.handle(SQLAccess, ActGetSQLPropertyDoc, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.handle(SQLAccess, ActGetSQLPropertyDoc, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err
@@ -109,7 +110,7 @@ func (e *Endpoint) registerDAIR() {
 
 	// SQLFactory.SQLExecuteFactory — the indirect pattern of Fig. 3:
 	// the response carries an EPR to the derived SQLResponse resource.
-	e.handle(SQLFactory, ActSQLExecuteFactory, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.handle(SQLFactory, ActSQLExecuteFactory, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err
@@ -126,7 +127,7 @@ func (e *Endpoint) registerDAIR() {
 		if err != nil {
 			return nil, &core.InvalidExpressionFault{Detail: err.Error()}
 		}
-		derived, err := dair.SQLExecuteFactory(res, e.target.svc, expr, params, &cfg)
+		derived, err := dair.SQLExecuteFactory(ctx, res, e.target.svc, expr, params, &cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -137,7 +138,7 @@ func (e *Endpoint) registerDAIR() {
 	})
 
 	// ResponseAccess operations.
-	e.handle(SQLResponseAccess, ActGetSQLRowset, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.handle(SQLResponseAccess, ActGetSQLRowset, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err
@@ -158,7 +159,7 @@ func (e *Endpoint) registerDAIR() {
 		resp.AppendChild(rowset.SQLRowsetElement(set))
 		return resp, nil
 	})
-	e.handle(SQLResponseAccess, ActGetSQLUpdateCount, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.handle(SQLResponseAccess, ActGetSQLUpdateCount, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err
@@ -179,7 +180,7 @@ func (e *Endpoint) registerDAIR() {
 		resp.AddText(NSDAIR, "UpdateCount", fmt.Sprintf("%d", n))
 		return resp, nil
 	})
-	e.handle(SQLResponseAccess, ActGetSQLCommArea, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.handle(SQLResponseAccess, ActGetSQLCommArea, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err
@@ -193,7 +194,7 @@ func (e *Endpoint) registerDAIR() {
 		resp.AppendChild(data.CommunicationAreaElement())
 		return resp, nil
 	})
-	e.handle(SQLResponseAccess, ActGetSQLReturnValue, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.handle(SQLResponseAccess, ActGetSQLReturnValue, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err
@@ -210,7 +211,7 @@ func (e *Endpoint) registerDAIR() {
 		resp.AddText(NSDAIR, "Value", v.String())
 		return resp, nil
 	})
-	e.handle(SQLResponseAccess, ActGetSQLOutputParameter, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.handle(SQLResponseAccess, ActGetSQLOutputParameter, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err
@@ -227,7 +228,7 @@ func (e *Endpoint) registerDAIR() {
 		resp.AddText(NSDAIR, "Value", v.String())
 		return resp, nil
 	})
-	e.handle(SQLResponseAccess, ActGetSQLResponseItem, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.handle(SQLResponseAccess, ActGetSQLResponseItem, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err
@@ -255,7 +256,7 @@ func (e *Endpoint) registerDAIR() {
 		}
 		return resp, nil
 	})
-	e.handle(SQLResponseAccess, ActGetSQLResponsePropDoc, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.handle(SQLResponseAccess, ActGetSQLResponsePropDoc, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err
@@ -273,7 +274,7 @@ func (e *Endpoint) registerDAIR() {
 	})
 
 	// ResponseFactory.SQLRowsetFactory — the second hop of Fig. 5.
-	e.handle(SQLResponseFactory, ActSQLRowsetFactory, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.handle(SQLResponseFactory, ActSQLRowsetFactory, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err
@@ -291,7 +292,7 @@ func (e *Endpoint) registerDAIR() {
 		if err != nil {
 			return nil, &core.InvalidExpressionFault{Detail: err.Error()}
 		}
-		derived, err := dair.SQLRowsetFactory(rr, e.target.svc, formatURI, count, &cfg)
+		derived, err := dair.SQLRowsetFactory(ctx, rr, e.target.svc, formatURI, count, &cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -302,7 +303,7 @@ func (e *Endpoint) registerDAIR() {
 	})
 
 	// RowsetAccess operations — the third hop of Fig. 5.
-	e.handle(SQLRowsetAccess, ActGetTuples, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.handle(SQLRowsetAccess, ActGetTuples, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err
@@ -327,7 +328,7 @@ func (e *Endpoint) registerDAIR() {
 		resp.AppendChild(datasetElement(rr.FormatURI(), data))
 		return resp, nil
 	})
-	e.handle(SQLRowsetAccess, ActGetRowsetPropDoc, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.handle(SQLRowsetAccess, ActGetRowsetPropDoc, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err

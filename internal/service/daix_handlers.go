@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 
 	"dais/internal/core"
@@ -38,7 +39,7 @@ func (e *Endpoint) resolveSequence(name string) (*daix.XMLSequenceResource, erro
 // registerDAIX wires the WS-DAIX operations.
 func (e *Endpoint) registerDAIX() {
 	// XMLCollectionAccess document operations.
-	e.handle(XMLCollectionAccess, ActAddDocument, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.handle(XMLCollectionAccess, ActAddDocument, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err
@@ -57,7 +58,7 @@ func (e *Endpoint) registerDAIX() {
 		}
 		return xmlutil.NewElement(NSDAIX, "AddDocumentResponse"), nil
 	})
-	e.handle(XMLCollectionAccess, ActGetDocument, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.handle(XMLCollectionAccess, ActGetDocument, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err
@@ -75,7 +76,7 @@ func (e *Endpoint) registerDAIX() {
 		wrap.AppendChild(doc)
 		return resp, nil
 	})
-	e.handle(XMLCollectionAccess, ActRemoveDocument, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.handle(XMLCollectionAccess, ActRemoveDocument, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err
@@ -89,7 +90,7 @@ func (e *Endpoint) registerDAIX() {
 		}
 		return xmlutil.NewElement(NSDAIX, "RemoveDocumentResponse"), nil
 	})
-	e.handle(XMLCollectionAccess, ActListDocuments, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.handle(XMLCollectionAccess, ActListDocuments, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err
@@ -110,7 +111,7 @@ func (e *Endpoint) registerDAIX() {
 	})
 
 	// XMLCollectionAccess sub-collection operations.
-	e.handle(XMLCollectionAccess, ActCreateSubcollection, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.handle(XMLCollectionAccess, ActCreateSubcollection, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err
@@ -124,7 +125,7 @@ func (e *Endpoint) registerDAIX() {
 		}
 		return xmlutil.NewElement(NSDAIX, "CreateSubcollectionResponse"), nil
 	})
-	e.handle(XMLCollectionAccess, ActRemoveSubcollection, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.handle(XMLCollectionAccess, ActRemoveSubcollection, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err
@@ -138,7 +139,7 @@ func (e *Endpoint) registerDAIX() {
 		}
 		return xmlutil.NewElement(NSDAIX, "RemoveSubcollectionResponse"), nil
 	})
-	e.handle(XMLCollectionAccess, ActListSubcollections, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.handle(XMLCollectionAccess, ActListSubcollections, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err
@@ -159,7 +160,7 @@ func (e *Endpoint) registerDAIX() {
 	})
 
 	// Query interfaces.
-	e.handle(XMLQueryAccess, ActXPathExecute, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.handle(XMLQueryAccess, ActXPathExecute, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err
@@ -168,7 +169,7 @@ func (e *Endpoint) registerDAIX() {
 		if err != nil {
 			return nil, err
 		}
-		results, err := cr.XPathExecute(body.FindText(NSDAIX, "Expression"))
+		results, err := cr.XPathExecute(ctx, body.FindText(NSDAIX, "Expression"))
 		if err != nil {
 			return nil, err
 		}
@@ -176,7 +177,7 @@ func (e *Endpoint) registerDAIX() {
 		resp.AppendChild(daix.WrapResults(results))
 		return resp, nil
 	})
-	e.handle(XMLQueryAccess, ActXQueryExecute, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.handle(XMLQueryAccess, ActXQueryExecute, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err
@@ -185,7 +186,7 @@ func (e *Endpoint) registerDAIX() {
 		if err != nil {
 			return nil, err
 		}
-		results, err := cr.XQueryExecute(body.FindText(NSDAIX, "Expression"))
+		results, err := cr.XQueryExecute(ctx, body.FindText(NSDAIX, "Expression"))
 		if err != nil {
 			return nil, err
 		}
@@ -193,7 +194,7 @@ func (e *Endpoint) registerDAIX() {
 		resp.AppendChild(daix.WrapResults(results))
 		return resp, nil
 	})
-	e.handle(XMLQueryAccess, ActXUpdateExecute, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.handle(XMLQueryAccess, ActXUpdateExecute, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err
@@ -206,7 +207,7 @@ func (e *Endpoint) registerDAIX() {
 		if mods == nil {
 			return nil, &core.InvalidExpressionFault{Detail: "XUpdateExecute requires an xupdate:modifications child"}
 		}
-		n, err := cr.XUpdateExecute(body.FindText(NSDAIX, "DocumentName"), mods)
+		n, err := cr.XUpdateExecute(ctx, body.FindText(NSDAIX, "DocumentName"), mods)
 		if err != nil {
 			return nil, err
 		}
@@ -216,17 +217,17 @@ func (e *Endpoint) registerDAIX() {
 	})
 
 	// Factories (indirect access).
-	e.handle(XMLFactory, ActXPathFactory, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.handle(XMLFactory, ActXPathFactory, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		return e.sequenceFactory(body, func(cr *daix.XMLCollectionResource, expr string, cfg *core.Configuration) (*daix.XMLSequenceResource, error) {
-			return daix.XPathFactory(cr, e.target.svc, expr, cfg)
+			return daix.XPathFactory(ctx, cr, e.target.svc, expr, cfg)
 		}, "XPathExecuteFactoryResponse")
 	})
-	e.handle(XMLFactory, ActXQueryFactory, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.handle(XMLFactory, ActXQueryFactory, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		return e.sequenceFactory(body, func(cr *daix.XMLCollectionResource, expr string, cfg *core.Configuration) (*daix.XMLSequenceResource, error) {
-			return daix.XQueryFactory(cr, e.target.svc, expr, cfg)
+			return daix.XQueryFactory(ctx, cr, e.target.svc, expr, cfg)
 		}, "XQueryExecuteFactoryResponse")
 	})
-	e.handle(XMLFactory, ActCollectionFactory, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.handle(XMLFactory, ActCollectionFactory, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err
@@ -239,7 +240,7 @@ func (e *Endpoint) registerDAIX() {
 		if err != nil {
 			return nil, &core.InvalidExpressionFault{Detail: err.Error()}
 		}
-		derived, err := daix.CollectionFactory(cr, e.target.svc, body.FindText(NSDAIX, "CollectionName"), &cfg)
+		derived, err := daix.CollectionFactory(ctx, cr, e.target.svc, body.FindText(NSDAIX, "CollectionName"), &cfg)
 		if err != nil {
 			return nil, wrapDAIXErr(err)
 		}
@@ -250,7 +251,7 @@ func (e *Endpoint) registerDAIX() {
 	})
 
 	// Sequence access.
-	e.handle(XMLSequenceAccess, ActGetItems, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.handle(XMLSequenceAccess, ActGetItems, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"net/http"
 	"strings"
 
@@ -62,8 +63,10 @@ type EndpointOption func(*Endpoint)
 func WithWSRF() EndpointOption {
 	return func(e *Endpoint) {
 		e.wsrfReg = wsrf.NewRegistry(wsrf.WithDestroyCallback(func(id string) {
-			// WSRF destroy tears down the DAIS relationship too.
-			e.svc.DestroyDataResource(id) //nolint:errcheck // already gone is fine
+			// WSRF destroy tears down the DAIS relationship too. It may
+			// fire from the reaper, long after any request context, so it
+			// runs under the background context.
+			e.svc.DestroyDataResource(context.Background(), id) //nolint:errcheck // already gone is fine
 		}))
 	}
 }
@@ -79,9 +82,17 @@ func WithFactoryTarget(t *Endpoint) EndpointOption {
 	return func(e *Endpoint) { e.target = t }
 }
 
+// WithServerInterceptors appends interceptors to the endpoint's SOAP
+// dispatch chain (after the default request-ID interceptor).
+func WithServerInterceptors(ics ...soap.Interceptor) EndpointOption {
+	return func(e *Endpoint) { e.soapSrv.Use(ics...) }
+}
+
 // NewEndpoint builds an endpoint for a data service.
 func NewEndpoint(svc *core.DataService, opts ...EndpointOption) *Endpoint {
-	e := &Endpoint{svc: svc, soapSrv: soap.NewServer(), interfaces: AllInterfaces}
+	// Every endpoint adopts/echoes request IDs so consumers can
+	// correlate replies; WithServerInterceptors layers more on top.
+	e := &Endpoint{svc: svc, soapSrv: soap.NewServer(soap.ServerRequestID()), interfaces: AllInterfaces}
 	for _, o := range opts {
 		o(e)
 	}
@@ -157,26 +168,47 @@ func (e *Endpoint) has(i Interfaces) bool { return e.interfaces&i != 0 }
 
 // handle wraps a body-level handler with envelope plumbing: the
 // ConcurrentAccess gate, fault mapping and WS-Addressing reply headers.
-func (e *Endpoint) handle(iface Interfaces, action string, f func(body *xmlutil.Element) (*xmlutil.Element, error)) {
+// The context arriving from the SOAP dispatcher (the HTTP request
+// context, tightened by any server interceptors) flows into the handler.
+func (e *Endpoint) handle(iface Interfaces, action string, f func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error)) {
 	if !e.has(iface) {
 		return
 	}
-	e.soapSrv.Handle(action, func(_ string, env *soap.Envelope) (*soap.Envelope, error) {
+	e.soapSrv.Handle(action, func(ctx context.Context, _ string, env *soap.Envelope) (*soap.Envelope, error) {
 		body := env.BodyEntry()
 		if body == nil {
 			return nil, soap.ClientFault("empty SOAP body")
 		}
-		release := e.svc.Enter()
-		resp, err := f(body)
-		release()
+		release, err := e.svc.Enter(ctx)
 		if err != nil {
 			return nil, toSOAPFault(err)
+		}
+		resp, err := f(ctx, body)
+		release()
+		if err != nil {
+			return nil, toSOAPFault(ctxFault(ctx, err))
 		}
 		out := soap.NewEnvelope(resp)
 		req := wsaddr.FromEnvelope(env)
 		wsaddr.ReplyHeaders(req, action+"Response").Attach(out)
 		return out, nil
 	})
+}
+
+// ctxFault recognises handler errors caused by an expired or cancelled
+// request context and converts them to the typed timeout fault; typed
+// DAIS faults pass through untouched.
+func ctxFault(ctx context.Context, err error) error {
+	if core.FaultName(err) != "" {
+		return err
+	}
+	if _, ok := err.(*soap.Fault); ok {
+		return err
+	}
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return &core.RequestTimeoutFault{Detail: err.Error()}
+	}
+	return err
 }
 
 // toSOAPFault maps DAIS typed faults to SOAP faults with structured
@@ -211,6 +243,8 @@ func faultValue(err error) string {
 		return f.Reason
 	case *core.InvalidExpressionFault:
 		return f.Detail
+	case *core.RequestTimeoutFault:
+		return f.Detail
 	}
 	return ""
 }
@@ -239,6 +273,8 @@ func DecodeFault(err error) error {
 		return &core.InvalidExpressionFault{Detail: value}
 	case "ServiceBusyFault":
 		return &core.ServiceBusyFault{}
+	case "RequestTimeoutFault":
+		return &core.RequestTimeoutFault{Detail: value}
 	}
 	return err
 }
@@ -274,7 +310,7 @@ func DatasetPayload(e *xmlutil.Element) ([]byte, string) {
 
 // registerCore wires the WS-DAI operations.
 func (e *Endpoint) registerCore() {
-	e.handle(CoreDataAccess, ActGetPropertyDocument, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.handle(CoreDataAccess, ActGetPropertyDocument, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err
@@ -287,14 +323,14 @@ func (e *Endpoint) registerCore() {
 		resp.AppendChild(doc)
 		return resp, nil
 	})
-	e.handle(CoreDataAccess, ActGenericQuery, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.handle(CoreDataAccess, ActGenericQuery, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err
 		}
 		lang := body.FindText(NSDAI, "GenericQueryLanguage")
 		expr := body.FindText(NSDAI, "Expression")
-		result, err := e.svc.GenericQuery(name, lang, expr)
+		result, err := e.svc.GenericQuery(ctx, name, lang, expr)
 		if err != nil {
 			return nil, err
 		}
@@ -302,24 +338,24 @@ func (e *Endpoint) registerCore() {
 		resp.AppendChild(result)
 		return resp, nil
 	})
-	e.handle(CoreDataAccess, ActDestroyDataResource, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.handle(CoreDataAccess, ActDestroyDataResource, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err
 		}
-		if err := e.svc.DestroyDataResource(name); err != nil {
+		if err := e.svc.DestroyDataResource(ctx, name); err != nil {
 			return nil, err
 		}
 		return xmlutil.NewElement(NSDAI, "DestroyDataResourceResponse"), nil
 	})
-	e.handle(CoreResourceList, ActGetResourceList, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.handle(CoreResourceList, ActGetResourceList, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		resp := xmlutil.NewElement(NSDAI, "GetResourceListResponse")
 		for _, n := range e.svc.GetResourceList() {
 			resp.AddText(NSDAI, "DataResourceAbstractName", n)
 		}
 		return resp, nil
 	})
-	e.handle(CoreResourceList, ActResolve, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.handle(CoreResourceList, ActResolve, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err

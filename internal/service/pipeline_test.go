@@ -1,0 +1,187 @@
+package service_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dais/internal/client"
+	"dais/internal/core"
+	"dais/internal/dair"
+	"dais/internal/service"
+	"dais/internal/soap"
+	"dais/internal/sqlengine"
+)
+
+// TestClientCancelAbortsSQLExecute cancels the consumer context while
+// the HTTP exchange is in flight and expects the call to return
+// promptly with the context error instead of waiting out the server.
+func TestClientCancelAbortsSQLExecute(t *testing.T) {
+	entered := make(chan struct{})
+	unblock := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-unblock // hold the request open until the client gives up
+	}))
+	defer ts.Close()
+	defer close(unblock)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c := client.New(nil)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.SQLExecute(ctx, client.Ref(ts.URL, "urn:dais:any"), `SELECT 1`, nil, "")
+		done <- err
+	}()
+	select {
+	case <-entered:
+	case <-time.After(2 * time.Second):
+		t.Fatal("request never reached the server")
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("SQLExecute did not return after cancel")
+	}
+}
+
+// TestClientDisconnectAbortsServerQuery cancels the consumer context
+// mid-query and checks the abort propagates all the way into the
+// server-side engine scan: the handler must come back with an error
+// (the cancelled scan's fault) instead of finishing the join.
+func TestClientDisconnectAbortsServerQuery(t *testing.T) {
+	handlerDone := make(chan error, 1)
+	serverIC := func(ctx context.Context, action string, env *soap.Envelope, next soap.HandlerFunc) (*soap.Envelope, error) {
+		resp, err := next(ctx, action, env)
+		select {
+		case handlerDone <- err:
+		default:
+		}
+		return resp, err
+	}
+	eng := sqlengine.New("big")
+	eng.MustExec(`CREATE TABLE nums (n INTEGER)`)
+	eng.MustExec(`INSERT INTO nums VALUES (1)`)
+	for i := 0; i < 10; i++ {
+		eng.MustExec(`INSERT INTO nums SELECT n FROM nums`)
+	}
+	res := dair.NewSQLDataResource(eng)
+	svc := core.NewDataService("slow", core.WithConfigurationMap(dair.StandardConfigurationMaps()...))
+	ep := service.NewEndpoint(svc, service.WithServerInterceptors(serverIC))
+	ep.Register(res)
+	startEndpoint(t, ep)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c := client.New(nil)
+	ref := client.Ref(svc.Address(), res.AbstractName())
+	clientDone := make(chan error, 1)
+	go func() {
+		_, err := c.SQLExecute(ctx, ref, `SELECT a.n FROM nums a JOIN nums b ON a.n = b.n`, nil, "")
+		clientDone <- err
+	}()
+	time.Sleep(30 * time.Millisecond) // let the request reach the scan
+	cancel()
+	if err := <-clientDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("client err = %v, want context.Canceled", err)
+	}
+	select {
+	case err := <-handlerDone:
+		if err == nil {
+			t.Fatal("server handler completed the join despite the disconnect")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server handler did not abort after client disconnect")
+	}
+}
+
+// TestServerDeadlineFaultsLongScan runs a large cross join behind a
+// server-side deadline interceptor and expects the engine's row-level
+// cancellation to surface as a typed RequestTimeoutFault at the client.
+func TestServerDeadlineFaultsLongScan(t *testing.T) {
+	eng := sqlengine.New("big")
+	eng.MustExec(`CREATE TABLE nums (n INTEGER)`)
+	eng.MustExec(`INSERT INTO nums VALUES (1)`)
+	for i := 0; i < 10; i++ { // 1024 rows -> a ~1M-pair join
+		eng.MustExec(`INSERT INTO nums SELECT n FROM nums`)
+	}
+	res := dair.NewSQLDataResource(eng)
+	svc := core.NewDataService("slow", core.WithConfigurationMap(dair.StandardConfigurationMaps()...))
+	ep := service.NewEndpoint(svc, service.WithServerInterceptors(soap.ServerTimeout(25*time.Millisecond)))
+	ep.Register(res)
+	startEndpoint(t, ep)
+
+	c := client.New(nil)
+	ref := client.Ref(svc.Address(), res.AbstractName())
+	_, err := c.SQLExecute(context.Background(), ref, `SELECT a.n FROM nums a JOIN nums b ON a.n = b.n`, nil, "")
+	var rtf *core.RequestTimeoutFault
+	if !errors.As(err, &rtf) {
+		t.Fatalf("err = %v, want *core.RequestTimeoutFault", err)
+	}
+}
+
+// TestRequestIDPropagatesEndToEnd checks that the ID stamped by the
+// client pipeline travels the SOAP header into the server handler's
+// context and back on the response, observed through one custom
+// interceptor on each side.
+func TestRequestIDPropagatesEndToEnd(t *testing.T) {
+	var serverSaw string
+	serverIC := func(ctx context.Context, action string, env *soap.Envelope, next soap.HandlerFunc) (*soap.Envelope, error) {
+		serverSaw = soap.RequestIDFromContext(ctx)
+		return next(ctx, action, env)
+	}
+	eng := sqlengine.New("hr")
+	eng.MustExec(`CREATE TABLE emp (id INTEGER)`)
+	res := dair.NewSQLDataResource(eng)
+	svc := core.NewDataService("relational", core.WithConfigurationMap(dair.StandardConfigurationMaps()...))
+	ep := service.NewEndpoint(svc, service.WithServerInterceptors(serverIC))
+	ep.Register(res)
+	startEndpoint(t, ep)
+
+	var clientSent, clientEcho string
+	clientIC := func(ctx context.Context, action string, env *soap.Envelope, next soap.HandlerFunc) (*soap.Envelope, error) {
+		clientSent = soap.RequestIDFromContext(ctx)
+		resp, err := next(ctx, action, env)
+		if resp != nil {
+			clientEcho = soap.RequestIDOf(resp)
+		}
+		return resp, err
+	}
+	c := client.New(nil, clientIC)
+	ref := client.Ref(svc.Address(), res.AbstractName())
+	if _, err := c.SQLExecute(context.Background(), ref, `SELECT id FROM emp`, nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	if clientSent == "" {
+		t.Fatal("client pipeline stamped no request ID")
+	}
+	if serverSaw != clientSent {
+		t.Fatalf("server saw ID %q, client sent %q", serverSaw, clientSent)
+	}
+	if clientEcho != clientSent {
+		t.Fatalf("response echoed ID %q, client sent %q", clientEcho, clientSent)
+	}
+}
+
+// TestClientTimeoutInterceptorFaults wires a per-call deadline into the
+// client pipeline and checks it bounds a slow exchange.
+func TestClientTimeoutInterceptorFaults(t *testing.T) {
+	unblock := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-unblock
+	}))
+	defer ts.Close()
+	defer close(unblock)
+
+	c := client.New(nil, soap.ClientTimeout(30*time.Millisecond))
+	_, err := c.SQLExecute(context.Background(), client.Ref(ts.URL, "urn:dais:any"), `SELECT 1`, nil, "")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}

@@ -1,6 +1,7 @@
 package service_test
 
 import (
+	"context"
 	"errors"
 	"io"
 	"net/http"
@@ -52,7 +53,7 @@ func relationalFixture(t testing.TB) (*service.Endpoint, *dair.SQLDataResource, 
 
 func TestSQLExecuteDirectOverHTTP(t *testing.T) {
 	_, _, ref, c := relationalFixture(t)
-	res, err := c.SQLExecute(ref, `SELECT name, salary FROM emp WHERE salary > ? ORDER BY salary DESC`,
+	res, err := c.SQLExecute(context.Background(), ref, `SELECT name, salary FROM emp WHERE salary > ? ORDER BY salary DESC`,
 		[]sqlengine.Value{sqlengine.NewDouble(90000)}, "")
 	if err != nil {
 		t.Fatal(err)
@@ -70,7 +71,7 @@ func TestSQLExecuteDirectOverHTTP(t *testing.T) {
 
 func TestSQLExecuteUpdateOverHTTP(t *testing.T) {
 	_, _, ref, c := relationalFixture(t)
-	res, err := c.SQLExecute(ref, `UPDATE emp SET salary = salary + 1000`, nil, "")
+	res, err := c.SQLExecute(context.Background(), ref, `UPDATE emp SET salary = salary + 1000`, nil, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestSQLExecuteUpdateOverHTTP(t *testing.T) {
 func TestSQLExecuteFormats(t *testing.T) {
 	_, _, ref, c := relationalFixture(t)
 	for _, format := range []string{rowset.FormatSQLRowset, rowset.FormatWebRowSet, rowset.FormatCSV} {
-		res, err := c.SQLExecute(ref, `SELECT id FROM emp ORDER BY id`, nil, format)
+		res, err := c.SQLExecute(context.Background(), ref, `SELECT id FROM emp ORDER BY id`, nil, format)
 		if err != nil {
 			t.Fatalf("%s: %v", format, err)
 		}
@@ -97,7 +98,7 @@ func TestSQLExecuteFormats(t *testing.T) {
 		}
 	}
 	var idf *core.InvalidDatasetFormatFault
-	if _, err := c.SQLExecute(ref, `SELECT 1`, nil, "urn:fmt:bogus"); !errors.As(err, &idf) {
+	if _, err := c.SQLExecute(context.Background(), ref, `SELECT 1`, nil, "urn:fmt:bogus"); !errors.As(err, &idf) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -105,22 +106,22 @@ func TestSQLExecuteFormats(t *testing.T) {
 func TestFaultsTravelTyped(t *testing.T) {
 	_, _, ref, c := relationalFixture(t)
 	var irf *core.InvalidResourceNameFault
-	if _, err := c.SQLExecute(client.Ref(ref.Address, "urn:nope"), `SELECT 1`, nil, ""); !errors.As(err, &irf) {
+	if _, err := c.SQLExecute(context.Background(), client.Ref(ref.Address, "urn:nope"), `SELECT 1`, nil, ""); !errors.As(err, &irf) {
 		t.Fatalf("err = %v", err)
 	}
 	var ief *core.InvalidExpressionFault
-	if _, err := c.SQLExecute(ref, `SELECT * FROM missing_table`, nil, ""); !errors.As(err, &ief) {
+	if _, err := c.SQLExecute(context.Background(), ref, `SELECT * FROM missing_table`, nil, ""); !errors.As(err, &ief) {
 		t.Fatalf("err = %v", err)
 	}
 	var ilf *core.InvalidLanguageFault
-	if _, err := c.GenericQuery(ref, "urn:lang:marsian", "x"); !errors.As(err, &ilf) {
+	if _, err := c.GenericQuery(context.Background(), ref, "urn:lang:marsian", "x"); !errors.As(err, &ilf) {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestCorePropertyDocumentOverHTTP(t *testing.T) {
 	_, res, ref, c := relationalFixture(t)
-	doc, err := c.GetPropertyDocument(ref)
+	doc, err := c.GetPropertyDocument(context.Background(), ref)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestCorePropertyDocumentOverHTTP(t *testing.T) {
 
 func TestGenericQueryOverHTTP(t *testing.T) {
 	_, _, ref, c := relationalFixture(t)
-	result, err := c.GenericQuery(ref, dair.LanguageSQL92, `SELECT COUNT(*) FROM emp`)
+	result, err := c.GenericQuery(context.Background(), ref, dair.LanguageSQL92, `SELECT COUNT(*) FROM emp`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,18 +159,18 @@ func TestGenericQueryOverHTTP(t *testing.T) {
 
 func TestResourceListAndResolve(t *testing.T) {
 	_, res, ref, c := relationalFixture(t)
-	names, err := c.GetResourceList(ref.Address)
+	names, err := c.GetResourceList(context.Background(), ref.Address)
 	if err != nil || len(names) != 1 || names[0] != res.AbstractName() {
 		t.Fatalf("names = %v, %v", names, err)
 	}
-	resolved, err := c.Resolve(ref.Address, res.AbstractName())
+	resolved, err := c.Resolve(context.Background(), ref.Address, res.AbstractName())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if resolved.Address != ref.Address || resolved.AbstractName != res.AbstractName() {
 		t.Fatalf("resolved = %+v", resolved)
 	}
-	if _, err := c.Resolve(ref.Address, "urn:ghost"); err == nil {
+	if _, err := c.Resolve(context.Background(), ref.Address, "urn:ghost"); err == nil {
 		t.Fatal("resolve of unknown name should fault")
 	}
 }
@@ -200,7 +201,7 @@ func TestIndirectAccessPipelineFig5(t *testing.T) {
 
 	// Consumer 1: SQLExecuteFactory against DS1 -> EPR on DS2.
 	consumer1 := client.New(nil)
-	respRef, err := consumer1.SQLExecuteFactory(client.Ref(svc1.Address(), res.AbstractName()),
+	respRef, err := consumer1.SQLExecuteFactory(context.Background(), client.Ref(svc1.Address(), res.AbstractName()),
 		`SELECT id, name FROM emp ORDER BY id`, nil, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -212,7 +213,7 @@ func TestIndirectAccessPipelineFig5(t *testing.T) {
 	// Consumer 1 passes the EPR to Consumer 2, who derives a WebRowSet
 	// rowset resource on DS3.
 	consumer2 := client.New(nil)
-	rowsetRef, err := consumer2.SQLRowsetFactory(respRef, rowset.FormatWebRowSet, 0, nil)
+	rowsetRef, err := consumer2.SQLRowsetFactory(context.Background(), respRef, rowset.FormatWebRowSet, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +223,7 @@ func TestIndirectAccessPipelineFig5(t *testing.T) {
 
 	// Consumer 2 hands the EPR to Consumer 3, who pulls pages.
 	consumer3 := client.New(nil)
-	set, err := consumer3.GetTuplesSet(rowsetRef, 2, 2)
+	set, err := consumer3.GetTuplesSet(context.Background(), rowsetRef, 2, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +232,7 @@ func TestIndirectAccessPipelineFig5(t *testing.T) {
 	}
 
 	// Property documents confirm the derivation chain.
-	doc, err := consumer3.GetPropertyDocument(rowsetRef)
+	doc, err := consumer3.GetPropertyDocument(context.Background(), rowsetRef)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +253,7 @@ func TestInterfaceRestriction(t *testing.T) {
 	ep.Register(res)
 	startEndpoint(t, ep)
 	c := client.New(nil)
-	_, err := c.SQLExecute(client.Ref(svc.Address(), res.AbstractName()), `SELECT 1`, nil, "")
+	_, err := c.SQLExecute(context.Background(), client.Ref(svc.Address(), res.AbstractName()), `SELECT 1`, nil, "")
 	if err == nil || !strings.Contains(err.Error(), "no handler") {
 		t.Fatalf("err = %v", err)
 	}
@@ -260,10 +261,10 @@ func TestInterfaceRestriction(t *testing.T) {
 
 func TestDestroyDataResourceOverHTTP(t *testing.T) {
 	_, res, ref, c := relationalFixture(t)
-	if err := c.DestroyDataResource(ref); err != nil {
+	if err := c.DestroyDataResource(context.Background(), ref); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.GetPropertyDocument(ref); err == nil {
+	if _, err := c.GetPropertyDocument(context.Background(), ref); err == nil {
 		t.Fatal("destroyed resource should be unknown")
 	}
 	_ = res
@@ -271,24 +272,24 @@ func TestDestroyDataResourceOverHTTP(t *testing.T) {
 
 func TestResponseAccessOverHTTP(t *testing.T) {
 	_, _, ref, c := relationalFixture(t)
-	respRef, err := c.SQLExecuteFactory(ref, `SELECT name FROM emp ORDER BY id`, nil, nil)
+	respRef, err := c.SQLExecuteFactory(context.Background(), ref, `SELECT name FROM emp ORDER BY id`, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	set, err := c.GetSQLRowset(respRef, 0)
+	set, err := c.GetSQLRowset(context.Background(), respRef, 0)
 	if err != nil || len(set.Rows) != 3 {
 		t.Fatalf("set = %+v, %v", set, err)
 	}
-	ca, err := c.GetSQLCommunicationArea(respRef)
+	ca, err := c.GetSQLCommunicationArea(context.Background(), respRef)
 	if err != nil || ca.SQLState != sqlengine.StateSuccess {
 		t.Fatalf("ca = %+v, %v", ca, err)
 	}
 	// Update counts via factory.
-	updRef, err := c.SQLExecuteFactory(ref, `UPDATE emp SET salary = 1 WHERE id = 1`, nil, nil)
+	updRef, err := c.SQLExecuteFactory(context.Background(), ref, `UPDATE emp SET salary = 1 WHERE id = 1`, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	n, err := c.GetSQLUpdateCount(updRef, 0)
+	n, err := c.GetSQLUpdateCount(context.Background(), updRef, 0)
 	if err != nil || n != 1 {
 		t.Fatalf("n = %d, %v", n, err)
 	}
@@ -296,7 +297,7 @@ func TestResponseAccessOverHTTP(t *testing.T) {
 
 func TestWSRFFineGrainedProperties(t *testing.T) {
 	_, _, ref, c := relationalFixture(t)
-	props, err := c.GetResourceProperty(ref, "DataResourceManagement")
+	props, err := c.GetResourceProperty(context.Background(), ref, "DataResourceManagement")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,12 +305,12 @@ func TestWSRFFineGrainedProperties(t *testing.T) {
 		t.Fatalf("props = %v", props)
 	}
 	// Query with XPath.
-	nodes, err := c.QueryResourceProperties(ref, "count(DatasetMap)")
+	nodes, err := c.QueryResourceProperties(context.Background(), ref, "count(DatasetMap)")
 	if err != nil || len(nodes) != 1 || nodes[0].Text() != "3" {
 		t.Fatalf("nodes = %v, %v", nodes, err)
 	}
 	// Lifetime properties visible through WSRF.
-	cur, err := c.GetResourceProperty(ref, "wsrl:CurrentTime")
+	cur, err := c.GetResourceProperty(context.Background(), ref, "wsrl:CurrentTime")
 	if err != nil || len(cur) != 1 {
 		t.Fatalf("current time = %v, %v", cur, err)
 	}
@@ -318,12 +319,12 @@ func TestWSRFFineGrainedProperties(t *testing.T) {
 func TestWSRFLifetimeOverHTTP(t *testing.T) {
 	ep, _, ref, c := relationalFixture(t)
 	// Derive a resource and schedule its termination.
-	respRef, err := c.SQLExecuteFactory(ref, `SELECT 1`, nil, nil)
+	respRef, err := c.SQLExecuteFactory(context.Background(), ref, `SELECT 1`, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	tt := time.Now().Add(-time.Second) // already expired
-	newTT, err := c.SetTerminationTime(respRef, &tt)
+	newTT, err := c.SetTerminationTime(context.Background(), respRef, &tt)
 	if err != nil || newTT == nil {
 		t.Fatalf("set = %v, %v", newTT, err)
 	}
@@ -331,38 +332,38 @@ func TestWSRFLifetimeOverHTTP(t *testing.T) {
 		t.Fatalf("sweep = %v", ids)
 	}
 	// The DAIS relationship is destroyed too.
-	if _, err := c.GetSQLRowset(respRef, 0); err == nil {
+	if _, err := c.GetSQLRowset(context.Background(), respRef, 0); err == nil {
 		t.Fatal("reaped resource should be gone from the data service")
 	}
 }
 
 func TestWSRFDestroyOverHTTP(t *testing.T) {
 	_, _, ref, c := relationalFixture(t)
-	respRef, err := c.SQLExecuteFactory(ref, `SELECT 1`, nil, nil)
+	respRef, err := c.SQLExecuteFactory(context.Background(), ref, `SELECT 1`, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.WSRFDestroy(respRef); err != nil {
+	if err := c.WSRFDestroy(context.Background(), respRef); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.GetSQLRowset(respRef, 0); err == nil {
+	if _, err := c.GetSQLRowset(context.Background(), respRef, 0); err == nil {
 		t.Fatal("destroyed resource still reachable")
 	}
-	if err := c.WSRFDestroy(respRef); err == nil {
+	if err := c.WSRFDestroy(context.Background(), respRef); err == nil {
 		t.Fatal("double destroy should fault")
 	}
 }
 
 func TestPlainDestroySyncsWSRF(t *testing.T) {
 	ep, _, ref, c := relationalFixture(t)
-	respRef, err := c.SQLExecuteFactory(ref, `SELECT 1`, nil, nil)
+	respRef, err := c.SQLExecuteFactory(context.Background(), ref, `SELECT 1`, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := ep.WSRF().Get(respRef.AbstractName); !ok {
 		t.Fatal("derived resource not in WSRF registry")
 	}
-	if err := c.DestroyDataResource(respRef); err != nil {
+	if err := c.DestroyDataResource(context.Background(), respRef); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := ep.WSRF().Get(respRef.AbstractName); ok {
@@ -393,40 +394,40 @@ func xmlFixture(t testing.TB) (client.ResourceRef, *client.Client) {
 
 func TestXMLCollectionOverHTTP(t *testing.T) {
 	ref, c := xmlFixture(t)
-	names, err := c.ListDocuments(ref)
+	names, err := c.ListDocuments(context.Background(), ref)
 	if err != nil || len(names) != 2 {
 		t.Fatalf("names = %v, %v", names, err)
 	}
 	doc, _ := xmlutil.ParseString(`<book id="3"><title>Gamma</title><price>20</price></book>`)
-	if err := c.AddDocument(ref, "c.xml", doc); err != nil {
+	if err := c.AddDocument(context.Background(), ref, "c.xml", doc); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.GetDocument(ref, "c.xml")
+	got, err := c.GetDocument(context.Background(), ref, "c.xml")
 	if err != nil || got.FindText("", "title") != "Gamma" {
 		t.Fatalf("doc = %v, %v", got, err)
 	}
-	if err := c.RemoveDocument(ref, "a.xml"); err != nil {
+	if err := c.RemoveDocument(context.Background(), ref, "a.xml"); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.CreateSubcollection(ref, "archive"); err != nil {
+	if err := c.CreateSubcollection(context.Background(), ref, "archive"); err != nil {
 		t.Fatal(err)
 	}
-	subs, err := c.ListSubcollections(ref)
+	subs, err := c.ListSubcollections(context.Background(), ref)
 	if err != nil || len(subs) != 1 || subs[0] != "archive" {
 		t.Fatalf("subs = %v, %v", subs, err)
 	}
-	if err := c.RemoveSubcollection(ref, "archive"); err != nil {
+	if err := c.RemoveSubcollection(context.Background(), ref, "archive"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestXPathXQueryOverHTTP(t *testing.T) {
 	ref, c := xmlFixture(t)
-	items, err := c.XPathExecute(ref, "/book[price > 15]/title")
+	items, err := c.XPathExecute(context.Background(), ref, "/book[price > 15]/title")
 	if err != nil || len(items) != 1 || items[0].Value != "Beta" {
 		t.Fatalf("items = %+v, %v", items, err)
 	}
-	items, err = c.XQueryExecute(ref, `for $b in /book order by $b/price descending return <t>{$b/title}</t>`)
+	items, err = c.XQueryExecute(context.Background(), ref, `for $b in /book order by $b/price descending return <t>{$b/title}</t>`)
 	if err != nil || len(items) != 2 || items[0].Value != "Beta" {
 		t.Fatalf("items = %+v, %v", items, err)
 	}
@@ -437,11 +438,11 @@ func TestXUpdateOverHTTP(t *testing.T) {
 	mods, _ := xmlutil.ParseString(`<xu:modifications xmlns:xu="` + xmldb.NSXUpdate + `">
 		<xu:update select="/book/price">77</xu:update>
 	</xu:modifications>`)
-	n, err := c.XUpdateExecute(ref, "a.xml", mods)
+	n, err := c.XUpdateExecute(context.Background(), ref, "a.xml", mods)
 	if err != nil || n != 1 {
 		t.Fatalf("n = %d, %v", n, err)
 	}
-	doc, _ := c.GetDocument(ref, "a.xml")
+	doc, _ := c.GetDocument(context.Background(), ref, "a.xml")
 	if doc.FindText("", "price") != "77" {
 		t.Fatal("update not applied")
 	}
@@ -449,37 +450,37 @@ func TestXUpdateOverHTTP(t *testing.T) {
 
 func TestXMLFactoriesOverHTTP(t *testing.T) {
 	ref, c := xmlFixture(t)
-	seqRef, err := c.XPathExecuteFactory(ref, "//book", nil)
+	seqRef, err := c.XPathExecuteFactory(context.Background(), ref, "//book", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	items, err := c.GetItems(seqRef, 1, 10)
+	items, err := c.GetItems(context.Background(), seqRef, 1, 10)
 	if err != nil || len(items) != 2 {
 		t.Fatalf("items = %+v, %v", items, err)
 	}
 	// Paging.
-	page, err := c.GetItems(seqRef, 2, 1)
+	page, err := c.GetItems(context.Background(), seqRef, 2, 1)
 	if err != nil || len(page) != 1 {
 		t.Fatalf("page = %+v, %v", page, err)
 	}
 	// XQuery factory.
-	xqRef, err := c.XQueryExecuteFactory(ref, `for $b in /book where $b/price < 20 return <x>{$b/title}</x>`, nil)
+	xqRef, err := c.XQueryExecuteFactory(context.Background(), ref, `for $b in /book where $b/price < 20 return <x>{$b/title}</x>`, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	items, err = c.GetItems(xqRef, 1, 10)
+	items, err = c.GetItems(context.Background(), xqRef, 1, 10)
 	if err != nil || len(items) != 1 || items[0].Value != "Alpha" {
 		t.Fatalf("items = %+v, %v", items, err)
 	}
 	// Collection factory gives a live view.
-	colRef, err := c.CollectionFactory(ref, "derived", nil)
+	colRef, err := c.CollectionFactory(context.Background(), ref, "derived", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.ListDocuments(colRef); err != nil {
+	if _, err := c.ListDocuments(context.Background(), colRef); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.DestroyDataResource(colRef); err != nil {
+	if err := c.DestroyDataResource(context.Background(), colRef); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -499,7 +500,7 @@ func TestConcurrentAccessFalseSerialises(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		go func() {
 			c := client.New(nil)
-			_, err := c.SQLExecute(ref, `SELECT n FROM t`, nil, "")
+			_, err := c.SQLExecute(context.Background(), ref, `SELECT n FROM t`, nil, "")
 			done <- err
 		}()
 	}
@@ -510,7 +511,7 @@ func TestConcurrentAccessFalseSerialises(t *testing.T) {
 	}
 	// Property document advertises it.
 	c := client.New(nil)
-	doc, err := c.GetPropertyDocument(ref)
+	doc, err := c.GetPropertyDocument(context.Background(), ref)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -534,7 +535,7 @@ func TestAbstractNameRequiredInBody(t *testing.T) {
 // clientRawCall issues a raw SOAP call and returns the error.
 func clientRawCall(t *testing.T, address, action string, body *xmlutil.Element) error {
 	t.Helper()
-	_, err := soap.NewClient(nil).Call(address, action, soap.NewEnvelope(body))
+	_, err := soap.NewClient(nil).Call(context.Background(), address, action, soap.NewEnvelope(body))
 	return err
 }
 
@@ -543,11 +544,11 @@ func TestConfigurationDocumentHonoured(t *testing.T) {
 	cfg := core.DefaultConfiguration()
 	cfg.Description = "nightly report"
 	cfg.Sensitivity = core.Sensitive
-	respRef, err := c.SQLExecuteFactory(ref, `SELECT 1`, nil, &cfg)
+	respRef, err := c.SQLExecuteFactory(context.Background(), ref, `SELECT 1`, nil, &cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	doc, err := c.GetPropertyDocument(respRef)
+	doc, err := c.GetPropertyDocument(context.Background(), respRef)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -572,13 +573,13 @@ func TestWSRFRequiresBodyName(t *testing.T) {
 func TestWSRFSetResourceProperties(t *testing.T) {
 	_, _, ref, c := relationalFixture(t)
 	// Flip Writeable off and set a description through WSRF.
-	if err := c.SetResourceProperties(ref, map[string]string{
+	if err := c.SetResourceProperties(context.Background(), ref, map[string]string{
 		"Writeable":               "false",
 		"DataResourceDescription": "frozen for audit",
 	}); err != nil {
 		t.Fatal(err)
 	}
-	doc, err := c.GetPropertyDocument(ref)
+	doc, err := c.GetPropertyDocument(context.Background(), ref)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -590,25 +591,25 @@ func TestWSRFSetResourceProperties(t *testing.T) {
 	}
 	// The behaviour changes too: writes are refused now.
 	var naf *core.NotAuthorizedFault
-	if _, err := c.SQLExecute(ref, `DELETE FROM emp WHERE id = 1`, nil, ""); !errors.As(err, &naf) {
+	if _, err := c.SQLExecute(context.Background(), ref, `DELETE FROM emp WHERE id = 1`, nil, ""); !errors.As(err, &naf) {
 		t.Fatalf("write to non-writeable resource: err = %v", err)
 	}
 	// Unknown properties are rejected.
-	if err := c.SetResourceProperties(ref, map[string]string{"DataResourceAbstractName": "x"}); err == nil {
+	if err := c.SetResourceProperties(context.Background(), ref, map[string]string{"DataResourceAbstractName": "x"}); err == nil {
 		t.Fatal("static property must not be updatable")
 	}
 	// Bad values are rejected.
-	if err := c.SetResourceProperties(ref, map[string]string{"Readable": "maybe"}); err == nil {
+	if err := c.SetResourceProperties(context.Background(), ref, map[string]string{"Readable": "maybe"}); err == nil {
 		t.Fatal("invalid boolean should fail")
 	}
-	if err := c.SetResourceProperties(ref, map[string]string{"Sensitivity": "weird"}); err == nil {
+	if err := c.SetResourceProperties(context.Background(), ref, map[string]string{"Sensitivity": "weird"}); err == nil {
 		t.Fatal("invalid sensitivity should fail")
 	}
 	// Flip Readable off: reads now refused.
-	if err := c.SetResourceProperties(ref, map[string]string{"Readable": "false"}); err != nil {
+	if err := c.SetResourceProperties(context.Background(), ref, map[string]string{"Readable": "false"}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.SQLExecute(ref, `SELECT 1`, nil, ""); !errors.As(err, &naf) {
+	if _, err := c.SQLExecute(context.Background(), ref, `SELECT 1`, nil, ""); !errors.As(err, &naf) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -636,34 +637,34 @@ func fileFixture(t testing.TB) (client.ResourceRef, *client.Client) {
 
 func TestFileAccessOverHTTP(t *testing.T) {
 	ref, c := fileFixture(t)
-	data, err := c.ReadFile(ref, "runs/2005/a.dat", 0, -1)
+	data, err := c.ReadFile(context.Background(), ref, "runs/2005/a.dat", 0, -1)
 	if err != nil || string(data) != "run-a-data" {
 		t.Fatalf("read = %q, %v", data, err)
 	}
-	part, err := c.ReadFile(ref, "runs/2005/a.dat", 4, 1)
+	part, err := c.ReadFile(context.Background(), ref, "runs/2005/a.dat", 4, 1)
 	if err != nil || string(part) != "a" {
 		t.Fatalf("range = %q, %v", part, err)
 	}
 	// Binary-safe round trip.
 	blob := []byte{0x00, 0xFF, 0x7F, '<', '>', '&', 0x01}
-	if err := c.WriteFile(ref, "bin.dat", blob); err != nil {
+	if err := c.WriteFile(context.Background(), ref, "bin.dat", blob); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.AppendFile(ref, "bin.dat", []byte{0xAA}); err != nil {
+	if err := c.AppendFile(context.Background(), ref, "bin.dat", []byte{0xAA}); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.ReadFile(ref, "bin.dat", 0, -1)
+	got, err := c.ReadFile(context.Background(), ref, "bin.dat", 0, -1)
 	if err != nil || len(got) != 8 || got[7] != 0xAA || got[0] != 0x00 {
 		t.Fatalf("binary = %x, %v", got, err)
 	}
-	info, err := c.StatFile(ref, "bin.dat")
+	info, err := c.StatFile(context.Background(), ref, "bin.dat")
 	if err != nil || info.Size != 8 {
 		t.Fatalf("stat = %+v, %v", info, err)
 	}
-	if err := c.DeleteFile(ref, "bin.dat"); err != nil {
+	if err := c.DeleteFile(context.Background(), ref, "bin.dat"); err != nil {
 		t.Fatal(err)
 	}
-	infos, err := c.ListFiles(ref, "runs/**")
+	infos, err := c.ListFiles(context.Background(), ref, "runs/**")
 	if err != nil || len(infos) != 3 {
 		t.Fatalf("list = %v, %v", infos, err)
 	}
@@ -671,34 +672,34 @@ func TestFileAccessOverHTTP(t *testing.T) {
 
 func TestFileStagingOverHTTP(t *testing.T) {
 	ref, c := fileFixture(t)
-	stagedRef, err := c.FileSelectFactory(ref, "runs/2005/*", nil)
+	stagedRef, err := c.FileSelectFactory(context.Background(), ref, "runs/2005/*", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// A third party reads from the staged resource.
 	third := client.New(nil)
-	infos, err := third.ListFiles(stagedRef, "")
+	infos, err := third.ListFiles(context.Background(), stagedRef, "")
 	if err != nil || len(infos) != 2 {
 		t.Fatalf("staged list = %v, %v", infos, err)
 	}
-	data, err := third.ReadFile(stagedRef, "runs/2005/b.dat", 0, -1)
+	data, err := third.ReadFile(context.Background(), stagedRef, "runs/2005/b.dat", 0, -1)
 	if err != nil || string(data) != "run-b-data" {
 		t.Fatalf("staged read = %q, %v", data, err)
 	}
 	// The snapshot is pinned against parent mutation.
-	if err := c.WriteFile(ref, "runs/2005/b.dat", []byte("CHANGED")); err != nil {
+	if err := c.WriteFile(context.Background(), ref, "runs/2005/b.dat", []byte("CHANGED")); err != nil {
 		t.Fatal(err)
 	}
-	data, _ = third.ReadFile(stagedRef, "runs/2005/b.dat", 0, -1)
+	data, _ = third.ReadFile(context.Background(), stagedRef, "runs/2005/b.dat", 0, -1)
 	if string(data) != "run-b-data" {
 		t.Fatalf("staged data changed: %q", data)
 	}
 	// Writes to a staged resource are rejected (wrong type).
-	if err := third.WriteFile(stagedRef, "x", []byte("y")); err == nil {
+	if err := third.WriteFile(context.Background(), stagedRef, "x", []byte("y")); err == nil {
 		t.Fatal("staged resources must be read-only")
 	}
 	// Property document shows the derivation.
-	doc, err := third.GetPropertyDocument(stagedRef)
+	doc, err := third.GetPropertyDocument(context.Background(), stagedRef)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -710,14 +711,14 @@ func TestFileStagingOverHTTP(t *testing.T) {
 	}
 	// Soft-state cleanup works for staged resources too.
 	past := time.Now().Add(-time.Second)
-	if _, err := c.SetTerminationTime(stagedRef, &past); err != nil {
+	if _, err := c.SetTerminationTime(context.Background(), stagedRef, &past); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestFileGenericQueryOverHTTP(t *testing.T) {
 	ref, c := fileFixture(t)
-	list, err := c.GenericQuery(ref, daif.LanguageGlob, "**/*.dat")
+	list, err := c.GenericQuery(context.Background(), ref, daif.LanguageGlob, "**/*.dat")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -728,18 +729,18 @@ func TestFileGenericQueryOverHTTP(t *testing.T) {
 
 func TestRealisationPropertyDocuments(t *testing.T) {
 	_, _, ref, c := relationalFixture(t)
-	sqlDoc, err := c.GetSQLPropertyDocument(ref)
+	sqlDoc, err := c.GetSQLPropertyDocument(context.Background(), ref)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sqlDoc.Find(service.NSDAIR, "CIMDescription") == nil {
 		t.Fatal("SQL property document missing CIMDescription")
 	}
-	respRef, err := c.SQLExecuteFactory(ref, `SELECT id FROM emp`, nil, nil)
+	respRef, err := c.SQLExecuteFactory(context.Background(), ref, `SELECT id FROM emp`, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	respDoc, err := c.GetSQLResponsePropertyDocument(respRef)
+	respDoc, err := c.GetSQLResponsePropertyDocument(context.Background(), respRef)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -747,14 +748,14 @@ func TestRealisationPropertyDocuments(t *testing.T) {
 		t.Fatal("response property document missing item counts")
 	}
 	// Wrong resource type faults.
-	if _, err := c.GetSQLResponsePropertyDocument(ref); err == nil {
+	if _, err := c.GetSQLResponsePropertyDocument(context.Background(), ref); err == nil {
 		t.Fatal("base resource is not a response")
 	}
-	rowsetRef, err := c.SQLRowsetFactory(respRef, "", 0, nil)
+	rowsetRef, err := c.SQLRowsetFactory(context.Background(), respRef, "", 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rsDoc, err := c.GetRowsetPropertyDocument(rowsetRef)
+	rsDoc, err := c.GetRowsetPropertyDocument(context.Background(), rowsetRef)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -765,42 +766,42 @@ func TestRealisationPropertyDocuments(t *testing.T) {
 
 func TestResponseItemAccessors(t *testing.T) {
 	_, _, ref, c := relationalFixture(t)
-	respRef, err := c.SQLExecuteFactory(ref, `SELECT name FROM emp ORDER BY id`, nil, nil)
+	respRef, err := c.SQLExecuteFactory(context.Background(), ref, `SELECT name FROM emp ORDER BY id`, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	item, err := c.GetSQLResponseItem(respRef, 0)
+	item, err := c.GetSQLResponseItem(context.Background(), respRef, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if item.Set == nil || len(item.Set.Rows) != 3 {
 		t.Fatalf("item = %+v", item)
 	}
-	if _, err := c.GetSQLResponseItem(respRef, 5); err == nil {
+	if _, err := c.GetSQLResponseItem(context.Background(), respRef, 5); err == nil {
 		t.Fatal("out-of-range item")
 	}
 	// Update responses expose the count through the item accessor too.
-	updRef, err := c.SQLExecuteFactory(ref, `UPDATE emp SET salary = 1`, nil, nil)
+	updRef, err := c.SQLExecuteFactory(context.Background(), ref, `UPDATE emp SET salary = 1`, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	item, err = c.GetSQLResponseItem(updRef, 0)
+	item, err = c.GetSQLResponseItem(context.Background(), updRef, 0)
 	if err != nil || item.UpdateCount != 3 {
 		t.Fatalf("item = %+v, %v", item, err)
 	}
 	// Our engine produces no return values / output parameters; the
 	// operations fault cleanly.
-	if _, err := c.GetSQLReturnValue(respRef); err == nil {
+	if _, err := c.GetSQLReturnValue(context.Background(), respRef); err == nil {
 		t.Fatal("no return value expected")
 	}
-	if _, err := c.GetSQLOutputParameter(respRef, "p"); err == nil {
+	if _, err := c.GetSQLOutputParameter(context.Background(), respRef, "p"); err == nil {
 		t.Fatal("no output parameter expected")
 	}
 }
 
 func TestGetMultipleResourcePropertiesOverHTTP(t *testing.T) {
 	_, _, ref, c := relationalFixture(t)
-	props, err := c.GetMultipleResourceProperties(ref, []string{"Readable", "Writeable", "wsrl:CurrentTime"})
+	props, err := c.GetMultipleResourceProperties(context.Background(), ref, []string{"Readable", "Writeable", "wsrl:CurrentTime"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"time"
 
 	"dais/internal/core"
@@ -21,7 +22,7 @@ func (e *Endpoint) registerWSRF() {
 	}
 	reg := e.wsrfReg
 
-	e.soapHandle(ActGetResourceProperty, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.soapHandle(ActGetResourceProperty, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err
@@ -41,7 +42,7 @@ func (e *Endpoint) registerWSRF() {
 		return resp, nil
 	})
 
-	e.soapHandle(ActGetMultipleResourceProps, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.soapHandle(ActGetMultipleResourceProps, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err
@@ -62,7 +63,7 @@ func (e *Endpoint) registerWSRF() {
 		return resp, nil
 	})
 
-	e.soapHandle(ActQueryResourceProperties, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.soapHandle(ActQueryResourceProperties, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err
@@ -82,7 +83,7 @@ func (e *Endpoint) registerWSRF() {
 		return resp, nil
 	})
 
-	e.soapHandle(ActSetResourceProperties, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.soapHandle(ActSetResourceProperties, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err
@@ -151,7 +152,7 @@ func (e *Endpoint) registerWSRF() {
 		return xmlutil.NewElement(wsrf.NSRP, "SetResourcePropertiesResponse"), nil
 	})
 
-	e.soapHandle(ActSetTerminationTime, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.soapHandle(ActSetTerminationTime, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err
@@ -180,7 +181,7 @@ func (e *Endpoint) registerWSRF() {
 		return resp, nil
 	})
 
-	e.soapHandle(ActWSRFDestroy, func(body *xmlutil.Element) (*xmlutil.Element, error) {
+	e.soapHandle(ActWSRFDestroy, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
 		name, err := AbstractNameOf(body)
 		if err != nil {
 			return nil, err
@@ -194,12 +195,12 @@ func (e *Endpoint) registerWSRF() {
 
 // soapHandle registers a WSRF handler unconditionally (the WSRF layer
 // has no Interfaces flag; enabling WithWSRF is the opt-in).
-func (e *Endpoint) soapHandle(action string, f func(body *xmlutil.Element) (*xmlutil.Element, error)) {
+func (e *Endpoint) soapHandle(action string, f func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error)) {
 	e.handleRaw(action, f)
 }
 
 // handleRaw is handle without the interface gate.
-func (e *Endpoint) handleRaw(action string, f func(body *xmlutil.Element) (*xmlutil.Element, error)) {
+func (e *Endpoint) handleRaw(action string, f func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error)) {
 	saved := e.interfaces
 	e.interfaces = AllInterfaces
 	e.handle(CoreDataAccess, action, f)

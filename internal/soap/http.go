@@ -1,6 +1,8 @@
 package soap
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -13,10 +15,22 @@ import (
 // contentType is the SOAP 1.1 HTTP media type.
 const contentType = "text/xml; charset=utf-8"
 
+// HTTPError reports a non-2xx HTTP status on a response that otherwise
+// parsed as a fault-free envelope. The envelope is still returned to the
+// caller alongside this error.
+type HTTPError struct {
+	StatusCode int
+}
+
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("soap: HTTP status %d with non-fault envelope", e.StatusCode)
+}
+
 // Client issues SOAP calls over HTTP. The zero value is not usable;
 // construct with NewClient.
 type Client struct {
-	httpClient *http.Client
+	httpClient   *http.Client
+	interceptors []Interceptor
 	// BytesSent and BytesReceived accumulate wire sizes for the
 	// evaluation harness (E1/E2/E3 measure data movement).
 	bytesSent     atomic.Int64
@@ -24,12 +38,18 @@ type Client struct {
 }
 
 // NewClient returns a Client using the given HTTP client, or
-// http.DefaultClient when nil.
-func NewClient(hc *http.Client) *Client {
+// http.DefaultClient when nil. Interceptors wrap every Call, first
+// interceptor outermost.
+func NewClient(hc *http.Client, interceptors ...Interceptor) *Client {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	return &Client{httpClient: hc}
+	return &Client{httpClient: hc, interceptors: interceptors}
+}
+
+// Use appends interceptors to the client's chain.
+func (c *Client) Use(interceptors ...Interceptor) {
+	c.interceptors = append(c.interceptors, interceptors...)
 }
 
 // BytesSent reports the cumulative request bytes written by this client.
@@ -45,21 +65,36 @@ func (c *Client) ResetCounters() {
 }
 
 // Call posts the request envelope to url with the given SOAPAction and
-// returns the response envelope. A SOAP fault in the response is
-// returned as a *Fault error; the envelope is still returned for
-// callers that need header context.
-func (c *Client) Call(url, action string, req *Envelope) (*Envelope, error) {
+// returns the response envelope, running the client interceptor chain
+// around the HTTP exchange. The context bounds the whole call: the
+// request is built with http.NewRequestWithContext, so cancelling ctx
+// aborts the connection. A SOAP fault in the response is returned as a
+// *Fault error; the envelope is still returned for callers that need
+// header context.
+func (c *Client) Call(ctx context.Context, url, action string, req *Envelope) (*Envelope, error) {
+	h := Chain(func(ctx context.Context, action string, env *Envelope) (*Envelope, error) {
+		return c.do(ctx, url, action, env)
+	}, c.interceptors...)
+	return h(ctx, action, req)
+}
+
+// do performs the terminal HTTP exchange of a Call.
+func (c *Client) do(ctx context.Context, url, action string, req *Envelope) (*Envelope, error) {
 	payload := req.Marshal()
 	c.bytesSent.Add(int64(len(payload)))
-	httpReq, err := http.NewRequest(http.MethodPost, url, io.NopCloser(newBytesReader(payload)))
+	// bytes.Reader bodies get ContentLength and a rewindable GetBody
+	// from the net/http constructor, so retries can replay the request.
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
 	if err != nil {
 		return nil, fmt.Errorf("soap: build request: %w", err)
 	}
-	httpReq.ContentLength = int64(len(payload))
 	httpReq.Header.Set("Content-Type", contentType)
 	httpReq.Header.Set("SOAPAction", `"`+action+`"`)
 	resp, err := c.httpClient.Do(httpReq)
 	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, fmt.Errorf("soap: transport: %w", ctxErr)
+		}
 		return nil, fmt.Errorf("soap: transport: %w", err)
 	}
 	defer resp.Body.Close()
@@ -75,25 +110,37 @@ func (c *Client) Call(url, action string, req *Envelope) (*Envelope, error) {
 	if f, ok := AsFault(env.BodyEntry()); ok {
 		return env, f
 	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return env, &HTTPError{StatusCode: resp.StatusCode}
+	}
 	return env, nil
 }
 
-// HandlerFunc processes one SOAP request. Returning a *Fault (as the
-// error) produces a SOAP fault response; any other error becomes a
-// Server fault with the error text.
-type HandlerFunc func(action string, req *Envelope) (*Envelope, error)
+// HandlerFunc processes one SOAP request under a context. Returning a
+// *Fault (as the error) produces a SOAP fault response; any other error
+// becomes a Server fault with the error text.
+type HandlerFunc func(ctx context.Context, action string, req *Envelope) (*Envelope, error)
 
 // Server routes SOAP requests by wsa:Action / SOAPAction to registered
 // handlers. It implements http.Handler.
 type Server struct {
-	mu       sync.RWMutex
-	handlers map[string]HandlerFunc
-	fallback HandlerFunc
+	mu           sync.RWMutex
+	handlers     map[string]HandlerFunc
+	fallback     HandlerFunc
+	interceptors []Interceptor
 }
 
-// NewServer returns an empty SOAP dispatch server.
-func NewServer() *Server {
-	return &Server{handlers: make(map[string]HandlerFunc)}
+// NewServer returns an empty SOAP dispatch server. Interceptors wrap
+// every dispatched request, first interceptor outermost.
+func NewServer(interceptors ...Interceptor) *Server {
+	return &Server{handlers: make(map[string]HandlerFunc), interceptors: interceptors}
+}
+
+// Use appends interceptors to the server's chain.
+func (s *Server) Use(interceptors ...Interceptor) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.interceptors = append(s.interceptors, interceptors...)
 }
 
 // Handle registers a handler for an action URI.
@@ -122,9 +169,10 @@ func (s *Server) Actions() []string {
 }
 
 // ServeHTTP decodes the envelope, resolves the action (preferring the
-// wsa:Action header over the HTTP SOAPAction header), dispatches, and
-// writes the response envelope. Faults are returned with HTTP 500 as
-// SOAP 1.1 over HTTP requires.
+// wsa:Action header over the HTTP SOAPAction header), dispatches through
+// the interceptor chain under the request's context, and writes the
+// response envelope. Faults are returned with HTTP 500 as SOAP 1.1 over
+// HTTP requires.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "SOAP endpoint: POST only", http.StatusMethodNotAllowed)
@@ -147,6 +195,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	h, ok := s.handlers[action]
 	fb := s.fallback
+	ics := s.interceptors
 	s.mu.RUnlock()
 	if !ok {
 		if fb == nil {
@@ -155,7 +204,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		h = fb
 	}
-	resp, err := h(action, env)
+	resp, err := Chain(h, ics...)(r.Context(), action, env)
 	if err != nil {
 		if f, ok := err.(*Fault); ok {
 			s.writeFault(w, f)
@@ -193,24 +242,6 @@ func trimQuotes(s string) string {
 		return s[1 : len(s)-1]
 	}
 	return s
-}
-
-// bytesReader is a minimal io.Reader over a byte slice; bytes.Reader
-// would also work but this keeps ContentLength handling explicit.
-type bytesReader struct {
-	data []byte
-	off  int
-}
-
-func newBytesReader(b []byte) *bytesReader { return &bytesReader{data: b} }
-
-func (r *bytesReader) Read(p []byte) (int, error) {
-	if r.off >= len(r.data) {
-		return 0, io.EOF
-	}
-	n := copy(p, r.data[r.off:])
-	r.off += n
-	return n, nil
 }
 
 // MustBody panics if the envelope has no body entry; used by handlers

@@ -1,0 +1,215 @@
+package soap
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dais/internal/xmlutil"
+)
+
+func echoHandler(ctx context.Context, action string, req *Envelope) (*Envelope, error) {
+	return NewEnvelope(xmlutil.NewElement("urn:t", "R")), nil
+}
+
+func TestChainOrder(t *testing.T) {
+	var trace []string
+	tag := func(name string) Interceptor {
+		return func(ctx context.Context, action string, env *Envelope, next HandlerFunc) (*Envelope, error) {
+			trace = append(trace, name+">")
+			resp, err := next(ctx, action, env)
+			trace = append(trace, "<"+name)
+			return resp, err
+		}
+	}
+	h := Chain(func(ctx context.Context, action string, env *Envelope) (*Envelope, error) {
+		trace = append(trace, "handler")
+		return nil, nil
+	}, tag("a"), tag("b"), tag("c"))
+	if _, err := h(context.Background(), "act", nil); err != nil {
+		t.Fatal(err)
+	}
+	want := "a>,b>,c>,handler,<c,<b,<a"
+	if got := strings.Join(trace, ","); got != want {
+		t.Fatalf("chain order = %s, want %s", got, want)
+	}
+}
+
+func TestChainEmpty(t *testing.T) {
+	h := Chain(echoHandler)
+	resp, err := h(context.Background(), "a", NewEnvelope(xmlutil.NewElement("urn:t", "Q")))
+	if err != nil || resp == nil {
+		t.Fatalf("resp=%v err=%v", resp, err)
+	}
+}
+
+func TestRequestIDHeaderRoundTrip(t *testing.T) {
+	// The client stamps an ID; the server adopts it, exposes it to the
+	// handler's context, and echoes it on the response.
+	var serverSawID string
+	srv := NewServer(ServerRequestID())
+	srv.Handle("urn:t/Op", func(ctx context.Context, action string, req *Envelope) (*Envelope, error) {
+		serverSawID = RequestIDFromContext(ctx)
+		return NewEnvelope(xmlutil.NewElement("urn:t", "R")), nil
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	c := NewClient(nil, ClientRequestID())
+	ctx := WithRequestID(context.Background(), "req-fixed-42")
+	resp, err := c.Call(ctx, ts.URL, "urn:t/Op", NewEnvelope(xmlutil.NewElement("urn:t", "Q")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serverSawID != "req-fixed-42" {
+		t.Fatalf("server saw ID %q, want req-fixed-42", serverSawID)
+	}
+	if got := RequestIDOf(resp); got != "req-fixed-42" {
+		t.Fatalf("response echoes ID %q, want req-fixed-42", got)
+	}
+}
+
+func TestClientRequestIDGeneratesWhenAbsent(t *testing.T) {
+	env := NewEnvelope(xmlutil.NewElement("urn:t", "Q"))
+	var captured string
+	h := Chain(func(ctx context.Context, action string, e *Envelope) (*Envelope, error) {
+		captured = RequestIDOf(e)
+		if captured == "" || RequestIDFromContext(ctx) != captured {
+			t.Fatalf("header %q / ctx %q mismatch", captured, RequestIDFromContext(ctx))
+		}
+		return nil, nil
+	}, ClientRequestID())
+	if _, err := h(context.Background(), "a", env); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(captured, "req-") {
+		t.Fatalf("generated ID = %q", captured)
+	}
+}
+
+func TestServerRequestIDGeneratesWhenAbsent(t *testing.T) {
+	h := Chain(echoHandler, ServerRequestID())
+	resp, err := h(context.Background(), "a", NewEnvelope(xmlutil.NewElement("urn:t", "Q")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id := RequestIDOf(resp); !strings.HasPrefix(id, "req-") {
+		t.Fatalf("response ID = %q", id)
+	}
+}
+
+func TestTimeoutInterceptorSetsDeadline(t *testing.T) {
+	var dl time.Time
+	var ok bool
+	h := Chain(func(ctx context.Context, action string, env *Envelope) (*Envelope, error) {
+		dl, ok = ctx.Deadline()
+		return nil, nil
+	}, ClientTimeout(time.Minute))
+	if _, err := h(context.Background(), "a", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !ok || time.Until(dl) > time.Minute {
+		t.Fatalf("deadline = %v ok=%v", dl, ok)
+	}
+
+	// An earlier caller deadline wins over a longer interceptor timeout.
+	short, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, err := h(short, "a", nil); err != nil {
+		t.Fatal(err)
+	}
+	if time.Until(dl) > time.Second {
+		t.Fatalf("interceptor extended caller deadline to %v", dl)
+	}
+}
+
+func TestServerTimeoutExpiresHandlerContext(t *testing.T) {
+	h := Chain(func(ctx context.Context, action string, env *Envelope) (*Envelope, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(5 * time.Second):
+			return nil, errors.New("handler context never expired")
+		}
+	}, ServerTimeout(10*time.Millisecond))
+	_, err := h(context.Background(), "a", nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCallCancelledContextAborts(t *testing.T) {
+	release := make(chan struct{})
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	defer slow.Close()
+	defer close(release)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := NewClient(nil).Call(ctx, slow.URL, "urn:t/Op", NewEnvelope(xmlutil.NewElement("urn:t", "Q")))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Call did not return after cancel")
+	}
+}
+
+func TestCallReportsNon2xxStatus(t *testing.T) {
+	// A non-2xx response whose body is a valid fault-free envelope must
+	// surface an HTTPError carrying the status code.
+	env := NewEnvelope(xmlutil.NewElement("urn:t", "R"))
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", contentType)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write(env.Marshal())
+	}))
+	defer ts.Close()
+
+	resp, err := NewClient(nil).Call(context.Background(), ts.URL, "urn:t/Op", NewEnvelope(xmlutil.NewElement("urn:t", "Q")))
+	var he *HTTPError
+	if !errors.As(err, &he) || he.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want HTTPError 503", err)
+	}
+	if resp == nil || resp.BodyEntry() == nil {
+		t.Fatal("envelope should still be returned alongside the error")
+	}
+}
+
+func TestRequestBodyIsRewindable(t *testing.T) {
+	// GetBody must be populated so net/http can replay the request on a
+	// dropped keep-alive connection.
+	var sawGetBody bool
+	rt := roundTripFunc(func(r *http.Request) (*http.Response, error) {
+		sawGetBody = r.GetBody != nil && r.ContentLength > 0
+		env := NewEnvelope(xmlutil.NewElement("urn:t", "R"))
+		rec := httptest.NewRecorder()
+		rec.Header().Set("Content-Type", contentType)
+		rec.WriteString(string(env.Marshal()))
+		return rec.Result(), nil
+	})
+	c := NewClient(&http.Client{Transport: rt})
+	if _, err := c.Call(context.Background(), "http://unit.test/", "urn:t/Op", NewEnvelope(xmlutil.NewElement("urn:t", "Q"))); err != nil {
+		t.Fatal(err)
+	}
+	if !sawGetBody {
+		t.Fatal("request has no rewindable GetBody / ContentLength")
+	}
+}
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }

@@ -1,6 +1,7 @@
 package soap
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -96,7 +97,7 @@ func TestAsFaultNonFault(t *testing.T) {
 
 func TestServerDispatch(t *testing.T) {
 	srv := NewServer()
-	srv.Handle("urn:test/Echo", func(action string, req *Envelope) (*Envelope, error) {
+	srv.Handle("urn:test/Echo", func(_ context.Context, action string, req *Envelope) (*Envelope, error) {
 		in := MustBody(req)
 		out := xmlutil.NewElement("urn:test", "EchoResponse")
 		out.AddText("urn:test", "Value", in.FindText("urn:test", "Value"))
@@ -108,7 +109,7 @@ func TestServerDispatch(t *testing.T) {
 	body := xmlutil.NewElement("urn:test", "Echo")
 	body.AddText("urn:test", "Value", "ping")
 	client := NewClient(nil)
-	resp, err := client.Call(ts.URL, "urn:test/Echo", NewEnvelope(body))
+	resp, err := client.Call(context.Background(), ts.URL, "urn:test/Echo", NewEnvelope(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestServerUnknownAction(t *testing.T) {
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	client := NewClient(nil)
-	_, err := client.Call(ts.URL, "urn:test/Missing", NewEnvelope(xmlutil.NewElement("urn:t", "X")))
+	_, err := client.Call(context.Background(), ts.URL, "urn:test/Missing", NewEnvelope(xmlutil.NewElement("urn:t", "X")))
 	f, ok := err.(*Fault)
 	if !ok {
 		t.Fatalf("expected fault, got %v", err)
@@ -141,14 +142,14 @@ func TestServerUnknownAction(t *testing.T) {
 
 func TestServerFallback(t *testing.T) {
 	srv := NewServer()
-	srv.HandleFallback(func(action string, req *Envelope) (*Envelope, error) {
+	srv.HandleFallback(func(_ context.Context, action string, req *Envelope) (*Envelope, error) {
 		out := xmlutil.NewElement("urn:t", "Any")
 		out.SetText(action)
 		return NewEnvelope(out), nil
 	})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
-	resp, err := NewClient(nil).Call(ts.URL, "urn:whatever", NewEnvelope(xmlutil.NewElement("urn:t", "X")))
+	resp, err := NewClient(nil).Call(context.Background(), ts.URL, "urn:whatever", NewEnvelope(xmlutil.NewElement("urn:t", "X")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,21 +160,21 @@ func TestServerFallback(t *testing.T) {
 
 func TestServerHandlerFaultAndError(t *testing.T) {
 	srv := NewServer()
-	srv.Handle("urn:t/Fault", func(string, *Envelope) (*Envelope, error) {
+	srv.Handle("urn:t/Fault", func(context.Context, string, *Envelope) (*Envelope, error) {
 		return nil, ClientFault("explicit fault")
 	})
-	srv.Handle("urn:t/Err", func(string, *Envelope) (*Envelope, error) {
+	srv.Handle("urn:t/Err", func(context.Context, string, *Envelope) (*Envelope, error) {
 		return nil, &plainError{"boom"}
 	})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	c := NewClient(nil)
 
-	_, err := c.Call(ts.URL, "urn:t/Fault", NewEnvelope(xmlutil.NewElement("urn:t", "X")))
+	_, err := c.Call(context.Background(), ts.URL, "urn:t/Fault", NewEnvelope(xmlutil.NewElement("urn:t", "X")))
 	if f, ok := err.(*Fault); !ok || f.Code != "Client" || f.String != "explicit fault" {
 		t.Fatalf("fault err = %v", err)
 	}
-	_, err = c.Call(ts.URL, "urn:t/Err", NewEnvelope(xmlutil.NewElement("urn:t", "X")))
+	_, err = c.Call(context.Background(), ts.URL, "urn:t/Err", NewEnvelope(xmlutil.NewElement("urn:t", "X")))
 	if f, ok := err.(*Fault); !ok || f.Code != "Server" || f.String != "boom" {
 		t.Fatalf("error err = %v", err)
 	}
@@ -186,7 +187,7 @@ func (e *plainError) Error() string { return e.s }
 func TestWSAddressingActionPreferred(t *testing.T) {
 	srv := NewServer()
 	var got string
-	srv.Handle("urn:wsa/Action", func(action string, req *Envelope) (*Envelope, error) {
+	srv.Handle("urn:wsa/Action", func(_ context.Context, action string, req *Envelope) (*Envelope, error) {
 		got = action
 		return NewEnvelope(xmlutil.NewElement("urn:t", "OK")), nil
 	})
@@ -199,7 +200,7 @@ func TestWSAddressingActionPreferred(t *testing.T) {
 	a.SetText("urn:wsa/Action")
 	env.AddHeader(a)
 	// HTTP SOAPAction deliberately different; wsa:Action must win.
-	if _, err := NewClient(nil).Call(ts.URL, "urn:other", env); err != nil {
+	if _, err := NewClient(nil).Call(context.Background(), ts.URL, "urn:other", env); err != nil {
 		t.Fatal(err)
 	}
 	if got != "urn:wsa/Action" {
@@ -224,7 +225,7 @@ func TestServerRejectsGet(t *testing.T) {
 func TestClientServerRoundTripBytes(t *testing.T) {
 	// E-harness sanity: counted bytes equal actual wire payload sizes.
 	srv := NewServer()
-	srv.Handle("a", func(string, *Envelope) (*Envelope, error) {
+	srv.Handle("a", func(context.Context, string, *Envelope) (*Envelope, error) {
 		return NewEnvelope(xmlutil.NewElement("urn:t", "R")), nil
 	})
 	ts := httptest.NewServer(srv)
@@ -232,7 +233,7 @@ func TestClientServerRoundTripBytes(t *testing.T) {
 	c := NewClient(nil)
 	req := NewEnvelope(xmlutil.NewElement("urn:t", "Q"))
 	want := int64(len(req.Marshal()))
-	if _, err := c.Call(ts.URL, "a", req); err != nil {
+	if _, err := c.Call(context.Background(), ts.URL, "a", req); err != nil {
 		t.Fatal(err)
 	}
 	if c.BytesSent() != want {

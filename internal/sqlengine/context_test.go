@@ -1,0 +1,68 @@
+package sqlengine
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// seedNums builds a table of 256 identical rows so scans cross the
+// 64-row cancellation probe cadence several times.
+func seedNums(t testing.TB) *Engine {
+	t.Helper()
+	e := New("ctxdb")
+	e.MustExec(`CREATE TABLE nums (n INTEGER)`)
+	e.MustExec(`INSERT INTO nums VALUES (1)`)
+	for i := 0; i < 8; i++ { // 1 -> 256 rows
+		e.MustExec(`INSERT INTO nums SELECT n FROM nums`)
+	}
+	return e
+}
+
+func TestExecuteContextCancelledScan(t *testing.T) {
+	e := seedNums(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := e.NewSession().ExecuteContext(ctx, `SELECT a.n FROM nums a JOIN nums b ON a.n = b.n`)
+	var ce *CancelledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CancelledError", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v does not unwrap to context.Canceled", err)
+	}
+	if res == nil || res.CA.SQLState != StateCancelled {
+		t.Fatalf("result = %+v, want SQLSTATE %s", res, StateCancelled)
+	}
+}
+
+func TestExecuteContextCancelledDMLRollsBack(t *testing.T) {
+	e := seedNums(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := e.NewSession().ExecuteContext(ctx, `UPDATE nums SET n = 2`)
+	var ce *CancelledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CancelledError", err)
+	}
+	// The auto-commit statement failed mid-flight; its partial effects
+	// must have been undone.
+	res, err := e.NewSession().Execute(`SELECT n FROM nums WHERE n = 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Set.Rows); got != 0 {
+		t.Fatalf("%d rows escaped the cancelled UPDATE", got)
+	}
+}
+
+func TestExecuteContextBackgroundCompletes(t *testing.T) {
+	e := seedNums(t)
+	res, err := e.NewSession().ExecuteContext(context.Background(), `SELECT n FROM nums`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Set.Rows); got != 256 {
+		t.Fatalf("rows = %d, want 256", got)
+	}
+}

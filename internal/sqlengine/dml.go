@@ -1,6 +1,7 @@
 package sqlengine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 )
@@ -24,7 +25,7 @@ const (
 
 // execInsert applies an INSERT. Caller holds d.mu for writing. Returns
 // the rows inserted and the undo entries recorded.
-func (d *Database) execInsert(st *InsertStmt, params []Value) (int, []undoEntry, error) {
+func (d *Database) execInsert(ctx context.Context, st *InsertStmt, params []Value) (int, []undoEntry, error) {
 	t, err := d.table(st.Table)
 	if err != nil {
 		return 0, nil, err
@@ -46,13 +47,13 @@ func (d *Database) execInsert(st *InsertStmt, params []Value) (int, []undoEntry,
 			targets[i] = ci
 		}
 	}
-	env := &evalEnv{params: params, db: d}
+	env := &evalEnv{params: params, db: d, ctx: ctx}
 	exprRows := st.Rows
 	if st.Query != nil {
 		// INSERT ... SELECT: materialise the query first, then insert
 		// its rows as literal expression rows so the shared validation
 		// and undo paths apply unchanged.
-		set, err := d.execSelectEnv(st.Query, &evalEnv{params: params, db: d})
+		set, err := d.execSelectEnv(st.Query, &evalEnv{params: params, db: d, ctx: ctx})
 		if err != nil {
 			return 0, nil, err
 		}
@@ -71,6 +72,9 @@ func (d *Database) execInsert(st *InsertStmt, params []Value) (int, []undoEntry,
 	var undo []undoEntry
 	count := 0
 	for _, exprRow := range exprRows {
+		if err := env.checkCtx(); err != nil {
+			return count, undo, err
+		}
 		if len(exprRow) != len(targets) {
 			return count, undo, fmt.Errorf("INSERT has %d values for %d columns", len(exprRow), len(targets))
 		}
@@ -121,12 +125,12 @@ func (d *Database) execInsert(st *InsertStmt, params []Value) (int, []undoEntry,
 }
 
 // execUpdate applies an UPDATE. Caller holds d.mu for writing.
-func (d *Database) execUpdate(st *UpdateStmt, params []Value) (int, []undoEntry, error) {
+func (d *Database) execUpdate(ctx context.Context, st *UpdateStmt, params []Value) (int, []undoEntry, error) {
 	t, err := d.table(st.Table)
 	if err != nil {
 		return 0, nil, err
 	}
-	env := &evalEnv{params: params, cols: tableBindings(t), db: d}
+	env := &evalEnv{params: params, cols: tableBindings(t), db: d, ctx: ctx}
 	// Pre-resolve SET targets.
 	type setTarget struct {
 		col  int
@@ -145,6 +149,9 @@ func (d *Database) execUpdate(st *UpdateStmt, params []Value) (int, []undoEntry,
 	// Snapshot IDs first: updates must not see their own effects.
 	ids := append([]int64(nil), t.scan()...)
 	for _, id := range ids {
+		if err := env.checkCtx(); err != nil {
+			return count, undo, err
+		}
 		row := t.rows[id]
 		env.row = row
 		if st.Where != nil {
@@ -186,14 +193,17 @@ func (d *Database) execUpdate(st *UpdateStmt, params []Value) (int, []undoEntry,
 }
 
 // execDelete applies a DELETE. Caller holds d.mu for writing.
-func (d *Database) execDelete(st *DeleteStmt, params []Value) (int, []undoEntry, error) {
+func (d *Database) execDelete(ctx context.Context, st *DeleteStmt, params []Value) (int, []undoEntry, error) {
 	t, err := d.table(st.Table)
 	if err != nil {
 		return 0, nil, err
 	}
-	env := &evalEnv{params: params, cols: tableBindings(t), db: d}
+	env := &evalEnv{params: params, cols: tableBindings(t), db: d, ctx: ctx}
 	var doomed []int64
 	for _, id := range t.scan() {
+		if err := env.checkCtx(); err != nil {
+			return 0, nil, err
+		}
 		if st.Where != nil {
 			env.row = t.rows[id]
 			v, err := eval(st.Where, env)

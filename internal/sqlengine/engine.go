@@ -1,6 +1,7 @@
 package sqlengine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -70,6 +71,7 @@ const (
 	StateConstraint    = "23000"
 	StateSerialization = "40001"
 	StateInvalidTxn    = "25000"
+	StateCancelled     = "57014"
 	StateGeneral       = "HY000"
 )
 
@@ -121,6 +123,11 @@ func (e *Engine) Exec(sql string, params ...Value) (*Result, error) {
 	return e.NewSession().Execute(sql, params...)
 }
 
+// ExecContext is Exec under a context.
+func (e *Engine) ExecContext(ctx context.Context, sql string, params ...Value) (*Result, error) {
+	return e.NewSession().ExecuteContext(ctx, sql, params...)
+}
+
 // MustExec executes and panics on error; intended for test and example
 // seeding only.
 func (e *Engine) MustExec(sql string, params ...Value) *Result {
@@ -162,6 +169,13 @@ func (s *Session) InTransaction() bool { return s.inTxn }
 // errors are reflected both in the error and in Result.CA so service
 // layers can ship the communication area regardless.
 func (s *Session) Execute(sql string, params ...Value) (*Result, error) {
+	return s.ExecuteContext(context.Background(), sql, params...)
+}
+
+// ExecuteContext is Execute under a context: long scans observe
+// cancellation at row granularity and return a *CancelledError wrapping
+// the context error.
+func (s *Session) ExecuteContext(ctx context.Context, sql string, params ...Value) (*Result, error) {
 	st, nparams, err := Parse(sql)
 	if err != nil {
 		return errResult(StateSyntax, err), err
@@ -170,12 +184,17 @@ func (s *Session) Execute(sql string, params ...Value) (*Result, error) {
 		err := fmt.Errorf("statement requires %d parameters, got %d", nparams, len(params))
 		return errResult(StateSyntax, err), err
 	}
-	return s.ExecuteStmt(st, params)
+	return s.ExecuteStmtContext(ctx, st, params)
 }
 
 // ExecuteStmt runs an already-parsed statement. This is the entry point
 // thick DAIS wrappers use after their own parse/validate pass.
 func (s *Session) ExecuteStmt(st Statement, params []Value) (*Result, error) {
+	return s.ExecuteStmtContext(context.Background(), st, params)
+}
+
+// ExecuteStmtContext is ExecuteStmt under a context.
+func (s *Session) ExecuteStmtContext(ctx context.Context, st Statement, params []Value) (*Result, error) {
 	switch st.(type) {
 	case *BeginStmt:
 		return s.begin()
@@ -189,7 +208,7 @@ func (s *Session) ExecuteStmt(st Statement, params []Value) (*Result, error) {
 		return errResult(StateInvalidTxn, err), err
 	}
 	implicit := !s.inTxn
-	res, err := s.run(st, params)
+	res, err := s.run(ctx, st, params)
 	if err != nil {
 		if implicit {
 			// Auto-commit statement failed: undo its partial effects.
@@ -264,7 +283,7 @@ func (s *Session) finishTxn() {
 }
 
 // run executes a single non-transaction-control statement.
-func (s *Session) run(st Statement, params []Value) (*Result, error) {
+func (s *Session) run(ctx context.Context, st Statement, params []Value) (*Result, error) {
 	db := s.engine.db
 	switch n := st.(type) {
 	case *SelectStmt:
@@ -272,7 +291,7 @@ func (s *Session) run(st Statement, params []Value) (*Result, error) {
 			return errResult(StateSerialization, err), err
 		}
 		db.mu.RLock()
-		set, err := db.execSelect(n, params)
+		set, err := db.execSelect(ctx, n, params)
 		db.mu.RUnlock()
 		if err != nil {
 			return errResult(stateFor(err), err), err
@@ -284,11 +303,11 @@ func (s *Session) run(st Statement, params []Value) (*Result, error) {
 		}
 		return &Result{Set: set, UpdateCount: -1, CA: ca}, nil
 	case *InsertStmt:
-		return s.runDML(n.Table, func() (int, []undoEntry, error) { return db.execInsert(n, params) })
+		return s.runDML(n.Table, func() (int, []undoEntry, error) { return db.execInsert(ctx, n, params) })
 	case *UpdateStmt:
-		return s.runDML(n.Table, func() (int, []undoEntry, error) { return db.execUpdate(n, params) })
+		return s.runDML(n.Table, func() (int, []undoEntry, error) { return db.execUpdate(ctx, n, params) })
 	case *DeleteStmt:
-		return s.runDML(n.Table, func() (int, []undoEntry, error) { return db.execDelete(n, params) })
+		return s.runDML(n.Table, func() (int, []undoEntry, error) { return db.execDelete(ctx, n, params) })
 	case *CreateTableStmt:
 		return s.runDDL(func() error { return db.createTable(n) })
 	case *DropTableStmt:
@@ -467,6 +486,10 @@ func errResult(state string, err error) *Result {
 
 // stateFor maps engine errors to SQLSTATE classes.
 func stateFor(err error) string {
+	var ce *CancelledError
+	if errors.As(err, &ce) {
+		return StateCancelled
+	}
 	msg := err.Error()
 	switch {
 	case strings.Contains(msg, "unique constraint"), strings.Contains(msg, "may not be NULL"):

@@ -1,6 +1,7 @@
 package sqlengine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -23,7 +24,38 @@ type evalEnv struct {
 	// query's environment for correlated subqueries.
 	db    *Database
 	outer *evalEnv
+	// ctx carries the request context so long scans can be cancelled;
+	// checkN counts rows between cancellation probes.
+	ctx    context.Context
+	checkN int
 }
+
+// checkCtx observes context cancellation at row granularity. To keep the
+// per-row cost negligible it only consults the context every 64 rows.
+func (env *evalEnv) checkCtx() error {
+	if env.ctx == nil {
+		return nil
+	}
+	env.checkN++
+	if env.checkN&63 != 0 {
+		return nil
+	}
+	if err := env.ctx.Err(); err != nil {
+		return &CancelledError{Err: err}
+	}
+	return nil
+}
+
+// CancelledError reports that statement execution was abandoned because
+// its context was cancelled or its deadline expired. Unwrap exposes the
+// context error so errors.Is(err, context.DeadlineExceeded) works.
+type CancelledError struct{ Err error }
+
+func (e *CancelledError) Error() string {
+	return "sqlengine: execution cancelled: " + e.Err.Error()
+}
+
+func (e *CancelledError) Unwrap() error { return e.Err }
 
 // errUnknownColumn distinguishes "not here, try the outer scope" from
 // hard resolution errors like ambiguity.
@@ -233,7 +265,7 @@ func runSubquery(st *SelectStmt, env *evalEnv) (*ResultSet, error) {
 	if env.db == nil {
 		return nil, fmt.Errorf("subqueries are not available in this context")
 	}
-	inner := &evalEnv{params: env.params, db: env.db, outer: env}
+	inner := &evalEnv{params: env.params, db: env.db, outer: env, ctx: env.ctx}
 	return env.db.execSelectEnv(st, inner)
 }
 

@@ -1,6 +1,7 @@
 package sqlengine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -21,9 +22,10 @@ type ResultSet struct {
 }
 
 // execSelect runs a SELECT against the database. The caller must hold
-// d.mu for reading.
-func (d *Database) execSelect(st *SelectStmt, params []Value) (*ResultSet, error) {
-	return d.execSelectEnv(st, &evalEnv{params: params, db: d})
+// d.mu for reading. Long scans observe ctx cancellation at row
+// granularity.
+func (d *Database) execSelect(ctx context.Context, st *SelectStmt, params []Value) (*ResultSet, error) {
+	return d.execSelectEnv(st, &evalEnv{params: params, db: d, ctx: ctx})
 }
 
 // execSelectEnv runs a SELECT with an explicit environment; the
@@ -66,6 +68,9 @@ func (d *Database) execSelectEnv(st *SelectStmt, env *evalEnv) (*ResultSet, erro
 		}
 		filtered := rows[:0:0]
 		for _, r := range rows {
+			if err := env.checkCtx(); err != nil {
+				return nil, err
+			}
 			env.row = r
 			v, err := eval(st.Where, env)
 			if err != nil {
@@ -155,12 +160,12 @@ func (d *Database) execSelectEnv(st *SelectStmt, env *evalEnv) (*ResultSet, erro
 func (d *Database) execUnion(st *SelectStmt, env *evalEnv) (*ResultSet, error) {
 	first := *st
 	first.Unions, first.OrderBy, first.Limit, first.Offset = nil, nil, nil, nil
-	out, err := d.execSelectEnv(&first, &evalEnv{params: env.params, db: d, outer: env.outer})
+	out, err := d.execSelectEnv(&first, &evalEnv{params: env.params, db: d, outer: env.outer, ctx: env.ctx})
 	if err != nil {
 		return nil, err
 	}
 	for _, part := range st.Unions {
-		right, err := d.execSelectEnv(part.Sel, &evalEnv{params: env.params, db: d, outer: env.outer})
+		right, err := d.execSelectEnv(part.Sel, &evalEnv{params: env.params, db: d, outer: env.outer, ctx: env.ctx})
 		if err != nil {
 			return nil, err
 		}
@@ -342,7 +347,7 @@ func columnConstPair(colSide, constSide Expr, t *Table, qual string, env *evalEn
 // their subquery with the caller's environment as outer scope.
 func (d *Database) bindTable(tr *TableRef, env *evalEnv) ([][]Value, []boundColumn, error) {
 	if tr.Subquery != nil {
-		set, err := d.execSelectEnv(tr.Subquery, &evalEnv{params: env.params, db: d, outer: env.outer})
+		set, err := d.execSelectEnv(tr.Subquery, &evalEnv{params: env.params, db: d, outer: env.outer, ctx: env.ctx})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -395,6 +400,7 @@ func joinRows(left [][]Value, right [][]Value, env *evalEnv, rcols []boundColumn
 		params: env.params,
 		db:     env.db,
 		outer:  env.outer,
+		ctx:    env.ctx,
 	}
 	var out [][]Value
 	nullRight := make([]Value, len(rcols))
@@ -414,6 +420,9 @@ func joinRows(left [][]Value, right [][]Value, env *evalEnv, rcols []boundColumn
 		return truthy(v)
 	}
 	for _, l := range left {
+		if err := joinEnv.checkCtx(); err != nil {
+			return nil, err
+		}
 		matched := false
 		for _, r := range right {
 			ok, err := match(l, r)
@@ -482,6 +491,9 @@ func (d *Database) execProjection(st *SelectStmt, rows [][]Value, env *evalEnv) 
 	out := &ResultSet{Columns: cols}
 	var orderKeys [][]Value
 	for _, r := range rows {
+		if err := env.checkCtx(); err != nil {
+			return nil, nil, err
+		}
 		env.row = r
 		vals := make([]Value, len(exprs))
 		aliases := map[string]Value{}
@@ -577,6 +589,9 @@ func (d *Database) execGrouped(st *SelectStmt, rows [][]Value, env *evalEnv) (*R
 	} else {
 		byKey := map[string]*group{}
 		for _, r := range rows {
+			if err := env.checkCtx(); err != nil {
+				return nil, nil, err
+			}
 			env.row = r
 			var kb strings.Builder
 			for _, ge := range st.GroupBy {

@@ -45,6 +45,10 @@ type Registry struct {
 	clock     Clock
 	onDestroy func(id string)
 	destroyed int64
+
+	reaperMu    sync.Mutex
+	reaperStops []func()
+	closeOnce   sync.Once
 }
 
 type entry struct {
@@ -305,7 +309,8 @@ func (r *Registry) SweepExpired() []string {
 
 // StartReaper launches a goroutine sweeping expired resources every
 // interval. The returned stop function terminates it and waits for the
-// final sweep to finish.
+// final sweep to finish; it is idempotent. Close stops every reaper
+// started this way.
 func (r *Registry) StartReaper(interval time.Duration) (stop func()) {
 	done := make(chan struct{})
 	finished := make(chan struct{})
@@ -322,8 +327,30 @@ func (r *Registry) StartReaper(interval time.Duration) (stop func()) {
 			}
 		}
 	}()
-	return func() {
-		close(done)
-		<-finished
+	var once sync.Once
+	stop = func() {
+		once.Do(func() {
+			close(done)
+			<-finished
+		})
 	}
+	r.reaperMu.Lock()
+	r.reaperStops = append(r.reaperStops, stop)
+	r.reaperMu.Unlock()
+	return stop
+}
+
+// Close shuts the registry's background machinery down: every reaper
+// goroutine is stopped and waited for. Safe to call more than once and
+// concurrently with StartReaper.
+func (r *Registry) Close() {
+	r.closeOnce.Do(func() {
+		r.reaperMu.Lock()
+		stops := append([]func(){}, r.reaperStops...)
+		r.reaperStops = nil
+		r.reaperMu.Unlock()
+		for _, stop := range stops {
+			stop()
+		}
+	})
 }

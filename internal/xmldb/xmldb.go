@@ -1,6 +1,7 @@
 package xmldb
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -219,6 +220,13 @@ type QueryResult struct {
 // Node-set results yield one QueryResult per node; scalar results yield
 // a single QueryResult per document with Value set.
 func (s *Store) XPathQuery(path, expr string) ([]QueryResult, error) {
+	return s.XPathQueryContext(context.Background(), path, expr)
+}
+
+// XPathQueryContext is XPathQuery under a context: cancellation is
+// observed between documents, so a query over a large collection stops
+// promptly when the deadline expires.
+func (s *Store) XPathQueryContext(ctx context.Context, path, expr string) ([]QueryResult, error) {
 	xp, err := CompileXPath(expr)
 	if err != nil {
 		return nil, err
@@ -236,6 +244,9 @@ func (s *Store) XPathQuery(path, expr string) ([]QueryResult, error) {
 	sort.Strings(names)
 	var out []QueryResult
 	for _, name := range names {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("xmldb: query cancelled: %w", err)
+		}
 		v, err := xp.Eval(c.docs[name])
 		if err != nil {
 			return nil, fmt.Errorf("xmldb: document %q: %w", name, err)

@@ -1,6 +1,7 @@
 package xmldb
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -209,15 +210,21 @@ func truncate(s string, n int) string {
 // elements (one per for-binding for FLWOR queries, or per match for
 // plain XPath queries).
 func (s *Store) XQueryExecute(path, query string) ([]QueryResult, error) {
+	return s.XQueryExecuteContext(context.Background(), path, query)
+}
+
+// XQueryExecuteContext is XQueryExecute under a context; cancellation is
+// observed per document through the underlying XPath evaluation.
+func (s *Store) XQueryExecuteContext(ctx context.Context, path, query string) ([]QueryResult, error) {
 	xq, err := CompileXQuery(query)
 	if err != nil {
 		return nil, err
 	}
 	if xq.plainXP != nil {
-		return s.XPathQuery(path, xq.plainXP.String())
+		return s.XPathQueryContext(ctx, path, xq.plainXP.String())
 	}
 	// Gather bindings across all documents.
-	matches, err := s.XPathQuery(path, xq.forPath.String())
+	matches, err := s.XPathQueryContext(ctx, path, xq.forPath.String())
 	if err != nil {
 		return nil, err
 	}
