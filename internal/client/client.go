@@ -1,8 +1,13 @@
 // Package client is the typed Go consumer library for DAIS services:
-// it speaks the WS-DAI / WS-DAIR / WS-DAIX SOAP message patterns
-// against any endpoint, follows EPRs returned by factories (including
-// EPRs handed over by third parties, paper Fig. 5), and exposes the
-// optional WSRF operations.
+// it speaks the WS-DAI / WS-DAIR / WS-DAIX / WS-DAIF SOAP message
+// patterns against any endpoint, follows EPRs returned by factories
+// (including EPRs handed over by third parties, paper Fig. 5), and
+// exposes the optional WSRF operations. Every method is a thin call
+// through the declarative operation catalog of package ops: the spec
+// supplies the action URI, the request element shape and the mandatory
+// abstract-name framing; the shared message codecs supply the body —
+// the same codecs the service decodes with, so both sides agree by
+// construction.
 package client
 
 import (
@@ -12,6 +17,8 @@ import (
 	"time"
 
 	"dais/internal/core"
+	"dais/internal/dair"
+	"dais/internal/ops"
 	"dais/internal/rowset"
 	"dais/internal/service"
 	"dais/internal/soap"
@@ -97,13 +104,44 @@ func (c *Client) call(ctx context.Context, address, action string, body *xmlutil
 	return resp.BodyEntry(), nil
 }
 
+// invoke performs one operation per its catalog spec: the spec builds
+// the request element (with the mandatory abstract name and any
+// advertised PortTypeQName), the message encodes the body, and the
+// operation metadata rides the context for client interceptors.
+func (c *Client) invoke(ctx context.Context, ref ResourceRef, spec ops.Spec, msg ops.Msg) (*xmlutil.Element, error) {
+	req := spec.NewRequest(ref.AbstractName)
+	if msg != nil {
+		msg.Encode(spec, req)
+	}
+	return c.call(ops.WithCallInfo(ctx, spec.Info()), ref.Address, spec.Action, req)
+}
+
+// factory is invoke for the indirect access pattern (paper Fig. 3):
+// the response's DataResourceAddress EPR becomes a new reference.
+func (c *Client) factory(ctx context.Context, ref ResourceRef, spec ops.Spec, msg ops.Msg) (ResourceRef, error) {
+	resp, err := c.invoke(ctx, ref, spec, msg)
+	if err != nil {
+		return ResourceRef{}, err
+	}
+	return refFromResponse(resp)
+}
+
+// refFromResponse extracts the DataResourceAddress EPR from a factory
+// response.
+func refFromResponse(resp *xmlutil.Element) (ResourceRef, error) {
+	epr, err := ops.ResourceAddress(resp)
+	if err != nil {
+		return ResourceRef{}, err
+	}
+	return FromEPR(epr)
+}
+
 // --- WS-DAI core ---
 
 // GetPropertyDocument fetches the whole WS-DAI property document
 // (paper §4.3; the only granularity available without WSRF).
 func (c *Client) GetPropertyDocument(ctx context.Context, ref ResourceRef) (*xmlutil.Element, error) {
-	req := service.NewRequest(core.NSDAI, "GetDataResourcePropertyDocumentRequest", ref.AbstractName)
-	resp, err := c.call(ctx, ref.Address, service.ActGetPropertyDocument, req)
+	resp, err := c.invoke(ctx, ref, ops.GetPropertyDocument, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -116,10 +154,8 @@ func (c *Client) GetPropertyDocument(ctx context.Context, ref ResourceRef) (*xml
 
 // GenericQuery runs a query in an advertised language.
 func (c *Client) GenericQuery(ctx context.Context, ref ResourceRef, languageURI, expression string) (*xmlutil.Element, error) {
-	req := service.NewRequest(core.NSDAI, "GenericQueryRequest", ref.AbstractName)
-	req.AddText(core.NSDAI, "GenericQueryLanguage", languageURI)
-	req.AddText(core.NSDAI, "Expression", expression)
-	resp, err := c.call(ctx, ref.Address, service.ActGenericQuery, req)
+	resp, err := c.invoke(ctx, ref, ops.GenericQuery,
+		ops.GenericQueryMsg{Language: languageURI, Expression: expression})
 	if err != nil {
 		return nil, err
 	}
@@ -132,15 +168,13 @@ func (c *Client) GenericQuery(ctx context.Context, ref ResourceRef, languageURI,
 
 // DestroyDataResource removes the service / resource relationship.
 func (c *Client) DestroyDataResource(ctx context.Context, ref ResourceRef) error {
-	req := service.NewRequest(core.NSDAI, "DestroyDataResourceRequest", ref.AbstractName)
-	_, err := c.call(ctx, ref.Address, service.ActDestroyDataResource, req)
+	_, err := c.invoke(ctx, ref, ops.DestroyDataResource, nil)
 	return err
 }
 
 // GetResourceList lists the abstract names a service knows.
 func (c *Client) GetResourceList(ctx context.Context, address string) ([]string, error) {
-	req := xmlutil.NewElement(core.NSDAI, "GetResourceListRequest")
-	resp, err := c.call(ctx, address, service.ActGetResourceList, req)
+	resp, err := c.invoke(ctx, Ref(address, ""), ops.GetResourceList, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -153,17 +187,7 @@ func (c *Client) GetResourceList(ctx context.Context, address string) ([]string,
 
 // Resolve maps an abstract name to a full resource reference.
 func (c *Client) Resolve(ctx context.Context, address, abstractName string) (ResourceRef, error) {
-	req := service.NewRequest(core.NSDAI, "ResolveRequest", abstractName)
-	resp, err := c.call(ctx, address, service.ActResolve, req)
-	if err != nil {
-		return ResourceRef{}, err
-	}
-	addrEl := resp.Find(core.NSDAI, "DataResourceAddress")
-	epr, err := wsaddr.ParseEPR(addrEl)
-	if err != nil {
-		return ResourceRef{}, err
-	}
-	return FromEPR(epr)
+	return c.factory(ctx, Ref(address, abstractName), ops.ResolveName, nil)
 }
 
 // --- WS-DAIR ---
@@ -180,24 +204,18 @@ type SQLResult struct {
 // SQLExecute performs direct data access (paper Fig. 2): the data comes
 // back in the response. formatURI "" selects the SQLRowset default.
 func (c *Client) SQLExecute(ctx context.Context, ref ResourceRef, expression string, params []sqlengine.Value, formatURI string) (*SQLResult, error) {
-	req := service.NewRequest(service.NSDAIR, "SQLExecuteRequest", ref.AbstractName)
-	if formatURI != "" {
-		req.AddText(core.NSDAI, "DatasetFormatURI", formatURI)
-	}
-	service.AddSQLExpression(req, expression, params)
-	resp, err := c.call(ctx, ref.Address, service.ActSQLExecute, req)
+	resp, err := c.invoke(ctx, ref, ops.SQLExecute, ops.SQLExecuteMsg{
+		Expr:      ops.SQLExpression{Expression: expression, Params: params},
+		FormatURI: formatURI,
+	})
 	if err != nil {
 		return nil, err
 	}
 	out := &SQLResult{UpdateCount: -1}
-	if caEl := resp.Find(service.NSDAIR, "SQLCommunicationArea"); caEl != nil {
-		fmt.Sscanf(caEl.FindText(service.NSDAIR, "SQLCode"), "%d", &out.CA.SQLCode)
-		out.CA.SQLState = caEl.FindText(service.NSDAIR, "SQLState")
-		out.CA.Message = caEl.FindText(service.NSDAIR, "SQLMessage")
-		fmt.Sscanf(caEl.FindText(service.NSDAIR, "UpdateCount"), "%d", &out.CA.UpdateCount)
-		fmt.Sscanf(caEl.FindText(service.NSDAIR, "RowsFetched"), "%d", &out.CA.RowsFetched)
+	if ca, err := dair.ParseCommunicationArea(resp.Find(ops.NSDAIR, "SQLCommunicationArea")); err == nil {
+		out.CA = ca
 	}
-	if uc := resp.Find(service.NSDAIR, "UpdateCount"); uc != nil {
+	if uc := resp.Find(ops.NSDAIR, "UpdateCount"); uc != nil {
 		fmt.Sscanf(uc.Text(), "%d", &out.UpdateCount)
 		return out, nil
 	}
@@ -205,7 +223,7 @@ func (c *Client) SQLExecute(ctx context.Context, ref ResourceRef, expression str
 	if ds == nil {
 		return out, nil
 	}
-	out.Raw, out.FormatURI = service.DatasetPayload(ds)
+	out.Raw, out.FormatURI = ops.DatasetPayload(ds)
 	if codec, err := rowset.NewRegistry().Lookup(out.FormatURI); err == nil {
 		if set, derr := codec.Decode(out.Raw); derr == nil {
 			out.Set = set
@@ -217,24 +235,15 @@ func (c *Client) SQLExecute(ctx context.Context, ref ResourceRef, expression str
 // SQLExecuteFactory performs indirect access (paper Fig. 3): the
 // response is an EPR to a derived SQLResponse resource.
 func (c *Client) SQLExecuteFactory(ctx context.Context, ref ResourceRef, expression string, params []sqlengine.Value, cfg *core.Configuration) (ResourceRef, error) {
-	req := service.NewRequest(service.NSDAIR, "SQLExecuteFactoryRequest", ref.AbstractName)
-	req.AddText(core.NSDAI, "PortTypeQName", "dair:SQLResponseAccess")
-	if cfg != nil {
-		req.AppendChild(cfg.Element())
-	}
-	service.AddSQLExpression(req, expression, params)
-	resp, err := c.call(ctx, ref.Address, service.ActSQLExecuteFactory, req)
-	if err != nil {
-		return ResourceRef{}, err
-	}
-	return refFromResponse(resp)
+	return c.factory(ctx, ref, ops.SQLExecuteFactory, ops.SQLFactoryMsg{
+		Expr:   ops.SQLExpression{Expression: expression, Params: params},
+		Config: cfg,
+	})
 }
 
 // GetSQLRowset fetches the index-th rowset of a response resource.
 func (c *Client) GetSQLRowset(ctx context.Context, ref ResourceRef, index int) (*sqlengine.ResultSet, error) {
-	req := service.NewRequest(service.NSDAIR, "GetSQLRowsetRequest", ref.AbstractName)
-	req.AddText(service.NSDAIR, "Index", fmt.Sprintf("%d", index))
-	resp, err := c.call(ctx, ref.Address, service.ActGetSQLRowset, req)
+	resp, err := c.invoke(ctx, ref, ops.GetSQLRowset, ops.IndexMsg{Index: index})
 	if err != nil {
 		return nil, err
 	}
@@ -247,69 +256,45 @@ func (c *Client) GetSQLRowset(ctx context.Context, ref ResourceRef, index int) (
 
 // GetSQLUpdateCount fetches the index-th update count.
 func (c *Client) GetSQLUpdateCount(ctx context.Context, ref ResourceRef, index int) (int, error) {
-	req := service.NewRequest(service.NSDAIR, "GetSQLUpdateCountRequest", ref.AbstractName)
-	req.AddText(service.NSDAIR, "Index", fmt.Sprintf("%d", index))
-	resp, err := c.call(ctx, ref.Address, service.ActGetSQLUpdateCount, req)
+	resp, err := c.invoke(ctx, ref, ops.GetSQLUpdateCount, ops.IndexMsg{Index: index})
 	if err != nil {
 		return 0, err
 	}
 	var n int
-	fmt.Sscanf(resp.FindText(service.NSDAIR, "UpdateCount"), "%d", &n)
+	fmt.Sscanf(resp.FindText(ops.NSDAIR, "UpdateCount"), "%d", &n)
 	return n, nil
 }
 
 // GetSQLCommunicationArea fetches the response's communication area.
 func (c *Client) GetSQLCommunicationArea(ctx context.Context, ref ResourceRef) (sqlengine.SQLCA, error) {
-	req := service.NewRequest(service.NSDAIR, "GetSQLCommunicationAreaRequest", ref.AbstractName)
-	resp, err := c.call(ctx, ref.Address, service.ActGetSQLCommArea, req)
+	resp, err := c.invoke(ctx, ref, ops.GetSQLCommunicationArea, nil)
 	if err != nil {
 		return sqlengine.SQLCA{}, err
 	}
-	var ca sqlengine.SQLCA
-	caEl := resp.Find(service.NSDAIR, "SQLCommunicationArea")
+	caEl := resp.Find(ops.NSDAIR, "SQLCommunicationArea")
 	if caEl == nil {
-		return ca, fmt.Errorf("client: response missing SQLCommunicationArea")
+		return sqlengine.SQLCA{}, fmt.Errorf("client: response missing SQLCommunicationArea")
 	}
-	ca.SQLState = caEl.FindText(service.NSDAIR, "SQLState")
-	fmt.Sscanf(caEl.FindText(service.NSDAIR, "SQLCode"), "%d", &ca.SQLCode)
-	fmt.Sscanf(caEl.FindText(service.NSDAIR, "UpdateCount"), "%d", &ca.UpdateCount)
-	fmt.Sscanf(caEl.FindText(service.NSDAIR, "RowsFetched"), "%d", &ca.RowsFetched)
-	ca.Message = caEl.FindText(service.NSDAIR, "SQLMessage")
-	return ca, nil
+	return dair.ParseCommunicationArea(caEl)
 }
 
 // SQLRowsetFactory derives a rowset resource from a response resource
 // (the second hop of Fig. 5). count 0 copies every row.
 func (c *Client) SQLRowsetFactory(ctx context.Context, ref ResourceRef, formatURI string, count int, cfg *core.Configuration) (ResourceRef, error) {
-	req := service.NewRequest(service.NSDAIR, "SQLRowsetFactoryRequest", ref.AbstractName)
-	req.AddText(core.NSDAI, "PortTypeQName", "dair:SQLRowsetAccess")
-	if formatURI != "" {
-		req.AddText(core.NSDAI, "DatasetFormatURI", formatURI)
-	}
-	if count > 0 {
-		req.AddText(service.NSDAIR, "Count", fmt.Sprintf("%d", count))
-	}
-	if cfg != nil {
-		req.AppendChild(cfg.Element())
-	}
-	resp, err := c.call(ctx, ref.Address, service.ActSQLRowsetFactory, req)
-	if err != nil {
-		return ResourceRef{}, err
-	}
-	return refFromResponse(resp)
+	return c.factory(ctx, ref, ops.SQLRowsetFactory, ops.RowsetFactoryMsg{
+		FormatURI: formatURI, Count: count, Config: cfg,
+	})
 }
 
 // GetTuples pages through a rowset resource (the third hop of Fig. 5),
 // returning the raw dataset bytes and their format URI.
 func (c *Client) GetTuples(ctx context.Context, ref ResourceRef, startPosition, count int) ([]byte, string, error) {
-	req := service.NewRequest(service.NSDAIR, "GetTuplesRequest", ref.AbstractName)
-	req.AddText(service.NSDAIR, "StartPosition", fmt.Sprintf("%d", startPosition))
-	req.AddText(service.NSDAIR, "Count", fmt.Sprintf("%d", count))
-	resp, err := c.call(ctx, ref.Address, service.ActGetTuples, req)
+	resp, err := c.invoke(ctx, ref, ops.GetTuples,
+		ops.PageMsg{Start: startPosition, Count: count})
 	if err != nil {
 		return nil, "", err
 	}
-	data, format := service.DatasetPayload(resp.Find(core.NSDAI, "Dataset"))
+	data, format := ops.DatasetPayload(resp.Find(core.NSDAI, "Dataset"))
 	return data, format, nil
 }
 
@@ -326,25 +311,15 @@ func (c *Client) GetTuplesSet(ctx context.Context, ref ResourceRef, startPositio
 	return codec.Decode(data)
 }
 
-// refFromResponse extracts the DataResourceAddress EPR from a factory
-// response.
-func refFromResponse(resp *xmlutil.Element) (ResourceRef, error) {
-	addr := resp.Find(core.NSDAI, "DataResourceAddress")
-	epr, err := wsaddr.ParseEPR(addr)
-	if err != nil {
-		return ResourceRef{}, err
-	}
-	return FromEPR(epr)
-}
-
 // --- WSRF ---
 
 // GetResourceProperty fetches one property by QName (prefix dair:/daix:
 // selects the realisation namespace; wsrl: the lifetime namespace).
 func (c *Client) GetResourceProperty(ctx context.Context, ref ResourceRef, qname string) ([]*xmlutil.Element, error) {
-	req := service.NewRequest(wsrf.NSRP, "GetResourceProperty", ref.AbstractName)
-	req.AddText(wsrf.NSRP, "ResourceProperty", qname)
-	resp, err := c.call(ctx, ref.Address, service.ActGetResourceProperty, req)
+	resp, err := c.invoke(ctx, ref, ops.GetResourceProperty,
+		ops.MsgFunc(func(s ops.Spec, req *xmlutil.Element) {
+			req.AddText(wsrf.NSRP, "ResourceProperty", qname)
+		}))
 	if err != nil {
 		return nil, err
 	}
@@ -354,9 +329,10 @@ func (c *Client) GetResourceProperty(ctx context.Context, ref ResourceRef, qname
 // QueryResourceProperties evaluates an XPath over the property
 // document.
 func (c *Client) QueryResourceProperties(ctx context.Context, ref ResourceRef, expr string) ([]*xmlutil.Element, error) {
-	req := service.NewRequest(wsrf.NSRP, "QueryResourceProperties", ref.AbstractName)
-	req.AddText(wsrf.NSRP, "QueryExpression", expr)
-	resp, err := c.call(ctx, ref.Address, service.ActQueryResourceProperties, req)
+	resp, err := c.invoke(ctx, ref, ops.QueryResourceProperties,
+		ops.MsgFunc(func(s ops.Spec, req *xmlutil.Element) {
+			req.AddText(wsrf.NSRP, "QueryExpression", expr)
+		}))
 	if err != nil {
 		return nil, err
 	}
@@ -368,26 +344,28 @@ func (c *Client) QueryResourceProperties(ctx context.Context, ref ResourceRef, e
 // namespace (Readable, Writeable, DataResourceDescription,
 // Sensitivity, TransactionIsolation, TransactionInitiation).
 func (c *Client) SetResourceProperties(ctx context.Context, ref ResourceRef, props map[string]string) error {
-	req := service.NewRequest(wsrf.NSRP, "SetResourceProperties", ref.AbstractName)
-	update := req.Add(wsrf.NSRP, "Update")
-	for k, v := range props {
-		update.AddText(core.NSDAI, k, v)
-	}
-	_, err := c.call(ctx, ref.Address, service.ActSetResourceProperties, req)
+	_, err := c.invoke(ctx, ref, ops.SetResourceProperties,
+		ops.MsgFunc(func(s ops.Spec, req *xmlutil.Element) {
+			update := req.Add(wsrf.NSRP, "Update")
+			for k, v := range props {
+				update.AddText(core.NSDAI, k, v)
+			}
+		}))
 	return err
 }
 
 // SetTerminationTime schedules (or clears, with nil) a resource's
 // soft-state termination.
 func (c *Client) SetTerminationTime(ctx context.Context, ref ResourceRef, t *time.Time) (*time.Time, error) {
-	req := service.NewRequest(wsrf.NSRL, "SetTerminationTime", ref.AbstractName)
-	rtt := req.Add(wsrf.NSRL, "RequestedTerminationTime")
-	if t == nil {
-		rtt.SetAttr("", "nil", "true")
-	} else {
-		rtt.SetText(t.UTC().Format(time.RFC3339Nano))
-	}
-	resp, err := c.call(ctx, ref.Address, service.ActSetTerminationTime, req)
+	resp, err := c.invoke(ctx, ref, ops.SetTerminationTime,
+		ops.MsgFunc(func(s ops.Spec, req *xmlutil.Element) {
+			rtt := req.Add(wsrf.NSRL, "RequestedTerminationTime")
+			if t == nil {
+				rtt.SetAttr("", "nil", "true")
+			} else {
+				rtt.SetText(t.UTC().Format(time.RFC3339Nano))
+			}
+		}))
 	if err != nil {
 		return nil, err
 	}
@@ -404,7 +382,6 @@ func (c *Client) SetTerminationTime(ctx context.Context, ref ResourceRef, t *tim
 
 // WSRFDestroy destroys the resource through the lifetime interface.
 func (c *Client) WSRFDestroy(ctx context.Context, ref ResourceRef) error {
-	req := service.NewRequest(wsrf.NSRL, "Destroy", ref.AbstractName)
-	_, err := c.call(ctx, ref.Address, service.ActWSRFDestroy, req)
+	_, err := c.invoke(ctx, ref, ops.WSRFDestroy, nil)
 	return err
 }

@@ -5,9 +5,10 @@ import (
 	"fmt"
 
 	"dais/internal/core"
+	"dais/internal/ops"
 	"dais/internal/rowset"
-	"dais/internal/service"
 	"dais/internal/sqlengine"
+	"dais/internal/wsrf"
 	"dais/internal/xmlutil"
 )
 
@@ -16,9 +17,8 @@ import (
 // document getters and the per-item response accessors.
 
 // propertyDocOp fetches a realisation-specific property document.
-func (c *Client) propertyDocOp(ctx context.Context, ref ResourceRef, action, reqName string) (*xmlutil.Element, error) {
-	req := service.NewRequest(service.NSDAIR, reqName, ref.AbstractName)
-	resp, err := c.call(ctx, ref.Address, action, req)
+func (c *Client) propertyDocOp(ctx context.Context, ref ResourceRef, spec ops.Spec) (*xmlutil.Element, error) {
+	resp, err := c.invoke(ctx, ref, spec, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -31,19 +31,19 @@ func (c *Client) propertyDocOp(ctx context.Context, ref ResourceRef, action, req
 
 // GetSQLPropertyDocument implements SQLAccess.GetSQLPropertyDocument.
 func (c *Client) GetSQLPropertyDocument(ctx context.Context, ref ResourceRef) (*xmlutil.Element, error) {
-	return c.propertyDocOp(ctx, ref, service.ActGetSQLPropertyDoc, "GetSQLPropertyDocumentRequest")
+	return c.propertyDocOp(ctx, ref, ops.GetSQLPropertyDocument)
 }
 
 // GetSQLResponsePropertyDocument implements
 // ResponseAccess.GetSQLResponsePropertyDocument.
 func (c *Client) GetSQLResponsePropertyDocument(ctx context.Context, ref ResourceRef) (*xmlutil.Element, error) {
-	return c.propertyDocOp(ctx, ref, service.ActGetSQLResponsePropDoc, "GetSQLResponsePropertyDocumentRequest")
+	return c.propertyDocOp(ctx, ref, ops.GetSQLResponsePropertyDocument)
 }
 
 // GetRowsetPropertyDocument implements
 // RowsetAccess.GetRowsetPropertyDocument.
 func (c *Client) GetRowsetPropertyDocument(ctx context.Context, ref ResourceRef) (*xmlutil.Element, error) {
-	return c.propertyDocOp(ctx, ref, service.ActGetRowsetPropDoc, "GetRowsetPropertyDocumentRequest")
+	return c.propertyDocOp(ctx, ref, ops.GetRowsetPropertyDocument)
 }
 
 // ResponseItem is a decoded GetSQLResponseItem result: exactly one of
@@ -57,9 +57,7 @@ type ResponseItem struct {
 
 // GetSQLResponseItem implements ResponseAccess.GetSQLResponseItem.
 func (c *Client) GetSQLResponseItem(ctx context.Context, ref ResourceRef, index int) (ResponseItem, error) {
-	req := service.NewRequest(service.NSDAIR, "GetSQLResponseItemRequest", ref.AbstractName)
-	req.AddText(service.NSDAIR, "Index", fmt.Sprintf("%d", index))
-	resp, err := c.call(ctx, ref.Address, service.ActGetSQLResponseItem, req)
+	resp, err := c.invoke(ctx, ref, ops.GetSQLResponseItem, ops.IndexMsg{Index: index})
 	if err != nil {
 		return ResponseItem{}, err
 	}
@@ -72,11 +70,11 @@ func (c *Client) GetSQLResponseItem(ctx context.Context, ref ResourceRef, index 
 		out.Set = set
 		return out, nil
 	}
-	if uc := resp.Find(service.NSDAIR, "UpdateCount"); uc != nil {
+	if uc := resp.Find(ops.NSDAIR, "UpdateCount"); uc != nil {
 		fmt.Sscanf(uc.Text(), "%d", &out.UpdateCount)
 		return out, nil
 	}
-	if v := resp.Find(service.NSDAIR, "Value"); v != nil {
+	if v := resp.Find(ops.NSDAIR, "Value"); v != nil {
 		out.Value = v.Text()
 		out.HasValue = true
 	}
@@ -85,33 +83,31 @@ func (c *Client) GetSQLResponseItem(ctx context.Context, ref ResourceRef, index 
 
 // GetSQLReturnValue implements ResponseAccess.GetSQLReturnValue.
 func (c *Client) GetSQLReturnValue(ctx context.Context, ref ResourceRef) (string, error) {
-	req := service.NewRequest(service.NSDAIR, "GetSQLReturnValueRequest", ref.AbstractName)
-	resp, err := c.call(ctx, ref.Address, service.ActGetSQLReturnValue, req)
+	resp, err := c.invoke(ctx, ref, ops.GetSQLReturnValue, nil)
 	if err != nil {
 		return "", err
 	}
-	return resp.FindText(service.NSDAIR, "Value"), nil
+	return resp.FindText(ops.NSDAIR, "Value"), nil
 }
 
 // GetSQLOutputParameter implements ResponseAccess.GetSQLOutputParameter.
 func (c *Client) GetSQLOutputParameter(ctx context.Context, ref ResourceRef, name string) (string, error) {
-	req := service.NewRequest(service.NSDAIR, "GetSQLOutputParameterRequest", ref.AbstractName)
-	req.AddText(service.NSDAIR, "ParameterName", name)
-	resp, err := c.call(ctx, ref.Address, service.ActGetSQLOutputParameter, req)
+	resp, err := c.invoke(ctx, ref, ops.GetSQLOutputParameter, ops.ParamMsg{ParameterName: name})
 	if err != nil {
 		return "", err
 	}
-	return resp.FindText(service.NSDAIR, "Value"), nil
+	return resp.FindText(ops.NSDAIR, "Value"), nil
 }
 
 // GetMultipleResourceProperties fetches several properties by QName in
 // one WSRF round trip.
 func (c *Client) GetMultipleResourceProperties(ctx context.Context, ref ResourceRef, qnames []string) ([]*xmlutil.Element, error) {
-	req := service.NewRequest("http://docs.oasis-open.org/wsrf/rp-2", "GetMultipleResourceProperties", ref.AbstractName)
-	for _, q := range qnames {
-		req.AddText("http://docs.oasis-open.org/wsrf/rp-2", "ResourceProperty", q)
-	}
-	resp, err := c.call(ctx, ref.Address, service.ActGetMultipleResourceProps, req)
+	resp, err := c.invoke(ctx, ref, ops.GetMultipleResourceProperties,
+		ops.MsgFunc(func(s ops.Spec, req *xmlutil.Element) {
+			for _, q := range qnames {
+				req.AddText(wsrf.NSRP, "ResourceProperty", q)
+			}
+		}))
 	if err != nil {
 		return nil, err
 	}

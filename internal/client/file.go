@@ -8,72 +8,55 @@ import (
 
 	"dais/internal/core"
 	"dais/internal/filestore"
-	"dais/internal/service"
+	"dais/internal/ops"
 	"dais/internal/xmlutil"
 )
 
 // ReadFile reads a byte range from a file resource (count < 0 reads to
 // the end).
 func (c *Client) ReadFile(ctx context.Context, ref ResourceRef, name string, offset, count int64) ([]byte, error) {
-	req := service.NewRequest(service.NSDAIF, "ReadFileRequest", ref.AbstractName)
-	req.AddText(service.NSDAIF, "FileName", name)
-	req.AddText(service.NSDAIF, "Offset", fmt.Sprintf("%d", offset))
-	req.AddText(service.NSDAIF, "Count", fmt.Sprintf("%d", count))
-	resp, err := c.call(ctx, ref.Address, service.ActReadFile, req)
+	resp, err := c.invoke(ctx, ref, ops.ReadFile,
+		ops.FileRangeMsg{FileName: name, Offset: offset, Count: count})
 	if err != nil {
 		return nil, err
 	}
-	return base64.StdEncoding.DecodeString(resp.FindText(service.NSDAIF, "Data"))
+	return base64.StdEncoding.DecodeString(resp.FindText(ops.NSDAIF, "Data"))
 }
 
 // WriteFile replaces a file's contents.
 func (c *Client) WriteFile(ctx context.Context, ref ResourceRef, name string, data []byte) error {
-	return c.filePayloadOp(ctx, ref, service.ActWriteFile, "WriteFileRequest", name, data)
+	_, err := c.invoke(ctx, ref, ops.WriteFile, ops.FileDataMsg{FileName: name, Data: data})
+	return err
 }
 
 // AppendFile extends a file.
 func (c *Client) AppendFile(ctx context.Context, ref ResourceRef, name string, data []byte) error {
-	return c.filePayloadOp(ctx, ref, service.ActAppendFile, "AppendFileRequest", name, data)
-}
-
-func (c *Client) filePayloadOp(ctx context.Context, ref ResourceRef, action, reqName, name string, data []byte) error {
-	req := service.NewRequest(service.NSDAIF, reqName, ref.AbstractName)
-	req.AddText(service.NSDAIF, "FileName", name)
-	d := req.Add(service.NSDAIF, "Data")
-	d.SetAttr("", "encoding", "base64")
-	d.SetText(base64.StdEncoding.EncodeToString(data))
-	_, err := c.call(ctx, ref.Address, action, req)
+	_, err := c.invoke(ctx, ref, ops.AppendFile, ops.FileDataMsg{FileName: name, Data: data})
 	return err
 }
 
 // DeleteFile removes a file.
 func (c *Client) DeleteFile(ctx context.Context, ref ResourceRef, name string) error {
-	req := service.NewRequest(service.NSDAIF, "DeleteFileRequest", ref.AbstractName)
-	req.AddText(service.NSDAIF, "FileName", name)
-	_, err := c.call(ctx, ref.Address, service.ActDeleteFile, req)
+	_, err := c.invoke(ctx, ref, ops.DeleteFile, ops.FileNameMsg{FileName: name})
 	return err
 }
 
 // ListFiles lists files matching a glob pattern ("" lists everything).
 func (c *Client) ListFiles(ctx context.Context, ref ResourceRef, pattern string) ([]filestore.FileInfo, error) {
-	req := service.NewRequest(service.NSDAIF, "ListFilesRequest", ref.AbstractName)
-	req.AddText(service.NSDAIF, "Pattern", pattern)
-	resp, err := c.call(ctx, ref.Address, service.ActListFiles, req)
+	resp, err := c.invoke(ctx, ref, ops.ListFiles, ops.PatternMsg{Pattern: pattern})
 	if err != nil {
 		return nil, err
 	}
-	return decodeFileList(resp.Find(service.NSDAIF, "FileList"))
+	return decodeFileList(resp.Find(ops.NSDAIF, "FileList"))
 }
 
 // StatFile returns one file's metadata.
 func (c *Client) StatFile(ctx context.Context, ref ResourceRef, name string) (filestore.FileInfo, error) {
-	req := service.NewRequest(service.NSDAIF, "StatFileRequest", ref.AbstractName)
-	req.AddText(service.NSDAIF, "FileName", name)
-	resp, err := c.call(ctx, ref.Address, service.ActStatFile, req)
+	resp, err := c.invoke(ctx, ref, ops.StatFile, ops.FileNameMsg{FileName: name})
 	if err != nil {
 		return filestore.FileInfo{}, err
 	}
-	infos, err := decodeFileList(resp.Find(service.NSDAIF, "FileList"))
+	infos, err := decodeFileList(resp.Find(ops.NSDAIF, "FileList"))
 	if err != nil || len(infos) != 1 {
 		return filestore.FileInfo{}, fmt.Errorf("client: StatFile returned %d entries (%v)", len(infos), err)
 	}
@@ -83,16 +66,8 @@ func (c *Client) StatFile(ctx context.Context, ref ResourceRef, name string) (fi
 // FileSelectFactory stages the files matching the pattern into a
 // derived resource and returns its reference.
 func (c *Client) FileSelectFactory(ctx context.Context, ref ResourceRef, pattern string, cfg *core.Configuration) (ResourceRef, error) {
-	req := service.NewRequest(service.NSDAIF, "FileSelectFactoryRequest", ref.AbstractName)
-	req.AddText(service.NSDAIF, "Pattern", pattern)
-	if cfg != nil {
-		req.AppendChild(cfg.Element())
-	}
-	resp, err := c.call(ctx, ref.Address, service.ActFileSelectFactory, req)
-	if err != nil {
-		return ResourceRef{}, err
-	}
-	return refFromResponse(resp)
+	return c.factory(ctx, ref, ops.FileSelectFactory,
+		ops.FileFactoryMsg{Pattern: pattern, Config: cfg})
 }
 
 func decodeFileList(list *xmlutil.Element) ([]filestore.FileInfo, error) {
@@ -100,7 +75,7 @@ func decodeFileList(list *xmlutil.Element) ([]filestore.FileInfo, error) {
 		return nil, fmt.Errorf("client: response missing FileList")
 	}
 	var out []filestore.FileInfo
-	for _, f := range list.FindAll(service.NSDAIF, "File") {
+	for _, f := range list.FindAll(ops.NSDAIF, "File") {
 		fi := filestore.FileInfo{Name: f.AttrValue("", "name")}
 		fmt.Sscanf(f.AttrValue("", "size"), "%d", &fi.Size)
 		if ts, err := time.Parse(time.RFC3339Nano, f.AttrValue("", "modified")); err == nil {

@@ -5,7 +5,7 @@ import (
 	"fmt"
 
 	"dais/internal/core"
-	"dais/internal/service"
+	"dais/internal/ops"
 	"dais/internal/xmlutil"
 )
 
@@ -22,9 +22,9 @@ func decodeSequence(seq *xmlutil.Element) ([]SequenceItem, error) {
 		return nil, fmt.Errorf("client: response missing XMLSequence")
 	}
 	var out []SequenceItem
-	for _, item := range seq.FindAll(service.NSDAIX, "Item") {
+	for _, item := range seq.FindAll(ops.NSDAIX, "Item") {
 		si := SequenceItem{Document: item.AttrValue("", "document")}
-		if v := item.Find(service.NSDAIX, "Value"); v != nil {
+		if v := item.Find(ops.NSDAIX, "Value"); v != nil {
 			si.Value = v.Text()
 		} else if kids := item.ChildElements(); len(kids) > 0 {
 			si.Node = kids[0]
@@ -35,25 +35,30 @@ func decodeSequence(seq *xmlutil.Element) ([]SequenceItem, error) {
 	return out, nil
 }
 
+// sequenceOp runs one query-style operation and decodes its
+// XMLSequence response.
+func (c *Client) sequenceOp(ctx context.Context, ref ResourceRef, spec ops.Spec, msg ops.Msg) ([]SequenceItem, error) {
+	resp, err := c.invoke(ctx, ref, spec, msg)
+	if err != nil {
+		return nil, err
+	}
+	return decodeSequence(resp.Find(ops.NSDAIX, "XMLSequence"))
+}
+
 // AddDocument stores a document in an XML collection resource.
 func (c *Client) AddDocument(ctx context.Context, ref ResourceRef, name string, doc *xmlutil.Element) error {
-	req := service.NewRequest(service.NSDAIX, "AddDocumentRequest", ref.AbstractName)
-	req.AddText(service.NSDAIX, "DocumentName", name)
-	wrap := req.Add(service.NSDAIX, "Document")
-	wrap.AppendChild(doc.Clone())
-	_, err := c.call(ctx, ref.Address, service.ActAddDocument, req)
+	_, err := c.invoke(ctx, ref, ops.AddDocument,
+		ops.AddDocumentMsg{DocumentName: name, Document: doc})
 	return err
 }
 
 // GetDocument fetches a document by name.
 func (c *Client) GetDocument(ctx context.Context, ref ResourceRef, name string) (*xmlutil.Element, error) {
-	req := service.NewRequest(service.NSDAIX, "GetDocumentRequest", ref.AbstractName)
-	req.AddText(service.NSDAIX, "DocumentName", name)
-	resp, err := c.call(ctx, ref.Address, service.ActGetDocument, req)
+	resp, err := c.invoke(ctx, ref, ops.GetDocument, ops.DocMsg{DocumentName: name})
 	if err != nil {
 		return nil, err
 	}
-	wrap := resp.Find(service.NSDAIX, "Document")
+	wrap := resp.Find(ops.NSDAIX, "Document")
 	if wrap == nil || len(wrap.ChildElements()) != 1 {
 		return nil, fmt.Errorf("client: response missing Document")
 	}
@@ -62,21 +67,18 @@ func (c *Client) GetDocument(ctx context.Context, ref ResourceRef, name string) 
 
 // RemoveDocument deletes a document by name.
 func (c *Client) RemoveDocument(ctx context.Context, ref ResourceRef, name string) error {
-	req := service.NewRequest(service.NSDAIX, "RemoveDocumentRequest", ref.AbstractName)
-	req.AddText(service.NSDAIX, "DocumentName", name)
-	_, err := c.call(ctx, ref.Address, service.ActRemoveDocument, req)
+	_, err := c.invoke(ctx, ref, ops.RemoveDocument, ops.DocMsg{DocumentName: name})
 	return err
 }
 
 // ListDocuments lists the collection's document names.
 func (c *Client) ListDocuments(ctx context.Context, ref ResourceRef) ([]string, error) {
-	req := service.NewRequest(service.NSDAIX, "ListDocumentsRequest", ref.AbstractName)
-	resp, err := c.call(ctx, ref.Address, service.ActListDocuments, req)
+	resp, err := c.invoke(ctx, ref, ops.ListDocuments, nil)
 	if err != nil {
 		return nil, err
 	}
 	var out []string
-	for _, el := range resp.FindAll(service.NSDAIX, "DocumentName") {
+	for _, el := range resp.FindAll(ops.NSDAIX, "DocumentName") {
 		out = append(out, el.Text())
 	}
 	return out, nil
@@ -84,29 +86,24 @@ func (c *Client) ListDocuments(ctx context.Context, ref ResourceRef) ([]string, 
 
 // CreateSubcollection creates a child collection.
 func (c *Client) CreateSubcollection(ctx context.Context, ref ResourceRef, name string) error {
-	req := service.NewRequest(service.NSDAIX, "CreateSubcollectionRequest", ref.AbstractName)
-	req.AddText(service.NSDAIX, "CollectionName", name)
-	_, err := c.call(ctx, ref.Address, service.ActCreateSubcollection, req)
+	_, err := c.invoke(ctx, ref, ops.CreateSubcollection, ops.CollMsg{CollectionName: name})
 	return err
 }
 
 // RemoveSubcollection removes a child collection.
 func (c *Client) RemoveSubcollection(ctx context.Context, ref ResourceRef, name string) error {
-	req := service.NewRequest(service.NSDAIX, "RemoveSubcollectionRequest", ref.AbstractName)
-	req.AddText(service.NSDAIX, "CollectionName", name)
-	_, err := c.call(ctx, ref.Address, service.ActRemoveSubcollection, req)
+	_, err := c.invoke(ctx, ref, ops.RemoveSubcollection, ops.CollMsg{CollectionName: name})
 	return err
 }
 
 // ListSubcollections lists child collections.
 func (c *Client) ListSubcollections(ctx context.Context, ref ResourceRef) ([]string, error) {
-	req := service.NewRequest(service.NSDAIX, "ListSubcollectionsRequest", ref.AbstractName)
-	resp, err := c.call(ctx, ref.Address, service.ActListSubcollections, req)
+	resp, err := c.invoke(ctx, ref, ops.ListSubcollections, nil)
 	if err != nil {
 		return nil, err
 	}
 	var out []string
-	for _, el := range resp.FindAll(service.NSDAIX, "CollectionName") {
+	for _, el := range resp.FindAll(ops.NSDAIX, "CollectionName") {
 		out = append(out, el.Text())
 	}
 	return out, nil
@@ -114,91 +111,47 @@ func (c *Client) ListSubcollections(ctx context.Context, ref ResourceRef) ([]str
 
 // XPathExecute runs an XPath across the collection (direct access).
 func (c *Client) XPathExecute(ctx context.Context, ref ResourceRef, expr string) ([]SequenceItem, error) {
-	req := service.NewRequest(service.NSDAIX, "XPathExecuteRequest", ref.AbstractName)
-	req.AddText(service.NSDAIX, "Expression", expr)
-	resp, err := c.call(ctx, ref.Address, service.ActXPathExecute, req)
-	if err != nil {
-		return nil, err
-	}
-	return decodeSequence(resp.Find(service.NSDAIX, "XMLSequence"))
+	return c.sequenceOp(ctx, ref, ops.XPathExecute, ops.ExprMsg{Expression: expr})
 }
 
 // XQueryExecute runs an XQuery across the collection.
 func (c *Client) XQueryExecute(ctx context.Context, ref ResourceRef, query string) ([]SequenceItem, error) {
-	req := service.NewRequest(service.NSDAIX, "XQueryExecuteRequest", ref.AbstractName)
-	req.AddText(service.NSDAIX, "Expression", query)
-	resp, err := c.call(ctx, ref.Address, service.ActXQueryExecute, req)
-	if err != nil {
-		return nil, err
-	}
-	return decodeSequence(resp.Find(service.NSDAIX, "XMLSequence"))
+	return c.sequenceOp(ctx, ref, ops.XQueryExecute, ops.ExprMsg{Expression: query})
 }
 
 // XUpdateExecute applies an XUpdate modifications document to one
 // stored document, returning the number of nodes affected.
 func (c *Client) XUpdateExecute(ctx context.Context, ref ResourceRef, docName string, modifications *xmlutil.Element) (int, error) {
-	req := service.NewRequest(service.NSDAIX, "XUpdateExecuteRequest", ref.AbstractName)
-	req.AddText(service.NSDAIX, "DocumentName", docName)
-	req.AppendChild(modifications.Clone())
-	resp, err := c.call(ctx, ref.Address, service.ActXUpdateExecute, req)
+	resp, err := c.invoke(ctx, ref, ops.XUpdateExecute,
+		ops.XUpdateMsg{DocumentName: docName, Modifications: modifications})
 	if err != nil {
 		return 0, err
 	}
 	var n int
-	fmt.Sscanf(resp.FindText(service.NSDAIX, "NodesModified"), "%d", &n)
+	fmt.Sscanf(resp.FindText(ops.NSDAIX, "NodesModified"), "%d", &n)
 	return n, nil
 }
 
 // XPathExecuteFactory derives a sequence resource from an XPath query.
 func (c *Client) XPathExecuteFactory(ctx context.Context, ref ResourceRef, expr string, cfg *core.Configuration) (ResourceRef, error) {
-	req := service.NewRequest(service.NSDAIX, "XPathExecuteFactoryRequest", ref.AbstractName)
-	req.AddText(service.NSDAIX, "Expression", expr)
-	if cfg != nil {
-		req.AppendChild(cfg.Element())
-	}
-	resp, err := c.call(ctx, ref.Address, service.ActXPathFactory, req)
-	if err != nil {
-		return ResourceRef{}, err
-	}
-	return refFromResponse(resp)
+	return c.factory(ctx, ref, ops.XPathExecuteFactory,
+		ops.SeqFactoryMsg{Expression: expr, Config: cfg})
 }
 
 // XQueryExecuteFactory derives a sequence resource from an XQuery.
 func (c *Client) XQueryExecuteFactory(ctx context.Context, ref ResourceRef, query string, cfg *core.Configuration) (ResourceRef, error) {
-	req := service.NewRequest(service.NSDAIX, "XQueryExecuteFactoryRequest", ref.AbstractName)
-	req.AddText(service.NSDAIX, "Expression", query)
-	if cfg != nil {
-		req.AppendChild(cfg.Element())
-	}
-	resp, err := c.call(ctx, ref.Address, service.ActXQueryFactory, req)
-	if err != nil {
-		return ResourceRef{}, err
-	}
-	return refFromResponse(resp)
+	return c.factory(ctx, ref, ops.XQueryExecuteFactory,
+		ops.SeqFactoryMsg{Expression: query, Config: cfg})
 }
 
 // CollectionFactory derives a live sub-collection resource.
 func (c *Client) CollectionFactory(ctx context.Context, ref ResourceRef, name string, cfg *core.Configuration) (ResourceRef, error) {
-	req := service.NewRequest(service.NSDAIX, "CollectionFactoryRequest", ref.AbstractName)
-	req.AddText(service.NSDAIX, "CollectionName", name)
-	if cfg != nil {
-		req.AppendChild(cfg.Element())
-	}
-	resp, err := c.call(ctx, ref.Address, service.ActCollectionFactory, req)
-	if err != nil {
-		return ResourceRef{}, err
-	}
-	return refFromResponse(resp)
+	return c.factory(ctx, ref, ops.CollectionFactory,
+		ops.CollFactoryMsg{CollectionName: name, Config: cfg})
 }
 
 // GetItems pages through a derived sequence resource.
 func (c *Client) GetItems(ctx context.Context, ref ResourceRef, startPosition, count int) ([]SequenceItem, error) {
-	req := service.NewRequest(service.NSDAIX, "GetItemsRequest", ref.AbstractName)
-	req.AddText(service.NSDAIX, "StartPosition", fmt.Sprintf("%d", startPosition))
-	req.AddText(service.NSDAIX, "Count", fmt.Sprintf("%d", count))
-	resp, err := c.call(ctx, ref.Address, service.ActGetItems, req)
-	if err != nil {
-		return nil, err
-	}
-	return decodeSequence(resp.Find(service.NSDAIX, "XMLSequence"))
+	return c.sequenceOp(ctx, ref, ops.GetItems,
+		ops.PageMsg{Start: startPosition, Count: count})
 }

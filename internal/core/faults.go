@@ -13,7 +13,10 @@
 // realisations").
 package core
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // The DAIS fault taxonomy. Service layers map these to SOAP faults
 // with the matching detail element names.
@@ -68,6 +71,33 @@ func (f *RequestTimeoutFault) Error() string {
 		return "dais: RequestTimeoutFault: request deadline expired"
 	}
 	return fmt.Sprintf("dais: RequestTimeoutFault: %s", f.Detail)
+}
+
+// TimeoutFault returns the typed timeout fault when the request context
+// has expired, and nil while it is still live. Realisations call it at
+// operation entry instead of hand-rolling the ctx.Err() check.
+func TimeoutFault(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return &RequestTimeoutFault{Detail: err.Error()}
+	}
+	return nil
+}
+
+// QueryFault maps an execution error to a DAIS fault: typed faults pass
+// through, context expiry becomes a RequestTimeoutFault, and anything
+// else an InvalidExpressionFault. It is the one place realisations turn
+// backend errors into wire faults.
+func QueryFault(ctx context.Context, err error) error {
+	if err == nil {
+		return nil
+	}
+	if FaultName(err) != "" {
+		return err
+	}
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return &RequestTimeoutFault{Detail: ctxErr.Error()}
+	}
+	return &InvalidExpressionFault{Detail: err.Error()}
 }
 
 // FaultName returns the DAIS fault element name for a typed fault, or

@@ -113,12 +113,12 @@ func (r *FileDataResource) ReadFile(ctx context.Context, name string, offset, co
 	if err := core.CheckReadable(r); err != nil {
 		return nil, err
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, &core.RequestTimeoutFault{Detail: err.Error()}
+	if err := core.TimeoutFault(ctx); err != nil {
+		return nil, err
 	}
 	data, err := r.store.Read(name, offset, count)
 	if err != nil {
-		return nil, &core.InvalidExpressionFault{Detail: err.Error()}
+		return nil, core.QueryFault(ctx, err)
 	}
 	return data, nil
 }
@@ -128,11 +128,11 @@ func (r *FileDataResource) WriteFile(ctx context.Context, name string, data []by
 	if err := core.CheckWriteable(r); err != nil {
 		return err
 	}
-	if err := ctx.Err(); err != nil {
-		return &core.RequestTimeoutFault{Detail: err.Error()}
+	if err := core.TimeoutFault(ctx); err != nil {
+		return err
 	}
 	if err := r.store.Write(name, data); err != nil {
-		return &core.InvalidExpressionFault{Detail: err.Error()}
+		return core.QueryFault(ctx, err)
 	}
 	return nil
 }
@@ -142,11 +142,11 @@ func (r *FileDataResource) AppendFile(ctx context.Context, name string, data []b
 	if err := core.CheckWriteable(r); err != nil {
 		return err
 	}
-	if err := ctx.Err(); err != nil {
-		return &core.RequestTimeoutFault{Detail: err.Error()}
+	if err := core.TimeoutFault(ctx); err != nil {
+		return err
 	}
 	if err := r.store.Append(name, data); err != nil {
-		return &core.InvalidExpressionFault{Detail: err.Error()}
+		return core.QueryFault(ctx, err)
 	}
 	return nil
 }
@@ -156,11 +156,11 @@ func (r *FileDataResource) DeleteFile(ctx context.Context, name string) error {
 	if err := core.CheckWriteable(r); err != nil {
 		return err
 	}
-	if err := ctx.Err(); err != nil {
-		return &core.RequestTimeoutFault{Detail: err.Error()}
+	if err := core.TimeoutFault(ctx); err != nil {
+		return err
 	}
 	if err := r.store.Delete(name); err != nil {
-		return &core.InvalidExpressionFault{Detail: err.Error()}
+		return core.QueryFault(ctx, err)
 	}
 	return nil
 }
@@ -170,12 +170,12 @@ func (r *FileDataResource) ListFiles(ctx context.Context, pattern string) ([]fil
 	if err := core.CheckReadable(r); err != nil {
 		return nil, err
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, &core.RequestTimeoutFault{Detail: err.Error()}
+	if err := core.TimeoutFault(ctx); err != nil {
+		return nil, err
 	}
 	infos, err := r.store.List(pattern)
 	if err != nil {
-		return nil, &core.InvalidExpressionFault{Detail: err.Error()}
+		return nil, core.QueryFault(ctx, err)
 	}
 	return infos, nil
 }
@@ -185,12 +185,12 @@ func (r *FileDataResource) StatFile(ctx context.Context, name string) (filestore
 	if err := core.CheckReadable(r); err != nil {
 		return filestore.FileInfo{}, err
 	}
-	if err := ctx.Err(); err != nil {
-		return filestore.FileInfo{}, &core.RequestTimeoutFault{Detail: err.Error()}
+	if err := core.TimeoutFault(ctx); err != nil {
+		return filestore.FileInfo{}, err
 	}
 	info, err := r.store.Stat(name)
 	if err != nil {
-		return filestore.FileInfo{}, &core.InvalidExpressionFault{Detail: err.Error()}
+		return filestore.FileInfo{}, core.QueryFault(ctx, err)
 	}
 	return info, nil
 }

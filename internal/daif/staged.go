@@ -70,7 +70,7 @@ func (r *StagedFileResource) GenericQuery(ctx context.Context, languageURI, expr
 	defer r.mu.RUnlock()
 	infos, err := r.snap.List(expression)
 	if err != nil {
-		return nil, &core.InvalidExpressionFault{Detail: err.Error()}
+		return nil, core.QueryFault(ctx, err)
 	}
 	return FileListElement(infos), nil
 }
@@ -107,14 +107,14 @@ func (r *StagedFileResource) ReadFile(ctx context.Context, name string, offset, 
 	if err := core.CheckReadable(r); err != nil {
 		return nil, err
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, &core.RequestTimeoutFault{Detail: err.Error()}
+	if err := core.TimeoutFault(ctx); err != nil {
+		return nil, err
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	data, err := r.snap.Read(name, offset, count)
 	if err != nil {
-		return nil, &core.InvalidExpressionFault{Detail: err.Error()}
+		return nil, core.QueryFault(ctx, err)
 	}
 	return data, nil
 }
@@ -124,14 +124,14 @@ func (r *StagedFileResource) ListFiles(ctx context.Context, pattern string) ([]f
 	if err := core.CheckReadable(r); err != nil {
 		return nil, err
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, &core.RequestTimeoutFault{Detail: err.Error()}
+	if err := core.TimeoutFault(ctx); err != nil {
+		return nil, err
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	infos, err := r.snap.List(pattern)
 	if err != nil {
-		return nil, &core.InvalidExpressionFault{Detail: err.Error()}
+		return nil, core.QueryFault(ctx, err)
 	}
 	return infos, nil
 }
@@ -146,8 +146,8 @@ func FileSelectFactory(ctx context.Context, src *FileDataResource, target *core.
 	if err := core.CheckReadable(src); err != nil {
 		return nil, err
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, &core.RequestTimeoutFault{Detail: err.Error()}
+	if err := core.TimeoutFault(ctx); err != nil {
+		return nil, err
 	}
 	c := core.DefaultConfiguration()
 	if cfg != nil {

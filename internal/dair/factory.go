@@ -63,8 +63,8 @@ func SQLExecuteFactory(ctx context.Context, src *SQLDataResource, target *core.D
 // SQLRowsetFactoryRequest message.
 func SQLRowsetFactory(ctx context.Context, src *SQLResponseResource, target *core.DataService, formatURI string,
 	count int, cfg *core.Configuration) (*SQLRowsetResource, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, &core.RequestTimeoutFault{Detail: err.Error()}
+	if err := core.TimeoutFault(ctx); err != nil {
+		return nil, err
 	}
 	if err := core.CheckReadable(src); err != nil {
 		return nil, err

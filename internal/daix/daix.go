@@ -217,7 +217,7 @@ func (r *XMLCollectionResource) XPathExecute(ctx context.Context, expr string) (
 	}
 	res, err := r.store.XPathQueryContext(ctx, r.path, expr)
 	if err != nil {
-		return nil, queryFault(ctx, err)
+		return nil, core.QueryFault(ctx, err)
 	}
 	return res, nil
 }
@@ -229,7 +229,7 @@ func (r *XMLCollectionResource) XQueryExecute(ctx context.Context, query string)
 	}
 	res, err := r.store.XQueryExecuteContext(ctx, r.path, query)
 	if err != nil {
-		return nil, queryFault(ctx, err)
+		return nil, core.QueryFault(ctx, err)
 	}
 	return res, nil
 }
@@ -240,23 +240,14 @@ func (r *XMLCollectionResource) XUpdateExecute(ctx context.Context, document str
 	if err := core.CheckWriteable(r); err != nil {
 		return 0, err
 	}
-	if err := ctx.Err(); err != nil {
-		return 0, &core.RequestTimeoutFault{Detail: err.Error()}
+	if err := core.TimeoutFault(ctx); err != nil {
+		return 0, err
 	}
 	n, err := r.store.XUpdate(r.path, document, modifications)
 	if err != nil {
-		return 0, &core.InvalidExpressionFault{Detail: err.Error()}
+		return 0, core.QueryFault(ctx, err)
 	}
 	return n, nil
-}
-
-// queryFault maps store errors to DAIS faults, recognising context
-// cancellation as a RequestTimeoutFault.
-func queryFault(ctx context.Context, err error) error {
-	if ctxErr := ctx.Err(); ctxErr != nil {
-		return &core.RequestTimeoutFault{Detail: ctxErr.Error()}
-	}
-	return &core.InvalidExpressionFault{Detail: err.Error()}
 }
 
 // WrapResults renders query results as a single XMLSequence element for

@@ -138,8 +138,8 @@ func XQueryFactory(ctx context.Context, src *XMLCollectionResource, target *core
 // through it are visible to the parent store.
 func CollectionFactory(ctx context.Context, src *XMLCollectionResource, target *core.DataService, name string,
 	cfg *core.Configuration) (*XMLCollectionResource, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, &core.RequestTimeoutFault{Detail: err.Error()}
+	if err := core.TimeoutFault(ctx); err != nil {
+		return nil, err
 	}
 	if err := src.CreateSubcollection(name); err != nil {
 		return nil, err

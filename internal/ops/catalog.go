@@ -1,0 +1,208 @@
+package ops
+
+import (
+	"dais/internal/core"
+	"dais/internal/daif"
+	"dais/internal/dair"
+	"dais/internal/daix"
+	"dais/internal/wsrf"
+)
+
+// Namespace aliases for the catalog.
+const (
+	NSDAI  = core.NSDAI
+	NSDAIR = dair.NSDAIR
+	NSDAIX = daix.NSDAIX
+	NSDAIF = daif.NSDAIF
+)
+
+// Action URIs, one per operation. The SOAP dispatcher routes on them.
+const (
+	// WS-DAI core.
+	ActGetPropertyDocument = NSDAI + "/GetDataResourcePropertyDocument"
+	ActGenericQuery        = NSDAI + "/GenericQuery"
+	ActDestroyDataResource = NSDAI + "/DestroyDataResource"
+	ActGetResourceList     = NSDAI + "/GetResourceList"
+	ActResolve             = NSDAI + "/Resolve"
+
+	// WS-DAIR.
+	ActSQLExecute            = NSDAIR + "/SQLExecute"
+	ActGetSQLPropertyDoc     = NSDAIR + "/GetSQLPropertyDocument"
+	ActSQLExecuteFactory     = NSDAIR + "/SQLExecuteFactory"
+	ActGetSQLRowset          = NSDAIR + "/GetSQLRowset"
+	ActGetSQLUpdateCount     = NSDAIR + "/GetSQLUpdateCount"
+	ActGetSQLReturnValue     = NSDAIR + "/GetSQLReturnValue"
+	ActGetSQLOutputParameter = NSDAIR + "/GetSQLOutputParameter"
+	ActGetSQLCommArea        = NSDAIR + "/GetSQLCommunicationArea"
+	ActGetSQLResponseItem    = NSDAIR + "/GetSQLResponseItem"
+	ActGetSQLResponsePropDoc = NSDAIR + "/GetSQLResponsePropertyDocument"
+	ActSQLRowsetFactory      = NSDAIR + "/SQLRowsetFactory"
+	ActGetTuples             = NSDAIR + "/GetTuples"
+	ActGetRowsetPropDoc      = NSDAIR + "/GetRowsetPropertyDocument"
+
+	// WS-DAIX.
+	ActAddDocument         = NSDAIX + "/AddDocument"
+	ActGetDocument         = NSDAIX + "/GetDocument"
+	ActRemoveDocument      = NSDAIX + "/RemoveDocument"
+	ActListDocuments       = NSDAIX + "/ListDocuments"
+	ActCreateSubcollection = NSDAIX + "/CreateSubcollection"
+	ActRemoveSubcollection = NSDAIX + "/RemoveSubcollection"
+	ActListSubcollections  = NSDAIX + "/ListSubcollections"
+	ActXPathExecute        = NSDAIX + "/XPathExecute"
+	ActXQueryExecute       = NSDAIX + "/XQueryExecute"
+	ActXUpdateExecute      = NSDAIX + "/XUpdateExecute"
+	ActXPathFactory        = NSDAIX + "/XPathExecuteFactory"
+	ActXQueryFactory       = NSDAIX + "/XQueryExecuteFactory"
+	ActCollectionFactory   = NSDAIX + "/CollectionFactory"
+	ActGetItems            = NSDAIX + "/GetItems"
+
+	// WS-DAIF (experimental files realisation, paper §6).
+	ActReadFile          = NSDAIF + "/ReadFile"
+	ActWriteFile         = NSDAIF + "/WriteFile"
+	ActAppendFile        = NSDAIF + "/AppendFile"
+	ActDeleteFile        = NSDAIF + "/DeleteFile"
+	ActListFiles         = NSDAIF + "/ListFiles"
+	ActStatFile          = NSDAIF + "/StatFile"
+	ActFileSelectFactory = NSDAIF + "/FileSelectFactory"
+
+	// WSRF (optional layer).
+	ActGetResourceProperty      = wsrf.NSRP + "/GetResourceProperty"
+	ActSetResourceProperties    = wsrf.NSRP + "/SetResourceProperties"
+	ActGetMultipleResourceProps = wsrf.NSRP + "/GetMultipleResourceProperties"
+	ActQueryResourceProperties  = wsrf.NSRP + "/QueryResourceProperties"
+	ActSetTerminationTime       = wsrf.NSRL + "/SetTerminationTime"
+	ActWSRFDestroy              = wsrf.NSRL + "/Destroy"
+)
+
+// The operation specs — the Fig. 6 table, one var per row. Dispatch,
+// client methods, WSDL generation and the completeness tests all refer
+// to these.
+var (
+	// WS-DAI core.
+	GetPropertyDocument = Spec{Action: ActGetPropertyDocument, NS: NSDAI, Op: "GetDataResourcePropertyDocument",
+		Class: "CoreDataAccess", Iface: CoreDataAccess, Resource: KindData}
+	GenericQuery = Spec{Action: ActGenericQuery, NS: NSDAI, Op: "GenericQuery",
+		Class: "CoreDataAccess", Iface: CoreDataAccess, Resource: KindData}
+	DestroyDataResource = Spec{Action: ActDestroyDataResource, NS: NSDAI, Op: "DestroyDataResource",
+		Class: "CoreDataAccess", Iface: CoreDataAccess, Resource: KindData}
+	GetResourceList = Spec{Action: ActGetResourceList, NS: NSDAI, Op: "GetResourceList",
+		Class: "CoreResourceList", Iface: CoreResourceList, NoName: true}
+	ResolveName = Spec{Action: ActResolve, NS: NSDAI, Op: "Resolve",
+		Class: "CoreResourceList", Iface: CoreResourceList, Resource: KindData, EPRReply: true}
+
+	// WS-DAIR.
+	SQLExecute = Spec{Action: ActSQLExecute, NS: NSDAIR, Op: "SQLExecute",
+		Class: "SQLAccess", Iface: SQLAccess, Resource: KindSQL}
+	GetSQLPropertyDocument = Spec{Action: ActGetSQLPropertyDoc, NS: NSDAIR, Op: "GetSQLPropertyDocument",
+		Class: "SQLAccess", Iface: SQLAccess, Resource: KindSQL}
+	SQLExecuteFactory = Spec{Action: ActSQLExecuteFactory, NS: NSDAIR, Op: "SQLExecuteFactory",
+		Class: "SQLFactory", Iface: SQLFactory, Resource: KindSQL, EPRReply: true, PortType: "dair:SQLResponseAccess"}
+	GetSQLRowset = Spec{Action: ActGetSQLRowset, NS: NSDAIR, Op: "GetSQLRowset",
+		Class: "SQLResponseAccess", Iface: SQLResponseAccess, Resource: KindSQLResponse}
+	GetSQLUpdateCount = Spec{Action: ActGetSQLUpdateCount, NS: NSDAIR, Op: "GetSQLUpdateCount",
+		Class: "SQLResponseAccess", Iface: SQLResponseAccess, Resource: KindSQLResponse}
+	GetSQLReturnValue = Spec{Action: ActGetSQLReturnValue, NS: NSDAIR, Op: "GetSQLReturnValue",
+		Class: "SQLResponseAccess", Iface: SQLResponseAccess, Resource: KindSQLResponse}
+	GetSQLOutputParameter = Spec{Action: ActGetSQLOutputParameter, NS: NSDAIR, Op: "GetSQLOutputParameter",
+		Class: "SQLResponseAccess", Iface: SQLResponseAccess, Resource: KindSQLResponse}
+	GetSQLCommunicationArea = Spec{Action: ActGetSQLCommArea, NS: NSDAIR, Op: "GetSQLCommunicationArea",
+		Class: "SQLResponseAccess", Iface: SQLResponseAccess, Resource: KindSQLResponse}
+	GetSQLResponseItem = Spec{Action: ActGetSQLResponseItem, NS: NSDAIR, Op: "GetSQLResponseItem",
+		Class: "SQLResponseAccess", Iface: SQLResponseAccess, Resource: KindSQLResponse}
+	GetSQLResponsePropertyDocument = Spec{Action: ActGetSQLResponsePropDoc, NS: NSDAIR, Op: "GetSQLResponsePropertyDocument",
+		Class: "SQLResponseAccess", Iface: SQLResponseAccess, Resource: KindSQLResponse}
+	SQLRowsetFactory = Spec{Action: ActSQLRowsetFactory, NS: NSDAIR, Op: "SQLRowsetFactory",
+		Class: "SQLResponseFactory", Iface: SQLResponseFactory, Resource: KindSQLResponse, EPRReply: true, PortType: "dair:SQLRowsetAccess"}
+	GetTuples = Spec{Action: ActGetTuples, NS: NSDAIR, Op: "GetTuples",
+		Class: "SQLRowsetAccess", Iface: SQLRowsetAccess, Resource: KindSQLRowset}
+	GetRowsetPropertyDocument = Spec{Action: ActGetRowsetPropDoc, NS: NSDAIR, Op: "GetRowsetPropertyDocument",
+		Class: "SQLRowsetAccess", Iface: SQLRowsetAccess, Resource: KindSQLRowset}
+
+	// WS-DAIX.
+	AddDocument = Spec{Action: ActAddDocument, NS: NSDAIX, Op: "AddDocument",
+		Class: "XMLCollectionAccess", Iface: XMLCollectionAccess, Resource: KindXMLCollection}
+	GetDocument = Spec{Action: ActGetDocument, NS: NSDAIX, Op: "GetDocument",
+		Class: "XMLCollectionAccess", Iface: XMLCollectionAccess, Resource: KindXMLCollection}
+	RemoveDocument = Spec{Action: ActRemoveDocument, NS: NSDAIX, Op: "RemoveDocument",
+		Class: "XMLCollectionAccess", Iface: XMLCollectionAccess, Resource: KindXMLCollection}
+	ListDocuments = Spec{Action: ActListDocuments, NS: NSDAIX, Op: "ListDocuments",
+		Class: "XMLCollectionAccess", Iface: XMLCollectionAccess, Resource: KindXMLCollection}
+	CreateSubcollection = Spec{Action: ActCreateSubcollection, NS: NSDAIX, Op: "CreateSubcollection",
+		Class: "XMLCollectionAccess", Iface: XMLCollectionAccess, Resource: KindXMLCollection}
+	RemoveSubcollection = Spec{Action: ActRemoveSubcollection, NS: NSDAIX, Op: "RemoveSubcollection",
+		Class: "XMLCollectionAccess", Iface: XMLCollectionAccess, Resource: KindXMLCollection}
+	ListSubcollections = Spec{Action: ActListSubcollections, NS: NSDAIX, Op: "ListSubcollections",
+		Class: "XMLCollectionAccess", Iface: XMLCollectionAccess, Resource: KindXMLCollection}
+	XPathExecute = Spec{Action: ActXPathExecute, NS: NSDAIX, Op: "XPathExecute",
+		Class: "XMLQueryAccess", Iface: XMLQueryAccess, Resource: KindXMLCollection}
+	XQueryExecute = Spec{Action: ActXQueryExecute, NS: NSDAIX, Op: "XQueryExecute",
+		Class: "XMLQueryAccess", Iface: XMLQueryAccess, Resource: KindXMLCollection}
+	XUpdateExecute = Spec{Action: ActXUpdateExecute, NS: NSDAIX, Op: "XUpdateExecute",
+		Class: "XMLQueryAccess", Iface: XMLQueryAccess, Resource: KindXMLCollection}
+	XPathExecuteFactory = Spec{Action: ActXPathFactory, NS: NSDAIX, Op: "XPathExecuteFactory",
+		Class: "XMLFactory", Iface: XMLFactory, Resource: KindXMLCollection, EPRReply: true}
+	XQueryExecuteFactory = Spec{Action: ActXQueryFactory, NS: NSDAIX, Op: "XQueryExecuteFactory",
+		Class: "XMLFactory", Iface: XMLFactory, Resource: KindXMLCollection, EPRReply: true}
+	CollectionFactory = Spec{Action: ActCollectionFactory, NS: NSDAIX, Op: "CollectionFactory",
+		Class: "XMLFactory", Iface: XMLFactory, Resource: KindXMLCollection, EPRReply: true}
+	GetItems = Spec{Action: ActGetItems, NS: NSDAIX, Op: "GetItems",
+		Class: "XMLSequenceAccess", Iface: XMLSequenceAccess, Resource: KindXMLSequence}
+
+	// WS-DAIF.
+	ReadFile = Spec{Action: ActReadFile, NS: NSDAIF, Op: "ReadFile",
+		Class: "FileAccess", Iface: FileAccess, Resource: KindFileReader}
+	WriteFile = Spec{Action: ActWriteFile, NS: NSDAIF, Op: "WriteFile",
+		Class: "FileAccess", Iface: FileAccess, Resource: KindFile}
+	AppendFile = Spec{Action: ActAppendFile, NS: NSDAIF, Op: "AppendFile",
+		Class: "FileAccess", Iface: FileAccess, Resource: KindFile}
+	DeleteFile = Spec{Action: ActDeleteFile, NS: NSDAIF, Op: "DeleteFile",
+		Class: "FileAccess", Iface: FileAccess, Resource: KindFile}
+	ListFiles = Spec{Action: ActListFiles, NS: NSDAIF, Op: "ListFiles",
+		Class: "FileAccess", Iface: FileAccess, Resource: KindFileReader}
+	StatFile = Spec{Action: ActStatFile, NS: NSDAIF, Op: "StatFile",
+		Class: "FileAccess", Iface: FileAccess, Resource: KindFileReader}
+	FileSelectFactory = Spec{Action: ActFileSelectFactory, NS: NSDAIF, Op: "FileSelectFactory",
+		Class: "FileFactory", Iface: FileFactory, Resource: KindFile, EPRReply: true}
+
+	// WSRF (optional layer; gated by enabling WSRF, not by an
+	// Interfaces flag, hence Iface 0 — and the request element carries
+	// no "Request" suffix, matching the OASIS message shapes).
+	GetResourceProperty = Spec{Action: ActGetResourceProperty, NS: wsrf.NSRP, Op: "GetResourceProperty",
+		Class: "WSResourceProperties", Resource: KindData, Bare: true}
+	GetMultipleResourceProperties = Spec{Action: ActGetMultipleResourceProps, NS: wsrf.NSRP, Op: "GetMultipleResourceProperties",
+		Class: "WSResourceProperties", Resource: KindData, Bare: true}
+	SetResourceProperties = Spec{Action: ActSetResourceProperties, NS: wsrf.NSRP, Op: "SetResourceProperties",
+		Class: "WSResourceProperties", Resource: KindData, Bare: true}
+	QueryResourceProperties = Spec{Action: ActQueryResourceProperties, NS: wsrf.NSRP, Op: "QueryResourceProperties",
+		Class: "WSResourceProperties", Resource: KindData, Bare: true}
+	SetTerminationTime = Spec{Action: ActSetTerminationTime, NS: wsrf.NSRL, Op: "SetTerminationTime",
+		Class: "WSResourceLifetime", Resource: KindData, Bare: true}
+	WSRFDestroy = Spec{Action: ActWSRFDestroy, NS: wsrf.NSRL, Op: "Destroy",
+		Class: "WSResourceLifetime", Resource: KindData, Bare: true}
+)
+
+// Catalog returns every DAIS operation spec (the full Fig. 6 inventory
+// plus the WS-DAIF extension and the optional WSRF layer), in interface
+// class order.
+func Catalog() []Spec {
+	return []Spec{
+		GetPropertyDocument, GenericQuery, DestroyDataResource,
+		GetResourceList, ResolveName,
+		SQLExecute, GetSQLPropertyDocument,
+		SQLExecuteFactory,
+		GetSQLRowset, GetSQLUpdateCount, GetSQLReturnValue, GetSQLOutputParameter,
+		GetSQLCommunicationArea, GetSQLResponseItem, GetSQLResponsePropertyDocument,
+		SQLRowsetFactory,
+		GetTuples, GetRowsetPropertyDocument,
+		AddDocument, GetDocument, RemoveDocument, ListDocuments,
+		CreateSubcollection, RemoveSubcollection, ListSubcollections,
+		XPathExecute, XQueryExecute, XUpdateExecute,
+		XPathExecuteFactory, XQueryExecuteFactory, CollectionFactory,
+		GetItems,
+		ReadFile, WriteFile, AppendFile, DeleteFile, ListFiles, StatFile,
+		FileSelectFactory,
+		GetResourceProperty, GetMultipleResourceProperties,
+		SetResourceProperties, QueryResourceProperties,
+		SetTerminationTime, WSRFDestroy,
+	}
+}

@@ -1,0 +1,50 @@
+package ops
+
+import (
+	"bytes"
+
+	"dais/internal/core"
+	"dais/internal/wsaddr"
+	"dais/internal/xmlutil"
+)
+
+// DatasetElement embeds encoded data in a response: XML formats are
+// embedded as element trees, others (CSV, binary) as text.
+func DatasetElement(formatURI string, data []byte) *xmlutil.Element {
+	e := xmlutil.NewElement(core.NSDAI, "Dataset")
+	e.SetAttr("", "formatURI", formatURI)
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) > 0 && trimmed[0] == '<' {
+		if parsed, err := xmlutil.Parse(bytes.NewReader(trimmed)); err == nil {
+			e.AppendChild(parsed)
+			return e
+		}
+	}
+	e.SetText(string(data))
+	return e
+}
+
+// DatasetPayload extracts the raw bytes and format URI from a Dataset
+// element produced by DatasetElement.
+func DatasetPayload(e *xmlutil.Element) ([]byte, string) {
+	if e == nil {
+		return nil, ""
+	}
+	format := e.AttrValue("", "formatURI")
+	if kids := e.ChildElements(); len(kids) == 1 {
+		return xmlutil.Marshal(kids[0]), format
+	}
+	return []byte(e.Text()), format
+}
+
+// AddResourceAddress appends the factory-response EPR (paper Fig. 3:
+// indirect access returns an address to the derived resource).
+func AddResourceAddress(resp *xmlutil.Element, epr *wsaddr.EndpointReference) {
+	resp.AppendChild(epr.Element(core.NSDAI, "DataResourceAddress"))
+}
+
+// ResourceAddress extracts the DataResourceAddress EPR from a factory
+// response.
+func ResourceAddress(resp *xmlutil.Element) (*wsaddr.EndpointReference, error) {
+	return wsaddr.ParseEPR(resp.Find(core.NSDAI, "DataResourceAddress"))
+}

@@ -1,0 +1,517 @@
+package ops
+
+import (
+	"encoding/base64"
+	"fmt"
+	"strconv"
+
+	"dais/internal/core"
+	"dais/internal/sqlengine"
+	"dais/internal/xmlutil"
+)
+
+// Msg is a request message body: the consumer encodes it into the
+// request element the spec built. The matching Decode lives on the
+// pointer type so the service can allocate and fill it generically.
+// Sharing one codec type on both sides makes client/server message
+// agreement hold by construction.
+type Msg interface {
+	Encode(s Spec, req *xmlutil.Element)
+}
+
+// MsgFunc adapts a function to Msg for one-off request shapes (the
+// WSRF operations, whose bodies the handlers consume directly).
+type MsgFunc func(s Spec, req *xmlutil.Element)
+
+// Encode implements Msg.
+func (f MsgFunc) Encode(s Spec, req *xmlutil.Element) { f(s, req) }
+
+// Empty is the request message of operations whose body carries only
+// the abstract name.
+type Empty struct{}
+
+// Encode implements Msg.
+func (Empty) Encode(Spec, *xmlutil.Element) {}
+
+// Decode implements the service-side codec.
+func (*Empty) Decode(Spec, *xmlutil.Element) error { return nil }
+
+// intChild reads an integer child element, with a default when absent.
+func intChild(body *xmlutil.Element, ns, local string, def int) (int, error) {
+	el := body.Find(ns, local)
+	if el == nil {
+		return def, nil
+	}
+	n, err := strconv.Atoi(el.Text())
+	if err != nil {
+		return 0, fmt.Errorf("ops: %s: %w", local, err)
+	}
+	return n, nil
+}
+
+// int64Child is intChild for 64-bit ranges (file offsets).
+func int64Child(body *xmlutil.Element, ns, local string, def int64) (int64, error) {
+	el := body.Find(ns, local)
+	if el == nil {
+		return def, nil
+	}
+	n, err := strconv.ParseInt(el.Text(), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("ops: %s: %w", local, err)
+	}
+	return n, nil
+}
+
+// encodeConfig appends an optional ConfigurationDocument.
+func encodeConfig(req *xmlutil.Element, cfg *core.Configuration) {
+	if cfg != nil {
+		req.AppendChild(cfg.Element())
+	}
+}
+
+// decodeConfig parses the optional ConfigurationDocument (defaults
+// apply when absent).
+func decodeConfig(body *xmlutil.Element) (*core.Configuration, error) {
+	c, err := core.ParseConfiguration(body.Find(core.NSDAI, "ConfigurationDocument"))
+	if err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// SQLExpression is the WS-DAIR query shape: expression text plus
+// positional parameters.
+type SQLExpression struct {
+	Expression string
+	Params     []sqlengine.Value
+}
+
+// AddSQLExpression renders an SQLExpression element into a request.
+func AddSQLExpression(req *xmlutil.Element, expression string, params []sqlengine.Value) {
+	se := req.Add(NSDAIR, "SQLExpression")
+	se.AddText(NSDAIR, "Expression", expression)
+	for _, p := range params {
+		pe := se.Add(NSDAIR, "Parameter")
+		if p.IsNull() {
+			pe.SetAttr("", "isNull", "true")
+		} else {
+			pe.SetAttr("", "type", p.Type.String())
+			pe.SetText(p.String())
+		}
+	}
+}
+
+// ParseSQLExpression decodes an SQLExpression element.
+func ParseSQLExpression(req *xmlutil.Element) (string, []sqlengine.Value, error) {
+	se := req.Find(NSDAIR, "SQLExpression")
+	if se == nil {
+		return "", nil, fmt.Errorf("ops: request is missing SQLExpression")
+	}
+	expr := se.FindText(NSDAIR, "Expression")
+	if expr == "" {
+		return "", nil, fmt.Errorf("ops: SQLExpression has no Expression")
+	}
+	var params []sqlengine.Value
+	for _, pe := range se.FindAll(NSDAIR, "Parameter") {
+		if pe.AttrValue("", "isNull") == "true" {
+			params = append(params, sqlengine.Null)
+			continue
+		}
+		t, err := sqlengine.TypeFromName(pe.AttrValue("", "type"))
+		if err != nil {
+			t = sqlengine.TypeVarchar
+		}
+		v, err := sqlengine.NewString(pe.Text()).Coerce(t)
+		if err != nil {
+			return "", nil, fmt.Errorf("ops: bad parameter %q: %w", pe.Text(), err)
+		}
+		params = append(params, v)
+	}
+	return expr, params, nil
+}
+
+func (x SQLExpression) encode(req *xmlutil.Element) {
+	AddSQLExpression(req, x.Expression, x.Params)
+}
+
+func (x *SQLExpression) decode(body *xmlutil.Element) error {
+	expr, params, err := ParseSQLExpression(body)
+	if err != nil {
+		return err
+	}
+	x.Expression, x.Params = expr, params
+	return nil
+}
+
+// GenericQueryMsg is the WS-DAI GenericQuery request.
+type GenericQueryMsg struct {
+	Language   string
+	Expression string
+}
+
+func (m GenericQueryMsg) Encode(s Spec, req *xmlutil.Element) {
+	req.AddText(core.NSDAI, "GenericQueryLanguage", m.Language)
+	req.AddText(core.NSDAI, "Expression", m.Expression)
+}
+
+func (m *GenericQueryMsg) Decode(s Spec, body *xmlutil.Element) error {
+	m.Language = body.FindText(core.NSDAI, "GenericQueryLanguage")
+	m.Expression = body.FindText(core.NSDAI, "Expression")
+	return nil
+}
+
+// SQLExecuteMsg is the direct SQLExecute request: the expression plus an
+// optional DatasetFormatURI ("" selects the resource default).
+type SQLExecuteMsg struct {
+	Expr      SQLExpression
+	FormatURI string
+}
+
+func (m SQLExecuteMsg) Encode(s Spec, req *xmlutil.Element) {
+	if m.FormatURI != "" {
+		req.AddText(core.NSDAI, "DatasetFormatURI", m.FormatURI)
+	}
+	m.Expr.encode(req)
+}
+
+func (m *SQLExecuteMsg) Decode(s Spec, body *xmlutil.Element) error {
+	m.FormatURI = body.FindText(core.NSDAI, "DatasetFormatURI")
+	return m.Expr.decode(body)
+}
+
+// SQLFactoryMsg is the SQLExecuteFactory request (the spec adds the
+// PortTypeQName).
+type SQLFactoryMsg struct {
+	Expr   SQLExpression
+	Config *core.Configuration
+}
+
+func (m SQLFactoryMsg) Encode(s Spec, req *xmlutil.Element) {
+	encodeConfig(req, m.Config)
+	m.Expr.encode(req)
+}
+
+func (m *SQLFactoryMsg) Decode(s Spec, body *xmlutil.Element) error {
+	if err := m.Expr.decode(body); err != nil {
+		return err
+	}
+	cfg, err := decodeConfig(body)
+	if err != nil {
+		return err
+	}
+	m.Config = cfg
+	return nil
+}
+
+// IndexMsg selects the index-th item of a multi-part SQL response.
+type IndexMsg struct{ Index int }
+
+func (m IndexMsg) Encode(s Spec, req *xmlutil.Element) {
+	req.AddText(NSDAIR, "Index", strconv.Itoa(m.Index))
+}
+
+func (m *IndexMsg) Decode(s Spec, body *xmlutil.Element) error {
+	n, err := intChild(body, NSDAIR, "Index", 0)
+	if err != nil {
+		return err
+	}
+	m.Index = n
+	return nil
+}
+
+// ParamMsg names an output parameter of a stored-procedure response.
+type ParamMsg struct{ ParameterName string }
+
+func (m ParamMsg) Encode(s Spec, req *xmlutil.Element) {
+	req.AddText(NSDAIR, "ParameterName", m.ParameterName)
+}
+
+func (m *ParamMsg) Decode(s Spec, body *xmlutil.Element) error {
+	m.ParameterName = body.FindText(NSDAIR, "ParameterName")
+	return nil
+}
+
+// RowsetFactoryMsg is the SQLRowsetFactory request. Count > 0 bounds the
+// rows copied into the derived rowset; 0 copies every row.
+type RowsetFactoryMsg struct {
+	FormatURI string
+	Count     int
+	Config    *core.Configuration
+}
+
+func (m RowsetFactoryMsg) Encode(s Spec, req *xmlutil.Element) {
+	if m.FormatURI != "" {
+		req.AddText(core.NSDAI, "DatasetFormatURI", m.FormatURI)
+	}
+	if m.Count > 0 {
+		req.AddText(NSDAIR, "Count", strconv.Itoa(m.Count))
+	}
+	encodeConfig(req, m.Config)
+}
+
+func (m *RowsetFactoryMsg) Decode(s Spec, body *xmlutil.Element) error {
+	m.FormatURI = body.FindText(core.NSDAI, "DatasetFormatURI")
+	n, err := intChild(body, NSDAIR, "Count", 0)
+	if err != nil {
+		return err
+	}
+	m.Count = n
+	cfg, err := decodeConfig(body)
+	if err != nil {
+		return err
+	}
+	m.Config = cfg
+	return nil
+}
+
+// PageMsg pages through a derived rowset or sequence. The element
+// namespace follows the spec (DAIR for GetTuples, DAIX for GetItems).
+// Server-side, HasCount distinguishes an absent Count (the handler
+// substitutes the resource size) from an explicit one.
+type PageMsg struct {
+	Start    int
+	Count    int
+	HasCount bool
+}
+
+func (m PageMsg) Encode(s Spec, req *xmlutil.Element) {
+	req.AddText(s.NS, "StartPosition", strconv.Itoa(m.Start))
+	req.AddText(s.NS, "Count", strconv.Itoa(m.Count))
+}
+
+func (m *PageMsg) Decode(s Spec, body *xmlutil.Element) error {
+	start, err := intChild(body, s.NS, "StartPosition", 1)
+	if err != nil {
+		return err
+	}
+	m.Start = start
+	if body.Find(s.NS, "Count") == nil {
+		m.HasCount = false
+		return nil
+	}
+	n, err := intChild(body, s.NS, "Count", 0)
+	if err != nil {
+		return err
+	}
+	m.Count, m.HasCount = n, true
+	return nil
+}
+
+// DocMsg names a stored document.
+type DocMsg struct{ DocumentName string }
+
+func (m DocMsg) Encode(s Spec, req *xmlutil.Element) {
+	req.AddText(NSDAIX, "DocumentName", m.DocumentName)
+}
+
+func (m *DocMsg) Decode(s Spec, body *xmlutil.Element) error {
+	m.DocumentName = body.FindText(NSDAIX, "DocumentName")
+	return nil
+}
+
+// AddDocumentMsg stores one document under a name.
+type AddDocumentMsg struct {
+	DocumentName string
+	Document     *xmlutil.Element
+}
+
+func (m AddDocumentMsg) Encode(s Spec, req *xmlutil.Element) {
+	req.AddText(NSDAIX, "DocumentName", m.DocumentName)
+	wrap := req.Add(NSDAIX, "Document")
+	wrap.AppendChild(m.Document.Clone())
+}
+
+func (m *AddDocumentMsg) Decode(s Spec, body *xmlutil.Element) error {
+	m.DocumentName = body.FindText(NSDAIX, "DocumentName")
+	wrap := body.Find(NSDAIX, "Document")
+	if m.DocumentName == "" || wrap == nil || len(wrap.ChildElements()) != 1 {
+		return fmt.Errorf("AddDocument requires DocumentName and a single Document child")
+	}
+	m.Document = wrap.ChildElements()[0]
+	return nil
+}
+
+// CollMsg names a sub-collection.
+type CollMsg struct{ CollectionName string }
+
+func (m CollMsg) Encode(s Spec, req *xmlutil.Element) {
+	req.AddText(NSDAIX, "CollectionName", m.CollectionName)
+}
+
+func (m *CollMsg) Decode(s Spec, body *xmlutil.Element) error {
+	m.CollectionName = body.FindText(NSDAIX, "CollectionName")
+	return nil
+}
+
+// ExprMsg carries an XPath / XQuery expression.
+type ExprMsg struct{ Expression string }
+
+func (m ExprMsg) Encode(s Spec, req *xmlutil.Element) {
+	req.AddText(NSDAIX, "Expression", m.Expression)
+}
+
+func (m *ExprMsg) Decode(s Spec, body *xmlutil.Element) error {
+	m.Expression = body.FindText(NSDAIX, "Expression")
+	return nil
+}
+
+// XUpdateMsg applies an XUpdate modifications document to one stored
+// document. The modifications element keeps its own (xupdate)
+// namespace, so decode matches by local name only.
+type XUpdateMsg struct {
+	DocumentName  string
+	Modifications *xmlutil.Element
+}
+
+func (m XUpdateMsg) Encode(s Spec, req *xmlutil.Element) {
+	req.AddText(NSDAIX, "DocumentName", m.DocumentName)
+	req.AppendChild(m.Modifications.Clone())
+}
+
+func (m *XUpdateMsg) Decode(s Spec, body *xmlutil.Element) error {
+	m.DocumentName = body.FindText(NSDAIX, "DocumentName")
+	m.Modifications = body.Find("", "modifications")
+	if m.Modifications == nil {
+		return fmt.Errorf("XUpdateExecute requires an xupdate:modifications child")
+	}
+	return nil
+}
+
+// SeqFactoryMsg is the XPath/XQuery factory request.
+type SeqFactoryMsg struct {
+	Expression string
+	Config     *core.Configuration
+}
+
+func (m SeqFactoryMsg) Encode(s Spec, req *xmlutil.Element) {
+	req.AddText(NSDAIX, "Expression", m.Expression)
+	encodeConfig(req, m.Config)
+}
+
+func (m *SeqFactoryMsg) Decode(s Spec, body *xmlutil.Element) error {
+	m.Expression = body.FindText(NSDAIX, "Expression")
+	cfg, err := decodeConfig(body)
+	if err != nil {
+		return err
+	}
+	m.Config = cfg
+	return nil
+}
+
+// CollFactoryMsg is the CollectionFactory request.
+type CollFactoryMsg struct {
+	CollectionName string
+	Config         *core.Configuration
+}
+
+func (m CollFactoryMsg) Encode(s Spec, req *xmlutil.Element) {
+	req.AddText(NSDAIX, "CollectionName", m.CollectionName)
+	encodeConfig(req, m.Config)
+}
+
+func (m *CollFactoryMsg) Decode(s Spec, body *xmlutil.Element) error {
+	m.CollectionName = body.FindText(NSDAIX, "CollectionName")
+	cfg, err := decodeConfig(body)
+	if err != nil {
+		return err
+	}
+	m.Config = cfg
+	return nil
+}
+
+// FileRangeMsg is the ReadFile request: a byte range within a named
+// file (Count < 0 reads to the end).
+type FileRangeMsg struct {
+	FileName string
+	Offset   int64
+	Count    int64
+}
+
+func (m FileRangeMsg) Encode(s Spec, req *xmlutil.Element) {
+	req.AddText(NSDAIF, "FileName", m.FileName)
+	req.AddText(NSDAIF, "Offset", strconv.FormatInt(m.Offset, 10))
+	req.AddText(NSDAIF, "Count", strconv.FormatInt(m.Count, 10))
+}
+
+func (m *FileRangeMsg) Decode(s Spec, body *xmlutil.Element) error {
+	m.FileName = body.FindText(NSDAIF, "FileName")
+	off, err := int64Child(body, NSDAIF, "Offset", 0)
+	if err != nil {
+		return err
+	}
+	count, err := int64Child(body, NSDAIF, "Count", -1)
+	if err != nil {
+		return err
+	}
+	m.Offset, m.Count = off, count
+	return nil
+}
+
+// FileDataMsg carries a write/append payload, base64-encoded on the
+// wire.
+type FileDataMsg struct {
+	FileName string
+	Data     []byte
+}
+
+func (m FileDataMsg) Encode(s Spec, req *xmlutil.Element) {
+	req.AddText(NSDAIF, "FileName", m.FileName)
+	d := req.Add(NSDAIF, "Data")
+	d.SetAttr("", "encoding", "base64")
+	d.SetText(base64.StdEncoding.EncodeToString(m.Data))
+}
+
+func (m *FileDataMsg) Decode(s Spec, body *xmlutil.Element) error {
+	m.FileName = body.FindText(NSDAIF, "FileName")
+	data, err := base64.StdEncoding.DecodeString(body.FindText(NSDAIF, "Data"))
+	if err != nil {
+		return fmt.Errorf("bad base64 payload: %s", err.Error())
+	}
+	m.Data = data
+	return nil
+}
+
+// FileNameMsg names one file.
+type FileNameMsg struct{ FileName string }
+
+func (m FileNameMsg) Encode(s Spec, req *xmlutil.Element) {
+	req.AddText(NSDAIF, "FileName", m.FileName)
+}
+
+func (m *FileNameMsg) Decode(s Spec, body *xmlutil.Element) error {
+	m.FileName = body.FindText(NSDAIF, "FileName")
+	return nil
+}
+
+// PatternMsg carries a glob pattern ("" matches everything).
+type PatternMsg struct{ Pattern string }
+
+func (m PatternMsg) Encode(s Spec, req *xmlutil.Element) {
+	req.AddText(NSDAIF, "Pattern", m.Pattern)
+}
+
+func (m *PatternMsg) Decode(s Spec, body *xmlutil.Element) error {
+	m.Pattern = body.FindText(NSDAIF, "Pattern")
+	return nil
+}
+
+// FileFactoryMsg is the FileSelectFactory request.
+type FileFactoryMsg struct {
+	Pattern string
+	Config  *core.Configuration
+}
+
+func (m FileFactoryMsg) Encode(s Spec, req *xmlutil.Element) {
+	req.AddText(NSDAIF, "Pattern", m.Pattern)
+	encodeConfig(req, m.Config)
+}
+
+func (m *FileFactoryMsg) Decode(s Spec, body *xmlutil.Element) error {
+	m.Pattern = body.FindText(NSDAIF, "Pattern")
+	cfg, err := decodeConfig(body)
+	if err != nil {
+		return err
+	}
+	m.Config = cfg
+	return nil
+}

@@ -1,0 +1,51 @@
+package service
+
+import (
+	"context"
+
+	"dais/internal/core"
+	"dais/internal/ops"
+	"dais/internal/xmlutil"
+)
+
+// registerCore wires the WS-DAI operations from their catalog specs.
+func (e *Endpoint) registerCore() {
+	handleOp(e, ops.GetPropertyDocument, func(ctx context.Context, res core.DataResource, _ *ops.Empty) (*xmlutil.Element, error) {
+		doc, err := e.svc.GetDataResourcePropertyDocument(res.AbstractName())
+		if err != nil {
+			return nil, err
+		}
+		resp := ops.GetPropertyDocument.NewResponse()
+		resp.AppendChild(doc)
+		return resp, nil
+	})
+	handleOp(e, ops.GenericQuery, func(ctx context.Context, res core.DataResource, req *ops.GenericQueryMsg) (*xmlutil.Element, error) {
+		result, err := e.svc.GenericQuery(ctx, res.AbstractName(), req.Language, req.Expression)
+		if err != nil {
+			return nil, err
+		}
+		resp := ops.GenericQuery.NewResponse()
+		resp.AppendChild(result)
+		return resp, nil
+	})
+	handleOp(e, ops.DestroyDataResource, func(ctx context.Context, res core.DataResource, _ *ops.Empty) (*xmlutil.Element, error) {
+		if err := e.svc.DestroyDataResource(ctx, res.AbstractName()); err != nil {
+			return nil, err
+		}
+		return ops.DestroyDataResource.NewResponse(), nil
+	})
+	// GetResourceList addresses the service, not a resource (NoName), so
+	// it binds below the name-resolving dispatch.
+	e.bind(ops.GetResourceList, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
+		resp := ops.GetResourceList.NewResponse()
+		for _, n := range e.svc.GetResourceList() {
+			resp.AddText(NSDAI, "DataResourceAbstractName", n)
+		}
+		return resp, nil
+	})
+	handleOp(e, ops.ResolveName, func(ctx context.Context, res core.DataResource, _ *ops.Empty) (*xmlutil.Element, error) {
+		resp := ops.ResolveName.NewResponse()
+		ops.AddResourceAddress(resp, e.EPRFor(res.AbstractName()))
+		return resp, nil
+	})
+}

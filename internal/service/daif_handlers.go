@@ -8,21 +8,8 @@ import (
 	"dais/internal/core"
 	"dais/internal/daif"
 	"dais/internal/filestore"
+	"dais/internal/ops"
 	"dais/internal/xmlutil"
-)
-
-// NSDAIF re-exports the files realisation namespace.
-const NSDAIF = daif.NSDAIF
-
-// WS-DAIF action URIs.
-const (
-	ActReadFile          = NSDAIF + "/ReadFile"
-	ActWriteFile         = NSDAIF + "/WriteFile"
-	ActAppendFile        = NSDAIF + "/AppendFile"
-	ActDeleteFile        = NSDAIF + "/DeleteFile"
-	ActListFiles         = NSDAIF + "/ListFiles"
-	ActStatFile          = NSDAIF + "/StatFile"
-	ActFileSelectFactory = NSDAIF + "/FileSelectFactory"
 )
 
 // fileReader is satisfied by both the base file resource and staged
@@ -33,135 +20,54 @@ type fileReader interface {
 	ListFiles(ctx context.Context, pattern string) ([]filestore.FileInfo, error)
 }
 
-// resolveFileReader resolves an abstract name to any readable file
-// resource.
-func (e *Endpoint) resolveFileReader(name string) (fileReader, error) {
-	r, err := e.svc.Resolve(name)
-	if err != nil {
-		return nil, err
-	}
-	fr, ok := r.(fileReader)
-	if !ok {
-		return nil, typeFault(name, "file")
-	}
-	return fr, nil
-}
-
-// resolveFile resolves an abstract name to a writable base file
-// resource.
-func (e *Endpoint) resolveFile(name string) (*daif.FileDataResource, error) {
-	r, err := e.svc.Resolve(name)
-	if err != nil {
-		return nil, err
-	}
-	fr, ok := r.(*daif.FileDataResource)
-	if !ok {
-		return nil, typeFault(name, "file")
-	}
-	return fr, nil
-}
-
-// registerDAIF wires the WS-DAIF operations.
+// registerDAIF wires the WS-DAIF operations from their catalog specs.
 func (e *Endpoint) registerDAIF() {
-	e.handle(FileAccess, ActReadFile, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
+	handleOp(e, ops.ReadFile, func(ctx context.Context, res fileReader, req *ops.FileRangeMsg) (*xmlutil.Element, error) {
+		data, err := res.ReadFile(ctx, req.FileName, req.Offset, req.Count)
 		if err != nil {
 			return nil, err
 		}
-		fr, err := e.resolveFileReader(name)
-		if err != nil {
-			return nil, err
-		}
-		fileName := body.FindText(NSDAIF, "FileName")
-		offset, err := intChild(body, NSDAIF, "Offset", 0)
-		if err != nil {
-			return nil, &core.InvalidExpressionFault{Detail: err.Error()}
-		}
-		count, err := intChild(body, NSDAIF, "Count", -1)
-		if err != nil {
-			return nil, &core.InvalidExpressionFault{Detail: err.Error()}
-		}
-		data, err := fr.ReadFile(ctx, fileName, int64(offset), int64(count))
-		if err != nil {
-			return nil, err
-		}
-		resp := xmlutil.NewElement(NSDAIF, "ReadFileResponse")
+		resp := ops.ReadFile.NewResponse()
 		d := resp.Add(NSDAIF, "Data")
 		d.SetAttr("", "encoding", "base64")
 		d.SetText(base64.StdEncoding.EncodeToString(data))
 		return resp, nil
 	})
 
-	writeOp := func(action string, apply func(context.Context, *daif.FileDataResource, string, []byte) error, respName string) {
-		e.handle(FileAccess, action, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-			name, err := AbstractNameOf(body)
-			if err != nil {
+	writeOp := func(spec ops.Spec, apply func(context.Context, *daif.FileDataResource, string, []byte) error) {
+		handleOp(e, spec, func(ctx context.Context, res *daif.FileDataResource, req *ops.FileDataMsg) (*xmlutil.Element, error) {
+			if err := apply(ctx, res, req.FileName, req.Data); err != nil {
 				return nil, err
 			}
-			fr, err := e.resolveFile(name)
-			if err != nil {
-				return nil, err
-			}
-			data, err := base64.StdEncoding.DecodeString(body.FindText(NSDAIF, "Data"))
-			if err != nil {
-				return nil, &core.InvalidExpressionFault{Detail: "bad base64 payload: " + err.Error()}
-			}
-			if err := apply(ctx, fr, body.FindText(NSDAIF, "FileName"), data); err != nil {
-				return nil, err
-			}
-			return xmlutil.NewElement(NSDAIF, respName), nil
+			return spec.NewResponse(), nil
 		})
 	}
-	writeOp(ActWriteFile, func(ctx context.Context, fr *daif.FileDataResource, n string, d []byte) error {
+	writeOp(ops.WriteFile, func(ctx context.Context, fr *daif.FileDataResource, n string, d []byte) error {
 		return fr.WriteFile(ctx, n, d)
-	}, "WriteFileResponse")
-	writeOp(ActAppendFile, func(ctx context.Context, fr *daif.FileDataResource, n string, d []byte) error {
+	})
+	writeOp(ops.AppendFile, func(ctx context.Context, fr *daif.FileDataResource, n string, d []byte) error {
 		return fr.AppendFile(ctx, n, d)
-	}, "AppendFileResponse")
-
-	e.handle(FileAccess, ActDeleteFile, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
-		if err != nil {
-			return nil, err
-		}
-		fr, err := e.resolveFile(name)
-		if err != nil {
-			return nil, err
-		}
-		if err := fr.DeleteFile(ctx, body.FindText(NSDAIF, "FileName")); err != nil {
-			return nil, err
-		}
-		return xmlutil.NewElement(NSDAIF, "DeleteFileResponse"), nil
 	})
 
-	e.handle(FileAccess, ActListFiles, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
+	handleOp(e, ops.DeleteFile, func(ctx context.Context, res *daif.FileDataResource, req *ops.FileNameMsg) (*xmlutil.Element, error) {
+		if err := res.DeleteFile(ctx, req.FileName); err != nil {
+			return nil, err
+		}
+		return ops.DeleteFile.NewResponse(), nil
+	})
+
+	handleOp(e, ops.ListFiles, func(ctx context.Context, res fileReader, req *ops.PatternMsg) (*xmlutil.Element, error) {
+		infos, err := res.ListFiles(ctx, req.Pattern)
 		if err != nil {
 			return nil, err
 		}
-		fr, err := e.resolveFileReader(name)
-		if err != nil {
-			return nil, err
-		}
-		infos, err := fr.ListFiles(ctx, body.FindText(NSDAIF, "Pattern"))
-		if err != nil {
-			return nil, err
-		}
-		resp := xmlutil.NewElement(NSDAIF, "ListFilesResponse")
+		resp := ops.ListFiles.NewResponse()
 		resp.AppendChild(daif.FileListElement(infos))
 		return resp, nil
 	})
 
-	e.handle(FileAccess, ActStatFile, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
-		if err != nil {
-			return nil, err
-		}
-		fr, err := e.resolveFileReader(name)
-		if err != nil {
-			return nil, err
-		}
-		infos, err := fr.ListFiles(ctx, body.FindText(NSDAIF, "FileName"))
+	handleOp(e, ops.StatFile, func(ctx context.Context, res fileReader, req *ops.FileNameMsg) (*xmlutil.Element, error) {
+		infos, err := res.ListFiles(ctx, req.FileName)
 		if err != nil {
 			return nil, err
 		}
@@ -169,31 +75,16 @@ func (e *Endpoint) registerDAIF() {
 			return nil, &core.InvalidExpressionFault{
 				Detail: fmt.Sprintf("StatFile matched %d files", len(infos))}
 		}
-		resp := xmlutil.NewElement(NSDAIF, "StatFileResponse")
+		resp := ops.StatFile.NewResponse()
 		resp.AppendChild(daif.FileListElement(infos))
 		return resp, nil
 	})
 
-	e.handle(FileFactory, ActFileSelectFactory, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
+	handleFactory(e, ops.FileSelectFactory, func(ctx context.Context, res *daif.FileDataResource, req *ops.FileFactoryMsg, target *core.DataService) (core.DataResource, error) {
+		derived, err := daif.FileSelectFactory(ctx, res, target, req.Pattern, req.Config)
 		if err != nil {
 			return nil, err
 		}
-		fr, err := e.resolveFile(name)
-		if err != nil {
-			return nil, err
-		}
-		cfg, err := core.ParseConfiguration(body.Find(NSDAI, "ConfigurationDocument"))
-		if err != nil {
-			return nil, &core.InvalidExpressionFault{Detail: err.Error()}
-		}
-		derived, err := daif.FileSelectFactory(ctx, fr, e.target.svc, body.FindText(NSDAIF, "Pattern"), &cfg)
-		if err != nil {
-			return nil, err
-		}
-		e.target.trackDerived(derived)
-		resp := xmlutil.NewElement(NSDAIF, "FileSelectFactoryResponse")
-		resp.AppendChild(e.target.EPRFor(derived.AbstractName()).Element(NSDAI, "DataResourceAddress"))
-		return resp, nil
+		return derived, nil
 	})
 }

@@ -6,77 +6,39 @@ import (
 
 	"dais/internal/core"
 	"dais/internal/dair"
+	"dais/internal/ops"
 	"dais/internal/rowset"
 	"dais/internal/xmlutil"
 )
 
-// resolveSQL resolves an abstract name to a relational base resource.
-func (e *Endpoint) resolveSQL(name string) (*dair.SQLDataResource, error) {
-	r, err := e.svc.Resolve(name)
+// propertyDocResponse shares the realisation-specific property document
+// getters: the document is the WS-DAI one, wrapped in the operation's
+// own response element.
+func (e *Endpoint) propertyDocResponse(spec ops.Spec, name string) (*xmlutil.Element, error) {
+	doc, err := e.svc.GetDataResourcePropertyDocument(name)
 	if err != nil {
 		return nil, err
 	}
-	sr, ok := r.(*dair.SQLDataResource)
-	if !ok {
-		return nil, typeFault(name, "SQL")
-	}
-	return sr, nil
+	resp := spec.NewResponse()
+	resp.AppendChild(doc)
+	return resp, nil
 }
 
-// resolveResponse resolves an abstract name to an SQLResponse resource.
-func (e *Endpoint) resolveResponse(name string) (*dair.SQLResponseResource, error) {
-	r, err := e.svc.Resolve(name)
-	if err != nil {
-		return nil, err
-	}
-	rr, ok := r.(*dair.SQLResponseResource)
-	if !ok {
-		return nil, typeFault(name, "SQLResponse")
-	}
-	return rr, nil
-}
-
-// resolveRowset resolves an abstract name to an SQLRowset resource.
-func (e *Endpoint) resolveRowset(name string) (*dair.SQLRowsetResource, error) {
-	r, err := e.svc.Resolve(name)
-	if err != nil {
-		return nil, err
-	}
-	rr, ok := r.(*dair.SQLRowsetResource)
-	if !ok {
-		return nil, typeFault(name, "SQLRowset")
-	}
-	return rr, nil
-}
-
-// registerDAIR wires the WS-DAIR operations.
+// registerDAIR wires the WS-DAIR operations from their catalog specs.
 func (e *Endpoint) registerDAIR() {
 	// SQLAccess.SQLExecute — the direct data access pattern of Fig. 2:
 	// the data comes back in the response, in the requested format,
 	// with the SQL communication area alongside.
-	e.handle(SQLAccess, ActSQLExecute, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
+	handleOp(e, ops.SQLExecute, func(ctx context.Context, res *dair.SQLDataResource, req *ops.SQLExecuteMsg) (*xmlutil.Element, error) {
+		codec, err := res.Formats().Lookup(req.FormatURI)
+		if err != nil {
+			return nil, &core.InvalidDatasetFormatFault{Format: req.FormatURI}
+		}
+		data, err := res.SQLExecute(ctx, req.Expr.Expression, req.Expr.Params)
 		if err != nil {
 			return nil, err
 		}
-		res, err := e.resolveSQL(name)
-		if err != nil {
-			return nil, err
-		}
-		expr, params, err := ParseSQLExpression(body)
-		if err != nil {
-			return nil, &core.InvalidExpressionFault{Detail: err.Error()}
-		}
-		formatURI := body.FindText(NSDAI, "DatasetFormatURI")
-		codec, err := res.Formats().Lookup(formatURI)
-		if err != nil {
-			return nil, &core.InvalidDatasetFormatFault{Format: formatURI}
-		}
-		data, err := res.SQLExecute(ctx, expr, params)
-		if err != nil {
-			return nil, err
-		}
-		resp := xmlutil.NewElement(NSDAIR, "SQLExecuteResponse")
+		resp := ops.SQLExecute.NewResponse()
 		if rs := data.FirstRowset(); rs != nil {
 			encoded, err := codec.Encode(rs)
 			if err != nil {
@@ -90,162 +52,69 @@ func (e *Endpoint) registerDAIR() {
 		return resp, nil
 	})
 
-	// SQLAccess.GetSQLPropertyDocument.
-	e.handle(SQLAccess, ActGetSQLPropertyDoc, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
-		if err != nil {
-			return nil, err
-		}
-		if _, err := e.resolveSQL(name); err != nil {
-			return nil, err
-		}
-		doc, err := e.svc.GetDataResourcePropertyDocument(name)
-		if err != nil {
-			return nil, err
-		}
-		resp := xmlutil.NewElement(NSDAIR, "GetSQLPropertyDocumentResponse")
-		resp.AppendChild(doc)
-		return resp, nil
+	handleOp(e, ops.GetSQLPropertyDocument, func(ctx context.Context, res *dair.SQLDataResource, _ *ops.Empty) (*xmlutil.Element, error) {
+		return e.propertyDocResponse(ops.GetSQLPropertyDocument, res.AbstractName())
 	})
 
 	// SQLFactory.SQLExecuteFactory — the indirect pattern of Fig. 3:
 	// the response carries an EPR to the derived SQLResponse resource.
-	e.handle(SQLFactory, ActSQLExecuteFactory, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
+	handleFactory(e, ops.SQLExecuteFactory, func(ctx context.Context, res *dair.SQLDataResource, req *ops.SQLFactoryMsg, target *core.DataService) (core.DataResource, error) {
+		derived, err := dair.SQLExecuteFactory(ctx, res, target, req.Expr.Expression, req.Expr.Params, req.Config)
 		if err != nil {
 			return nil, err
 		}
-		res, err := e.resolveSQL(name)
-		if err != nil {
-			return nil, err
-		}
-		expr, params, err := ParseSQLExpression(body)
-		if err != nil {
-			return nil, &core.InvalidExpressionFault{Detail: err.Error()}
-		}
-		cfg, err := core.ParseConfiguration(body.Find(NSDAI, "ConfigurationDocument"))
-		if err != nil {
-			return nil, &core.InvalidExpressionFault{Detail: err.Error()}
-		}
-		derived, err := dair.SQLExecuteFactory(ctx, res, e.target.svc, expr, params, &cfg)
-		if err != nil {
-			return nil, err
-		}
-		e.target.trackDerived(derived)
-		resp := xmlutil.NewElement(NSDAIR, "SQLExecuteFactoryResponse")
-		resp.AppendChild(e.target.EPRFor(derived.AbstractName()).Element(NSDAI, "DataResourceAddress"))
-		return resp, nil
+		return derived, nil
 	})
 
 	// ResponseAccess operations.
-	e.handle(SQLResponseAccess, ActGetSQLRowset, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
+	handleOp(e, ops.GetSQLRowset, func(ctx context.Context, res *dair.SQLResponseResource, req *ops.IndexMsg) (*xmlutil.Element, error) {
+		set, err := res.GetSQLRowset(req.Index)
 		if err != nil {
 			return nil, err
 		}
-		rr, err := e.resolveResponse(name)
-		if err != nil {
-			return nil, err
-		}
-		idx, err := intChild(body, NSDAIR, "Index", 0)
-		if err != nil {
-			return nil, &core.InvalidExpressionFault{Detail: err.Error()}
-		}
-		set, err := rr.GetSQLRowset(idx)
-		if err != nil {
-			return nil, err
-		}
-		resp := xmlutil.NewElement(NSDAIR, "GetSQLRowsetResponse")
+		resp := ops.GetSQLRowset.NewResponse()
 		resp.AppendChild(rowset.SQLRowsetElement(set))
 		return resp, nil
 	})
-	e.handle(SQLResponseAccess, ActGetSQLUpdateCount, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
+	handleOp(e, ops.GetSQLUpdateCount, func(ctx context.Context, res *dair.SQLResponseResource, req *ops.IndexMsg) (*xmlutil.Element, error) {
+		n, err := res.GetSQLUpdateCount(req.Index)
 		if err != nil {
 			return nil, err
 		}
-		rr, err := e.resolveResponse(name)
-		if err != nil {
-			return nil, err
-		}
-		idx, err := intChild(body, NSDAIR, "Index", 0)
-		if err != nil {
-			return nil, &core.InvalidExpressionFault{Detail: err.Error()}
-		}
-		n, err := rr.GetSQLUpdateCount(idx)
-		if err != nil {
-			return nil, err
-		}
-		resp := xmlutil.NewElement(NSDAIR, "GetSQLUpdateCountResponse")
+		resp := ops.GetSQLUpdateCount.NewResponse()
 		resp.AddText(NSDAIR, "UpdateCount", fmt.Sprintf("%d", n))
 		return resp, nil
 	})
-	e.handle(SQLResponseAccess, ActGetSQLCommArea, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
-		if err != nil {
-			return nil, err
-		}
-		rr, err := e.resolveResponse(name)
-		if err != nil {
-			return nil, err
-		}
-		data := &dair.SQLResponseData{CA: rr.GetSQLCommunicationArea()}
-		resp := xmlutil.NewElement(NSDAIR, "GetSQLCommunicationAreaResponse")
+	handleOp(e, ops.GetSQLCommunicationArea, func(ctx context.Context, res *dair.SQLResponseResource, _ *ops.Empty) (*xmlutil.Element, error) {
+		data := &dair.SQLResponseData{CA: res.GetSQLCommunicationArea()}
+		resp := ops.GetSQLCommunicationArea.NewResponse()
 		resp.AppendChild(data.CommunicationAreaElement())
 		return resp, nil
 	})
-	e.handle(SQLResponseAccess, ActGetSQLReturnValue, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
+	handleOp(e, ops.GetSQLReturnValue, func(ctx context.Context, res *dair.SQLResponseResource, _ *ops.Empty) (*xmlutil.Element, error) {
+		v, err := res.GetSQLReturnValue()
 		if err != nil {
 			return nil, err
 		}
-		rr, err := e.resolveResponse(name)
-		if err != nil {
-			return nil, err
-		}
-		v, err := rr.GetSQLReturnValue()
-		if err != nil {
-			return nil, err
-		}
-		resp := xmlutil.NewElement(NSDAIR, "GetSQLReturnValueResponse")
+		resp := ops.GetSQLReturnValue.NewResponse()
 		resp.AddText(NSDAIR, "Value", v.String())
 		return resp, nil
 	})
-	e.handle(SQLResponseAccess, ActGetSQLOutputParameter, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
+	handleOp(e, ops.GetSQLOutputParameter, func(ctx context.Context, res *dair.SQLResponseResource, req *ops.ParamMsg) (*xmlutil.Element, error) {
+		v, err := res.GetSQLOutputParameter(req.ParameterName)
 		if err != nil {
 			return nil, err
 		}
-		rr, err := e.resolveResponse(name)
-		if err != nil {
-			return nil, err
-		}
-		v, err := rr.GetSQLOutputParameter(body.FindText(NSDAIR, "ParameterName"))
-		if err != nil {
-			return nil, err
-		}
-		resp := xmlutil.NewElement(NSDAIR, "GetSQLOutputParameterResponse")
+		resp := ops.GetSQLOutputParameter.NewResponse()
 		resp.AddText(NSDAIR, "Value", v.String())
 		return resp, nil
 	})
-	e.handle(SQLResponseAccess, ActGetSQLResponseItem, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
+	handleOp(e, ops.GetSQLResponseItem, func(ctx context.Context, res *dair.SQLResponseResource, req *ops.IndexMsg) (*xmlutil.Element, error) {
+		item, err := res.GetSQLResponseItem(req.Index)
 		if err != nil {
 			return nil, err
 		}
-		rr, err := e.resolveResponse(name)
-		if err != nil {
-			return nil, err
-		}
-		idx, err := intChild(body, NSDAIR, "Index", 0)
-		if err != nil {
-			return nil, &core.InvalidExpressionFault{Detail: err.Error()}
-		}
-		item, err := rr.GetSQLResponseItem(idx)
-		if err != nil {
-			return nil, err
-		}
-		resp := xmlutil.NewElement(NSDAIR, "GetSQLResponseItemResponse")
+		resp := ops.GetSQLResponseItem.NewResponse()
 		switch item.Kind {
 		case dair.ItemRowset:
 			resp.AppendChild(rowset.SQLRowsetElement(item.Rowset))
@@ -256,101 +125,34 @@ func (e *Endpoint) registerDAIR() {
 		}
 		return resp, nil
 	})
-	e.handle(SQLResponseAccess, ActGetSQLResponsePropDoc, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
-		if err != nil {
-			return nil, err
-		}
-		if _, err := e.resolveResponse(name); err != nil {
-			return nil, err
-		}
-		doc, err := e.svc.GetDataResourcePropertyDocument(name)
-		if err != nil {
-			return nil, err
-		}
-		resp := xmlutil.NewElement(NSDAIR, "GetSQLResponsePropertyDocumentResponse")
-		resp.AppendChild(doc)
-		return resp, nil
+	handleOp(e, ops.GetSQLResponsePropertyDocument, func(ctx context.Context, res *dair.SQLResponseResource, _ *ops.Empty) (*xmlutil.Element, error) {
+		return e.propertyDocResponse(ops.GetSQLResponsePropertyDocument, res.AbstractName())
 	})
 
 	// ResponseFactory.SQLRowsetFactory — the second hop of Fig. 5.
-	e.handle(SQLResponseFactory, ActSQLRowsetFactory, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
+	handleFactory(e, ops.SQLRowsetFactory, func(ctx context.Context, res *dair.SQLResponseResource, req *ops.RowsetFactoryMsg, target *core.DataService) (core.DataResource, error) {
+		derived, err := dair.SQLRowsetFactory(ctx, res, target, req.FormatURI, req.Count, req.Config)
 		if err != nil {
 			return nil, err
 		}
-		rr, err := e.resolveResponse(name)
-		if err != nil {
-			return nil, err
-		}
-		formatURI := body.FindText(NSDAI, "DatasetFormatURI")
-		count, err := intChild(body, NSDAIR, "Count", 0)
-		if err != nil {
-			return nil, &core.InvalidExpressionFault{Detail: err.Error()}
-		}
-		cfg, err := core.ParseConfiguration(body.Find(NSDAI, "ConfigurationDocument"))
-		if err != nil {
-			return nil, &core.InvalidExpressionFault{Detail: err.Error()}
-		}
-		derived, err := dair.SQLRowsetFactory(ctx, rr, e.target.svc, formatURI, count, &cfg)
-		if err != nil {
-			return nil, err
-		}
-		e.target.trackDerived(derived)
-		resp := xmlutil.NewElement(NSDAIR, "SQLRowsetFactoryResponse")
-		resp.AppendChild(e.target.EPRFor(derived.AbstractName()).Element(NSDAI, "DataResourceAddress"))
-		return resp, nil
+		return derived, nil
 	})
 
 	// RowsetAccess operations — the third hop of Fig. 5.
-	e.handle(SQLRowsetAccess, ActGetTuples, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
+	handleOp(e, ops.GetTuples, func(ctx context.Context, res *dair.SQLRowsetResource, req *ops.PageMsg) (*xmlutil.Element, error) {
+		count := req.Count
+		if !req.HasCount {
+			count = res.RowCount()
+		}
+		data, err := res.GetTuples(req.Start, count)
 		if err != nil {
 			return nil, err
 		}
-		rr, err := e.resolveRowset(name)
-		if err != nil {
-			return nil, err
-		}
-		start, err := intChild(body, NSDAIR, "StartPosition", 1)
-		if err != nil {
-			return nil, &core.InvalidExpressionFault{Detail: err.Error()}
-		}
-		count, err := intChild(body, NSDAIR, "Count", rr.RowCount())
-		if err != nil {
-			return nil, &core.InvalidExpressionFault{Detail: err.Error()}
-		}
-		data, err := rr.GetTuples(start, count)
-		if err != nil {
-			return nil, err
-		}
-		resp := xmlutil.NewElement(NSDAIR, "GetTuplesResponse")
-		resp.AppendChild(datasetElement(rr.FormatURI(), data))
+		resp := ops.GetTuples.NewResponse()
+		resp.AppendChild(datasetElement(res.FormatURI(), data))
 		return resp, nil
 	})
-	e.handle(SQLRowsetAccess, ActGetRowsetPropDoc, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
-		if err != nil {
-			return nil, err
-		}
-		if _, err := e.resolveRowset(name); err != nil {
-			return nil, err
-		}
-		doc, err := e.svc.GetDataResourcePropertyDocument(name)
-		if err != nil {
-			return nil, err
-		}
-		resp := xmlutil.NewElement(NSDAIR, "GetRowsetPropertyDocumentResponse")
-		resp.AppendChild(doc)
-		return resp, nil
+	handleOp(e, ops.GetRowsetPropertyDocument, func(ctx context.Context, res *dair.SQLRowsetResource, _ *ops.Empty) (*xmlutil.Element, error) {
+		return e.propertyDocResponse(ops.GetRowsetPropertyDocument, res.AbstractName())
 	})
-}
-
-// trackDerived registers a factory-created resource with the endpoint's
-// WSRF registry (the factory already registered it with the data
-// service).
-func (e *Endpoint) trackDerived(r core.DataResource) {
-	if e.wsrfReg != nil {
-		e.wsrfReg.Add(r.AbstractName(), &propertyResource{svc: e.svc, res: r})
-	}
 }

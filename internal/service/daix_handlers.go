@@ -6,104 +6,41 @@ import (
 
 	"dais/internal/core"
 	"dais/internal/daix"
+	"dais/internal/ops"
 	"dais/internal/xmlutil"
 )
 
-// resolveCollection resolves an abstract name to an XML collection
-// resource.
-func (e *Endpoint) resolveCollection(name string) (*daix.XMLCollectionResource, error) {
-	r, err := e.svc.Resolve(name)
-	if err != nil {
-		return nil, err
-	}
-	cr, ok := r.(*daix.XMLCollectionResource)
-	if !ok {
-		return nil, typeFault(name, "XMLCollection")
-	}
-	return cr, nil
-}
-
-// resolveSequence resolves an abstract name to an XML sequence resource.
-func (e *Endpoint) resolveSequence(name string) (*daix.XMLSequenceResource, error) {
-	r, err := e.svc.Resolve(name)
-	if err != nil {
-		return nil, err
-	}
-	sr, ok := r.(*daix.XMLSequenceResource)
-	if !ok {
-		return nil, typeFault(name, "XMLSequence")
-	}
-	return sr, nil
-}
-
-// registerDAIX wires the WS-DAIX operations.
+// registerDAIX wires the WS-DAIX operations from their catalog specs.
 func (e *Endpoint) registerDAIX() {
 	// XMLCollectionAccess document operations.
-	e.handle(XMLCollectionAccess, ActAddDocument, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
-		if err != nil {
-			return nil, err
-		}
-		cr, err := e.resolveCollection(name)
-		if err != nil {
-			return nil, err
-		}
-		docName := body.FindText(NSDAIX, "DocumentName")
-		docWrap := body.Find(NSDAIX, "Document")
-		if docName == "" || docWrap == nil || len(docWrap.ChildElements()) != 1 {
-			return nil, &core.InvalidExpressionFault{Detail: "AddDocument requires DocumentName and a single Document child"}
-		}
-		if err := cr.AddDocument(docName, docWrap.ChildElements()[0]); err != nil {
+	handleOp(e, ops.AddDocument, func(ctx context.Context, res *daix.XMLCollectionResource, req *ops.AddDocumentMsg) (*xmlutil.Element, error) {
+		if err := res.AddDocument(req.DocumentName, req.Document); err != nil {
 			return nil, wrapDAIXErr(err)
 		}
-		return xmlutil.NewElement(NSDAIX, "AddDocumentResponse"), nil
+		return ops.AddDocument.NewResponse(), nil
 	})
-	e.handle(XMLCollectionAccess, ActGetDocument, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
-		if err != nil {
-			return nil, err
-		}
-		cr, err := e.resolveCollection(name)
-		if err != nil {
-			return nil, err
-		}
-		doc, err := cr.GetDocument(body.FindText(NSDAIX, "DocumentName"))
+	handleOp(e, ops.GetDocument, func(ctx context.Context, res *daix.XMLCollectionResource, req *ops.DocMsg) (*xmlutil.Element, error) {
+		doc, err := res.GetDocument(req.DocumentName)
 		if err != nil {
 			return nil, wrapDAIXErr(err)
 		}
-		resp := xmlutil.NewElement(NSDAIX, "GetDocumentResponse")
+		resp := ops.GetDocument.NewResponse()
 		wrap := resp.Add(NSDAIX, "Document")
 		wrap.AppendChild(doc)
 		return resp, nil
 	})
-	e.handle(XMLCollectionAccess, ActRemoveDocument, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
-		if err != nil {
-			return nil, err
-		}
-		cr, err := e.resolveCollection(name)
-		if err != nil {
-			return nil, err
-		}
-		if err := cr.RemoveDocument(body.FindText(NSDAIX, "DocumentName")); err != nil {
+	handleOp(e, ops.RemoveDocument, func(ctx context.Context, res *daix.XMLCollectionResource, req *ops.DocMsg) (*xmlutil.Element, error) {
+		if err := res.RemoveDocument(req.DocumentName); err != nil {
 			return nil, wrapDAIXErr(err)
 		}
-		return xmlutil.NewElement(NSDAIX, "RemoveDocumentResponse"), nil
+		return ops.RemoveDocument.NewResponse(), nil
 	})
-	e.handle(XMLCollectionAccess, ActListDocuments, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
-		if err != nil {
-			return nil, err
-		}
-		cr, err := e.resolveCollection(name)
-		if err != nil {
-			return nil, err
-		}
-		names, err := cr.ListDocuments()
+	handleOp(e, ops.ListDocuments, func(ctx context.Context, res *daix.XMLCollectionResource, _ *ops.Empty) (*xmlutil.Element, error) {
+		names, err := res.ListDocuments()
 		if err != nil {
 			return nil, wrapDAIXErr(err)
 		}
-		resp := xmlutil.NewElement(NSDAIX, "ListDocumentsResponse")
+		resp := ops.ListDocuments.NewResponse()
 		for _, n := range names {
 			resp.AddText(NSDAIX, "DocumentName", n)
 		}
@@ -111,48 +48,24 @@ func (e *Endpoint) registerDAIX() {
 	})
 
 	// XMLCollectionAccess sub-collection operations.
-	e.handle(XMLCollectionAccess, ActCreateSubcollection, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
-		if err != nil {
-			return nil, err
-		}
-		cr, err := e.resolveCollection(name)
-		if err != nil {
-			return nil, err
-		}
-		if err := cr.CreateSubcollection(body.FindText(NSDAIX, "CollectionName")); err != nil {
+	handleOp(e, ops.CreateSubcollection, func(ctx context.Context, res *daix.XMLCollectionResource, req *ops.CollMsg) (*xmlutil.Element, error) {
+		if err := res.CreateSubcollection(req.CollectionName); err != nil {
 			return nil, wrapDAIXErr(err)
 		}
-		return xmlutil.NewElement(NSDAIX, "CreateSubcollectionResponse"), nil
+		return ops.CreateSubcollection.NewResponse(), nil
 	})
-	e.handle(XMLCollectionAccess, ActRemoveSubcollection, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
-		if err != nil {
-			return nil, err
-		}
-		cr, err := e.resolveCollection(name)
-		if err != nil {
-			return nil, err
-		}
-		if err := cr.RemoveSubcollection(body.FindText(NSDAIX, "CollectionName")); err != nil {
+	handleOp(e, ops.RemoveSubcollection, func(ctx context.Context, res *daix.XMLCollectionResource, req *ops.CollMsg) (*xmlutil.Element, error) {
+		if err := res.RemoveSubcollection(req.CollectionName); err != nil {
 			return nil, wrapDAIXErr(err)
 		}
-		return xmlutil.NewElement(NSDAIX, "RemoveSubcollectionResponse"), nil
+		return ops.RemoveSubcollection.NewResponse(), nil
 	})
-	e.handle(XMLCollectionAccess, ActListSubcollections, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
-		if err != nil {
-			return nil, err
-		}
-		cr, err := e.resolveCollection(name)
-		if err != nil {
-			return nil, err
-		}
-		names, err := cr.ListSubcollections()
+	handleOp(e, ops.ListSubcollections, func(ctx context.Context, res *daix.XMLCollectionResource, _ *ops.Empty) (*xmlutil.Element, error) {
+		names, err := res.ListSubcollections()
 		if err != nil {
 			return nil, wrapDAIXErr(err)
 		}
-		resp := xmlutil.NewElement(NSDAIX, "ListSubcollectionsResponse")
+		resp := ops.ListSubcollections.NewResponse()
 		for _, n := range names {
 			resp.AddText(NSDAIX, "CollectionName", n)
 		}
@@ -160,148 +73,71 @@ func (e *Endpoint) registerDAIX() {
 	})
 
 	// Query interfaces.
-	e.handle(XMLQueryAccess, ActXPathExecute, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
+	handleOp(e, ops.XPathExecute, func(ctx context.Context, res *daix.XMLCollectionResource, req *ops.ExprMsg) (*xmlutil.Element, error) {
+		results, err := res.XPathExecute(ctx, req.Expression)
 		if err != nil {
 			return nil, err
 		}
-		cr, err := e.resolveCollection(name)
-		if err != nil {
-			return nil, err
-		}
-		results, err := cr.XPathExecute(ctx, body.FindText(NSDAIX, "Expression"))
-		if err != nil {
-			return nil, err
-		}
-		resp := xmlutil.NewElement(NSDAIX, "XPathExecuteResponse")
+		resp := ops.XPathExecute.NewResponse()
 		resp.AppendChild(daix.WrapResults(results))
 		return resp, nil
 	})
-	e.handle(XMLQueryAccess, ActXQueryExecute, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
+	handleOp(e, ops.XQueryExecute, func(ctx context.Context, res *daix.XMLCollectionResource, req *ops.ExprMsg) (*xmlutil.Element, error) {
+		results, err := res.XQueryExecute(ctx, req.Expression)
 		if err != nil {
 			return nil, err
 		}
-		cr, err := e.resolveCollection(name)
-		if err != nil {
-			return nil, err
-		}
-		results, err := cr.XQueryExecute(ctx, body.FindText(NSDAIX, "Expression"))
-		if err != nil {
-			return nil, err
-		}
-		resp := xmlutil.NewElement(NSDAIX, "XQueryExecuteResponse")
+		resp := ops.XQueryExecute.NewResponse()
 		resp.AppendChild(daix.WrapResults(results))
 		return resp, nil
 	})
-	e.handle(XMLQueryAccess, ActXUpdateExecute, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
+	handleOp(e, ops.XUpdateExecute, func(ctx context.Context, res *daix.XMLCollectionResource, req *ops.XUpdateMsg) (*xmlutil.Element, error) {
+		n, err := res.XUpdateExecute(ctx, req.DocumentName, req.Modifications)
 		if err != nil {
 			return nil, err
 		}
-		cr, err := e.resolveCollection(name)
-		if err != nil {
-			return nil, err
-		}
-		mods := body.Find("", "modifications")
-		if mods == nil {
-			return nil, &core.InvalidExpressionFault{Detail: "XUpdateExecute requires an xupdate:modifications child"}
-		}
-		n, err := cr.XUpdateExecute(ctx, body.FindText(NSDAIX, "DocumentName"), mods)
-		if err != nil {
-			return nil, err
-		}
-		resp := xmlutil.NewElement(NSDAIX, "XUpdateExecuteResponse")
+		resp := ops.XUpdateExecute.NewResponse()
 		resp.AddText(NSDAIX, "NodesModified", fmt.Sprintf("%d", n))
 		return resp, nil
 	})
 
 	// Factories (indirect access).
-	e.handle(XMLFactory, ActXPathFactory, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		return e.sequenceFactory(body, func(cr *daix.XMLCollectionResource, expr string, cfg *core.Configuration) (*daix.XMLSequenceResource, error) {
-			return daix.XPathFactory(ctx, cr, e.target.svc, expr, cfg)
-		}, "XPathExecuteFactoryResponse")
-	})
-	e.handle(XMLFactory, ActXQueryFactory, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		return e.sequenceFactory(body, func(cr *daix.XMLCollectionResource, expr string, cfg *core.Configuration) (*daix.XMLSequenceResource, error) {
-			return daix.XQueryFactory(ctx, cr, e.target.svc, expr, cfg)
-		}, "XQueryExecuteFactoryResponse")
-	})
-	e.handle(XMLFactory, ActCollectionFactory, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
+	handleFactory(e, ops.XPathExecuteFactory, func(ctx context.Context, res *daix.XMLCollectionResource, req *ops.SeqFactoryMsg, target *core.DataService) (core.DataResource, error) {
+		derived, err := daix.XPathFactory(ctx, res, target, req.Expression, req.Config)
 		if err != nil {
 			return nil, err
 		}
-		cr, err := e.resolveCollection(name)
+		return derived, nil
+	})
+	handleFactory(e, ops.XQueryExecuteFactory, func(ctx context.Context, res *daix.XMLCollectionResource, req *ops.SeqFactoryMsg, target *core.DataService) (core.DataResource, error) {
+		derived, err := daix.XQueryFactory(ctx, res, target, req.Expression, req.Config)
 		if err != nil {
 			return nil, err
 		}
-		cfg, err := core.ParseConfiguration(body.Find(NSDAI, "ConfigurationDocument"))
-		if err != nil {
-			return nil, &core.InvalidExpressionFault{Detail: err.Error()}
-		}
-		derived, err := daix.CollectionFactory(ctx, cr, e.target.svc, body.FindText(NSDAIX, "CollectionName"), &cfg)
+		return derived, nil
+	})
+	handleFactory(e, ops.CollectionFactory, func(ctx context.Context, res *daix.XMLCollectionResource, req *ops.CollFactoryMsg, target *core.DataService) (core.DataResource, error) {
+		derived, err := daix.CollectionFactory(ctx, res, target, req.CollectionName, req.Config)
 		if err != nil {
 			return nil, wrapDAIXErr(err)
 		}
-		e.target.trackDerived(derived)
-		resp := xmlutil.NewElement(NSDAIX, "CollectionFactoryResponse")
-		resp.AppendChild(e.target.EPRFor(derived.AbstractName()).Element(NSDAI, "DataResourceAddress"))
-		return resp, nil
+		return derived, nil
 	})
 
 	// Sequence access.
-	e.handle(XMLSequenceAccess, ActGetItems, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
+	handleOp(e, ops.GetItems, func(ctx context.Context, res *daix.XMLSequenceResource, req *ops.PageMsg) (*xmlutil.Element, error) {
+		count := req.Count
+		if !req.HasCount {
+			count = res.ItemCount()
+		}
+		items, err := res.GetItems(req.Start, count)
 		if err != nil {
 			return nil, err
 		}
-		sr, err := e.resolveSequence(name)
-		if err != nil {
-			return nil, err
-		}
-		start, err := intChild(body, NSDAIX, "StartPosition", 1)
-		if err != nil {
-			return nil, &core.InvalidExpressionFault{Detail: err.Error()}
-		}
-		count, err := intChild(body, NSDAIX, "Count", sr.ItemCount())
-		if err != nil {
-			return nil, &core.InvalidExpressionFault{Detail: err.Error()}
-		}
-		items, err := sr.GetItems(start, count)
-		if err != nil {
-			return nil, err
-		}
-		resp := xmlutil.NewElement(NSDAIX, "GetItemsResponse")
+		resp := ops.GetItems.NewResponse()
 		resp.AppendChild(daix.WrapResults(items))
 		return resp, nil
 	})
-}
-
-// sequenceFactory shares the XPath/XQuery factory plumbing.
-func (e *Endpoint) sequenceFactory(body *xmlutil.Element,
-	run func(*daix.XMLCollectionResource, string, *core.Configuration) (*daix.XMLSequenceResource, error),
-	respName string) (*xmlutil.Element, error) {
-	name, err := AbstractNameOf(body)
-	if err != nil {
-		return nil, err
-	}
-	cr, err := e.resolveCollection(name)
-	if err != nil {
-		return nil, err
-	}
-	cfg, err := core.ParseConfiguration(body.Find(NSDAI, "ConfigurationDocument"))
-	if err != nil {
-		return nil, &core.InvalidExpressionFault{Detail: err.Error()}
-	}
-	derived, err := run(cr, body.FindText(NSDAIX, "Expression"), &cfg)
-	if err != nil {
-		return nil, err
-	}
-	e.target.trackDerived(derived)
-	resp := xmlutil.NewElement(NSDAIX, respName)
-	resp.AppendChild(e.target.EPRFor(derived.AbstractName()).Element(NSDAI, "DataResourceAddress"))
-	return resp, nil
 }
 
 // wrapDAIXErr converts plain xmldb errors into DAIS faults while

@@ -1,12 +1,12 @@
 package service
 
 import (
-	"bytes"
 	"context"
 	"net/http"
 	"strings"
 
 	"dais/internal/core"
+	"dais/internal/ops"
 	"dais/internal/soap"
 	"dais/internal/wsaddr"
 	"dais/internal/wsrf"
@@ -14,34 +14,30 @@ import (
 )
 
 // Interfaces selects which DAIS port types an endpoint exposes. The
-// paper (§4.3) notes "DAIS does not prescribe how these operations are
-// to be combined to form services; the proposed interfaces may be used
-// in isolation or in conjunction with others" — Fig. 5's three data
-// services expose three different combinations.
-type Interfaces uint32
+// flags live in the ops package (the operation catalog declares which
+// interface class each operation belongs to); the service re-exports
+// them for configuration.
+type Interfaces = ops.Interfaces
 
-// Interface flags.
+// Interface flags, re-exported from the operation catalog.
 const (
-	CoreDataAccess Interfaces = 1 << iota
-	CoreResourceList
-	SQLAccess
-	SQLFactory
-	SQLResponseAccess
-	SQLResponseFactory
-	SQLRowsetAccess
-	XMLCollectionAccess
-	XMLQueryAccess
-	XMLFactory
-	XMLSequenceAccess
-	FileAccess
-	FileFactory
+	CoreDataAccess      = ops.CoreDataAccess
+	CoreResourceList    = ops.CoreResourceList
+	SQLAccess           = ops.SQLAccess
+	SQLFactory          = ops.SQLFactory
+	SQLResponseAccess   = ops.SQLResponseAccess
+	SQLResponseFactory  = ops.SQLResponseFactory
+	SQLRowsetAccess     = ops.SQLRowsetAccess
+	XMLCollectionAccess = ops.XMLCollectionAccess
+	XMLQueryAccess      = ops.XMLQueryAccess
+	XMLFactory          = ops.XMLFactory
+	XMLSequenceAccess   = ops.XMLSequenceAccess
+	FileAccess          = ops.FileAccess
+	FileFactory         = ops.FileFactory
 )
 
 // AllInterfaces enables everything.
-const AllInterfaces = CoreDataAccess | CoreResourceList | SQLAccess | SQLFactory |
-	SQLResponseAccess | SQLResponseFactory | SQLRowsetAccess |
-	XMLCollectionAccess | XMLQueryAccess | XMLFactory | XMLSequenceAccess |
-	FileAccess | FileFactory
+const AllInterfaces = ops.AllInterfaces
 
 // Endpoint hosts one data service over SOAP/HTTP, optionally layered
 // with WSRF. It implements http.Handler.
@@ -50,6 +46,10 @@ type Endpoint struct {
 	soapSrv    *soap.Server
 	wsrfReg    *wsrf.Registry
 	interfaces Interfaces
+	// registry records the operation specs this endpoint exposes; the
+	// SOAP dispatch, the WSDL generator and the completeness tests all
+	// read it.
+	registry *ops.Registry
 	// target is where factory operations register derived resources;
 	// defaults to this endpoint (paper Fig. 5 uses distinct services).
 	target *Endpoint
@@ -92,7 +92,12 @@ func WithServerInterceptors(ics ...soap.Interceptor) EndpointOption {
 func NewEndpoint(svc *core.DataService, opts ...EndpointOption) *Endpoint {
 	// Every endpoint adopts/echoes request IDs so consumers can
 	// correlate replies; WithServerInterceptors layers more on top.
-	e := &Endpoint{svc: svc, soapSrv: soap.NewServer(soap.ServerRequestID()), interfaces: AllInterfaces}
+	e := &Endpoint{
+		svc:        svc,
+		soapSrv:    soap.NewServer(soap.ServerRequestID()),
+		interfaces: AllInterfaces,
+		registry:   ops.NewRegistry(),
+	}
 	for _, o := range opts {
 		o(e)
 	}
@@ -117,6 +122,10 @@ func (e *Endpoint) Service() *core.DataService { return e.svc }
 
 // WSRF returns the WSRF registry, or nil when the layer is disabled.
 func (e *Endpoint) WSRF() *wsrf.Registry { return e.wsrfReg }
+
+// Operations returns the specs this endpoint exposes, sorted by action
+// URI — the registry view the WSDL generator renders.
+func (e *Endpoint) Operations() []ops.Spec { return e.registry.Specs() }
 
 // ServeHTTP implements http.Handler. POST carries SOAP; GET with a
 // ?wsdl query serves the generated interface description.
@@ -165,35 +174,6 @@ func (p *propertyResource) PropertyDocument() *xmlutil.Element {
 
 // has reports whether an interface flag is enabled.
 func (e *Endpoint) has(i Interfaces) bool { return e.interfaces&i != 0 }
-
-// handle wraps a body-level handler with envelope plumbing: the
-// ConcurrentAccess gate, fault mapping and WS-Addressing reply headers.
-// The context arriving from the SOAP dispatcher (the HTTP request
-// context, tightened by any server interceptors) flows into the handler.
-func (e *Endpoint) handle(iface Interfaces, action string, f func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error)) {
-	if !e.has(iface) {
-		return
-	}
-	e.soapSrv.Handle(action, func(ctx context.Context, _ string, env *soap.Envelope) (*soap.Envelope, error) {
-		body := env.BodyEntry()
-		if body == nil {
-			return nil, soap.ClientFault("empty SOAP body")
-		}
-		release, err := e.svc.Enter(ctx)
-		if err != nil {
-			return nil, toSOAPFault(err)
-		}
-		resp, err := f(ctx, body)
-		release()
-		if err != nil {
-			return nil, toSOAPFault(ctxFault(ctx, err))
-		}
-		out := soap.NewEnvelope(resp)
-		req := wsaddr.FromEnvelope(env)
-		wsaddr.ReplyHeaders(req, action+"Response").Attach(out)
-		return out, nil
-	})
-}
 
 // ctxFault recognises handler errors caused by an expired or cancelled
 // request context and converts them to the typed timeout fault; typed
@@ -279,99 +259,25 @@ func DecodeFault(err error) error {
 	return err
 }
 
-// datasetElement embeds encoded data in a response: XML formats are
-// embedded as element trees, others (CSV) as text.
+// datasetElement embeds encoded data in a response; the shared codec
+// lives in the ops package so both sides agree by construction.
 func datasetElement(formatURI string, data []byte) *xmlutil.Element {
-	e := xmlutil.NewElement(NSDAI, "Dataset")
-	e.SetAttr("", "formatURI", formatURI)
-	trimmed := bytes.TrimSpace(data)
-	if len(trimmed) > 0 && trimmed[0] == '<' {
-		if parsed, err := xmlutil.Parse(bytes.NewReader(trimmed)); err == nil {
-			e.AppendChild(parsed)
-			return e
-		}
-	}
-	e.SetText(string(data))
-	return e
+	return ops.DatasetElement(formatURI, data)
 }
 
 // DatasetPayload extracts the raw bytes and format URI from a Dataset
 // element produced by datasetElement.
 func DatasetPayload(e *xmlutil.Element) ([]byte, string) {
-	if e == nil {
-		return nil, ""
-	}
-	format := e.AttrValue("", "formatURI")
-	if kids := e.ChildElements(); len(kids) == 1 {
-		return xmlutil.Marshal(kids[0]), format
-	}
-	return []byte(e.Text()), format
+	return ops.DatasetPayload(e)
 }
 
-// registerCore wires the WS-DAI operations.
-func (e *Endpoint) registerCore() {
-	e.handle(CoreDataAccess, ActGetPropertyDocument, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
-		if err != nil {
-			return nil, err
-		}
-		doc, err := e.svc.GetDataResourcePropertyDocument(name)
-		if err != nil {
-			return nil, err
-		}
-		resp := xmlutil.NewElement(NSDAI, "GetDataResourcePropertyDocumentResponse")
-		resp.AppendChild(doc)
-		return resp, nil
-	})
-	e.handle(CoreDataAccess, ActGenericQuery, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
-		if err != nil {
-			return nil, err
-		}
-		lang := body.FindText(NSDAI, "GenericQueryLanguage")
-		expr := body.FindText(NSDAI, "Expression")
-		result, err := e.svc.GenericQuery(ctx, name, lang, expr)
-		if err != nil {
-			return nil, err
-		}
-		resp := xmlutil.NewElement(NSDAI, "GenericQueryResponse")
-		resp.AppendChild(result)
-		return resp, nil
-	})
-	e.handle(CoreDataAccess, ActDestroyDataResource, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
-		if err != nil {
-			return nil, err
-		}
-		if err := e.svc.DestroyDataResource(ctx, name); err != nil {
-			return nil, err
-		}
-		return xmlutil.NewElement(NSDAI, "DestroyDataResourceResponse"), nil
-	})
-	e.handle(CoreResourceList, ActGetResourceList, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		resp := xmlutil.NewElement(NSDAI, "GetResourceListResponse")
-		for _, n := range e.svc.GetResourceList() {
-			resp.AddText(NSDAI, "DataResourceAbstractName", n)
-		}
-		return resp, nil
-	})
-	e.handle(CoreResourceList, ActResolve, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
-		if err != nil {
-			return nil, err
-		}
-		if _, err := e.svc.Resolve(name); err != nil {
-			return nil, err
-		}
-		resp := xmlutil.NewElement(NSDAI, "ResolveResponse")
-		resp.AppendChild(e.EPRFor(name).Element(NSDAI, "DataResourceAddress"))
-		return resp, nil
-	})
-}
-
-// typeFault builds the fault for a resource of the wrong realisation.
-func typeFault(name, want string) error {
-	return &core.InvalidResourceNameFault{Name: name + " (not a " + want + " resource)"}
+// trackDerived registers a factory-created resource with the endpoint's
+// WSRF registry (the factory already registered it with the data
+// service).
+func (e *Endpoint) trackDerived(r core.DataResource) {
+	if e.wsrfReg != nil {
+		e.wsrfReg.Add(r.AbstractName(), &propertyResource{svc: e.svc, res: r})
+	}
 }
 
 // splitQName separates an optional prefix from a QName string.

@@ -1,24 +1,30 @@
-// Package service binds the WS-DAI, WS-DAIR and WS-DAIX operations to
-// SOAP over HTTP, preserving the message patterns the paper prescribes:
-// every request carries the data resource abstract name in the SOAP
-// body (paper §3: "DAIS mandates the inclusion of the data resource's
-// abstract name in the body of the message so that the messaging
-// framework is the same regardless of whether WSRF is used or not"),
-// with an optional WS-Addressing EPR in the header; factory responses
-// return EPRs whose reference parameters carry the derived resource's
-// abstract name; and the optional WSRF layer adds fine-grained property
-// access and soft-state lifetime management over the same resources.
+// Package service binds the WS-DAI, WS-DAIR, WS-DAIX and WS-DAIF
+// operations to SOAP over HTTP, preserving the message patterns the
+// paper prescribes: every request carries the data resource abstract
+// name in the SOAP body (paper §3: "DAIS mandates the inclusion of the
+// data resource's abstract name in the body of the message so that the
+// messaging framework is the same regardless of whether WSRF is used
+// or not"), with an optional WS-Addressing EPR in the header; factory
+// responses return EPRs whose reference parameters carry the derived
+// resource's abstract name; and the optional WSRF layer adds
+// fine-grained property access and soft-state lifetime management over
+// the same resources.
+//
+// The operation inventory itself — action URIs, request/response
+// element shapes, interface classes, resource kinds — lives in the
+// declarative catalog of package ops; this package contributes only
+// the HTTP/SOAP binding and the business logic behind each spec.
 package service
 
 import (
 	"fmt"
-	"strconv"
 
 	"dais/internal/core"
+	"dais/internal/daif"
 	"dais/internal/dair"
 	"dais/internal/daix"
+	"dais/internal/ops"
 	"dais/internal/sqlengine"
-	"dais/internal/wsrf"
 	"dais/internal/xmlutil"
 )
 
@@ -27,55 +33,66 @@ const (
 	NSDAI  = core.NSDAI
 	NSDAIR = dair.NSDAIR
 	NSDAIX = daix.NSDAIX
+	NSDAIF = daif.NSDAIF
 )
 
-// Action URIs, one per operation. The SOAP dispatcher routes on them.
+// Action URIs, re-exported from the operation catalog so existing
+// callers (and tests) keep a single import for the wire contract.
 const (
 	// WS-DAI core.
-	ActGetPropertyDocument = NSDAI + "/GetDataResourcePropertyDocument"
-	ActGenericQuery        = NSDAI + "/GenericQuery"
-	ActDestroyDataResource = NSDAI + "/DestroyDataResource"
-	ActGetResourceList     = NSDAI + "/GetResourceList"
-	ActResolve             = NSDAI + "/Resolve"
+	ActGetPropertyDocument = ops.ActGetPropertyDocument
+	ActGenericQuery        = ops.ActGenericQuery
+	ActDestroyDataResource = ops.ActDestroyDataResource
+	ActGetResourceList     = ops.ActGetResourceList
+	ActResolve             = ops.ActResolve
 
 	// WS-DAIR.
-	ActSQLExecute            = NSDAIR + "/SQLExecute"
-	ActGetSQLPropertyDoc     = NSDAIR + "/GetSQLPropertyDocument"
-	ActSQLExecuteFactory     = NSDAIR + "/SQLExecuteFactory"
-	ActGetSQLRowset          = NSDAIR + "/GetSQLRowset"
-	ActGetSQLUpdateCount     = NSDAIR + "/GetSQLUpdateCount"
-	ActGetSQLReturnValue     = NSDAIR + "/GetSQLReturnValue"
-	ActGetSQLOutputParameter = NSDAIR + "/GetSQLOutputParameter"
-	ActGetSQLCommArea        = NSDAIR + "/GetSQLCommunicationArea"
-	ActGetSQLResponseItem    = NSDAIR + "/GetSQLResponseItem"
-	ActGetSQLResponsePropDoc = NSDAIR + "/GetSQLResponsePropertyDocument"
-	ActSQLRowsetFactory      = NSDAIR + "/SQLRowsetFactory"
-	ActGetTuples             = NSDAIR + "/GetTuples"
-	ActGetRowsetPropDoc      = NSDAIR + "/GetRowsetPropertyDocument"
+	ActSQLExecute            = ops.ActSQLExecute
+	ActGetSQLPropertyDoc     = ops.ActGetSQLPropertyDoc
+	ActSQLExecuteFactory     = ops.ActSQLExecuteFactory
+	ActGetSQLRowset          = ops.ActGetSQLRowset
+	ActGetSQLUpdateCount     = ops.ActGetSQLUpdateCount
+	ActGetSQLReturnValue     = ops.ActGetSQLReturnValue
+	ActGetSQLOutputParameter = ops.ActGetSQLOutputParameter
+	ActGetSQLCommArea        = ops.ActGetSQLCommArea
+	ActGetSQLResponseItem    = ops.ActGetSQLResponseItem
+	ActGetSQLResponsePropDoc = ops.ActGetSQLResponsePropDoc
+	ActSQLRowsetFactory      = ops.ActSQLRowsetFactory
+	ActGetTuples             = ops.ActGetTuples
+	ActGetRowsetPropDoc      = ops.ActGetRowsetPropDoc
 
 	// WS-DAIX.
-	ActAddDocument         = NSDAIX + "/AddDocument"
-	ActGetDocument         = NSDAIX + "/GetDocument"
-	ActRemoveDocument      = NSDAIX + "/RemoveDocument"
-	ActListDocuments       = NSDAIX + "/ListDocuments"
-	ActCreateSubcollection = NSDAIX + "/CreateSubcollection"
-	ActRemoveSubcollection = NSDAIX + "/RemoveSubcollection"
-	ActListSubcollections  = NSDAIX + "/ListSubcollections"
-	ActXPathExecute        = NSDAIX + "/XPathExecute"
-	ActXQueryExecute       = NSDAIX + "/XQueryExecute"
-	ActXUpdateExecute      = NSDAIX + "/XUpdateExecute"
-	ActXPathFactory        = NSDAIX + "/XPathExecuteFactory"
-	ActXQueryFactory       = NSDAIX + "/XQueryExecuteFactory"
-	ActCollectionFactory   = NSDAIX + "/CollectionFactory"
-	ActGetItems            = NSDAIX + "/GetItems"
+	ActAddDocument         = ops.ActAddDocument
+	ActGetDocument         = ops.ActGetDocument
+	ActRemoveDocument      = ops.ActRemoveDocument
+	ActListDocuments       = ops.ActListDocuments
+	ActCreateSubcollection = ops.ActCreateSubcollection
+	ActRemoveSubcollection = ops.ActRemoveSubcollection
+	ActListSubcollections  = ops.ActListSubcollections
+	ActXPathExecute        = ops.ActXPathExecute
+	ActXQueryExecute       = ops.ActXQueryExecute
+	ActXUpdateExecute      = ops.ActXUpdateExecute
+	ActXPathFactory        = ops.ActXPathFactory
+	ActXQueryFactory       = ops.ActXQueryFactory
+	ActCollectionFactory   = ops.ActCollectionFactory
+	ActGetItems            = ops.ActGetItems
+
+	// WS-DAIF.
+	ActReadFile          = ops.ActReadFile
+	ActWriteFile         = ops.ActWriteFile
+	ActAppendFile        = ops.ActAppendFile
+	ActDeleteFile        = ops.ActDeleteFile
+	ActListFiles         = ops.ActListFiles
+	ActStatFile          = ops.ActStatFile
+	ActFileSelectFactory = ops.ActFileSelectFactory
 
 	// WSRF (optional layer).
-	ActGetResourceProperty      = wsrf.NSRP + "/GetResourceProperty"
-	ActSetResourceProperties    = wsrf.NSRP + "/SetResourceProperties"
-	ActGetMultipleResourceProps = wsrf.NSRP + "/GetMultipleResourceProperties"
-	ActQueryResourceProperties  = wsrf.NSRP + "/QueryResourceProperties"
-	ActSetTerminationTime       = wsrf.NSRL + "/SetTerminationTime"
-	ActWSRFDestroy              = wsrf.NSRL + "/Destroy"
+	ActGetResourceProperty      = ops.ActGetResourceProperty
+	ActSetResourceProperties    = ops.ActSetResourceProperties
+	ActGetMultipleResourceProps = ops.ActGetMultipleResourceProps
+	ActQueryResourceProperties  = ops.ActQueryResourceProperties
+	ActSetTerminationTime       = ops.ActSetTerminationTime
+	ActWSRFDestroy              = ops.ActWSRFDestroy
 )
 
 // NewRequest builds a request body element in the given namespace with
@@ -100,59 +117,13 @@ func AbstractNameOf(body *xmlutil.Element) (string, error) {
 }
 
 // AddSQLExpression renders an SQLExpression element (expression text
-// plus positional parameters) into a request.
+// plus positional parameters) into a request. Kept as a thin alias of
+// the catalog codec for existing callers.
 func AddSQLExpression(req *xmlutil.Element, expression string, params []sqlengine.Value) {
-	se := req.Add(NSDAIR, "SQLExpression")
-	se.AddText(NSDAIR, "Expression", expression)
-	for _, p := range params {
-		pe := se.Add(NSDAIR, "Parameter")
-		if p.IsNull() {
-			pe.SetAttr("", "isNull", "true")
-		} else {
-			pe.SetAttr("", "type", p.Type.String())
-			pe.SetText(p.String())
-		}
-	}
+	ops.AddSQLExpression(req, expression, params)
 }
 
 // ParseSQLExpression decodes an SQLExpression element.
 func ParseSQLExpression(req *xmlutil.Element) (string, []sqlengine.Value, error) {
-	se := req.Find(NSDAIR, "SQLExpression")
-	if se == nil {
-		return "", nil, fmt.Errorf("service: request is missing SQLExpression")
-	}
-	expr := se.FindText(NSDAIR, "Expression")
-	if expr == "" {
-		return "", nil, fmt.Errorf("service: SQLExpression has no Expression")
-	}
-	var params []sqlengine.Value
-	for _, pe := range se.FindAll(NSDAIR, "Parameter") {
-		if pe.AttrValue("", "isNull") == "true" {
-			params = append(params, sqlengine.Null)
-			continue
-		}
-		t, err := sqlengine.TypeFromName(pe.AttrValue("", "type"))
-		if err != nil {
-			t = sqlengine.TypeVarchar
-		}
-		v, err := sqlengine.NewString(pe.Text()).Coerce(t)
-		if err != nil {
-			return "", nil, fmt.Errorf("service: bad parameter %q: %w", pe.Text(), err)
-		}
-		params = append(params, v)
-	}
-	return expr, params, nil
-}
-
-// intChild reads an integer child element, with a default when absent.
-func intChild(body *xmlutil.Element, ns, local string, def int) (int, error) {
-	el := body.Find(ns, local)
-	if el == nil {
-		return def, nil
-	}
-	n, err := strconv.Atoi(el.Text())
-	if err != nil {
-		return 0, fmt.Errorf("service: %s: %w", local, err)
-	}
-	return n, nil
+	return ops.ParseSQLExpression(req)
 }

@@ -1,0 +1,115 @@
+package service
+
+import (
+	"context"
+
+	"dais/internal/core"
+	"dais/internal/ops"
+	"dais/internal/soap"
+	"dais/internal/wsaddr"
+	"dais/internal/xmlutil"
+)
+
+// bind registers one operation spec with the endpoint: it gates on the
+// spec's interface class, records the spec in the registry (the WSDL
+// source), and wraps the body-level handler with the envelope plumbing —
+// operation metadata on the context, the ConcurrentAccess gate, fault
+// mapping and WS-Addressing reply headers.
+func (e *Endpoint) bind(spec ops.Spec, f func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error)) {
+	if spec.Iface != 0 && !e.has(spec.Iface) {
+		return
+	}
+	e.registry.Add(spec)
+	e.soapSrv.Handle(spec.Action, func(ctx context.Context, _ string, env *soap.Envelope) (*soap.Envelope, error) {
+		body := env.BodyEntry()
+		if body == nil {
+			return nil, soap.ClientFault("empty SOAP body")
+		}
+		ctx = ops.WithCallInfo(ctx, spec.Info())
+		release, err := e.svc.Enter(ctx)
+		if err != nil {
+			return nil, toSOAPFault(err)
+		}
+		resp, err := f(ctx, body)
+		release()
+		if err != nil {
+			return nil, toSOAPFault(ctxFault(ctx, err))
+		}
+		out := soap.NewEnvelope(resp)
+		req := wsaddr.FromEnvelope(env)
+		wsaddr.ReplyHeaders(req, spec.Action+"Response").Attach(out)
+		return out, nil
+	})
+}
+
+// reqMsg constrains a request pointer type to the service-side codec.
+type reqMsg[R any] interface {
+	*R
+	Decode(spec ops.Spec, body *xmlutil.Element) error
+}
+
+// decodeFault maps request-decode errors to faults: typed faults pass
+// through, anything else is a malformed request.
+func decodeFault(err error) error {
+	if core.FaultName(err) != "" {
+		return err
+	}
+	return &core.InvalidExpressionFault{Detail: err.Error()}
+}
+
+// handleOp binds a spec to typed business logic: the central dispatch
+// extracts the abstract name (the paper's §3 framing rule), resolves it
+// to the spec's resource kind with the canonical type fault, and
+// decodes the request message — the handler receives an
+// already-resolved resource and an already-decoded request.
+func handleOp[T core.DataResource, R any, PR reqMsg[R]](e *Endpoint, spec ops.Spec,
+	f func(ctx context.Context, res T, req *R) (*xmlutil.Element, error)) {
+	e.bind(spec, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
+		name, err := AbstractNameOf(body)
+		if err != nil {
+			return nil, err
+		}
+		res, err := ops.Resolve[T](e.svc, name, spec.Resource)
+		if err != nil {
+			return nil, err
+		}
+		req := PR(new(R))
+		if err := req.Decode(spec, body); err != nil {
+			return nil, decodeFault(err)
+		}
+		return f(ctx, res, (*R)(req))
+	})
+}
+
+// handleFactory is handleOp for the indirect access pattern (paper
+// Fig. 3): the run function derives a new resource on the factory
+// target, and the shared tail registers it with WSRF and wraps its EPR
+// in the spec's response.
+func handleFactory[T core.DataResource, R any, PR reqMsg[R]](e *Endpoint, spec ops.Spec,
+	run func(ctx context.Context, res T, req *R, target *core.DataService) (core.DataResource, error)) {
+	handleOp[T, R, PR](e, spec, func(ctx context.Context, res T, req *R) (*xmlutil.Element, error) {
+		derived, err := run(ctx, res, req, e.target.svc)
+		if err != nil {
+			return nil, err
+		}
+		e.target.trackDerived(derived)
+		resp := spec.NewResponse()
+		ops.AddResourceAddress(resp, e.target.EPRFor(derived.AbstractName()))
+		return resp, nil
+	})
+}
+
+// handleNamed binds a spec whose handler consumes the raw body after
+// the central dispatch has extracted the abstract name (the WSRF
+// operations, whose message shapes are OASIS-defined rather than
+// ops-defined).
+func (e *Endpoint) handleNamed(spec ops.Spec,
+	f func(ctx context.Context, name string, body *xmlutil.Element) (*xmlutil.Element, error)) {
+	e.bind(spec, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
+		name, err := AbstractNameOf(body)
+		if err != nil {
+			return nil, err
+		}
+		return f(ctx, name, body)
+	})
+}

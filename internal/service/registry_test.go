@@ -1,0 +1,121 @@
+package service_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"dais/internal/core"
+	"dais/internal/ops"
+	"dais/internal/service"
+	"dais/internal/xmlutil"
+)
+
+// TestRegistryCoversCatalog checks the endpoint registers exactly the
+// declarative catalog: a full endpoint (all interface classes plus the
+// WSRF layer) exposes every spec, each under its unique wsa:Action.
+func TestRegistryCoversCatalog(t *testing.T) {
+	svc := core.NewDataService("full")
+	ep := service.NewEndpoint(svc, service.WithWSRF())
+
+	registered := map[string]bool{}
+	for _, s := range ep.Operations() {
+		if registered[s.Action] {
+			t.Errorf("action %q registered twice", s.Action)
+		}
+		registered[s.Action] = true
+	}
+	for _, s := range ops.Catalog() {
+		if !registered[s.Action] {
+			t.Errorf("catalog spec %s (%s) is not registered", s.Op, s.Action)
+		}
+	}
+	if got, want := len(ep.Operations()), len(ops.Catalog()); got != want {
+		t.Errorf("endpoint registers %d operations, catalog declares %d", got, want)
+	}
+}
+
+// TestRegistryGatesInterfaces checks a restricted endpoint registers
+// only the specs whose interface class is enabled (the paper's §4.3
+// composability: "the proposed interfaces may be used in isolation or
+// in conjunction with others").
+func TestRegistryGatesInterfaces(t *testing.T) {
+	svc := core.NewDataService("limited")
+	ep := service.NewEndpoint(svc, service.WithInterfaces(service.SQLRowsetAccess))
+	for _, s := range ep.Operations() {
+		if s.Class != "SQLRowsetAccess" {
+			t.Errorf("restricted endpoint registered %s (class %s)", s.Op, s.Class)
+		}
+	}
+	if len(ep.Operations()) == 0 {
+		t.Fatal("restricted endpoint registered nothing")
+	}
+}
+
+// TestWSDLGeneratedFromRegistry checks the served WSDL is derived from
+// the registry: every registered operation appears as a portType
+// operation annotated with its wsa:Action, its messages, its binding
+// operation with the matching soapAction, and its interface class.
+func TestWSDLGeneratedFromRegistry(t *testing.T) {
+	svc := core.NewDataService("full")
+	ep := service.NewEndpoint(svc, service.WithWSRF())
+	doc := ep.DescriptionDocument()
+
+	const nsWSDL = "http://schemas.xmlsoap.org/wsdl/"
+	wsdl := string(xmlutil.MarshalIndent(doc))
+
+	var pt *xmlutil.Element
+	for _, el := range doc.FindAll(nsWSDL, "portType") {
+		pt = el
+	}
+	if pt == nil {
+		t.Fatal("WSDL has no portType")
+	}
+	opsByName := map[string]*xmlutil.Element{}
+	for _, op := range pt.FindAll(nsWSDL, "operation") {
+		opsByName[op.AttrValue("", "name")] = op
+	}
+	for _, s := range ep.Operations() {
+		op := opsByName[s.Op]
+		if op == nil {
+			t.Errorf("WSDL portType is missing operation %s", s.Op)
+			continue
+		}
+		in := op.Find(nsWSDL, "input")
+		if in == nil || in.AttrValue("http://www.w3.org/2006/05/addressing/wsdl", "Action") != s.Action {
+			t.Errorf("%s: input wsaw:Action does not match spec %q", s.Op, s.Action)
+		}
+		if doc := op.FindText(nsWSDL, "documentation"); !strings.Contains(doc, s.Class) {
+			t.Errorf("%s: documentation %q does not name interface class %s", s.Op, doc, s.Class)
+		}
+		if !strings.Contains(wsdl, `soapAction="`+s.Action+`"`) {
+			t.Errorf("%s: binding is missing soapAction %q", s.Op, s.Action)
+		}
+		if !strings.Contains(wsdl, `name="`+s.Op+`Request"`) {
+			t.Errorf("%s: WSDL is missing the request message", s.Op)
+		}
+	}
+	if got, want := len(opsByName), len(ep.Operations()); got != want {
+		t.Errorf("WSDL lists %d operations, registry has %d", got, want)
+	}
+}
+
+// TestCanonicalTypeFault checks a live dispatch path reports a
+// wrong-realisation resource with the registry's one canonical fault
+// detail.
+func TestCanonicalTypeFault(t *testing.T) {
+	// The relational service hosts an SQL resource; addressing it with a
+	// rowset-only operation must raise the canonical type fault.
+	_, _, ref, c := relationalFixture(t)
+	_, _, err := c.GetTuples(context.Background(), ref, 1, 1)
+	if err == nil {
+		t.Fatal("GetTuples on an SQL resource succeeded")
+	}
+	fault, ok := err.(*core.InvalidResourceNameFault)
+	if !ok {
+		t.Fatalf("got %T (%v), want InvalidResourceNameFault", err, err)
+	}
+	if want := "(not a SQLRowset resource)"; !strings.Contains(fault.Name, want) {
+		t.Errorf("fault detail %q does not contain %q", fault.Name, want)
+	}
+}

@@ -2,8 +2,6 @@ package service
 
 import (
 	"net/http"
-	"sort"
-	"strings"
 
 	"dais/internal/xmlutil"
 )
@@ -15,13 +13,13 @@ const (
 	NSWSAW     = "http://www.w3.org/2006/05/addressing/wsdl"
 )
 
-// DescriptionDocument generates a WSDL 1.1 skeleton for the endpoint:
-// one portType whose operations are the enabled DAIS actions, each
-// annotated with its wsa:Action URI, plus a SOAP binding and a service
-// element carrying the endpoint address. The paper's specs "define
-// consistent interfaces, generally couched as web services" (§1) —
-// serving the interface description is how 2005-era consumers
-// discovered them.
+// DescriptionDocument generates a WSDL 1.1 skeleton for the endpoint
+// directly from the operation registry: one portType whose operations
+// are the enabled DAIS specs, each annotated with its wsa:Action URI
+// and interface class, plus a SOAP binding and a service element
+// carrying the endpoint address. The paper's specs "define consistent
+// interfaces, generally couched as web services" (§1) — serving the
+// interface description is how 2005-era consumers discovered them.
 func (e *Endpoint) DescriptionDocument() *xmlutil.Element {
 	name := e.svc.Name()
 	if name == "" {
@@ -31,35 +29,34 @@ func (e *Endpoint) DescriptionDocument() *xmlutil.Element {
 	defs.SetAttr("", "name", name)
 	defs.SetAttr("", "targetNamespace", NSDAI)
 
-	actions := e.soapSrv.Actions()
-	sort.Strings(actions)
+	specs := e.registry.Specs()
 
 	// Messages: one request/response pair per operation.
-	for _, a := range actions {
-		op := actionLocal(a)
+	for _, s := range specs {
 		in := defs.Add(NSWSDL, "message")
-		in.SetAttr("", "name", op+"Request")
+		in.SetAttr("", "name", s.Op+"Request")
 		inPart := in.Add(NSWSDL, "part")
 		inPart.SetAttr("", "name", "body")
-		inPart.SetAttr("", "element", "tns:"+op+"Request")
+		inPart.SetAttr("", "element", "tns:"+s.Op+"Request")
 		out := defs.Add(NSWSDL, "message")
-		out.SetAttr("", "name", op+"Response")
+		out.SetAttr("", "name", s.Op+"Response")
 		outPart := out.Add(NSWSDL, "part")
 		outPart.SetAttr("", "name", "body")
-		outPart.SetAttr("", "element", "tns:"+op+"Response")
+		outPart.SetAttr("", "element", "tns:"+s.Op+"Response")
 	}
 
 	pt := defs.Add(NSWSDL, "portType")
 	pt.SetAttr("", "name", name+"PortType")
-	for _, a := range actions {
+	for _, s := range specs {
 		op := pt.Add(NSWSDL, "operation")
-		op.SetAttr("", "name", actionLocal(a))
+		op.SetAttr("", "name", s.Op)
+		op.AddText(NSWSDL, "documentation", "Interface class: "+s.Class)
 		in := op.Add(NSWSDL, "input")
-		in.SetAttr("", "message", "tns:"+actionLocal(a)+"Request")
-		in.SetAttr(NSWSAW, "Action", a)
+		in.SetAttr("", "message", "tns:"+s.Op+"Request")
+		in.SetAttr(NSWSAW, "Action", s.Action)
 		out := op.Add(NSWSDL, "output")
-		out.SetAttr("", "message", "tns:"+actionLocal(a)+"Response")
-		out.SetAttr(NSWSAW, "Action", a+"Response")
+		out.SetAttr("", "message", "tns:"+s.Op+"Response")
+		out.SetAttr(NSWSAW, "Action", s.Action+"Response")
 	}
 
 	binding := defs.Add(NSWSDL, "binding")
@@ -68,11 +65,11 @@ func (e *Endpoint) DescriptionDocument() *xmlutil.Element {
 	sb := binding.Add(NSWSDLSOAP, "binding")
 	sb.SetAttr("", "style", "document")
 	sb.SetAttr("", "transport", "http://schemas.xmlsoap.org/soap/http")
-	for _, a := range actions {
+	for _, s := range specs {
 		op := binding.Add(NSWSDL, "operation")
-		op.SetAttr("", "name", actionLocal(a))
+		op.SetAttr("", "name", s.Op)
 		sop := op.Add(NSWSDLSOAP, "operation")
-		sop.SetAttr("", "soapAction", a)
+		sop.SetAttr("", "soapAction", s.Action)
 	}
 
 	svc := defs.Add(NSWSDL, "service")
@@ -83,14 +80,6 @@ func (e *Endpoint) DescriptionDocument() *xmlutil.Element {
 	addr := port.Add(NSWSDLSOAP, "address")
 	addr.SetAttr("", "location", e.svc.Address())
 	return defs
-}
-
-// actionLocal extracts the operation name from an action URI.
-func actionLocal(action string) string {
-	if i := strings.LastIndex(action, "/"); i >= 0 {
-		return action[i+1:]
-	}
-	return action
 }
 
 // serveWSDL answers GET ?wsdl requests with the generated description.

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"dais/internal/core"
+	"dais/internal/ops"
 	"dais/internal/wsrf"
 	"dais/internal/xmlutil"
 )
@@ -15,18 +16,15 @@ import (
 // the SOAP body ("you still require the data resource abstract name to
 // be included in the message body even if it is only for a WSRF
 // implementation to ignore it") — here the service actually uses it to
-// select the WS-Resource.
+// select the WS-Resource. The central dispatch extracts the name; the
+// handlers receive it along with the OASIS-shaped body.
 func (e *Endpoint) registerWSRF() {
 	if e.wsrfReg == nil {
 		return
 	}
 	reg := e.wsrfReg
 
-	e.soapHandle(ActGetResourceProperty, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
-		if err != nil {
-			return nil, err
-		}
+	e.handleNamed(ops.GetResourceProperty, func(ctx context.Context, name string, body *xmlutil.Element) (*xmlutil.Element, error) {
 		qname := body.FindText(wsrf.NSRP, "ResourceProperty")
 		if qname == "" {
 			return nil, &core.InvalidExpressionFault{Detail: "GetResourceProperty requires a ResourceProperty QName"}
@@ -35,18 +33,14 @@ func (e *Endpoint) registerWSRF() {
 		if err != nil {
 			return nil, wsrfErr(err)
 		}
-		resp := xmlutil.NewElement(wsrf.NSRP, "GetResourcePropertyResponse")
+		resp := ops.GetResourceProperty.NewResponse()
 		for _, p := range props {
 			resp.AppendChild(p)
 		}
 		return resp, nil
 	})
 
-	e.soapHandle(ActGetMultipleResourceProps, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
-		if err != nil {
-			return nil, err
-		}
+	e.handleNamed(ops.GetMultipleResourceProperties, func(ctx context.Context, name string, body *xmlutil.Element) (*xmlutil.Element, error) {
 		var names []xmlutil.Name
 		for _, el := range body.FindAll(wsrf.NSRP, "ResourceProperty") {
 			q := el.Text()
@@ -56,18 +50,14 @@ func (e *Endpoint) registerWSRF() {
 		if err != nil {
 			return nil, wsrfErr(err)
 		}
-		resp := xmlutil.NewElement(wsrf.NSRP, "GetMultipleResourcePropertiesResponse")
+		resp := ops.GetMultipleResourceProperties.NewResponse()
 		for _, p := range props {
 			resp.AppendChild(p)
 		}
 		return resp, nil
 	})
 
-	e.soapHandle(ActQueryResourceProperties, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
-		if err != nil {
-			return nil, err
-		}
+	e.handleNamed(ops.QueryResourceProperties, func(ctx context.Context, name string, body *xmlutil.Element) (*xmlutil.Element, error) {
 		expr := body.FindText(wsrf.NSRP, "QueryExpression")
 		if expr == "" {
 			return nil, &core.InvalidExpressionFault{Detail: "QueryResourceProperties requires a QueryExpression"}
@@ -76,18 +66,14 @@ func (e *Endpoint) registerWSRF() {
 		if err != nil {
 			return nil, wsrfErr(err)
 		}
-		resp := xmlutil.NewElement(wsrf.NSRP, "QueryResourcePropertiesResponse")
+		resp := ops.QueryResourceProperties.NewResponse()
 		for _, n := range nodes {
 			resp.AppendChild(n)
 		}
 		return resp, nil
 	})
 
-	e.soapHandle(ActSetResourceProperties, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
-		if err != nil {
-			return nil, err
-		}
+	e.handleNamed(ops.SetResourceProperties, func(ctx context.Context, name string, body *xmlutil.Element) (*xmlutil.Element, error) {
 		res, err := e.svc.Resolve(name)
 		if err != nil {
 			return nil, err
@@ -149,14 +135,10 @@ func (e *Endpoint) registerWSRF() {
 			}
 			return nil, &core.InvalidExpressionFault{Detail: applyErr.Error()}
 		}
-		return xmlutil.NewElement(wsrf.NSRP, "SetResourcePropertiesResponse"), nil
+		return ops.SetResourceProperties.NewResponse(), nil
 	})
 
-	e.soapHandle(ActSetTerminationTime, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
-		if err != nil {
-			return nil, err
-		}
+	e.handleNamed(ops.SetTerminationTime, func(ctx context.Context, name string, body *xmlutil.Element) (*xmlutil.Element, error) {
 		var requested *time.Time
 		rtt := body.Find(wsrf.NSRL, "RequestedTerminationTime")
 		if rtt != nil && rtt.AttrValue("", "nil") != "true" {
@@ -170,7 +152,7 @@ func (e *Endpoint) registerWSRF() {
 		if err != nil {
 			return nil, wsrfErr(err)
 		}
-		resp := xmlutil.NewElement(wsrf.NSRL, "SetTerminationTimeResponse")
+		resp := ops.SetTerminationTime.NewResponse()
 		nt := resp.Add(wsrf.NSRL, "NewTerminationTime")
 		if newTT == nil {
 			nt.SetAttr("", "nil", "true")
@@ -181,30 +163,12 @@ func (e *Endpoint) registerWSRF() {
 		return resp, nil
 	})
 
-	e.soapHandle(ActWSRFDestroy, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		name, err := AbstractNameOf(body)
-		if err != nil {
-			return nil, err
-		}
+	e.handleNamed(ops.WSRFDestroy, func(ctx context.Context, name string, body *xmlutil.Element) (*xmlutil.Element, error) {
 		if err := reg.Destroy(name); err != nil {
 			return nil, wsrfErr(err)
 		}
-		return xmlutil.NewElement(wsrf.NSRL, "DestroyResponse"), nil
+		return ops.WSRFDestroy.NewResponse(), nil
 	})
-}
-
-// soapHandle registers a WSRF handler unconditionally (the WSRF layer
-// has no Interfaces flag; enabling WithWSRF is the opt-in).
-func (e *Endpoint) soapHandle(action string, f func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error)) {
-	e.handleRaw(action, f)
-}
-
-// handleRaw is handle without the interface gate.
-func (e *Endpoint) handleRaw(action string, f func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error)) {
-	saved := e.interfaces
-	e.interfaces = AllInterfaces
-	e.handle(CoreDataAccess, action, f)
-	e.interfaces = saved
 }
 
 // wrapConfig wraps a single property element in a ConfigurationDocument
