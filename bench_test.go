@@ -369,3 +369,29 @@ func BenchmarkE11FileStaging(b *testing.B) {
 		})
 	}
 }
+
+// E12 — telemetry overhead: the same SQLExecute round trip against a
+// bare fixture (telemetry interceptors stripped on both sides) and an
+// instrumented one (the default). The difference is the full cost of
+// the metrics, span and byte accounting on the hot path; EXPERIMENTS.md
+// E12 records the expected near-zero gap.
+func BenchmarkE12TelemetryOverhead(b *testing.B) {
+	query := `SELECT id, payload, num FROM data ORDER BY id LIMIT 10`
+	for _, mode := range []struct {
+		name string
+		bare bool
+	}{{"bare", true}, {"instrumented", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			f := bench.MustSQLFixture(bench.FixtureOption{
+				Rows: 100, Concurrent: true, WSRF: true, NoTelemetry: mode.bare})
+			defer f.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.Client.SQLExecute(context.Background(), f.Ref, query, nil, ""); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,4 +1,4 @@
-// Command daisbench runs the evaluation suite E1–E11 (DESIGN.md §4 /
+// Command daisbench runs the evaluation suite E1–E12 (DESIGN.md §4 /
 // EXPERIMENTS.md) end-to-end and prints one table per experiment. Each
 // experiment operationalises a quantifiable claim from the paper; the
 // expected shapes are documented in EXPERIMENTS.md.
@@ -169,6 +169,19 @@ func main() {
 				for _, r := range rows {
 					fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%v\t%d\n",
 						r.Files, r.FileSize, r.RelayBytes, r.StageBytes, r.StageLatency, r.ReaderBytes)
+				}
+			})
+	}
+	if want("E12") {
+		rows, err := bench.RunE12(iters)
+		fatal("E12", err)
+		table("E12 Client vs server latency percentiles (telemetry /metrics scrape)",
+			"operation\tcalls\tclient p50\tclient p95\tclient p99\tserver p50\tserver p95\tserver p99",
+			func(w *tabwriter.Writer) {
+				for _, r := range rows {
+					fmt.Fprintf(w, "%s\t%d\t%v\t%v\t%v\t%v\t%v\t%v\n",
+						r.Op, r.Calls, r.ClientP50, r.ClientP95, r.ClientP99,
+						r.ServerP50, r.ServerP95, r.ServerP99)
 				}
 			})
 	}

@@ -6,19 +6,26 @@
 // Usage:
 //
 //	daisd [-addr :8090] [-wsrf] [-seed-rows 1000] [-concurrent=true] [-reap 5s]
+//	      [-ops-addr 127.0.0.1:9090] [-pprof] [-log-level info] [-log-json] [-slow 1s]
 //
-// On startup it prints the endpoint URLs and the abstract names of the
-// hosted resources; point daisql / daixq at them.
+// On startup it logs the endpoint URLs and the abstract names of the
+// hosted resources; point daisql / daixq at them. Observability lives
+// on /metrics (Prometheus text format), /healthz (JSON liveness of the
+// registries and backends) and /spans (recent request spans) — on the
+// main listener and, when -ops-addr is set, on a separate ops listener
+// that optionally adds net/http/pprof.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -30,7 +37,9 @@ import (
 	"dais/internal/daix"
 	"dais/internal/filestore"
 	"dais/internal/service"
+	"dais/internal/soap"
 	"dais/internal/sqlengine"
+	"dais/internal/telemetry"
 	"dais/internal/wsrf"
 	"dais/internal/xmldb"
 	"dais/internal/xmlutil"
@@ -42,11 +51,19 @@ func main() {
 	seedRows := flag.Int("seed-rows", 100, "rows to seed into the demo employees table")
 	concurrent := flag.Bool("concurrent", true, "value of the ConcurrentAccess property")
 	reap := flag.Duration("reap", 5*time.Second, "WSRF reaper interval (0 disables)")
+	opsAddr := flag.String("ops-addr", "", "separate listener for /metrics, /healthz, /spans and pprof (empty serves them on the main listener only)")
+	usePprof := flag.Bool("pprof", false, "expose net/http/pprof on the ops listener")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error (debug logs every request)")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
+	slow := flag.Duration("slow", time.Second, "slow-call log threshold (0 disables)")
 	flag.Parse()
+
+	logger := newLogger(os.Stderr, *logLevel, *logJSON)
+	slog.SetDefault(logger)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("daisd: listen: %v", err)
+		fatal(logger, "listen failed", "addr", *addr, "err", err)
 	}
 	base := "http://" + ln.Addr().String()
 
@@ -55,20 +72,34 @@ func main() {
 		seedRows:   *seedRows,
 		concurrent: *concurrent,
 		reap:       *reap,
+		slow:       *slow,
+		logger:     logger,
+		logCalls:   logger.Enabled(context.Background(), slog.LevelDebug),
 	})
 	defer stop()
 
-	fmt.Printf("daisd listening on %s\n", base)
-	fmt.Printf("  relational service: %s/sql\n", base)
-	fmt.Printf("    resource: %s\n", srv.sqlRes.AbstractName())
-	fmt.Printf("  xml service:        %s/xml\n", base)
-	fmt.Printf("    resource: %s\n", srv.xmlRes.AbstractName())
-	fmt.Printf("  file service:       %s/files\n", base)
-	fmt.Printf("    resource: %s\n", srv.fileRes.AbstractName())
-	fmt.Printf("  wsrf: %v  concurrent access: %v\n", *useWSRF, *concurrent)
+	logger.Info("daisd listening", "base", base, "wsrf", *useWSRF, "concurrent", *concurrent)
+	logger.Info("service ready", "kind", "relational", "endpoint", base+"/sql", "resource", srv.sqlRes.AbstractName())
+	logger.Info("service ready", "kind", "xml", "endpoint", base+"/xml", "resource", srv.xmlRes.AbstractName())
+	logger.Info("service ready", "kind", "files", "endpoint", base+"/files", "resource", srv.fileRes.AbstractName())
 
-	// Serve until interrupted, then drain in-flight requests and stop
-	// the WSRF reapers so no goroutine outlives the listener.
+	// Optional dedicated ops listener: the same observability surface as
+	// the main mux, plus pprof, isolated from data-path traffic.
+	var opsSrv *http.Server
+	if *opsAddr != "" {
+		opsLn, err := net.Listen("tcp", *opsAddr)
+		if err != nil {
+			fatal(logger, "ops listen failed", "addr", *opsAddr, "err", err)
+		}
+		opsSrv = &http.Server{Handler: srv.opsMux(*usePprof)}
+		go opsSrv.Serve(opsLn) //nolint:errcheck // closed on shutdown
+		logger.Info("ops listener ready", "addr", "http://"+opsLn.Addr().String(), "pprof", *usePprof)
+	} else if *usePprof {
+		logger.Warn("-pprof requires -ops-addr; pprof not exposed")
+	}
+
+	// Serve until interrupted, then drain in-flight requests, stop the
+	// WSRF reapers and flush a final telemetry summary.
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
@@ -79,18 +110,40 @@ func main() {
 	select {
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintf(os.Stderr, "daisd: %v\n", err)
-			os.Exit(1)
+			fatal(logger, "serve failed", "err", err)
 		}
 	case <-ctx.Done():
-		fmt.Println("daisd: shutting down")
+		logger.Info("shutting down")
 		shutCtx, done := context.WithTimeout(context.Background(), 5*time.Second)
 		defer done()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
-			fmt.Fprintf(os.Stderr, "daisd: shutdown: %v\n", err)
+			logger.Error("shutdown", "err", err)
+		}
+		if opsSrv != nil {
+			opsSrv.Shutdown(shutCtx) //nolint:errcheck // best effort
 		}
 		<-errCh
 	}
+	srv.flushTelemetry(logger)
+}
+
+// newLogger builds the process slog handler.
+func newLogger(w *os.File, level string, asJSON bool) *slog.Logger {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		lvl = slog.LevelInfo
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	if asJSON {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// fatal logs and exits: the structured replacement for log.Fatalf.
+func fatal(logger *slog.Logger, msg string, args ...any) {
+	logger.Error(msg, args...)
+	os.Exit(1)
 }
 
 // config collects the daisd settings.
@@ -99,11 +152,16 @@ type config struct {
 	seedRows   int
 	concurrent bool
 	reap       time.Duration
+	slow       time.Duration // slow-call log threshold (0 disables)
+	logger     *slog.Logger  // nil = slog.Default()
+	logCalls   bool          // log every request at debug level
 }
 
 // server bundles the composed endpoints for main and for tests.
 type server struct {
 	mux     *http.ServeMux
+	obs     *telemetry.Observer
+	health  *healthChecker
 	sqlEp   *service.Endpoint
 	xmlEp   *service.Endpoint
 	fileEp  *service.Endpoint
@@ -112,49 +170,54 @@ type server struct {
 	fileRes *daif.FileDataResource
 }
 
-// buildServer assembles the relational and XML data services on a mux.
-// The returned stop function closes the WSRF registries, stopping their
-// reaper goroutines.
+// buildServer assembles the relational, XML and file data services on a
+// mux, instrumented by one shared observer. The returned stop function
+// closes the WSRF registries, stopping their reaper goroutines.
 func buildServer(base string, cfg config) (*server, func()) {
+	logger := cfg.logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	obsOpts := []telemetry.ObserverOption{telemetry.WithLogger(logger), telemetry.WithSlowThreshold(cfg.slow)}
+	obs := telemetry.NewObserver(obsOpts...)
+	epOpts := func() []service.EndpointOption {
+		out := []service.EndpointOption{service.WithTelemetry(obs)}
+		if cfg.logCalls {
+			out = append(out, service.WithServerInterceptors(logInterceptor(logger)))
+		}
+		if cfg.wsrf {
+			out = append(out, service.WithWSRF())
+		}
+		return out
+	}
+
 	eng := sqlengine.New("hr")
-	seedRelational(eng, cfg.seedRows)
+	seedRelational(logger, eng, cfg.seedRows)
 	sqlRes := dair.NewSQLDataResource(eng)
 	sqlSvc := core.NewDataService("relational",
 		core.WithConcurrentAccess(cfg.concurrent),
 		core.WithConfigurationMap(dair.StandardConfigurationMaps()...))
-	var sqlOpts []service.EndpointOption
-	if cfg.wsrf {
-		sqlOpts = append(sqlOpts, service.WithWSRF())
-	}
-	sqlEp := service.NewEndpoint(sqlSvc, sqlOpts...)
+	sqlEp := service.NewEndpoint(sqlSvc, epOpts()...)
 	sqlEp.Register(sqlRes)
 	sqlSvc.SetAddress(base + "/sql")
 
 	store := xmldb.NewStore("library")
-	seedXML(store)
+	seedXML(logger, store)
 	xmlRes := daix.NewXMLCollectionResource(store, "")
 	xmlSvc := core.NewDataService("xml",
 		core.WithConcurrentAccess(cfg.concurrent),
 		core.WithConfigurationMap(daix.StandardConfigurationMaps()...))
-	var xmlOpts []service.EndpointOption
-	if cfg.wsrf {
-		xmlOpts = append(xmlOpts, service.WithWSRF())
-	}
-	xmlEp := service.NewEndpoint(xmlSvc, xmlOpts...)
+	xmlEp := service.NewEndpoint(xmlSvc, epOpts()...)
 	xmlEp.Register(xmlRes)
 	xmlSvc.SetAddress(base + "/xml")
 
 	fstore := filestore.NewStore("archive")
-	seedFiles(fstore)
+	seedFiles(logger, fstore)
 	fileRes := daif.NewFileDataResource(fstore)
 	fileSvc := core.NewDataService("files",
 		core.WithConcurrentAccess(cfg.concurrent),
 		core.WithConfigurationMap(daif.StandardConfigurationMaps()...))
-	var fileOpts []service.EndpointOption
-	if cfg.wsrf {
-		fileOpts = append(fileOpts, service.WithWSRF())
-	}
-	fileEp := service.NewEndpoint(fileSvc, fileOpts...)
+	fileEp := service.NewEndpoint(fileSvc, epOpts()...)
 	fileEp.Register(fileRes)
 	fileSvc.SetAddress(base + "/files")
 
@@ -170,23 +233,144 @@ func buildServer(base string, cfg config) (*server, func()) {
 		}
 	}
 
-	mux := http.NewServeMux()
-	mux.Handle("/sql", sqlEp)
-	mux.Handle("/xml", xmlEp)
-	mux.Handle("/files", fileEp)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
+	health := &healthChecker{started: time.Now()}
+	health.add("relational", func(ctx context.Context) error {
+		_, err := eng.Exec(`SELECT COUNT(*) FROM dept`)
+		return err
 	})
-	return &server{mux: mux, sqlEp: sqlEp, xmlEp: xmlEp, fileEp: fileEp,
-			sqlRes: sqlRes, xmlRes: xmlRes, fileRes: fileRes},
-		func() {
-			for _, r := range regs {
-				r.Close()
-			}
+	health.add("xml", func(ctx context.Context) error {
+		_, err := store.ListDocuments("")
+		return err
+	})
+	health.add("files", func(ctx context.Context) error {
+		_, err := fstore.List("**")
+		return err
+	})
+	for i, reg := range regs {
+		reg := reg
+		health.add(fmt.Sprintf("wsrf-%d", i), func(ctx context.Context) error {
+			reg.IDs() // proves the registry lock is not wedged
+			return nil
+		})
+	}
+
+	srv := &server{mux: http.NewServeMux(), obs: obs, health: health,
+		sqlEp: sqlEp, xmlEp: xmlEp, fileEp: fileEp,
+		sqlRes: sqlRes, xmlRes: xmlRes, fileRes: fileRes}
+	srv.mux.Handle("/sql", sqlEp)
+	srv.mux.Handle("/xml", xmlEp)
+	srv.mux.Handle("/files", fileEp)
+	srv.mountOps(srv.mux)
+	return srv, func() {
+		for _, r := range regs {
+			r.Close()
 		}
+	}
 }
 
-func seedRelational(eng *sqlengine.Engine, rows int) {
+// mountOps registers the observability endpoints on a mux.
+func (s *server) mountOps(mux *http.ServeMux) {
+	mux.Handle("/metrics", s.obs.Registry.Handler())
+	mux.Handle("/healthz", s.health)
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(s.obs.Tracer.Recent(100)) //nolint:errcheck // client went away
+	})
+}
+
+// opsMux builds the dedicated ops listener surface: the observability
+// endpoints plus (optionally) net/http/pprof.
+func (s *server) opsMux(withPprof bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	s.mountOps(mux)
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// flushTelemetry logs a final request summary on graceful shutdown so
+// short-lived runs leave their numbers in the log.
+func (s *server) flushTelemetry(logger *slog.Logger) {
+	var served, faults int64
+	for _, sm := range s.obs.Registry.Snapshot() {
+		switch sm.Name {
+		case telemetry.MetricRequests:
+			if sm.Label("side") == telemetry.SideServer {
+				served += int64(sm.Value)
+			}
+		case telemetry.MetricFaults:
+			if sm.Label("side") == telemetry.SideServer {
+				faults += int64(sm.Value)
+			}
+		}
+	}
+	logger.Info("telemetry flush", "requests_served", served, "faults", faults,
+		"spans_recorded", s.obs.Tracer.Total())
+}
+
+// logInterceptor logs every dispatched request with the request ID the
+// pipeline interceptor put on the context, so log lines, spans and
+// metrics all correlate on one key.
+func logInterceptor(logger *slog.Logger) soap.Interceptor {
+	return func(ctx context.Context, action string, env *soap.Envelope, next soap.HandlerFunc) (*soap.Envelope, error) {
+		start := time.Now()
+		resp, err := next(ctx, action, env)
+		logger.Debug("request",
+			"request_id", soap.RequestIDFromContext(ctx),
+			"action", action,
+			"duration", time.Since(start),
+			"code", telemetry.FaultCode(err))
+		return resp, err
+	}
+}
+
+// healthChecker serves /healthz: every registered backend probe must
+// pass for the service to report healthy.
+type healthChecker struct {
+	started time.Time
+	checks  []struct {
+		name  string
+		check func(context.Context) error
+	}
+}
+
+func (h *healthChecker) add(name string, check func(context.Context) error) {
+	h.checks = append(h.checks, struct {
+		name  string
+		check func(context.Context) error
+	}{name, check})
+}
+
+func (h *healthChecker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+	defer cancel()
+	status := "ok"
+	results := map[string]string{}
+	for _, c := range h.checks {
+		if err := c.check(ctx); err != nil {
+			status = "degraded"
+			results[c.name] = err.Error()
+		} else {
+			results[c.name] = "ok"
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if status != "ok" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(map[string]any{ //nolint:errcheck // client went away
+		"status":         status,
+		"checks":         results,
+		"uptime_seconds": int64(time.Since(h.started).Seconds()),
+	})
+}
+
+func seedRelational(logger *slog.Logger, eng *sqlengine.Engine, rows int) {
 	eng.MustExec(`CREATE TABLE dept (id INTEGER PRIMARY KEY, name VARCHAR(32) NOT NULL)`)
 	eng.MustExec(`INSERT INTO dept VALUES (1, 'eng'), (2, 'sales'), (3, 'legal'), (4, 'ops')`)
 	eng.MustExec(`CREATE TABLE emp (
@@ -203,12 +387,12 @@ func seedRelational(eng *sqlengine.Engine, rows int) {
 			sqlengine.NewString(fmt.Sprintf("employee-%04d", i)),
 			sqlengine.NewInt(int64(i%4+1)),
 			sqlengine.NewDouble(50000+float64((i*937)%90000))); err != nil {
-			log.Fatalf("daisd: seed: %v", err)
+			fatal(logger, "seed relational", "err", err)
 		}
 	}
 }
 
-func seedXML(store *xmldb.Store) {
+func seedXML(logger *slog.Logger, store *xmldb.Store) {
 	docs := []string{
 		`<book id="1" genre="db"><title>Principles of Distributed Database Systems</title><author>Ozsu</author><price>85</price></book>`,
 		`<book id="2" genre="grid"><title>The Grid</title><author>Foster</author><price>60</price></book>`,
@@ -217,15 +401,15 @@ func seedXML(store *xmldb.Store) {
 	for i, d := range docs {
 		e, err := xmlutil.ParseString(d)
 		if err != nil {
-			log.Fatalf("daisd: seed xml: %v", err)
+			fatal(logger, "seed xml", "err", err)
 		}
 		if err := store.AddDocument("", fmt.Sprintf("book%d.xml", i+1), e); err != nil {
-			log.Fatalf("daisd: seed xml: %v", err)
+			fatal(logger, "seed xml", "err", err)
 		}
 	}
 }
 
-func seedFiles(store *filestore.Store) {
+func seedFiles(logger *slog.Logger, store *filestore.Store) {
 	for name, data := range map[string]string{
 		"runs/2005/run-001.dat": "evt-001;evt-002;evt-003;",
 		"runs/2005/run-002.dat": "evt-101;evt-102;",
@@ -233,7 +417,7 @@ func seedFiles(store *filestore.Store) {
 		"README":                "demo file archive",
 	} {
 		if err := store.Write(name, []byte(data)); err != nil {
-			log.Fatalf("daisd: seed files: %v", err)
+			fatal(logger, "seed files", "err", err)
 		}
 	}
 }

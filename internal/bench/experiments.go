@@ -3,6 +3,9 @@ package bench
 import (
 	"context"
 	"fmt"
+	"io"
+	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -14,6 +17,7 @@ import (
 	"dais/internal/rowset"
 	"dais/internal/service"
 	"dais/internal/sqlengine"
+	"dais/internal/telemetry"
 )
 
 // E1Row is one row of experiment E1 (direct vs indirect access, Fig. 1).
@@ -774,4 +778,105 @@ func RunE11(fileCounts []int, fileSize int) ([]E11Row, error) {
 		out = append(out, row)
 	}
 	return out, nil
+}
+
+// E12Row is one row of experiment E12 (client- vs server-side latency
+// percentiles). Client percentiles come from wall-clock timings around
+// each call; server percentiles come from scraping the service's
+// /metrics endpoint and estimating quantiles from the exported latency
+// histogram — the same view an operator's monitoring stack would have.
+type E12Row struct {
+	Op                              string
+	Calls                           int
+	ClientP50, ClientP95, ClientP99 time.Duration
+	ServerP50, ServerP95, ServerP99 time.Duration
+}
+
+// RunE12 drives a mixed workload against an instrumented fixture and
+// reports latency percentiles from both vantage points. The spread
+// between the columns is the transport + envelope cost the server-side
+// histogram cannot see.
+func RunE12(iters int) ([]E12Row, error) {
+	ctx := context.Background()
+	f, err := NewSQLFixture(FixtureOption{Rows: 500, Concurrent: true, WSRF: true})
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	workloads := []struct {
+		op   string
+		call func() error
+	}{
+		{"SQLExecute", func() error {
+			_, err := f.Client.SQLExecute(ctx, f.Ref, `SELECT id, payload, num FROM data ORDER BY id LIMIT 50`, nil, "")
+			return err
+		}},
+		{"GetDataResourcePropertyDocument", func() error {
+			_, err := f.Client.GetPropertyDocument(ctx, f.Ref)
+			return err
+		}},
+		{"GenericQuery", func() error {
+			_, err := f.Client.GenericQuery(ctx, f.Ref, dair.LanguageSQL92, `SELECT COUNT(*) FROM data`)
+			return err
+		}},
+	}
+	durations := map[string][]time.Duration{}
+	for _, w := range workloads {
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			if err := w.call(); err != nil {
+				return nil, fmt.Errorf("E12: %s: %w", w.op, err)
+			}
+			durations[w.op] = append(durations[w.op], time.Since(start))
+		}
+	}
+
+	samples, err := scrapeMetrics(f.MetricsURL)
+	if err != nil {
+		return nil, err
+	}
+	var out []E12Row
+	for _, w := range workloads {
+		ds := durations[w.op]
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		filter := map[string]string{"side": telemetry.SideServer, "op": w.op}
+		out = append(out, E12Row{
+			Op:        w.op,
+			Calls:     len(ds),
+			ClientP50: pct(ds, 0.50),
+			ClientP95: pct(ds, 0.95),
+			ClientP99: pct(ds, 0.99),
+			ServerP50: telemetry.QuantileFromSamples(samples, telemetry.MetricLatency, filter, 0.50),
+			ServerP95: telemetry.QuantileFromSamples(samples, telemetry.MetricLatency, filter, 0.95),
+			ServerP99: telemetry.QuantileFromSamples(samples, telemetry.MetricLatency, filter, 0.99),
+		})
+	}
+	return out, nil
+}
+
+// scrapeMetrics fetches and parses a Prometheus text exposition.
+func scrapeMetrics(url string) ([]telemetry.Sample, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("E12: scrape: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("E12: scrape: %w", err)
+	}
+	return telemetry.ParsePrometheus(string(body))
+}
+
+// pct reads a percentile from sorted wall-clock durations.
+func pct(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
 }

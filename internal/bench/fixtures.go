@@ -21,6 +21,7 @@ import (
 	"dais/internal/dair"
 	"dais/internal/service"
 	"dais/internal/sqlengine"
+	"dais/internal/telemetry"
 )
 
 // SQLFixture is a served relational data service plus a consumer.
@@ -30,7 +31,12 @@ type SQLFixture struct {
 	Endpoint *service.Endpoint
 	Ref      client.ResourceRef
 	Client   *client.Client
-	closers  []func()
+	// Obs is the fixture's dedicated observer (nil with NoTelemetry);
+	// MetricsURL serves its registry in the Prometheus text format, so
+	// experiments can scrape server-side latency like an operator would.
+	Obs        *telemetry.Observer
+	MetricsURL string
+	closers    []func()
 }
 
 // FixtureOption adjusts fixture construction.
@@ -40,6 +46,7 @@ type FixtureOption struct {
 	WSRF        bool // enable the WSRF layer (default true)
 	Thick       bool // use the thick wrapper
 	ExtraTables int  // extra catalog tables to fatten the property document
+	NoTelemetry bool // strip the telemetry interceptors (overhead baseline)
 }
 
 // DefaultFixture is the standard configuration.
@@ -74,14 +81,21 @@ func NewSQLFixture(opt FixtureOption) (*SQLFixture, error) {
 	svc := core.NewDataService("bench",
 		core.WithConcurrentAccess(opt.Concurrent),
 		core.WithConfigurationMap(dair.StandardConfigurationMaps()...))
-	var epOpts []service.EndpointOption
+	// Each fixture gets a dedicated observer (or none for the bare
+	// baseline) so experiments never read each other's numbers.
+	var obs *telemetry.Observer
+	if !opt.NoTelemetry {
+		obs = telemetry.NewObserver(telemetry.WithSlowThreshold(0))
+	}
+	epOpts := []service.EndpointOption{service.WithTelemetry(obs)}
 	if opt.WSRF {
 		epOpts = append(epOpts, service.WithWSRF())
 	}
 	ep := service.NewEndpoint(svc, epOpts...)
 	ep.Register(res)
 
-	f := &SQLFixture{Engine: eng, Resource: res, Endpoint: ep, Client: client.New(nil)}
+	f := &SQLFixture{Engine: eng, Resource: res, Endpoint: ep, Obs: obs,
+		Client: client.NewObserved(nil, obs)}
 	if err := f.serve(ep); err != nil {
 		return nil, err
 	}
@@ -90,13 +104,25 @@ func NewSQLFixture(opt FixtureOption) (*SQLFixture, error) {
 }
 
 // serve starts an HTTP listener for an endpoint, recording a closer.
+// When the fixture is instrumented, the same listener also serves the
+// observer's registry at /metrics (SOAP posts go to /).
 func (f *SQLFixture) serve(ep *service.Endpoint) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
 	}
 	ep.Service().SetAddress("http://" + ln.Addr().String())
-	srv := &http.Server{Handler: ep}
+	var h http.Handler = ep
+	if f.Obs != nil {
+		mux := http.NewServeMux()
+		mux.Handle("/", ep)
+		mux.Handle("/metrics", f.Obs.Registry.Handler())
+		if f.MetricsURL == "" {
+			f.MetricsURL = "http://" + ln.Addr().String() + "/metrics"
+		}
+		h = mux
+	}
+	srv := &http.Server{Handler: h}
 	go srv.Serve(ln) //nolint:errcheck
 	f.closers = append(f.closers, func() { srv.Close() })
 	return nil

@@ -23,6 +23,7 @@ import (
 	"dais/internal/service"
 	"dais/internal/soap"
 	"dais/internal/sqlengine"
+	"dais/internal/telemetry"
 	"dais/internal/wsaddr"
 	"dais/internal/wsrf"
 	"dais/internal/xmlutil"
@@ -71,11 +72,26 @@ type Client struct {
 
 // New builds a client over the given HTTP client (nil for the default).
 // Every call runs through the request-ID interceptor — so each request
-// carries a correlatable ID in its SOAP header — followed by any extra
-// interceptors supplied here (outermost first).
+// carries a correlatable ID in its SOAP header — then the telemetry
+// interceptor recording consumer-side metrics and spans, followed by
+// any extra interceptors supplied here (outermost first).
 func New(hc *http.Client, interceptors ...soap.Interceptor) *Client {
-	ics := append([]soap.Interceptor{soap.ClientRequestID()}, interceptors...)
-	return &Client{soap: soap.NewClient(hc, ics...)}
+	return NewObserved(hc, telemetry.Default, interceptors...)
+}
+
+// NewObserved is New recording into a specific observer (nil disables
+// client-side instrumentation).
+func NewObserved(hc *http.Client, obs *telemetry.Observer, interceptors ...soap.Interceptor) *Client {
+	ics := []soap.Interceptor{soap.ClientRequestID()}
+	if obs != nil {
+		ics = append(ics, obs.ClientInterceptor())
+	}
+	ics = append(ics, interceptors...)
+	sc := soap.NewClient(hc, ics...)
+	if obs != nil {
+		sc.OnExchange(obs.ExchangeObserver(telemetry.SideClient))
+	}
+	return &Client{soap: sc}
 }
 
 // BytesSent and BytesReceived expose wire counters for the evaluation

@@ -1,0 +1,64 @@
+package ops
+
+import (
+	"strings"
+	"sync"
+
+	"dais/internal/core"
+	"dais/internal/daif"
+	"dais/internal/dair"
+	"dais/internal/daix"
+)
+
+// actionIndex maps every catalog action URI to its spec, built once.
+var actionIndex = sync.OnceValue(func() map[string]Spec {
+	m := make(map[string]Spec)
+	for _, s := range Catalog() {
+		m[s.Action] = s
+	}
+	return m
+})
+
+// ByAction resolves an action URI to its catalog spec. Server-side
+// interceptors run outside the dispatch that attaches CallInfo to the
+// context, so they label exchanges through this lookup instead.
+func ByAction(action string) (Spec, bool) {
+	s, ok := actionIndex()[action]
+	return s, ok
+}
+
+// OpOf returns the best operation label for an action URI: the catalog
+// operation name when known, else the URI's final path segment, else
+// the URI itself.
+func OpOf(action string) string {
+	if s, ok := ByAction(action); ok {
+		return s.Op
+	}
+	if i := strings.LastIndex(action, "/"); i >= 0 && i+1 < len(action) {
+		return action[i+1:]
+	}
+	return action
+}
+
+// KindOf classifies a data resource instance into its catalog Kind —
+// the label the WSRF resource gauges group by. Unknown realisations
+// report KindData.
+func KindOf(r core.DataResource) Kind {
+	switch r.(type) {
+	case *dair.SQLDataResource:
+		return KindSQL
+	case *dair.SQLResponseResource:
+		return KindSQLResponse
+	case *dair.SQLRowsetResource:
+		return KindSQLRowset
+	case *daix.XMLCollectionResource:
+		return KindXMLCollection
+	case *daix.XMLSequenceResource:
+		return KindXMLSequence
+	case *daif.FileDataResource:
+		return KindFile
+	case *daif.StagedFileResource:
+		return KindFileReader
+	}
+	return KindData
+}

@@ -8,6 +8,7 @@ import (
 	"dais/internal/core"
 	"dais/internal/ops"
 	"dais/internal/soap"
+	"dais/internal/telemetry"
 	"dais/internal/wsaddr"
 	"dais/internal/wsrf"
 	"dais/internal/xmlutil"
@@ -53,6 +54,12 @@ type Endpoint struct {
 	// target is where factory operations register derived resources;
 	// defaults to this endpoint (paper Fig. 5 uses distinct services).
 	target *Endpoint
+	// obs records request metrics and spans; telemetry.Default unless
+	// WithTelemetry overrides it (nil disables instrumentation).
+	obs *telemetry.Observer
+	// extraICs are the user-supplied interceptors, installed inside the
+	// request-ID and telemetry interceptors.
+	extraICs []soap.Interceptor
 }
 
 // EndpointOption configures an Endpoint.
@@ -83,23 +90,43 @@ func WithFactoryTarget(t *Endpoint) EndpointOption {
 }
 
 // WithServerInterceptors appends interceptors to the endpoint's SOAP
-// dispatch chain (after the default request-ID interceptor).
+// dispatch chain (inside the default request-ID and telemetry
+// interceptors, so telemetry observes their deadline/fault behaviour).
 func WithServerInterceptors(ics ...soap.Interceptor) EndpointOption {
-	return func(e *Endpoint) { e.soapSrv.Use(ics...) }
+	return func(e *Endpoint) { e.extraICs = append(e.extraICs, ics...) }
+}
+
+// WithTelemetry selects the observer the endpoint records request
+// metrics and spans into. The default is telemetry.Default; nil
+// disables instrumentation entirely.
+func WithTelemetry(o *telemetry.Observer) EndpointOption {
+	return func(e *Endpoint) { e.obs = o }
 }
 
 // NewEndpoint builds an endpoint for a data service.
 func NewEndpoint(svc *core.DataService, opts ...EndpointOption) *Endpoint {
-	// Every endpoint adopts/echoes request IDs so consumers can
-	// correlate replies; WithServerInterceptors layers more on top.
 	e := &Endpoint{
 		svc:        svc,
-		soapSrv:    soap.NewServer(soap.ServerRequestID()),
 		interfaces: AllInterfaces,
 		registry:   ops.NewRegistry(),
+		obs:        telemetry.Default,
 	}
 	for _, o := range opts {
 		o(e)
+	}
+	// The dispatch chain composes outermost-first: every endpoint
+	// adopts/echoes request IDs so consumers can correlate replies, the
+	// telemetry interceptor observes everything inside that boundary
+	// (user interceptors such as ServerTimeout included), and
+	// WithServerInterceptors layers inside both.
+	ics := []soap.Interceptor{soap.ServerRequestID()}
+	if e.obs != nil {
+		ics = append(ics, e.obs.ServerInterceptor())
+	}
+	ics = append(ics, e.extraICs...)
+	e.soapSrv = soap.NewServer(ics...)
+	if e.obs != nil {
+		e.soapSrv.OnExchange(e.obs.ExchangeObserver(telemetry.SideServer))
 	}
 	if e.target == nil {
 		e.target = e
@@ -114,7 +141,40 @@ func NewEndpoint(svc *core.DataService, opts ...EndpointOption) *Endpoint {
 	e.registerDAIX()
 	e.registerDAIF()
 	e.registerWSRF()
+	e.registerWSRFCollector()
 	return e
+}
+
+// registerWSRFCollector exposes the endpoint's live service-managed
+// resources (grouped by realisation kind) and its lifetime-termination
+// count as scrape-time gauges on the observer's registry. Counting at
+// scrape time keeps the resource registration path free of metric
+// bookkeeping.
+func (e *Endpoint) registerWSRFCollector() {
+	if e.obs == nil || e.wsrfReg == nil {
+		return
+	}
+	reg, name := e.wsrfReg, e.svc.Name()
+	e.obs.Registry.RegisterCollector(func(emit func(telemetry.Sample)) {
+		counts := map[string]int{}
+		for _, id := range reg.IDs() {
+			res, ok := reg.Get(id)
+			if !ok {
+				continue
+			}
+			kind := string(ops.KindData)
+			if pr, ok := res.(*propertyResource); ok {
+				kind = string(ops.KindOf(pr.res))
+			}
+			counts[kind]++
+		}
+		for kind, n := range counts {
+			emit(telemetry.Sample{Name: telemetry.MetricWSRFLive,
+				Labels: map[string]string{"service": name, "kind": kind}, Value: float64(n)})
+		}
+		emit(telemetry.Sample{Name: telemetry.MetricWSRFDead,
+			Labels: map[string]string{"service": name}, Value: float64(reg.DestroyedCount())})
+	})
 }
 
 // Service returns the hosted data service.

@@ -26,11 +26,18 @@ func (e *HTTPError) Error() string {
 	return fmt.Sprintf("soap: HTTP status %d with non-fault envelope", e.StatusCode)
 }
 
+// ExchangeObserver receives the serialised envelope sizes of one SOAP
+// exchange: the request and response byte counts the transport already
+// has in hand. The telemetry layer hooks it to count envelope bytes
+// without re-marshalling anything.
+type ExchangeObserver func(action string, requestBytes, responseBytes int)
+
 // Client issues SOAP calls over HTTP. The zero value is not usable;
 // construct with NewClient.
 type Client struct {
 	httpClient   *http.Client
 	interceptors []Interceptor
+	onExchange   ExchangeObserver
 	// BytesSent and BytesReceived accumulate wire sizes for the
 	// evaluation harness (E1/E2/E3 measure data movement).
 	bytesSent     atomic.Int64
@@ -51,6 +58,10 @@ func NewClient(hc *http.Client, interceptors ...Interceptor) *Client {
 func (c *Client) Use(interceptors ...Interceptor) {
 	c.interceptors = append(c.interceptors, interceptors...)
 }
+
+// OnExchange installs the byte observer invoked after every HTTP
+// exchange (set once at construction time, before the first Call).
+func (c *Client) OnExchange(f ExchangeObserver) { c.onExchange = f }
 
 // BytesSent reports the cumulative request bytes written by this client.
 func (c *Client) BytesSent() int64 { return c.bytesSent.Load() }
@@ -103,6 +114,9 @@ func (c *Client) do(ctx context.Context, url, action string, req *Envelope) (*En
 		return nil, fmt.Errorf("soap: read response: %w", err)
 	}
 	c.bytesReceived.Add(int64(len(data)))
+	if c.onExchange != nil {
+		c.onExchange(action, len(payload), len(data))
+	}
 	env, err := ParseEnvelope(data)
 	if err != nil {
 		return nil, fmt.Errorf("soap: response (HTTP %d): %w", resp.StatusCode, err)
@@ -128,6 +142,7 @@ type Server struct {
 	handlers     map[string]HandlerFunc
 	fallback     HandlerFunc
 	interceptors []Interceptor
+	onExchange   ExchangeObserver
 }
 
 // NewServer returns an empty SOAP dispatch server. Interceptors wrap
@@ -141,6 +156,14 @@ func (s *Server) Use(interceptors ...Interceptor) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.interceptors = append(s.interceptors, interceptors...)
+}
+
+// OnExchange installs the byte observer invoked after every dispatched
+// request with the serialised request and response envelope sizes.
+func (s *Server) OnExchange(f ExchangeObserver) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onExchange = f
 }
 
 // Handle registers a handler for an action URI.
@@ -196,26 +219,38 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	h, ok := s.handlers[action]
 	fb := s.fallback
 	ics := s.interceptors
+	observe := s.onExchange
 	s.mu.RUnlock()
 	if !ok {
 		if fb == nil {
-			s.writeFault(w, ClientFault("no handler for action %q", action))
-			return
+			// Dispatch the fault through the chain so interceptors
+			// (telemetry, logging) still observe misdirected requests.
+			h = func(context.Context, string, *Envelope) (*Envelope, error) {
+				return nil, ClientFault("no handler for action %q", action)
+			}
+		} else {
+			h = fb
 		}
-		h = fb
 	}
 	resp, err := Chain(h, ics...)(r.Context(), action, env)
+	status := http.StatusOK
+	var payload []byte
 	if err != nil {
-		if f, ok := err.(*Fault); ok {
-			s.writeFault(w, f)
-			return
+		f, isFault := err.(*Fault)
+		if !isFault {
+			f = ServerFault("%v", err)
 		}
-		s.writeFault(w, ServerFault("%v", err))
-		return
+		payload = NewEnvelope(f.Element()).Marshal()
+		status = http.StatusInternalServerError
+	} else {
+		payload = resp.Marshal()
+	}
+	if observe != nil {
+		observe(action, len(data), len(payload))
 	}
 	w.Header().Set("Content-Type", contentType)
-	w.WriteHeader(http.StatusOK)
-	w.Write(resp.Marshal())
+	w.WriteHeader(status)
+	w.Write(payload)
 }
 
 func (s *Server) writeFault(w http.ResponseWriter, f *Fault) {

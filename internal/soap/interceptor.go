@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/rand"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"dais/internal/xmlutil"
@@ -42,11 +43,21 @@ func Chain(h HandlerFunc, interceptors ...Interceptor) HandlerFunc {
 // requestIDKey is the context key carrying the request ID.
 type requestIDKey struct{}
 
-// NewRequestID mints a fresh request identifier.
+// randRead is crypto/rand.Read, substitutable so tests can exercise
+// the entropy-failure fallback.
+var randRead = rand.Read
+
+// reqSeq numbers fallback request IDs when the entropy source fails.
+var reqSeq atomic.Uint64
+
+// NewRequestID mints a fresh request identifier. Request IDs only need
+// to be unique enough to correlate logs, spans and replies, so when the
+// entropy source fails the ID degrades to a process-unique monotonic
+// counter instead of panicking mid-request.
 func NewRequestID() string {
 	var b [8]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		panic("soap: rand: " + err.Error())
+	if _, err := randRead(b[:]); err != nil {
+		return fmt.Sprintf("req-seq-%d", reqSeq.Add(1))
 	}
 	return fmt.Sprintf("req-%x", b)
 }

@@ -213,3 +213,23 @@ func TestRequestBodyIsRewindable(t *testing.T) {
 type roundTripFunc func(*http.Request) (*http.Response, error)
 
 func (f roundTripFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+func TestNewRequestIDEntropyFallback(t *testing.T) {
+	orig := randRead
+	defer func() { randRead = orig }()
+	randRead = func(b []byte) (int, error) { return 0, errors.New("entropy exhausted") }
+
+	first := NewRequestID()
+	second := NewRequestID()
+	if !strings.HasPrefix(first, "req-seq-") || !strings.HasPrefix(second, "req-seq-") {
+		t.Fatalf("fallback ids = %q, %q", first, second)
+	}
+	if first == second {
+		t.Fatalf("fallback ids must stay unique, got %q twice", first)
+	}
+
+	randRead = orig
+	if id := NewRequestID(); !strings.HasPrefix(id, "req-") || strings.HasPrefix(id, "req-seq-") {
+		t.Fatalf("recovered id = %q", id)
+	}
+}

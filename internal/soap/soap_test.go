@@ -140,6 +140,39 @@ func TestServerUnknownAction(t *testing.T) {
 	}
 }
 
+// TestServerUnknownActionObserved pins that misdirected requests still
+// flow through the interceptor chain and the byte observer, so
+// telemetry can count them instead of a silent pre-dispatch fault.
+func TestServerUnknownActionObserved(t *testing.T) {
+	srv := NewServer()
+	var seenAction string
+	var seenErr error
+	srv.Use(func(ctx context.Context, action string, env *Envelope, next HandlerFunc) (*Envelope, error) {
+		seenAction = action
+		resp, err := next(ctx, action, env)
+		seenErr = err
+		return resp, err
+	})
+	var bytesOut int
+	srv.OnExchange(func(action string, in, out int) { bytesOut = out })
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := NewClient(nil)
+	_, err := client.Call(context.Background(), ts.URL, "urn:test/Missing", NewEnvelope(xmlutil.NewElement("urn:t", "X")))
+	if _, ok := err.(*Fault); !ok {
+		t.Fatalf("expected fault, got %v", err)
+	}
+	if seenAction != "urn:test/Missing" {
+		t.Fatalf("interceptor saw action %q", seenAction)
+	}
+	if _, ok := seenErr.(*Fault); !ok {
+		t.Fatalf("interceptor saw err %v", seenErr)
+	}
+	if bytesOut == 0 {
+		t.Fatal("byte observer missed the fault response")
+	}
+}
+
 func TestServerFallback(t *testing.T) {
 	srv := NewServer()
 	srv.HandleFallback(func(_ context.Context, action string, req *Envelope) (*Envelope, error) {

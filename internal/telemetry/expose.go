@@ -1,0 +1,322 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Snapshot flattens every registered instrument and collector into
+// samples. Histograms expand to the Prometheus triplet: cumulative
+// <name>_bucket{le="..."} series, <name>_sum and <name>_count.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.RLock()
+	counters := append([]*CounterVec(nil), r.counters...)
+	gauges := append([]*GaugeVec(nil), r.gauges...)
+	hists := append([]*HistogramVec(nil), r.hists...)
+	collectors := append([]Collector(nil), r.collectors...)
+	r.mu.RUnlock()
+
+	var out []Sample
+	for _, v := range counters {
+		for _, c := range v.children() {
+			c := c.(*Counter)
+			out = append(out, Sample{Name: v.name, Labels: v.labels(c.labels), Value: float64(c.Value())})
+		}
+	}
+	for _, v := range gauges {
+		for _, c := range v.children() {
+			g := c.(*Gauge)
+			out = append(out, Sample{Name: v.name, Labels: v.labels(g.labels), Value: float64(g.Value())})
+		}
+	}
+	for _, v := range hists {
+		for _, c := range v.children() {
+			h := c.(*Histogram)
+			base := v.labels(h.labels)
+			counts := h.snapshotBuckets()
+			var cum uint64
+			for i, n := range counts {
+				cum += n
+				le := "+Inf"
+				if i < len(v.bounds) {
+					le = formatFloat(v.bounds[i])
+				}
+				labels := cloneLabels(base)
+				labels["le"] = le
+				out = append(out, Sample{Name: v.name + "_bucket", Labels: labels, Value: float64(cum)})
+			}
+			out = append(out, Sample{Name: v.name + "_sum", Labels: cloneLabels(base), Value: h.Sum().Seconds()})
+			out = append(out, Sample{Name: v.name + "_count", Labels: cloneLabels(base), Value: float64(h.Count())})
+		}
+	}
+	for _, c := range collectors {
+		c(func(s Sample) { out = append(out, s) })
+	}
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4), with # HELP and # TYPE comments
+// per family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.RLock()
+	counters := append([]*CounterVec(nil), r.counters...)
+	gauges := append([]*GaugeVec(nil), r.gauges...)
+	hists := append([]*HistogramVec(nil), r.hists...)
+	collectors := append([]Collector(nil), r.collectors...)
+	r.mu.RUnlock()
+
+	for _, v := range counters {
+		writeHeader(bw, v.name, v.help, "counter")
+		for _, c := range v.children() {
+			c := c.(*Counter)
+			writeSample(bw, v.name, v.labels(c.labels), float64(c.Value()))
+		}
+	}
+	for _, v := range gauges {
+		writeHeader(bw, v.name, v.help, "gauge")
+		for _, c := range v.children() {
+			g := c.(*Gauge)
+			writeSample(bw, v.name, v.labels(g.labels), float64(g.Value()))
+		}
+	}
+	for _, v := range hists {
+		writeHeader(bw, v.name, v.help, "histogram")
+		for _, c := range v.children() {
+			h := c.(*Histogram)
+			base := v.labels(h.labels)
+			counts := h.snapshotBuckets()
+			var cum uint64
+			for i, n := range counts {
+				cum += n
+				le := "+Inf"
+				if i < len(v.bounds) {
+					le = formatFloat(v.bounds[i])
+				}
+				labels := cloneLabels(base)
+				labels["le"] = le
+				writeSample(bw, v.name+"_bucket", labels, float64(cum))
+			}
+			writeSample(bw, v.name+"_sum", base, h.Sum().Seconds())
+			writeSample(bw, v.name+"_count", base, float64(h.Count()))
+		}
+	}
+	// Collector samples are grouped by name so families stay contiguous.
+	var collected []Sample
+	for _, c := range collectors {
+		c(func(s Sample) { collected = append(collected, s) })
+	}
+	sort.SliceStable(collected, func(i, j int) bool { return collected[i].Name < collected[j].Name })
+	prev := ""
+	for _, s := range collected {
+		if s.Name != prev {
+			typ := "gauge"
+			if strings.HasSuffix(s.Name, "_total") {
+				typ = "counter"
+			}
+			writeHeader(bw, s.Name, "", typ)
+			prev = s.Name
+		}
+		writeSample(bw, s.Name, s.Labels, s.Value)
+	}
+	return bw.Flush()
+}
+
+// Handler serves the registry at an HTTP endpoint (mount at /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w) //nolint:errcheck // client went away
+	})
+}
+
+func writeHeader(w *bufio.Writer, name, help, typ string) {
+	if help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+}
+
+func writeSample(w *bufio.Writer, name string, labels map[string]string, value float64) {
+	w.WriteString(name)
+	if len(labels) > 0 {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		w.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			fmt.Fprintf(w, "%s=%q", k, labels[k])
+		}
+		w.WriteByte('}')
+	}
+	fmt.Fprintf(w, " %s\n", formatFloat(value))
+}
+
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+func cloneLabels(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m)+1)
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// ParsePrometheus parses text in the Prometheus exposition format back
+// into samples — the inverse of WritePrometheus for the subset this
+// package emits. daisbench uses it to scrape a live daisd and report
+// server-side latency percentiles; tests use it to assert the format
+// round-trips.
+func ParsePrometheus(text string) ([]Sample, error) {
+	var out []Sample
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: parse line %d: %w", ln+1, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func parseSampleLine(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("no value in %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		for _, pair := range splitLabelPairs(rest[1:end]) {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok {
+				return s, fmt.Errorf("bad label pair %q", pair)
+			}
+			unq, err := strconv.Unquote(v)
+			if err != nil {
+				return s, fmt.Errorf("bad label value %q: %w", v, err)
+			}
+			s.Labels[k] = unq
+		}
+		rest = rest[end+1:]
+	}
+	val, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	s.Value = val
+	return s, nil
+}
+
+// splitLabelPairs splits k1="v1",k2="v2" on commas outside quotes.
+func splitLabelPairs(s string) []string {
+	var out []string
+	var b strings.Builder
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '\\' && inQuote && i+1 < len(s):
+			b.WriteByte(c)
+			i++
+			b.WriteByte(s[i])
+		case c == '"':
+			inQuote = !inQuote
+			b.WriteByte(c)
+		case c == ',' && !inQuote:
+			out = append(out, b.String())
+			b.Reset()
+		default:
+			b.WriteByte(c)
+		}
+	}
+	if b.Len() > 0 {
+		out = append(out, b.String())
+	}
+	return out
+}
+
+// QuantileFromSamples estimates a latency quantile from scraped
+// <name>_bucket samples matching the given label filter (all filter
+// pairs must match; the le label belongs to the estimator). This is how
+// daisbench turns a /metrics scrape into server-side percentiles.
+func QuantileFromSamples(samples []Sample, name string, filter map[string]string, q float64) time.Duration {
+	type bucket struct {
+		le  float64
+		cum uint64
+	}
+	var buckets []bucket
+	for _, s := range samples {
+		if s.Name != name+"_bucket" || !labelsMatch(s.Labels, filter) {
+			continue
+		}
+		le := math.Inf(1)
+		if s.Labels["le"] != "+Inf" {
+			v, err := strconv.ParseFloat(s.Labels["le"], 64)
+			if err != nil {
+				continue
+			}
+			le = v
+		}
+		buckets = append(buckets, bucket{le: le, cum: uint64(s.Value)})
+	}
+	if len(buckets) == 0 {
+		return 0
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	bounds := make([]float64, 0, len(buckets)-1)
+	counts := make([]uint64, len(buckets))
+	var prev uint64
+	for i, b := range buckets {
+		if !math.IsInf(b.le, 1) {
+			bounds = append(bounds, b.le)
+		}
+		counts[i] = b.cum - prev
+		prev = b.cum
+	}
+	return bucketQuantile(bounds, counts, q)
+}
+
+// CountFromSamples sums the values of samples with the given name whose
+// labels match the filter (ignoring extra labels such as le).
+func CountFromSamples(samples []Sample, name string, filter map[string]string) float64 {
+	var total float64
+	for _, s := range samples {
+		if s.Name == name && labelsMatch(s.Labels, filter) {
+			total += s.Value
+		}
+	}
+	return total
+}
+
+func labelsMatch(labels, filter map[string]string) bool {
+	for k, v := range filter {
+		if labels[k] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"context"
+	"time"
+
+	"dais/internal/core"
+	"dais/internal/ops"
+	"dais/internal/soap"
+)
+
+// ClientInterceptor returns a soap.Interceptor recording consumer-side
+// request counts, in-flight gauge, latency distribution, fault tallies
+// and a span per call. Install it after the request-ID interceptor so
+// spans carry the correlation key.
+func (o *Observer) ClientInterceptor() soap.Interceptor { return o.interceptor(SideClient) }
+
+// ServerInterceptor is the service-side counterpart. The endpoint
+// installs it between the request-ID interceptor (outermost, so spans
+// see the adopted ID) and any user-supplied interceptors such as
+// ServerTimeout (inner, so the metrics observe the deadline and fault
+// behaviour the consumer observes).
+func (o *Observer) ServerInterceptor() soap.Interceptor { return o.interceptor(SideServer) }
+
+func (o *Observer) interceptor(side string) soap.Interceptor {
+	return func(ctx context.Context, action string, env *soap.Envelope, next soap.HandlerFunc) (*soap.Envelope, error) {
+		if o == nil {
+			return next(ctx, action, env)
+		}
+		op, class := callLabels(ctx, action)
+		inFlight := o.InFlight.With(side)
+		inFlight.Inc()
+		start := time.Now()
+		resp, err := next(ctx, action, env)
+		dur := time.Since(start)
+		inFlight.Dec()
+
+		code := FaultCode(err)
+		o.Requests.With(side, op, class, code).Inc()
+		o.Latency.With(side, op).Observe(dur)
+		if err != nil {
+			o.Faults.With(side, op, code).Inc()
+		}
+		o.Tracer.Record(Span{
+			RequestID:    requestID(ctx, env),
+			Side:         side,
+			Action:       action,
+			Op:           op,
+			AbstractName: abstractNameOf(env),
+			Start:        start,
+			Duration:     dur,
+			Code:         code,
+		})
+		return resp, err
+	}
+}
+
+// ExchangeObserver adapts the observer to the soap byte-observer hook:
+// it counts serialised envelope bytes in and out, labelled by
+// operation. The transport layer reports lengths it already has, so
+// nothing is re-marshalled on the hot path.
+func (o *Observer) ExchangeObserver(side string) func(action string, bytesIn, bytesOut int) {
+	return func(action string, bytesIn, bytesOut int) {
+		if o == nil {
+			return
+		}
+		op := ops.OpOf(action)
+		if bytesIn > 0 {
+			o.Bytes.With(side, DirIn, op).Add(int64(bytesIn))
+		}
+		if bytesOut > 0 {
+			o.Bytes.With(side, DirOut, op).Add(int64(bytesOut))
+		}
+	}
+}
+
+// callLabels resolves the operation and interface-class labels for an
+// exchange: the CallInfo the client attaches to the context wins, then
+// the catalog lookup by action URI, then a bounded unknown fallback.
+func callLabels(ctx context.Context, action string) (op, class string) {
+	if info, ok := ops.CallInfoFromContext(ctx); ok {
+		return info.Op, info.Class
+	}
+	if spec, ok := ops.ByAction(action); ok {
+		return spec.Op, spec.Class
+	}
+	// Unrecognised actions share one label value so a scanner probing
+	// random URIs cannot blow up the label cardinality.
+	return CodeUnknown, CodeUnknown
+}
+
+// FaultCode classifies an exchange error into the bounded fault-code
+// label: "ok" for success, the typed DAIS fault name when one is
+// identifiable (from the error value or the structured fault detail),
+// the SOAP fault code otherwise, and "error" for untyped failures.
+func FaultCode(err error) string {
+	if err == nil {
+		return CodeOK
+	}
+	if name := core.FaultName(err); name != "" {
+		return name
+	}
+	if f, ok := err.(*soap.Fault); ok {
+		if f.Detail != nil && f.Detail.Name.Local != "" {
+			return f.Detail.Name.Local
+		}
+		if f.Code != "" {
+			return f.Code
+		}
+	}
+	return CodeError
+}
+
+// requestID extracts the correlation key: the context copy stamped by
+// the request-ID interceptors, falling back to the envelope header.
+func requestID(ctx context.Context, env *soap.Envelope) string {
+	if id := soap.RequestIDFromContext(ctx); id != "" {
+		return id
+	}
+	return soap.RequestIDOf(env)
+}
+
+// abstractNameOf probes the request body for the mandatory WS-DAI
+// DataResourceAbstractName child ("" for service-level operations).
+func abstractNameOf(env *soap.Envelope) string {
+	if env == nil {
+		return ""
+	}
+	body := env.BodyEntry()
+	if body == nil {
+		return ""
+	}
+	return body.FindText(core.NSDAI, "DataResourceAbstractName")
+}

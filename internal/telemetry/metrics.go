@@ -1,0 +1,195 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Sample is one exposed time-series value: a metric name, its label
+// pairs and the current value. Snapshot flattens every instrument
+// (histograms included, as _bucket/_sum/_count series) into samples, and
+// ParsePrometheus parses scraped text back into the same shape, so the
+// exposition round-trips.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns a label value ("" when absent).
+func (s Sample) Label(key string) string { return s.Labels[key] }
+
+// Collector is a scrape-time callback: it emits samples computed on
+// demand (e.g. live WSRF resource counts) instead of maintaining
+// counters on the hot path.
+type Collector func(emit func(Sample))
+
+// Registry holds a set of metric instruments and scrape-time
+// collectors. Instruments are created through the New* constructors and
+// update lock-free with atomics; the registry lock only guards
+// registration and label-child creation.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   []*CounterVec
+	gauges     []*GaugeVec
+	hists      []*HistogramVec
+	collectors []Collector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// RegisterCollector adds a scrape-time sample source.
+func (r *Registry) RegisterCollector(c Collector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, c)
+}
+
+// NewCounterVec registers a labelled counter family.
+func (r *Registry) NewCounterVec(name, help string, keys ...string) *CounterVec {
+	v := &CounterVec{family: family{name: name, help: help, keys: keys}}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters = append(r.counters, v)
+	return v
+}
+
+// NewGaugeVec registers a labelled gauge family.
+func (r *Registry) NewGaugeVec(name, help string, keys ...string) *GaugeVec {
+	v := &GaugeVec{family: family{name: name, help: help, keys: keys}}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges = append(r.gauges, v)
+	return v
+}
+
+// NewHistogramVec registers a labelled histogram family with the given
+// upper bucket bounds (seconds, ascending; +Inf is implicit).
+func (r *Registry) NewHistogramVec(name, help string, bounds []float64, keys ...string) *HistogramVec {
+	v := &HistogramVec{family: family{name: name, help: help, keys: keys}, bounds: bounds}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hists = append(r.hists, v)
+	return v
+}
+
+// family is the shared identity of a metric vec: name, help text and
+// label keys, plus the children keyed by joined label values.
+type family struct {
+	name string
+	help string
+	keys []string
+	mu   sync.RWMutex
+	m    map[string]any
+}
+
+// labelKey joins label values into a map key. \xff cannot appear in
+// UTF-8 label values, so the join is unambiguous.
+func labelKey(values []string) string { return strings.Join(values, "\xff") }
+
+// child returns the instrument for a label-value tuple, creating it
+// with mk on first use. The fast path is a read-locked map hit.
+func (f *family) child(values []string, mk func(vals []string) any) any {
+	if len(values) != len(f.keys) {
+		panic(fmt.Sprintf("telemetry: %s expects %d label values, got %d",
+			f.name, len(f.keys), len(values)))
+	}
+	k := labelKey(values)
+	f.mu.RLock()
+	c, ok := f.m[k]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.m == nil {
+		f.m = make(map[string]any)
+	}
+	if c, ok := f.m[k]; ok {
+		return c
+	}
+	c = mk(append([]string(nil), values...))
+	f.m[k] = c
+	return c
+}
+
+// children returns the instruments sorted by label tuple for stable
+// exposition order.
+func (f *family) children() []any {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	keys := make([]string, 0, len(f.m))
+	for k := range f.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]any, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, f.m[k])
+	}
+	return out
+}
+
+// labels zips the family keys with a child's label values.
+func (f *family) labels(values []string) map[string]string {
+	out := make(map[string]string, len(f.keys))
+	for i, k := range f.keys {
+		out[k] = values[i]
+	}
+	return out
+}
+
+// CounterVec is a labelled family of monotonically increasing counters.
+type CounterVec struct{ family }
+
+// Counter is one monotonically increasing series.
+type Counter struct {
+	v      atomic.Int64
+	labels []string
+}
+
+// With returns the counter for a label-value tuple (created on first
+// use). The tuple length must match the family's label keys.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.child(values, func(vals []string) any { return &Counter{labels: vals} }).(*Counter)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for exposition to stay monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// GaugeVec is a labelled family of gauges.
+type GaugeVec struct{ family }
+
+// Gauge is one series that can go up and down.
+type Gauge struct {
+	v      atomic.Int64
+	labels []string
+}
+
+// With returns the gauge for a label-value tuple.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.child(values, func(vals []string) any { return &Gauge{labels: vals} }).(*Gauge)
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Set stores an absolute value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value reads the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }

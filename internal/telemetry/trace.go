@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// Span is one recorded request: the correlation key (the pipeline
+// request ID), the wire-level action, the catalog operation label, the
+// addressed data resource abstract name, and the outcome. Spans,
+// structured logs and metrics all correlate on RequestID.
+type Span struct {
+	RequestID    string        `json:"request_id"`
+	Side         string        `json:"side"`
+	Action       string        `json:"action"`
+	Op           string        `json:"op"`
+	AbstractName string        `json:"abstract_name,omitempty"`
+	Start        time.Time     `json:"start"`
+	Duration     time.Duration `json:"duration"`
+	Code         string        `json:"code"`
+}
+
+// Tracer keeps the most recent spans in a bounded ring buffer and logs
+// calls slower than a threshold through slog, tagged with the request
+// ID. The ring bounds memory: with the default capacity of 256 spans
+// the tracer never grows, no matter the request rate.
+type Tracer struct {
+	mu            sync.Mutex
+	ring          []Span
+	next          int
+	total         uint64
+	slowThreshold time.Duration
+	logger        *slog.Logger
+}
+
+// NewTracer builds a tracer with the given ring capacity (minimum 1),
+// slow-call threshold (0 disables the slow log) and logger (nil
+// disables the slow log as well).
+func NewTracer(capacity int, slowThreshold time.Duration, logger *slog.Logger) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{ring: make([]Span, 0, capacity), slowThreshold: slowThreshold, logger: logger}
+}
+
+// Record appends a span, overwriting the oldest once the ring is full,
+// and emits the slow-call log line when the span crosses the threshold.
+func (t *Tracer) Record(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, s)
+	} else {
+		t.ring[t.next] = s
+		t.next = (t.next + 1) % cap(t.ring)
+	}
+	t.total++
+	logger, slow := t.logger, t.slowThreshold
+	t.mu.Unlock()
+
+	if logger != nil && slow > 0 && s.Duration >= slow {
+		logger.Warn("slow call",
+			"request_id", s.RequestID,
+			"side", s.Side,
+			"op", s.Op,
+			"abstract_name", s.AbstractName,
+			"duration", s.Duration,
+			"code", s.Code)
+	}
+}
+
+// Recent returns up to n spans, newest first.
+func (t *Tracer) Recent(n int) []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	size := len(t.ring)
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]Span, 0, n)
+	// The newest span sits just before next (once the ring has wrapped)
+	// or at the end of the slice (while still filling).
+	idx := t.next - 1
+	if len(t.ring) < cap(t.ring) {
+		idx = len(t.ring) - 1
+	}
+	for i := 0; i < n; i++ {
+		j := (idx - i + size) % size
+		out = append(out, t.ring[j])
+	}
+	return out
+}
+
+// Total reports how many spans have been recorded over the tracer's
+// lifetime (including those evicted from the ring).
+func (t *Tracer) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
