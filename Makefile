@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench
+.PHONY: all build test race vet fmt check bench bench-smoke
 
 all: build
 
@@ -26,3 +26,8 @@ check: fmt vet race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration of every benchmark: catches bitrot in bench code
+# without paying for a real measurement run. CI runs this.
+bench-smoke:
+	$(GO) test -run NONE -bench . -benchtime 1x ./...

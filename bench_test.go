@@ -370,6 +370,16 @@ func BenchmarkE11FileStaging(b *testing.B) {
 	}
 }
 
+// E13 — hot-path allocation profile: the three optimised paths
+// (pooled envelope encoding, windowed GetTuples delivery, hash join)
+// plus the composed SQLExecute round trip. EXPERIMENTS.md E13 records
+// the before/after tables; daisbench -only E13 regenerates them and
+// writes BENCH_E13.json.
+func BenchmarkE13EnvelopeMarshal(b *testing.B)     { bench.E13EnvelopeMarshal(b) }
+func BenchmarkE13GetTuplesPage(b *testing.B)       { bench.E13GetTuplesPage(b) }
+func BenchmarkE13EquiJoin(b *testing.B)            { bench.E13EquiJoin(b) }
+func BenchmarkE13SQLExecuteRoundTrip(b *testing.B) { bench.E13SQLExecuteRoundTrip(b) }
+
 // E12 — telemetry overhead: the same SQLExecute round trip against a
 // bare fixture (telemetry interceptors stripped on both sides) and an
 // instrumented one (the default). The difference is the full cost of

@@ -1,7 +1,9 @@
-// Command daisbench runs the evaluation suite E1–E12 (DESIGN.md §4 /
+// Command daisbench runs the evaluation suite E1–E13 (DESIGN.md §4 /
 // EXPERIMENTS.md) end-to-end and prints one table per experiment. Each
 // experiment operationalises a quantifiable claim from the paper; the
-// expected shapes are documented in EXPERIMENTS.md.
+// expected shapes are documented in EXPERIMENTS.md. E13 additionally
+// reports B/op and allocs/op columns and writes BENCH_E13.json so the
+// hot-path perf trajectory is tracked across PRs.
 //
 // Usage:
 //
@@ -9,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -184,6 +187,25 @@ func main() {
 						r.ServerP50, r.ServerP95, r.ServerP99)
 				}
 			})
+	}
+	if want("E13") {
+		rows, err := bench.RunE13()
+		fatal("E13", err)
+		table("E13 Hot-path allocation profile (pooled encode, windowed paging, hash join)",
+			"path\tns/op\tB/op\tallocs/op",
+			func(w *tabwriter.Writer) {
+				for _, r := range rows {
+					fmt.Fprintf(w, "%s\t%d\t%d\t%d\n", r.Path, r.NsPerOp, r.BPerOp, r.AllocsOp)
+				}
+			})
+		// Machine-readable trail so the perf trajectory is comparable
+		// across PRs without re-parsing the table.
+		data, err := json.MarshalIndent(rows, "", "  ")
+		fatal("E13", err)
+		if err := os.WriteFile("BENCH_E13.json", append(data, '\n'), 0o644); err != nil {
+			fatal("E13", err)
+		}
+		fmt.Println("\nE13 rows written to BENCH_E13.json")
 	}
 }
 

@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"dais/internal/core"
+	"dais/internal/dair"
+	"dais/internal/ops"
+	"dais/internal/rowset"
+	"dais/internal/soap"
+	"dais/internal/sqlengine"
+	"dais/internal/xmlutil"
+)
+
+// E13Row is one row of experiment E13 (hot-path allocation profile):
+// ns/op, B/op and allocs/op for one optimised code path, measured with
+// the standard testing.B machinery so the numbers line up with
+// `go test -bench` output.
+type E13Row struct {
+	Path     string `json:"path"`
+	NsPerOp  int64  `json:"ns_per_op"`
+	BPerOp   int64  `json:"b_per_op"`
+	AllocsOp int64  `json:"allocs_per_op"`
+}
+
+// e13ResultSet builds the canonical three-column result set the paging
+// and envelope paths are measured against.
+func e13ResultSet(rows int) *sqlengine.ResultSet {
+	set := &sqlengine.ResultSet{
+		Columns: []sqlengine.ResultColumn{
+			{Name: "id", Type: sqlengine.TypeInteger, Table: "data"},
+			{Name: "payload", Type: sqlengine.TypeVarchar, Table: "data"},
+			{Name: "num", Type: sqlengine.TypeDouble, Table: "data"},
+		},
+	}
+	for i := 0; i < rows; i++ {
+		set.Rows = append(set.Rows, []sqlengine.Value{
+			sqlengine.NewInt(int64(i)),
+			sqlengine.NewString(fmt.Sprintf("row-%06d-payload-abcdefghij", i)),
+			sqlengine.NewDouble(float64(i) * 1.5),
+		})
+	}
+	return set
+}
+
+// E13EnvelopeMarshal measures serialising a realistic GetTuplesResponse
+// envelope (100-row SQLRowset dataset plus a WS-Addressing-sized
+// header) — the per-exchange encode cost every SOAP response pays.
+func E13EnvelopeMarshal(b *testing.B) {
+	set := e13ResultSet(100)
+	codec := rowset.SQLRowsetCodec{}
+	data, err := codec.Encode(set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp := ops.GetTuples.NewResponse()
+	resp.AppendChild(ops.DatasetElement(rowset.FormatSQLRowset, data))
+	env := soap.NewEnvelope(resp)
+	reqID := xmlutil.NewElement(soap.NSPipeline, "RequestID")
+	reqID.SetText("bench-e13-request-id")
+	env.AddHeader(reqID)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := env.Marshal(); len(out) == 0 {
+			b.Fatal("empty envelope")
+		}
+	}
+}
+
+// E13GetTuplesPage measures RowsetAccess.GetTuples serving one 100-row
+// page out of a 10 000-row service-managed rowset — the paging hot path
+// of paper Fig. 5.
+func E13GetTuplesPage(b *testing.B) {
+	res, err := dair.NewSQLRowsetResource("parent", e13ResultSet(10000), "", core.DefaultConfiguration())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := res.GetTuples(5001, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(data) == 0 {
+			b.Fatal("empty page")
+		}
+	}
+}
+
+// E13EquiJoin measures an equi-join query (2 000 orders × 200
+// customers) through the engine — the joinRows hot path.
+func E13EquiJoin(b *testing.B) {
+	sess := e13JoinSession(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := sess.Execute(`SELECT o.id, c.name, o.amount FROM orders o JOIN customers c ON o.cust = c.id WHERE o.amount > 10`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Set.Rows) == 0 {
+			b.Fatal("empty join result")
+		}
+	}
+}
+
+type e13Fataler interface{ Fatal(args ...any) }
+
+// e13JoinSession seeds the two join tables shared by the benchmark and
+// the daisbench runner.
+func e13JoinSession(f e13Fataler) *sqlengine.Session {
+	eng := sqlengine.New("bench")
+	eng.MustExec(`CREATE TABLE customers (id INTEGER PRIMARY KEY, name VARCHAR(32))`)
+	eng.MustExec(`CREATE TABLE orders (id INTEGER PRIMARY KEY, cust INTEGER, amount DOUBLE)`)
+	sess := eng.NewSession()
+	for i := 0; i < 200; i++ {
+		if _, err := sess.Execute(`INSERT INTO customers VALUES (?, ?)`,
+			sqlengine.NewInt(int64(i)), sqlengine.NewString(fmt.Sprintf("cust-%03d", i))); err != nil {
+			f.Fatal(err)
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		if _, err := sess.Execute(`INSERT INTO orders VALUES (?, ?, ?)`,
+			sqlengine.NewInt(int64(i)), sqlengine.NewInt(int64(i%200)),
+			sqlengine.NewDouble(float64(i%97))); err != nil {
+			f.Fatal(err)
+		}
+	}
+	return sess
+}
+
+// E13SQLExecuteRoundTrip measures the full client→server SQLExecute
+// exchange (50 rows over loopback HTTP): every optimised layer —
+// envelope pool, streaming encoder, transport keep-alive — composes
+// here.
+func E13SQLExecuteRoundTrip(b *testing.B) {
+	f, err := NewSQLFixture(FixtureOption{Rows: 500, Concurrent: true, WSRF: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	query := `SELECT id, payload, num FROM data ORDER BY id LIMIT 50`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Client.SQLExecute(context.Background(), f.Ref, query, nil, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// RunE13 runs the hot-path benchmarks through testing.Benchmark so
+// daisbench reports the same ns/op, B/op and allocs/op columns as
+// `go test -bench` — and writes them to BENCH_E13.json for cross-PR
+// tracking.
+func RunE13() ([]E13Row, error) {
+	paths := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"envelope-marshal", E13EnvelopeMarshal},
+		{"gettuples-page", E13GetTuplesPage},
+		{"equi-join", E13EquiJoin},
+		{"sqlexecute-roundtrip", E13SQLExecuteRoundTrip},
+	}
+	var out []E13Row
+	for _, p := range paths {
+		r := testing.Benchmark(p.fn)
+		if r.N == 0 {
+			return nil, fmt.Errorf("E13: %s did not run", p.name)
+		}
+		out = append(out, E13Row{
+			Path:     p.name,
+			NsPerOp:  r.NsPerOp(),
+			BPerOp:   r.AllocedBytesPerOp(),
+			AllocsOp: r.AllocsPerOp(),
+		})
+	}
+	return out, nil
+}

@@ -29,6 +29,11 @@ import (
 	"dais/internal/xmlutil"
 )
 
+// decodeFormats is the shared codec registry dataset responses decode
+// through. Codecs are stateless, so one registry serves every client
+// instead of rebuilding the three-codec map per response.
+var decodeFormats = rowset.NewRegistry()
+
 // ResourceRef addresses one data resource: a service endpoint URL plus
 // the resource's abstract name. It corresponds to a WS-Addressing EPR
 // whose reference parameters carry the abstract name.
@@ -240,7 +245,7 @@ func (c *Client) SQLExecute(ctx context.Context, ref ResourceRef, expression str
 		return out, nil
 	}
 	out.Raw, out.FormatURI = ops.DatasetPayload(ds)
-	if codec, err := rowset.NewRegistry().Lookup(out.FormatURI); err == nil {
+	if codec, err := decodeFormats.Lookup(out.FormatURI); err == nil {
 		if set, derr := codec.Decode(out.Raw); derr == nil {
 			out.Set = set
 		}
@@ -320,7 +325,7 @@ func (c *Client) GetTuplesSet(ctx context.Context, ref ResourceRef, startPositio
 	if err != nil {
 		return nil, err
 	}
-	codec, err := rowset.NewRegistry().Lookup(format)
+	codec, err := decodeFormats.Lookup(format)
 	if err != nil {
 		return nil, err
 	}

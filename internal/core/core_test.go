@@ -387,3 +387,60 @@ func TestCheckHelpers(t *testing.T) {
 		t.Fatal("bad language")
 	}
 }
+
+// TestPropertyDocumentCache checks the static-portion cache behind
+// BuildPropertyDocument: repeat builds serve the same cached elements,
+// invalidation forces a rebuild that picks up changed static inputs,
+// and destroying a resource drops its cache entry.
+func TestPropertyDocumentCache(t *testing.T) {
+	s := NewDataService("svc")
+	r := newFake("urn:cache", ExternallyManaged)
+	s.AddResource(r)
+
+	doc1, err := s.GetDataResourcePropertyDocument("urn:cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := s.GetDataResourcePropertyDocument("urn:cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(xmlutil.Marshal(doc1)) != string(xmlutil.Marshal(doc2)) {
+		t.Fatal("repeat property documents differ")
+	}
+	// The static elements must come from the cache: same pointers.
+	if doc1.Children[0] != doc2.Children[0] {
+		t.Fatal("static property elements were rebuilt instead of cached")
+	}
+
+	// A configurable change shows up immediately — the cache only holds
+	// the static portion.
+	r.Config.Readable = false
+	doc3, _ := s.GetDataResourcePropertyDocument("urn:cache")
+	if got := doc3.FindText(NSDAI, "Readable"); got != "false" {
+		t.Fatalf("Readable = %q after config change, want false", got)
+	}
+
+	// A static-input change is invisible until invalidation…
+	r.langs = []string{"urn:sql", "urn:xpath"}
+	doc4, _ := s.GetDataResourcePropertyDocument("urn:cache")
+	if n := len(doc4.FindAll(NSDAI, "GenericQueryLanguage")); n != 1 {
+		t.Fatalf("stale doc lists %d query languages, want cached 1", n)
+	}
+	s.InvalidatePropertyDocument("urn:cache")
+	doc5, _ := s.GetDataResourcePropertyDocument("urn:cache")
+	if n := len(doc5.FindAll(NSDAI, "GenericQueryLanguage")); n != 2 {
+		t.Fatalf("rebuilt doc lists %d query languages, want 2", n)
+	}
+
+	// Destroy drops the cache entry so the name can be reused cleanly.
+	if err := s.DestroyDataResource(context.Background(), "urn:cache"); err != nil {
+		t.Fatal(err)
+	}
+	s.propMu.Lock()
+	_, stale := s.propCache["urn:cache"]
+	s.propMu.Unlock()
+	if stale {
+		t.Fatal("destroy left a stale property-cache entry")
+	}
+}

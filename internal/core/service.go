@@ -26,6 +26,12 @@ type DataService struct {
 	// onDestroy hooks observe resource destruction (the service layer
 	// uses it to unregister WSRF resources).
 	onDestroy []func(name string)
+	// propCache holds the static portion of each resource's property
+	// document (everything that cannot change after registration),
+	// keyed by abstract name. Guarded by propMu, not mu, so cache fills
+	// never contend with resource resolution.
+	propMu    sync.Mutex
+	propCache map[string][]*xmlutil.Element
 }
 
 // ServiceOption configures a DataService.
@@ -160,6 +166,7 @@ func (s *DataService) DestroyDataResource(ctx context.Context, abstractName stri
 	delete(s.resources, abstractName)
 	observers := append([]func(string){}, s.onDestroy...)
 	s.mu.Unlock()
+	s.InvalidatePropertyDocument(abstractName)
 
 	var err error
 	if r.Management() == ServiceManaged {
@@ -209,23 +216,12 @@ func (s *DataService) GetDataResourcePropertyDocument(abstractName string) (*xml
 // realisation extensions.
 func (s *DataService) BuildPropertyDocument(r DataResource) *xmlutil.Element {
 	doc := xmlutil.NewElement(NSDAI, "DataResourcePropertyDocument")
-	// Static properties.
-	doc.AddText(NSDAI, "DataResourceAbstractName", r.AbstractName())
-	parent := doc.Add(NSDAI, "ParentDataResource")
-	if p := r.ParentName(); p != "" {
-		parent.SetText(p)
-	}
-	doc.AddText(NSDAI, "DataResourceManagement", r.Management().String())
-	doc.AddText(NSDAI, "ConcurrentAccess", boolStr(s.concurrent))
-	for _, f := range r.DatasetFormats() {
-		dm := doc.Add(NSDAI, "DatasetMap")
-		dm.AddText(NSDAI, "MessageFormat", f)
-	}
-	for _, m := range s.configMaps {
-		doc.AppendChild(m.Element())
-	}
-	for _, l := range r.QueryLanguages() {
-		doc.AddText(NSDAI, "GenericQueryLanguage", l)
+	// Static properties come from the per-resource cache. The cached
+	// elements are shared read-only across documents and linked through
+	// the Children slice directly (not AppendChild) so they are never
+	// reparented — serialisation walks Children and ignores parents.
+	for _, e := range s.staticPropertyElements(r) {
+		doc.Children = append(doc.Children, e)
 	}
 	// Configurable properties.
 	cfg := r.Configuration()
@@ -242,4 +238,64 @@ func (s *DataService) BuildPropertyDocument(r DataResource) *xmlutil.Element {
 		doc.AppendChild(e.Clone())
 	}
 	return doc
+}
+
+// staticPropertyElements returns the cached static portion of the
+// property document for r, building and caching it on first use.
+func (s *DataService) staticPropertyElements(r DataResource) []*xmlutil.Element {
+	name := r.AbstractName()
+	s.propMu.Lock()
+	if els, ok := s.propCache[name]; ok {
+		s.propMu.Unlock()
+		return els
+	}
+	s.propMu.Unlock()
+	els := s.buildStaticPropertyElements(r)
+	s.propMu.Lock()
+	if s.propCache == nil {
+		s.propCache = map[string][]*xmlutil.Element{}
+	}
+	s.propCache[name] = els
+	s.propMu.Unlock()
+	return els
+}
+
+// buildStaticPropertyElements renders the static properties in the
+// Fig. 4 order BuildPropertyDocument documents.
+func (s *DataService) buildStaticPropertyElements(r DataResource) []*xmlutil.Element {
+	var els []*xmlutil.Element
+	text := func(local, value string) {
+		e := xmlutil.NewElement(NSDAI, local)
+		e.SetText(value)
+		els = append(els, e)
+	}
+	text("DataResourceAbstractName", r.AbstractName())
+	parent := xmlutil.NewElement(NSDAI, "ParentDataResource")
+	if p := r.ParentName(); p != "" {
+		parent.SetText(p)
+	}
+	els = append(els, parent)
+	text("DataResourceManagement", r.Management().String())
+	text("ConcurrentAccess", boolStr(s.concurrent))
+	for _, f := range r.DatasetFormats() {
+		dm := xmlutil.NewElement(NSDAI, "DatasetMap")
+		dm.AddText(NSDAI, "MessageFormat", f)
+		els = append(els, dm)
+	}
+	for _, m := range s.configMaps {
+		els = append(els, m.Element())
+	}
+	for _, l := range r.QueryLanguages() {
+		text("GenericQueryLanguage", l)
+	}
+	return els
+}
+
+// InvalidatePropertyDocument drops the cached static property elements
+// for the named resource. The WSRF property-write path and resource
+// destruction call it so a rebuilt document never serves stale state.
+func (s *DataService) InvalidatePropertyDocument(abstractName string) {
+	s.propMu.Lock()
+	delete(s.propCache, abstractName)
+	s.propMu.Unlock()
 }

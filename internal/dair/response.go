@@ -405,10 +405,12 @@ func (r *SQLRowsetResource) GetTuples(startPosition, count int) ([]byte, error) 
 	if err != nil {
 		return nil, &core.InvalidDatasetFormatFault{Format: r.formatURI}
 	}
+	// Encode the window straight out of the stored set (no per-page
+	// ResultSet), holding the read lock so the rows cannot be swapped
+	// out underneath the range encoder.
 	r.mu.RLock()
-	page := rowset.Slice(r.set, startPosition, count)
-	r.mu.RUnlock()
-	return codec.Encode(page)
+	defer r.mu.RUnlock()
+	return rowset.EncodeWindow(codec, r.set, startPosition, count)
 }
 
 // GetTuplesSet is GetTuples without encoding, for in-process consumers.

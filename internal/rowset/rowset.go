@@ -100,12 +100,20 @@ func typeName(t sqlengine.Type) string { return t.String() }
 // like AVG(x) round-trip with their runtime type instead of decaying to
 // VARCHAR.
 func effectiveColumns(rs *sqlengine.ResultSet) []sqlengine.ResultColumn {
+	return effectiveColumnsRange(rs, 0, len(rs.Rows))
+}
+
+// effectiveColumnsRange is effectiveColumns restricted to the row
+// window [from, to): type inference scans only the rows a range encode
+// will render, which keeps windowed output byte-identical to encoding
+// a materialised page.
+func effectiveColumnsRange(rs *sqlengine.ResultSet, from, to int) []sqlengine.ResultColumn {
 	cols := append([]sqlengine.ResultColumn(nil), rs.Columns...)
 	for i := range cols {
 		if cols[i].Type != sqlengine.TypeNull {
 			continue
 		}
-		for _, row := range rs.Rows {
+		for _, row := range rs.Rows[from:to] {
 			if !row[i].IsNull() {
 				cols[i].Type = row[i].Type
 				break
@@ -147,16 +155,26 @@ type SQLRowsetCodec struct{}
 func (SQLRowsetCodec) FormatURI() string { return FormatSQLRowset }
 
 // Encode renders the result set as an SQLRowset element.
-func (SQLRowsetCodec) Encode(rs *sqlengine.ResultSet) ([]byte, error) {
-	return xmlutil.Marshal(SQLRowsetElement(rs)), nil
+func (c SQLRowsetCodec) Encode(rs *sqlengine.ResultSet) ([]byte, error) {
+	return c.EncodeRange(rs, 0, len(rs.Rows))
+}
+
+// EncodeRange renders rows [from, to) directly from the stored result
+// set, without materialising an intermediate page.
+func (SQLRowsetCodec) EncodeRange(rs *sqlengine.ResultSet, from, to int) ([]byte, error) {
+	return xmlutil.Marshal(sqlRowsetRangeElement(rs, from, to)), nil
 }
 
 // SQLRowsetElement builds the XML tree without serialising, for callers
 // that embed the rowset inside a SOAP response.
 func SQLRowsetElement(rs *sqlengine.ResultSet) *xmlutil.Element {
+	return sqlRowsetRangeElement(rs, 0, len(rs.Rows))
+}
+
+func sqlRowsetRangeElement(rs *sqlengine.ResultSet, from, to int) *xmlutil.Element {
 	root := xmlutil.NewElement(NSDAIR, "SQLRowset")
 	meta := root.Add(NSDAIR, "Metadata")
-	for _, c := range effectiveColumns(rs) {
+	for _, c := range effectiveColumnsRange(rs, from, to) {
 		col := meta.Add(NSDAIR, "Column")
 		col.SetAttr("", "name", c.Name)
 		col.SetAttr("", "type", typeName(c.Type))
@@ -164,7 +182,7 @@ func SQLRowsetElement(rs *sqlengine.ResultSet) *xmlutil.Element {
 			col.SetAttr("", "table", c.Table)
 		}
 	}
-	for _, row := range rs.Rows {
+	for _, row := range rs.Rows[from:to] {
 		re := root.Add(NSDAIR, "Row")
 		for _, v := range row {
 			ce := re.Add(NSDAIR, "Value")
@@ -237,7 +255,13 @@ type WebRowSetCodec struct{}
 func (WebRowSetCodec) FormatURI() string { return FormatWebRowSet }
 
 // Encode renders the result set as a webRowSet document.
-func (WebRowSetCodec) Encode(rs *sqlengine.ResultSet) ([]byte, error) {
+func (c WebRowSetCodec) Encode(rs *sqlengine.ResultSet) ([]byte, error) {
+	return c.EncodeRange(rs, 0, len(rs.Rows))
+}
+
+// EncodeRange renders rows [from, to) directly from the stored result
+// set, without materialising an intermediate page.
+func (WebRowSetCodec) EncodeRange(rs *sqlengine.ResultSet, from, to int) ([]byte, error) {
 	root := xmlutil.NewElement(NSWebRowSet, "webRowSet")
 	props := root.Add(NSWebRowSet, "properties")
 	props.AddText(NSWebRowSet, "concurrency", "1007")
@@ -245,7 +269,7 @@ func (WebRowSetCodec) Encode(rs *sqlengine.ResultSet) ([]byte, error) {
 
 	meta := root.Add(NSWebRowSet, "metadata")
 	meta.AddText(NSWebRowSet, "column-count", fmt.Sprintf("%d", len(rs.Columns)))
-	for i, c := range effectiveColumns(rs) {
+	for i, c := range effectiveColumnsRange(rs, from, to) {
 		cd := meta.Add(NSWebRowSet, "column-definition")
 		cd.AddText(NSWebRowSet, "column-index", fmt.Sprintf("%d", i+1))
 		cd.AddText(NSWebRowSet, "column-name", c.Name)
@@ -255,7 +279,7 @@ func (WebRowSetCodec) Encode(rs *sqlengine.ResultSet) ([]byte, error) {
 		}
 	}
 	data := root.Add(NSWebRowSet, "data")
-	for _, row := range rs.Rows {
+	for _, row := range rs.Rows[from:to] {
 		cr := data.Add(NSWebRowSet, "currentRow")
 		for _, v := range row {
 			cv := cr.Add(NSWebRowSet, "columnValue")
@@ -333,18 +357,24 @@ const (
 func (CSVCodec) FormatURI() string { return FormatCSV }
 
 // Encode renders the result set as CSV with a typed header row.
-func (CSVCodec) Encode(rs *sqlengine.ResultSet) ([]byte, error) {
+func (c CSVCodec) Encode(rs *sqlengine.ResultSet) ([]byte, error) {
+	return c.EncodeRange(rs, 0, len(rs.Rows))
+}
+
+// EncodeRange renders rows [from, to) directly from the stored result
+// set, without materialising an intermediate page.
+func (CSVCodec) EncodeRange(rs *sqlengine.ResultSet, from, to int) ([]byte, error) {
 	var buf bytes.Buffer
 	w := csv.NewWriter(&buf)
 	header := make([]string, len(rs.Columns))
-	for i, c := range effectiveColumns(rs) {
+	for i, c := range effectiveColumnsRange(rs, from, to) {
 		header[i] = c.Name + ":" + typeName(c.Type)
 	}
 	if err := w.Write(header); err != nil {
 		return nil, err
 	}
 	rec := make([]string, len(rs.Columns))
-	for _, row := range rs.Rows {
+	for _, row := range rs.Rows[from:to] {
 		for i, v := range row {
 			switch {
 			case v.IsNull():
@@ -410,23 +440,59 @@ func (CSVCodec) Decode(data []byte) (*sqlengine.ResultSet, error) {
 	return rs, nil
 }
 
-// Slice returns a paged copy of the result set: rows
-// [start, start+count), clamped to the available range. It implements
-// the WS-DAIR RowsetAccess GetTuples(StartPosition, Count) semantics,
-// where StartPosition is 1-based.
-func Slice(rs *sqlengine.ResultSet, startPosition, count int) *sqlengine.ResultSet {
-	out := &sqlengine.ResultSet{Columns: rs.Columns}
+// RangeEncoder is implemented by codecs that can render a row window
+// [from, to) directly from a stored result set, skipping the
+// intermediate per-page ResultSet entirely. All three standard codecs
+// implement it; EncodeWindow falls back to Slice+Encode for third-party
+// codecs that do not.
+type RangeEncoder interface {
+	EncodeRange(rs *sqlengine.ResultSet, from, to int) ([]byte, error)
+}
+
+// Window clamps the 1-based WS-DAIR (StartPosition, Count) pair to the
+// 0-based half-open row range [from, to) actually present in rs.
+func Window(rs *sqlengine.ResultSet, startPosition, count int) (from, to int) {
 	if startPosition < 1 {
 		startPosition = 1
 	}
-	from := startPosition - 1
+	from = startPosition - 1
 	if from >= len(rs.Rows) || count <= 0 {
-		return out
+		return 0, 0
 	}
-	to := from + count
+	to = from + count
 	if to > len(rs.Rows) {
 		to = len(rs.Rows)
 	}
-	out.Rows = append(out.Rows, rs.Rows[from:to]...)
+	return from, to
+}
+
+// EncodeWindow renders one GetTuples page: through the codec's
+// EncodeRange when available, otherwise by encoding a Slice view. The
+// two paths produce identical bytes.
+func EncodeWindow(c Codec, rs *sqlengine.ResultSet, startPosition, count int) ([]byte, error) {
+	if re, ok := c.(RangeEncoder); ok {
+		from, to := Window(rs, startPosition, count)
+		return re.EncodeRange(rs, from, to)
+	}
+	return c.Encode(Slice(rs, startPosition, count))
+}
+
+// Slice returns a paged view of the result set: rows
+// [start, start+count), clamped to the available range. It implements
+// the WS-DAIR RowsetAccess GetTuples(StartPosition, Count) semantics,
+// where StartPosition is 1-based.
+//
+// The returned set is a zero-copy window: its Rows slice aliases the
+// source's row headers (full-capacity-clamped, so appends to the view
+// reallocate instead of clobbering the source). Callers treat pages as
+// read-only — they are encoded and discarded — so sharing is safe; use
+// Clone-style copying before mutating a page in place.
+func Slice(rs *sqlengine.ResultSet, startPosition, count int) *sqlengine.ResultSet {
+	out := &sqlengine.ResultSet{Columns: rs.Columns}
+	from, to := Window(rs, startPosition, count)
+	if from == to {
+		return out
+	}
+	out.Rows = rs.Rows[from:to:to]
 	return out
 }

@@ -1,0 +1,120 @@
+package rowset
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"dais/internal/sqlengine"
+)
+
+func windowSet(rows int) *sqlengine.ResultSet {
+	// The last column is declared untyped (a computed expression) so
+	// range encoding exercises effectiveColumnsRange inference.
+	set := &sqlengine.ResultSet{
+		Columns: []sqlengine.ResultColumn{
+			{Name: "id", Type: sqlengine.TypeInteger, Table: "t"},
+			{Name: "name", Type: sqlengine.TypeVarchar, Table: "t"},
+			{Name: "score", Type: sqlengine.TypeNull},
+		},
+	}
+	for i := 0; i < rows; i++ {
+		name := sqlengine.NewString(fmt.Sprintf("row-%d", i))
+		score := sqlengine.NewDouble(float64(i) / 4)
+		if i%3 == 0 {
+			score = sqlengine.Null
+		}
+		set.Rows = append(set.Rows, []sqlengine.Value{sqlengine.NewInt(int64(i)), name, score})
+	}
+	return set
+}
+
+func TestSliceBoundsEdges(t *testing.T) {
+	rs := windowSet(5)
+	cases := []struct {
+		name         string
+		start, count int
+		wantIDs      []int64
+	}{
+		{"negative start", -3, 2, []int64{0, 1}},
+		{"zero start", 0, 2, []int64{0, 1}},
+		{"count past end", 4, 100, []int64{3, 4}},
+		{"start past end", 9, 2, nil},
+		{"zero count", 2, 0, nil},
+		{"negative count", 2, -1, nil},
+		{"full range", 1, 5, []int64{0, 1, 2, 3, 4}},
+		{"interior page", 2, 2, []int64{1, 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out := Slice(rs, tc.start, tc.count)
+			if len(out.Rows) != len(tc.wantIDs) {
+				t.Fatalf("got %d rows, want %d", len(out.Rows), len(tc.wantIDs))
+			}
+			for i, id := range tc.wantIDs {
+				if out.Rows[i][0].I != id {
+					t.Fatalf("row %d: id %d, want %d", i, out.Rows[i][0].I, id)
+				}
+			}
+		})
+	}
+}
+
+func TestSliceIsZeroCopyView(t *testing.T) {
+	rs := windowSet(5)
+	view := Slice(rs, 2, 2)
+	if &view.Rows[0][0] != &rs.Rows[1][0] {
+		t.Fatal("Slice copied the window instead of aliasing it")
+	}
+	// The view's capacity is clamped, so growing it must not clobber
+	// the source's next row.
+	view.Rows = append(view.Rows, rs.Rows[0])
+	if rs.Rows[3][0].I != 3 {
+		t.Fatalf("append through the view clobbered the source: %v", rs.Rows[3][0])
+	}
+}
+
+func TestEncodeRangeMatchesMaterialisedPage(t *testing.T) {
+	rs := windowSet(12)
+	reg := NewRegistry()
+	windows := [][2]int{{1, 4}, {5, 3}, {11, 10}, {1, 12}, {20, 2}, {3, 0}}
+	for _, uri := range reg.URIs() {
+		codec, err := reg.Lookup(uri)
+		if err != nil {
+			t.Fatal(err)
+		}
+		re, ok := codec.(RangeEncoder)
+		if !ok {
+			t.Fatalf("%s does not implement RangeEncoder", uri)
+		}
+		for _, w := range windows {
+			start, count := w[0], w[1]
+			// Reference: a materialised deep-copy page, as the old
+			// Slice produced, run through the whole-set encoder.
+			page := &sqlengine.ResultSet{Columns: rs.Columns}
+			from, to := Window(rs, start, count)
+			for _, r := range rs.Rows[from:to] {
+				page.Rows = append(page.Rows, append([]sqlengine.Value(nil), r...))
+			}
+			want, err := codec.Encode(page)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := re.EncodeRange(rs, from, to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s window (%d,%d): range encode differs from materialised page:\n%s\n---\n%s",
+					uri, start, count, got, want)
+			}
+			viaHelper, err := EncodeWindow(codec, rs, start, count)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(viaHelper, want) {
+				t.Fatalf("%s window (%d,%d): EncodeWindow differs from materialised page", uri, start, count)
+			}
+		}
+	}
+}

@@ -135,6 +135,10 @@ func (e *Endpoint) registerWSRF() {
 			}
 			return nil, &core.InvalidExpressionFault{Detail: applyErr.Error()}
 		}
+		// A property write may change anything the cached document
+		// fragment captured at build time; drop it so the next
+		// GetDataResourcePropertyDocument rebuilds from live state.
+		e.svc.InvalidatePropertyDocument(name)
 		return ops.SetResourceProperties.NewResponse(), nil
 	})
 

@@ -1,0 +1,56 @@
+package soap
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+)
+
+// xmlDecl is prepended to every serialised envelope.
+const xmlDecl = `<?xml version="1.0" encoding="UTF-8"?>`
+
+// maxPooledBuffer caps the capacity a scratch buffer may retain when
+// returned to the pool. A giant one-off response (a full rowset dump)
+// would otherwise pin its high-water-mark allocation forever.
+const maxPooledBuffer = 1 << 20
+
+// Encode-path counters, exported through EncodeStats for the telemetry
+// layer (telemetry imports soap, so the dependency must point this way).
+var (
+	encodedBytes atomic.Int64
+	bufGets      atomic.Int64
+	bufMisses    atomic.Int64
+)
+
+// bufPool holds scratch buffers for envelope encoding and response
+// reading. The New hook counts misses (first use and post-GC refills);
+// hits are derived as gets minus misses.
+var bufPool = sync.Pool{New: func() any {
+	bufMisses.Add(1)
+	return new(bytes.Buffer)
+}}
+
+func getBuffer() *bytes.Buffer {
+	bufGets.Add(1)
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	return buf
+}
+
+func putBuffer(buf *bytes.Buffer) {
+	if buf.Cap() > maxPooledBuffer {
+		return // oversized one-off; let the GC reclaim it
+	}
+	bufPool.Put(buf)
+}
+
+// EncodeStats reports cumulative envelope-encode telemetry: total
+// serialised envelope bytes, and scratch-buffer pool hits and misses.
+func EncodeStats() (encoded, poolHits, poolMisses int64) {
+	gets, misses := bufGets.Load(), bufMisses.Load()
+	hits := gets - misses
+	if hits < 0 {
+		hits = 0 // transient skew between the two loads
+	}
+	return encodedBytes.Load(), hits, misses
+}

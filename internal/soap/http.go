@@ -4,10 +4,11 @@ import (
 	"bytes"
 	"context"
 	"fmt"
-	"io"
+	"net"
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dais/internal/xmlutil"
 )
@@ -44,12 +45,33 @@ type Client struct {
 	bytesReceived atomic.Int64
 }
 
-// NewClient returns a Client using the given HTTP client, or
-// http.DefaultClient when nil. Interceptors wrap every Call, first
-// interceptor outermost.
+// defaultHTTPClient backs NewClient(nil). It mirrors the
+// http.DefaultTransport settings but raises the per-host idle
+// connection cap from 2 so the request/response cadence of a DAIS
+// consumer — many small SOAP exchanges against one endpoint — rides
+// persistent keep-alive connections instead of redialling.
+var defaultHTTPClient = &http.Client{Transport: newDefaultTransport()}
+
+func newDefaultTransport() *http.Transport {
+	dialer := &net.Dialer{Timeout: 30 * time.Second, KeepAlive: 30 * time.Second}
+	return &http.Transport{
+		Proxy:                 http.ProxyFromEnvironment,
+		DialContext:           dialer.DialContext,
+		ForceAttemptHTTP2:     true,
+		MaxIdleConns:          256,
+		MaxIdleConnsPerHost:   64,
+		IdleConnTimeout:       90 * time.Second,
+		TLSHandshakeTimeout:   10 * time.Second,
+		ExpectContinueTimeout: 1 * time.Second,
+	}
+}
+
+// NewClient returns a Client using the given HTTP client, or a shared
+// keep-alive-tuned default when nil. Interceptors wrap every Call,
+// first interceptor outermost.
 func NewClient(hc *http.Client, interceptors ...Interceptor) *Client {
 	if hc == nil {
-		hc = http.DefaultClient
+		hc = defaultHTTPClient
 	}
 	return &Client{httpClient: hc, interceptors: interceptors}
 }
@@ -109,10 +131,15 @@ func (c *Client) do(ctx context.Context, url, action string, req *Envelope) (*En
 		return nil, fmt.Errorf("soap: transport: %w", err)
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
+	// The response body is read into a pooled scratch buffer; this is
+	// safe because ParseEnvelope copies every string out of the bytes
+	// it is handed, so nothing aliases the buffer once it is returned.
+	buf := getBuffer()
+	defer putBuffer(buf)
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
 		return nil, fmt.Errorf("soap: read response: %w", err)
 	}
+	data := buf.Bytes()
 	c.bytesReceived.Add(int64(len(data)))
 	if c.onExchange != nil {
 		c.onExchange(action, len(payload), len(data))
@@ -201,11 +228,15 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "SOAP endpoint: POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	data, err := io.ReadAll(r.Body)
-	if err != nil {
+	// Pooled request read: ParseEnvelope copies every string, so the
+	// decoded envelope never aliases the scratch buffer.
+	reqBuf := getBuffer()
+	defer putBuffer(reqBuf)
+	if _, err := reqBuf.ReadFrom(r.Body); err != nil {
 		s.writeFault(w, ClientFault("unreadable request: %v", err))
 		return
 	}
+	data := reqBuf.Bytes()
 	env, err := ParseEnvelope(data)
 	if err != nil {
 		s.writeFault(w, ClientFault("malformed envelope: %v", err))
@@ -234,30 +265,35 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := Chain(h, ics...)(r.Context(), action, env)
 	status := http.StatusOK
-	var payload []byte
+	// Encode straight into a pooled scratch buffer and write it to the
+	// ResponseWriter — no per-response []byte materialisation.
+	buf := getBuffer()
+	defer putBuffer(buf)
 	if err != nil {
 		f, isFault := err.(*Fault)
 		if !isFault {
 			f = ServerFault("%v", err)
 		}
-		payload = NewEnvelope(f.Element()).Marshal()
+		NewEnvelope(f.Element()).encodeTo(buf)
 		status = http.StatusInternalServerError
 	} else {
-		payload = resp.Marshal()
+		resp.encodeTo(buf)
 	}
 	if observe != nil {
-		observe(action, len(data), len(payload))
+		observe(action, len(data), buf.Len())
 	}
 	w.Header().Set("Content-Type", contentType)
 	w.WriteHeader(status)
-	w.Write(payload)
+	w.Write(buf.Bytes())
 }
 
 func (s *Server) writeFault(w http.ResponseWriter, f *Fault) {
-	env := NewEnvelope(f.Element())
+	buf := getBuffer()
+	defer putBuffer(buf)
+	NewEnvelope(f.Element()).encodeTo(buf)
 	w.Header().Set("Content-Type", contentType)
 	w.WriteHeader(http.StatusInternalServerError)
-	w.Write(env.Marshal())
+	w.Write(buf.Bytes())
 }
 
 // headerAction extracts a WS-Addressing Action header if present. The

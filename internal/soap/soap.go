@@ -54,23 +54,47 @@ func (e *Envelope) FindHeader(space, local string) *xmlutil.Element {
 	return nil
 }
 
-// Marshal serialises the envelope, prepending the XML declaration.
-func (e *Envelope) Marshal() []byte {
+// envelopeElement builds the transient serialisation wrapper. Header
+// and body entries are linked through the Children slices directly —
+// not AppendChild, which would write their parent pointers — so the
+// caller's trees are never cloned or mutated and the same entries can
+// be marshalled from multiple goroutines.
+func (e *Envelope) envelopeElement() *xmlutil.Element {
 	env := xmlutil.NewElement(NSEnvelope, "Envelope")
 	if len(e.Header) > 0 {
-		hdr := env.Add(NSEnvelope, "Header")
+		hdr := xmlutil.NewElement(NSEnvelope, "Header")
 		for _, h := range e.Header {
-			hdr.AppendChild(h.Clone())
+			hdr.Children = append(hdr.Children, h)
 		}
+		env.Children = append(env.Children, hdr)
 	}
-	body := env.Add(NSEnvelope, "Body")
+	body := xmlutil.NewElement(NSEnvelope, "Body")
 	for _, b := range e.Body {
-		body.AppendChild(b.Clone())
+		body.Children = append(body.Children, b)
 	}
-	var buf bytes.Buffer
-	buf.WriteString(`<?xml version="1.0" encoding="UTF-8"?>`)
-	buf.Write(xmlutil.Marshal(env))
-	return buf.Bytes()
+	env.Children = append(env.Children, body)
+	return env
+}
+
+// encodeTo streams the envelope — XML declaration included — into buf
+// and accumulates the encode-byte counter.
+func (e *Envelope) encodeTo(buf *bytes.Buffer) {
+	start := buf.Len()
+	buf.WriteString(xmlDecl)
+	xmlutil.EncodeTo(buf, e.envelopeElement())
+	encodedBytes.Add(int64(buf.Len() - start))
+}
+
+// Marshal serialises the envelope, prepending the XML declaration. The
+// encode runs through a pooled scratch buffer; the returned slice is a
+// right-sized copy owned by the caller.
+func (e *Envelope) Marshal() []byte {
+	buf := getBuffer()
+	e.encodeTo(buf)
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	putBuffer(buf)
+	return out
 }
 
 // ParseEnvelope decodes a serialised envelope.

@@ -391,9 +391,12 @@ func (d *Database) bindTable(tr *TableRef, env *evalEnv) ([][]Value, []boundColu
 	return rows, cols, nil
 }
 
-// joinRows performs a nested-loop join of the accumulated left rows
-// with the right table's rows. env.cols currently describes only the
-// left side; the ON expression is evaluated against left+right.
+// joinRows joins the accumulated left rows with the right table's
+// rows. env.cols currently describes only the left side; the ON
+// expression is evaluated against left+right. When the ON carries a
+// hashable equi-join conjunct the hash fast path (join.go) runs;
+// otherwise — or when the fast path bails on a hash-defeating value —
+// the nested loop below is the reference implementation.
 func joinRows(left [][]Value, right [][]Value, env *evalEnv, rcols []boundColumn, j JoinClause) ([][]Value, error) {
 	joinEnv := &evalEnv{
 		cols:   append(append([]boundColumn{}, env.cols...), rcols...),
@@ -402,7 +405,21 @@ func joinRows(left [][]Value, right [][]Value, env *evalEnv, rcols []boundColumn
 		outer:  env.outer,
 		ctx:    env.ctx,
 	}
+	leftWidth := len(env.cols)
+	if !disableHashJoin && j.On != nil {
+		if k, ok := findEquiConjunct(j.On, joinEnv, leftWidth); ok {
+			out, ok, err := hashJoinRows(left, right, joinEnv, leftWidth, rcols, j, k)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				return out, nil
+			}
+		}
+	}
 	var out [][]Value
+	slab := newRowSlab(leftWidth + len(rcols))
+	scratch := make([]Value, leftWidth+len(rcols))
 	nullRight := make([]Value, len(rcols))
 	for i := range nullRight {
 		nullRight[i] = Null
@@ -411,13 +428,20 @@ func joinRows(left [][]Value, right [][]Value, env *evalEnv, rcols []boundColumn
 		if j.On == nil {
 			return true, nil
 		}
-		combined := append(append(make([]Value, 0, len(l)+len(r)), l...), r...)
-		joinEnv.row = combined
+		copy(scratch, l)
+		copy(scratch[len(l):], r)
+		joinEnv.row = scratch
 		v, err := eval(j.On, joinEnv)
 		if err != nil {
 			return false, err
 		}
 		return truthy(v)
+	}
+	combine := func(l, r []Value) []Value {
+		row := slab.next()
+		copy(row, l)
+		copy(row[len(l):], r)
+		return row
 	}
 	for _, l := range left {
 		if err := joinEnv.checkCtx(); err != nil {
@@ -433,21 +457,16 @@ func joinRows(left [][]Value, right [][]Value, env *evalEnv, rcols []boundColumn
 				continue
 			}
 			matched = true
-			out = append(out, append(append(make([]Value, 0, len(l)+len(r)), l...), r...))
+			out = append(out, combine(l, r))
 		}
 		if !matched && j.Kind == JoinLeft {
-			out = append(out, append(append(make([]Value, 0, len(l)+len(nullRight)), l...), nullRight...))
+			out = append(out, combine(l, nullRight))
 		}
 	}
 	if j.Kind == JoinRight {
 		// Preserve right rows with no left match; the left side of the
 		// combined row is NULL. Column order stays left-then-right.
-		var nullLeft []Value
-		if len(left) > 0 {
-			nullLeft = make([]Value, len(left[0]))
-		} else {
-			nullLeft = make([]Value, len(env.cols))
-		}
+		nullLeft := make([]Value, leftWidth)
 		for i := range nullLeft {
 			nullLeft[i] = Null
 		}
@@ -464,7 +483,7 @@ func joinRows(left [][]Value, right [][]Value, env *evalEnv, rcols []boundColumn
 				}
 			}
 			if !matched {
-				out = append(out, append(append(make([]Value, 0, len(nullLeft)+len(r)), nullLeft...), r...))
+				out = append(out, combine(nullLeft, r))
 			}
 		}
 	}
@@ -490,23 +509,32 @@ func (d *Database) execProjection(st *SelectStmt, rows [][]Value, env *evalEnv) 
 	}
 	out := &ResultSet{Columns: cols}
 	var orderKeys [][]Value
+	slab := newRowSlab(len(exprs))
+	// The alias map only feeds ORDER BY resolution; skip building it
+	// (one map per row) when there is nothing to sort.
+	needAliases := len(st.OrderBy) > 0
 	for _, r := range rows {
 		if err := env.checkCtx(); err != nil {
 			return nil, nil, err
 		}
 		env.row = r
-		vals := make([]Value, len(exprs))
-		aliases := map[string]Value{}
+		vals := slab.next()
+		var aliases map[string]Value
+		if needAliases {
+			aliases = make(map[string]Value, len(exprs))
+		}
 		for i, e := range exprs {
 			v, err := eval(e, env)
 			if err != nil {
 				return nil, nil, err
 			}
 			vals[i] = v
-			aliases[strings.ToLower(cols[i].Name)] = v
+			if needAliases {
+				aliases[strings.ToLower(cols[i].Name)] = v
+			}
 		}
 		out.Rows = append(out.Rows, vals)
-		if len(st.OrderBy) > 0 {
+		if needAliases {
 			env.aliases = aliases
 			keys, err := evalOrderKeys(st.OrderBy, env, vals)
 			env.aliases = nil

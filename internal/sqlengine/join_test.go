@@ -1,0 +1,197 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// seedJoinCorpus builds two tables with every hashable key type,
+// duplicate keys (fan-out), NULL keys on both sides, and rows that
+// match nothing — the shapes that distinguish a correct hash join from
+// a lucky one.
+func seedJoinCorpus(t testing.TB) *Engine {
+	t.Helper()
+	e := New("joindb")
+	e.MustExec(`CREATE TABLE l (id INTEGER PRIMARY KEY, k INTEGER, di DOUBLE, s VARCHAR(16), bo BOOLEAN, ts TIMESTAMP)`)
+	e.MustExec(`CREATE TABLE r (id INTEGER PRIMARY KEY, k INTEGER, di DOUBLE, s VARCHAR(16), bo BOOLEAN, ts TIMESTAMP)`)
+	t0 := time.Date(2005, 9, 1, 12, 0, 0, 0, time.UTC)
+	ins := func(table string, id, k int, kNull bool, di float64, s string, sNull bool, bo bool, tsOffset int) {
+		kv := NewInt(int64(k))
+		if kNull {
+			kv = Null
+		}
+		sv := NewString(s)
+		if sNull {
+			sv = Null
+		}
+		_, err := e.Exec(fmt.Sprintf(`INSERT INTO %s VALUES (?, ?, ?, ?, ?, ?)`, table),
+			NewInt(int64(id)), kv, NewDouble(di), sv, NewBool(bo),
+			NewTimestamp(t0.Add(time.Duration(tsOffset)*time.Hour)))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	ins("l", 1, 10, false, 10, "ann", false, true, 0)
+	ins("l", 2, 20, false, 20.5, "bob", false, false, 1)
+	ins("l", 3, 10, false, 10, "carol", false, true, 0)
+	ins("l", 4, 0, true, 30, "dan", false, false, 2) // NULL key
+	ins("l", 5, 99, false, 99, "eve", true, true, 5) // matches nothing
+	ins("r", 1, 10, false, 10, "ann", false, true, 0)
+	ins("r", 2, 10, false, 11, "zed", false, false, 3)
+	ins("r", 3, 20, false, 20.5, "bob", false, true, 1)
+	ins("r", 4, 0, true, 10, "ann", false, true, 0)    // NULL key
+	ins("r", 5, 77, false, 77, "gil", false, false, 7) // matches nothing
+	return e
+}
+
+// dumpSet renders a result set canonically — column metadata plus every
+// value with its runtime type — so two executions can be compared for
+// byte-identical output including row order.
+func dumpSet(rs *ResultSet) string {
+	var b strings.Builder
+	for _, c := range rs.Columns {
+		fmt.Fprintf(&b, "%s:%s:%s|", c.Name, c.Type, c.Table)
+	}
+	b.WriteByte('\n')
+	for _, r := range rs.Rows {
+		for _, v := range r {
+			if v.IsNull() {
+				b.WriteString("NULL,")
+			} else {
+				fmt.Fprintf(&b, "%s(%s),", v.Type, v.String())
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// joinCorpus is every join shape the equivalence test runs through
+// both execution paths. No ORDER BY: output order itself is part of
+// the contract.
+var joinCorpus = []string{
+	`SELECT l.id, r.id FROM l JOIN r ON l.k = r.k`,
+	`SELECT l.id, r.id FROM l LEFT JOIN r ON l.k = r.k`,
+	`SELECT l.id, r.id FROM l RIGHT JOIN r ON l.k = r.k`,
+	`SELECT r.id, l.id FROM r JOIN l ON r.k = l.k`,
+	`SELECT l.id, r.id FROM l JOIN r ON l.di = r.k`,                              // DOUBLE = INTEGER cross-width
+	`SELECT l.id, r.id FROM l JOIN r ON l.k = r.di`,                              // INTEGER = DOUBLE cross-width
+	`SELECT l.id, r.id FROM l LEFT JOIN r ON l.di = r.di`,                        // DOUBLE = DOUBLE
+	`SELECT l.s, r.s FROM l JOIN r ON l.s = r.s`,                                 // VARCHAR key, NULL on left
+	`SELECT l.id, r.id FROM l JOIN r ON l.bo = r.bo`,                             // BOOLEAN key, heavy fan-out
+	`SELECT l.id, r.id FROM l JOIN r ON l.ts = r.ts`,                             // TIMESTAMP key
+	`SELECT l.id, r.id FROM l JOIN r ON l.k = r.k AND l.id < r.id`,               // residual conjunct
+	`SELECT l.id, r.id FROM l JOIN r ON l.id < r.id AND l.k = r.k`,               // equi conjunct second
+	`SELECT l.id, r.id FROM l JOIN r ON l.k = r.k AND r.bo = TRUE`,               // constant residual
+	`SELECT a.id, b.id FROM l a JOIN l b ON a.k = b.k`,                           // self join via aliases
+	`SELECT l.id, r.id, b.id FROM l JOIN r ON l.k = r.k JOIN l b ON r.id = b.id`, // chained joins
+	`SELECT l.id, r.id FROM l JOIN r ON l.k = r.k WHERE r.bo = FALSE`,
+	`SELECT l.id, COUNT(*) FROM l JOIN r ON l.k = r.k GROUP BY l.id`,
+	`SELECT l.id, r.id FROM l JOIN r ON l.k < r.k`,     // non-equi: nested loop both ways
+	`SELECT l.id, r.id FROM l JOIN r ON l.k + 0 = r.k`, // expression side: fallback
+	`SELECT l.id, r.id FROM l RIGHT JOIN r ON l.s = r.s AND l.id <> r.id`,
+}
+
+// TestHashJoinMatchesNestedLoop runs the corpus with the hash fast
+// path enabled and disabled and requires byte-identical output —
+// values, runtime types, column metadata and row order.
+func TestHashJoinMatchesNestedLoop(t *testing.T) {
+	for _, sql := range joinCorpus {
+		t.Run(sql, func(t *testing.T) {
+			run := func(disable bool) string {
+				old := disableHashJoin
+				disableHashJoin = disable
+				defer func() { disableHashJoin = old }()
+				e := seedJoinCorpus(t)
+				res, err := e.Exec(sql)
+				if err != nil {
+					t.Fatalf("%s: %v", sql, err)
+				}
+				return dumpSet(res.Set)
+			}
+			hash, nested := run(false), run(true)
+			if hash != nested {
+				t.Fatalf("hash join diverges from nested loop for %q:\n--- hash ---\n%s--- nested ---\n%s", sql, hash, nested)
+			}
+		})
+	}
+}
+
+// TestHashJoinEngages proves the fast path actually runs for an
+// equi-join (the equivalence test alone would pass even if the
+// detector never fired).
+func TestHashJoinEngages(t *testing.T) {
+	e := seedJoinCorpus(t)
+	before := hashJoinUses.Load()
+	if _, err := e.Exec(`SELECT l.id, r.id FROM l JOIN r ON l.k = r.k`); err != nil {
+		t.Fatal(err)
+	}
+	if hashJoinUses.Load() == before {
+		t.Fatal("hash join did not engage for a plain equi-join")
+	}
+	// A non-equi ON must not engage it.
+	before = hashJoinUses.Load()
+	if _, err := e.Exec(`SELECT l.id, r.id FROM l JOIN r ON l.k < r.k`); err != nil {
+		t.Fatal(err)
+	}
+	if hashJoinUses.Load() != before {
+		t.Fatal("hash join engaged for a non-equi join")
+	}
+}
+
+// TestHashJoinTypeMismatchStillErrors: comparing VARCHAR with INTEGER
+// is a type error in the nested loop; the hash path must refuse the
+// key and surface the same error, not silently return zero rows.
+func TestHashJoinTypeMismatchStillErrors(t *testing.T) {
+	e := seedJoinCorpus(t)
+	for _, disable := range []bool{false, true} {
+		old := disableHashJoin
+		disableHashJoin = disable
+		_, err := e.Exec(`SELECT l.id FROM l JOIN r ON l.s = r.k`)
+		disableHashJoin = old
+		if err == nil {
+			t.Fatalf("disable=%v: expected type-mismatch error", disable)
+		}
+	}
+}
+
+// TestHashJoinNaNBailout: NaN keys defeat hashing (Compare treats NaN
+// as equal to everything), so the join must detect them and fall back
+// mid-flight with results identical to the nested loop.
+func TestHashJoinNaNBailout(t *testing.T) {
+	run := func(disable bool) string {
+		old := disableHashJoin
+		disableHashJoin = disable
+		defer func() { disableHashJoin = old }()
+		e := New("nan")
+		e.MustExec(`CREATE TABLE a (id INTEGER PRIMARY KEY, x DOUBLE)`)
+		e.MustExec(`CREATE TABLE b (id INTEGER PRIMARY KEY, x DOUBLE)`)
+		nan := Value{Type: TypeDouble, F: nanFloat()}
+		mustParam(t, e, `INSERT INTO a VALUES (?, ?)`, NewInt(1), nan)
+		mustParam(t, e, `INSERT INTO a VALUES (?, ?)`, NewInt(2), NewDouble(1))
+		mustParam(t, e, `INSERT INTO b VALUES (?, ?)`, NewInt(1), NewDouble(1))
+		mustParam(t, e, `INSERT INTO b VALUES (?, ?)`, NewInt(2), nan)
+		res, err := e.Exec(`SELECT a.id, b.id FROM a JOIN b ON a.x = b.x`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dumpSet(res.Set)
+	}
+	if hash, nested := run(false), run(true); hash != nested {
+		t.Fatalf("NaN keys diverge:\n--- hash ---\n%s--- nested ---\n%s", hash, nested)
+	}
+}
+
+func nanFloat() float64 {
+	z := 0.0
+	return z / z
+}
+
+func mustParam(t testing.TB, e *Engine, sql string, params ...Value) {
+	t.Helper()
+	if _, err := e.Exec(sql, params...); err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+}

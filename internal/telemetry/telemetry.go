@@ -16,6 +16,8 @@ package telemetry
 import (
 	"log/slog"
 	"time"
+
+	"dais/internal/soap"
 )
 
 // Metric names exposed by the standard Observer instruments. Keeping
@@ -29,6 +31,9 @@ const (
 	MetricFaults   = "dais_faults_total"            // side, op, code
 	MetricWSRFLive = "dais_wsrf_resources"          // service, kind
 	MetricWSRFDead = "dais_wsrf_terminations_total" // service
+	// Encode-path series collected at scrape time from soap.EncodeStats.
+	MetricEncodeBytes = "dais_encode_bytes_total"        // (no labels)
+	MetricEncodePool  = "dais_encode_pool_buffers_total" // outcome
 )
 
 // Label values for the side and direction keys.
@@ -91,7 +96,7 @@ func NewObserver(opts ...ObserverOption) *Observer {
 		cfg.logger = slog.Default()
 	}
 	reg := NewRegistry()
-	return &Observer{
+	obs := &Observer{
 		Registry: reg,
 		Requests: reg.NewCounterVec(MetricRequests,
 			"SOAP exchanges by operation, interface class and outcome code.",
@@ -107,6 +112,16 @@ func NewObserver(opts ...ObserverOption) *Observer {
 			"side", "op", "code"),
 		Tracer: NewTracer(cfg.spanCapacity, cfg.slowThreshold, cfg.logger),
 	}
+	// The soap encode counters are process-global atomics (the soap
+	// package cannot import telemetry), so they surface as a scrape-time
+	// collector rather than live instruments.
+	reg.RegisterCollector(func(emit func(Sample)) {
+		encoded, hits, misses := soap.EncodeStats()
+		emit(Sample{Name: MetricEncodeBytes, Value: float64(encoded)})
+		emit(Sample{Name: MetricEncodePool, Labels: map[string]string{"outcome": "hit"}, Value: float64(hits)})
+		emit(Sample{Name: MetricEncodePool, Labels: map[string]string{"outcome": "miss"}, Value: float64(misses)})
+	})
+	return obs
 }
 
 // Default is the process-wide observer the service endpoint and

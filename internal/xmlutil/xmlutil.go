@@ -10,6 +10,8 @@
 package xmlutil
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/xml"
 	"errors"
 	"fmt"
@@ -344,33 +346,67 @@ func (c *nsContext) prefix(uri string) string {
 	return p
 }
 
+// encWriter is the streaming serialisation target: bytes.Buffer,
+// strings.Builder and bufio.Writer all satisfy it without an adapter
+// allocation. Write errors surface on the underlying writer (buffer
+// writers never fail; bufio defers to Flush).
+type encWriter interface {
+	io.Writer
+	WriteString(string) (int, error)
+	WriteByte(byte) error
+}
+
 // Marshal serialises the element as a standalone XML fragment. Every
 // namespace in the subtree is declared on the root element with a
 // generated prefix, which keeps the output deterministic and avoids
 // re-declaration churn in deep trees.
 func Marshal(e *Element) []byte {
-	var b strings.Builder
+	var b bytes.Buffer
+	encodeTree(&b, e)
+	return b.Bytes()
+}
+
+// EncodeTo streams the element into w, producing exactly the bytes
+// Marshal returns but without materialising an intermediate copy. When
+// w already satisfies the buffer-writer methods (bytes.Buffer,
+// strings.Builder, bufio.Writer) it is written to directly; otherwise
+// the output is staged through a bufio.Writer.
+func EncodeTo(w io.Writer, e *Element) error {
+	if ew, ok := w.(encWriter); ok {
+		encodeTree(ew, e)
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	encodeTree(bw, e)
+	return bw.Flush()
+}
+
+// encodeTree assigns namespace prefixes and streams the subtree.
+func encodeTree(b encWriter, e *Element) {
 	ctx := &nsContext{prefixes: map[string]string{}}
 	collectNamespaces(e, ctx)
-	writeElement(&b, e, ctx, true)
-	return []byte(b.String())
+	writeElement(b, e, ctx, true)
 }
 
 // MarshalString is Marshal returning a string.
-func MarshalString(e *Element) string { return string(Marshal(e)) }
+func MarshalString(e *Element) string {
+	var b strings.Builder
+	encodeTree(&b, e)
+	return b.String()
+}
 
 // MarshalIndent serialises with two-space indentation for human output.
 func MarshalIndent(e *Element) []byte {
 	raw := Marshal(e)
-	parsed, err := Parse(strings.NewReader(string(raw)))
+	parsed, err := Parse(bytes.NewReader(raw))
 	if err != nil {
 		return raw
 	}
-	var b strings.Builder
+	var b bytes.Buffer
 	ctx := &nsContext{prefixes: map[string]string{}}
 	collectNamespaces(parsed, ctx)
 	writeIndented(&b, parsed, ctx, true, 0)
-	return []byte(b.String())
+	return b.Bytes()
 }
 
 func collectNamespaces(e *Element, ctx *nsContext) {
@@ -403,7 +439,7 @@ func collectNamespaces(e *Element, ctx *nsContext) {
 	}
 }
 
-func writeOpenTag(b *strings.Builder, e *Element, ctx *nsContext, root bool) {
+func writeOpenTag(b encWriter, e *Element, ctx *nsContext, root bool) {
 	b.WriteByte('<')
 	writeQName(b, e.Name, ctx)
 	if root {
@@ -414,19 +450,23 @@ func writeOpenTag(b *strings.Builder, e *Element, ctx *nsContext, root bool) {
 		}
 		sort.Strings(uris)
 		for _, u := range uris {
-			fmt.Fprintf(b, ` xmlns:%s="%s"`, ctx.prefixes[u], escapeAttr(u))
+			b.WriteString(` xmlns:`)
+			b.WriteString(ctx.prefixes[u])
+			b.WriteString(`="`)
+			writeEscaped(b, u, true)
+			b.WriteByte('"')
 		}
 	}
 	for _, a := range e.Attrs {
 		b.WriteByte(' ')
 		writeQName(b, a.Name, ctx)
 		b.WriteString(`="`)
-		b.WriteString(escapeAttr(a.Value))
+		writeEscaped(b, a.Value, true)
 		b.WriteByte('"')
 	}
 }
 
-func writeElement(b *strings.Builder, e *Element, ctx *nsContext, root bool) {
+func writeElement(b encWriter, e *Element, ctx *nsContext, root bool) {
 	writeOpenTag(b, e, ctx, root)
 	if len(e.Children) == 0 {
 		b.WriteString("/>")
@@ -436,7 +476,7 @@ func writeElement(b *strings.Builder, e *Element, ctx *nsContext, root bool) {
 	for _, c := range e.Children {
 		switch n := c.(type) {
 		case Text:
-			b.WriteString(escapeText(string(n)))
+			writeEscaped(b, string(n), false)
 		case *Element:
 			writeElement(b, n, ctx, false)
 		}
@@ -446,7 +486,7 @@ func writeElement(b *strings.Builder, e *Element, ctx *nsContext, root bool) {
 	b.WriteByte('>')
 }
 
-func writeIndented(b *strings.Builder, e *Element, ctx *nsContext, root bool, depth int) {
+func writeIndented(b encWriter, e *Element, ctx *nsContext, root bool, depth int) {
 	indent := strings.Repeat("  ", depth)
 	b.WriteString(indent)
 	writeOpenTag(b, e, ctx, root)
@@ -457,7 +497,7 @@ func writeIndented(b *strings.Builder, e *Element, ctx *nsContext, root bool, de
 	elems := e.ChildElements()
 	if len(elems) == 0 {
 		b.WriteByte('>')
-		b.WriteString(escapeText(e.Text()))
+		writeEscaped(b, e.Text(), false)
 		b.WriteString("</")
 		writeQName(b, e.Name, ctx)
 		b.WriteString(">\n")
@@ -473,7 +513,7 @@ func writeIndented(b *strings.Builder, e *Element, ctx *nsContext, root bool, de
 	b.WriteString(">\n")
 }
 
-func writeQName(b *strings.Builder, n Name, ctx *nsContext) {
+func writeQName(b encWriter, n Name, ctx *nsContext) {
 	if n.Space != "" {
 		b.WriteString(ctx.prefixes[n.Space])
 		b.WriteByte(':')
@@ -481,14 +521,34 @@ func writeQName(b *strings.Builder, n Name, ctx *nsContext) {
 	b.WriteString(n.Local)
 }
 
-func escapeText(s string) string {
-	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
-	return r.Replace(s)
-}
-
-func escapeAttr(s string) string {
-	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
-	return r.Replace(s)
+// writeEscaped streams s with XML escaping, writing unescaped spans in
+// single WriteString calls so clean text (the overwhelmingly common
+// case for DAIS payloads) costs zero allocations. Attribute values
+// additionally escape the double quote used as the delimiter.
+func writeEscaped(b encWriter, s string, attr bool) {
+	last := 0
+	for i := 0; i < len(s); i++ {
+		var esc string
+		switch s[i] {
+		case '&':
+			esc = "&amp;"
+		case '<':
+			esc = "&lt;"
+		case '>':
+			esc = "&gt;"
+		case '"':
+			if !attr {
+				continue
+			}
+			esc = "&quot;"
+		default:
+			continue
+		}
+		b.WriteString(s[last:i])
+		b.WriteString(esc)
+		last = i + 1
+	}
+	b.WriteString(s[last:])
 }
 
 // Equal reports deep equality of two elements: same name, attributes
