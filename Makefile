@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench bench-smoke
+.PHONY: all build test race vet fmt check bench bench-smoke chaos soak fuzz-smoke
 
 all: build
 
@@ -31,3 +31,19 @@ bench:
 # without paying for a real measurement run. CI runs this.
 bench-smoke:
 	$(GO) test -run NONE -bench . -benchtime 1x ./...
+
+# Fault-injection suite under the race detector: chaos byte-identity,
+# breaker recovery, admission shedding and the short soak. CI runs this.
+chaos:
+	$(GO) test -race -shuffle=on -count=1 -run 'TestChaos|TestAdmission' ./internal/service/
+
+# Long-form soak: 10k injected-failure exchanges with goroutine
+# hygiene asserted afterwards. Not run in CI on every push.
+soak:
+	DAIS_SOAK=1 $(GO) test -race -count=1 -run TestChaosSoakGoroutineHygiene -v ./internal/service/
+
+# Short fuzz pass over each parser target; scheduled CI runs this.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzParseEnvelope -fuzztime $(FUZZTIME) ./internal/soap/
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/xmlutil/

@@ -7,6 +7,7 @@
 //
 //	daisd [-addr :8090] [-wsrf] [-seed-rows 1000] [-concurrent=true] [-reap 5s]
 //	      [-ops-addr 127.0.0.1:9090] [-pprof] [-log-level info] [-log-json] [-slow 1s]
+//	      [-max-inflight 0] [-per-resource-inflight 0]
 //
 // On startup it logs the endpoint URLs and the abstract names of the
 // hosted resources; point daisql / daixq at them. Observability lives
@@ -14,6 +15,12 @@
 // registries and backends) and /spans (recent request spans) — on the
 // main listener and, when -ops-addr is set, on a separate ops listener
 // that optionally adds net/http/pprof.
+//
+// -max-inflight bounds concurrent requests per endpoint and
+// -per-resource-inflight bounds them per data resource; excess load is
+// shed with a ServiceBusyFault carried on HTTP 503 + Retry-After,
+// which resilient clients honour as retry pacing (DESIGN.md §5
+// "Resilience architecture").
 package main
 
 import (
@@ -36,6 +43,7 @@ import (
 	"dais/internal/dair"
 	"dais/internal/daix"
 	"dais/internal/filestore"
+	"dais/internal/resil"
 	"dais/internal/service"
 	"dais/internal/soap"
 	"dais/internal/sqlengine"
@@ -56,6 +64,8 @@ func main() {
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error (debug logs every request)")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	slow := flag.Duration("slow", time.Second, "slow-call log threshold (0 disables)")
+	maxInFlight := flag.Int("max-inflight", 0, "per-endpoint in-flight request cap; excess requests are shed with HTTP 503 + Retry-After (0 disables admission control)")
+	perResource := flag.Int("per-resource-inflight", 0, "per-data-resource in-flight request cap (0 disables)")
 	flag.Parse()
 
 	logger := newLogger(os.Stderr, *logLevel, *logJSON)
@@ -68,13 +78,15 @@ func main() {
 	base := "http://" + ln.Addr().String()
 
 	srv, stop := buildServer(base, config{
-		wsrf:       *useWSRF,
-		seedRows:   *seedRows,
-		concurrent: *concurrent,
-		reap:       *reap,
-		slow:       *slow,
-		logger:     logger,
-		logCalls:   logger.Enabled(context.Background(), slog.LevelDebug),
+		wsrf:        *useWSRF,
+		seedRows:    *seedRows,
+		concurrent:  *concurrent,
+		reap:        *reap,
+		slow:        *slow,
+		logger:      logger,
+		logCalls:    logger.Enabled(context.Background(), slog.LevelDebug),
+		maxInFlight: *maxInFlight,
+		perResource: *perResource,
 	})
 	defer stop()
 
@@ -155,6 +167,10 @@ type config struct {
 	slow       time.Duration // slow-call log threshold (0 disables)
 	logger     *slog.Logger  // nil = slog.Default()
 	logCalls   bool          // log every request at debug level
+	// Admission control: in-flight caps per endpoint and per data
+	// resource; both 0 = accept unbounded concurrency.
+	maxInFlight int
+	perResource int
 }
 
 // server bundles the composed endpoints for main and for tests.
@@ -187,6 +203,16 @@ func buildServer(base string, cfg config) (*server, func()) {
 		}
 		if cfg.wsrf {
 			out = append(out, service.WithWSRF())
+		}
+		if cfg.maxInFlight > 0 || cfg.perResource > 0 {
+			global := cfg.maxInFlight
+			if global == 0 {
+				global = -1 // only the per-resource cap was requested
+			}
+			out = append(out, service.WithAdmission(resil.AdmissionConfig{
+				MaxInFlight: global,
+				PerResource: cfg.perResource,
+			}))
 		}
 		return out
 	}

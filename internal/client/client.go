@@ -19,6 +19,7 @@ import (
 	"dais/internal/core"
 	"dais/internal/dair"
 	"dais/internal/ops"
+	"dais/internal/resil"
 	"dais/internal/rowset"
 	"dais/internal/service"
 	"dais/internal/soap"
@@ -87,10 +88,28 @@ func New(hc *http.Client, interceptors ...soap.Interceptor) *Client {
 // NewObserved is New recording into a specific observer (nil disables
 // client-side instrumentation).
 func NewObserved(hc *http.Client, obs *telemetry.Observer, interceptors ...soap.Interceptor) *Client {
+	cfg := resil.DefaultClientConfig()
+	return NewResilient(hc, obs, cfg, interceptors...)
+}
+
+// NewResilient is NewObserved with an explicit resilience policy. The
+// interceptor chain runs request-ID, telemetry, resilience, then the
+// extra interceptors: retries happen inside the telemetry boundary so
+// each logical call stays one metric observation and one span however
+// many attempts it takes. The resilience layer retries only operations
+// the ops catalog marks idempotent, within the caller's context
+// deadline, and trips a per-endpoint circuit breaker on consecutive
+// transport failures (see internal/resil). A zero ClientConfig disables
+// retries and breaking.
+func NewResilient(hc *http.Client, obs *telemetry.Observer, cfg resil.ClientConfig, interceptors ...soap.Interceptor) *Client {
+	if cfg.Observer == nil {
+		cfg.Observer = obs
+	}
 	ics := []soap.Interceptor{soap.ClientRequestID()}
 	if obs != nil {
 		ics = append(ics, obs.ClientInterceptor())
 	}
+	ics = append(ics, resil.NewClientResilience(cfg))
 	ics = append(ics, interceptors...)
 	sc := soap.NewClient(hc, ics...)
 	if obs != nil {

@@ -16,6 +16,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 )
 
 // The DAIS fault taxonomy. Service layers map these to SOAP faults
@@ -35,8 +36,15 @@ type (
 	// InvalidExpressionFault reports a malformed query expression.
 	InvalidExpressionFault struct{ Detail string }
 	// ServiceBusyFault reports that the service cannot accept the
-	// request (e.g. ConcurrentAccess=false and a request is in flight).
-	ServiceBusyFault struct{}
+	// request: ConcurrentAccess=false with a request in flight, or the
+	// admission gate shedding load above its in-flight caps. Reason
+	// refines the message; RetryAfter is the pacing hint the service
+	// layer writes as (and the consumer parses back from) the HTTP
+	// Retry-After header.
+	ServiceBusyFault struct {
+		Reason     string
+		RetryAfter time.Duration
+	}
 	// RequestTimeoutFault reports that a request's deadline expired (or
 	// its context was cancelled) before the operation completed.
 	RequestTimeoutFault struct{ Detail string }
@@ -63,6 +71,9 @@ func (f *InvalidExpressionFault) Error() string {
 }
 
 func (f *ServiceBusyFault) Error() string {
+	if f.Reason != "" {
+		return "dais: ServiceBusyFault: " + f.Reason
+	}
 	return "dais: ServiceBusyFault: service does not support concurrent access"
 }
 

@@ -1,0 +1,233 @@
+// Package faultinject is the failure-injection harness the chaos suite
+// drives the DAIS stack with: a consumer-side http.RoundTripper and a
+// service-side soap.Interceptor that corrupt a seeded, reproducible
+// fraction of exchanges. It exists to prove the resilience layer
+// (internal/resil) — that retried idempotent operations return results
+// byte-identical to failure-free runs, that non-idempotent operations
+// are never replayed, and that breakers and admission gates behave as
+// specified — not to simulate any particular network.
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Mode is one injected failure class.
+type Mode string
+
+const (
+	// ModeDrop severs the exchange: the request never reaches the
+	// server and the consumer sees a transport error.
+	ModeDrop Mode = "drop"
+	// ModeDelay stalls the exchange before forwarding it.
+	ModeDelay Mode = "delay"
+	// ModeCorrupt forwards the exchange but truncates and mangles the
+	// response so the envelope no longer parses.
+	ModeCorrupt Mode = "corrupt"
+	// ModeBusy short-circuits with a synthetic HTTP 503 + Retry-After,
+	// imitating an overloaded endpoint shedding load.
+	ModeBusy Mode = "busy"
+)
+
+// Plan configures what a Transport injects.
+type Plan struct {
+	// Seed fixes the failure sequence; runs with the same seed, plan and
+	// call order inject identically.
+	Seed int64
+	// Rate is the fraction of matched exchanges to corrupt, in [0, 1].
+	Rate float64
+	// Modes are the failure classes drawn from (uniformly) when an
+	// exchange is selected. Empty selects ModeDrop only.
+	Modes []Mode
+	// Delay is the stall applied by ModeDelay (default 10ms).
+	Delay time.Duration
+	// RetryAfter is the pacing hint attached to ModeBusy responses
+	// (default 1s — kept whole-second because the header is integral).
+	RetryAfter time.Duration
+	// Match filters by SOAPAction: only matching exchanges are eligible
+	// for injection. Nil matches everything. The chaos suite uses it to
+	// confine failures to idempotent operations when proving
+	// byte-identical recovery.
+	Match func(action string) bool
+}
+
+// Transport is a failure-injecting http.RoundTripper wrapping a real
+// transport. It decides per-exchange — under a seeded RNG, so runs are
+// reproducible — whether to forward, drop, delay, corrupt or 503 the
+// exchange, and counts what it did.
+type Transport struct {
+	next http.RoundTripper
+	plan Plan
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	injected map[Mode]int
+	attempts map[string]int
+}
+
+// NewTransport wraps next (nil selects http.DefaultTransport) with the
+// plan's failure behaviour.
+func NewTransport(next http.RoundTripper, plan Plan) *Transport {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	if len(plan.Modes) == 0 {
+		plan.Modes = []Mode{ModeDrop}
+	}
+	if plan.Delay == 0 {
+		plan.Delay = 10 * time.Millisecond
+	}
+	if plan.RetryAfter == 0 {
+		plan.RetryAfter = time.Second
+	}
+	return &Transport{
+		next:     next,
+		plan:     plan,
+		rng:      rand.New(rand.NewSource(plan.Seed)), //nolint:gosec // reproducibility, not security
+		injected: make(map[Mode]int),
+		attempts: make(map[string]int),
+	}
+}
+
+// SetRate changes the injection rate at runtime. Chaos tests use it to
+// stage scenarios: fail everything until a breaker opens, then heal the
+// path and watch the half-open probe recover.
+func (t *Transport) SetRate(rate float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.plan.Rate = rate
+}
+
+// Injected reports how many exchanges were corrupted with the given
+// mode.
+func (t *Transport) Injected(mode Mode) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.injected[mode]
+}
+
+// InjectedTotal reports all corrupted exchanges.
+func (t *Transport) InjectedTotal() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, c := range t.injected {
+		n += c
+	}
+	return n
+}
+
+// Attempts reports how many exchanges carried the given SOAPAction
+// (every attempt counts, injected or not — the chaos suite uses it to
+// assert non-idempotent operations are tried exactly once).
+func (t *Transport) Attempts(action string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.attempts[action]
+}
+
+// decide records the attempt and picks the failure to inject (or "").
+func (t *Transport) decide(action string) Mode {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.attempts[action]++
+	if t.plan.Rate <= 0 || (t.plan.Match != nil && !t.plan.Match(action)) {
+		return ""
+	}
+	if t.rng.Float64() >= t.plan.Rate {
+		return ""
+	}
+	m := t.plan.Modes[t.rng.Intn(len(t.plan.Modes))]
+	t.injected[m]++
+	return m
+}
+
+// RoundTrip implements http.RoundTripper. Failure paths consume and
+// close the request body first — the RoundTripper contract — so the
+// caller's connection state stays sound.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	action := trimQuotes(req.Header.Get("SOAPAction"))
+	switch mode := t.decide(action); mode {
+	case ModeDrop:
+		drainRequest(req)
+		return nil, fmt.Errorf("faultinject: dropped exchange for %s", action)
+	case ModeDelay:
+		select {
+		case <-time.After(t.plan.Delay):
+		case <-req.Context().Done():
+			drainRequest(req)
+			return nil, req.Context().Err()
+		}
+		return t.next.RoundTrip(req)
+	case ModeCorrupt:
+		resp, err := t.next.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		return corruptResponse(resp)
+	case ModeBusy:
+		drainRequest(req)
+		secs := int(t.plan.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		body := "injected overload"
+		return &http.Response{
+			Status:     "503 Service Unavailable",
+			StatusCode: http.StatusServiceUnavailable,
+			Proto:      req.Proto,
+			ProtoMajor: req.ProtoMajor,
+			ProtoMinor: req.ProtoMinor,
+			Header: http.Header{
+				"Content-Type": []string{"text/plain"},
+				"Retry-After":  []string{fmt.Sprint(secs)},
+			},
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	default:
+		return t.next.RoundTrip(req)
+	}
+}
+
+// drainRequest consumes and closes the request body, as the
+// RoundTripper contract requires even on failure.
+func drainRequest(req *http.Request) {
+	if req.Body == nil {
+		return
+	}
+	io.Copy(io.Discard, req.Body) //nolint:errcheck // best-effort drain
+	req.Body.Close()
+}
+
+// corruptResponse reads the real response, truncates it mid-envelope
+// and flips the tail into junk so the consumer's parser fails, then
+// hands back a replacement body. The real body is fully drained and
+// closed so the underlying keep-alive connection stays reusable.
+func corruptResponse(resp *http.Response) (*http.Response, error) {
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, fmt.Errorf("faultinject: read for corruption: %w", err)
+	}
+	cut := len(data) / 2
+	mangled := append(append([]byte{}, data[:cut]...), []byte("<<garbage")...)
+	resp.Body = io.NopCloser(strings.NewReader(string(mangled)))
+	resp.ContentLength = int64(len(mangled))
+	resp.Header.Del("Content-Length")
+	return resp, nil
+}
+
+func trimQuotes(s string) string {
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		return s[1 : len(s)-1]
+	}
+	return s
+}

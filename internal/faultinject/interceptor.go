@@ -1,0 +1,114 @@
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"dais/internal/core"
+	"dais/internal/soap"
+)
+
+// Server-side failure classes for ServerInterceptor.
+const (
+	// ModeFault answers with a generic SOAP Server fault instead of
+	// dispatching the operation.
+	ModeFault Mode = "fault"
+)
+
+// ServerPlan configures a service-side injection interceptor.
+type ServerPlan struct {
+	// Seed fixes the failure sequence.
+	Seed int64
+	// Rate is the fraction of matched requests to disturb, in [0, 1].
+	Rate float64
+	// Modes are drawn uniformly per disturbed request: ModeDelay stalls
+	// before dispatch, ModeFault answers a Server fault, ModeBusy
+	// answers a ServiceBusyFault (which the service layer maps to
+	// HTTP 503 + Retry-After). Empty selects ModeFault only.
+	Modes []Mode
+	// Delay is the stall applied by ModeDelay (default 10ms).
+	Delay time.Duration
+	// RetryAfter is the hint attached to ModeBusy faults (default 1s).
+	RetryAfter time.Duration
+	// Match filters by action URI; nil matches everything.
+	Match func(action string) bool
+}
+
+// ServerInterceptor is a soap.Interceptor that disturbs a seeded
+// fraction of dispatched requests before (or instead of) invoking the
+// real handler. Install it via service.WithInterceptors to chaos-test
+// the full server path, typed-fault mapping included.
+type ServerInterceptor struct {
+	plan ServerPlan
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	injected map[Mode]int
+}
+
+// NewServerInterceptor builds a service-side injector from the plan.
+func NewServerInterceptor(plan ServerPlan) *ServerInterceptor {
+	if len(plan.Modes) == 0 {
+		plan.Modes = []Mode{ModeFault}
+	}
+	if plan.Delay == 0 {
+		plan.Delay = 10 * time.Millisecond
+	}
+	if plan.RetryAfter == 0 {
+		plan.RetryAfter = time.Second
+	}
+	return &ServerInterceptor{
+		plan:     plan,
+		rng:      rand.New(rand.NewSource(plan.Seed)), //nolint:gosec // reproducibility, not security
+		injected: make(map[Mode]int),
+	}
+}
+
+// Injected reports how many requests were disturbed with the mode.
+func (si *ServerInterceptor) Injected(mode Mode) int {
+	si.mu.Lock()
+	defer si.mu.Unlock()
+	return si.injected[mode]
+}
+
+func (si *ServerInterceptor) decide(action string) Mode {
+	si.mu.Lock()
+	defer si.mu.Unlock()
+	if si.plan.Rate <= 0 || (si.plan.Match != nil && !si.plan.Match(action)) {
+		return ""
+	}
+	if si.rng.Float64() >= si.plan.Rate {
+		return ""
+	}
+	m := si.plan.Modes[si.rng.Intn(len(si.plan.Modes))]
+	si.injected[m]++
+	return m
+}
+
+// Interceptor returns the soap.Interceptor to install in the service
+// chain.
+func (si *ServerInterceptor) Interceptor() soap.Interceptor {
+	return func(ctx context.Context, action string, env *soap.Envelope, next soap.HandlerFunc) (*soap.Envelope, error) {
+		switch si.decide(action) {
+		case ModeDelay:
+			select {
+			case <-time.After(si.plan.Delay):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return next(ctx, action, env)
+		case ModeFault:
+			return nil, soap.ServerFault("faultinject: injected server failure for %s", action)
+		case ModeBusy:
+			return nil, &core.ServiceBusyFault{
+				Reason:     fmt.Sprintf("faultinject: injected overload for %s", action),
+				RetryAfter: si.plan.RetryAfter,
+			}
+		default:
+			return next(ctx, action, env)
+		}
+	}
+}

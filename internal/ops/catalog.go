@@ -80,63 +80,63 @@ const (
 var (
 	// WS-DAI core.
 	GetPropertyDocument = Spec{Action: ActGetPropertyDocument, NS: NSDAI, Op: "GetDataResourcePropertyDocument",
-		Class: "CoreDataAccess", Iface: CoreDataAccess, Resource: KindData}
+		Class: "CoreDataAccess", Iface: CoreDataAccess, Resource: KindData, Idempotent: true}
 	GenericQuery = Spec{Action: ActGenericQuery, NS: NSDAI, Op: "GenericQuery",
 		Class: "CoreDataAccess", Iface: CoreDataAccess, Resource: KindData}
 	DestroyDataResource = Spec{Action: ActDestroyDataResource, NS: NSDAI, Op: "DestroyDataResource",
 		Class: "CoreDataAccess", Iface: CoreDataAccess, Resource: KindData}
 	GetResourceList = Spec{Action: ActGetResourceList, NS: NSDAI, Op: "GetResourceList",
-		Class: "CoreResourceList", Iface: CoreResourceList, NoName: true}
+		Class: "CoreResourceList", Iface: CoreResourceList, NoName: true, Idempotent: true}
 	ResolveName = Spec{Action: ActResolve, NS: NSDAI, Op: "Resolve",
-		Class: "CoreResourceList", Iface: CoreResourceList, Resource: KindData, EPRReply: true}
+		Class: "CoreResourceList", Iface: CoreResourceList, Resource: KindData, EPRReply: true, Idempotent: true}
 
 	// WS-DAIR.
 	SQLExecute = Spec{Action: ActSQLExecute, NS: NSDAIR, Op: "SQLExecute",
 		Class: "SQLAccess", Iface: SQLAccess, Resource: KindSQL}
 	GetSQLPropertyDocument = Spec{Action: ActGetSQLPropertyDoc, NS: NSDAIR, Op: "GetSQLPropertyDocument",
-		Class: "SQLAccess", Iface: SQLAccess, Resource: KindSQL}
+		Class: "SQLAccess", Iface: SQLAccess, Resource: KindSQL, Idempotent: true}
 	SQLExecuteFactory = Spec{Action: ActSQLExecuteFactory, NS: NSDAIR, Op: "SQLExecuteFactory",
 		Class: "SQLFactory", Iface: SQLFactory, Resource: KindSQL, EPRReply: true, PortType: "dair:SQLResponseAccess"}
 	GetSQLRowset = Spec{Action: ActGetSQLRowset, NS: NSDAIR, Op: "GetSQLRowset",
-		Class: "SQLResponseAccess", Iface: SQLResponseAccess, Resource: KindSQLResponse}
+		Class: "SQLResponseAccess", Iface: SQLResponseAccess, Resource: KindSQLResponse, Idempotent: true}
 	GetSQLUpdateCount = Spec{Action: ActGetSQLUpdateCount, NS: NSDAIR, Op: "GetSQLUpdateCount",
-		Class: "SQLResponseAccess", Iface: SQLResponseAccess, Resource: KindSQLResponse}
+		Class: "SQLResponseAccess", Iface: SQLResponseAccess, Resource: KindSQLResponse, Idempotent: true}
 	GetSQLReturnValue = Spec{Action: ActGetSQLReturnValue, NS: NSDAIR, Op: "GetSQLReturnValue",
-		Class: "SQLResponseAccess", Iface: SQLResponseAccess, Resource: KindSQLResponse}
+		Class: "SQLResponseAccess", Iface: SQLResponseAccess, Resource: KindSQLResponse, Idempotent: true}
 	GetSQLOutputParameter = Spec{Action: ActGetSQLOutputParameter, NS: NSDAIR, Op: "GetSQLOutputParameter",
-		Class: "SQLResponseAccess", Iface: SQLResponseAccess, Resource: KindSQLResponse}
+		Class: "SQLResponseAccess", Iface: SQLResponseAccess, Resource: KindSQLResponse, Idempotent: true}
 	GetSQLCommunicationArea = Spec{Action: ActGetSQLCommArea, NS: NSDAIR, Op: "GetSQLCommunicationArea",
-		Class: "SQLResponseAccess", Iface: SQLResponseAccess, Resource: KindSQLResponse}
+		Class: "SQLResponseAccess", Iface: SQLResponseAccess, Resource: KindSQLResponse, Idempotent: true}
 	GetSQLResponseItem = Spec{Action: ActGetSQLResponseItem, NS: NSDAIR, Op: "GetSQLResponseItem",
-		Class: "SQLResponseAccess", Iface: SQLResponseAccess, Resource: KindSQLResponse}
+		Class: "SQLResponseAccess", Iface: SQLResponseAccess, Resource: KindSQLResponse, Idempotent: true}
 	GetSQLResponsePropertyDocument = Spec{Action: ActGetSQLResponsePropDoc, NS: NSDAIR, Op: "GetSQLResponsePropertyDocument",
-		Class: "SQLResponseAccess", Iface: SQLResponseAccess, Resource: KindSQLResponse}
+		Class: "SQLResponseAccess", Iface: SQLResponseAccess, Resource: KindSQLResponse, Idempotent: true}
 	SQLRowsetFactory = Spec{Action: ActSQLRowsetFactory, NS: NSDAIR, Op: "SQLRowsetFactory",
 		Class: "SQLResponseFactory", Iface: SQLResponseFactory, Resource: KindSQLResponse, EPRReply: true, PortType: "dair:SQLRowsetAccess"}
 	GetTuples = Spec{Action: ActGetTuples, NS: NSDAIR, Op: "GetTuples",
-		Class: "SQLRowsetAccess", Iface: SQLRowsetAccess, Resource: KindSQLRowset}
+		Class: "SQLRowsetAccess", Iface: SQLRowsetAccess, Resource: KindSQLRowset, Idempotent: true}
 	GetRowsetPropertyDocument = Spec{Action: ActGetRowsetPropDoc, NS: NSDAIR, Op: "GetRowsetPropertyDocument",
-		Class: "SQLRowsetAccess", Iface: SQLRowsetAccess, Resource: KindSQLRowset}
+		Class: "SQLRowsetAccess", Iface: SQLRowsetAccess, Resource: KindSQLRowset, Idempotent: true}
 
 	// WS-DAIX.
 	AddDocument = Spec{Action: ActAddDocument, NS: NSDAIX, Op: "AddDocument",
 		Class: "XMLCollectionAccess", Iface: XMLCollectionAccess, Resource: KindXMLCollection}
 	GetDocument = Spec{Action: ActGetDocument, NS: NSDAIX, Op: "GetDocument",
-		Class: "XMLCollectionAccess", Iface: XMLCollectionAccess, Resource: KindXMLCollection}
+		Class: "XMLCollectionAccess", Iface: XMLCollectionAccess, Resource: KindXMLCollection, Idempotent: true}
 	RemoveDocument = Spec{Action: ActRemoveDocument, NS: NSDAIX, Op: "RemoveDocument",
 		Class: "XMLCollectionAccess", Iface: XMLCollectionAccess, Resource: KindXMLCollection}
 	ListDocuments = Spec{Action: ActListDocuments, NS: NSDAIX, Op: "ListDocuments",
-		Class: "XMLCollectionAccess", Iface: XMLCollectionAccess, Resource: KindXMLCollection}
+		Class: "XMLCollectionAccess", Iface: XMLCollectionAccess, Resource: KindXMLCollection, Idempotent: true}
 	CreateSubcollection = Spec{Action: ActCreateSubcollection, NS: NSDAIX, Op: "CreateSubcollection",
 		Class: "XMLCollectionAccess", Iface: XMLCollectionAccess, Resource: KindXMLCollection}
 	RemoveSubcollection = Spec{Action: ActRemoveSubcollection, NS: NSDAIX, Op: "RemoveSubcollection",
 		Class: "XMLCollectionAccess", Iface: XMLCollectionAccess, Resource: KindXMLCollection}
 	ListSubcollections = Spec{Action: ActListSubcollections, NS: NSDAIX, Op: "ListSubcollections",
-		Class: "XMLCollectionAccess", Iface: XMLCollectionAccess, Resource: KindXMLCollection}
+		Class: "XMLCollectionAccess", Iface: XMLCollectionAccess, Resource: KindXMLCollection, Idempotent: true}
 	XPathExecute = Spec{Action: ActXPathExecute, NS: NSDAIX, Op: "XPathExecute",
-		Class: "XMLQueryAccess", Iface: XMLQueryAccess, Resource: KindXMLCollection}
+		Class: "XMLQueryAccess", Iface: XMLQueryAccess, Resource: KindXMLCollection, Idempotent: true}
 	XQueryExecute = Spec{Action: ActXQueryExecute, NS: NSDAIX, Op: "XQueryExecute",
-		Class: "XMLQueryAccess", Iface: XMLQueryAccess, Resource: KindXMLCollection}
+		Class: "XMLQueryAccess", Iface: XMLQueryAccess, Resource: KindXMLCollection, Idempotent: true}
 	XUpdateExecute = Spec{Action: ActXUpdateExecute, NS: NSDAIX, Op: "XUpdateExecute",
 		Class: "XMLQueryAccess", Iface: XMLQueryAccess, Resource: KindXMLCollection}
 	XPathExecuteFactory = Spec{Action: ActXPathFactory, NS: NSDAIX, Op: "XPathExecuteFactory",
@@ -146,11 +146,11 @@ var (
 	CollectionFactory = Spec{Action: ActCollectionFactory, NS: NSDAIX, Op: "CollectionFactory",
 		Class: "XMLFactory", Iface: XMLFactory, Resource: KindXMLCollection, EPRReply: true}
 	GetItems = Spec{Action: ActGetItems, NS: NSDAIX, Op: "GetItems",
-		Class: "XMLSequenceAccess", Iface: XMLSequenceAccess, Resource: KindXMLSequence}
+		Class: "XMLSequenceAccess", Iface: XMLSequenceAccess, Resource: KindXMLSequence, Idempotent: true}
 
 	// WS-DAIF.
 	ReadFile = Spec{Action: ActReadFile, NS: NSDAIF, Op: "ReadFile",
-		Class: "FileAccess", Iface: FileAccess, Resource: KindFileReader}
+		Class: "FileAccess", Iface: FileAccess, Resource: KindFileReader, Idempotent: true}
 	WriteFile = Spec{Action: ActWriteFile, NS: NSDAIF, Op: "WriteFile",
 		Class: "FileAccess", Iface: FileAccess, Resource: KindFile}
 	AppendFile = Spec{Action: ActAppendFile, NS: NSDAIF, Op: "AppendFile",
@@ -158,9 +158,9 @@ var (
 	DeleteFile = Spec{Action: ActDeleteFile, NS: NSDAIF, Op: "DeleteFile",
 		Class: "FileAccess", Iface: FileAccess, Resource: KindFile}
 	ListFiles = Spec{Action: ActListFiles, NS: NSDAIF, Op: "ListFiles",
-		Class: "FileAccess", Iface: FileAccess, Resource: KindFileReader}
+		Class: "FileAccess", Iface: FileAccess, Resource: KindFileReader, Idempotent: true}
 	StatFile = Spec{Action: ActStatFile, NS: NSDAIF, Op: "StatFile",
-		Class: "FileAccess", Iface: FileAccess, Resource: KindFileReader}
+		Class: "FileAccess", Iface: FileAccess, Resource: KindFileReader, Idempotent: true}
 	FileSelectFactory = Spec{Action: ActFileSelectFactory, NS: NSDAIF, Op: "FileSelectFactory",
 		Class: "FileFactory", Iface: FileFactory, Resource: KindFile, EPRReply: true}
 
@@ -168,13 +168,13 @@ var (
 	// Interfaces flag, hence Iface 0 — and the request element carries
 	// no "Request" suffix, matching the OASIS message shapes).
 	GetResourceProperty = Spec{Action: ActGetResourceProperty, NS: wsrf.NSRP, Op: "GetResourceProperty",
-		Class: "WSResourceProperties", Resource: KindData, Bare: true}
+		Class: "WSResourceProperties", Resource: KindData, Bare: true, Idempotent: true}
 	GetMultipleResourceProperties = Spec{Action: ActGetMultipleResourceProps, NS: wsrf.NSRP, Op: "GetMultipleResourceProperties",
-		Class: "WSResourceProperties", Resource: KindData, Bare: true}
+		Class: "WSResourceProperties", Resource: KindData, Bare: true, Idempotent: true}
 	SetResourceProperties = Spec{Action: ActSetResourceProperties, NS: wsrf.NSRP, Op: "SetResourceProperties",
 		Class: "WSResourceProperties", Resource: KindData, Bare: true}
 	QueryResourceProperties = Spec{Action: ActQueryResourceProperties, NS: wsrf.NSRP, Op: "QueryResourceProperties",
-		Class: "WSResourceProperties", Resource: KindData, Bare: true}
+		Class: "WSResourceProperties", Resource: KindData, Bare: true, Idempotent: true}
 	SetTerminationTime = Spec{Action: ActSetTerminationTime, NS: wsrf.NSRL, Op: "SetTerminationTime",
 		Class: "WSResourceLifetime", Resource: KindData, Bare: true}
 	WSRFDestroy = Spec{Action: ActWSRFDestroy, NS: wsrf.NSRL, Op: "Destroy",

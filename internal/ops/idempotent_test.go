@@ -1,0 +1,64 @@
+package ops
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestIdempotencyClassification pins the catalog's retry-safety
+// annotations: the resilience layer replays exactly the operations
+// marked idempotent, so a misannotated mutation would be silently
+// re-executed on transport failures. Pure reads must be marked (or
+// retries silently stop working); anything that creates, mutates or
+// destroys state must not be.
+func TestIdempotencyClassification(t *testing.T) {
+	readPrefixes := []string{"Get", "List", "Stat", "Read", "Resolve", "XPath", "XQuery", "Query"}
+	mutationMarkers := []string{"Factory", "Destroy", "Set", "Add", "Remove", "Write", "Append", "Delete", "XUpdate"}
+
+	isRead := func(op string) bool {
+		for _, p := range readPrefixes {
+			if strings.HasPrefix(op, p) {
+				return true
+			}
+		}
+		return false
+	}
+	isMutation := func(op string) bool {
+		for _, m := range mutationMarkers {
+			if strings.Contains(op, m) {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, s := range Catalog() {
+		switch {
+		case isMutation(s.Op):
+			if s.Idempotent {
+				t.Errorf("%s creates/mutates/destroys state but is marked idempotent", s.Op)
+			}
+		case isRead(s.Op):
+			if !s.Idempotent {
+				t.Errorf("%s is a pure read but is not marked idempotent", s.Op)
+			}
+		default:
+			// Everything else (SQLExecute, GenericQuery, XUpdateExecute)
+			// can run arbitrary expressions — never replayable.
+			if s.Idempotent {
+				t.Errorf("%s may execute arbitrary expressions but is marked idempotent", s.Op)
+			}
+		}
+		if s.Idempotent != s.Info().Idempotent {
+			t.Errorf("%s: Info() dropped the Idempotent flag", s.Op)
+		}
+	}
+
+	// Spot-check the flag reaches consumers through the action index.
+	if s, ok := ByAction(GetPropertyDocument.Action); !ok || !s.Idempotent {
+		t.Fatal("GetDataResourcePropertyDocument must be idempotent via ByAction")
+	}
+	if s, ok := ByAction(SQLExecute.Action); !ok || s.Idempotent {
+		t.Fatal("SQLExecute must not be idempotent via ByAction")
+	}
+}

@@ -121,6 +121,13 @@ type Spec struct {
 	EPRReply bool       // response carries a DataResourceAddress EPR
 	PortType string     // PortTypeQName advertised in factory requests ("" = none)
 	Bare     bool       // request element is named Op, not Op+"Request" (WSRF style)
+	// Idempotent marks operations that are safe to replay when the
+	// outcome of an attempt is unknown (transport error, shed request):
+	// pure reads of service or resource state. Factories, destroys and
+	// anything that can mutate backend state stay false, and the
+	// resilience layer derives its per-operation retry policy from this
+	// flag — non-idempotent operations are never retried.
+	Idempotent bool
 }
 
 // RequestElement is the local name of the request body element.
@@ -158,7 +165,8 @@ func (s Spec) NewResponse() *xmlutil.Element {
 
 // Info is the spec's interceptor-visible call metadata.
 func (s Spec) Info() CallInfo {
-	return CallInfo{Action: s.Action, Op: s.Op, Class: s.Class, Resource: s.Resource}
+	return CallInfo{Action: s.Action, Op: s.Op, Class: s.Class, Resource: s.Resource,
+		Idempotent: s.Idempotent}
 }
 
 // CallInfo is the operation metadata the registry attaches to the
@@ -166,10 +174,11 @@ func (s Spec) Info() CallInfo {
 // (and future metrics/observability layers) can label an exchange
 // without re-parsing the envelope.
 type CallInfo struct {
-	Action   string
-	Op       string
-	Class    string
-	Resource Kind
+	Action     string
+	Op         string
+	Class      string
+	Resource   Kind
+	Idempotent bool
 }
 
 // callInfoKey is the context key carrying CallInfo.

@@ -1,0 +1,178 @@
+package resil
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerConfig bounds a per-endpoint circuit breaker.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive transient failures that
+	// opens the circuit; 0 disables the breaker entirely.
+	Threshold int
+	// Cooldown is how long an open circuit rejects calls before letting
+	// a half-open probe through.
+	Cooldown time.Duration
+	// HalfOpenProbes is how many in-flight probes the half-open state
+	// admits at once (minimum 1).
+	HalfOpenProbes int
+}
+
+// Breaker states, in order of degradation.
+const (
+	StateClosed   = "closed"
+	StateOpen     = "open"
+	StateHalfOpen = "half-open"
+)
+
+// Breaker is a closed/open/half-open circuit breaker for one endpoint.
+//
+//	closed --(Threshold consecutive failures)--> open
+//	open --(Cooldown elapsed)--> half-open
+//	half-open --(probe succeeds)--> closed
+//	half-open --(probe fails)--> open (cooldown restarts)
+type Breaker struct {
+	endpoint string
+	cfg      BreakerConfig
+	now      func() time.Time
+	onChange func(endpoint, to string)
+
+	mu       sync.Mutex
+	state    string
+	failures int       // consecutive transient failures while closed
+	openedAt time.Time // when the circuit last opened
+	probes   int       // in-flight half-open probes
+}
+
+// NewBreaker builds a breaker for one endpoint. onChange (may be nil)
+// observes state transitions.
+func NewBreaker(endpoint string, cfg BreakerConfig, now func() time.Time, onChange func(endpoint, to string)) *Breaker {
+	if now == nil {
+		now = time.Now
+	}
+	if cfg.HalfOpenProbes < 1 {
+		cfg.HalfOpenProbes = 1
+	}
+	return &Breaker{endpoint: endpoint, cfg: cfg, now: now, onChange: onChange, state: StateClosed}
+}
+
+// State reports the current state (advancing open→half-open if the
+// cool-down has elapsed).
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tick()
+	return b.state
+}
+
+// Allow reports whether a call may proceed now. In half-open state it
+// admits up to HalfOpenProbes concurrent probes; callers that get true
+// must follow up with Record.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tick()
+	switch b.state {
+	case StateClosed:
+		return true
+	case StateHalfOpen:
+		if b.probes < b.cfg.HalfOpenProbes {
+			b.probes++
+			return true
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// Record reports a call outcome: ok means the exchange did not end in a
+// transient failure (success and definitive application faults both
+// count as ok — they prove the endpoint is reachable and serving).
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tick()
+	switch b.state {
+	case StateClosed:
+		if ok {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.cfg.Threshold {
+			b.transition(StateOpen)
+		}
+	case StateHalfOpen:
+		if b.probes > 0 {
+			b.probes--
+		}
+		if ok {
+			b.transition(StateClosed)
+		} else {
+			b.transition(StateOpen)
+		}
+	case StateOpen:
+		// A straggler from before the circuit opened; nothing to learn.
+	}
+}
+
+// tick advances open→half-open when the cool-down has elapsed. Callers
+// hold b.mu.
+func (b *Breaker) tick() {
+	if b.state == StateOpen && b.now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		b.transition(StateHalfOpen)
+	}
+}
+
+// transition moves to a new state and notifies the observer. Callers
+// hold b.mu.
+func (b *Breaker) transition(to string) {
+	if b.state == to {
+		return
+	}
+	b.state = to
+	switch to {
+	case StateOpen:
+		b.openedAt = b.now()
+		b.probes = 0
+	case StateClosed:
+		b.failures = 0
+		b.probes = 0
+	case StateHalfOpen:
+		b.probes = 0
+	}
+	if b.onChange != nil {
+		b.onChange(b.endpoint, to)
+	}
+}
+
+// breakerGroup lazily creates one breaker per endpoint URL.
+type breakerGroup struct {
+	cfg BreakerConfig
+	now func() time.Time
+	m   *metrics
+
+	mu sync.Mutex
+	by map[string]*Breaker
+}
+
+func newBreakerGroup(cfg BreakerConfig, now func() time.Time, m *metrics) *breakerGroup {
+	return &breakerGroup{cfg: cfg, now: now, m: m, by: make(map[string]*Breaker)}
+}
+
+// get returns the endpoint's breaker, or nil when breaking is disabled
+// or the endpoint is unknown (no soap.WithEndpoint on the context).
+func (g *breakerGroup) get(endpoint string) *Breaker {
+	if g.cfg.Threshold <= 0 || endpoint == "" {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if b, ok := g.by[endpoint]; ok {
+		return b
+	}
+	b := NewBreaker(endpoint, g.cfg, g.now, g.m.breakerTransition)
+	g.by[endpoint] = b
+	return b
+}

@@ -1,0 +1,108 @@
+package resil
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manual clock for breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func record(b *Breaker, ok bool, n int) *Breaker {
+	for i := 0; i < n; i++ {
+		b.Record(ok)
+	}
+	return b
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	clk := newFakeClock()
+	var transitions []string
+	b := NewBreaker("http://a", BreakerConfig{Threshold: 3, Cooldown: time.Second, HalfOpenProbes: 1},
+		clk.now, func(_, to string) { transitions = append(transitions, to) })
+
+	// Closed: failures below the threshold keep the circuit closed, and
+	// a success resets the consecutive count.
+	record(b, false, 2)
+	b.Record(true)
+	record(b, false, 2)
+	if b.State() != StateClosed {
+		t.Fatalf("state = %s", b.State())
+	}
+
+	// The third consecutive failure opens the circuit.
+	b.Record(false)
+	if b.State() != StateOpen {
+		t.Fatalf("state = %s after threshold", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open circuit admitted a call")
+	}
+
+	// Cooldown elapses: half-open admits exactly HalfOpenProbes probes.
+	clk.advance(time.Second)
+	if b.State() != StateHalfOpen {
+		t.Fatalf("state = %s after cooldown", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("half-open refused the probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open admitted a second concurrent probe")
+	}
+
+	// Probe fails: back to open, cooldown restarts.
+	b.Record(false)
+	if b.State() != StateOpen {
+		t.Fatalf("state = %s after failed probe", b.State())
+	}
+	clk.advance(500 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("reopened circuit admitted a call before the new cooldown elapsed")
+	}
+
+	// Second probe succeeds: closed again.
+	clk.advance(500 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("half-open refused the second probe")
+	}
+	b.Record(true)
+	if b.State() != StateClosed {
+		t.Fatalf("state = %s after successful probe", b.State())
+	}
+
+	want := []string{StateOpen, StateHalfOpen, StateOpen, StateHalfOpen, StateClosed}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", transitions, want)
+		}
+	}
+}
+
+func TestBreakerGroupKeysByEndpoint(t *testing.T) {
+	g := newBreakerGroup(BreakerConfig{Threshold: 1, Cooldown: time.Minute}, time.Now, nil)
+	a, b := g.get("http://a"), g.get("http://b")
+	if a == b || a == nil || b == nil {
+		t.Fatal("endpoints must get distinct breakers")
+	}
+	if g.get("http://a") != a {
+		t.Fatal("breaker not reused per endpoint")
+	}
+	a.Record(false)
+	if a.State() != StateOpen || b.State() != StateClosed {
+		t.Fatal("breaker state leaked across endpoints")
+	}
+	if g.get("") != nil {
+		t.Fatal("unknown endpoint must not get a breaker")
+	}
+	off := newBreakerGroup(BreakerConfig{}, time.Now, nil)
+	if off.get("http://a") != nil {
+		t.Fatal("zero threshold must disable breaking")
+	}
+}

@@ -1,0 +1,110 @@
+package resil
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"dais/internal/core"
+)
+
+func TestGateGlobalCap(t *testing.T) {
+	g := NewGate(AdmissionConfig{MaxInFlight: 2, RetryAfter: 3 * time.Second})
+	r1, _, err := g.Acquire("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := g.Acquire("urn:r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, scope, err := g.Acquire("")
+	var busy *core.ServiceBusyFault
+	if !errors.As(err, &busy) || scope != ScopeService {
+		t.Fatalf("err=%v scope=%q", err, scope)
+	}
+	if busy.RetryAfter != 3*time.Second {
+		t.Fatalf("RetryAfter = %v", busy.RetryAfter)
+	}
+	r1()
+	r3, _, err := g.Acquire("")
+	if err != nil {
+		t.Fatalf("release did not free a slot: %v", err)
+	}
+	r2()
+	r3()
+	if g.InFlight() != 0 {
+		t.Fatalf("in-flight = %d after all releases", g.InFlight())
+	}
+}
+
+func TestGatePerResourceCap(t *testing.T) {
+	g := NewGate(AdmissionConfig{MaxInFlight: 100, PerResource: 1})
+	r1, _, err := g.Acquire("urn:a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second request for the same resource sheds; another resource and
+	// a resource-less request are admitted.
+	_, scope, err := g.Acquire("urn:a")
+	var busy *core.ServiceBusyFault
+	if !errors.As(err, &busy) || scope != ScopeResource {
+		t.Fatalf("err=%v scope=%q", err, scope)
+	}
+	rb, _, err := g.Acquire("urn:b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn, _, err := g.Acquire("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1()
+	r2, _, err := g.Acquire("urn:a")
+	if err != nil {
+		t.Fatalf("release did not free the resource slot: %v", err)
+	}
+	r2()
+	rb()
+	rn()
+	if g.InFlight() != 0 {
+		t.Fatalf("in-flight = %d", g.InFlight())
+	}
+}
+
+func TestGateDisabledGlobalCap(t *testing.T) {
+	g := NewGate(AdmissionConfig{MaxInFlight: -1, PerResource: 1})
+	for i := 0; i < 50; i++ {
+		release, _, err := g.Acquire("")
+		if err != nil {
+			t.Fatalf("negative cap must accept everything: %v", err)
+		}
+		defer release()
+	}
+}
+
+func TestGateConcurrentAccounting(t *testing.T) {
+	g := NewGate(AdmissionConfig{MaxInFlight: 8, PerResource: 4})
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				release, _, err := g.Acquire("urn:shared")
+				if err != nil {
+					continue
+				}
+				if n := g.InFlight(); n < 1 || n > 8 {
+					t.Errorf("in-flight = %d outside [1, 8]", n)
+				}
+				release()
+			}
+		}()
+	}
+	wg.Wait()
+	if g.InFlight() != 0 {
+		t.Fatalf("in-flight = %d after drain", g.InFlight())
+	}
+}

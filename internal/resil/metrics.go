@@ -1,0 +1,79 @@
+package resil
+
+import "dais/internal/telemetry"
+
+// Metric names exposed by the resilience layer.
+const (
+	// MetricRetries counts retry attempts (not first attempts), labelled
+	// by operation and transient-failure class.
+	MetricRetries = "dais_retries_total"
+	// MetricBreakerTransitions counts circuit state changes, labelled by
+	// endpoint and destination state.
+	MetricBreakerTransitions = "dais_breaker_transitions_total"
+	// MetricBreakerState gauges the current circuit state per endpoint
+	// (0 closed, 1 half-open, 2 open).
+	MetricBreakerState = "dais_breaker_state"
+	// MetricShed counts requests rejected by the admission gate,
+	// labelled by service name and shed scope ("service" or "resource").
+	MetricShed = "dais_shed_total"
+)
+
+// metrics binds the resilience instruments on a telemetry registry. A
+// nil *metrics is valid and records nothing, so call sites need no
+// observer checks.
+type metrics struct {
+	retries     *telemetry.CounterVec
+	transitions *telemetry.CounterVec
+	state       *telemetry.GaugeVec
+	shed        *telemetry.CounterVec
+}
+
+// metricsFor binds (or rebinds — registration is idempotent per name)
+// the resilience metric families on reg.
+func metricsFor(reg *telemetry.Registry) *metrics {
+	return &metrics{
+		retries: reg.NewCounterVec(MetricRetries,
+			"Retry attempts by operation and transient-failure class.", "op", "reason"),
+		transitions: reg.NewCounterVec(MetricBreakerTransitions,
+			"Circuit breaker state transitions by endpoint and destination state.", "endpoint", "to"),
+		state: reg.NewGaugeVec(MetricBreakerState,
+			"Current circuit breaker state by endpoint (0 closed, 1 half-open, 2 open).", "endpoint"),
+		shed: reg.NewCounterVec(MetricShed,
+			"Requests shed by the admission gate by service and scope.", "service", "scope"),
+	}
+}
+
+func (m *metrics) countRetry(op, reason string) {
+	if m == nil {
+		return
+	}
+	m.retries.With(op, reason).Inc()
+}
+
+func (m *metrics) breakerTransition(endpoint, to string) {
+	if m == nil {
+		return
+	}
+	m.transitions.With(endpoint, to).Inc()
+	var level int64
+	switch to {
+	case StateHalfOpen:
+		level = 1
+	case StateOpen:
+		level = 2
+	}
+	m.state.With(endpoint).Set(level)
+}
+
+func (m *metrics) countShed(service, scope string) {
+	if m == nil {
+		return
+	}
+	m.shed.With(service, scope).Inc()
+}
+
+// ShedObserver binds the shed counter on reg and returns the recording
+// callback the service layer invokes per rejected request.
+func ShedObserver(reg *telemetry.Registry) func(service, scope string) {
+	return metricsFor(reg).countShed
+}

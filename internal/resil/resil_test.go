@@ -1,0 +1,281 @@
+package resil
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"dais/internal/core"
+	"dais/internal/ops"
+	"dais/internal/soap"
+	"dais/internal/telemetry"
+	"dais/internal/xmlutil"
+)
+
+func TestBackoffCeiling(t *testing.T) {
+	p := Policy{MaxAttempts: 5, BaseDelay: 50 * time.Millisecond}
+	for attempt, want := range map[int]time.Duration{
+		1: 50 * time.Millisecond,
+		2: 100 * time.Millisecond,
+		3: 200 * time.Millisecond,
+		4: 400 * time.Millisecond,
+	} {
+		if got := backoffCeiling(p, attempt); got != want {
+			t.Errorf("attempt %d: ceiling = %v, want %v", attempt, got, want)
+		}
+	}
+	p.MaxDelay = 150 * time.Millisecond
+	if got := backoffCeiling(p, 4); got != 150*time.Millisecond {
+		t.Errorf("capped ceiling = %v", got)
+	}
+	// Zero base falls back to a sane default rather than spinning.
+	if got := backoffCeiling(Policy{}, 1); got <= 0 {
+		t.Errorf("zero-base ceiling = %v", got)
+	}
+}
+
+func TestFullJitterBounds(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		d := fullJitter(time.Second)
+		if d < 0 || d >= time.Second {
+			t.Fatalf("jitter %v out of [0, 1s)", d)
+		}
+	}
+	if fullJitter(0) != 0 {
+		t.Fatal("zero ceiling must yield zero delay")
+	}
+}
+
+func TestBudgetAllows(t *testing.T) {
+	if !budgetAllows(context.Background(), time.Hour) {
+		t.Fatal("no deadline should always allow")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if budgetAllows(ctx, time.Second) {
+		t.Fatal("sleep longer than the remaining budget must be refused")
+	}
+	if !budgetAllows(ctx, time.Millisecond) {
+		t.Fatal("sleep inside the budget must be allowed")
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	busyDetail := xmlutil.NewElement(core.NSDAI, "ServiceBusyFault")
+	otherDetail := xmlutil.NewElement(core.NSDAI, "InvalidResourceNameFault")
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"canceled", context.Canceled, false},
+		{"deadline", fmt.Errorf("soap: transport: %w", context.DeadlineExceeded), false},
+		{"busy typed", &core.ServiceBusyFault{}, true},
+		{"busy soap fault", &soap.Fault{Code: "Server", Detail: busyDetail}, true},
+		{"typed soap fault", &soap.Fault{Code: "Client", Detail: otherDetail}, false},
+		{"plain soap fault", &soap.Fault{Code: "Server", String: "boom"}, false},
+		{"http 503", &soap.HTTPError{StatusCode: 503}, true},
+		{"http 404", &soap.HTTPError{StatusCode: 404}, false},
+		{"transport", errors.New("connection refused"), true},
+	}
+	for _, c := range cases {
+		if got := Transient(c.err); got != c.want {
+			t.Errorf("%s: Transient = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestRetryHint(t *testing.T) {
+	if d := RetryHint(&core.ServiceBusyFault{RetryAfter: 3 * time.Second}); d != 3*time.Second {
+		t.Fatalf("busy hint = %v", d)
+	}
+	if d := RetryHint(&soap.Fault{RetryAfter: 2 * time.Second}); d != 2*time.Second {
+		t.Fatalf("fault hint = %v", d)
+	}
+	if d := RetryHint(&soap.HTTPError{StatusCode: 503, RetryAfter: time.Second}); d != time.Second {
+		t.Fatalf("http hint = %v", d)
+	}
+	if d := RetryHint(errors.New("x")); d != 0 {
+		t.Fatalf("plain hint = %v", d)
+	}
+}
+
+// testConfig returns a deterministic config: identity jitter, recorded
+// sleeps instead of real ones.
+func testConfig(slept *[]time.Duration) ClientConfig {
+	cfg := DefaultClientConfig()
+	cfg.Retry = Policy{MaxAttempts: 4, BaseDelay: 10 * time.Millisecond}
+	cfg.Breaker = BreakerConfig{} // breaker off unless the test wants it
+	cfg.Jitter = func(d time.Duration) time.Duration { return d }
+	cfg.Sleep = func(ctx context.Context, d time.Duration) error {
+		if slept != nil {
+			*slept = append(*slept, d)
+		}
+		return nil
+	}
+	return cfg
+}
+
+func idemCtx() context.Context {
+	return ops.WithCallInfo(context.Background(),
+		ops.CallInfo{Action: "urn:test:Get", Op: "Get", Idempotent: true})
+}
+
+func mutCtx() context.Context {
+	return ops.WithCallInfo(context.Background(),
+		ops.CallInfo{Action: "urn:test:Put", Op: "Put"})
+}
+
+func env() *soap.Envelope {
+	return soap.NewEnvelope(xmlutil.NewElement("urn:t", "X"))
+}
+
+func TestRetryReplaysIdempotentOnly(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		ctx  context.Context
+		want int
+	}{
+		{"idempotent", idemCtx(), 4},
+		{"mutation", mutCtx(), 1},
+		{"uncatalogued", context.Background(), 1},
+	} {
+		attempts := 0
+		ic := NewClientResilience(testConfig(nil))
+		_, err := ic(c.ctx, "urn:test:op", env(), func(context.Context, string, *soap.Envelope) (*soap.Envelope, error) {
+			attempts++
+			return nil, errors.New("connection refused")
+		})
+		if err == nil {
+			t.Fatalf("%s: expected error", c.name)
+		}
+		if attempts != c.want {
+			t.Errorf("%s: attempts = %d, want %d", c.name, attempts, c.want)
+		}
+	}
+}
+
+func TestRetryRecoversAndBacksOff(t *testing.T) {
+	var slept []time.Duration
+	attempts := 0
+	ic := NewClientResilience(testConfig(&slept))
+	resp, err := ic(idemCtx(), "urn:test:Get", env(), func(context.Context, string, *soap.Envelope) (*soap.Envelope, error) {
+		attempts++
+		if attempts < 3 {
+			return nil, errors.New("connection reset")
+		}
+		return env(), nil
+	})
+	if err != nil || resp == nil {
+		t.Fatalf("recovered call failed: %v", err)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(slept) != len(want) || slept[0] != want[0] || slept[1] != want[1] {
+		t.Fatalf("backoff = %v, want %v", slept, want)
+	}
+}
+
+func TestRetryStopsOnTypedFault(t *testing.T) {
+	attempts := 0
+	ic := NewClientResilience(testConfig(nil))
+	_, err := ic(idemCtx(), "urn:test:Get", env(), func(context.Context, string, *soap.Envelope) (*soap.Envelope, error) {
+		attempts++
+		return nil, &soap.Fault{Code: "Client", String: "no such resource",
+			Detail: xmlutil.NewElement(core.NSDAI, "InvalidResourceNameFault")}
+	})
+	if err == nil || attempts != 1 {
+		t.Fatalf("typed fault must not retry: attempts=%d err=%v", attempts, err)
+	}
+}
+
+func TestRetryHonorsServerPacingHint(t *testing.T) {
+	var slept []time.Duration
+	attempts := 0
+	ic := NewClientResilience(testConfig(&slept))
+	ic(idemCtx(), "urn:test:Get", env(), func(context.Context, string, *soap.Envelope) (*soap.Envelope, error) { //nolint:errcheck
+		attempts++
+		return nil, &core.ServiceBusyFault{RetryAfter: 500 * time.Millisecond}
+	})
+	if attempts != 4 {
+		t.Fatalf("attempts = %d", attempts)
+	}
+	for _, d := range slept {
+		if d < 500*time.Millisecond {
+			t.Fatalf("slept %v, below the server's 500ms hint", d)
+		}
+	}
+}
+
+func TestRetryRespectsDeadlineBudget(t *testing.T) {
+	ctx, cancel := context.WithTimeout(idemCtx(), 5*time.Millisecond)
+	defer cancel()
+	var slept []time.Duration
+	cfg := testConfig(&slept)
+	cfg.Retry.BaseDelay = time.Second // far beyond the 5ms budget
+	attempts := 0
+	ic := NewClientResilience(cfg)
+	_, err := ic(ctx, "urn:test:Get", env(), func(context.Context, string, *soap.Envelope) (*soap.Envelope, error) {
+		attempts++
+		return nil, errors.New("connection refused")
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if attempts != 1 || len(slept) != 0 {
+		t.Fatalf("budget ignored: attempts=%d slept=%v", attempts, slept)
+	}
+}
+
+func TestInterceptorOpensBreaker(t *testing.T) {
+	cfg := testConfig(nil)
+	cfg.Retry = Policy{MaxAttempts: 1}
+	cfg.Breaker = BreakerConfig{Threshold: 3, Cooldown: time.Minute, HalfOpenProbes: 1}
+	ic := NewClientResilience(cfg)
+	ctx := soap.WithEndpoint(context.Background(), "http://a")
+	attempts := 0
+	fail := func(context.Context, string, *soap.Envelope) (*soap.Envelope, error) {
+		attempts++
+		return nil, errors.New("connection refused")
+	}
+	for i := 0; i < 3; i++ {
+		ic(ctx, "urn:test:op", env(), fail) //nolint:errcheck
+	}
+	_, err := ic(ctx, "urn:test:op", env(), fail)
+	var open *CircuitOpenError
+	if !errors.As(err, &open) || open.Endpoint != "http://a" {
+		t.Fatalf("err = %v", err)
+	}
+	if attempts != 3 {
+		t.Fatalf("open breaker still reached the transport: attempts=%d", attempts)
+	}
+	// Another endpoint is unaffected.
+	other := soap.WithEndpoint(context.Background(), "http://b")
+	if _, err := ic(other, "urn:test:op", env(), fail); errors.As(err, &open) {
+		t.Fatal("breaker leaked across endpoints")
+	}
+}
+
+func TestRetryCounterRecorded(t *testing.T) {
+	obs := telemetry.NewObserver()
+	cfg := testConfig(nil)
+	cfg.Observer = obs
+	ic := NewClientResilience(cfg)
+	ic(idemCtx(), "urn:test:Get", env(), func(context.Context, string, *soap.Envelope) (*soap.Envelope, error) { //nolint:errcheck
+		return nil, errors.New("connection refused")
+	})
+	found := false
+	for _, s := range obs.Registry.Snapshot() {
+		if s.Name == MetricRetries && s.Label("op") == "Get" && s.Label("reason") == "transport" {
+			found = true
+			if s.Value != 3 { // 4 attempts = 3 retries
+				t.Fatalf("retries = %v", s.Value)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no %s sample: %+v", MetricRetries, obs.Registry.Snapshot())
+	}
+}

@@ -1,0 +1,277 @@
+package rowset
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"dais/internal/sqlengine"
+)
+
+// Property-based round-trip coverage for the three standard codecs.
+// Each trial generates a result set from a seeded source — concrete
+// column types, NULLs, empty strings, non-ASCII text, backslashes,
+// CSV-hostile and XML-hostile characters, large cells — and asserts
+// decode(encode(rs)) preserves every value and that a second encode is
+// byte-identical to the first (the canonical-form property GetTuples
+// paging relies on).
+//
+// Carriage returns are deliberately absent from the generator: XML 1.0
+// line-end normalisation and encoding/csv both rewrite \r\n to \n on
+// read, so \r is not representable in any of the three wire formats.
+
+var cellTypes = []sqlengine.Type{
+	sqlengine.TypeInteger,
+	sqlengine.TypeBigint,
+	sqlengine.TypeDouble,
+	sqlengine.TypeVarchar,
+	sqlengine.TypeBoolean,
+	sqlengine.TypeTimestamp,
+}
+
+// stringPool holds the adversarial VARCHAR payloads: sentinel
+// collisions, escape fodder, quoting edge cases and multi-byte text.
+var stringPool = []string{
+	"",
+	"NULL",
+	`\N`,
+	`\E`,
+	`\`,
+	`\\`,
+	`\x`,
+	"plain",
+	"héllo wörld",
+	"日本語のテキスト",
+	"смешанный текст",
+	"😀🎉",
+	"comma,separated",
+	`quo"ted`,
+	"line\nbreak",
+	"tab\tseparated",
+	"<a attr=\"v\">&amp;</a>",
+	"]]>",
+	strings.Repeat("x", 8192),
+	strings.Repeat("数", 2048),
+}
+
+func randomValue(rng *rand.Rand, t sqlengine.Type) sqlengine.Value {
+	if rng.Float64() < 0.15 {
+		return sqlengine.Null
+	}
+	switch t {
+	case sqlengine.TypeInteger:
+		return sqlengine.NewInt(rng.Int63() - rng.Int63())
+	case sqlengine.TypeBigint:
+		switch rng.Intn(4) {
+		case 0:
+			return sqlengine.NewBigint(math.MaxInt64)
+		case 1:
+			return sqlengine.NewBigint(math.MinInt64)
+		default:
+			return sqlengine.NewBigint(rng.Int63() - rng.Int63())
+		}
+	case sqlengine.TypeDouble:
+		switch rng.Intn(6) {
+		case 0:
+			return sqlengine.NewDouble(0)
+		case 1:
+			return sqlengine.NewDouble(math.Copysign(0, -1))
+		case 2:
+			return sqlengine.NewDouble(math.MaxFloat64)
+		case 3:
+			return sqlengine.NewDouble(math.SmallestNonzeroFloat64)
+		default:
+			return sqlengine.NewDouble(rng.NormFloat64() * math.Pow(10, float64(rng.Intn(40)-20)))
+		}
+	case sqlengine.TypeVarchar:
+		return sqlengine.NewString(stringPool[rng.Intn(len(stringPool))])
+	case sqlengine.TypeBoolean:
+		return sqlengine.NewBool(rng.Intn(2) == 0)
+	case sqlengine.TypeTimestamp:
+		sec := rng.Int63n(4102444800) // within [1970, 2100)
+		return sqlengine.NewTimestamp(time.Unix(sec, rng.Int63n(1e9)))
+	}
+	return sqlengine.Null
+}
+
+func randomResultSet(rng *rand.Rand) *sqlengine.ResultSet {
+	ncols := 1 + rng.Intn(6)
+	rs := &sqlengine.ResultSet{}
+	for i := 0; i < ncols; i++ {
+		col := sqlengine.ResultColumn{
+			Name: "c" + string(rune('a'+i)),
+			Type: cellTypes[rng.Intn(len(cellTypes))],
+		}
+		if rng.Intn(3) == 0 {
+			col.Table = "t"
+		}
+		rs.Columns = append(rs.Columns, col)
+	}
+	nrows := rng.Intn(24)
+	for r := 0; r < nrows; r++ {
+		row := make([]sqlengine.Value, ncols)
+		for i, c := range rs.Columns {
+			row[i] = randomValue(rng, c.Type)
+		}
+		rs.Rows = append(rs.Rows, row)
+	}
+	return rs
+}
+
+// equalValue compares by type, nullness and rendering: time.Time and
+// negative-zero internals make struct equality stricter than the wire
+// contract, which only promises the rendered value survives.
+func equalValue(a, b sqlengine.Value) bool {
+	return a.Type == b.Type && a.IsNull() == b.IsNull() && a.String() == b.String()
+}
+
+// assertEqualSets checks column metadata and every cell. CSV carries no
+// table attribution, so callers set ignoreTable for it.
+func assertEqualSets(t *testing.T, want, got *sqlengine.ResultSet, ignoreTable bool) {
+	t.Helper()
+	if len(got.Columns) != len(want.Columns) {
+		t.Fatalf("columns: got %d, want %d", len(got.Columns), len(want.Columns))
+	}
+	for i, wc := range want.Columns {
+		gc := got.Columns[i]
+		if gc.Name != wc.Name || gc.Type != wc.Type {
+			t.Fatalf("column %d: got %s %s, want %s %s", i, gc.Name, gc.Type, wc.Name, wc.Type)
+		}
+		if !ignoreTable && gc.Table != wc.Table {
+			t.Fatalf("column %d table: got %q, want %q", i, gc.Table, wc.Table)
+		}
+	}
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("rows: got %d, want %d", len(got.Rows), len(want.Rows))
+	}
+	for r := range want.Rows {
+		for c := range want.Rows[r] {
+			if !equalValue(want.Rows[r][c], got.Rows[r][c]) {
+				t.Fatalf("cell [%d][%d] (%s): got %s %q null=%v, want %s %q null=%v",
+					r, c, want.Columns[c].Type,
+					got.Rows[r][c].Type, got.Rows[r][c].String(), got.Rows[r][c].IsNull(),
+					want.Rows[r][c].Type, want.Rows[r][c].String(), want.Rows[r][c].IsNull())
+			}
+		}
+	}
+}
+
+func allCodecs() []Codec {
+	return []Codec{SQLRowsetCodec{}, WebRowSetCodec{}, CSVCodec{}}
+}
+
+// TestCodecRoundTripProperty: for every codec, decode∘encode preserves
+// all values, and encode∘decode∘encode is byte-identical — encoding is
+// canonical, so a relay that decodes and re-encodes a rowset (the
+// paper's data-transport scenario) cannot corrupt it.
+func TestCodecRoundTripProperty(t *testing.T) {
+	for _, c := range allCodecs() {
+		c := c
+		t.Run(c.FormatURI(), func(t *testing.T) {
+			for seed := int64(0); seed < 60; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				rs := randomResultSet(rng)
+				data, err := c.Encode(rs)
+				if err != nil {
+					t.Fatalf("seed %d: encode: %v", seed, err)
+				}
+				dec, err := c.Decode(data)
+				if err != nil {
+					t.Fatalf("seed %d: decode: %v\nencoded: %s", seed, err, data)
+				}
+				assertEqualSets(t, rs, dec, c.FormatURI() == FormatCSV)
+				again, err := c.Encode(dec)
+				if err != nil {
+					t.Fatalf("seed %d: re-encode: %v", seed, err)
+				}
+				if !bytes.Equal(data, again) {
+					t.Fatalf("seed %d: re-encode not canonical\nfirst:  %s\nsecond: %s", seed, data, again)
+				}
+			}
+		})
+	}
+}
+
+// TestEncodeWindowMatchesSliceEncode: the zero-materialisation
+// EncodeRange fast path must be byte-identical to encoding a Slice
+// page, for every codec, across random windows including degenerate
+// ones (start before 1, start past the end, zero and oversized counts).
+func TestEncodeWindowMatchesSliceEncode(t *testing.T) {
+	for _, c := range allCodecs() {
+		c := c
+		t.Run(c.FormatURI(), func(t *testing.T) {
+			for seed := int64(100); seed < 140; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				rs := randomResultSet(rng)
+				for trial := 0; trial < 8; trial++ {
+					sp := rng.Intn(len(rs.Rows)+4) - 1 // [-1, len+2]
+					n := rng.Intn(len(rs.Rows) + 3)
+					fast, err := EncodeWindow(c, rs, sp, n)
+					if err != nil {
+						t.Fatalf("seed %d sp=%d n=%d: EncodeWindow: %v", seed, sp, n, err)
+					}
+					slow, err := c.Encode(Slice(rs, sp, n))
+					if err != nil {
+						t.Fatalf("seed %d sp=%d n=%d: Encode(Slice): %v", seed, sp, n, err)
+					}
+					if !bytes.Equal(fast, slow) {
+						t.Fatalf("seed %d sp=%d n=%d: windowed bytes differ from sliced bytes\nwindow: %s\nslice:  %s",
+							seed, sp, n, fast, slow)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestUntypedColumnWindowIdentity: computed (TypeNull) columns infer
+// their wire type from the rows in view. A window whose rows disagree
+// with the whole set about the first non-null value must still render
+// identically via both paths, and an all-NULL window decays to VARCHAR.
+func TestUntypedColumnWindowIdentity(t *testing.T) {
+	rs := &sqlengine.ResultSet{
+		Columns: []sqlengine.ResultColumn{
+			{Name: "expr", Type: sqlengine.TypeNull},
+			{Name: "id", Type: sqlengine.TypeInteger},
+		},
+		Rows: [][]sqlengine.Value{
+			{sqlengine.Null, sqlengine.NewInt(1)},
+			{sqlengine.NewDouble(2.5), sqlengine.NewInt(2)},
+			{sqlengine.Null, sqlengine.NewInt(3)},
+		},
+	}
+	for _, c := range allCodecs() {
+		name := c.FormatURI()
+		// Window [3,1): only the NULL row — the untyped column decays to
+		// VARCHAR, exactly as encoding the slice would.
+		for _, w := range [][2]int{{1, 3}, {3, 1}, {2, 2}, {1, 0}} {
+			fast, err := EncodeWindow(c, rs, w[0], w[1])
+			if err != nil {
+				t.Fatalf("%s window %v: %v", name, w, err)
+			}
+			slow, err := c.Encode(Slice(rs, w[0], w[1]))
+			if err != nil {
+				t.Fatalf("%s slice %v: %v", name, w, err)
+			}
+			if !bytes.Equal(fast, slow) {
+				t.Fatalf("%s window %v: bytes differ\nwindow: %s\nslice:  %s", name, w, fast, slow)
+			}
+		}
+		// Whole-set decode resolves the computed column to its runtime
+		// type (DOUBLE, from the first non-null value).
+		data, err := c.Encode(rs)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		dec, err := c.Decode(data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if dec.Columns[0].Type != sqlengine.TypeDouble {
+			t.Fatalf("%s: computed column decoded as %s, want DOUBLE", name, dec.Columns[0].Type)
+		}
+	}
+}

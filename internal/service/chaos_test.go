@@ -1,0 +1,446 @@
+package service_test
+
+// The chaos suite is the proof obligation of the resilience layer: it
+// drives the full consumer↔service path (direct and indirect access
+// patterns, SQL and XML realisations) through the fault-injection
+// harness and asserts that (a) results of idempotent operations under
+// injected failures stay byte-identical to failure-free runs, (b)
+// non-idempotent operations are never silently replayed, (c) the
+// per-endpoint circuit breaker opens under persistent failure and
+// recovers through a half-open probe, and (d) the admission gate sheds
+// overload with a typed ServiceBusyFault carrying the Retry-After hint.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"dais/internal/client"
+	"dais/internal/core"
+	"dais/internal/dair"
+	"dais/internal/faultinject"
+	"dais/internal/ops"
+	"dais/internal/resil"
+	"dais/internal/rowset"
+	"dais/internal/service"
+	"dais/internal/soap"
+	"dais/internal/sqlengine"
+	"dais/internal/telemetry"
+	"dais/internal/xmlutil"
+)
+
+// idempotentOnly confines injection to operations the catalog marks
+// replay-safe, so result-identity assertions hold by construction.
+func idempotentOnly(action string) bool {
+	s, ok := ops.ByAction(action)
+	return ok && s.Idempotent
+}
+
+// chaosClient builds a consumer whose transport corrupts a seeded
+// fraction of exchanges, with an aggressive-but-bounded retry policy
+// (millisecond backoff, sleeps capped so injected 1s Retry-After hints
+// do not stall the suite).
+func chaosClient(t testing.TB, obs *telemetry.Observer, plan faultinject.Plan, breaker resil.BreakerConfig, maxAttempts int) (*client.Client, *faultinject.Transport) {
+	t.Helper()
+	inner := &http.Transport{}
+	t.Cleanup(inner.CloseIdleConnections)
+	ft := faultinject.NewTransport(inner, plan)
+	cfg := resil.ClientConfig{
+		Retry:   resil.Policy{MaxAttempts: maxAttempts, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond},
+		Breaker: breaker,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			if d > 2*time.Millisecond {
+				d = 2 * time.Millisecond
+			}
+			timer := time.NewTimer(d)
+			defer timer.Stop()
+			select {
+			case <-timer.C:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		},
+	}
+	return client.NewResilient(&http.Client{Transport: ft}, obs, cfg), ft
+}
+
+// chaosPlan is the standard 10% drop/corrupt/busy mix over idempotent
+// operations.
+func chaosPlan(seed int64) faultinject.Plan {
+	return faultinject.Plan{
+		Seed:  seed,
+		Rate:  0.10,
+		Modes: []faultinject.Mode{faultinject.ModeDrop, faultinject.ModeCorrupt, faultinject.ModeBusy},
+		Match: idempotentOnly,
+	}
+}
+
+// TestChaosSQLIndirectByteIdentical drives the indirect access pattern
+// (SQLExecuteFactory → SQLResponse → SQLRowsetFactory → GetTuples)
+// under 10% injected transport failures and requires every idempotent
+// read to return exactly what a failure-free run returns.
+func TestChaosSQLIndirectByteIdentical(t *testing.T) {
+	_, _, ref, calm := relationalFixture(t)
+	ctx := context.Background()
+
+	// Failure-free baseline. The factories run on the calm client —
+	// they are non-idempotent and not under test.
+	respRef, err := calm.SQLExecuteFactory(ctx, ref, `SELECT id, name, salary FROM emp ORDER BY id`, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsetRef, err := calm.SQLRowsetFactory(ctx, respRef, rowset.FormatWebRowSet, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseSet, err := calm.GetSQLRowset(ctx, respRef, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseTuples, baseFormat, err := calm.GetTuples(ctx, rowsetRef, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	chaotic, ft := chaosClient(t, nil, chaosPlan(7), resil.BreakerConfig{}, 8)
+	for i := 0; i < 40; i++ {
+		set, err := chaotic.GetSQLRowset(ctx, respRef, 0)
+		if err != nil {
+			t.Fatalf("iteration %d: GetSQLRowset under chaos: %v", i, err)
+		}
+		if !reflect.DeepEqual(set, baseSet) {
+			t.Fatalf("iteration %d: rowset diverged under chaos:\n got %+v\nwant %+v", i, set, baseSet)
+		}
+		tuples, format, err := chaotic.GetTuples(ctx, rowsetRef, 1, 3)
+		if err != nil {
+			t.Fatalf("iteration %d: GetTuples under chaos: %v", i, err)
+		}
+		if format != baseFormat || string(tuples) != string(baseTuples) {
+			t.Fatalf("iteration %d: tuples diverged under chaos:\n got %q (%s)\nwant %q (%s)",
+				i, tuples, format, baseTuples, baseFormat)
+		}
+	}
+	if ft.InjectedTotal() == 0 {
+		t.Fatal("chaos run injected no failures — the test proves nothing")
+	}
+	t.Logf("injected failures: drop=%d corrupt=%d busy=%d",
+		ft.Injected(faultinject.ModeDrop), ft.Injected(faultinject.ModeCorrupt), ft.Injected(faultinject.ModeBusy))
+}
+
+// TestChaosXMLDirectByteIdentical drives the XML realisation's direct
+// reads (ListDocuments, GetDocument, XQueryExecute) under the same 10%
+// injection and requires byte-identical results.
+func TestChaosXMLDirectByteIdentical(t *testing.T) {
+	ref, calm := xmlFixture(t)
+	ctx := context.Background()
+
+	baseList, err := calm.ListDocuments(ctx, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseDoc, err := calm.GetDocument(ctx, ref, "a.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseDocXML := xmlutil.MarshalString(baseDoc)
+	baseItems, err := calm.XQueryExecute(ctx, ref, `//book/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseQuery := marshalItems(baseItems)
+
+	chaotic, ft := chaosClient(t, nil, chaosPlan(11), resil.BreakerConfig{}, 8)
+	for i := 0; i < 40; i++ {
+		list, err := chaotic.ListDocuments(ctx, ref)
+		if err != nil {
+			t.Fatalf("iteration %d: ListDocuments under chaos: %v", i, err)
+		}
+		if !reflect.DeepEqual(list, baseList) {
+			t.Fatalf("iteration %d: listing diverged: %v vs %v", i, list, baseList)
+		}
+		doc, err := chaotic.GetDocument(ctx, ref, "a.xml")
+		if err != nil {
+			t.Fatalf("iteration %d: GetDocument under chaos: %v", i, err)
+		}
+		if got := xmlutil.MarshalString(doc); got != baseDocXML {
+			t.Fatalf("iteration %d: document diverged:\n got %s\nwant %s", i, got, baseDocXML)
+		}
+		items, err := chaotic.XQueryExecute(ctx, ref, `//book/title`)
+		if err != nil {
+			t.Fatalf("iteration %d: XQueryExecute under chaos: %v", i, err)
+		}
+		if got := marshalItems(items); got != baseQuery {
+			t.Fatalf("iteration %d: query result diverged:\n got %s\nwant %s", i, got, baseQuery)
+		}
+	}
+	if ft.InjectedTotal() == 0 {
+		t.Fatal("chaos run injected no failures — the test proves nothing")
+	}
+}
+
+func marshalItems(items []client.SequenceItem) string {
+	var b strings.Builder
+	for _, it := range items {
+		b.WriteString(it.Document)
+		b.WriteByte(':')
+		if it.Node != nil {
+			b.WriteString(xmlutil.MarshalString(it.Node))
+		} else {
+			b.WriteString(it.Value)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// newSeededEngine builds a small deterministic relational backend.
+func newSeededEngine(t testing.TB) *sqlengine.Engine {
+	t.Helper()
+	eng := sqlengine.New("hr")
+	eng.MustExec(`CREATE TABLE emp (id INTEGER PRIMARY KEY, name VARCHAR(64) NOT NULL, salary DOUBLE)`)
+	eng.MustExec(`INSERT INTO emp VALUES (1, 'ann', 120000), (2, 'bob', 95000), (3, 'carol', 87000)`)
+	return eng
+}
+
+// endpointWithInterceptors hosts a relational endpoint with its own
+// observer, optional extra server interceptors and endpoint options,
+// returning the resource ref and the observer for metric assertions.
+func endpointWithInterceptors(t testing.TB, eng *sqlengine.Engine, ic soap.Interceptor, opts ...service.EndpointOption) (client.ResourceRef, *telemetry.Observer) {
+	t.Helper()
+	obs := telemetry.NewObserver()
+	res := dair.NewSQLDataResource(eng)
+	svc := core.NewDataService("relational", core.WithConfigurationMap(dair.StandardConfigurationMaps()...))
+	all := []service.EndpointOption{service.WithTelemetry(obs)}
+	if ic != nil {
+		all = append(all, service.WithServerInterceptors(ic))
+	}
+	all = append(all, opts...)
+	ep := service.NewEndpoint(svc, all...)
+	ep.Register(res)
+	startEndpoint(t, ep)
+	return client.Ref(svc.Address(), res.AbstractName()), obs
+}
+
+// TestChaosServerSideInjection layers the service-side injector
+// (delays and overload sheds inside the endpoint's interceptor chain)
+// under the client's retry policy: results must still be
+// byte-identical, proving the 503/Retry-After shed path round-trips
+// through retries end to end.
+func TestChaosServerSideInjection(t *testing.T) {
+	si := faultinject.NewServerInterceptor(faultinject.ServerPlan{
+		Seed:  3,
+		Rate:  0.15,
+		Modes: []faultinject.Mode{faultinject.ModeDelay, faultinject.ModeBusy},
+		Delay: time.Millisecond,
+		Match: idempotentOnly,
+	})
+	eng := newSeededEngine(t)
+	ref, _ := endpointWithInterceptors(t, eng, si.Interceptor())
+
+	calm := client.New(nil)
+	ctx := context.Background()
+	baseDoc, err := calm.GetPropertyDocument(ctx, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := xmlutil.MarshalString(baseDoc)
+
+	chaotic, _ := chaosClient(t, nil, faultinject.Plan{Seed: 5, Rate: 0}, resil.BreakerConfig{}, 8)
+	for i := 0; i < 60; i++ {
+		doc, err := chaotic.GetPropertyDocument(ctx, ref)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if got := xmlutil.MarshalString(doc); got != base {
+			t.Fatalf("iteration %d: property document diverged", i)
+		}
+	}
+	if si.Injected(faultinject.ModeBusy) == 0 {
+		t.Fatal("no server-side sheds injected — lower the seed's luck or raise iterations")
+	}
+}
+
+// TestChaosNonIdempotentNeverRetried drops 100% of SQLExecute,
+// SQLExecuteFactory and DestroyDataResource exchanges and asserts the
+// client attempted each exactly once: operations with side effects must
+// surface the failure instead of replaying it.
+func TestChaosNonIdempotentNeverRetried(t *testing.T) {
+	_, _, ref, _ := relationalFixture(t)
+	ctx := context.Background()
+	mutations := map[string]bool{
+		ops.ActSQLExecute:          true,
+		ops.ActSQLExecuteFactory:   true,
+		ops.ActDestroyDataResource: true,
+	}
+	chaotic, ft := chaosClient(t, nil, faultinject.Plan{
+		Seed:  1,
+		Rate:  1.0,
+		Modes: []faultinject.Mode{faultinject.ModeDrop},
+		Match: func(action string) bool { return mutations[action] },
+	}, resil.BreakerConfig{}, 8)
+
+	if _, err := chaotic.SQLExecute(ctx, ref, `UPDATE emp SET salary = 0`, nil, ""); err == nil {
+		t.Fatal("dropped SQLExecute reported success")
+	}
+	if _, err := chaotic.SQLExecuteFactory(ctx, ref, `SELECT 1`, nil, nil); err == nil {
+		t.Fatal("dropped SQLExecuteFactory reported success")
+	}
+	if err := chaotic.DestroyDataResource(ctx, ref); err == nil {
+		t.Fatal("dropped DestroyDataResource reported success")
+	}
+	for action := range mutations {
+		if n := ft.Attempts(action); n != 1 {
+			t.Errorf("%s attempted %d times, want exactly 1", action, n)
+		}
+	}
+	// The resource must be untouched: the destroy never reached the
+	// service (and was never replayed behind the consumer's back).
+	if _, err := client.New(nil).GetPropertyDocument(ctx, ref); err != nil {
+		t.Fatalf("resource unreachable after dropped mutations: %v", err)
+	}
+}
+
+// TestChaosBreakerOpensAndRecovers fails every exchange until the
+// endpoint's breaker opens, verifies calls are rejected without
+// touching the transport, then heals the path and watches the
+// half-open probe close the circuit again — all through the public
+// client API and telemetry counters.
+func TestChaosBreakerOpensAndRecovers(t *testing.T) {
+	ref, calm := xmlFixture(t)
+	ctx := context.Background()
+	baseList, err := calm.ListDocuments(ctx, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	obs := telemetry.NewObserver()
+	breaker := resil.BreakerConfig{Threshold: 3, Cooldown: 40 * time.Millisecond, HalfOpenProbes: 1}
+	chaotic, ft := chaosClient(t, obs, faultinject.Plan{
+		Seed:  2,
+		Rate:  1.0,
+		Modes: []faultinject.Mode{faultinject.ModeDrop},
+	}, breaker, 1)
+
+	for i := 0; i < 3; i++ {
+		if _, err := chaotic.ListDocuments(ctx, ref); err == nil {
+			t.Fatalf("call %d: dropped exchange reported success", i)
+		}
+	}
+	attempts := ft.Attempts(ops.ActListDocuments)
+	var open *resil.CircuitOpenError
+	if _, err := chaotic.ListDocuments(ctx, ref); !errors.As(err, &open) {
+		t.Fatalf("open breaker returned %v, want CircuitOpenError", err)
+	}
+	if got := ft.Attempts(ops.ActListDocuments); got != attempts {
+		t.Fatalf("open breaker still reached the transport (%d → %d attempts)", attempts, got)
+	}
+
+	// Heal the path, wait out the cooldown: the half-open probe must
+	// recover the circuit and return the baseline result.
+	ft.SetRate(0)
+	time.Sleep(breaker.Cooldown + 10*time.Millisecond)
+	list, err := chaotic.ListDocuments(ctx, ref)
+	if err != nil {
+		t.Fatalf("post-cooldown probe failed: %v", err)
+	}
+	if !reflect.DeepEqual(list, baseList) {
+		t.Fatalf("recovered result diverged: %v vs %v", list, baseList)
+	}
+
+	transitions := map[string]bool{}
+	for _, s := range obs.Registry.Snapshot() {
+		if s.Name == resil.MetricBreakerTransitions && s.Value > 0 {
+			transitions[s.Label("to")] = true
+		}
+	}
+	for _, want := range []string{resil.StateOpen, resil.StateHalfOpen, resil.StateClosed} {
+		if !transitions[want] {
+			t.Errorf("breaker transition to %q not recorded: %v", want, transitions)
+		}
+	}
+}
+
+// TestAdmissionGateShedsOverload saturates an endpoint whose admission
+// gate caps in-flight requests at 1 and asserts the second concurrent
+// request is shed with a typed ServiceBusyFault carrying the HTTP 503
+// Retry-After hint, while per-resource caps leave other resources
+// admissible.
+func TestAdmissionGateShedsOverload(t *testing.T) {
+	eng := newSeededEngine(t)
+	hold := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	blocker := func(ctx context.Context, action string, env *soap.Envelope, next soap.HandlerFunc) (*soap.Envelope, error) {
+		if action == ops.ActSQLExecute {
+			entered <- struct{}{}
+			<-hold
+		}
+		return next(ctx, action, env)
+	}
+	ref, obs := endpointWithInterceptors(t, eng, blocker,
+		service.WithAdmission(resil.AdmissionConfig{MaxInFlight: 1, RetryAfter: 2 * time.Second}))
+
+	plain := client.NewResilient(nil, nil, resil.ClientConfig{}) // no retries: sheds must surface
+	ctx := context.Background()
+	done := make(chan error, 1)
+	go func() {
+		_, err := plain.SQLExecute(ctx, ref, `SELECT 1`, nil, "")
+		done <- err
+	}()
+	<-entered // the first request now holds the only admission slot
+
+	var busy *core.ServiceBusyFault
+	_, err := plain.GetPropertyDocument(ctx, ref)
+	if !errors.As(err, &busy) {
+		t.Fatalf("overload returned %v, want ServiceBusyFault", err)
+	}
+	if busy.RetryAfter != 2*time.Second {
+		t.Fatalf("RetryAfter hint = %v, want 2s", busy.RetryAfter)
+	}
+
+	close(hold)
+	if err := <-done; err != nil {
+		t.Fatalf("admitted request failed: %v", err)
+	}
+	// With the slot released the endpoint admits again.
+	if _, err := plain.GetPropertyDocument(ctx, ref); err != nil {
+		t.Fatalf("endpoint did not recover after release: %v", err)
+	}
+	shed := false
+	for _, s := range obs.Registry.Snapshot() {
+		if s.Name == resil.MetricShed && s.Label("scope") == resil.ScopeService && s.Value > 0 {
+			shed = true
+		}
+	}
+	if !shed {
+		t.Fatalf("shed not recorded in telemetry: %+v", obs.Registry.Snapshot())
+	}
+}
+
+// TestChaosRetriesShedRequests proves the full shed→retry loop: an
+// admission-capped endpoint under concurrent load serves every request
+// eventually, because consumers back off and retry on the 503 hint.
+func TestChaosRetriesShedRequests(t *testing.T) {
+	eng := newSeededEngine(t)
+	ref, _ := endpointWithInterceptors(t, eng, nil,
+		service.WithAdmission(resil.AdmissionConfig{MaxInFlight: 2, RetryAfter: time.Second}))
+	chaotic, _ := chaosClient(t, nil, faultinject.Plan{Seed: 9, Rate: 0}, resil.BreakerConfig{}, 10)
+	ctx := context.Background()
+
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		go func() {
+			_, err := chaotic.GetPropertyDocument(ctx, ref)
+			errs <- err
+		}()
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("request %d not served despite retries: %v", i, err)
+		}
+	}
+}

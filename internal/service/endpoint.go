@@ -7,6 +7,7 @@ import (
 
 	"dais/internal/core"
 	"dais/internal/ops"
+	"dais/internal/resil"
 	"dais/internal/soap"
 	"dais/internal/telemetry"
 	"dais/internal/wsaddr"
@@ -60,6 +61,9 @@ type Endpoint struct {
 	// extraICs are the user-supplied interceptors, installed inside the
 	// request-ID and telemetry interceptors.
 	extraICs []soap.Interceptor
+	// gate bounds the endpoint's concurrency when WithAdmission is set;
+	// nil accepts unbounded concurrency.
+	gate *resil.Gate
 }
 
 // EndpointOption configures an Endpoint.
@@ -122,6 +126,13 @@ func NewEndpoint(svc *core.DataService, opts ...EndpointOption) *Endpoint {
 	ics := []soap.Interceptor{soap.ServerRequestID()}
 	if e.obs != nil {
 		ics = append(ics, e.obs.ServerInterceptor())
+	}
+	// normalizeFaults maps typed faults thrown by the inner interceptors
+	// (admission sheds, injected failures) to SOAP faults with 503 /
+	// Retry-After transport hints; handler errors are mapped in bind.
+	ics = append(ics, normalizeFaults())
+	if e.gate != nil {
+		ics = append(ics, e.admissionInterceptor())
 	}
 	ics = append(ics, e.extraICs...)
 	e.soapSrv = soap.NewServer(ics...)
@@ -266,6 +277,14 @@ func toSOAPFault(err error) *soap.Fault {
 	detail.AddText(NSDAI, "Value", faultValue(err))
 	f := soap.ClientFault("%v", err)
 	f.Detail = detail
+	// Overload sheds are a server condition with an explicit pacing
+	// contract: HTTP 503 plus Retry-After, which consumer retry policies
+	// (internal/resil) parse back out of the transport.
+	if busy, ok := err.(*core.ServiceBusyFault); ok {
+		f.Code = "Server"
+		f.Status = http.StatusServiceUnavailable
+		f.RetryAfter = busy.RetryAfter
+	}
 	return f
 }
 
@@ -283,6 +302,8 @@ func faultValue(err error) string {
 		return f.Reason
 	case *core.InvalidExpressionFault:
 		return f.Detail
+	case *core.ServiceBusyFault:
+		return f.Reason
 	case *core.RequestTimeoutFault:
 		return f.Detail
 	}
@@ -312,7 +333,13 @@ func DecodeFault(err error) error {
 	case "InvalidExpressionFault":
 		return &core.InvalidExpressionFault{Detail: value}
 	case "ServiceBusyFault":
-		return &core.ServiceBusyFault{}
+		// Reason comes from the Value element alone (the Message fallback
+		// would double-wrap the error text); RetryAfter from the
+		// transport hint the fault carried.
+		return &core.ServiceBusyFault{
+			Reason:     f.Detail.FindText(NSDAI, "Value"),
+			RetryAfter: f.RetryAfter,
+		}
 	case "RequestTimeoutFault":
 		return &core.RequestTimeoutFault{Detail: value}
 	}

@@ -1,0 +1,111 @@
+package service_test
+
+import (
+	"context"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dais/internal/client"
+	"dais/internal/faultinject"
+	"dais/internal/resil"
+)
+
+// TestChaosSoakGoroutineHygiene hammers two endpoints with concurrent
+// consumers under injected failures — retries, breaker transitions and
+// parse errors all racing — and asserts the process returns to its
+// pre-soak goroutine count: no leaked connections, timers or
+// interceptor goroutines. CI runs the short shape; `make soak` sets
+// DAIS_SOAK for the long one.
+func TestChaosSoakGoroutineHygiene(t *testing.T) {
+	exchanges := 1000
+	if os.Getenv("DAIS_SOAK") != "" {
+		exchanges = 10000
+	}
+	_, _, sqlRef, _ := relationalFixture(t)
+	xmlRef, _ := xmlFixture(t)
+
+	inner := &http.Transport{MaxIdleConnsPerHost: 16}
+	ft := faultinject.NewTransport(inner, faultinject.Plan{
+		Seed:  42,
+		Rate:  0.10,
+		Modes: []faultinject.Mode{faultinject.ModeDrop, faultinject.ModeCorrupt, faultinject.ModeBusy},
+		Match: idempotentOnly,
+	})
+	cfg := resil.ClientConfig{
+		Retry: resil.Policy{MaxAttempts: 6, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+		// A tight breaker so open/half-open/closed transitions race
+		// across the worker goroutines.
+		Breaker: resil.BreakerConfig{Threshold: 4, Cooldown: 5 * time.Millisecond, HalfOpenProbes: 2},
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			if d > time.Millisecond {
+				d = time.Millisecond
+			}
+			timer := time.NewTimer(d)
+			defer timer.Stop()
+			select {
+			case <-timer.C:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		},
+	}
+	c := client.NewResilient(&http.Client{Transport: ft}, nil, cfg)
+
+	before := runtime.NumGoroutine()
+	const workers = 8
+	var served atomic.Int64
+	var wg sync.WaitGroup
+	ctx := context.Background()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < exchanges/workers; i++ {
+				var err error
+				switch i % 3 {
+				case 0:
+					_, err = c.GetPropertyDocument(ctx, sqlRef)
+				case 1:
+					_, err = c.ListDocuments(ctx, xmlRef)
+				default:
+					_, err = c.GetDocument(ctx, xmlRef, "a.xml")
+				}
+				// Breaker rejections and exhausted retries are expected
+				// under 10% injection; only hygiene is asserted here.
+				if err == nil {
+					served.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if served.Load() == 0 {
+		t.Fatal("soak served nothing — the workload never exercised the path")
+	}
+
+	// Drop idle keep-alive connections, then require the goroutine count
+	// to settle back to the pre-soak level (small slack for runtime
+	// background goroutines).
+	inner.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= before+2 {
+			t.Logf("exchanges=%d served=%d injected=%d goroutines %d → %d",
+				exchanges, served.Load(), ft.InjectedTotal(), before, now)
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines grew %d → %d after soak\n%s", before, now, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

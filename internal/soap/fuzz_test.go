@@ -1,0 +1,53 @@
+package soap
+
+import (
+	"testing"
+)
+
+// FuzzParseEnvelope feeds arbitrary bytes to the envelope parser. The
+// invariants: no panic on any input, and every accepted envelope
+// re-marshals to bytes the parser accepts again with the same body
+// entry name and the same fault identity — the stability the retry
+// layer relies on when it replays marshalled requests.
+func FuzzParseEnvelope(f *testing.F) {
+	// Seeds are real DAIS exchanges: a core request, a realisation
+	// response carrying a dataset, a typed fault, and WS-Addressing
+	// headers (plus malformed shapes the parser must reject cleanly).
+	f.Add([]byte(`<?xml version="1.0" encoding="utf-8"?><soapenv:Envelope xmlns:soapenv="http://schemas.xmlsoap.org/soap/envelope/"><soapenv:Body><dai:GetDataResourcePropertyDocumentRequest xmlns:dai="http://www.ggf.org/namespaces/2005/05/WS-DAI"><dai:DataResourceAbstractName>urn:dais:resource:hr</dai:DataResourceAbstractName></dai:GetDataResourcePropertyDocumentRequest></soapenv:Body></soapenv:Envelope>`))
+	f.Add([]byte(`<soapenv:Envelope xmlns:soapenv="http://schemas.xmlsoap.org/soap/envelope/"><soapenv:Header><wsa:Action xmlns:wsa="http://www.w3.org/2005/08/addressing">http://www.ggf.org/namespaces/2005/05/WS-DAIR/SQLExecute</wsa:Action><wsa:MessageID xmlns:wsa="http://www.w3.org/2005/08/addressing">urn:uuid:1</wsa:MessageID></soapenv:Header><soapenv:Body><dair:SQLExecuteRequest xmlns:dair="http://www.ggf.org/namespaces/2005/05/WS-DAIR"><dair:DataResourceAbstractName>urn:dais:resource:hr</dair:DataResourceAbstractName><dair:SQLExpression><dair:Expression>SELECT id, name FROM emp</dair:Expression></dair:SQLExpression></dair:SQLExecuteRequest></soapenv:Body></soapenv:Envelope>`))
+	f.Add([]byte(`<soapenv:Envelope xmlns:soapenv="http://schemas.xmlsoap.org/soap/envelope/"><soapenv:Body><soapenv:Fault><faultcode>Client</faultcode><faultstring>dais: InvalidResourceNameFault: unknown data resource "urn:nope"</faultstring><detail><dai:InvalidResourceNameFault xmlns:dai="http://www.ggf.org/namespaces/2005/05/WS-DAI"><dai:Message>unknown</dai:Message><dai:Value>urn:nope</dai:Value></dai:InvalidResourceNameFault></detail></soapenv:Fault></soapenv:Body></soapenv:Envelope>`))
+	f.Add([]byte(`<soapenv:Envelope xmlns:soapenv="http://schemas.xmlsoap.org/soap/envelope/"><soapenv:Body/></soapenv:Envelope>`))
+	f.Add([]byte(`<Envelope><Body/></Envelope>`))                                                                    // wrong namespace: must be rejected, not crash
+	f.Add([]byte(`<soapenv:Envelope xmlns:soapenv="http://schemas.xmlsoap.org/soap/envelope/"></soapenv:Envelope>`)) // no Body
+	f.Add([]byte("<<garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := ParseEnvelope(data)
+		if err != nil {
+			return
+		}
+		out := env.Marshal()
+		again, err := ParseEnvelope(out)
+		if err != nil {
+			t.Fatalf("accepted envelope failed to reparse after marshal\ninput: %q\nmarshalled: %q\nerr: %v", data, out, err)
+		}
+		if (env.BodyEntry() == nil) != (again.BodyEntry() == nil) {
+			t.Fatal("body entry presence changed across round trip")
+		}
+		if b := env.BodyEntry(); b != nil {
+			if again.BodyEntry().Name != b.Name {
+				t.Fatalf("body entry name changed across round trip: %v → %v", b.Name, again.BodyEntry().Name)
+			}
+			f1, ok1 := AsFault(b)
+			f2, ok2 := AsFault(again.BodyEntry())
+			if ok1 != ok2 {
+				t.Fatal("fault identity changed across round trip")
+			}
+			if ok1 && (f1.Code != f2.Code || f1.String != f2.String) {
+				t.Fatalf("fault content changed across round trip: %+v → %+v", f1, f2)
+			}
+		}
+		if len(env.Header) != len(again.Header) {
+			t.Fatalf("header count changed across round trip: %d → %d", len(env.Header), len(again.Header))
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,13 +19,47 @@ const contentType = "text/xml; charset=utf-8"
 
 // HTTPError reports a non-2xx HTTP status on a response that otherwise
 // parsed as a fault-free envelope. The envelope is still returned to the
-// caller alongside this error.
+// caller alongside this error. RetryAfter carries the response's
+// Retry-After hint (0 when absent) for retry policies.
 type HTTPError struct {
 	StatusCode int
+	RetryAfter time.Duration
 }
 
 func (e *HTTPError) Error() string {
 	return fmt.Sprintf("soap: HTTP status %d with non-fault envelope", e.StatusCode)
+}
+
+// endpointKey is the context key carrying the endpoint URL of the call
+// in flight, stamped by Client.Call so interceptors (per-endpoint
+// circuit breakers, tracing) can key state by target without seeing the
+// transport layer.
+type endpointKey struct{}
+
+// WithEndpoint returns a context annotated with the call's endpoint URL.
+func WithEndpoint(ctx context.Context, url string) context.Context {
+	return context.WithValue(ctx, endpointKey{}, url)
+}
+
+// EndpointFromContext returns the endpoint URL stamped by Client.Call,
+// or "" outside a client call.
+func EndpointFromContext(ctx context.Context) string {
+	url, _ := ctx.Value(endpointKey{}).(string)
+	return url
+}
+
+// retryAfter parses a Retry-After header value in delay-seconds form
+// (the only form this stack emits; HTTP-date values are ignored).
+func retryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // ExchangeObserver receives the serialised envelope sizes of one SOAP
@@ -108,7 +143,9 @@ func (c *Client) Call(ctx context.Context, url, action string, req *Envelope) (*
 	h := Chain(func(ctx context.Context, action string, env *Envelope) (*Envelope, error) {
 		return c.do(ctx, url, action, env)
 	}, c.interceptors...)
-	return h(ctx, action, req)
+	// Interceptors (the per-endpoint circuit breaker in particular) see
+	// the call's target through the context.
+	return h(WithEndpoint(ctx, url), action, req)
 }
 
 // do performs the terminal HTTP exchange of a Call.
@@ -149,10 +186,12 @@ func (c *Client) do(ctx context.Context, url, action string, req *Envelope) (*En
 		return nil, fmt.Errorf("soap: response (HTTP %d): %w", resp.StatusCode, err)
 	}
 	if f, ok := AsFault(env.BodyEntry()); ok {
+		f.Status = resp.StatusCode
+		f.RetryAfter = retryAfter(resp.Header)
 		return env, f
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return env, &HTTPError{StatusCode: resp.StatusCode}
+		return env, &HTTPError{StatusCode: resp.StatusCode, RetryAfter: retryAfter(resp.Header)}
 	}
 	return env, nil
 }
@@ -275,7 +314,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			f = ServerFault("%v", err)
 		}
 		NewEnvelope(f.Element()).encodeTo(buf)
-		status = http.StatusInternalServerError
+		status = faultStatus(w, f)
 	} else {
 		resp.encodeTo(buf)
 	}
@@ -291,9 +330,27 @@ func (s *Server) writeFault(w http.ResponseWriter, f *Fault) {
 	buf := getBuffer()
 	defer putBuffer(buf)
 	NewEnvelope(f.Element()).encodeTo(buf)
+	status := faultStatus(w, f)
 	w.Header().Set("Content-Type", contentType)
-	w.WriteHeader(http.StatusInternalServerError)
+	w.WriteHeader(status)
 	w.Write(buf.Bytes())
+}
+
+// faultStatus resolves the HTTP status a fault is written with (SOAP
+// 1.1 over HTTP defaults to 500) and sets the Retry-After pacing header
+// when the fault carries a hint.
+func faultStatus(w http.ResponseWriter, f *Fault) int {
+	if f.RetryAfter > 0 {
+		secs := int(f.RetryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	if f.Status != 0 {
+		return f.Status
+	}
+	return http.StatusInternalServerError
 }
 
 // headerAction extracts a WS-Addressing Action header if present. The

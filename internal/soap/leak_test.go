@@ -1,0 +1,85 @@
+package soap
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dais/internal/xmlutil"
+)
+
+// TestClientDrainsAndReusesConnections proves every response path of
+// Client.do — success, SOAP fault (with transport hints) and non-2xx
+// HTTPError — fully drains and closes the response body, so one
+// keep-alive connection serves an arbitrary mix of outcomes. The
+// server counts accepted TCP connections via ConnState: if any path
+// left the body undrained, the transport would abandon the connection
+// and redial, inflating the count past one.
+func TestClientDrainsAndReusesConnections(t *testing.T) {
+	var conns atomic.Int32
+	var mode atomic.Int32 // 0 ok, 1 fault on 503, 2 non-2xx with plain envelope
+	respEnv := NewEnvelope(xmlutil.NewElement("urn:t", "OK")).Marshal()
+	faultEnv := NewEnvelope((&Fault{Code: "Server", String: "boom"}).Element()).Marshal()
+	ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", contentType)
+		switch mode.Load() {
+		case 1:
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write(faultEnv)
+		case 2:
+			w.WriteHeader(http.StatusBadGateway)
+			w.Write(respEnv)
+		default:
+			w.Write(respEnv)
+		}
+	}))
+	ts.Config.ConnState = func(_ net.Conn, state http.ConnState) {
+		if state == http.StateNew {
+			conns.Add(1)
+		}
+	}
+	ts.Start()
+	defer ts.Close()
+
+	tr := &http.Transport{MaxIdleConnsPerHost: 1}
+	defer tr.CloseIdleConnections()
+	c := NewClient(&http.Client{Transport: tr})
+	env := NewEnvelope(xmlutil.NewElement("urn:t", "X"))
+	ctx := context.Background()
+
+	for i := 0; i < 60; i++ {
+		mode.Store(int32(i % 3))
+		resp, err := c.Call(ctx, ts.URL, "urn:t:op", env)
+		switch i % 3 {
+		case 0:
+			if err != nil {
+				t.Fatalf("call %d: %v", i, err)
+			}
+		case 1:
+			f, ok := err.(*Fault)
+			if !ok {
+				t.Fatalf("call %d: err = %v, want fault", i, err)
+			}
+			if f.Status != http.StatusServiceUnavailable || f.RetryAfter != time.Second {
+				t.Fatalf("call %d: fault transport hints = %d/%v, want 503/1s", i, f.Status, f.RetryAfter)
+			}
+		case 2:
+			he, ok := err.(*HTTPError)
+			if !ok || he.StatusCode != http.StatusBadGateway {
+				t.Fatalf("call %d: err = %v, want HTTPError 502", i, err)
+			}
+			if resp == nil {
+				t.Fatalf("call %d: envelope dropped on HTTPError", i)
+			}
+		}
+	}
+	if n := conns.Load(); n != 1 {
+		t.Fatalf("server saw %d connections for 60 keep-alive calls, want 1 "+
+			"(a response body was not drained, so the pool redialled)", n)
+	}
+}

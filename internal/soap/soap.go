@@ -11,6 +11,7 @@ package soap
 import (
 	"bytes"
 	"fmt"
+	"time"
 
 	"dais/internal/xmlutil"
 )
@@ -125,6 +126,15 @@ type Fault struct {
 	String string // human-readable explanation
 	Actor  string // optional
 	Detail *xmlutil.Element
+
+	// Status and RetryAfter are HTTP transport hints, not part of the
+	// serialised fault. A non-zero Status overrides the default 500 the
+	// server writes with the fault (503 for overload sheds); a non-zero
+	// RetryAfter is written as — and on the consumer side parsed back
+	// from — the Retry-After response header, so retry policies can
+	// honour the server's pacing hint.
+	Status     int
+	RetryAfter time.Duration
 }
 
 // Error implements the error interface so faults propagate naturally

@@ -49,30 +49,51 @@ func (r *Registry) RegisterCollector(c Collector) {
 	r.collectors = append(r.collectors, c)
 }
 
-// NewCounterVec registers a labelled counter family.
+// NewCounterVec registers a labelled counter family. Registering a name
+// the registry already holds returns the existing family instead of a
+// duplicate series, so independent subsystems (every client's retry
+// interceptor, every endpoint's admission gate) can bind the same
+// metric on one shared registry without coordinating.
 func (r *Registry) NewCounterVec(name, help string, keys ...string) *CounterVec {
-	v := &CounterVec{family: family{name: name, help: help, keys: keys}}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	for _, v := range r.counters {
+		if v.name == name {
+			return v
+		}
+	}
+	v := &CounterVec{family: family{name: name, help: help, keys: keys}}
 	r.counters = append(r.counters, v)
 	return v
 }
 
-// NewGaugeVec registers a labelled gauge family.
+// NewGaugeVec registers a labelled gauge family (or returns the
+// existing family of that name, like NewCounterVec).
 func (r *Registry) NewGaugeVec(name, help string, keys ...string) *GaugeVec {
-	v := &GaugeVec{family: family{name: name, help: help, keys: keys}}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	for _, v := range r.gauges {
+		if v.name == name {
+			return v
+		}
+	}
+	v := &GaugeVec{family: family{name: name, help: help, keys: keys}}
 	r.gauges = append(r.gauges, v)
 	return v
 }
 
 // NewHistogramVec registers a labelled histogram family with the given
-// upper bucket bounds (seconds, ascending; +Inf is implicit).
+// upper bucket bounds (seconds, ascending; +Inf is implicit), or
+// returns the existing family of that name, like NewCounterVec.
 func (r *Registry) NewHistogramVec(name, help string, bounds []float64, keys ...string) *HistogramVec {
-	v := &HistogramVec{family: family{name: name, help: help, keys: keys}, bounds: bounds}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	for _, v := range r.hists {
+		if v.name == name {
+			return v
+		}
+	}
+	v := &HistogramVec{family: family{name: name, help: help, keys: keys}, bounds: bounds}
 	r.hists = append(r.hists, v)
 	return v
 }

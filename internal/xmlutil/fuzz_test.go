@@ -1,0 +1,37 @@
+package xmlutil
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary bytes to the XML parser. Two properties:
+// the parser never panics, and any document it accepts survives a
+// marshal → reparse round trip with the same root identity (the
+// stability the SOAP layer relies on when it re-encodes decoded
+// envelopes).
+func FuzzParse(f *testing.F) {
+	f.Add(`<a/>`)
+	f.Add(`<ns:a xmlns:ns="urn:x" k="v"><b>text</b><!--c--></ns:a>`)
+	f.Add(`<a xmlns="urn:d"><b xmlns=""><c/></b>tail</a>`)
+	f.Add(`<?xml version="1.0" encoding="utf-8"?><a>&lt;&amp;&gt;</a>`)
+	f.Add(`<a><![CDATA[<raw>]]></a>`)
+	f.Add("<a>\xff\xfe</a>")
+	f.Fuzz(func(t *testing.T, s string) {
+		root, err := ParseString(s)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		out := MarshalString(root)
+		again, err := ParseString(out)
+		if err != nil {
+			t.Fatalf("accepted document failed to reparse after marshal\ninput: %q\nmarshalled: %q\nerr: %v", s, out, err)
+		}
+		if again.Name != root.Name {
+			t.Fatalf("root identity changed across round trip: %v → %v", root.Name, again.Name)
+		}
+		if strings.TrimSpace(again.Text()) != strings.TrimSpace(root.Text()) {
+			t.Fatalf("text content changed across round trip: %q → %q", root.Text(), again.Text())
+		}
+	})
+}

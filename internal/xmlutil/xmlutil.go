@@ -259,10 +259,22 @@ func Parse(r io.Reader) (*Element, error) {
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
+			// encoding/xml validates the *qualified* name, so a prefixed
+			// name like x:0 slips through with the invalid local part 0.
+			// The encoder writes local parts on their own (prefixes are
+			// resynthesised), so reject any local name that is not a
+			// valid XML name in its own right — otherwise an accepted
+			// document would re-marshal into unparseable bytes.
+			if !validLocalName(t.Name.Local) {
+				return nil, fmt.Errorf("xmlutil: parse: invalid element name %q", t.Name.Local)
+			}
 			el := NewElement(t.Name.Space, t.Name.Local)
 			for _, a := range t.Attr {
 				if a.Name.Space == "xmlns" || (a.Name.Space == "" && a.Name.Local == "xmlns") {
 					continue // prefix declarations are resynthesised on output
+				}
+				if !validLocalName(a.Name.Local) {
+					return nil, fmt.Errorf("xmlutil: parse: invalid attribute name %q", a.Name.Local)
 				}
 				el.Attrs = append(el.Attrs, Attr{
 					Name:  Name{Space: a.Name.Space, Local: a.Name.Local},
@@ -302,6 +314,54 @@ func Parse(r io.Reader) (*Element, error) {
 // ParseString is Parse over a string.
 func ParseString(s string) (*Element, error) {
 	return Parse(strings.NewReader(s))
+}
+
+// validLocalName reports whether s is a well-formed XML name with no
+// colon — the shape a local part must have to be written standalone by
+// the encoder. The character classes follow the XML 1.0 Name
+// production (ASCII plus the common Unicode letter ranges; stricter
+// than encoding/xml's qualified-name check on purpose).
+func validLocalName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if i == 0 {
+			if !isNameStart(r) {
+				return false
+			}
+			continue
+		}
+		if !isNameChar(r) {
+			return false
+		}
+	}
+	return true
+}
+
+func isNameStart(r rune) bool {
+	switch {
+	case r == '_',
+		'A' <= r && r <= 'Z', 'a' <= r && r <= 'z',
+		0xC0 <= r && r <= 0xD6, 0xD8 <= r && r <= 0xF6, 0xF8 <= r && r <= 0x2FF,
+		0x370 <= r && r <= 0x37D, 0x37F <= r && r <= 0x1FFF,
+		0x200C <= r && r <= 0x200D, 0x2070 <= r && r <= 0x218F,
+		0x2C00 <= r && r <= 0x2FEF, 0x3001 <= r && r <= 0xD7FF,
+		0xF900 <= r && r <= 0xFDCF, 0xFDF0 <= r && r <= 0xFFFD,
+		0x10000 <= r && r <= 0xEFFFF:
+		return true
+	}
+	return false
+}
+
+func isNameChar(r rune) bool {
+	switch {
+	case isNameStart(r),
+		r == '-', r == '.', '0' <= r && r <= '9',
+		r == 0xB7, 0x300 <= r && r <= 0x36F, 0x203F <= r && r <= 0x2040:
+		return true
+	}
+	return false
 }
 
 // trimWhitespaceBetweenElements drops whitespace-only text nodes from
