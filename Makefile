@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench bench-smoke chaos soak fuzz-smoke
+.PHONY: all build test race vet fmt check bench bench-smoke chaos stream-chaos soak fuzz-smoke
 
 all: build
 
@@ -36,6 +36,12 @@ bench-smoke:
 # breaker recovery, admission shedding and the short soak. CI runs this.
 chaos:
 	$(GO) test -race -shuffle=on -count=1 -run 'TestChaos|TestAdmission' ./internal/service/
+
+# Streaming-pipeline chaos: chunked fetch of a spilled 100k-row
+# resource through a fault-injecting transport, asserting byte-identical
+# reassembly and retries visible in dais_retries_total. CI runs this.
+stream-chaos:
+	$(GO) test -race -shuffle=on -count=1 -run 'TestStreamChaos|TestGetTuplesEdgeCasesOverHTTP' ./internal/service/
 
 # Long-form soak: 10k injected-failure exchanges with goroutine
 # hygiene asserted afterwards. Not run in CI on every push.

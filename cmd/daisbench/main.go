@@ -1,9 +1,10 @@
-// Command daisbench runs the evaluation suite E1–E13 (DESIGN.md §4 /
-// EXPERIMENTS.md) end-to-end and prints one table per experiment. Each
-// experiment operationalises a quantifiable claim from the paper; the
-// expected shapes are documented in EXPERIMENTS.md. E13 additionally
-// reports B/op and allocs/op columns and writes BENCH_E13.json so the
-// hot-path perf trajectory is tracked across PRs.
+// Command daisbench runs the evaluation suite E1–E13 and E15
+// (DESIGN.md §4 / EXPERIMENTS.md) end-to-end and prints one table per
+// experiment. Each experiment operationalises a quantifiable claim from
+// the paper; the expected shapes are documented in EXPERIMENTS.md. E13
+// additionally reports B/op and allocs/op columns and writes
+// BENCH_E13.json, and E15 writes BENCH_E15.json, so the perf trajectory
+// is tracked across PRs.
 //
 // Usage:
 //
@@ -18,6 +19,7 @@ import (
 	"os"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"dais/internal/bench"
 )
@@ -206,6 +208,29 @@ func main() {
 			fatal("E13", err)
 		}
 		fmt.Println("\nE13 rows written to BENCH_E13.json")
+	}
+	if want("E15") {
+		e15Rows := 1_000_000
+		if *quick {
+			e15Rows = 50_000
+		}
+		rows, err := bench.RunE15(e15Rows, []int{1, 8})
+		fatal("E15", err)
+		table(fmt.Sprintf("E15 Streaming result pipeline: %d-row end-to-end fetch (chunked GetTuples reassembly)", e15Rows),
+			"spill\tchunks\twire bytes\telapsed\tMB/s\trows/s\tspilled bytes",
+			func(w *tabwriter.Writer) {
+				for _, r := range rows {
+					fmt.Fprintf(w, "%v\t%d\t%d\t%v\t%.1f\t%.0f\t%d\n",
+						r.Spill, r.Chunks, r.WireBytes, r.Elapsed.Round(time.Millisecond),
+						r.MBPerSec, r.RowsPerSec, r.SpilledBytes)
+				}
+			})
+		data, err := json.MarshalIndent(rows, "", "  ")
+		fatal("E15", err)
+		if err := os.WriteFile("BENCH_E15.json", append(data, '\n'), 0o644); err != nil {
+			fatal("E15", err)
+		}
+		fmt.Println("\nE15 rows written to BENCH_E15.json")
 	}
 }
 

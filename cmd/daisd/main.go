@@ -7,7 +7,7 @@
 //
 //	daisd [-addr :8090] [-wsrf] [-seed-rows 1000] [-concurrent=true] [-reap 5s]
 //	      [-ops-addr 127.0.0.1:9090] [-pprof] [-log-level info] [-log-json] [-slow 1s]
-//	      [-max-inflight 0] [-per-resource-inflight 0]
+//	      [-max-inflight 0] [-per-resource-inflight 0] [-rowset-mem-cap 67108864]
 //
 // On startup it logs the endpoint URLs and the abstract names of the
 // hosted resources; point daisql / daixq at them. Observability lives
@@ -44,6 +44,7 @@ import (
 	"dais/internal/daix"
 	"dais/internal/filestore"
 	"dais/internal/resil"
+	"dais/internal/rowset"
 	"dais/internal/service"
 	"dais/internal/soap"
 	"dais/internal/sqlengine"
@@ -66,6 +67,7 @@ func main() {
 	slow := flag.Duration("slow", time.Second, "slow-call log threshold (0 disables)")
 	maxInFlight := flag.Int("max-inflight", 0, "per-endpoint in-flight request cap; excess requests are shed with HTTP 503 + Retry-After (0 disables admission control)")
 	perResource := flag.Int("per-resource-inflight", 0, "per-data-resource in-flight request cap (0 disables)")
+	rowsetMemCap := flag.Int64("rowset-mem-cap", 64<<20, "streaming rowset delivery: bytes of result rows kept in memory per derived rowset before pages spill to disk (0 disables streaming delivery)")
 	flag.Parse()
 
 	logger := newLogger(os.Stderr, *logLevel, *logJSON)
@@ -78,15 +80,16 @@ func main() {
 	base := "http://" + ln.Addr().String()
 
 	srv, stop := buildServer(base, config{
-		wsrf:        *useWSRF,
-		seedRows:    *seedRows,
-		concurrent:  *concurrent,
-		reap:        *reap,
-		slow:        *slow,
-		logger:      logger,
-		logCalls:    logger.Enabled(context.Background(), slog.LevelDebug),
-		maxInFlight: *maxInFlight,
-		perResource: *perResource,
+		wsrf:         *useWSRF,
+		seedRows:     *seedRows,
+		concurrent:   *concurrent,
+		reap:         *reap,
+		slow:         *slow,
+		logger:       logger,
+		logCalls:     logger.Enabled(context.Background(), slog.LevelDebug),
+		maxInFlight:  *maxInFlight,
+		perResource:  *perResource,
+		rowsetMemCap: *rowsetMemCap,
 	})
 	defer stop()
 
@@ -171,6 +174,9 @@ type config struct {
 	// resource; both 0 = accept unbounded concurrency.
 	maxInFlight int
 	perResource int
+	// Streaming rowset delivery: in-memory byte cap per derived rowset
+	// before pages spill to the filestore (0 disables streaming).
+	rowsetMemCap int64
 }
 
 // server bundles the composed endpoints for main and for tests.
@@ -219,7 +225,19 @@ func buildServer(base string, cfg config) (*server, func()) {
 
 	eng := sqlengine.New("hr")
 	seedRelational(logger, eng, cfg.seedRows)
-	sqlRes := dair.NewSQLDataResource(eng)
+	var sqlOpts []dair.ResourceOption
+	if cfg.rowsetMemCap > 0 {
+		// Streaming delivery: derived rowsets answer GetTuples while the
+		// engine is still producing, spilling past the memory cap into a
+		// dedicated filestore; spill volume, rows produced and buffer
+		// depth land on /metrics.
+		sqlOpts = append(sqlOpts, dair.WithStreamDelivery(rowset.BufferConfig{
+			MemCap: cfg.rowsetMemCap,
+			Spill:  filestore.NewStore("rowset-spill"),
+			Hooks:  service.RowsetStreamHooks(obs.Registry),
+		}))
+	}
+	sqlRes := dair.NewSQLDataResource(eng, sqlOpts...)
 	sqlSvc := core.NewDataService("relational",
 		core.WithConcurrentAccess(cfg.concurrent),
 		core.WithConfigurationMap(dair.StandardConfigurationMaps()...))

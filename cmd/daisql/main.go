@@ -5,11 +5,13 @@
 // Usage:
 //
 //	daisql -url http://host:8090/sql [-resource urn:...] [-format csv|sqlrowset|webrowset]
-//	       [-indirect] [-page 100] 'SELECT ...'
+//	       [-indirect] [-page 100] [-stream] [-chunks 4] 'SELECT ...'
 //
 // When -resource is omitted the first resource from GetResourceList is
 // used. With -indirect the query runs through SQLExecuteFactory and the
-// rows are pulled page by page with GetTuples.
+// rows are pulled page by page with GetTuples; adding -stream (or
+// -chunks N > 1) fetches N pages concurrently and prints them in row
+// order as each contiguous run arrives.
 package main
 
 import (
@@ -33,6 +35,8 @@ func main() {
 	format := flag.String("format", "sqlrowset", "dataset format: sqlrowset, webrowset or csv")
 	indirect := flag.Bool("indirect", false, "use the indirect access pattern (factory + paging)")
 	page := flag.Int("page", 100, "page size for indirect access")
+	chunks := flag.Int("chunks", 1, "parallel GetTuples windows for indirect access (implies -stream)")
+	stream := flag.Bool("stream", false, "indirect access: reassemble chunked pages in order as they arrive")
 	destroy := flag.Bool("destroy", true, "destroy derived resources after use")
 	interactive := flag.Bool("i", false, "interactive mode: read statements from stdin")
 	timeout := flag.Duration("timeout", 0, "per-call deadline (0 disables)")
@@ -73,6 +77,10 @@ func main() {
 	}
 	query := flag.Arg(0)
 	if *indirect {
+		if *stream || *chunks > 1 {
+			runChunked(ctx, c, ref, query, formatURI, *page, *chunks, *destroy)
+			return
+		}
 		runIndirect(ctx, c, ref, query, formatURI, *page, *destroy)
 		return
 	}
@@ -151,6 +159,45 @@ func runIndirect(ctx context.Context, c *client.Client, ref client.ResourceRef, 
 		total += len(set.Rows)
 	}
 	fmt.Printf("-- %d row(s) via %d-row pages\n", total, page)
+	if destroy {
+		if err := c.DestroyDataResource(ctx, rowsetRef); err != nil {
+			log.Printf("daisql: destroy rowset: %v", err)
+		}
+		if err := c.DestroyDataResource(ctx, respRef); err != nil {
+			log.Printf("daisql: destroy response: %v", err)
+		}
+	}
+}
+
+// runChunked is the streaming variant of runIndirect: N GetTuples
+// windows in flight at once, pages printed strictly in row order as
+// each contiguous run completes. Combined with a streaming service
+// resource, rows start printing while the engine is still producing.
+func runChunked(ctx context.Context, c *client.Client, ref client.ResourceRef, query, formatURI string, page, chunks int, destroy bool) {
+	respRef, err := c.SQLExecuteFactory(ctx, ref, query, nil, nil)
+	if err != nil {
+		log.Fatalf("daisql: SQLExecuteFactory: %v", err)
+	}
+	fmt.Printf("-- response resource: %s @ %s\n", respRef.AbstractName, respRef.Address)
+	rowsetRef, err := c.SQLRowsetFactory(ctx, respRef, formatURI, 0, nil)
+	if err != nil {
+		log.Fatalf("daisql: SQLRowsetFactory: %v", err)
+	}
+	fmt.Printf("-- rowset resource:   %s @ %s (chunks=%d)\n", rowsetRef.AbstractName, rowsetRef.Address, chunks)
+	total := 0
+	err = c.FetchPages(ctx, rowsetRef, client.FetchOptions{Chunks: chunks, ChunkRows: page},
+		func(set *sqlengine.ResultSet) error {
+			if total == 0 {
+				printHeader(set)
+			}
+			printRows(set)
+			total += len(set.Rows)
+			return nil
+		})
+	if err != nil {
+		log.Fatalf("daisql: chunked fetch: %v", err)
+	}
+	fmt.Printf("-- %d row(s) via %d-row pages, %d in flight\n", total, page, chunks)
 	if destroy {
 		if err := c.DestroyDataResource(ctx, rowsetRef); err != nil {
 			log.Printf("daisql: destroy rowset: %v", err)

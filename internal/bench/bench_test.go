@@ -227,3 +227,27 @@ func TestE11Shape(t *testing.T) {
 		t.Errorf("reader should still pull the payload: %d vs %d", large.ReaderBytes, large.RelayBytes)
 	}
 }
+
+func TestE15Shape(t *testing.T) {
+	rows, err := RunE15(2000, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4 (2 spill modes x 2 chunk counts)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Rows != 2000 {
+			t.Errorf("spill=%v chunks=%d: fetched %d rows, want 2000", r.Spill, r.Chunks, r.Rows)
+		}
+		if r.WireBytes <= 0 || r.MBPerSec <= 0 || r.RowsPerSec <= 0 {
+			t.Errorf("spill=%v chunks=%d: non-positive throughput fields: %+v", r.Spill, r.Chunks, r)
+		}
+		if r.Spill && r.SpilledBytes == 0 {
+			t.Errorf("chunks=%d: spill mode reported no spilled bytes", r.Chunks)
+		}
+		if !r.Spill && r.SpilledBytes != 0 {
+			t.Errorf("chunks=%d: in-memory mode reported %d spilled bytes", r.Chunks, r.SpilledBytes)
+		}
+	}
+}

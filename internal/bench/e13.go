@@ -81,7 +81,7 @@ func E13GetTuplesPage(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		data, err := res.GetTuples(5001, 100)
+		data, err := res.GetTuples(context.Background(), 5001, 100)
 		if err != nil {
 			b.Fatal(err)
 		}

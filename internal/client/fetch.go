@@ -1,0 +1,145 @@
+package client
+
+import (
+	"context"
+	"sync"
+
+	"dais/internal/sqlengine"
+)
+
+// DefaultChunkRows is the rows-per-window default for chunked fetch.
+const DefaultChunkRows = 1024
+
+// FetchOptions tunes chunked rowset retrieval.
+type FetchOptions struct {
+	// Chunks is the number of GetTuples windows in flight at once
+	// (default 1: plain sequential paging).
+	Chunks int
+	// ChunkRows is the window size in rows (default DefaultChunkRows).
+	ChunkRows int
+}
+
+func (o FetchOptions) normalized() FetchOptions {
+	if o.Chunks <= 0 {
+		o.Chunks = 1
+	}
+	if o.ChunkRows <= 0 {
+		o.ChunkRows = DefaultChunkRows
+	}
+	return o
+}
+
+// FetchRowset retrieves a whole rowset resource through N concurrent
+// GetTuples windows and reassembles them in order. Each window is one
+// idempotent GetTuples call, so per-chunk retry and resume ride the
+// resil retry interceptor the client is already built with: a dropped
+// or corrupted chunk is re-fetched by StartPosition without disturbing
+// the other chunks in flight. Against a streaming (still-producing)
+// resource, windows overlapping the unproduced tail simply block
+// server-side until their rows exist, so the fetch pipeline drains the
+// producer end to end.
+func (c *Client) FetchRowset(ctx context.Context, ref ResourceRef, opts FetchOptions) (*sqlengine.ResultSet, error) {
+	out := &sqlengine.ResultSet{}
+	err := c.fetchChunks(ctx, ref, opts, func(set *sqlengine.ResultSet) error {
+		if out.Columns == nil {
+			out.Columns = set.Columns
+		}
+		out.Rows = append(out.Rows, set.Rows...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FetchPages is FetchRowset without accumulation: each non-empty page
+// is handed to fn strictly in row order as soon as it and all its
+// predecessors have arrived. A non-nil error from fn aborts the fetch.
+func (c *Client) FetchPages(ctx context.Context, ref ResourceRef, opts FetchOptions, fn func(*sqlengine.ResultSet) error) error {
+	return c.fetchChunks(ctx, ref, opts, fn)
+}
+
+// fetchChunks is the shared driver: workers claim sequential chunk
+// indices, fetch their windows concurrently, and completed chunks are
+// emitted in index order. Chunk i covers rows
+// [1+i*ChunkRows, 1+(i+1)*ChunkRows); the first short (or empty) chunk
+// marks the end of the resource, and claims beyond it stop.
+func (c *Client) fetchChunks(ctx context.Context, ref ResourceRef, opts FetchOptions, emit func(*sqlengine.ResultSet) error) error {
+	opts = opts.normalized()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	const unbounded = int(^uint(0) >> 1)
+	var (
+		mu       sync.Mutex
+		nextIdx  int
+		last     = unbounded // index of the final chunk, once known
+		pages    = map[int]*sqlengine.ResultSet{}
+		emitNext int
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Chunks; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if firstErr != nil || nextIdx > last {
+					mu.Unlock()
+					return
+				}
+				i := nextIdx
+				nextIdx++
+				mu.Unlock()
+
+				set, err := c.GetTuplesSet(ctx, ref, 1+i*opts.ChunkRows, opts.ChunkRows)
+				if err != nil {
+					fail(err)
+					return
+				}
+
+				mu.Lock()
+				if len(set.Rows) < opts.ChunkRows && i < last {
+					last = i
+				}
+				pages[i] = set
+				// Flush the contiguous run this chunk may have
+				// completed. Holding mu serialises emits, which is the
+				// in-order guarantee.
+				for firstErr == nil && emitNext <= last && pages[emitNext] != nil {
+					p := pages[emitNext]
+					delete(pages, emitNext)
+					emitNext++
+					if len(p.Rows) == 0 {
+						continue
+					}
+					if err := emit(p); err != nil {
+						firstErr = err
+					}
+				}
+				aborted := firstErr != nil
+				mu.Unlock()
+				if aborted {
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,135 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"dais/internal/core"
+	"dais/internal/dair"
+	"dais/internal/rowset"
+	"dais/internal/service"
+	"dais/internal/sqlengine"
+)
+
+// fetchFixture hosts a rowset resource with ids 0..rows-1 and returns
+// its ref.
+func fetchFixture(t testing.TB, rows int) (ResourceRef, *Client) {
+	t.Helper()
+	eng := sqlengine.New("fetch")
+	eng.MustExec(`CREATE TABLE n (id INTEGER PRIMARY KEY, tag VARCHAR(16))`)
+	for i := 0; i < rows; i += 500 {
+		stmt := "INSERT INTO n VALUES "
+		for j := i; j < i+500 && j < rows; j++ {
+			if j > i {
+				stmt += ", "
+			}
+			stmt += fmt.Sprintf("(%d, 't%03d')", j, j%7)
+		}
+		eng.MustExec(stmt)
+	}
+	res := dair.NewSQLDataResource(eng)
+	svc := core.NewDataService("fetch", core.WithConfigurationMap(dair.StandardConfigurationMaps()...))
+	ep := service.NewEndpoint(svc)
+	ep.Register(res)
+	ts := httptest.NewServer(ep)
+	t.Cleanup(ts.Close)
+	svc.SetAddress(ts.URL)
+	c := New(nil)
+	ctx := context.Background()
+	respRef, err := c.SQLExecuteFactory(ctx, Ref(ts.URL, res.AbstractName()), `SELECT id, tag FROM n`, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsetRef, err := c.SQLRowsetFactory(ctx, respRef, rowset.FormatSQLRowset, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rowsetRef, c
+}
+
+// TestFetchRowsetChunkedMatchesSequential: whatever the parallelism and
+// chunk size — including resources that end exactly on a chunk
+// boundary — the assembled result must equal the single-window fetch.
+func TestFetchRowsetChunkedMatchesSequential(t *testing.T) {
+	for _, rows := range []int{0, 1, 7, 256, 1000} {
+		t.Run(fmt.Sprintf("%d rows", rows), func(t *testing.T) {
+			ref, c := fetchFixture(t, rows)
+			ctx := context.Background()
+			base, err := c.GetTuplesSet(ctx, ref, 1, rows+1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, opts := range []FetchOptions{
+				{},                           // defaults: sequential
+				{Chunks: 4, ChunkRows: 64},   // parallel, small windows
+				{Chunks: 8, ChunkRows: 250},  // boundary-aligned for 1000
+				{Chunks: 3, ChunkRows: 1024}, // windows larger than resource
+			} {
+				got, err := c.FetchRowset(ctx, ref, opts)
+				if err != nil {
+					t.Fatalf("opts %+v: %v", opts, err)
+				}
+				if len(got.Rows) != len(base.Rows) {
+					t.Fatalf("opts %+v: rows = %d, want %d", opts, len(got.Rows), len(base.Rows))
+				}
+				if len(base.Rows) > 0 && !reflect.DeepEqual(got.Rows, base.Rows) {
+					t.Fatalf("opts %+v: rows diverged", opts)
+				}
+			}
+		})
+	}
+}
+
+func TestFetchPagesInOrder(t *testing.T) {
+	ref, c := fetchFixture(t, 990)
+	var next int64
+	err := c.FetchPages(context.Background(), ref, FetchOptions{Chunks: 6, ChunkRows: 100},
+		func(set *sqlengine.ResultSet) error {
+			if len(set.Rows) == 0 {
+				return errors.New("empty page emitted")
+			}
+			for _, r := range set.Rows {
+				if r[0].I != next {
+					return fmt.Errorf("row %d arrived when %d was expected", r[0].I, next)
+				}
+				next++
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != 990 {
+		t.Fatalf("saw %d rows, want 990", next)
+	}
+}
+
+func TestFetchPagesEmitErrorAborts(t *testing.T) {
+	ref, c := fetchFixture(t, 500)
+	boom := errors.New("downstream full")
+	calls := 0
+	err := c.FetchPages(context.Background(), ref, FetchOptions{Chunks: 4, ChunkRows: 50},
+		func(set *sqlengine.ResultSet) error {
+			calls++
+			return boom
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if calls != 1 {
+		t.Fatalf("emit called %d times after abort", calls)
+	}
+}
+
+func TestFetchContextCancelled(t *testing.T) {
+	ref, c := fetchFixture(t, 500)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.FetchRowset(ctx, ref, FetchOptions{Chunks: 2}); err == nil {
+		t.Fatal("expected context error")
+	}
+}

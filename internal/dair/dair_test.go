@@ -232,7 +232,7 @@ func TestSQLRowsetFactoryChain(t *testing.T) {
 	if rr.RowCount() != 3 {
 		t.Fatalf("rows = %d", rr.RowCount())
 	}
-	page, err := rr.GetTuples(2, 1)
+	page, err := rr.GetTuples(context.Background(), 2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +279,7 @@ func TestRowsetFromSQLShortcut(t *testing.T) {
 	if rr.ParentName() != src.AbstractName() {
 		t.Fatal("shortcut parent should be the source resource")
 	}
-	data, err := rr.GetTuples(1, 100)
+	data, err := rr.GetTuples(context.Background(), 1, 100)
 	if err != nil {
 		t.Fatal(err)
 	}

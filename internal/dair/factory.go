@@ -30,13 +30,24 @@ func SQLExecuteFactory(ctx context.Context, src *SQLDataResource, target *core.D
 	if err := core.CheckReadable(src); err != nil {
 		return nil, err
 	}
-	data, err := src.SQLExecute(ctx, expression, params)
-	if err != nil {
-		return nil, err
-	}
 	c := core.DefaultConfiguration()
 	if cfg != nil {
 		c = *cfg
+	}
+	if h, err := src.startStream(expression, params, c); err != nil {
+		return nil, err
+	} else if h != nil {
+		// Streaming delivery: the resource is registered while the
+		// engine is still producing, so GetTuples on derived rowset
+		// resources can start answering immediately (paper Fig. 5's
+		// third-party delivery without waiting for the full result).
+		res := newStreamingResponseResource(src.AbstractName(), h, c)
+		target.AddResource(res)
+		return res, nil
+	}
+	data, err := src.SQLExecute(ctx, expression, params)
+	if err != nil {
+		return nil, err
 	}
 	res := NewSQLResponseResource(src.AbstractName(), data, c)
 	if c.Sensitivity == core.Sensitive {
@@ -69,19 +80,44 @@ func SQLRowsetFactory(ctx context.Context, src *SQLResponseResource, target *cor
 	if err := core.CheckReadable(src); err != nil {
 		return nil, err
 	}
-	set, err := src.GetSQLRowset(0)
-	if err != nil {
-		return nil, err
-	}
-	copied := &sqlengine.ResultSet{Columns: set.Columns}
-	if count <= 0 || count > len(set.Rows) {
-		count = len(set.Rows)
-	}
-	copied.Rows = append(copied.Rows, set.Rows[:count]...)
-
 	c := core.DefaultConfiguration()
 	if cfg != nil {
 		c = *cfg
+	}
+	src.mu.RLock()
+	h := src.stream
+	src.mu.RUnlock()
+	if h != nil && count <= 0 {
+		// Streaming source, unbounded copy: share the producing buffer
+		// instead of materialising — GetTuples pages are carved from it
+		// on demand and the full result never has to fit in RAM.
+		res, err := NewStreamingSQLRowsetResource(src.AbstractName(), h.buf, formatURI, c)
+		if err != nil {
+			return nil, err
+		}
+		h.buf.Retain()
+		target.AddResource(res)
+		return res, nil
+	}
+	var copied *sqlengine.ResultSet
+	if h != nil {
+		// Bounded copy from a streaming source: wait only for the first
+		// count rows, not the whole result.
+		set, err := h.buf.Window(ctx, 1, count)
+		if err != nil {
+			return nil, execFault(err)
+		}
+		copied = &sqlengine.ResultSet{Columns: set.Columns, Rows: set.Rows}
+	} else {
+		set, err := src.GetSQLRowset(0)
+		if err != nil {
+			return nil, err
+		}
+		copied = &sqlengine.ResultSet{Columns: set.Columns}
+		if count <= 0 || count > len(set.Rows) {
+			count = len(set.Rows)
+		}
+		copied.Rows = append(copied.Rows, set.Rows[:count]...)
 	}
 	res, err := NewSQLRowsetResource(src.AbstractName(), copied, formatURI, c)
 	if err != nil {

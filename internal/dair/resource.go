@@ -63,6 +63,10 @@ type SQLDataResource struct {
 	formats *rowset.Registry
 	wrapper Wrapper
 
+	// streamCfg enables streaming result delivery for derived
+	// resources (WithStreamDelivery); nil keeps the materialised path.
+	streamCfg *rowset.BufferConfig
+
 	// txnMu guards the consumer-controlled transaction session.
 	txnMu   sync.Mutex
 	txnSess *sqlengine.Session
@@ -199,10 +203,11 @@ func (r *SQLDataResource) SQLExecute(ctx context.Context, expression string, par
 
 // execFault maps engine errors to DAIS faults: a cancelled or timed-out
 // execution becomes a RequestTimeoutFault, everything else an
-// InvalidExpressionFault.
+// InvalidExpressionFault. Bare context errors (a GetTuples wait on a
+// streaming tail outliving its request deadline) time out too.
 func execFault(err error) error {
 	var ce *sqlengine.CancelledError
-	if errors.As(err, &ce) {
+	if errors.As(err, &ce) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 		return &core.RequestTimeoutFault{Detail: err.Error()}
 	}
 	return &core.InvalidExpressionFault{Detail: err.Error()}

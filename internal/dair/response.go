@@ -121,6 +121,12 @@ type SQLResponseResource struct {
 	// refresh re-executes the originating expression; non-nil only for
 	// Sensitive resources.
 	refresh func() (*SQLResponseData, error)
+	// stream backs a streaming resource: the response payload is still
+	// being produced when the resource is registered, and ResponseAccess
+	// operations materialise it (blocking until production completes)
+	// only when first needed. Streaming rowset resources are carved off
+	// the stream's buffer without materialising here at all.
+	stream *streamHandle
 }
 
 // NewSQLResponseResource wraps response data as a derived resource.
@@ -137,14 +143,45 @@ func NewSQLResponseResource(parent string, data *SQLResponseData, cfg core.Confi
 	}
 }
 
+// newStreamingResponseResource wraps a still-producing stream as a
+// derived resource. The resource owns the handle's buffer reference.
+func newStreamingResponseResource(parent string, h *streamHandle, cfg core.Configuration) *SQLResponseResource {
+	return &SQLResponseResource{
+		BaseResource: core.BaseResource{
+			Name:   core.NewAbstractName("sqlresponse"),
+			Parent: parent,
+			Mgmt:   core.ServiceManaged,
+			Config: cfg,
+		},
+		formats: rowset.NewRegistry(),
+		stream:  h,
+	}
+}
+
 // currentData returns the response payload, re-evaluating it for
-// Sensitive resources.
+// Sensitive resources and materialising (once) for streaming ones.
 func (r *SQLResponseResource) currentData() (*SQLResponseData, error) {
 	r.mu.RLock()
-	refresh, data := r.refresh, r.data
+	refresh, data, stream := r.refresh, r.data, r.stream
 	r.mu.RUnlock()
 	if refresh != nil {
 		return refresh()
+	}
+	if data == nil && stream != nil {
+		// Production runs under its own background context and always
+		// terminates (the buffer drains the source unconditionally), so
+		// this wait is bounded by the query itself.
+		d, err := stream.responseData(context.Background())
+		if err != nil {
+			return d, err
+		}
+		r.mu.Lock()
+		if r.data == nil {
+			r.data = d
+		}
+		d = r.data
+		r.mu.Unlock()
+		return d, nil
 	}
 	return data, nil
 }
@@ -203,12 +240,19 @@ func (r *SQLResponseResource) ExtendedProperties() []*xmlutil.Element {
 }
 
 // Release implements core.DataResource by dropping the payload and
-// detaching from the parent.
+// detaching from the parent. For a streaming resource this also drops
+// the buffer reference, which cancels a still-running producer once
+// every derived rowset resource has released its own reference.
 func (r *SQLResponseResource) Release() error {
 	r.mu.Lock()
 	r.data = &SQLResponseData{}
 	r.refresh = nil
+	stream := r.stream
+	r.stream = nil
 	r.mu.Unlock()
+	if stream != nil {
+		stream.buf.Release()
+	}
 	return nil
 }
 
@@ -316,13 +360,19 @@ func (r *SQLResponseResource) GetSQLResponseItem(index int) (ResponseItem, error
 }
 
 // SQLRowsetResource is a derived, service-managed resource holding one
-// materialised rowset in a chosen dataset format — the target of
+// rowset in a chosen dataset format — the target of
 // ResponseFactory.SQLRowsetFactory and the subject of the RowsetAccess
-// interface (paper Fig. 5's web row set data resource).
+// interface (paper Fig. 5's web row set data resource). It is backed
+// either by a materialised result set or, for streaming delivery, by
+// the producing buffer: then GetTuples pages are carved out of the
+// buffer (blocking while they overlap the unproduced tail, paging
+// spilled rows back in) and encoded per request, byte-identically to
+// the materialised path.
 type SQLRowsetResource struct {
 	core.BaseResource
 	mu        sync.RWMutex
-	set       *sqlengine.ResultSet
+	set       *sqlengine.ResultSet // nil when buffer-backed
+	buf       *rowset.Buffer       // nil when materialised
 	formatURI string
 	formats   *rowset.Registry
 }
@@ -350,14 +400,59 @@ func NewSQLRowsetResource(parent string, set *sqlengine.ResultSet, formatURI str
 	}, nil
 }
 
+// NewStreamingSQLRowsetResource wraps a producing buffer as a rowset
+// resource. The caller must already hold a buffer reference for the
+// resource (Retain); Release drops it.
+func NewStreamingSQLRowsetResource(parent string, buf *rowset.Buffer, formatURI string, cfg core.Configuration) (*SQLRowsetResource, error) {
+	reg := rowset.NewRegistry()
+	if _, err := reg.Lookup(formatURI); err != nil {
+		return nil, &core.InvalidDatasetFormatFault{Format: formatURI}
+	}
+	if formatURI == "" {
+		formatURI = rowset.FormatSQLRowset
+	}
+	return &SQLRowsetResource{
+		BaseResource: core.BaseResource{
+			Name:   core.NewAbstractName("sqlrowset"),
+			Parent: parent,
+			Mgmt:   core.ServiceManaged,
+			Config: cfg,
+		},
+		buf:       buf,
+		formatURI: formatURI,
+		formats:   reg,
+	}, nil
+}
+
 // FormatURI returns the resource's dataset format.
 func (r *SQLRowsetResource) FormatURI() string { return r.formatURI }
 
-// RowCount returns the number of rows held.
+// RowCount returns the number of rows held. For a still-producing
+// streaming resource this is the rows produced so far; use
+// FinalRowCount to wait for the total.
 func (r *SQLRowsetResource) RowCount() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	if r.buf != nil {
+		return r.buf.Produced()
+	}
 	return len(r.set.Rows)
+}
+
+// FinalRowCount blocks until the total row count is known (immediately
+// for materialised resources) and returns it.
+func (r *SQLRowsetResource) FinalRowCount(ctx context.Context) (int, error) {
+	r.mu.RLock()
+	buf := r.buf
+	r.mu.RUnlock()
+	if buf != nil {
+		n, err := buf.FinalCount(ctx)
+		if err != nil {
+			return 0, execFault(err)
+		}
+		return n, nil
+	}
+	return r.RowCount(), nil
 }
 
 // QueryLanguages implements core.DataResource.
@@ -373,31 +468,51 @@ func (r *SQLRowsetResource) GenericQuery(ctx context.Context, lang, expr string)
 
 // ExtendedProperties implements core.DataResource with the
 // SQLRowsetDescription extensions: row count, format and the derived
-// schema rendered via CIM.
+// schema rendered via CIM. A still-producing streaming resource
+// reports the rows produced so far.
 func (r *SQLRowsetResource) ExtendedProperties() []*xmlutil.Element {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	rows, cols := 0, []sqlengine.ResultColumn(nil)
+	if r.buf != nil {
+		rows, cols = r.buf.Produced(), r.buf.Columns()
+	} else {
+		rows, cols = len(r.set.Rows), r.set.Columns
+	}
 	n := xmlutil.NewElement(NSDAIR, "NumberOfRows")
-	n.SetText(fmt.Sprintf("%d", len(r.set.Rows)))
+	n.SetText(fmt.Sprintf("%d", rows))
 	f := xmlutil.NewElement(NSDAIR, "RowsetFormat")
 	f.SetText(r.formatURI)
 	schema := xmlutil.NewElement(NSDAIR, "RowsetSchema")
-	schema.AppendChild(cim.TableDescription("rowset", r.set.Columns))
+	schema.AppendChild(cim.TableDescription("rowset", cols))
 	return []*xmlutil.Element{n, f, schema}
 }
 
-// Release implements core.DataResource by dropping the rows.
+// Release implements core.DataResource by dropping the rows (and, for
+// a streaming resource, this resource's buffer reference).
 func (r *SQLRowsetResource) Release() error {
 	r.mu.Lock()
-	r.set = &sqlengine.ResultSet{Columns: r.set.Columns}
+	buf := r.buf
+	if buf != nil {
+		r.set = &sqlengine.ResultSet{Columns: buf.Columns()}
+		r.buf = nil
+	} else {
+		r.set = &sqlengine.ResultSet{Columns: r.set.Columns}
+	}
 	r.mu.Unlock()
+	if buf != nil {
+		buf.Release()
+	}
 	return nil
 }
 
 // GetTuples implements RowsetAccess.GetTuples(StartPosition, Count):
 // the requested page encoded in the resource's dataset format.
-// StartPosition is 1-based, matching Fig. 5's message signature.
-func (r *SQLRowsetResource) GetTuples(startPosition, count int) ([]byte, error) {
+// StartPosition is 1-based, matching Fig. 5's message signature. On a
+// streaming resource a window overlapping the unproduced tail blocks
+// (under ctx) until the rows exist, then encodes exactly the bytes the
+// materialised path would have produced.
+func (r *SQLRowsetResource) GetTuples(ctx context.Context, startPosition, count int) ([]byte, error) {
 	if err := core.CheckReadable(r); err != nil {
 		return nil, err
 	}
@@ -405,20 +520,38 @@ func (r *SQLRowsetResource) GetTuples(startPosition, count int) ([]byte, error) 
 	if err != nil {
 		return nil, &core.InvalidDatasetFormatFault{Format: r.formatURI}
 	}
+	r.mu.RLock()
+	if r.buf != nil {
+		buf := r.buf
+		r.mu.RUnlock()
+		page, err := buf.Window(ctx, startPosition, count)
+		if err != nil {
+			return nil, execFault(err)
+		}
+		return codec.Encode(page)
+	}
 	// Encode the window straight out of the stored set (no per-page
 	// ResultSet), holding the read lock so the rows cannot be swapped
 	// out underneath the range encoder.
-	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return rowset.EncodeWindow(codec, r.set, startPosition, count)
 }
 
 // GetTuplesSet is GetTuples without encoding, for in-process consumers.
-func (r *SQLRowsetResource) GetTuplesSet(startPosition, count int) (*sqlengine.ResultSet, error) {
+func (r *SQLRowsetResource) GetTuplesSet(ctx context.Context, startPosition, count int) (*sqlengine.ResultSet, error) {
 	if err := core.CheckReadable(r); err != nil {
 		return nil, err
 	}
 	r.mu.RLock()
+	if r.buf != nil {
+		buf := r.buf
+		r.mu.RUnlock()
+		set, err := buf.Window(ctx, startPosition, count)
+		if err != nil {
+			return nil, execFault(err)
+		}
+		return set, nil
+	}
 	defer r.mu.RUnlock()
 	return rowset.Slice(r.set, startPosition, count), nil
 }

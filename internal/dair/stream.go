@@ -1,0 +1,106 @@
+package dair
+
+import (
+	"context"
+
+	"dais/internal/core"
+	"dais/internal/rowset"
+	"dais/internal/sqlengine"
+)
+
+// This file wires the streaming delivery pipeline into the WS-DAIR
+// resources: when a SQLDataResource is configured WithStreamDelivery,
+// indirect-mode SQLExecute runs the engine's pull-based row stream
+// into a rowset.Buffer and registers the derived resources against the
+// buffer, so GetTuples starts answering while the engine is still
+// producing and large results spill to the filestore instead of
+// occupying RAM. The encoded pages are byte-identical to the
+// materialised path: both resolve windows through the same clamp and
+// feed the same codecs the same rows.
+
+// WithStreamDelivery enables streaming result delivery for derived
+// resources. The config's SpillName is ignored — each stream gets a
+// unique name in the configured store — and its Hooks/MemCap/PageRows
+// apply to every stream the resource starts.
+func WithStreamDelivery(cfg rowset.BufferConfig) ResourceOption {
+	return func(r *SQLDataResource) { r.streamCfg = &cfg }
+}
+
+// streamHandle pairs one engine row stream with the buffer draining
+// it. The buffer owns the stream; the handle's reference counting is
+// the buffer's.
+type streamHandle struct {
+	stream *sqlengine.RowStream
+	buf    *rowset.Buffer
+}
+
+// startStream attempts streaming execution of the expression. It
+// returns (nil, nil) when the statement or configuration is not
+// eligible — the caller then takes the materialised path — and defers
+// all execution errors to that path too, so error behaviour is
+// identical with and without streaming:
+//
+//   - resource not configured for streaming
+//   - Sensitive derived resources (they re-execute on every access;
+//     a one-shot stream cannot satisfy that)
+//   - consumer-controlled transactions (the sticky session must not
+//     be occupied by a long-lived stream)
+//   - anything but a SELECT (DML must not run twice, and only queries
+//     produce rowsets worth streaming)
+func (r *SQLDataResource) startStream(expression string, params []sqlengine.Value, cfg core.Configuration) (*streamHandle, error) {
+	if r.streamCfg == nil || cfg.Sensitivity == core.Sensitive ||
+		r.Config.TransactionInitiation == core.TransactionConsumerControlled {
+		return nil, nil
+	}
+	prepared, err := r.wrapper.Prepare(expression)
+	if err != nil {
+		return nil, err
+	}
+	if st, _, perr := sqlengine.Parse(prepared); perr != nil {
+		return nil, nil
+	} else if _, ok := st.(*sqlengine.SelectStmt); !ok {
+		return nil, nil
+	}
+	if err := core.CheckReadable(r); err != nil {
+		return nil, err
+	}
+	sess := r.engine.NewSession()
+	if iso, perr := sqlengine.ParseIsolationLevel(r.Config.TransactionIsolation); perr == nil {
+		sess.SetIsolation(iso)
+	}
+	// The stream outlives the factory request that starts it — pages
+	// are served to later GetTuples calls — so production runs under a
+	// background context, like Sensitive refreshes do. Cancellation
+	// comes from releasing the resource instead.
+	stream, err := sess.ExecuteStream(context.Background(), prepared, params...)
+	if err != nil {
+		// Let the materialised path re-execute and fail with its
+		// canonical fault; a failed SELECT has no side effects.
+		return nil, nil
+	}
+	bcfg := *r.streamCfg
+	bcfg.SpillName = core.NewAbstractName("rowset-spill")
+	return &streamHandle{stream: stream, buf: rowset.NewBuffer(stream, bcfg)}, nil
+}
+
+// responseData waits for production to finish and assembles the
+// response payload the materialised path would have produced: the full
+// rowset (paged back from spill if needed) plus the communication
+// area.
+func (h *streamHandle) responseData(ctx context.Context) (*SQLResponseData, error) {
+	set, err := h.buf.Materialise(ctx)
+	if err != nil {
+		if res, rerr := h.stream.Result(); rerr != nil && res != nil {
+			return newResponseData(res), execFault(rerr)
+		}
+		return nil, execFault(err)
+	}
+	res, err := h.stream.Result()
+	if err != nil {
+		return newResponseData(res), execFault(err)
+	}
+	return &SQLResponseData{
+		Items: []ResponseItem{{Kind: ItemRowset, Rowset: set}},
+		CA:    res.CA,
+	}, nil
+}

@@ -101,6 +101,31 @@ func (s *Store) Append(name string, data []byte) error {
 	return nil
 }
 
+// AppendRecord extends a file like Append and returns the offset at
+// which the record was placed. The append and the offset read happen
+// under one lock acquisition, so concurrent appenders each get the
+// exact extent of their own record — the Append-then-Stat sequence has
+// no such guarantee, because another writer can slip between the two
+// calls. The rowset spill path depends on this to address pages it
+// writes while other pages of the same resource are spilling.
+func (s *Store) AppendRecord(name string, data []byte) (int64, error) {
+	n, err := cleanName(name)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.files[n]
+	if !ok {
+		f = &file{}
+		s.files[n] = f
+	}
+	off := int64(len(f.data))
+	f.data = append(f.data, data...)
+	f.modified = s.clock()
+	return off, nil
+}
+
 // Read returns up to count bytes starting at offset (count < 0 reads to
 // the end). Reads past the end return an empty slice.
 func (s *Store) Read(name string, offset, count int64) ([]byte, error) {

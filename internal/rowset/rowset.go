@@ -452,16 +452,23 @@ type RangeEncoder interface {
 // Window clamps the 1-based WS-DAIR (StartPosition, Count) pair to the
 // 0-based half-open row range [from, to) actually present in rs.
 func Window(rs *sqlengine.ResultSet, startPosition, count int) (from, to int) {
+	return windowRange(len(rs.Rows), startPosition, count)
+}
+
+// windowRange is the clamp shared by the materialised Window and the
+// streaming Buffer.Window, so both paths resolve a (StartPosition,
+// Count) pair to exactly the same rows.
+func windowRange(n, startPosition, count int) (from, to int) {
 	if startPosition < 1 {
 		startPosition = 1
 	}
 	from = startPosition - 1
-	if from >= len(rs.Rows) || count <= 0 {
+	if from >= n || count <= 0 {
 		return 0, 0
 	}
 	to = from + count
-	if to > len(rs.Rows) {
-		to = len(rs.Rows)
+	if to > n {
+		to = n
 	}
 	return from, to
 }

@@ -1,0 +1,512 @@
+package rowset
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"dais/internal/filestore"
+	"dais/internal/sqlengine"
+)
+
+// RowSource is the pull-based producer side of the streaming delivery
+// pipeline: anything that can yield rows one at a time with column
+// metadata known up front. Close must be idempotent — the buffer may
+// close a source once from the fill goroutine and once from Release.
+// *sqlengine.RowStream satisfies the interface structurally;
+// NewSetSource adapts an already-materialised result set.
+type RowSource interface {
+	Columns() []sqlengine.ResultColumn
+	Next() ([]sqlengine.Value, error) // io.EOF after the last row
+	Close() error
+}
+
+// NewSetSource wraps a materialised result set as a RowSource, so the
+// buffer machinery can be exercised (and tested) without an engine
+// stream behind it.
+func NewSetSource(rs *sqlengine.ResultSet) RowSource {
+	return &setSource{rs: rs}
+}
+
+type setSource struct {
+	rs  *sqlengine.ResultSet
+	pos int
+}
+
+func (s *setSource) Columns() []sqlengine.ResultColumn { return s.rs.Columns }
+
+func (s *setSource) Next() ([]sqlengine.Value, error) {
+	if s.pos >= len(s.rs.Rows) {
+		return nil, io.EOF
+	}
+	row := s.rs.Rows[s.pos]
+	s.pos++
+	return row, nil
+}
+
+func (s *setSource) Close() error { return nil }
+
+// Hooks are optional observation callbacks the buffer invokes as it
+// works. They exist because this package sits below internal/telemetry
+// in the import graph (telemetry → ops → dair → rowset), so the buffer
+// cannot bind metrics itself; the service layer supplies callbacks
+// that record into its registry. All fields may be nil, and calls are
+// batched at page granularity to stay off the per-row hot path.
+type Hooks struct {
+	// RowsProduced is called with the number of rows newly sealed
+	// from the source.
+	RowsProduced func(n int)
+	// SpilledBytes is called with the encoded size of each page
+	// written to the spill store.
+	SpilledBytes func(n int64)
+	// BufferDepth is called with the delta in memory-resident rows
+	// (positive when a page seals in memory, negative when one spills
+	// or the buffer is released).
+	BufferDepth func(delta int)
+}
+
+func (h Hooks) rowsProduced(n int) {
+	if h.RowsProduced != nil && n > 0 {
+		h.RowsProduced(n)
+	}
+}
+
+func (h Hooks) spilledBytes(n int64) {
+	if h.SpilledBytes != nil && n > 0 {
+		h.SpilledBytes(n)
+	}
+}
+
+func (h Hooks) bufferDepth(delta int) {
+	if h.BufferDepth != nil && delta != 0 {
+		h.BufferDepth(delta)
+	}
+}
+
+// BufferConfig tunes a Buffer.
+type BufferConfig struct {
+	// PageRows is the number of rows per internal page (the spill
+	// granularity). Defaults to DefaultPageRows.
+	PageRows int
+	// MemCap bounds the estimated bytes of row data held in memory;
+	// once sealed pages exceed it, the oldest are spilled. Zero (or a
+	// nil Spill store) disables spilling: the buffer holds everything
+	// in memory like the materialised path.
+	MemCap int64
+	// Spill is the store completed pages are written to; SpillName is
+	// the file they share (each page is one self-delimiting record).
+	Spill     *filestore.Store
+	SpillName string
+	// Hooks observe production, spilling and buffer depth.
+	Hooks Hooks
+}
+
+// DefaultPageRows is the page granularity when BufferConfig.PageRows
+// is unset: large enough to amortise per-page bookkeeping, small
+// enough that one page is a cheap unit to spill or decode.
+const DefaultPageRows = 1024
+
+// Buffer is the bounded producer/consumer stage between a RowSource
+// and GetTuples-style window reads. A fill goroutine drains the source
+// as fast as it can, sealing rows into fixed-size pages; readers ask
+// for 1-based windows and block only while the window overlaps the
+// still-unproduced tail. When the sealed pages exceed MemCap, the
+// oldest spill to the filestore and are decoded back on demand, so a
+// service-managed rowset can exceed RAM.
+//
+// Page row slices are never mutated after sealing, so window reads
+// alias in-memory pages without copying.
+type Buffer struct {
+	cfg  BufferConfig
+	src  RowSource
+	cols []sqlengine.ResultColumn
+
+	mu       sync.Mutex
+	pages    []*bufPage
+	open     *bufPage      // page currently being filled (not yet sealed)
+	produced int           // total rows drained from the source
+	resident int64         // estimated bytes of sealed in-memory pages
+	spilled  int64         // total bytes written to the spill store
+	done     bool          // source exhausted or failed
+	err      error         // production error, if any
+	waiters  int           // readers blocked on progress
+	progress chan struct{} // closed and replaced to wake waiters
+	refs     int
+	released bool
+}
+
+// bufPage is one run of rows. Exactly one of rows / (off, size) is
+// live: rows == nil means the page lives in the spill file at
+// [off, off+size).
+type bufPage struct {
+	start int // 0-based index of the first row
+	n     int
+	rows  [][]sqlengine.Value
+	bytes int64 // estimated in-memory size (0 once spilled)
+	off   int64
+	size  int64
+}
+
+// NewBuffer starts draining src under the given config. The returned
+// buffer owns src: it is closed when production finishes or the last
+// reference is released. The initial reference belongs to the caller —
+// pair NewBuffer with Release.
+func NewBuffer(src RowSource, cfg BufferConfig) *Buffer {
+	if cfg.PageRows <= 0 {
+		cfg.PageRows = DefaultPageRows
+	}
+	if cfg.Spill == nil || cfg.SpillName == "" {
+		cfg.MemCap = 0
+	}
+	b := &Buffer{
+		cfg:      cfg,
+		src:      src,
+		cols:     src.Columns(),
+		progress: make(chan struct{}),
+		refs:     1,
+	}
+	go b.fill()
+	return b
+}
+
+// Columns returns the result column metadata.
+func (b *Buffer) Columns() []sqlengine.ResultColumn { return b.cols }
+
+// Produced returns the number of rows drained from the source so far.
+func (b *Buffer) Produced() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.produced
+}
+
+// Done reports whether production has finished (successfully or not).
+func (b *Buffer) Done() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.done
+}
+
+// Err returns the production error, if production has failed.
+func (b *Buffer) Err() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err
+}
+
+// SpilledBytes returns the total bytes written to the spill store.
+func (b *Buffer) SpilledBytes() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.spilled
+}
+
+// fill drains the source into sealed pages until EOF, error or
+// release, spilling as the memory cap demands.
+func (b *Buffer) fill() {
+	for {
+		row, err := b.src.Next()
+		if err != nil {
+			b.finish(err)
+			return
+		}
+		b.mu.Lock()
+		if b.released {
+			b.mu.Unlock()
+			b.finish(io.EOF)
+			return
+		}
+		if b.open == nil {
+			b.open = &bufPage{start: b.produced, rows: make([][]sqlengine.Value, 0, b.cfg.PageRows)}
+		}
+		b.open.rows = append(b.open.rows, row)
+		b.open.n++
+		b.open.bytes += estimateRowBytes(row)
+		b.produced++
+		sealed := 0
+		if b.open.n >= b.cfg.PageRows {
+			sealed = b.sealLocked()
+		}
+		if b.waiters > 0 {
+			b.broadcastLocked()
+		}
+		b.mu.Unlock()
+		if sealed > 0 {
+			b.cfg.Hooks.rowsProduced(sealed)
+			b.cfg.Hooks.bufferDepth(sealed)
+			b.spillOver()
+		}
+	}
+}
+
+// finish seals the trailing partial page, records the terminal state
+// and closes the source. err == io.EOF is clean exhaustion.
+func (b *Buffer) finish(err error) {
+	b.mu.Lock()
+	sealed := b.sealLocked()
+	b.done = true
+	if err != io.EOF {
+		b.err = err
+	}
+	b.broadcastLocked()
+	b.mu.Unlock()
+	b.cfg.Hooks.rowsProduced(sealed)
+	b.cfg.Hooks.bufferDepth(sealed)
+	b.spillOver()
+	b.src.Close()
+}
+
+// sealLocked moves the open page onto the sealed list and returns the
+// number of rows sealed. Caller holds b.mu.
+func (b *Buffer) sealLocked() int {
+	p := b.open
+	b.open = nil
+	if p == nil || p.n == 0 {
+		return 0
+	}
+	b.pages = append(b.pages, p)
+	b.resident += p.bytes
+	return p.n
+}
+
+// broadcastLocked wakes every blocked reader. Caller holds b.mu.
+func (b *Buffer) broadcastLocked() {
+	close(b.progress)
+	b.progress = make(chan struct{})
+}
+
+// await blocks until cond (checked under b.mu) holds or ctx expires.
+// It returns with b.mu held on success, released on ctx error.
+func (b *Buffer) await(ctx context.Context, cond func() bool) error {
+	b.mu.Lock()
+	for !cond() {
+		b.waiters++
+		ch := b.progress
+		b.mu.Unlock()
+		select {
+		case <-ch:
+			b.mu.Lock()
+		case <-ctx.Done():
+			b.mu.Lock()
+			b.waiters--
+			b.mu.Unlock()
+			return ctx.Err()
+		}
+		b.waiters--
+	}
+	return nil
+}
+
+// spillOver writes the oldest sealed in-memory pages to the spill
+// store until the resident estimate is back under the cap. Encoding
+// and the store append run outside b.mu — only the page-state flip is
+// locked — so readers are never blocked behind I/O.
+func (b *Buffer) spillOver() {
+	if b.cfg.MemCap <= 0 {
+		return
+	}
+	for {
+		b.mu.Lock()
+		if b.resident <= b.cfg.MemCap || b.released {
+			b.mu.Unlock()
+			return
+		}
+		var victim *bufPage
+		for _, p := range b.pages {
+			if p.rows != nil {
+				victim = p
+				break
+			}
+		}
+		if victim == nil {
+			b.mu.Unlock()
+			return
+		}
+		rows := victim.rows
+		b.mu.Unlock()
+
+		data := encodeSpillPage(rows)
+		off, err := b.cfg.Spill.AppendRecord(b.cfg.SpillName, data)
+		if err != nil {
+			// The store is in-memory and the name pre-validated, so
+			// this cannot happen in practice; keep the page resident
+			// rather than lose it.
+			return
+		}
+
+		b.mu.Lock()
+		victim.off, victim.size = off, int64(len(data))
+		victim.rows = nil
+		b.resident -= victim.bytes
+		victim.bytes = 0
+		b.spilled += int64(len(data))
+		freed := victim.n
+		b.mu.Unlock()
+		b.cfg.Hooks.spilledBytes(int64(len(data)))
+		b.cfg.Hooks.bufferDepth(-freed)
+	}
+}
+
+// Window returns rows [startPosition, startPosition+count) — 1-based,
+// GetTuples semantics — blocking while the requested window overlaps
+// the still-producing tail. Once production is done the window clamps
+// to the final row count exactly like the materialised path's
+// rowset.Window. A production error is returned from every Window
+// call: a partial result from a failed query is never served.
+func (b *Buffer) Window(ctx context.Context, startPosition, count int) (*sqlengine.ResultSet, error) {
+	if startPosition < 1 {
+		startPosition = 1
+	}
+	if count <= 0 {
+		return &sqlengine.ResultSet{Columns: b.cols}, nil
+	}
+	need := startPosition - 1 + count
+	if err := b.await(ctx, func() bool {
+		return b.released || b.err != nil || b.done || b.produced >= need
+	}); err != nil {
+		return nil, err
+	}
+	// b.mu held.
+	if b.released {
+		b.mu.Unlock()
+		return nil, fmt.Errorf("rowset: buffer released")
+	}
+	if b.err != nil {
+		err := b.err
+		b.mu.Unlock()
+		return nil, err
+	}
+	from, to := windowRange(b.produced, startPosition, count)
+	out := &sqlengine.ResultSet{Columns: b.cols}
+	if from == to {
+		b.mu.Unlock()
+		return out, nil
+	}
+	// Snapshot the page descriptors covering [from, to); sealed page
+	// row slices are immutable, so they can be read outside the lock,
+	// and the open page only ever appends past the length captured
+	// here. Spilled pages are re-read from the store below.
+	refs := make([]bufPage, 0, (to-from)/b.cfg.PageRows+2)
+	for _, p := range b.pages {
+		if p.start+p.n <= from || p.start >= to {
+			continue
+		}
+		refs = append(refs, bufPage{start: p.start, n: p.n, rows: p.rows, off: p.off, size: p.size})
+	}
+	if p := b.open; p != nil && p.start < to && p.start+p.n > from {
+		refs = append(refs, bufPage{start: p.start, n: p.n, rows: p.rows[:p.n]})
+	}
+	store, spillName := b.cfg.Spill, b.cfg.SpillName
+	b.mu.Unlock()
+
+	out.Rows = make([][]sqlengine.Value, 0, to-from)
+	for _, p := range refs {
+		rows := p.rows
+		if rows == nil {
+			data, err := store.Read(spillName, p.off, p.size)
+			if err != nil {
+				return nil, fmt.Errorf("rowset: reading spilled page: %w", err)
+			}
+			rows, err = decodeSpillPage(data)
+			if err != nil {
+				return nil, fmt.Errorf("rowset: decoding spilled page: %w", err)
+			}
+			if len(rows) != p.n {
+				return nil, fmt.Errorf("rowset: spilled page holds %d rows, expected %d", len(rows), p.n)
+			}
+		}
+		lo, hi := from-p.start, to-p.start
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > p.n {
+			hi = p.n
+		}
+		out.Rows = append(out.Rows, rows[lo:hi]...)
+	}
+	if len(out.Rows) != to-from {
+		return nil, fmt.Errorf("rowset: window [%d,%d) assembled %d rows", from, to, len(out.Rows))
+	}
+	return out, nil
+}
+
+// FinalCount blocks until production finishes and returns the total
+// row count (or the production error).
+func (b *Buffer) FinalCount(ctx context.Context) (int, error) {
+	if err := b.await(ctx, func() bool { return b.done || b.released }); err != nil {
+		return 0, err
+	}
+	n, err, released := b.produced, b.err, b.released
+	b.mu.Unlock()
+	if released && err == nil {
+		return 0, fmt.Errorf("rowset: buffer released")
+	}
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// Materialise blocks until production finishes and returns the full
+// result set (paging spilled rows back in). This is the bridge to
+// consumers that still need the whole set at once.
+func (b *Buffer) Materialise(ctx context.Context) (*sqlengine.ResultSet, error) {
+	n, err := b.FinalCount(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return &sqlengine.ResultSet{Columns: b.cols}, nil
+	}
+	return b.Window(ctx, 1, n)
+}
+
+// Retain adds a reference; each Retain must be paired with a Release.
+// Multiple service resources (a response resource and the rowset
+// resources derived from it) share one buffer this way.
+func (b *Buffer) Retain() {
+	b.mu.Lock()
+	b.refs++
+	b.mu.Unlock()
+}
+
+// Release drops a reference. When the last one goes, the source is
+// closed (cancelling a still-running engine stream), page memory is
+// dropped, blocked readers fail, and the spill file is deleted.
+func (b *Buffer) Release() {
+	b.mu.Lock()
+	b.refs--
+	if b.refs > 0 || b.released {
+		b.mu.Unlock()
+		return
+	}
+	b.released = true
+	depth := 0
+	for _, p := range b.pages {
+		if p.rows != nil {
+			depth += p.n
+		}
+	}
+	b.pages = nil
+	b.open = nil
+	b.resident = 0
+	b.broadcastLocked()
+	b.mu.Unlock()
+	b.cfg.Hooks.bufferDepth(-depth)
+	b.src.Close()
+	if b.cfg.Spill != nil && b.cfg.SpillName != "" {
+		if _, err := b.cfg.Spill.Stat(b.cfg.SpillName); err == nil {
+			_ = b.cfg.Spill.Delete(b.cfg.SpillName)
+		}
+	}
+}
+
+// estimateRowBytes approximates a row's in-memory footprint for the
+// MemCap accounting: the Value struct itself plus string payloads.
+func estimateRowBytes(row []sqlengine.Value) int64 {
+	n := int64(len(row)) * 80 // Value struct + slice slot, roughly
+	for _, v := range row {
+		n += int64(len(v.S))
+	}
+	return n
+}

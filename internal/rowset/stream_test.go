@@ -1,0 +1,360 @@
+package rowset
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"dais/internal/filestore"
+	"dais/internal/sqlengine"
+)
+
+// corpusSet builds a result set covering every value type (including
+// NULLs and an untyped computed column) so buffer and spill paths face
+// the same inference and round-trip hazards the codecs do.
+func corpusSet(rows int) *sqlengine.ResultSet {
+	set := &sqlengine.ResultSet{
+		Columns: []sqlengine.ResultColumn{
+			{Name: "id", Type: sqlengine.TypeInteger, Table: "t"},
+			{Name: "big", Type: sqlengine.TypeBigint, Table: "t"},
+			{Name: "name", Type: sqlengine.TypeVarchar, Table: "t"},
+			{Name: "score", Type: sqlengine.TypeNull},
+			{Name: "ok", Type: sqlengine.TypeBoolean, Table: "t"},
+			{Name: "at", Type: sqlengine.TypeTimestamp, Table: "t"},
+		},
+	}
+	base := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < rows; i++ {
+		score := sqlengine.NewDouble(float64(i) / 8)
+		if i%5 == 0 {
+			score = sqlengine.Null
+		}
+		set.Rows = append(set.Rows, []sqlengine.Value{
+			sqlengine.NewInt(int64(i)),
+			sqlengine.NewBigint(int64(i) * -1_000_000_007),
+			sqlengine.NewString(fmt.Sprintf("row-%04d", i)),
+			score,
+			sqlengine.NewBool(i%2 == 0),
+			sqlengine.NewTimestamp(base.Add(time.Duration(i) * time.Second)),
+		})
+	}
+	return set
+}
+
+func TestSpillPageRoundTrip(t *testing.T) {
+	rows := corpusSet(37).Rows
+	got, err := decodeSpillPage(encodeSpillPage(rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("rows = %d, want %d", len(got), len(rows))
+	}
+	for i := range rows {
+		for j := range rows[i] {
+			a, b := rows[i][j], got[i][j]
+			if a.Type != b.Type || a.I != b.I || a.F != b.F || a.S != b.S || a.B != b.B || !a.T.Equal(b.T) {
+				t.Fatalf("row %d col %d: %+v != %+v", i, j, a, b)
+			}
+			if a.String() != b.String() {
+				t.Fatalf("row %d col %d renders %q, want %q", i, j, b.String(), a.String())
+			}
+		}
+	}
+}
+
+func TestSpillPageRoundTripEmpty(t *testing.T) {
+	got, err := decodeSpillPage(encodeSpillPage(nil))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+// TestBufferWindowsMatchMaterialised is the streaming arm of the
+// equivalence corpus: every GetTuples window served out of a buffer —
+// in memory or spilled — must encode byte-identically to the
+// materialised path, for every codec.
+func TestBufferWindowsMatchMaterialised(t *testing.T) {
+	rs := corpusSet(103)
+	windows := [][2]int{{1, 10}, {5, 7}, {97, 100}, {1, 103}, {200, 5}, {3, 0}, {-4, 6}, {103, 1}}
+	reg := NewRegistry()
+	configs := map[string]BufferConfig{
+		"in-memory": {PageRows: 16},
+		"spilled": {
+			PageRows: 16,
+			MemCap:   1, // force every sealed page out
+			Spill:    filestore.NewStore("spill-test"),
+		},
+	}
+	for cfgName, cfg := range configs {
+		cfg.SpillName = "corpus.spill"
+		buf := NewBuffer(NewSetSource(rs), cfg)
+		if _, err := buf.FinalCount(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if cfgName == "spilled" && buf.SpilledBytes() == 0 {
+			t.Fatal("expected pages to spill")
+		}
+		for _, uri := range reg.URIs() {
+			codec, err := reg.Lookup(uri)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range windows {
+				start, count := w[0], w[1]
+				want, err := EncodeWindow(codec, rs, start, count)
+				if err != nil {
+					t.Fatal(err)
+				}
+				page, err := buf.Window(context.Background(), start, count)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := codec.Encode(page)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("%s/%s window (%d,%d): streamed page differs from materialised:\n%s\n---\n%s",
+						cfgName, uri, start, count, got, want)
+				}
+			}
+		}
+		buf.Release()
+	}
+}
+
+// slowSource trickles rows out with a tiny delay so reads genuinely
+// overlap production.
+type slowSource struct {
+	rs    *sqlengine.ResultSet
+	pos   int
+	delay time.Duration
+}
+
+func (s *slowSource) Columns() []sqlengine.ResultColumn { return s.rs.Columns }
+
+func (s *slowSource) Next() ([]sqlengine.Value, error) {
+	if s.pos >= len(s.rs.Rows) {
+		return nil, io.EOF
+	}
+	time.Sleep(s.delay)
+	row := s.rs.Rows[s.pos]
+	s.pos++
+	return row, nil
+}
+
+func (s *slowSource) Close() error { return nil }
+
+func TestBufferWindowBlocksForTail(t *testing.T) {
+	rs := corpusSet(50)
+	buf := NewBuffer(&slowSource{rs: rs, delay: 200 * time.Microsecond}, BufferConfig{PageRows: 8})
+	defer buf.Release()
+	// Ask for the tail immediately: the call must block until rows 41..50
+	// exist, then return exactly them.
+	set, err := buf.Window(context.Background(), 41, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Rows) != 10 || set.Rows[0][0].I != 40 || set.Rows[9][0].I != 49 {
+		t.Fatalf("tail window = %d rows, first %v", len(set.Rows), set.Rows[0][0])
+	}
+	n, err := buf.FinalCount(context.Background())
+	if err != nil || n != 50 {
+		t.Fatalf("final count = %d, %v", n, err)
+	}
+}
+
+func TestBufferWindowHonoursContext(t *testing.T) {
+	rs := corpusSet(5)
+	blocked := make(chan struct{})
+	src := &stuckSource{rs: rs, stuckAt: 3, blocked: blocked}
+	buf := NewBuffer(src, BufferConfig{PageRows: 2})
+	defer buf.Release()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := buf.Window(ctx, 1, 5); err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	close(blocked)
+}
+
+// stuckSource produces stuckAt rows then blocks until released.
+type stuckSource struct {
+	rs      *sqlengine.ResultSet
+	pos     int
+	stuckAt int
+	blocked chan struct{}
+}
+
+func (s *stuckSource) Columns() []sqlengine.ResultColumn { return s.rs.Columns }
+
+func (s *stuckSource) Next() ([]sqlengine.Value, error) {
+	if s.pos >= s.stuckAt {
+		<-s.blocked
+		return nil, io.EOF
+	}
+	row := s.rs.Rows[s.pos]
+	s.pos++
+	return row, nil
+}
+
+func (s *stuckSource) Close() error { return nil }
+
+// failSource produces okRows rows then fails.
+type failSource struct {
+	rs     *sqlengine.ResultSet
+	pos    int
+	okRows int
+}
+
+func (s *failSource) Columns() []sqlengine.ResultColumn { return s.rs.Columns }
+
+func (s *failSource) Next() ([]sqlengine.Value, error) {
+	if s.pos >= s.okRows {
+		return nil, fmt.Errorf("mid-stream failure")
+	}
+	row := s.rs.Rows[s.pos]
+	s.pos++
+	return row, nil
+}
+
+func (s *failSource) Close() error { return nil }
+
+func TestBufferProductionErrorSurfaces(t *testing.T) {
+	rs := corpusSet(20)
+	buf := NewBuffer(&failSource{rs: rs, okRows: 7}, BufferConfig{PageRows: 4})
+	defer buf.Release()
+	// Even a window over already-produced rows reports the failure: a
+	// partial result from a failed query must never be served.
+	if _, err := buf.Window(context.Background(), 1, 2); err == nil {
+		t.Fatal("window over failed production should error")
+	}
+	if _, err := buf.FinalCount(context.Background()); err == nil {
+		t.Fatal("final count over failed production should error")
+	}
+	if buf.Err() == nil {
+		t.Fatal("Err should report the production failure")
+	}
+}
+
+func TestBufferReleaseDeletesSpillAndStopsProducer(t *testing.T) {
+	store := filestore.NewStore("spill-test")
+	rs := corpusSet(200)
+	buf := NewBuffer(&slowSource{rs: rs, delay: 50 * time.Microsecond}, BufferConfig{
+		PageRows:  8,
+		MemCap:    1,
+		Spill:     store,
+		SpillName: "victim.spill",
+	})
+	// Wait until something has spilled, then walk away mid-production.
+	for buf.SpilledBytes() == 0 && !buf.Done() {
+		time.Sleep(time.Millisecond)
+	}
+	buf.Release()
+	deadline := time.Now().Add(2 * time.Second)
+	for store.Count() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if store.Count() != 0 {
+		t.Fatalf("spill file survived release: %d files", store.Count())
+	}
+	if _, err := buf.Window(context.Background(), 1, 1); err == nil {
+		t.Fatal("window after release should error")
+	}
+}
+
+func TestBufferRefCounting(t *testing.T) {
+	rs := corpusSet(10)
+	buf := NewBuffer(NewSetSource(rs), BufferConfig{PageRows: 4})
+	buf.Retain()
+	buf.Release() // drops the Retain
+	if _, err := buf.Window(context.Background(), 1, 10); err != nil {
+		t.Fatalf("buffer died with a live reference: %v", err)
+	}
+	buf.Release() // drops the initial reference
+	if _, err := buf.Window(context.Background(), 1, 1); err == nil {
+		t.Fatal("window after last release should error")
+	}
+}
+
+func TestBufferHooksObserveProductionAndSpill(t *testing.T) {
+	var mu sync.Mutex
+	var produced, depth int
+	var spilledBytes int64
+	hooks := Hooks{
+		RowsProduced: func(n int) { mu.Lock(); produced += n; mu.Unlock() },
+		SpilledBytes: func(n int64) { mu.Lock(); spilledBytes += n; mu.Unlock() },
+		BufferDepth:  func(d int) { mu.Lock(); depth += d; mu.Unlock() },
+	}
+	store := filestore.NewStore("spill-test")
+	rs := corpusSet(100)
+	buf := NewBuffer(NewSetSource(rs), BufferConfig{
+		PageRows: 10, MemCap: 1, Spill: store, SpillName: "hooked.spill", Hooks: hooks,
+	})
+	if _, err := buf.FinalCount(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	buf.Release()
+	mu.Lock()
+	defer mu.Unlock()
+	if produced != 100 {
+		t.Fatalf("produced = %d, want 100", produced)
+	}
+	if spilledBytes == 0 {
+		t.Fatal("no spill observed")
+	}
+	if depth != 0 {
+		t.Fatalf("depth should return to zero after release, got %d", depth)
+	}
+}
+
+// TestBufferConcurrentReaders hammers one spilling buffer from many
+// goroutines while it is still producing — the service-side shape of
+// concurrent chunked fetch — and checks every window against the
+// source. Run with -race this doubles as the locking proof.
+func TestBufferConcurrentReaders(t *testing.T) {
+	rs := corpusSet(600)
+	store := filestore.NewStore("spill-test")
+	buf := NewBuffer(&slowSource{rs: rs, delay: 5 * time.Microsecond}, BufferConfig{
+		PageRows: 32, MemCap: 4096, Spill: store, SpillName: "conc.spill",
+	})
+	defer buf.Release()
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				start := (w*37+i*61)%600 + 1
+				count := 50
+				set, err := buf.Window(context.Background(), start, count)
+				if err != nil {
+					errs <- err
+					return
+				}
+				from, to := windowRange(600, start, count)
+				if len(set.Rows) > to-from {
+					errs <- fmt.Errorf("window (%d,%d): %d rows, want at most %d", start, count, len(set.Rows), to-from)
+					return
+				}
+				for j, row := range set.Rows {
+					if row[0].I != int64(from+j) {
+						errs <- fmt.Errorf("window (%d,%d) row %d: id %d, want %d", start, count, j, row[0].I, from+j)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -140,11 +140,11 @@ func (e *Endpoint) registerDAIR() {
 
 	// RowsetAccess operations — the third hop of Fig. 5.
 	handleOp(e, ops.GetTuples, func(ctx context.Context, res *dair.SQLRowsetResource, req *ops.PageMsg) (*xmlutil.Element, error) {
-		count := req.Count
-		if !req.HasCount {
-			count = res.RowCount()
+		start, count, err := normalizeTuplesWindow(ctx, res, req)
+		if err != nil {
+			return nil, err
 		}
-		data, err := res.GetTuples(req.Start, count)
+		data, err := res.GetTuples(ctx, start, count)
 		if err != nil {
 			return nil, err
 		}

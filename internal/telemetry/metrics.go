@@ -209,6 +209,9 @@ func (g *Gauge) Inc() { g.v.Add(1) }
 // Dec subtracts one.
 func (g *Gauge) Dec() { g.v.Add(-1) }
 
+// Add adjusts the gauge by delta (which may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
 // Set stores an absolute value.
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
