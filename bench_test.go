@@ -380,6 +380,13 @@ func BenchmarkE13GetTuplesPage(b *testing.B)       { bench.E13GetTuplesPage(b) }
 func BenchmarkE13EquiJoin(b *testing.B)            { bench.E13EquiJoin(b) }
 func BenchmarkE13SQLExecuteRoundTrip(b *testing.B) { bench.E13SQLExecuteRoundTrip(b) }
 
+// Planner additions to E13: the same round trip with the prepared-plan
+// cache disabled (cold parse+plan each exchange) and a ~1%-selective
+// range predicate over an ordered index vs the unindexed twin column.
+func BenchmarkE13SQLExecuteRoundTripCold(b *testing.B) { bench.E13SQLExecuteRoundTripCold(b) }
+func BenchmarkE13RangeScanIndexed(b *testing.B)        { bench.E13RangeScanIndexed(b) }
+func BenchmarkE13RangeScanFullScan(b *testing.B)       { bench.E13RangeScanFullScan(b) }
+
 // E12 — telemetry overhead: the same SQLExecute round trip against a
 // bare fixture (telemetry interceptors stripped on both sides) and an
 // instrumented one (the default). The difference is the full cost of

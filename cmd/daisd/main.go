@@ -68,6 +68,7 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 0, "per-endpoint in-flight request cap; excess requests are shed with HTTP 503 + Retry-After (0 disables admission control)")
 	perResource := flag.Int("per-resource-inflight", 0, "per-data-resource in-flight request cap (0 disables)")
 	rowsetMemCap := flag.Int64("rowset-mem-cap", 64<<20, "streaming rowset delivery: bytes of result rows kept in memory per derived rowset before pages spill to disk (0 disables streaming delivery)")
+	planCache := flag.Int("plan-cache", 256, "prepared-plan cache capacity per engine (0 disables plan caching)")
 	flag.Parse()
 
 	logger := newLogger(os.Stderr, *logLevel, *logJSON)
@@ -90,6 +91,7 @@ func main() {
 		maxInFlight:  *maxInFlight,
 		perResource:  *perResource,
 		rowsetMemCap: *rowsetMemCap,
+		planCache:    *planCache,
 	})
 	defer stop()
 
@@ -177,6 +179,8 @@ type config struct {
 	// Streaming rowset delivery: in-memory byte cap per derived rowset
 	// before pages spill to the filestore (0 disables streaming).
 	rowsetMemCap int64
+	// Prepared-plan cache capacity per engine (0 disables caching).
+	planCache int
 }
 
 // server bundles the composed endpoints for main and for tests.
@@ -223,8 +227,11 @@ func buildServer(base string, cfg config) (*server, func()) {
 		return out
 	}
 
-	eng := sqlengine.New("hr")
+	eng := sqlengine.New("hr", sqlengine.WithPlanCacheSize(cfg.planCache))
 	seedRelational(logger, eng, cfg.seedRows)
+	// Plan-cache hit/miss/size counters land on /metrics, labelled by
+	// engine.
+	service.RegisterPlanCacheMetrics(obs.Registry, eng)
 	var sqlOpts []dair.ResourceOption
 	if cfg.rowsetMemCap > 0 {
 		// Streaming delivery: derived rowsets answer GetTuples while the

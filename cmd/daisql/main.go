@@ -5,7 +5,7 @@
 // Usage:
 //
 //	daisql -url http://host:8090/sql [-resource urn:...] [-format csv|sqlrowset|webrowset]
-//	       [-indirect] [-page 100] [-stream] [-chunks 4] 'SELECT ...'
+//	       [-indirect] [-page 100] [-stream] [-chunks 4] [-explain] 'SELECT ...'
 //
 // When -resource is omitted the first resource from GetResourceList is
 // used. With -indirect the query runs through SQLExecuteFactory and the
@@ -40,6 +40,7 @@ func main() {
 	destroy := flag.Bool("destroy", true, "destroy derived resources after use")
 	interactive := flag.Bool("i", false, "interactive mode: read statements from stdin")
 	timeout := flag.Duration("timeout", 0, "per-call deadline (0 disables)")
+	explain := flag.Bool("explain", false, "print the engine's physical plan for the statement instead of executing it")
 	flag.Parse()
 	if !*interactive && flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: daisql [flags] 'SELECT ...'   (or daisql -i)")
@@ -76,6 +77,15 @@ func main() {
 		return
 	}
 	query := flag.Arg(0)
+	if *explain {
+		// EXPLAIN travels as ordinary SQL: the engine answers with a
+		// one-column "plan" rowset describing the access path, index
+		// choice, join strategy and pushed-down bounds.
+		if err := runDirect(ctx, c, ref, "EXPLAIN "+query, formatURI); err != nil {
+			log.Fatalf("daisql: %v", err)
+		}
+		return
+	}
 	if *indirect {
 		if *stream || *chunks > 1 {
 			runChunked(ctx, c, ref, query, formatURI, *page, *chunks, *destroy)

@@ -153,6 +153,77 @@ func E13SQLExecuteRoundTrip(b *testing.B) {
 	}
 }
 
+// E13SQLExecuteRoundTripCold is E13SQLExecuteRoundTrip with the
+// prepared-plan cache disabled: every exchange re-parses and re-plans,
+// isolating what the cache saves on the full round trip.
+func E13SQLExecuteRoundTripCold(b *testing.B) {
+	f, err := NewSQLFixture(FixtureOption{Rows: 500, Concurrent: true, WSRF: true, PlanCacheOff: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	query := `SELECT id, payload, num FROM data ORDER BY id LIMIT 50`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Client.SQLExecute(context.Background(), f.Ref, query, nil, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// e13RangeSession seeds the twin-column range table: k carries an
+// ordered index, k_noix is an identical column without one, so the same
+// selective range predicate measures pushdown against a full scan.
+func e13RangeSession(f e13Fataler) *sqlengine.Session {
+	eng := sqlengine.New("bench")
+	eng.MustExec(`CREATE TABLE rng (k INTEGER PRIMARY KEY, k_noix INTEGER, v VARCHAR(32))`)
+	eng.MustExec(`CREATE ORDERED INDEX rng_k ON rng (k)`)
+	sess := eng.NewSession()
+	for i := 0; i < 8000; i++ {
+		if _, err := sess.Execute(`INSERT INTO rng VALUES (?, ?, ?)`,
+			sqlengine.NewInt(int64(i)), sqlengine.NewInt(int64(i)),
+			sqlengine.NewString(fmt.Sprintf("val-%05d", i))); err != nil {
+			f.Fatal(err)
+		}
+	}
+	return sess
+}
+
+// E13RangeScanIndexed measures a ~1%-selective range query whose bounds
+// push down into the ordered index (8 000 rows, 80 hit).
+func E13RangeScanIndexed(b *testing.B) {
+	sess := e13RangeSession(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := sess.Execute(`SELECT k, v FROM rng WHERE k >= 4000 AND k < 4080`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Set.Rows) != 80 {
+			b.Fatal("unexpected range result size")
+		}
+	}
+}
+
+// E13RangeScanFullScan is the same predicate over the unindexed twin
+// column: the filter sees every row.
+func E13RangeScanFullScan(b *testing.B) {
+	sess := e13RangeSession(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := sess.Execute(`SELECT k_noix, v FROM rng WHERE k_noix >= 4000 AND k_noix < 4080`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Set.Rows) != 80 {
+			b.Fatal("unexpected range result size")
+		}
+	}
+}
+
 // RunE13 runs the hot-path benchmarks through testing.Benchmark so
 // daisbench reports the same ns/op, B/op and allocs/op columns as
 // `go test -bench` — and writes them to BENCH_E13.json for cross-PR
@@ -166,6 +237,9 @@ func RunE13() ([]E13Row, error) {
 		{"gettuples-page", E13GetTuplesPage},
 		{"equi-join", E13EquiJoin},
 		{"sqlexecute-roundtrip", E13SQLExecuteRoundTrip},
+		{"sqlexecute-roundtrip-cold", E13SQLExecuteRoundTripCold},
+		{"range-scan-indexed", E13RangeScanIndexed},
+		{"range-scan-fullscan", E13RangeScanFullScan},
 	}
 	var out []E13Row
 	for _, p := range paths {

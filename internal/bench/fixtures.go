@@ -41,12 +41,13 @@ type SQLFixture struct {
 
 // FixtureOption adjusts fixture construction.
 type FixtureOption struct {
-	Rows        int  // rows seeded into the data table (default 1000)
-	Concurrent  bool // ConcurrentAccess property (default true)
-	WSRF        bool // enable the WSRF layer (default true)
-	Thick       bool // use the thick wrapper
-	ExtraTables int  // extra catalog tables to fatten the property document
-	NoTelemetry bool // strip the telemetry interceptors (overhead baseline)
+	Rows         int  // rows seeded into the data table (default 1000)
+	Concurrent   bool // ConcurrentAccess property (default true)
+	WSRF         bool // enable the WSRF layer (default true)
+	Thick        bool // use the thick wrapper
+	ExtraTables  int  // extra catalog tables to fatten the property document
+	NoTelemetry  bool // strip the telemetry interceptors (overhead baseline)
+	PlanCacheOff bool // disable the prepared-plan cache (cold-plan baseline)
 }
 
 // DefaultFixture is the standard configuration.
@@ -57,8 +58,15 @@ func DefaultFixture() FixtureOption {
 // NewSQLFixture seeds an engine with opt.Rows rows in table data
 // (id INTEGER, payload VARCHAR, num DOUBLE) and serves it.
 func NewSQLFixture(opt FixtureOption) (*SQLFixture, error) {
-	eng := sqlengine.New("bench")
+	var engOpts []sqlengine.Option
+	if opt.PlanCacheOff {
+		engOpts = append(engOpts, sqlengine.WithPlanCacheSize(0))
+	}
+	eng := sqlengine.New("bench", engOpts...)
 	eng.MustExec(`CREATE TABLE data (id INTEGER PRIMARY KEY, payload VARCHAR(64), num DOUBLE)`)
+	// Ordered index on the key column: range predicates push down and
+	// ORDER BY id streams straight off the index.
+	eng.MustExec(`CREATE ORDERED INDEX data_id_ord ON data (id)`)
 	sess := eng.NewSession()
 	for i := 0; i < opt.Rows; i++ {
 		if _, err := sess.Execute(`INSERT INTO data VALUES (?, ?, ?)`,

@@ -264,6 +264,16 @@ func (c *Client) SQLExecute(ctx context.Context, ref ResourceRef, expression str
 		return out, nil
 	}
 	out.Raw, out.FormatURI = ops.DatasetPayload(ds)
+	// The SQLRowset default decodes straight from the already-parsed
+	// element tree, skipping DatasetPayload's marshal→re-parse cycle;
+	// other formats go through their codec on the raw bytes.
+	if rsEl := ds.Find(rowset.NSDAIR, "SQLRowset"); rsEl != nil &&
+		(out.FormatURI == "" || out.FormatURI == rowset.FormatSQLRowset) {
+		if set, derr := rowset.DecodeSQLRowsetElement(rsEl); derr == nil {
+			out.Set = set
+		}
+		return out, nil
+	}
 	if codec, err := decodeFormats.Lookup(out.FormatURI); err == nil {
 		if set, derr := codec.Decode(out.Raw); derr == nil {
 			out.Set = set

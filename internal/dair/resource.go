@@ -147,7 +147,12 @@ func (r *SQLDataResource) ExtendedProperties() []*xmlutil.Element {
 	cimDesc.AppendChild(cim.Describe(r.engine.Database()))
 	tables := xmlutil.NewElement(NSDAIR, "NumberOfTables")
 	tables.SetText(fmt.Sprintf("%d", len(r.engine.Database().TableNames())))
-	return []*xmlutil.Element{cimDesc, tables}
+	stats := r.engine.PlanCacheStats()
+	plans := xmlutil.NewElement(NSDAIR, "PlanCache")
+	plans.SetAttr("", "hits", fmt.Sprintf("%d", stats.Hits))
+	plans.SetAttr("", "misses", fmt.Sprintf("%d", stats.Misses))
+	plans.SetAttr("", "size", fmt.Sprintf("%d", stats.Size))
+	return []*xmlutil.Element{cimDesc, tables, plans}
 }
 
 // SQLExecute implements the SQLAccess SQLExecute operation: it runs one
@@ -215,16 +220,17 @@ func execFault(err error) error {
 
 // authorize enforces the Readable/Writeable configurable properties:
 // queries require Readable, data- and schema-changing statements
-// require Writeable. The statement is classified with the engine's
-// parser; unclassifiable text falls through to the engine, which will
-// reject it anyway.
+// require Writeable. The statement is classified through Engine.Prepare,
+// which also warms the prepared-plan cache so the execution that follows
+// reuses the parse and the compiled plan; unclassifiable text falls
+// through to the engine, which will reject it anyway.
 func (r *SQLDataResource) authorize(expression string) error {
-	st, _, err := sqlengine.Parse(expression)
+	prep, err := r.engine.Prepare(expression)
 	if err != nil {
 		return nil
 	}
-	switch st.(type) {
-	case *sqlengine.SelectStmt:
+	switch prep.Statement().(type) {
+	case *sqlengine.SelectStmt, *sqlengine.ExplainStmt:
 		return core.CheckReadable(r)
 	case *sqlengine.BeginStmt, *sqlengine.CommitStmt, *sqlengine.RollbackStmt:
 		return nil

@@ -4,18 +4,30 @@ import (
 	"bytes"
 
 	"dais/internal/core"
+	"dais/internal/rowset"
 	"dais/internal/wsaddr"
 	"dais/internal/xmlutil"
 )
 
 // DatasetElement embeds encoded data in a response: XML formats are
 // embedded as element trees, others (CSV, binary) as text.
+//
+// Payloads produced by the registered XML codecs (SQLRowset, WebRowSet)
+// are embedded verbatim as a Raw node: the codec just rendered a
+// well-formed standalone fragment, so re-parsing it into a tree only to
+// serialise it again inside the envelope would buy nothing but
+// allocations. Other XML-looking payloads still take the parse path,
+// which also validates them before they can corrupt the envelope.
 func DatasetElement(formatURI string, data []byte) *xmlutil.Element {
 	e := xmlutil.NewElement(core.NSDAI, "Dataset")
 	e.SetAttr("", "formatURI", formatURI)
 	trimmed := bytes.TrimSpace(data)
 	if len(trimmed) > 0 && trimmed[0] == '<' {
-		if parsed, err := xmlutil.Parse(bytes.NewReader(trimmed)); err == nil {
+		if formatURI == rowset.FormatSQLRowset || formatURI == rowset.FormatWebRowSet {
+			e.Children = append(e.Children, xmlutil.Raw(trimmed))
+			return e
+		}
+		if parsed, err := xmlutil.ParseBytes(trimmed); err == nil {
 			e.AppendChild(parsed)
 			return e
 		}
@@ -31,6 +43,11 @@ func DatasetPayload(e *xmlutil.Element) ([]byte, string) {
 		return nil, ""
 	}
 	format := e.AttrValue("", "formatURI")
+	for _, c := range e.Children {
+		if raw, ok := c.(xmlutil.Raw); ok {
+			return []byte(raw), format
+		}
+	}
 	if kids := e.ChildElements(); len(kids) == 1 {
 		return xmlutil.Marshal(kids[0]), format
 	}

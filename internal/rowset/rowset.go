@@ -160,9 +160,49 @@ func (c SQLRowsetCodec) Encode(rs *sqlengine.ResultSet) ([]byte, error) {
 }
 
 // EncodeRange renders rows [from, to) directly from the stored result
-// set, without materialising an intermediate page.
+// set, without materialising an intermediate page. It writes the bytes
+// straight from the values — no element tree — and its output is
+// byte-identical to marshalling SQLRowsetElement (pinned by test), so
+// consumers cannot tell which path produced a page.
 func (SQLRowsetCodec) EncodeRange(rs *sqlengine.ResultSet, from, to int) ([]byte, error) {
-	return xmlutil.Marshal(sqlRowsetRangeElement(rs, from, to)), nil
+	var b bytes.Buffer
+	b.Grow(256 + 48*(to-from)*(len(rs.Columns)+1))
+	b.WriteString(`<ns0:SQLRowset xmlns:ns0="` + NSDAIR + `"><ns0:Metadata>`)
+	for _, c := range effectiveColumnsRange(rs, from, to) {
+		b.WriteString(`<ns0:Column name="`)
+		xmlutil.EscapeTo(&b, c.Name, true)
+		b.WriteString(`" type="`)
+		xmlutil.EscapeTo(&b, typeName(c.Type), true)
+		if c.Table != "" {
+			b.WriteString(`" table="`)
+			xmlutil.EscapeTo(&b, c.Table, true)
+		}
+		b.WriteString(`"/>`)
+	}
+	b.WriteString(`</ns0:Metadata>`)
+	for _, row := range rs.Rows[from:to] {
+		b.WriteString(`<ns0:Row>`)
+		for _, v := range row {
+			switch {
+			case v.IsNull():
+				b.WriteString(`<ns0:Value isNull="true"/>`)
+			case v.Type == sqlengine.TypeVarchar:
+				// Note "" still takes this shape (SetText("") leaves a text
+				// node, so the tree path never emits <Value/> here either).
+				b.WriteString(`<ns0:Value>`)
+				xmlutil.EscapeTo(&b, v.S, false)
+				b.WriteString(`</ns0:Value>`)
+			default:
+				// Non-string renderings never contain markup characters.
+				b.WriteString(`<ns0:Value>`)
+				b.Write(v.AppendText(b.AvailableBuffer()))
+				b.WriteString(`</ns0:Value>`)
+			}
+		}
+		b.WriteString(`</ns0:Row>`)
+	}
+	b.WriteString(`</ns0:SQLRowset>`)
+	return b.Bytes(), nil
 }
 
 // SQLRowsetElement builds the XML tree without serialising, for callers

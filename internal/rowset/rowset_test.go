@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dais/internal/sqlengine"
+	"dais/internal/xmlutil"
 )
 
 func sampleSet() *sqlengine.ResultSet {
@@ -271,6 +272,38 @@ func TestEmptyResultSetRoundTrip(t *testing.T) {
 		}
 		if len(out.Rows) != 0 || len(out.Columns) != 1 {
 			t.Fatalf("%s: out = %+v", codec.FormatURI(), out)
+		}
+	}
+}
+
+// TestSQLRowsetEncodeMatchesTree pins the direct byte encoder to the
+// element-tree rendering: every page shape — full set, windows, empty
+// window, tricky values — must marshal to identical bytes either way.
+func TestSQLRowsetEncodeMatchesTree(t *testing.T) {
+	tricky := &sqlengine.ResultSet{
+		Columns: []sqlengine.ResultColumn{
+			{Name: "s", Type: sqlengine.TypeVarchar, Table: "t<&>"},
+			{Name: `q"uote`, Type: sqlengine.TypeVarchar},
+			{Name: "n", Type: sqlengine.TypeNull}, // inferred per window
+		},
+		Rows: [][]sqlengine.Value{
+			{sqlengine.NewString("a & b <c> \"d\""), sqlengine.NewString(""), sqlengine.Null},
+			{sqlengine.NewString("plain"), sqlengine.Null, sqlengine.NewInt(7)},
+		},
+	}
+	for _, rs := range []*sqlengine.ResultSet{sampleSet(), tricky} {
+		for from := 0; from <= len(rs.Rows); from++ {
+			for to := from; to <= len(rs.Rows); to++ {
+				got, err := SQLRowsetCodec{}.EncodeRange(rs, from, to)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := xmlutil.Marshal(sqlRowsetRangeElement(rs, from, to))
+				if string(got) != string(want) {
+					t.Fatalf("EncodeRange(%d,%d) diverged from tree rendering:\n got %s\nwant %s",
+						from, to, got, want)
+				}
+			}
 		}
 	}
 }

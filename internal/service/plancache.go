@@ -1,0 +1,37 @@
+package service
+
+import (
+	"dais/internal/sqlengine"
+	"dais/internal/telemetry"
+)
+
+// Metric names for the engine's prepared-plan cache. Like the rowset
+// stream metrics, they are bound here — the one place that connects the
+// engine's counters to a registry — because sqlengine sits below
+// telemetry in the import graph.
+const (
+	// MetricPlanCacheHits counts prepared-plan cache hits.
+	MetricPlanCacheHits = "dais_plan_cache_hits_total"
+	// MetricPlanCacheMisses counts prepared-plan cache misses (including
+	// schema-epoch invalidations, which re-plan in place).
+	MetricPlanCacheMisses = "dais_plan_cache_misses_total"
+	// MetricPlanCacheSize gauges cached prepared plans.
+	MetricPlanCacheSize = "dais_plan_cache_size"
+)
+
+// RegisterPlanCacheMetrics exposes an engine's prepared-plan cache
+// counters on the registry as scrape-time samples, labelled with the
+// engine (database) name so multi-resource deployments stay
+// distinguishable. A nil registry is a no-op.
+func RegisterPlanCacheMetrics(reg *telemetry.Registry, eng *sqlengine.Engine) {
+	if reg == nil || eng == nil {
+		return
+	}
+	labels := map[string]string{"engine": eng.Database().Name()}
+	reg.RegisterCollector(func(emit func(telemetry.Sample)) {
+		stats := eng.PlanCacheStats()
+		emit(telemetry.Sample{Name: MetricPlanCacheHits, Labels: labels, Value: float64(stats.Hits)})
+		emit(telemetry.Sample{Name: MetricPlanCacheMisses, Labels: labels, Value: float64(stats.Misses)})
+		emit(telemetry.Sample{Name: MetricPlanCacheSize, Labels: labels, Value: float64(stats.Size)})
+	})
+}

@@ -1,0 +1,71 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"dais/internal/sqlengine"
+	"dais/internal/telemetry"
+)
+
+// TestPlanCacheMetricsExposed wires an engine's plan-cache counters
+// into a registry and scrapes: the three series must appear, labelled
+// with the engine name, and track the engine's live stats (collectors
+// sample at scrape time, so a second scrape after more traffic moves).
+func TestPlanCacheMetricsExposed(t *testing.T) {
+	eng := sqlengine.New("metricsdb")
+	eng.MustExec(`CREATE TABLE t (id INTEGER PRIMARY KEY, v VARCHAR(8))`)
+	eng.MustExec(`INSERT INTO t VALUES (1, 'a')`)
+
+	reg := telemetry.NewRegistry()
+	RegisterPlanCacheMetrics(reg, eng)
+
+	scrape := func() string {
+		var buf bytes.Buffer
+		if err := reg.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+
+	s := eng.NewSession()
+	for i := 0; i < 3; i++ {
+		if _, err := s.Execute(`SELECT v FROM t WHERE id = 1`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := eng.PlanCacheStats()
+	text := scrape()
+	for _, want := range []string{
+		fmt.Sprintf(`%s{engine="metricsdb"} %d`, MetricPlanCacheHits, stats.Hits),
+		fmt.Sprintf(`%s{engine="metricsdb"} %d`, MetricPlanCacheMisses, stats.Misses),
+		fmt.Sprintf(`%s{engine="metricsdb"} %d`, MetricPlanCacheSize, stats.Size),
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("scrape missing %q:\n%s", want, text)
+		}
+	}
+
+	// More hits between scrapes must show up on the next scrape.
+	if _, err := s.Execute(`SELECT v FROM t WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	after := eng.PlanCacheStats()
+	if after.Hits <= stats.Hits {
+		t.Fatalf("expected extra hit: %+v -> %+v", stats, after)
+	}
+	text = scrape()
+	want := fmt.Sprintf(`%s{engine="metricsdb"} %d`, MetricPlanCacheHits, after.Hits)
+	if !strings.Contains(text, want) {
+		t.Fatalf("second scrape missing %q:\n%s", want, text)
+	}
+}
+
+// TestRegisterPlanCacheMetricsNil pins the documented no-op contract.
+func TestRegisterPlanCacheMetricsNil(t *testing.T) {
+	RegisterPlanCacheMetrics(nil, nil)
+	RegisterPlanCacheMetrics(telemetry.NewRegistry(), nil)
+	RegisterPlanCacheMetrics(nil, sqlengine.New("x"))
+}

@@ -38,12 +38,15 @@ type DropViewStmt struct {
 	Name string
 }
 
-// CreateIndexStmt is CREATE [UNIQUE] INDEX name ON table (col).
+// CreateIndexStmt is CREATE [UNIQUE] [ORDERED] INDEX name ON table
+// (col). Ordered selects the sorted posting structure (range pushdown,
+// ORDER BY over the index) instead of the hash index.
 type CreateIndexStmt struct {
-	Name   string
-	Table  string
-	Column string
-	Unique bool
+	Name    string
+	Table   string
+	Column  string
+	Unique  bool
+	Ordered bool
 }
 
 // DropIndexStmt is DROP INDEX name.
@@ -152,6 +155,12 @@ type CommitStmt struct{}
 // RollbackStmt is ROLLBACK.
 type RollbackStmt struct{}
 
+// ExplainStmt is EXPLAIN <statement>: it describes the physical plan
+// the engine would run instead of executing the statement.
+type ExplainStmt struct {
+	Stmt Statement
+}
+
 func (*CreateTableStmt) stmt() {}
 func (*DropTableStmt) stmt()   {}
 func (*CreateViewStmt) stmt()  {}
@@ -165,6 +174,7 @@ func (*SelectStmt) stmt()      {}
 func (*BeginStmt) stmt()       {}
 func (*CommitStmt) stmt()      {}
 func (*RollbackStmt) stmt()    {}
+func (*ExplainStmt) stmt()     {}
 
 // Expr is the interface implemented by all expression nodes.
 type Expr interface{ expr() }
@@ -245,6 +255,12 @@ type CastExpr struct {
 	Target  Type
 }
 
+// boundColExpr is a column reference compiled to a row ordinal by the
+// planner: evaluation is a direct slice index instead of a name
+// resolution. It never appears in parsed ASTs — only in the rewritten
+// expression trees held by compiled plans.
+type boundColExpr struct{ idx int }
+
 func (*LiteralExpr) expr()  {}
 func (*ParamExpr) expr()    {}
 func (*SubqueryExpr) expr() {}
@@ -258,6 +274,7 @@ func (*BetweenExpr) expr()  {}
 func (*FuncExpr) expr()     {}
 func (*CaseExpr) expr()     {}
 func (*CastExpr) expr()     {}
+func (*boundColExpr) expr() {}
 
 // aggregateNames is the set of aggregate function names.
 var aggregateNames = map[string]bool{

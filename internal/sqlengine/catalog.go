@@ -30,7 +30,8 @@ type Table struct {
 	nextID int64
 	order  []int64 // insertion order of live rowIDs
 
-	indexes map[string]*Index // lower-cased index name -> index
+	indexes    map[string]*Index        // lower-cased index name -> hash index
+	ordIndexes map[string]*OrderedIndex // lower-cased index name -> ordered index
 }
 
 // Index is a hash index over a single column.
@@ -45,11 +46,12 @@ type Index struct {
 
 func newTable(name string, cols []Column) *Table {
 	t := &Table{
-		Name:    name,
-		Columns: cols,
-		colIdx:  make(map[string]int, len(cols)),
-		rows:    make(map[int64][]Value),
-		indexes: make(map[string]*Index),
+		Name:       name,
+		Columns:    cols,
+		colIdx:     make(map[string]int, len(cols)),
+		rows:       make(map[int64][]Value),
+		indexes:    make(map[string]*Index),
+		ordIndexes: make(map[string]*OrderedIndex),
 	}
 	for i, c := range cols {
 		t.colIdx[strings.ToLower(c.Name)] = i
@@ -88,6 +90,17 @@ func (t *Table) insertRow(row []Value) (int64, error) {
 				idx.Name, t.Name, idx.Column, v)
 		}
 	}
+	for _, ix := range t.ordIndexes {
+		ci := t.ColumnIndex(ix.Column)
+		v := row[ci]
+		if v.IsNull() {
+			continue
+		}
+		if ix.Unique && len(ix.lookup(v)) > 0 {
+			return 0, fmt.Errorf("unique constraint %s violated on %s.%s (value %s)",
+				ix.Name, t.Name, ix.Column, v)
+		}
+	}
 	t.nextID++
 	t.rows[id] = row
 	t.order = append(t.order, id)
@@ -96,6 +109,9 @@ func (t *Table) insertRow(row []Value) (int64, error) {
 		if v := row[ci]; !v.IsNull() {
 			idx.buckets[v.groupKey()] = append(idx.buckets[v.groupKey()], id)
 		}
+	}
+	for _, ix := range t.ordIndexes {
+		ix.insert(row[t.ColumnIndex(ix.Column)], id)
 	}
 	return id, nil
 }
@@ -111,6 +127,9 @@ func (t *Table) deleteRow(id int64) {
 		if v := row[ci]; !v.IsNull() {
 			idx.remove(v, id)
 		}
+	}
+	for _, ix := range t.ordIndexes {
+		ix.remove(row[t.ColumnIndex(ix.Column)], id)
 	}
 	delete(t.rows, id)
 	for i, oid := range t.order {
@@ -142,6 +161,21 @@ func (t *Table) updateRow(id int64, newRow []Value) error {
 			}
 		}
 	}
+	for _, ix := range t.ordIndexes {
+		ci := t.ColumnIndex(ix.Column)
+		nv := newRow[ci]
+		if nv.IsNull() || Equal(old[ci], nv) {
+			continue
+		}
+		if ix.Unique {
+			for _, rid := range ix.lookup(nv) {
+				if rid != id {
+					return fmt.Errorf("unique constraint %s violated on %s.%s (value %s)",
+						ix.Name, t.Name, ix.Column, nv)
+				}
+			}
+		}
+	}
 	for _, idx := range t.indexes {
 		ci := t.ColumnIndex(idx.Column)
 		ov, nv := old[ci], newRow[ci]
@@ -154,6 +188,15 @@ func (t *Table) updateRow(id int64, newRow []Value) error {
 		if !nv.IsNull() {
 			idx.buckets[nv.groupKey()] = append(idx.buckets[nv.groupKey()], id)
 		}
+	}
+	for _, ix := range t.ordIndexes {
+		ci := t.ColumnIndex(ix.Column)
+		ov, nv := old[ci], newRow[ci]
+		if Equal(ov, nv) || (ov.IsNull() && nv.IsNull()) {
+			continue
+		}
+		ix.remove(ov, id)
+		ix.insert(nv, id)
 	}
 	t.rows[id] = newRow
 	return nil
@@ -185,11 +228,17 @@ func (ix *Index) lookup(v Value) []int64 {
 // It is guarded by a single RW mutex; the Engine layer chooses whether
 // to exploit reader concurrency (the DAIS ConcurrentAccess property).
 type Database struct {
-	mu      sync.RWMutex
-	name    string
-	tables  map[string]*Table // lower-cased name
-	indexes map[string]*Index // lower-cased index name -> owning index
-	views   map[string]*viewDef
+	mu         sync.RWMutex
+	name       string
+	tables     map[string]*Table        // lower-cased name
+	indexes    map[string]*Index        // lower-cased index name -> owning index
+	ordIndexes map[string]*OrderedIndex // lower-cased index name -> ordered index
+	views      map[string]*viewDef
+
+	// epoch counts successful DDL statements. Compiled plans record the
+	// epoch they were built against and are discarded when it moves, so
+	// a cached plan can never see a schema it was not planned for.
+	epoch uint64
 }
 
 // viewDef is a stored view: a name bound to a SELECT.
@@ -201,11 +250,19 @@ type viewDef struct {
 // NewDatabase creates an empty database with the given name.
 func NewDatabase(name string) *Database {
 	return &Database{
-		name:    name,
-		tables:  make(map[string]*Table),
-		indexes: make(map[string]*Index),
-		views:   make(map[string]*viewDef),
+		name:       name,
+		tables:     make(map[string]*Table),
+		indexes:    make(map[string]*Index),
+		ordIndexes: make(map[string]*OrderedIndex),
+		views:      make(map[string]*viewDef),
 	}
+}
+
+// SchemaEpoch returns the current DDL epoch.
+func (d *Database) SchemaEpoch() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.epoch
 }
 
 // Name returns the database name.
@@ -261,15 +318,19 @@ type IndexInfo struct {
 	Table  string
 	Column string
 	Unique bool
+	Kind   string // "hash" or "ordered"
 }
 
 // Indexes returns metadata for all indexes, sorted by name.
 func (d *Database) Indexes() []IndexInfo {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	out := make([]IndexInfo, 0, len(d.indexes))
+	out := make([]IndexInfo, 0, len(d.indexes)+len(d.ordIndexes))
 	for _, ix := range d.indexes {
-		out = append(out, IndexInfo{Name: ix.Name, Table: ix.Table, Column: ix.Column, Unique: ix.Unique})
+		out = append(out, IndexInfo{Name: ix.Name, Table: ix.Table, Column: ix.Column, Unique: ix.Unique, Kind: "hash"})
+	}
+	for _, ix := range d.ordIndexes {
+		out = append(out, IndexInfo{Name: ix.Name, Table: ix.Table, Column: ix.Column, Unique: ix.Unique, Kind: "ordered"})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -325,6 +386,7 @@ func (d *Database) createTable(st *CreateTableStmt) error {
 		}
 	}
 	d.tables[key] = t
+	d.epoch++
 	return nil
 }
 
@@ -340,13 +402,20 @@ func (d *Database) dropTable(st *DropTableStmt) error {
 	for name := range t.indexes {
 		delete(d.indexes, name)
 	}
+	for name := range t.ordIndexes {
+		delete(d.ordIndexes, name)
+	}
 	delete(d.tables, key)
+	d.epoch++
 	return nil
 }
 
 func (d *Database) createIndex(st *CreateIndexStmt) error {
 	key := strings.ToLower(st.Name)
 	if _, exists := d.indexes[key]; exists {
+		return fmt.Errorf("index %q already exists", st.Name)
+	}
+	if _, exists := d.ordIndexes[key]; exists {
 		return fmt.Errorf("index %q already exists", st.Name)
 	}
 	t, err := d.table(st.Table)
@@ -356,6 +425,20 @@ func (d *Database) createIndex(st *CreateIndexStmt) error {
 	ci := t.ColumnIndex(st.Column)
 	if ci < 0 {
 		return fmt.Errorf("column %q not in table %q", st.Column, st.Table)
+	}
+	if st.Ordered {
+		ix := newOrderedIndex(key, t.Name, t.Columns[ci].Name, st.Unique)
+		for _, id := range t.order {
+			v := t.rows[id][ci]
+			if ix.Unique && !v.IsNull() && len(ix.lookup(v)) > 0 {
+				return fmt.Errorf("cannot create unique index %q: duplicate value %s", st.Name, v)
+			}
+			ix.insert(v, id)
+		}
+		t.ordIndexes[key] = ix
+		d.ordIndexes[key] = ix
+		d.epoch++
+		return nil
 	}
 	ix := &Index{Name: key, Table: t.Name, Column: t.Columns[ci].Name, Unique: st.Unique, buckets: map[string][]int64{}}
 	// Build from existing rows.
@@ -371,20 +454,29 @@ func (d *Database) createIndex(st *CreateIndexStmt) error {
 	}
 	t.indexes[key] = ix
 	d.indexes[key] = ix
+	d.epoch++
 	return nil
 }
 
 func (d *Database) dropIndex(st *DropIndexStmt) error {
 	key := strings.ToLower(st.Name)
-	ix, exists := d.indexes[key]
-	if !exists {
-		return fmt.Errorf("index %q does not exist", st.Name)
+	if ix, exists := d.indexes[key]; exists {
+		if t, ok := d.tables[strings.ToLower(ix.Table)]; ok {
+			delete(t.indexes, key)
+		}
+		delete(d.indexes, key)
+		d.epoch++
+		return nil
 	}
-	if t, ok := d.tables[strings.ToLower(ix.Table)]; ok {
-		delete(t.indexes, key)
+	if ix, exists := d.ordIndexes[key]; exists {
+		if t, ok := d.tables[strings.ToLower(ix.Table)]; ok {
+			delete(t.ordIndexes, key)
+		}
+		delete(d.ordIndexes, key)
+		d.epoch++
+		return nil
 	}
-	delete(d.indexes, key)
-	return nil
+	return fmt.Errorf("index %q does not exist", st.Name)
 }
 
 // ViewNames returns the sorted list of view names.
@@ -408,6 +500,7 @@ func (d *Database) createView(st *CreateViewStmt) error {
 		return fmt.Errorf("a table named %q already exists", st.Name)
 	}
 	d.views[key] = &viewDef{Name: st.Name, Select: st.Select}
+	d.epoch++
 	return nil
 }
 
@@ -417,6 +510,7 @@ func (d *Database) dropView(st *DropViewStmt) error {
 		return fmt.Errorf("view %q does not exist", st.Name)
 	}
 	delete(d.views, key)
+	d.epoch++
 	return nil
 }
 

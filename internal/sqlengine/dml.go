@@ -252,6 +252,9 @@ func (d *Database) applyUndo(entries []undoEntry) {
 					idx.buckets[v.groupKey()] = append(idx.buckets[v.groupKey()], e.rowID)
 				}
 			}
+			for _, ix := range t.ordIndexes {
+				ix.insert(e.row[t.ColumnIndex(ix.Column)], e.rowID)
+			}
 		case undoUpdate:
 			// updateRow re-validates unique constraints; restoring the
 			// previous image cannot violate them, but fall back to a

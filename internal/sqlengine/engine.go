@@ -91,6 +91,7 @@ type Result struct {
 type Engine struct {
 	db    *Database
 	locks *lockManager
+	plans *planCache // nil when caching is disabled
 }
 
 // Option configures engine construction.
@@ -103,7 +104,11 @@ func WithLockTimeout(d time.Duration) Option {
 
 // New creates an empty engine whose database has the given name.
 func New(name string, opts ...Option) *Engine {
-	e := &Engine{db: NewDatabase(name), locks: newLockManager(2 * time.Second)}
+	e := &Engine{
+		db:    NewDatabase(name),
+		locks: newLockManager(2 * time.Second),
+		plans: newPlanCache(defaultPlanCacheSize),
+	}
 	for _, o := range opts {
 		o(e)
 	}
@@ -147,6 +152,10 @@ type Session struct {
 	inTxn     bool
 	undo      []undoEntry
 	aborted   bool
+
+	// prep threads the compiled plan of the statement currently being
+	// executed from ExecutePrepared down to run()'s SELECT dispatch.
+	prep *Prepared
 }
 
 // SetIsolation changes the isolation level for subsequent transactions.
@@ -176,15 +185,26 @@ func (s *Session) Execute(sql string, params ...Value) (*Result, error) {
 // cancellation at row granularity and return a *CancelledError wrapping
 // the context error.
 func (s *Session) ExecuteContext(ctx context.Context, sql string, params ...Value) (*Result, error) {
-	st, nparams, err := Parse(sql)
+	prep, err := s.engine.Prepare(sql)
 	if err != nil {
 		return errResult(StateSyntax, err), err
 	}
-	if nparams > len(params) {
-		err := fmt.Errorf("statement requires %d parameters, got %d", nparams, len(params))
+	return s.ExecutePrepared(ctx, prep, params...)
+}
+
+// ExecutePrepared runs a statement prepared by Engine.Prepare. When the
+// Prepared carries a compiled plan built at the current schema epoch,
+// the planned executor runs it; otherwise (or when the schema has moved
+// since planning) execution falls back to the interpreter, which is
+// always correct.
+func (s *Session) ExecutePrepared(ctx context.Context, prep *Prepared, params ...Value) (*Result, error) {
+	if _, isExplain := prep.stmt.(*ExplainStmt); !isExplain && prep.nparams > len(params) {
+		err := fmt.Errorf("statement requires %d parameters, got %d", prep.nparams, len(params))
 		return errResult(StateSyntax, err), err
 	}
-	return s.ExecuteStmtContext(ctx, st, params)
+	s.prep = prep
+	defer func() { s.prep = nil }()
+	return s.ExecuteStmtContext(ctx, prep.stmt, params)
 }
 
 // ExecuteStmt runs an already-parsed statement. This is the entry point
@@ -291,7 +311,13 @@ func (s *Session) run(ctx context.Context, st Statement, params []Value) (*Resul
 			return errResult(StateSerialization, err), err
 		}
 		db.mu.RLock()
-		set, err := db.execSelect(ctx, n, params)
+		var set *ResultSet
+		var err error
+		if p := s.currentPlan(n); p != nil && p.epoch == db.epoch {
+			set, err = db.execPlan(ctx, p, params)
+		} else {
+			set, err = db.execSelect(ctx, n, params)
+		}
 		db.mu.RUnlock()
 		if err != nil {
 			return errResult(stateFor(err), err), err
@@ -320,6 +346,16 @@ func (s *Session) run(ctx context.Context, st Statement, params []Value) (*Resul
 		return s.runDDL(func() error { return db.createIndex(n) })
 	case *DropIndexStmt:
 		return s.runDDL(func() error { return db.dropIndex(n) })
+	case *ExplainStmt:
+		db.mu.RLock()
+		lines := db.explainStatement(n.Stmt)
+		db.mu.RUnlock()
+		set := &ResultSet{Columns: []ResultColumn{{Name: "plan", Type: TypeVarchar}}}
+		for _, l := range lines {
+			set.Rows = append(set.Rows, []Value{NewString(l)})
+		}
+		ca := SQLCA{SQLState: StateSuccess, UpdateCount: -1, RowsFetched: len(set.Rows)}
+		return &Result{Set: set, UpdateCount: -1, CA: ca}, nil
 	}
 	err := fmt.Errorf("unsupported statement %T", st)
 	return errResult(StateGeneral, err), err
@@ -362,6 +398,34 @@ func (s *Session) runDDL(f func() error) (*Result, error) {
 		return errResult(stateFor(err), err), err
 	}
 	return okResult(-1), nil
+}
+
+// currentPlan returns the compiled plan threaded through ExecutePrepared
+// when it belongs to exactly this statement and planning is enabled. The
+// caller still re-validates the schema epoch under the database latch.
+func (s *Session) currentPlan(n *SelectStmt) *selectPlan {
+	if disablePlanner || s.prep == nil || s.prep.plan == nil || s.prep.plan.sel != n {
+		return nil
+	}
+	return s.prep.plan
+}
+
+// Explain describes the physical plan the engine would use for one
+// statement: the access path (and index) for plannable SELECTs, or the
+// interpreted path (with the reason) for everything else. It never
+// executes the statement.
+func (s *Session) Explain(sql string) ([]string, error) {
+	st, _, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if ex, ok := st.(*ExplainStmt); ok {
+		st = ex.Stmt
+	}
+	db := s.engine.db
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.explainStatement(st), nil
 }
 
 // lockForRead acquires shared locks for the given tables according to

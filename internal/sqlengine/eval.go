@@ -135,6 +135,10 @@ func eval(e Expr, env *evalEnv) (Value, error) {
 		return env.params[n.Index], nil
 	case *ColumnExpr:
 		return lookupColumn(env, n.Table, n.Column)
+	case *boundColExpr:
+		// Planner-compiled column reference: the ordinal was resolved at
+		// plan time against the same bindings env.row is built from.
+		return env.row[n.idx], nil
 	case *SubqueryExpr:
 		return evalScalarSubquery(n.Select, env)
 	case *ExistsExpr:

@@ -417,6 +417,13 @@ func joinRows(left [][]Value, right [][]Value, env *evalEnv, rcols []boundColumn
 			}
 		}
 	}
+	return nestedLoopJoin(left, right, joinEnv, leftWidth, rcols, j)
+}
+
+// nestedLoopJoin is the reference join implementation: O(L×R) pairs with
+// the full ON expression evaluated per pair. Both the interpreter and
+// compiled plans fall back to it when the hash path bails.
+func nestedLoopJoin(left, right [][]Value, joinEnv *evalEnv, leftWidth int, rcols []boundColumn, j JoinClause) ([][]Value, error) {
 	var out [][]Value
 	slab := newRowSlab(leftWidth + len(rcols))
 	scratch := make([]Value, leftWidth+len(rcols))

@@ -135,6 +135,154 @@ func TestQuickIndexEquivalence(t *testing.T) {
 	}
 }
 
+// seedBothIndexed extends the twin-column harness to both index kinds:
+// hv carries a hash index, ov an ordered index, and each has an
+// unindexed twin holding identical data.
+func seedBothIndexed(t testing.TB, rows int) *Engine {
+	t.Helper()
+	e := New("idx2")
+	e.MustExec(`CREATE TABLE m (id INTEGER PRIMARY KEY, hv INTEGER, hv_noix INTEGER, ov INTEGER, ov_noix INTEGER)`)
+	e.MustExec(`CREATE INDEX ix_hv ON m (hv)`)
+	e.MustExec(`CREATE ORDERED INDEX ox_ov ON m (ov)`)
+	s := e.NewSession()
+	for i := 0; i < rows; i++ {
+		if _, err := s.Execute(`INSERT INTO m VALUES (?, ?, ?, ?, ?)`,
+			NewInt(int64(i)), NewInt(int64(i%10)), NewInt(int64(i%10)),
+			NewInt(int64(i%25)), NewInt(int64(i%25))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+// assertIndexesConsistent compares every indexed access path against
+// its unindexed twin: hash point lookups, ordered point/range lookups
+// and index-satisfied ORDER BY must all agree with the scan answer.
+func assertIndexesConsistent(t *testing.T, e *Engine) {
+	t.Helper()
+	queries := [][2]string{
+		{`SELECT id FROM m WHERE hv = 3 ORDER BY id`, `SELECT id FROM m WHERE hv_noix = 3 ORDER BY id`},
+		{`SELECT COUNT(*) FROM m WHERE hv = 7`, `SELECT COUNT(*) FROM m WHERE hv_noix = 7`},
+		{`SELECT id FROM m WHERE ov = 12 ORDER BY id`, `SELECT id FROM m WHERE ov_noix = 12 ORDER BY id`},
+		{`SELECT id, ov FROM m WHERE ov > 5 AND ov <= 11 ORDER BY id`, `SELECT id, ov_noix FROM m WHERE ov_noix > 5 AND ov_noix <= 11 ORDER BY id`},
+		{`SELECT id, ov FROM m WHERE ov BETWEEN 20 AND 24 ORDER BY id`, `SELECT id, ov_noix FROM m WHERE ov_noix BETWEEN 20 AND 24 ORDER BY id`},
+		{`SELECT id FROM m ORDER BY ov, id`, `SELECT id FROM m ORDER BY ov_noix, id`},
+		{`SELECT COUNT(*) FROM m WHERE ov < 0`, `SELECT COUNT(*) FROM m WHERE ov_noix < 0`},
+	}
+	for _, q := range queries {
+		a := queryStrings(t, e, q[0])
+		b := queryStrings(t, e, q[1])
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d rows vs %d", q[0], len(a), len(b))
+		}
+		for i := range a {
+			for j := range a[i] {
+				if a[i][j] != b[i][j] {
+					t.Fatalf("%s: row %d differs: %v vs %v", q[0], i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+// TestIndexMaintenanceUnderUpdateDelete churns committed DML through
+// both index kinds and re-checks indexed-vs-scan agreement after every
+// batch: moves between buckets, moves to NULL and back, and deletes.
+func TestIndexMaintenanceUnderUpdateDelete(t *testing.T) {
+	e := seedBothIndexed(t, 300)
+	assertIndexesConsistent(t, e)
+
+	e.MustExec(`UPDATE m SET hv = 42, hv_noix = 42 WHERE id % 7 = 0`)
+	e.MustExec(`UPDATE m SET ov = ov + 100, ov_noix = ov_noix + 100 WHERE id % 5 = 0`)
+	assertIndexesConsistent(t, e)
+
+	e.MustExec(`UPDATE m SET ov = NULL, ov_noix = NULL WHERE id % 11 = 0`)
+	e.MustExec(`UPDATE m SET hv = NULL, hv_noix = NULL WHERE id % 13 = 0`)
+	assertIndexesConsistent(t, e)
+
+	e.MustExec(`UPDATE m SET ov = 3, ov_noix = 3 WHERE ov = NULL OR id % 11 = 0`)
+	e.MustExec(`DELETE FROM m WHERE id % 3 = 0`)
+	assertIndexesConsistent(t, e)
+
+	e.MustExec(`DELETE FROM m WHERE ov > 100`)
+	assertIndexesConsistent(t, e)
+}
+
+// TestIndexMaintenanceUnderRollback aborts a transaction full of
+// inserts, updates and deletes, then verifies both index kinds were
+// rolled back in lockstep with the table: contents match the
+// pre-transaction snapshot and every access path still agrees with its
+// scan twin.
+func TestIndexMaintenanceUnderRollback(t *testing.T) {
+	e := seedBothIndexed(t, 200)
+	snapshot := func() [][]string {
+		return queryStrings(t, e, `SELECT id, hv, ov FROM m ORDER BY id`)
+	}
+	before := snapshot()
+
+	s := e.NewSession()
+	for _, sql := range []string{
+		`BEGIN`,
+		`UPDATE m SET hv = 77 WHERE id < 50`,
+		`UPDATE m SET ov = NULL WHERE id >= 50 AND id < 100`,
+		`DELETE FROM m WHERE id >= 100 AND id < 150`,
+		`INSERT INTO m VALUES (9001, 1, 1, 1, 1)`,
+		`ROLLBACK`,
+	} {
+		if _, err := s.Execute(sql); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+
+	after := snapshot()
+	if len(after) != len(before) {
+		t.Fatalf("rollback changed row count: %d -> %d", len(before), len(after))
+	}
+	for i := range after {
+		for j := range after[i] {
+			if after[i][j] != before[i][j] {
+				t.Fatalf("row %d changed across rollback: %v vs %v", i, after[i], before[i])
+			}
+		}
+	}
+	assertIndexesConsistent(t, e)
+
+	// The aborted insert must be gone from both index paths.
+	for _, q := range []string{
+		`SELECT COUNT(*) FROM m WHERE id = 9001`,
+		`SELECT COUNT(*) FROM m WHERE hv = 77`,
+	} {
+		if rows := queryStrings(t, e, q); rows[0][0] != "0" {
+			t.Fatalf("%s = %v after rollback", q, rows)
+		}
+	}
+}
+
+// TestIndexMaintenanceCommitAfterRollback makes sure an aborted
+// transaction leaves the indexes usable: a following committed
+// transaction lands in both index kinds normally.
+func TestIndexMaintenanceCommitAfterRollback(t *testing.T) {
+	e := seedBothIndexed(t, 60)
+	s := e.NewSession()
+	for _, sql := range []string{
+		`BEGIN`, `UPDATE m SET ov = 500 WHERE id = 1`, `ROLLBACK`,
+		`BEGIN`, `UPDATE m SET ov = 500, ov_noix = 500 WHERE id = 2`, `COMMIT`,
+	} {
+		if _, err := s.Execute(sql); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+	rows := queryStrings(t, e, `SELECT id FROM m WHERE ov = 500`)
+	if len(rows) != 1 || rows[0][0] != "2" {
+		t.Fatalf("committed update via ordered index = %v", rows)
+	}
+	rows = queryStrings(t, e, `SELECT id FROM m WHERE ov BETWEEN 499 AND 501`)
+	if len(rows) != 1 || rows[0][0] != "2" {
+		t.Fatalf("range over ordered index = %v", rows)
+	}
+	assertIndexesConsistent(t, e)
+}
+
 func BenchmarkIndexLookupVsScan(b *testing.B) {
 	e := seedIndexed(b, 10000)
 	b.Run("indexed", func(b *testing.B) {

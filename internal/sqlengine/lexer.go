@@ -44,6 +44,7 @@ var keywords = map[string]bool{
 	"IF": true, "EXISTS": true, "CASE": true, "WHEN": true,
 	"THEN": true, "ELSE": true, "END": true, "CAST": true,
 	"UNION": true, "ALL": true, "VIEW": true,
+	"EXPLAIN": true, "ORDERED": true,
 }
 
 // lex tokenises a SQL statement. It returns a slice ending with tokEOF.

@@ -1,0 +1,137 @@
+package sqlengine
+
+import (
+	"reflect"
+	"testing"
+)
+
+// ordFixture builds an index over INTEGER keys with duplicates and
+// NULLs:
+//
+//	key:   NULL NULL  10    10   20   30   30   30   40
+//	rowID:    7   11   1     5    2    3    8    9    4
+func ordFixture() *OrderedIndex {
+	ix := newOrderedIndex("ox", "t", "c", false)
+	for _, p := range []struct {
+		k  Value
+		id int64
+	}{
+		{NewInt(30), 3}, {NewInt(10), 5}, {Null, 7}, {NewInt(20), 2},
+		{NewInt(40), 4}, {NewInt(10), 1}, {NewInt(30), 9}, {Null, 11},
+		{NewInt(30), 8},
+	} {
+		ix.insert(p.k, p.id)
+	}
+	return ix
+}
+
+func TestOrderedIndexLookup(t *testing.T) {
+	ix := ordFixture()
+	if got := ix.entries(); got != 4 {
+		t.Fatalf("entries = %d", got)
+	}
+	for _, tc := range []struct {
+		v    Value
+		want []int64
+	}{
+		{NewInt(10), []int64{1, 5}},
+		{NewInt(30), []int64{3, 8, 9}},
+		{NewInt(40), []int64{4}},
+		{NewInt(99), nil},
+		{Null, nil}, // NULL never matches equality
+	} {
+		if got := ix.lookup(tc.v); !reflect.DeepEqual(got, tc.want) {
+			t.Fatalf("lookup(%v) = %v, want %v", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestOrderedIndexAppendRange(t *testing.T) {
+	ix := ordFixture()
+	b := func(v int64, incl bool) *ordBound { return &ordBound{val: NewInt(v), incl: incl} }
+	for _, tc := range []struct {
+		name   string
+		lo, hi *ordBound
+		desc   bool
+		want   []int64
+	}{
+		{"unbounded", nil, nil, false, []int64{1, 5, 2, 3, 8, 9, 4}}, // NULLs excluded
+		{"ge 20", b(20, true), nil, false, []int64{2, 3, 8, 9, 4}},
+		{"gt 20", b(20, false), nil, false, []int64{3, 8, 9, 4}},
+		{"le 30", nil, b(30, true), false, []int64{1, 5, 2, 3, 8, 9}},
+		{"lt 30", nil, b(30, false), false, []int64{1, 5, 2}},
+		{"between 10 and 30 incl", b(10, true), b(30, true), false, []int64{1, 5, 2, 3, 8, 9}},
+		{"open interval (10,30)", b(10, false), b(30, false), false, []int64{2}},
+		{"between bounds off-key", b(15, true), b(35, true), false, []int64{2, 3, 8, 9}},
+		{"empty flipped", b(30, true), b(10, true), false, nil},
+		{"empty above", b(100, true), nil, false, nil},
+		// desc reverses key order but keeps rowIDs ascending per key.
+		{"ge 20 desc", b(20, true), nil, true, []int64{4, 3, 8, 9, 2}},
+		{"unbounded desc", nil, nil, true, []int64{4, 3, 8, 9, 2, 1, 5}},
+	} {
+		if got := ix.appendRange(nil, tc.lo, tc.hi, tc.desc); !reflect.DeepEqual(got, tc.want) {
+			t.Fatalf("%s: appendRange = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestOrderedIndexAppendOrdered(t *testing.T) {
+	ix := ordFixture()
+	// Ascending: NULLs first (engine sort order), then keys ascending,
+	// rowIDs ascending within a key.
+	wantAsc := []int64{7, 11, 1, 5, 2, 3, 8, 9, 4}
+	if got := ix.appendOrdered(nil, false); !reflect.DeepEqual(got, wantAsc) {
+		t.Fatalf("asc = %v, want %v", got, wantAsc)
+	}
+	// Descending: keys descending, NULLs last, rowIDs still ascending
+	// within a key (stable order).
+	wantDesc := []int64{4, 3, 8, 9, 2, 1, 5, 7, 11}
+	if got := ix.appendOrdered(nil, true); !reflect.DeepEqual(got, wantDesc) {
+		t.Fatalf("desc = %v, want %v", got, wantDesc)
+	}
+}
+
+func TestOrderedIndexRemove(t *testing.T) {
+	ix := ordFixture()
+	ix.remove(NewInt(30), 8)
+	if got := ix.lookup(NewInt(30)); !reflect.DeepEqual(got, []int64{3, 9}) {
+		t.Fatalf("after remove: %v", got)
+	}
+	// Removing the last posting for a key drops the key entirely.
+	ix.remove(NewInt(40), 4)
+	if got := ix.entries(); got != 3 {
+		t.Fatalf("entries after key removal = %d", got)
+	}
+	if got := ix.lookup(NewInt(40)); got != nil {
+		t.Fatalf("removed key still resolves: %v", got)
+	}
+	// NULL postings are maintained separately.
+	ix.remove(Null, 7)
+	if got := ix.appendOrdered(nil, false); got[0] != 11 {
+		t.Fatalf("null posting not removed: %v", got)
+	}
+	// Removing an absent pair is a no-op.
+	ix.remove(NewInt(99), 1)
+	ix.remove(NewInt(10), 99)
+	if got := ix.lookup(NewInt(10)); !reflect.DeepEqual(got, []int64{1, 5}) {
+		t.Fatalf("no-op remove mutated: %v", got)
+	}
+}
+
+// TestOrderedIndexMixedNumericKeys pins cross-type comparison inside
+// the index: INTEGER bounds must locate DOUBLE keys and vice versa,
+// because range pushdown only requires comparability, not same-type.
+func TestOrderedIndexMixedNumericKeys(t *testing.T) {
+	ix := newOrderedIndex("ox", "t", "c", false)
+	ix.insert(NewDouble(1.5), 1)
+	ix.insert(NewInt(2), 2)
+	ix.insert(NewDouble(2.5), 3)
+	got := ix.appendRange(nil, &ordBound{val: NewInt(2), incl: false}, nil, false)
+	if !reflect.DeepEqual(got, []int64{3}) {
+		t.Fatalf("> 2 over mixed keys = %v", got)
+	}
+	got = ix.appendRange(nil, &ordBound{val: NewDouble(1.4), incl: true}, &ordBound{val: NewDouble(2.4), incl: true}, false)
+	if !reflect.DeepEqual(got, []int64{1, 2}) {
+		t.Fatalf("[1.4, 2.4] over mixed keys = %v", got)
+	}
+}

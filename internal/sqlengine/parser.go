@@ -91,6 +91,15 @@ func (p *parser) parseStatement() (Statement, error) {
 		return &CommitStmt{}, nil
 	case p.accept(tokKeyword, "ROLLBACK"):
 		return &RollbackStmt{}, nil
+	case p.accept(tokKeyword, "EXPLAIN"):
+		inner, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		if _, nested := inner.(*ExplainStmt); nested {
+			return nil, fmt.Errorf("sql: EXPLAIN cannot be nested")
+		}
+		return &ExplainStmt{Stmt: inner}, nil
 	}
 	return nil, fmt.Errorf("sql: unsupported statement starting with %q", p.cur().text)
 }
@@ -98,17 +107,18 @@ func (p *parser) parseStatement() (Statement, error) {
 func (p *parser) parseCreate() (Statement, error) {
 	p.next() // CREATE
 	unique := p.accept(tokKeyword, "UNIQUE")
+	ordered := p.accept(tokKeyword, "ORDERED")
 	switch {
 	case p.accept(tokKeyword, "TABLE"):
-		if unique {
-			return nil, fmt.Errorf("sql: UNIQUE is not valid before TABLE")
+		if unique || ordered {
+			return nil, fmt.Errorf("sql: UNIQUE/ORDERED is not valid before TABLE")
 		}
 		return p.parseCreateTable()
 	case p.accept(tokKeyword, "INDEX"):
-		return p.parseCreateIndex(unique)
+		return p.parseCreateIndex(unique, ordered)
 	case p.accept(tokKeyword, "VIEW"):
-		if unique {
-			return nil, fmt.Errorf("sql: UNIQUE is not valid before VIEW")
+		if unique || ordered {
+			return nil, fmt.Errorf("sql: UNIQUE/ORDERED is not valid before VIEW")
 		}
 		name, err := p.identLike()
 		if err != nil {
@@ -238,7 +248,7 @@ func (p *parser) parseColumnDef() (*ColumnDef, error) {
 	}
 }
 
-func (p *parser) parseCreateIndex(unique bool) (Statement, error) {
+func (p *parser) parseCreateIndex(unique, ordered bool) (Statement, error) {
 	name, err := p.identLike()
 	if err != nil {
 		return nil, err
@@ -260,7 +270,7 @@ func (p *parser) parseCreateIndex(unique bool) (Statement, error) {
 	if _, err := p.expect(tokSymbol, ")"); err != nil {
 		return nil, err
 	}
-	return &CreateIndexStmt{Name: name, Table: table, Column: col, Unique: unique}, nil
+	return &CreateIndexStmt{Name: name, Table: table, Column: col, Unique: unique, Ordered: ordered}, nil
 }
 
 func (p *parser) parseDrop() (Statement, error) {

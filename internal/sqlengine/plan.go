@@ -1,0 +1,830 @@
+package sqlengine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// disablePlanner forces every statement through the interpreting
+// executor. The equivalence tests flip it to prove compiled plans and
+// the interpreter produce byte-identical results on the same corpus.
+var disablePlanner = false
+
+// accessKind enumerates the physical access paths a compiled plan can
+// bind for its base table.
+type accessKind int
+
+const (
+	accessFullScan     accessKind = iota // t.order, rowID ascending
+	accessHashPoint                      // hash index equality probe
+	accessOrderedPoint                   // ordered index equality probe
+	accessOrderedRange                   // ordered index range scan
+	accessOrderedScan                    // full ordered iteration (ORDER BY)
+)
+
+func (k accessKind) String() string {
+	switch k {
+	case accessHashPoint:
+		return "hash point lookup"
+	case accessOrderedPoint:
+		return "ordered point lookup"
+	case accessOrderedRange:
+		return "ordered range scan"
+	case accessOrderedScan:
+		return "ordered full scan"
+	}
+	return "full scan"
+}
+
+// planBound is one side of a compiled range predicate. The bound value
+// is an expression (literal or parameter) evaluated per execution; if it
+// evaluates to NULL or fails to coerce to the column type the bound is
+// dropped and the scan widens — the filter stage re-applies the full
+// WHERE predicate either way.
+type planBound struct {
+	expr Expr
+	incl bool
+}
+
+// orderKeyKind classifies one compiled ORDER BY key.
+type orderKeyKind int
+
+const (
+	orderKeyProjected orderKeyKind = iota // key = projected value at idx
+	orderKeyExpr                          // key = eval(expr) per input row
+)
+
+type planOrderKey struct {
+	kind orderKeyKind
+	idx  int
+	expr Expr
+	desc bool
+}
+
+// joinNode is one compiled join step: the right table resolved, its
+// bindings appended, the ON expression rewritten to ordinals, and the
+// hash-join decision taken at plan time.
+type joinNode struct {
+	t       *Table
+	rcols   []boundColumn
+	cols    []boundColumn // combined bindings including this join
+	clause  JoinClause    // clause with the rewritten ON expression
+	hasEqui bool
+	equi    equiConjunct
+}
+
+// selectPlan is a compiled physical plan for one SELECT: every column
+// reference resolved to a row ordinal, the access path and join
+// strategies chosen, and the projection/order machinery pre-bound. A
+// plan is immutable after construction and is only runnable while the
+// database's schema epoch matches the one it was built against.
+type selectPlan struct {
+	sel   *SelectStmt
+	epoch uint64
+
+	t      *Table
+	access accessKind
+	hashIx *Index
+	ordIx  *OrderedIndex
+	keyCol int  // ordinal of the access column in the base row
+	eq     Expr // equality probe value (point access)
+	lo, hi *planBound
+
+	joins []joinNode
+	cols  []boundColumn // final combined bindings
+
+	where     Expr // rewritten filter, nil when absent
+	projCols  []ResultColumn
+	projExprs []Expr
+
+	order          []planOrderKey
+	orderSatisfied bool // access path already yields ORDER BY order
+	desc           bool // iteration direction when orderSatisfied
+
+	explain []string
+}
+
+// streamable reports whether the plan can produce rows incrementally:
+// no joins (the probe side would need full materialisation anyway) and
+// either no ORDER BY or one the access path already satisfies.
+func (p *selectPlan) streamable() bool {
+	return len(p.joins) == 0 && (len(p.sel.OrderBy) == 0 || p.orderSatisfied)
+}
+
+// planSelect compiles a SELECT into a physical plan, or returns nil
+// with a reason when the statement is outside the plannable class (the
+// interpreter then runs it, including producing any errors). The caller
+// must hold d.mu for reading.
+func (d *Database) planSelect(sel *SelectStmt) (*selectPlan, string) {
+	switch {
+	case len(sel.Unions) > 0:
+		return nil, "UNION"
+	case sel.Distinct:
+		return nil, "DISTINCT"
+	case len(sel.GroupBy) > 0 || sel.Having != nil || selectHasAggregate(sel):
+		return nil, "grouping/aggregates"
+	case sel.From == nil:
+		return nil, "no FROM clause"
+	case sel.From.Subquery != nil:
+		return nil, "derived table"
+	}
+	if sel.Where != nil && containsAggregate(sel.Where) {
+		return nil, "aggregate in WHERE"
+	}
+	if _, isView := d.views[strings.ToLower(sel.From.Table)]; isView {
+		return nil, "view"
+	}
+	t, err := d.table(sel.From.Table)
+	if err != nil {
+		return nil, "unknown table"
+	}
+	qual := strings.ToLower(sel.From.Table)
+	if sel.From.Alias != "" {
+		qual = strings.ToLower(sel.From.Alias)
+	}
+	p := &selectPlan{sel: sel, epoch: d.epoch, t: t, keyCol: -1}
+	cols := make([]boundColumn, len(t.Columns))
+	for i, c := range t.Columns {
+		cols[i] = boundColumn{qualifier: qual, name: strings.ToLower(c.Name), typ: c.Type, origName: c.Name}
+	}
+
+	// Joins: base tables only, ON rewritten against the combined
+	// bindings, hash strategy detected with the interpreter's own
+	// conjunct finder.
+	for _, j := range sel.Joins {
+		if j.Table == nil || j.Table.Subquery != nil {
+			return nil, "derived join table"
+		}
+		if _, isView := d.views[strings.ToLower(j.Table.Table)]; isView {
+			return nil, "view in join"
+		}
+		jt, err := d.table(j.Table.Table)
+		if err != nil {
+			return nil, "unknown join table"
+		}
+		jq := strings.ToLower(j.Table.Table)
+		if j.Table.Alias != "" {
+			jq = strings.ToLower(j.Table.Alias)
+		}
+		rcols := make([]boundColumn, len(jt.Columns))
+		for i, c := range jt.Columns {
+			rcols[i] = boundColumn{qualifier: jq, name: strings.ToLower(c.Name), typ: c.Type, origName: c.Name}
+		}
+		combined := append(append([]boundColumn{}, cols...), rcols...)
+		node := joinNode{t: jt, rcols: rcols, cols: combined, clause: j}
+		if j.On != nil {
+			probeEnv := &evalEnv{cols: combined}
+			node.equi, node.hasEqui = findEquiConjunct(j.On, probeEnv, len(cols))
+			on, ok := rewriteExpr(j.On, combined)
+			if !ok {
+				return nil, "unresolvable ON expression"
+			}
+			node.clause.On = on
+		}
+		p.joins = append(p.joins, node)
+		cols = combined
+	}
+	p.cols = cols
+
+	// Projection: expand stars and rewrite every output expression.
+	env := &evalEnv{cols: cols}
+	projCols, projExprs, err := expandSelectItems(sel, env)
+	if err != nil {
+		return nil, "unplannable select list"
+	}
+	p.projCols = projCols
+	p.projExprs = make([]Expr, len(projExprs))
+	for i, e := range projExprs {
+		re, ok := rewriteExpr(e, cols)
+		if !ok {
+			return nil, "unresolvable select expression"
+		}
+		p.projExprs[i] = re
+	}
+
+	// WHERE.
+	if sel.Where != nil {
+		w, ok := rewriteExpr(sel.Where, cols)
+		if !ok {
+			return nil, "unresolvable WHERE expression"
+		}
+		p.where = w
+	}
+
+	// ORDER BY keys, classified with the interpreter's precedence:
+	// ordinals first, then select-list aliases (later duplicates win),
+	// then plain column resolution.
+	outNames := make(map[string]int, len(projCols))
+	for i, c := range projCols {
+		outNames[strings.ToLower(c.Name)] = i
+	}
+	for _, oi := range sel.OrderBy {
+		if ord, ok := ordinalRef(oi.Expr, len(projExprs)); ok {
+			p.order = append(p.order, planOrderKey{kind: orderKeyProjected, idx: ord, desc: oi.Desc})
+			continue
+		}
+		if ce, isCol := oi.Expr.(*ColumnExpr); isCol && ce.Table == "" {
+			if idx, ok := outNames[strings.ToLower(ce.Column)]; ok {
+				p.order = append(p.order, planOrderKey{kind: orderKeyProjected, idx: idx, desc: oi.Desc})
+				continue
+			}
+		}
+		// Complex keys that could observe the select-list alias scope
+		// (or a correlated alias via a subquery) keep interpreter
+		// semantics by refusing to plan.
+		if exprHasSubquery(oi.Expr) {
+			return nil, "subquery in ORDER BY"
+		}
+		if refsAnyUnqualified(oi.Expr, outNames) {
+			return nil, "ORDER BY references select-list alias"
+		}
+		re, ok := rewriteExpr(oi.Expr, cols)
+		if !ok {
+			return nil, "unresolvable ORDER BY expression"
+		}
+		p.order = append(p.order, planOrderKey{kind: orderKeyExpr, expr: re, desc: oi.Desc})
+	}
+
+	// Access path: only for join-free statements (with joins the
+	// interpreter scans too, so parity is free).
+	if len(p.joins) == 0 {
+		d.chooseAccess(p, t, qual)
+	}
+	p.bindOrderSatisfaction()
+	p.explain = p.explainLines()
+	return p, ""
+}
+
+// conjunctCandidates walks the AND-tree of the WHERE clause in source
+// order, collecting equality and range conjuncts of the shape
+// column-vs-constant (literal or parameter, either side).
+type eqCand struct {
+	col int
+	val Expr
+}
+
+type rangeCand struct {
+	col    int
+	lo, hi *planBound
+}
+
+func collectConjuncts(e Expr, out *[]Expr) {
+	if b, ok := e.(*BinaryExpr); ok && b.Op == "AND" {
+		collectConjuncts(b.Left, out)
+		collectConjuncts(b.Right, out)
+		return
+	}
+	*out = append(*out, e)
+}
+
+// constExpr reports whether e can be evaluated without row context.
+func constExpr(e Expr) bool {
+	switch e.(type) {
+	case *LiteralExpr, *ParamExpr:
+		return true
+	}
+	return false
+}
+
+// baseColumn resolves a ColumnExpr against the base table under its
+// qualifier, mirroring columnConstPair's matching rules.
+func baseColumn(e Expr, t *Table, qual string) (int, bool) {
+	ce, ok := e.(*ColumnExpr)
+	if !ok {
+		return 0, false
+	}
+	if ce.Table != "" && strings.ToLower(ce.Table) != qual {
+		return 0, false
+	}
+	ci := t.ColumnIndex(ce.Column)
+	if ci < 0 {
+		return 0, false
+	}
+	return ci, true
+}
+
+// chooseAccess binds the best available index access: a hash point probe
+// first (the interpreter's own fast path), then an ordered point probe,
+// then an ordered range scan. Ties between indexes on the same column
+// break by name so plans are deterministic.
+func (d *Database) chooseAccess(p *selectPlan, t *Table, qual string) {
+	var eqs []eqCand
+	ranges := map[int]*rangeCand{}
+	var rangeOrder []int
+	if p.sel.Where != nil {
+		var conjuncts []Expr
+		collectConjuncts(p.sel.Where, &conjuncts)
+		addBound := func(col int, b planBound, isLo bool) {
+			rc := ranges[col]
+			if rc == nil {
+				rc = &rangeCand{col: col}
+				ranges[col] = rc
+				rangeOrder = append(rangeOrder, col)
+			}
+			if isLo && rc.lo == nil {
+				rc.lo = &b
+			} else if !isLo && rc.hi == nil {
+				rc.hi = &b
+			}
+		}
+		for _, c := range conjuncts {
+			switch n := c.(type) {
+			case *BinaryExpr:
+				col, colOnLeft := baseColumn(n.Left, t, qual)
+				other := n.Right
+				if !colOnLeft {
+					col, colOnLeft = baseColumn(n.Right, t, qual)
+					other = n.Left
+					if !colOnLeft {
+						continue
+					}
+					// constant on the left: flip the operator sense
+					switch n.Op {
+					case "=":
+					case "<":
+						if constExpr(other) {
+							addBound(col, planBound{expr: other, incl: false}, true)
+						}
+						continue
+					case "<=":
+						if constExpr(other) {
+							addBound(col, planBound{expr: other, incl: true}, true)
+						}
+						continue
+					case ">":
+						if constExpr(other) {
+							addBound(col, planBound{expr: other, incl: false}, false)
+						}
+						continue
+					case ">=":
+						if constExpr(other) {
+							addBound(col, planBound{expr: other, incl: true}, false)
+						}
+						continue
+					default:
+						continue
+					}
+				}
+				if !constExpr(other) {
+					continue
+				}
+				switch n.Op {
+				case "=":
+					eqs = append(eqs, eqCand{col: col, val: other})
+				case "<":
+					addBound(col, planBound{expr: other, incl: false}, false)
+				case "<=":
+					addBound(col, planBound{expr: other, incl: true}, false)
+				case ">":
+					addBound(col, planBound{expr: other, incl: false}, true)
+				case ">=":
+					addBound(col, planBound{expr: other, incl: true}, true)
+				}
+			case *BetweenExpr:
+				if n.Negate {
+					continue
+				}
+				col, ok := baseColumn(n.Operand, t, qual)
+				if !ok || !constExpr(n.Lo) || !constExpr(n.Hi) {
+					continue
+				}
+				addBound(col, planBound{expr: n.Lo, incl: true}, true)
+				addBound(col, planBound{expr: n.Hi, incl: true}, false)
+			}
+		}
+	}
+
+	// Hash point probe.
+	for _, eq := range eqs {
+		if ix := hashIndexOn(t, eq.col); ix != nil {
+			p.access, p.hashIx, p.keyCol, p.eq = accessHashPoint, ix, eq.col, eq.val
+			return
+		}
+	}
+	// Ordered point probe.
+	for _, eq := range eqs {
+		if ix := orderedIndexOn(t, eq.col); ix != nil {
+			p.access, p.ordIx, p.keyCol, p.eq = accessOrderedPoint, ix, eq.col, eq.val
+			return
+		}
+	}
+	// Ordered range scan.
+	for _, col := range rangeOrder {
+		if ix := orderedIndexOn(t, col); ix != nil {
+			rc := ranges[col]
+			p.access, p.ordIx, p.keyCol, p.lo, p.hi = accessOrderedRange, ix, col, rc.lo, rc.hi
+			return
+		}
+	}
+	// No predicate-based access: a single-key ORDER BY over an ordered
+	// index can still replace the sort with an index-ordered full scan.
+	if ord, ok := p.effectiveOrderColumn(); ok {
+		if ix := orderedIndexOn(t, ord); ix != nil {
+			p.access, p.ordIx, p.keyCol = accessOrderedScan, ix, ord
+		}
+	}
+}
+
+// hashIndexOn returns the lexicographically first hash index on the
+// given column ordinal, or nil.
+func hashIndexOn(t *Table, col int) *Index {
+	var names []string
+	for name, ix := range t.indexes {
+		if strings.EqualFold(ix.Column, t.Columns[col].Name) {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	sort.Strings(names)
+	return t.indexes[names[0]]
+}
+
+// orderedIndexOn returns the lexicographically first ordered index on
+// the given column ordinal, or nil.
+func orderedIndexOn(t *Table, col int) *OrderedIndex {
+	var names []string
+	for name, ix := range t.ordIndexes {
+		if strings.EqualFold(ix.Column, t.Columns[col].Name) {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	sort.Strings(names)
+	return t.ordIndexes[names[0]]
+}
+
+// effectiveOrderColumn reports the base-row ordinal the (single) ORDER
+// BY key reduces to, when it is a plain column reference.
+func (p *selectPlan) effectiveOrderColumn() (int, bool) {
+	if len(p.order) != 1 || len(p.joins) > 0 {
+		return 0, false
+	}
+	var key Expr
+	switch p.order[0].kind {
+	case orderKeyProjected:
+		key = p.projExprs[p.order[0].idx]
+	case orderKeyExpr:
+		key = p.order[0].expr
+	}
+	if bc, ok := key.(*boundColExpr); ok {
+		return bc.idx, true
+	}
+	return 0, false
+}
+
+// bindOrderSatisfaction marks plans whose access path already emits rows
+// in the requested ORDER BY order, so the executor can skip the sort and
+// the stream can deliver ordered rows incrementally.
+func (p *selectPlan) bindOrderSatisfaction() {
+	ord, ok := p.effectiveOrderColumn()
+	if !ok {
+		return
+	}
+	switch p.access {
+	case accessOrderedScan:
+		// chosen because of the ORDER BY in the first place
+		p.orderSatisfied = ord == p.keyCol
+	case accessOrderedRange, accessOrderedPoint, accessHashPoint:
+		// Equal keys (point) or index-ordered keys (range) reproduce the
+		// stable sort exactly when the key column is the order column.
+		p.orderSatisfied = ord == p.keyCol
+	}
+	if p.orderSatisfied {
+		p.desc = p.order[0].desc
+	}
+}
+
+// rewriteExpr compiles an expression against fixed bindings: every
+// resolvable column reference becomes a row-ordinal boundColExpr.
+// Subquery interiors are left untouched — they resolve at run time
+// through the environment chain, exactly as interpreted execution does.
+// The original tree is never mutated (plans share ASTs with the cache
+// and the interpreter), so every rewritten node is a copy. ok=false
+// means a reference did not resolve cleanly and the statement must stay
+// on the interpreter.
+func rewriteExpr(e Expr, cols []boundColumn) (Expr, bool) {
+	env := &evalEnv{cols: cols}
+	switch n := e.(type) {
+	case nil:
+		return nil, true
+	case *LiteralExpr, *ParamExpr, *SubqueryExpr, *ExistsExpr:
+		return e, true
+	case *ColumnExpr:
+		i, err := env.resolve(n.Table, n.Column)
+		if err != nil {
+			return nil, false
+		}
+		return &boundColExpr{idx: i}, true
+	case *boundColExpr:
+		return e, true
+	case *BinaryExpr:
+		l, ok := rewriteExpr(n.Left, cols)
+		if !ok {
+			return nil, false
+		}
+		r, ok := rewriteExpr(n.Right, cols)
+		if !ok {
+			return nil, false
+		}
+		return &BinaryExpr{Op: n.Op, Left: l, Right: r}, true
+	case *UnaryExpr:
+		op, ok := rewriteExpr(n.Operand, cols)
+		if !ok {
+			return nil, false
+		}
+		return &UnaryExpr{Op: n.Op, Operand: op}, true
+	case *IsNullExpr:
+		op, ok := rewriteExpr(n.Operand, cols)
+		if !ok {
+			return nil, false
+		}
+		return &IsNullExpr{Operand: op, Negate: n.Negate}, true
+	case *InExpr:
+		op, ok := rewriteExpr(n.Operand, cols)
+		if !ok {
+			return nil, false
+		}
+		list := make([]Expr, len(n.List))
+		for i, it := range n.List {
+			re, ok := rewriteExpr(it, cols)
+			if !ok {
+				return nil, false
+			}
+			list[i] = re
+		}
+		return &InExpr{Operand: op, List: list, Subquery: n.Subquery, Negate: n.Negate}, true
+	case *BetweenExpr:
+		op, ok := rewriteExpr(n.Operand, cols)
+		if !ok {
+			return nil, false
+		}
+		lo, ok := rewriteExpr(n.Lo, cols)
+		if !ok {
+			return nil, false
+		}
+		hi, ok := rewriteExpr(n.Hi, cols)
+		if !ok {
+			return nil, false
+		}
+		return &BetweenExpr{Operand: op, Lo: lo, Hi: hi, Negate: n.Negate}, true
+	case *FuncExpr:
+		args := make([]Expr, len(n.Args))
+		for i, a := range n.Args {
+			re, ok := rewriteExpr(a, cols)
+			if !ok {
+				return nil, false
+			}
+			args[i] = re
+		}
+		return &FuncExpr{Name: n.Name, Args: args, Star: n.Star, Distinct: n.Distinct}, true
+	case *CaseExpr:
+		op, ok := rewriteExpr(n.Operand, cols)
+		if !ok {
+			return nil, false
+		}
+		els, ok := rewriteExpr(n.Else, cols)
+		if !ok {
+			return nil, false
+		}
+		whens := make([]CaseWhen, len(n.Whens))
+		for i, w := range n.Whens {
+			wc, ok := rewriteExpr(w.When, cols)
+			if !ok {
+				return nil, false
+			}
+			wt, ok := rewriteExpr(w.Then, cols)
+			if !ok {
+				return nil, false
+			}
+			whens[i] = CaseWhen{When: wc, Then: wt}
+		}
+		return &CaseExpr{Operand: op, Whens: whens, Else: els}, true
+	case *CastExpr:
+		op, ok := rewriteExpr(n.Operand, cols)
+		if !ok {
+			return nil, false
+		}
+		return &CastExpr{Operand: op, Target: n.Target}, true
+	}
+	return nil, false
+}
+
+// exprHasSubquery reports whether the tree contains any subquery form.
+func exprHasSubquery(e Expr) bool {
+	switch n := e.(type) {
+	case nil:
+	case *SubqueryExpr, *ExistsExpr:
+		return true
+	case *InExpr:
+		if n.Subquery != nil || exprHasSubquery(n.Operand) {
+			return true
+		}
+		for _, it := range n.List {
+			if exprHasSubquery(it) {
+				return true
+			}
+		}
+	case *BinaryExpr:
+		return exprHasSubquery(n.Left) || exprHasSubquery(n.Right)
+	case *UnaryExpr:
+		return exprHasSubquery(n.Operand)
+	case *IsNullExpr:
+		return exprHasSubquery(n.Operand)
+	case *BetweenExpr:
+		return exprHasSubquery(n.Operand) || exprHasSubquery(n.Lo) || exprHasSubquery(n.Hi)
+	case *FuncExpr:
+		for _, a := range n.Args {
+			if exprHasSubquery(a) {
+				return true
+			}
+		}
+	case *CaseExpr:
+		if exprHasSubquery(n.Operand) || exprHasSubquery(n.Else) {
+			return true
+		}
+		for _, w := range n.Whens {
+			if exprHasSubquery(w.When) || exprHasSubquery(w.Then) {
+				return true
+			}
+		}
+	case *CastExpr:
+		return exprHasSubquery(n.Operand)
+	}
+	return false
+}
+
+// refsAnyUnqualified reports whether the tree contains an unqualified
+// column reference whose name appears in the given set — the shape that
+// would resolve to a select-list alias in interpreted ORDER BY.
+func refsAnyUnqualified(e Expr, names map[string]int) bool {
+	found := false
+	var walk func(Expr)
+	walk = func(e Expr) {
+		if found {
+			return
+		}
+		switch n := e.(type) {
+		case nil:
+		case *ColumnExpr:
+			if n.Table == "" {
+				if _, ok := names[strings.ToLower(n.Column)]; ok {
+					found = true
+				}
+			}
+		case *BinaryExpr:
+			walk(n.Left)
+			walk(n.Right)
+		case *UnaryExpr:
+			walk(n.Operand)
+		case *IsNullExpr:
+			walk(n.Operand)
+		case *InExpr:
+			walk(n.Operand)
+			for _, it := range n.List {
+				walk(it)
+			}
+		case *BetweenExpr:
+			walk(n.Operand)
+			walk(n.Lo)
+			walk(n.Hi)
+		case *FuncExpr:
+			for _, a := range n.Args {
+				walk(a)
+			}
+		case *CaseExpr:
+			walk(n.Operand)
+			walk(n.Else)
+			for _, w := range n.Whens {
+				walk(w.When)
+				walk(w.Then)
+			}
+		case *CastExpr:
+			walk(n.Operand)
+		}
+	}
+	walk(e)
+	return found
+}
+
+// explainLines renders the plan node tree for EXPLAIN and daisql
+// -explain: access path, pushed-down bounds, join strategy, filter,
+// projection width, order strategy and limit handling.
+func (p *selectPlan) explainLines() []string {
+	lines := []string{fmt.Sprintf("select on %q", p.t.Name)}
+	access := fmt.Sprintf("  access: %s", p.access)
+	switch p.access {
+	case accessHashPoint:
+		access += fmt.Sprintf(" via %s (%s.%s = ?)", p.hashIx.Name, p.t.Name, p.t.Columns[p.keyCol].Name)
+	case accessOrderedPoint:
+		access += fmt.Sprintf(" via %s (%s.%s = ?)", p.ordIx.Name, p.t.Name, p.t.Columns[p.keyCol].Name)
+	case accessOrderedRange:
+		var parts []string
+		if p.lo != nil {
+			op := ">"
+			if p.lo.incl {
+				op = ">="
+			}
+			parts = append(parts, p.t.Columns[p.keyCol].Name+" "+op+" ?")
+		}
+		if p.hi != nil {
+			op := "<"
+			if p.hi.incl {
+				op = "<="
+			}
+			parts = append(parts, p.t.Columns[p.keyCol].Name+" "+op+" ?")
+		}
+		access += fmt.Sprintf(" via %s (%s)", p.ordIx.Name, strings.Join(parts, " AND "))
+	case accessOrderedScan:
+		dir := "asc"
+		if p.desc {
+			dir = "desc"
+		}
+		access += fmt.Sprintf(" via %s (%s.%s %s)", p.ordIx.Name, p.t.Name, p.t.Columns[p.keyCol].Name, dir)
+	}
+	lines = append(lines, access)
+	for _, j := range p.joins {
+		strategy := "nested loop"
+		if j.hasEqui {
+			strategy = "hash join (nested-loop fallback)"
+		}
+		kind := "inner"
+		switch j.clause.Kind {
+		case JoinLeft:
+			kind = "left"
+		case JoinRight:
+			kind = "right"
+		case JoinCross:
+			kind = "cross"
+		}
+		lines = append(lines, fmt.Sprintf("  join: %s %s %q", kind, strategy, j.t.Name))
+	}
+	if p.where != nil {
+		lines = append(lines, "  filter: batched predicate (chunks of "+fmt.Sprint(filterChunkRows)+" rows)")
+	}
+	lines = append(lines, fmt.Sprintf("  project: %d columns", len(p.projCols)))
+	if len(p.order) > 0 {
+		if p.orderSatisfied {
+			lines = append(lines, "  order: satisfied by index (no sort)")
+		} else {
+			lines = append(lines, fmt.Sprintf("  order: sort on %d key(s)", len(p.order)))
+		}
+	}
+	if p.sel.Offset != nil {
+		lines = append(lines, "  offset: yes")
+	}
+	if p.sel.Limit != nil {
+		lines = append(lines, "  limit: yes")
+	}
+	return lines
+}
+
+// explainStatement describes any statement for EXPLAIN. SELECTs compile
+// a fresh plan (or report why they cannot); everything else names the
+// interpreted path it takes. Caller must hold d.mu for reading.
+func (d *Database) explainStatement(st Statement) []string {
+	switch n := st.(type) {
+	case *SelectStmt:
+		p, reason := d.planSelect(n)
+		if p == nil {
+			return []string{"select: interpreted (" + reason + ")"}
+		}
+		return p.explain
+	case *InsertStmt:
+		return []string{fmt.Sprintf("insert into %q (interpreted)", n.Table)}
+	case *UpdateStmt:
+		return []string{fmt.Sprintf("update %q (interpreted, full scan + per-row SET)", n.Table)}
+	case *DeleteStmt:
+		return []string{fmt.Sprintf("delete from %q (interpreted, full scan)", n.Table)}
+	}
+	return []string{fmt.Sprintf("%s (interpreted)", statementKind(st))}
+}
+
+// statementKind names a statement for explain output.
+func statementKind(st Statement) string {
+	switch st.(type) {
+	case *CreateTableStmt:
+		return "create table"
+	case *DropTableStmt:
+		return "drop table"
+	case *CreateViewStmt:
+		return "create view"
+	case *DropViewStmt:
+		return "drop view"
+	case *CreateIndexStmt:
+		return "create index"
+	case *DropIndexStmt:
+		return "drop index"
+	case *BeginStmt:
+		return "begin"
+	case *CommitStmt:
+		return "commit"
+	case *RollbackStmt:
+		return "rollback"
+	}
+	return fmt.Sprintf("%T", st)
+}

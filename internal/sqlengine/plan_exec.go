@@ -1,0 +1,272 @@
+package sqlengine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+)
+
+// filterChunkRows is the batch size for compiled-plan filter
+// evaluation: the predicate runs over a chunk of rows into a selection
+// vector, then survivors are appended in a second tight pass.
+const filterChunkRows = 256
+
+// evalAccessValue evaluates a point/bound expression with parameters
+// only — access expressions are literals or parameters, never row
+// references. ok=false (error or NULL) widens the access path.
+func evalAccessValue(e Expr, params []Value) (Value, bool) {
+	v, err := eval(e, &evalEnv{params: params})
+	if err != nil || v.IsNull() {
+		return Null, false
+	}
+	return v, true
+}
+
+// comparableWith reports whether Compare is defined between a bound
+// value's type and the key column's type (Compare's own rule: any
+// numeric mix, otherwise identical types). Incomparable bounds widen to
+// a full scan so the row-level filter reproduces the interpreter's
+// comparison error.
+func comparableWith(v Value, colType Type) bool {
+	if v.Type.isNumeric() && colType.isNumeric() {
+		return true
+	}
+	return v.Type == colType
+}
+
+// baseRows gathers the base table's rows through the plan's access
+// path. Any runtime binding failure (NULL key, uncoercible or
+// incomparable bound) widens to a scan of the whole table: the full
+// WHERE predicate is always re-applied, so a superset access path is
+// exactly as correct as the narrowed one. When the plan's ORDER BY is
+// index-satisfied the widened scan still iterates the ordered index so
+// row order is preserved; otherwise row IDs are ascending, matching the
+// interpreter's scan order.
+func (p *selectPlan) baseRows(params []Value) [][]Value {
+	t := p.t
+	var ids []int64
+	widen := false
+	switch p.access {
+	case accessFullScan:
+		widen = true
+	case accessHashPoint:
+		v, ok := evalAccessValue(p.eq, params)
+		if ok {
+			// Coerce to the column type so the hash group key matches the
+			// stored representation, as the interpreter's probe does.
+			cv, err := v.Coerce(t.Columns[p.keyCol].Type)
+			if err != nil {
+				ok = false
+			} else {
+				v = cv
+			}
+		}
+		if !ok {
+			widen = true
+			break
+		}
+		ids = append(ids, p.hashIx.lookup(v)...)
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	case accessOrderedPoint:
+		v, ok := evalAccessValue(p.eq, params)
+		if !ok || !comparableWith(v, t.Columns[p.keyCol].Type) {
+			widen = true
+			break
+		}
+		ids = append(ids, p.ordIx.lookup(v)...) // already id-ascending
+	case accessOrderedRange:
+		lo, hi, ok := p.rangeBounds(params)
+		if !ok {
+			widen = true
+			break
+		}
+		ids = p.ordIx.appendRange(ids, lo, hi, p.orderSatisfied && p.desc)
+		if !p.orderSatisfied {
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		}
+	case accessOrderedScan:
+		ids = p.ordIx.appendOrdered(ids, p.desc)
+	}
+	if widen {
+		if p.orderSatisfied && p.ordIx != nil {
+			ids = p.ordIx.appendOrdered(ids, p.desc)
+		} else {
+			ids = t.scan()
+		}
+	}
+	rows := make([][]Value, 0, len(ids))
+	for _, id := range ids {
+		if r, ok := t.rows[id]; ok {
+			rows = append(rows, r)
+		}
+	}
+	return rows
+}
+
+// rangeBounds evaluates the plan's pushed-down bounds. ok=false means a
+// bound evaluated to NULL or to a value Compare cannot order against
+// the key column — the access widens and the filter settles it.
+func (p *selectPlan) rangeBounds(params []Value) (lo, hi *ordBound, ok bool) {
+	colType := p.t.Columns[p.keyCol].Type
+	if p.lo != nil {
+		v, vok := evalAccessValue(p.lo.expr, params)
+		if !vok || !comparableWith(v, colType) {
+			return nil, nil, false
+		}
+		lo = &ordBound{val: v, incl: p.lo.incl}
+	}
+	if p.hi != nil {
+		v, vok := evalAccessValue(p.hi.expr, params)
+		if !vok || !comparableWith(v, colType) {
+			return nil, nil, false
+		}
+		hi = &ordBound{val: v, incl: p.hi.incl}
+	}
+	return lo, hi, true
+}
+
+// execPlan runs a compiled plan: access path, joins, batched filter,
+// slab projection, index-aware ordering, then OFFSET/LIMIT — with the
+// interpreter's exact operation order and error surface. The caller
+// holds d.mu for reading and has verified p.epoch == d.epoch.
+func (d *Database) execPlan(ctx context.Context, p *selectPlan, params []Value) (*ResultSet, error) {
+	env := &evalEnv{cols: p.cols, params: params, db: d, ctx: ctx}
+	rows := p.baseRows(params)
+
+	// Joins: the strategy was decided at plan time; disableHashJoin is
+	// still consulted per execution so the equivalence toggle works on
+	// cached plans too, and the hash path keeps its runtime bail to the
+	// nested loop.
+	leftWidth := len(p.t.Columns)
+	for i := range p.joins {
+		j := &p.joins[i]
+		right := make([][]Value, 0, len(j.t.order))
+		for _, id := range j.t.scan() {
+			right = append(right, j.t.rows[id])
+		}
+		joinEnv := &evalEnv{cols: j.cols, params: params, db: d, ctx: ctx}
+		var joined [][]Value
+		hashed := false
+		if !disableHashJoin && j.hasEqui {
+			out, ok, err := hashJoinRows(rows, right, joinEnv, leftWidth, j.rcols, j.clause, j.equi)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				joined, hashed = out, true
+			}
+		}
+		if !hashed {
+			var err error
+			joined, err = nestedLoopJoin(rows, right, joinEnv, leftWidth, j.rcols, j.clause)
+			if err != nil {
+				return nil, err
+			}
+		}
+		rows = joined
+		leftWidth = len(j.cols)
+	}
+
+	// Batched filter: evaluate the compiled predicate over a chunk into
+	// a selection vector, then gather survivors.
+	if p.where != nil {
+		filtered := rows[:0:0]
+		var sel [filterChunkRows]bool
+		for start := 0; start < len(rows); start += filterChunkRows {
+			end := start + filterChunkRows
+			if end > len(rows) {
+				end = len(rows)
+			}
+			chunk := rows[start:end]
+			for i, r := range chunk {
+				if err := env.checkCtx(); err != nil {
+					return nil, err
+				}
+				env.row = r
+				v, err := eval(p.where, env)
+				if err != nil {
+					return nil, err
+				}
+				ok, err := truthy(v)
+				if err != nil {
+					return nil, err
+				}
+				sel[i] = ok
+			}
+			for i, r := range chunk {
+				if sel[i] {
+					filtered = append(filtered, r)
+				}
+			}
+		}
+		rows = filtered
+	}
+
+	// Projection: ordinal-bound expressions over slab rows; no per-row
+	// alias maps — ORDER BY keys were classified at plan time.
+	out := &ResultSet{Columns: p.projCols}
+	needKeys := len(p.order) > 0 && !p.orderSatisfied
+	var orderKeys [][]Value
+	slab := newRowSlab(len(p.projExprs))
+	for _, r := range rows {
+		if err := env.checkCtx(); err != nil {
+			return nil, err
+		}
+		env.row = r
+		vals := slab.next()
+		for i, e := range p.projExprs {
+			v, err := eval(e, env)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		out.Rows = append(out.Rows, vals)
+		if needKeys {
+			keys := make([]Value, len(p.order))
+			for i, k := range p.order {
+				if k.kind == orderKeyProjected {
+					keys[i] = vals[k.idx]
+					continue
+				}
+				v, err := eval(k.expr, env)
+				if err != nil {
+					return nil, err
+				}
+				keys[i] = v
+			}
+			orderKeys = append(orderKeys, keys)
+		}
+	}
+
+	if needKeys {
+		if err := sortRows(out, orderKeys, p.sel.OrderBy); err != nil {
+			return nil, err
+		}
+	}
+
+	// OFFSET / LIMIT: evaluated after projection and ordering, exactly
+	// as the interpreter does — no early termination, so per-row
+	// evaluation errors surface for the same inputs.
+	if p.sel.Offset != nil {
+		n, err := evalCount(p.sel.Offset, env)
+		if err != nil {
+			return nil, fmt.Errorf("OFFSET: %w", err)
+		}
+		if n >= len(out.Rows) {
+			out.Rows = nil
+		} else {
+			out.Rows = out.Rows[n:]
+		}
+	}
+	if p.sel.Limit != nil {
+		n, err := evalCount(p.sel.Limit, env)
+		if err != nil {
+			return nil, fmt.Errorf("LIMIT: %w", err)
+		}
+		if n < len(out.Rows) {
+			out.Rows = out.Rows[:n]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,305 @@
+package sqlengine
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+// planEngine seeds the planner-equivalence fixture: an ordered index on
+// k (with NULLs mixed in), the primary-key hash index on id, and twin
+// unindexed columns so the same predicate can run with and without
+// pushdown. Rows: id 0..n-1, k = id%20 (NULL every 7th row), k_noix a
+// copy of k, s a label, d a double.
+func planEngine(t testing.TB, rows int) *Engine {
+	t.Helper()
+	e := New("plan")
+	e.MustExec(`CREATE TABLE rng (id INTEGER PRIMARY KEY, k INTEGER, k_noix INTEGER, s VARCHAR(16), d DOUBLE)`)
+	e.MustExec(`CREATE ORDERED INDEX rng_k ON rng (k)`)
+	s := e.NewSession()
+	for i := 0; i < rows; i++ {
+		k := NewInt(int64(i % 20))
+		if i%7 == 0 {
+			k = Null
+		}
+		if _, err := s.Execute(`INSERT INTO rng VALUES (?, ?, ?, ?, ?)`,
+			NewInt(int64(i)), k, k,
+			NewString(fmt.Sprintf("v-%03d", i%13)), NewDouble(float64(i)/4-8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+// planCorpus is every statement shape the equivalence tests push
+// through both executors. Range predicates in every direction, flipped
+// operands, BETWEEN, parameters, ORDER BY (indexed, unindexed, DESC,
+// multi-key, ordinal) with LIMIT/OFFSET, point lookups, joins,
+// aggregates and subqueries (which fall back to the interpreter), and
+// statements that must fail with identical errors.
+var planCorpus = []struct {
+	sql    string
+	params []Value
+}{
+	{sql: `SELECT id, k FROM rng WHERE k > 12`},
+	{sql: `SELECT id, k FROM rng WHERE k >= 12`},
+	{sql: `SELECT id, k FROM rng WHERE k < 4`},
+	{sql: `SELECT id, k FROM rng WHERE k <= 4`},
+	{sql: `SELECT id, k FROM rng WHERE 12 < k`},
+	{sql: `SELECT id, k FROM rng WHERE k BETWEEN 6 AND 9`},
+	{sql: `SELECT id, k FROM rng WHERE k BETWEEN 9 AND 2`},
+	{sql: `SELECT id, k FROM rng WHERE k NOT BETWEEN 6 AND 9`},
+	{sql: `SELECT id, k FROM rng WHERE k > ?`, params: []Value{NewInt(14)}},
+	{sql: `SELECT id, k FROM rng WHERE k >= ? AND k <= ?`, params: []Value{NewInt(3), NewInt(11)}},
+	{sql: `SELECT id, k FROM rng WHERE k > 3 AND k < 9 AND id > 40`},
+	{sql: `SELECT id, k FROM rng WHERE k > 5.5`},
+	{sql: `SELECT id, k FROM rng WHERE k > 900`},
+	{sql: `SELECT id FROM rng WHERE k = 5`},
+	{sql: `SELECT id FROM rng WHERE k = NULL`},
+	{sql: `SELECT s FROM rng WHERE id = 42`},
+	{sql: `SELECT k FROM rng ORDER BY k`},
+	{sql: `SELECT k FROM rng ORDER BY k DESC`},
+	{sql: `SELECT id, k FROM rng WHERE k > 3 AND k < 9 ORDER BY k`},
+	{sql: `SELECT id, k FROM rng ORDER BY k LIMIT 7`},
+	{sql: `SELECT id, k FROM rng ORDER BY k DESC LIMIT 7 OFFSET 3`},
+	{sql: `SELECT id, k FROM rng ORDER BY k_noix LIMIT 7`},
+	{sql: `SELECT id, s FROM rng ORDER BY s DESC, k LIMIT 10`},
+	{sql: `SELECT id FROM rng ORDER BY 1 DESC LIMIT 5`},
+	{sql: `SELECT id FROM rng LIMIT 0`},
+	{sql: `SELECT id FROM rng ORDER BY k LIMIT 5 OFFSET 5000`},
+	{sql: `SELECT id * 2, k + d FROM rng WHERE d > 10 ORDER BY id`},
+	{sql: `SELECT * FROM rng WHERE k <= 2 ORDER BY id DESC`},
+	{sql: `SELECT a.id, b.s FROM rng a JOIN rng b ON a.k = b.id WHERE a.id < 20 ORDER BY a.id, b.id`},
+	{sql: `SELECT COUNT(*) FROM rng WHERE k > 5`},
+	{sql: `SELECT k, COUNT(*) FROM rng GROUP BY k ORDER BY k`},
+	{sql: `SELECT DISTINCT k FROM rng WHERE k > 10 ORDER BY k`},
+	{sql: `SELECT id FROM rng WHERE k IN (SELECT k FROM rng WHERE id < 5) ORDER BY id`},
+	// Failures must match byte for byte too.
+	{sql: `SELECT id FROM rng WHERE k < 'abc'`},
+	{sql: `SELECT id FROM rng WHERE nosuch > 1`},
+	{sql: `SELECT id FROM rng ORDER BY k LIMIT -1`},
+	{sql: `SELECT id FROM rng OFFSET ?`, params: []Value{Null}},
+}
+
+// execBothWays runs sql through the planner and the interpreter,
+// requiring identical dumps or identical error messages.
+func execBothWays(t *testing.T, e *Engine, sql string, params ...Value) {
+	t.Helper()
+	planned, perr := e.NewSession().Execute(sql, params...)
+	disablePlanner = true
+	naive, nerr := e.NewSession().Execute(sql, params...)
+	disablePlanner = false
+	if (perr == nil) != (nerr == nil) {
+		t.Fatalf("%s: planned err = %v, interpreted err = %v", sql, perr, nerr)
+	}
+	if perr != nil {
+		if perr.Error() != nerr.Error() {
+			t.Fatalf("%s: error text diverged:\nplanned:     %v\ninterpreted: %v", sql, perr, nerr)
+		}
+		return
+	}
+	if got, want := dumpSet(planned.Set), dumpSet(naive.Set); got != want {
+		t.Fatalf("%s: results diverged:\nplanned:\n%s\ninterpreted:\n%s", sql, got, want)
+	}
+	if planned.CA != naive.CA {
+		t.Fatalf("%s: CA diverged: %+v vs %+v", sql, planned.CA, naive.CA)
+	}
+}
+
+// TestPlannedMatchesInterpreted is the equivalence corpus: every entry
+// must produce byte-identical output (or byte-identical errors) whether
+// it runs through compiled plans or the tree interpreter.
+func TestPlannedMatchesInterpreted(t *testing.T) {
+	e := planEngine(t, 150)
+	for _, tc := range planCorpus {
+		execBothWays(t, e, tc.sql, tc.params...)
+	}
+}
+
+// TestPlannedMatchesInterpretedWarm re-runs the corpus with every plan
+// already cached, so cache-hit execution is held to the same
+// byte-identical standard as cold planning.
+func TestPlannedMatchesInterpretedWarm(t *testing.T) {
+	e := planEngine(t, 150)
+	for _, tc := range planCorpus {
+		_, _ = e.NewSession().Execute(tc.sql, tc.params...) // warm the cache
+	}
+	stats := e.PlanCacheStats()
+	for _, tc := range planCorpus {
+		execBothWays(t, e, tc.sql, tc.params...)
+	}
+	after := e.PlanCacheStats()
+	if after.Hits <= stats.Hits {
+		t.Fatalf("warm corpus ran without cache hits: %+v -> %+v", stats, after)
+	}
+}
+
+// TestPlannedStreamMatchesInterpreted drains ExecuteStream with the
+// planner on and off, comparing rows, columns and the final CA — the
+// corpus guarantee extended to the streaming surface.
+func TestPlannedStreamMatchesInterpreted(t *testing.T) {
+	e := planEngine(t, 150)
+	for _, tc := range planCorpus {
+		collect := func() (cols []ResultColumn, rows [][]Value, ca SQLCA, err error) {
+			stream, serr := e.NewSession().ExecuteStream(context.Background(), tc.sql, tc.params...)
+			if serr != nil {
+				return nil, nil, SQLCA{}, serr
+			}
+			cols = stream.Columns()
+			for {
+				row, rerr := stream.Next()
+				if rerr == io.EOF {
+					break
+				}
+				if rerr != nil {
+					return nil, nil, SQLCA{}, rerr
+				}
+				rows = append(rows, row)
+			}
+			res, rerr := stream.Result()
+			if rerr != nil {
+				return nil, nil, SQLCA{}, rerr
+			}
+			return cols, rows, res.CA, nil
+		}
+		pc, pr, pca, perr := collect()
+		disablePlanner = true
+		nc, nr, nca, nerr := collect()
+		disablePlanner = false
+		if (perr == nil) != (nerr == nil) {
+			t.Fatalf("%s: stream err = %v vs %v", tc.sql, perr, nerr)
+		}
+		if perr != nil {
+			if perr.Error() != nerr.Error() {
+				t.Fatalf("%s: stream error diverged: %v vs %v", tc.sql, perr, nerr)
+			}
+			continue
+		}
+		pd := dumpSet(&ResultSet{Columns: pc, Rows: pr})
+		nd := dumpSet(&ResultSet{Columns: nc, Rows: nr})
+		if pd != nd {
+			t.Fatalf("%s: streamed results diverged:\nplanned:\n%s\ninterpreted:\n%s", tc.sql, pd, nd)
+		}
+		if pca != nca {
+			t.Fatalf("%s: streamed CA diverged: %+v vs %+v", tc.sql, pca, nca)
+		}
+	}
+}
+
+// TestPlanAccessPaths asserts the planner actually picks the access
+// methods the corpus relies on — otherwise the equivalence tests could
+// pass vacuously with every query widened to a scan.
+func TestPlanAccessPaths(t *testing.T) {
+	e := planEngine(t, 50)
+	cases := []struct {
+		sql  string
+		want string
+	}{
+		{`SELECT id FROM rng WHERE id = 3`, `access: hash point lookup via pk_rng_id`},
+		{`SELECT id FROM rng WHERE k = 3`, `access: ordered point lookup via rng_k`},
+		{`SELECT id FROM rng WHERE k > 3`, `access: ordered range scan via rng_k (k > ?)`},
+		{`SELECT id FROM rng WHERE k BETWEEN 2 AND 5`, `access: ordered range scan via rng_k (k >= ? AND k <= ?)`},
+		{`SELECT id FROM rng WHERE k >= 1 AND k < 9`, `access: ordered range scan via rng_k (k >= ? AND k < ?)`},
+		{`SELECT k FROM rng ORDER BY k`, `order: satisfied by index (no sort)`},
+		{`SELECT k FROM rng ORDER BY k DESC`, `access: ordered full scan via rng_k (rng.k desc)`},
+		{`SELECT id FROM rng ORDER BY k_noix`, `order: sort on 1 key(s)`},
+		{`SELECT id FROM rng WHERE k_noix > 3`, `access: full scan`},
+		{`SELECT COUNT(*) FROM rng`, `interpreted`},
+		{`SELECT DISTINCT k FROM rng`, `interpreted`},
+		{`SELECT a.id FROM rng a JOIN rng b ON a.k = b.id`, `join: inner hash join`},
+	}
+	for _, tc := range cases {
+		lines, err := e.NewSession().Explain(tc.sql)
+		if err != nil {
+			t.Fatalf("Explain(%s): %v", tc.sql, err)
+		}
+		joined := strings.Join(lines, "\n")
+		if !strings.Contains(joined, tc.want) {
+			t.Fatalf("Explain(%s):\n%s\nmissing %q", tc.sql, joined, tc.want)
+		}
+	}
+}
+
+// TestExplainStatement covers EXPLAIN through the ordinary Execute
+// surface (the form daisql -explain ships over the wire) and the
+// non-SELECT statement descriptions.
+func TestExplainStatement(t *testing.T) {
+	e := planEngine(t, 10)
+	res, err := e.NewSession().Execute(`EXPLAIN SELECT id FROM rng WHERE k > 3 ORDER BY k LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Set.Columns) != 1 || res.Set.Columns[0].Name != "plan" {
+		t.Fatalf("columns = %+v", res.Set.Columns)
+	}
+	var lines []string
+	for _, row := range res.Set.Rows {
+		lines = append(lines, row[0].String())
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{`select on "rng"`, "ordered range scan via rng_k", "satisfied by index", "limit: yes"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("EXPLAIN output:\n%s\nmissing %q", joined, want)
+		}
+	}
+	for sql, want := range map[string]string{
+		`EXPLAIN INSERT INTO rng VALUES (999, 1, 1, 'x', 0)`: `insert into "rng" (interpreted)`,
+		`EXPLAIN UPDATE rng SET s = 'y' WHERE id = 1`:        `update "rng" (interpreted`,
+		`EXPLAIN DELETE FROM rng WHERE id = 1`:               `delete from "rng" (interpreted`,
+		`EXPLAIN SELECT COUNT(*) FROM rng`:                   `select: interpreted (`,
+	} {
+		res, err := e.NewSession().Execute(sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		if !strings.Contains(dumpSet(res.Set), want) {
+			t.Fatalf("%s:\n%s\nmissing %q", sql, dumpSet(res.Set), want)
+		}
+	}
+	// EXPLAIN must not mutate: the INSERT above was only described.
+	rows := queryStrings(t, e, `SELECT COUNT(*) FROM rng WHERE id = 999`)
+	if rows[0][0] != "0" {
+		t.Fatal("EXPLAIN INSERT executed the insert")
+	}
+}
+
+// TestPlannedExecutionInsideTransaction makes sure plans respect
+// uncommitted session state: a planned read inside a transaction sees
+// its own writes, and streaming inside a transaction falls back safely.
+func TestPlannedExecutionInsideTransaction(t *testing.T) {
+	e := planEngine(t, 30)
+	s := e.NewSession()
+	mustExecSession(t, s, `BEGIN`)
+	mustExecSession(t, s, `UPDATE rng SET k = 999 WHERE id = 2`)
+	res, err := s.Execute(`SELECT id FROM rng WHERE k = 999`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Set.Rows) != 1 || res.Set.Rows[0][0].I != 2 {
+		t.Fatalf("txn session sees %v", res.Set.Rows)
+	}
+	mustExecSession(t, s, `ROLLBACK`)
+	res, err = s.Execute(`SELECT id FROM rng WHERE k = 999`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Set.Rows) != 0 {
+		t.Fatalf("rollback left rows: %v", res.Set.Rows)
+	}
+	// With the lock released, other sessions read the restored state too.
+	rows := queryStrings(t, e, `SELECT COUNT(*) FROM rng WHERE k = 999`)
+	if rows[0][0] != "0" {
+		t.Fatal("rolled-back write visible after ROLLBACK")
+	}
+}
+
+func mustExecSession(t *testing.T, s *Session, sql string, params ...Value) *Result {
+	t.Helper()
+	res, err := s.Execute(sql, params...)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	return res
+}

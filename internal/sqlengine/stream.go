@@ -2,11 +2,16 @@ package sqlengine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
 	"sync"
 )
+
+// errStalePlan signals that a compiled plan's schema epoch no longer
+// matches the catalog; the caller re-executes through the interpreter.
+var errStalePlan = errors.New("sqlengine: compiled plan is stale")
 
 // RowStream is a pull-based iterator over the rows of one SELECT
 // execution: the engine half of the streaming delivery pipeline. Rows
@@ -114,14 +119,27 @@ func (r *RowStream) Close() error {
 // interface. ctx governs production, not just setup: cancelling it
 // aborts the scan with a *CancelledError.
 func (s *Session) ExecuteStream(ctx context.Context, sql string, params ...Value) (*RowStream, error) {
-	st, nparams, err := Parse(sql)
+	prep, err := s.engine.Prepare(sql)
 	if err != nil {
 		return nil, err
 	}
-	if nparams > len(params) {
-		return nil, fmt.Errorf("statement requires %d parameters, got %d", nparams, len(params))
+	if _, isExplain := prep.stmt.(*ExplainStmt); !isExplain && prep.nparams > len(params) {
+		return nil, fmt.Errorf("statement requires %d parameters, got %d", prep.nparams, len(params))
 	}
-	if sel, ok := s.streamableSelect(st); ok {
+	// Compiled-plan streaming: join-free plans whose ORDER BY (if any)
+	// the access path already satisfies can deliver ordered rows
+	// incrementally. A plan gone stale under DDL falls through to the
+	// interpreted paths below.
+	if !disablePlanner && prep.plan != nil && prep.plan.streamable() && !s.inTxn && !s.aborted {
+		rs, err := s.startPlanStream(ctx, prep.plan, params)
+		if err == nil {
+			return rs, nil
+		}
+		if err != errStalePlan {
+			return nil, err
+		}
+	}
+	if sel, ok := s.streamableSelect(prep.stmt); ok {
 		rs, err := s.startStream(ctx, sel, params)
 		if err == nil {
 			return rs, nil
@@ -130,7 +148,7 @@ func (s *Session) ExecuteStream(ctx context.Context, sql string, params ...Value
 		// LIMIT expression, lock timeout): surface it like Execute.
 		return nil, err
 	}
-	res, err := s.ExecuteStmtContext(ctx, st, params)
+	res, err := s.ExecutePrepared(ctx, prep, params...)
 	if err != nil {
 		return nil, err
 	}
@@ -207,12 +225,12 @@ func (s *Session) startStream(ctx context.Context, sel *SelectStmt, params []Val
 	offset, limit := 0, -1
 	if sel.Offset != nil {
 		if offset, err = evalCount(sel.Offset, env); err != nil {
-			return fail(err)
+			return fail(fmt.Errorf("OFFSET: %w", err))
 		}
 	}
 	if sel.Limit != nil {
 		if limit, err = evalCount(sel.Limit, env); err != nil {
-			return fail(err)
+			return fail(fmt.Errorf("LIMIT: %w", err))
 		}
 	}
 
@@ -283,6 +301,125 @@ func (s *Session) produce(rs *RowStream, ctx context.Context, sel *SelectStmt, e
 	db.mu.RUnlock()
 	// Implicit auto-commit epilogue: a SELECT has no undo log, so
 	// success and failure both reduce to releasing the read locks.
+	s.undo = nil
+	s.engine.locks.releaseAll(s)
+	if err != nil {
+		rs.res, rs.err = errResult(stateFor(err), err), err
+	} else {
+		ca := SQLCA{SQLState: StateSuccess, UpdateCount: -1, RowsFetched: emitted}
+		if emitted == 0 {
+			ca.SQLState = StateNoData
+			ca.SQLCode = 100
+		}
+		rs.res = &Result{UpdateCount: -1, CA: ca}
+	}
+	close(rs.ch)
+	close(rs.done)
+}
+
+// startPlanStream is startStream for compiled plans: the access path
+// (point, range or ordered scan) gathers the base rows under the read
+// latch, then the producer streams the plan's filter and projection row
+// by row. The schema epoch is re-validated after the latch is taken;
+// errStalePlan sends the caller back to the interpreted paths.
+func (s *Session) startPlanStream(ctx context.Context, p *selectPlan, params []Value) (*RowStream, error) {
+	db := s.engine.db
+	if err := s.lockForRead(tablesOfSelect(p.sel)); err != nil {
+		s.engine.locks.releaseAll(s)
+		return nil, err
+	}
+	prodCtx, cancel := context.WithCancel(ctx)
+
+	db.mu.RLock()
+	fail := func(err error) (*RowStream, error) {
+		db.mu.RUnlock()
+		s.engine.locks.releaseAll(s)
+		cancel()
+		return nil, err
+	}
+	if p.epoch != db.epoch {
+		return fail(errStalePlan)
+	}
+	env := &evalEnv{cols: p.cols, params: params, db: db, ctx: prodCtx}
+	base := p.baseRows(params)
+	offset, limit := 0, -1
+	var err error
+	if p.sel.Offset != nil {
+		if offset, err = evalCount(p.sel.Offset, env); err != nil {
+			return fail(fmt.Errorf("OFFSET: %w", err))
+		}
+	}
+	if p.sel.Limit != nil {
+		if limit, err = evalCount(p.sel.Limit, env); err != nil {
+			return fail(fmt.Errorf("LIMIT: %w", err))
+		}
+	}
+
+	rs := &RowStream{
+		cols:      p.projCols,
+		streaming: true,
+		ch:        make(chan []Value, streamBufferRows),
+		cancel:    cancel,
+		done:      make(chan struct{}),
+	}
+	go s.producePlan(rs, prodCtx, p, env, base, offset, limit)
+	return rs, nil
+}
+
+// producePlan is produce for compiled plans: the same row-at-a-time
+// filter → project → offset/limit pipeline, with the plan's
+// ordinal-bound expressions instead of name resolution. Base rows
+// arrive already in delivery order (the access path's order, which
+// equals the ORDER BY order when the plan satisfied it).
+func (s *Session) producePlan(rs *RowStream, ctx context.Context, p *selectPlan, env *evalEnv,
+	base [][]Value, offset, limit int) {
+	db := s.engine.db
+	emitted := 0
+	err := func() error {
+		slab := newRowSlab(len(p.projExprs))
+		for _, r := range base {
+			if limit >= 0 && emitted >= limit {
+				break
+			}
+			if err := env.checkCtx(); err != nil {
+				return err
+			}
+			env.row = r
+			if p.where != nil {
+				v, err := eval(p.where, env)
+				if err != nil {
+					return err
+				}
+				ok, err := truthy(v)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+			}
+			vals := slab.next()
+			for i, e := range p.projExprs {
+				v, err := eval(e, env)
+				if err != nil {
+					return err
+				}
+				vals[i] = v
+			}
+			if offset > 0 {
+				offset--
+				continue
+			}
+			select {
+			case rs.ch <- vals:
+				emitted++
+			case <-ctx.Done():
+				return &CancelledError{Err: ctx.Err()}
+			}
+		}
+		return nil
+	}()
+	db.mu.RUnlock()
 	s.undo = nil
 	s.engine.locks.releaseAll(s)
 	if err != nil {

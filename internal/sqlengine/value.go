@@ -133,6 +133,30 @@ func (v Value) String() string {
 	return "?"
 }
 
+// AppendText appends String's rendering to dst. Numeric, boolean and
+// timestamp values append without the intermediate string allocation,
+// which matters to the rowset encoders on the response hot path.
+func (v Value) AppendText(dst []byte) []byte {
+	switch v.Type {
+	case TypeNull:
+		return append(dst, "NULL"...)
+	case TypeInteger, TypeBigint:
+		return strconv.AppendInt(dst, v.I, 10)
+	case TypeDouble:
+		return strconv.AppendFloat(dst, v.F, 'g', -1, 64)
+	case TypeVarchar:
+		return append(dst, v.S...)
+	case TypeBoolean:
+		if v.B {
+			return append(dst, "true"...)
+		}
+		return append(dst, "false"...)
+	case TypeTimestamp:
+		return v.T.UTC().AppendFormat(dst, time.RFC3339Nano)
+	}
+	return append(dst, '?')
+}
+
 // isNumeric reports whether the type participates in arithmetic.
 func (t Type) isNumeric() bool {
 	return t == TypeInteger || t == TypeBigint || t == TypeDouble

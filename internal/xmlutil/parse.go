@@ -1,0 +1,573 @@
+package xmlutil
+
+import (
+	"errors"
+	"fmt"
+	"unicode/utf8"
+)
+
+// This file holds the byte-oriented document parser. It replaces the
+// encoding/xml tokenizer on the SOAP hot path: the standard decoder
+// allocates per token (names, copied character data, attribute slices),
+// which dominated the allocation profile of a DAIS round trip. The
+// parser below works on a single byte slice, interns qualified names so
+// the repeated element vocabulary of a rowset costs one allocation per
+// distinct name, and carves Element nodes out of chunked arenas.
+//
+// Behaviour matches the previous encoding/xml-based implementation (the
+// differential test in parse_test.go pins this): namespace prefixes are
+// resolved with document scoping, unknown prefixes are preserved as the
+// Space verbatim, xmlns declarations are dropped, comments / PIs /
+// doctypes are skipped, CDATA is honoured, the five predefined entities
+// plus character references are expanded, and "\r\n"/"\r" normalise to
+// "\n" in both character data and attribute values.
+
+// parseArenaChunk is how many Elements are allocated at once while
+// parsing. SOAP envelopes with rowset payloads run a few hundred
+// elements; one or two chunks cover them.
+const parseArenaChunk = 128
+
+// nodeArenaChunk sizes the shared backing store for single-child
+// Children slices (most elements hold exactly one text node).
+const nodeArenaChunk = 128
+
+type nsBinding struct {
+	prefix string
+	uri    string
+}
+
+type openTag struct {
+	el     *Element
+	nsMark int // len(p.ns) before this element's declarations
+	raw    []byte
+}
+
+type rawAttr struct {
+	prefix []byte
+	local  []byte
+	value  []byte
+}
+
+type byteParser struct {
+	data  []byte
+	pos   int
+	names map[string]string // interned names, prefixes and URIs
+	arena []Element
+	nodes []Node
+	ns    []nsBinding
+	open  []openTag
+	attrs []rawAttr
+	buf   []byte // scratch for entity/newline decoding
+}
+
+// ParseBytes parses a complete XML document held in memory and returns
+// its root element. It is the allocation-conscious core that Parse and
+// ParseString delegate to; the returned tree never aliases data.
+func ParseBytes(data []byte) (*Element, error) {
+	p := &byteParser{data: data, names: make(map[string]string, 16)}
+	root, err := p.run()
+	if err != nil {
+		return nil, fmt.Errorf("xmlutil: parse: %w", err)
+	}
+	return root, nil
+}
+
+func (p *byteParser) run() (*Element, error) {
+	var root, cur *Element
+	for {
+		// Character data up to the next markup.
+		start := p.pos
+		for p.pos < len(p.data) && p.data[p.pos] != '<' {
+			p.pos++
+		}
+		if p.pos > start && cur != nil {
+			text, err := p.decodeText(p.data[start:p.pos], false)
+			if err != nil {
+				return nil, err
+			}
+			p.appendChild(cur, Text(text))
+		}
+		if p.pos >= len(p.data) {
+			break
+		}
+		p.pos++ // consume '<'
+		if p.pos >= len(p.data) {
+			return nil, errors.New("truncated markup")
+		}
+		switch p.data[p.pos] {
+		case '?':
+			if err := p.skipUntil("?>"); err != nil {
+				return nil, err
+			}
+		case '!':
+			if err := p.parseBang(cur); err != nil {
+				return nil, err
+			}
+		case '/':
+			p.pos++
+			if cur == nil {
+				return nil, errors.New("unbalanced end element")
+			}
+			name, err := p.readName()
+			if err != nil {
+				return nil, err
+			}
+			p.skipSpace()
+			if p.pos >= len(p.data) || p.data[p.pos] != '>' {
+				return nil, errors.New("malformed end tag")
+			}
+			p.pos++
+			top := p.open[len(p.open)-1]
+			if string(name) != string(top.raw) {
+				return nil, fmt.Errorf("element <%s> closed by </%s>", top.raw, name)
+			}
+			trimWhitespaceBetweenElements(cur)
+			p.ns = p.ns[:top.nsMark]
+			p.open = p.open[:len(p.open)-1]
+			cur = cur.parent
+		default:
+			el, selfClose, err := p.parseStartTag(cur)
+			if err != nil {
+				return nil, err
+			}
+			if cur == nil {
+				if root != nil {
+					return nil, errors.New("multiple root elements")
+				}
+				root = el
+			}
+			if !selfClose {
+				cur = el
+			}
+		}
+	}
+	if root == nil {
+		return nil, errors.New("empty document")
+	}
+	if cur != nil {
+		return nil, errors.New("unexpected EOF inside element")
+	}
+	return root, nil
+}
+
+// parseBang dispatches "<!"-markup: comments, CDATA and doctype.
+func (p *byteParser) parseBang(cur *Element) error {
+	rest := p.data[p.pos:]
+	switch {
+	case len(rest) >= 3 && rest[1] == '-' && rest[2] == '-':
+		p.pos += 3
+		return p.skipUntil("-->")
+	case len(rest) >= 8 && string(rest[:8]) == "![CDATA[":
+		p.pos += 8
+		end := indexFrom(p.data, p.pos, "]]>")
+		if end < 0 {
+			return errors.New("unterminated CDATA section")
+		}
+		if cur != nil {
+			text, err := p.decodeText(p.data[p.pos:end], true)
+			if err != nil {
+				return err
+			}
+			p.appendChild(cur, Text(text))
+		}
+		p.pos = end + 3
+		return nil
+	default:
+		// DOCTYPE or other directive: skip to the matching '>',
+		// tracking nested angle brackets (internal subsets).
+		depth := 0
+		for ; p.pos < len(p.data); p.pos++ {
+			switch p.data[p.pos] {
+			case '<':
+				depth++
+			case '>':
+				if depth == 0 {
+					p.pos++
+					return nil
+				}
+				depth--
+			}
+		}
+		return errors.New("unterminated directive")
+	}
+}
+
+// parseStartTag parses a start or empty-element tag, resolves its
+// namespaces and attaches it to cur (or leaves it as a root candidate).
+func (p *byteParser) parseStartTag(cur *Element) (el *Element, selfClose bool, err error) {
+	raw, err := p.readName()
+	if err != nil {
+		return nil, false, err
+	}
+	nsMark := len(p.ns)
+	p.attrs = p.attrs[:0]
+	nattrs := 0
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.data) {
+			return nil, false, errors.New("truncated start tag")
+		}
+		switch p.data[p.pos] {
+		case '>':
+			p.pos++
+		case '/':
+			if p.pos+1 >= len(p.data) || p.data[p.pos+1] != '>' {
+				return nil, false, errors.New("malformed start tag")
+			}
+			p.pos += 2
+			selfClose = true
+		default:
+			aname, err := p.readName()
+			if err != nil {
+				return nil, false, err
+			}
+			p.skipSpace()
+			if p.pos >= len(p.data) || p.data[p.pos] != '=' {
+				return nil, false, fmt.Errorf("attribute %s missing value", aname)
+			}
+			p.pos++
+			p.skipSpace()
+			val, err := p.readAttrValue()
+			if err != nil {
+				return nil, false, err
+			}
+			prefix, local := splitQName(aname)
+			if string(prefix) == "xmlns" {
+				uri, err := p.decodeText(val, false)
+				if err != nil {
+					return nil, false, err
+				}
+				p.ns = append(p.ns, nsBinding{prefix: p.intern(local), uri: uri})
+				continue
+			}
+			if len(prefix) == 0 && string(local) == "xmlns" {
+				uri, err := p.decodeText(val, false)
+				if err != nil {
+					return nil, false, err
+				}
+				p.ns = append(p.ns, nsBinding{prefix: "", uri: uri})
+				continue
+			}
+			p.attrs = append(p.attrs, rawAttr{prefix: prefix, local: local, value: val})
+			nattrs++
+			continue
+		}
+		break
+	}
+
+	prefix, local := splitQName(raw)
+	if !validLocalNameBytes(local) {
+		return nil, false, fmt.Errorf("invalid element name %q", local)
+	}
+	el = p.newElement()
+	el.Name = Name{Space: p.resolve(prefix, true), Local: p.intern(local)}
+	if nattrs > 0 {
+		el.Attrs = make([]Attr, 0, nattrs)
+		for _, a := range p.attrs {
+			if !validLocalNameBytes(a.local) {
+				return nil, false, fmt.Errorf("invalid attribute name %q", a.local)
+			}
+			v, err := p.decodeText(a.value, false)
+			if err != nil {
+				return nil, false, err
+			}
+			el.Attrs = append(el.Attrs, Attr{
+				Name:  Name{Space: p.resolve(a.prefix, false), Local: p.intern(a.local)},
+				Value: v,
+			})
+		}
+	}
+	if cur != nil {
+		el.parent = cur
+		p.appendChild(cur, el)
+	}
+	if selfClose {
+		p.ns = p.ns[:nsMark]
+		return el, true, nil
+	}
+	p.open = append(p.open, openTag{el: el, nsMark: nsMark, raw: raw})
+	return el, false, nil
+}
+
+// resolve maps a prefix to a namespace URI using the active bindings.
+// Elements without a prefix take the default namespace; attributes do
+// not. Undeclared prefixes are kept verbatim as the Space, matching
+// encoding/xml.
+func (p *byteParser) resolve(prefix []byte, isElement bool) string {
+	if len(prefix) == 0 {
+		if !isElement {
+			return ""
+		}
+		for i := len(p.ns) - 1; i >= 0; i-- {
+			if p.ns[i].prefix == "" {
+				return p.ns[i].uri
+			}
+		}
+		return ""
+	}
+	for i := len(p.ns) - 1; i >= 0; i-- {
+		if p.ns[i].prefix == string(prefix) {
+			return p.ns[i].uri
+		}
+	}
+	if string(prefix) == "xml" { // predeclared by the XML spec
+		return "http://www.w3.org/XML/1998/namespace"
+	}
+	return p.intern(prefix)
+}
+
+// newElement hands out a node from the arena, growing it in chunks so
+// a document costs O(elements/chunk) allocations for its nodes.
+func (p *byteParser) newElement() *Element {
+	if len(p.arena) == cap(p.arena) {
+		p.arena = make([]Element, 0, parseArenaChunk)
+	}
+	p.arena = p.arena[:len(p.arena)+1]
+	return &p.arena[len(p.arena)-1]
+}
+
+// appendChild attaches a child node. The first child of an element
+// lives in a shared arena slice capped at one entry, so the dominant
+// single-text-leaf shape costs no slice allocation; a second child
+// forces an ordinary append reallocation out of the arena.
+func (p *byteParser) appendChild(el *Element, n Node) {
+	if el.Children == nil {
+		if len(p.nodes) == cap(p.nodes) {
+			p.nodes = make([]Node, 0, nodeArenaChunk)
+		}
+		start := len(p.nodes)
+		p.nodes = p.nodes[:start+1]
+		p.nodes[start] = n
+		el.Children = p.nodes[start : start+1 : start+1]
+		return
+	}
+	el.Children = append(el.Children, n)
+}
+
+// intern returns a string for b, reusing a previous allocation when the
+// same bytes were seen before (element vocabularies repeat heavily).
+func (p *byteParser) intern(b []byte) string {
+	if s, ok := p.names[string(b)]; ok { // compiler-optimised, no alloc
+		return s
+	}
+	s := string(b)
+	p.names[s] = s
+	return s
+}
+
+// readName consumes a qualified name.
+func (p *byteParser) readName() ([]byte, error) {
+	start := p.pos
+	for p.pos < len(p.data) && !isNameDelim(p.data[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return nil, errors.New("expected name")
+	}
+	return p.data[start:p.pos], nil
+}
+
+func isNameDelim(c byte) bool {
+	switch c {
+	case ' ', '\t', '\n', '\r', '=', '>', '/', '<', '"', '\'':
+		return true
+	}
+	return false
+}
+
+func splitQName(b []byte) (prefix, local []byte) {
+	for i, c := range b {
+		if c == ':' {
+			return b[:i], b[i+1:]
+		}
+	}
+	return nil, b
+}
+
+// readAttrValue consumes a quoted attribute value, returning the raw
+// bytes between the quotes (entities still encoded).
+func (p *byteParser) readAttrValue() ([]byte, error) {
+	if p.pos >= len(p.data) {
+		return nil, errors.New("truncated attribute value")
+	}
+	quote := p.data[p.pos]
+	if quote != '"' && quote != '\'' {
+		return nil, errors.New("unquoted attribute value")
+	}
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.data) && p.data[p.pos] != quote {
+		if p.data[p.pos] == '<' {
+			return nil, errors.New("'<' in attribute value")
+		}
+		p.pos++
+	}
+	if p.pos >= len(p.data) {
+		return nil, errors.New("unterminated attribute value")
+	}
+	val := p.data[start:p.pos]
+	p.pos++
+	return val, nil
+}
+
+func (p *byteParser) skipSpace() {
+	for p.pos < len(p.data) {
+		switch p.data[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *byteParser) skipUntil(marker string) error {
+	end := indexFrom(p.data, p.pos, marker)
+	if end < 0 {
+		return fmt.Errorf("unterminated %q markup", marker)
+	}
+	p.pos = end + len(marker)
+	return nil
+}
+
+func indexFrom(data []byte, from int, sep string) int {
+	for i := from; i+len(sep) <= len(data); i++ {
+		if string(data[i:i+len(sep)]) == sep {
+			return i
+		}
+	}
+	return -1
+}
+
+// decodeText turns raw character data into a string: entity references
+// expand (unless cdata), and "\r\n"/"\r" normalise to "\n". The common
+// clean case costs exactly the one string allocation.
+func (p *byteParser) decodeText(raw []byte, cdata bool) (string, error) {
+	dirty := -1
+	for i, c := range raw {
+		if c == '\r' || (!cdata && c == '&') {
+			dirty = i
+			break
+		}
+	}
+	if dirty < 0 {
+		return string(raw), nil
+	}
+	buf := append(p.buf[:0], raw[:dirty]...)
+	for i := dirty; i < len(raw); {
+		switch c := raw[i]; {
+		case c == '\r':
+			buf = append(buf, '\n')
+			i++
+			if i < len(raw) && raw[i] == '\n' {
+				i++
+			}
+		case c == '&' && !cdata:
+			r, width, err := decodeEntity(raw[i:])
+			if err != nil {
+				return "", err
+			}
+			buf = utf8.AppendRune(buf, r)
+			i += width
+		default:
+			buf = append(buf, c)
+			i++
+		}
+	}
+	p.buf = buf
+	return string(buf), nil
+}
+
+// decodeEntity expands one entity or character reference starting at
+// b[0] == '&', returning the rune and the encoded width.
+func decodeEntity(b []byte) (rune, int, error) {
+	end := -1
+	for i := 1; i < len(b) && i < 36; i++ {
+		if b[i] == ';' {
+			end = i
+			break
+		}
+	}
+	if end < 0 {
+		return 0, 0, errors.New("invalid character entity")
+	}
+	name := b[1:end]
+	if len(name) > 1 && name[0] == '#' {
+		var n rune
+		digits := name[1:]
+		base := rune(10)
+		if len(digits) > 1 && (digits[0] == 'x' || digits[0] == 'X') {
+			base, digits = 16, digits[1:]
+		}
+		if len(digits) == 0 {
+			return 0, 0, errors.New("invalid character entity")
+		}
+		for _, d := range digits {
+			var v rune
+			switch {
+			case '0' <= d && d <= '9':
+				v = rune(d - '0')
+			case base == 16 && 'a' <= d && d <= 'f':
+				v = rune(d-'a') + 10
+			case base == 16 && 'A' <= d && d <= 'F':
+				v = rune(d-'A') + 10
+			default:
+				return 0, 0, errors.New("invalid character entity")
+			}
+			n = n*base + v
+			if n > utf8.MaxRune {
+				return 0, 0, errors.New("invalid character entity")
+			}
+		}
+		if !inCharacterRange(n) {
+			return 0, 0, errors.New("invalid character entity")
+		}
+		return n, end + 1, nil
+	}
+	switch string(name) {
+	case "lt":
+		return '<', end + 1, nil
+	case "gt":
+		return '>', end + 1, nil
+	case "amp":
+		return '&', end + 1, nil
+	case "apos":
+		return '\'', end + 1, nil
+	case "quot":
+		return '"', end + 1, nil
+	}
+	return 0, 0, fmt.Errorf("unknown entity &%s;", name)
+}
+
+// inCharacterRange mirrors the XML 1.0 Char production.
+func inCharacterRange(r rune) bool {
+	return r == 0x09 || r == 0x0A || r == 0x0D ||
+		r >= 0x20 && r <= 0xD7FF ||
+		r >= 0xE000 && r <= 0xFFFD ||
+		r >= 0x10000 && r <= 0x10FFFF
+}
+
+// validLocalNameBytes is validLocalName over raw bytes without an
+// intermediate string.
+func validLocalNameBytes(b []byte) bool {
+	if len(b) == 0 {
+		return false
+	}
+	first := true
+	for i := 0; i < len(b); {
+		r, size := utf8.DecodeRune(b[i:])
+		if r == utf8.RuneError && size == 1 {
+			return false
+		}
+		if first {
+			if !isNameStart(r) {
+				return false
+			}
+			first = false
+		} else if !isNameChar(r) {
+			return false
+		}
+		i += size
+	}
+	return true
+}

@@ -1,0 +1,220 @@
+package xmlutil
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+// parseReference is the previous encoding/xml-based implementation of
+// Parse, kept here as the behavioural oracle for the byte parser.
+func parseReference(r io.Reader) (*Element, error) {
+	dec := xml.NewDecoder(r)
+	var root *Element
+	var cur *Element
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmlutil: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if !validLocalName(t.Name.Local) {
+				return nil, fmt.Errorf("xmlutil: parse: invalid element name %q", t.Name.Local)
+			}
+			el := NewElement(t.Name.Space, t.Name.Local)
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || (a.Name.Space == "" && a.Name.Local == "xmlns") {
+					continue
+				}
+				if !validLocalName(a.Name.Local) {
+					return nil, fmt.Errorf("xmlutil: parse: invalid attribute name %q", a.Name.Local)
+				}
+				el.Attrs = append(el.Attrs, Attr{
+					Name:  Name{Space: a.Name.Space, Local: a.Name.Local},
+					Value: a.Value,
+				})
+			}
+			if cur == nil {
+				if root != nil {
+					return nil, errors.New("xmlutil: multiple root elements")
+				}
+				root = el
+			} else {
+				cur.AppendChild(el)
+			}
+			cur = el
+		case xml.EndElement:
+			if cur == nil {
+				return nil, errors.New("xmlutil: unbalanced end element")
+			}
+			trimWhitespaceBetweenElements(cur)
+			cur = cur.parent
+		case xml.CharData:
+			if cur != nil {
+				cur.Children = append(cur.Children, Text(string(t)))
+			}
+		}
+	}
+	if root == nil {
+		return nil, errors.New("xmlutil: empty document")
+	}
+	if cur != nil {
+		return nil, errors.New("xmlutil: unexpected EOF inside element")
+	}
+	return root, nil
+}
+
+// TestParseMatchesReference pins the byte parser to the encoding/xml
+// semantics it replaced: same trees on valid documents, rejection on
+// the same invalid ones.
+func TestParseMatchesReference(t *testing.T) {
+	docs := []string{
+		// plain structure
+		`<a><b>hi</b><c/></a>`,
+		`<a xmlns="urn:x"><b attr="1">hi</b><c/></a>`,
+		// prefixes, scoping, shadowing, attribute namespaces
+		`<p:a xmlns:p="urn:p" xmlns:q="urn:q"><q:b p:x="v">t</q:b></p:a>`,
+		`<a xmlns="u1"><b xmlns="u2"><c/></b><d/></a>`,
+		`<a xmlns:p="u1"><p:b xmlns:p="u2"><p:c/></p:b><p:d/></a>`,
+		// undeclared prefix preserved verbatim
+		`<x:a><x:b y:attr="v"/></x:a>`,
+		// xml: prefix and single quotes
+		`<a xml:lang="en" b='single'/>`,
+		// entities and character references
+		`<a>one &amp; two &lt;three&gt; &#65;&#x42; &apos;&quot;</a>`,
+		`<a v="x&amp;y&#10;z"/>`,
+		// CDATA
+		`<a><![CDATA[raw <not> &amp; markup]]></a>`,
+		`<a>pre<![CDATA[mid]]>post</a>`,
+		// newline normalisation in text and attributes
+		"<a>one\r\ntwo\rthree</a>",
+		"<a v=\"one\r\ntwo\rthree\"/>",
+		// whitespace trimming between elements
+		"<a>\n  <b>keep me</b>\n  <c> x </c>\n</a>",
+		// mixed content
+		`<a>mixed <b>inner</b> tail</a>`,
+		// comments, PIs, doctype, XML declaration
+		`<?xml version="1.0" encoding="UTF-8"?><a><!-- note --><b/></a>`,
+		`<!DOCTYPE a><a><?pi target?>t</a>`,
+		// deep SOAP-ish document
+		`<soap:Envelope xmlns:soap="http://www.w3.org/2003/05/soap-envelope">` +
+			`<soap:Header><m:id xmlns:m="urn:m">7</m:id></soap:Header>` +
+			`<soap:Body><m:op xmlns:m="urn:m"><m:row a="1">v1</m:row><m:row a="2">v2</m:row></m:op></soap:Body>` +
+			`</soap:Envelope>`,
+		// empty attribute value, unicode text
+		`<a v="">héllo — 世界</a>`,
+		// self-closing root with namespace on itself
+		`<a xmlns="only:me"/>`,
+	}
+	for _, d := range docs {
+		got, gotErr := ParseBytes([]byte(d))
+		want, wantErr := parseReference(strings.NewReader(d))
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Errorf("parse %q: err = %v, reference err = %v", d, gotErr, wantErr)
+			continue
+		}
+		if gotErr != nil {
+			continue
+		}
+		if !Equal(got, want) {
+			t.Errorf("parse %q:\n got %s\nwant %s", d, MarshalString(got), MarshalString(want))
+		}
+		// Exact infoset check beyond Equal's normalisation: the
+		// re-serialisations must agree byte for byte.
+		if g, w := MarshalString(got), MarshalString(want); g != w {
+			t.Errorf("marshal mismatch for %q:\n got %s\nwant %s", d, g, w)
+		}
+	}
+}
+
+// TestParseRejects lists documents both parsers must refuse.
+func TestParseRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"   ",
+		"not xml",
+		"<a>",
+		"<a></b>",
+		"<a/><b/>",
+		"<a attr></a>",
+		`<a attr=novalue/>`,
+		`<a v="unterminated></a>`,
+		"<a>&unknown;</a>",
+		"<a>&#xZZ;</a>",
+		"<a>&#0;</a>",
+		"<a><b></a></b>",
+		"<a",
+		"</a>",
+		`<a v="<"/>`,
+		"<a><![CDATA[unterminated</a>",
+		"<!-- only a comment -->",
+	}
+	for _, d := range bad {
+		if _, err := ParseBytes([]byte(d)); err == nil {
+			t.Errorf("ParseBytes(%q): expected error", d)
+		}
+		if _, err := parseReference(strings.NewReader(d)); err == nil {
+			t.Errorf("reference accepts %q — oracle drifted", d)
+		}
+	}
+}
+
+// TestParseInvalidNames mirrors the old name validation: local parts
+// must be standalone XML names so re-marshalling stays parseable.
+func TestParseInvalidNames(t *testing.T) {
+	for _, d := range []string{`<x:0 xmlns:x="u"/>`, `<a x:0="v" xmlns:x="u"/>`} {
+		if _, err := ParseBytes([]byte(d)); err == nil {
+			t.Errorf("ParseBytes(%q): expected invalid-name error", d)
+		}
+	}
+}
+
+// TestRawNode exercises the verbatim-fragment child kind.
+func TestRawNode(t *testing.T) {
+	inner := NewElement("urn:in", "rows")
+	inner.AddText("urn:in", "row", "a & b")
+	fragment := Marshal(inner)
+
+	wrap := NewElement("urn:out", "Dataset")
+	wrap.SetAttr("", "formatURI", "urn:fmt")
+	wrap.Children = append(wrap.Children, Raw(fragment))
+
+	reparsed, err := ParseBytes(Marshal(wrap))
+	if err != nil {
+		t.Fatalf("marshal with Raw produced unparseable bytes: %v", err)
+	}
+	rows := reparsed.Find("urn:in", "rows")
+	if rows == nil {
+		t.Fatalf("embedded fragment lost: %s", Marshal(wrap))
+	}
+	if got := rows.FindText("urn:in", "row"); got != "a & b" {
+		t.Fatalf("embedded text = %q", got)
+	}
+	// Clone and Equal treat Raw as opaque bytes.
+	if !Equal(wrap, wrap.Clone()) {
+		t.Fatal("clone with Raw not Equal")
+	}
+}
+
+func BenchmarkParseBytes(b *testing.B) {
+	root := NewElement("urn:b", "rows")
+	for i := 0; i < 100; i++ {
+		r := root.Add("urn:b", "row")
+		r.AddText("urn:b", "id", "42")
+		r.AddText("urn:b", "name", "benchmark row value")
+	}
+	doc := Marshal(root)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseBytes(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

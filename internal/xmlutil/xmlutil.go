@@ -12,8 +12,6 @@ package xmlutil
 import (
 	"bufio"
 	"bytes"
-	"encoding/xml"
-	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -50,13 +48,22 @@ type Element struct {
 	parent   *Element
 }
 
-// Node is implemented by the two child node kinds: *Element and Text.
+// Node is implemented by the child node kinds: *Element, Text and Raw.
 type Node interface{ isNode() }
 
 // Text is a character-data child node.
 type Text string
 
+// Raw is a pre-serialised XML fragment written verbatim by Marshal.
+// It lets a producer embed bytes it already rendered (a rowset payload,
+// say) without re-parsing them into a tree. The fragment must be a
+// well-formed standalone element with its own namespace declarations —
+// exactly what Marshal emits — so the surrounding document stays valid.
+// Raw nodes never result from parsing; Parse materialises real elements.
+type Raw string
+
 func (Text) isNode()     {}
+func (Raw) isNode()      {}
 func (*Element) isNode() {}
 
 // NewElement returns an element with the given namespace and local name.
@@ -139,6 +146,12 @@ func (e *Element) AttrValue(space, local string) string {
 // Text returns the concatenation of all descendant character data, in
 // document order (the XPath string-value of the element).
 func (e *Element) Text() string {
+	// The overwhelmingly common shape — one text child — costs nothing.
+	if len(e.Children) == 1 {
+		if t, ok := e.Children[0].(Text); ok {
+			return string(t)
+		}
+	}
 	var b strings.Builder
 	e.writeText(&b)
 	return b.String()
@@ -229,7 +242,7 @@ func (e *Element) Clone() *Element {
 	cp.Attrs = append([]Attr(nil), e.Attrs...)
 	for _, c := range e.Children {
 		switch n := c.(type) {
-		case Text:
+		case Text, Raw:
 			cp.Children = append(cp.Children, n)
 		case *Element:
 			child := n.Clone()
@@ -246,74 +259,16 @@ func (e *Element) Clone() *Element {
 // kept only inside elements that contain no child elements, matching
 // the data-oriented documents DAIS deals in.
 func Parse(r io.Reader) (*Element, error) {
-	dec := xml.NewDecoder(r)
-	var root *Element
-	var cur *Element
-	for {
-		tok, err := dec.Token()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("xmlutil: parse: %w", err)
-		}
-		switch t := tok.(type) {
-		case xml.StartElement:
-			// encoding/xml validates the *qualified* name, so a prefixed
-			// name like x:0 slips through with the invalid local part 0.
-			// The encoder writes local parts on their own (prefixes are
-			// resynthesised), so reject any local name that is not a
-			// valid XML name in its own right — otherwise an accepted
-			// document would re-marshal into unparseable bytes.
-			if !validLocalName(t.Name.Local) {
-				return nil, fmt.Errorf("xmlutil: parse: invalid element name %q", t.Name.Local)
-			}
-			el := NewElement(t.Name.Space, t.Name.Local)
-			for _, a := range t.Attr {
-				if a.Name.Space == "xmlns" || (a.Name.Space == "" && a.Name.Local == "xmlns") {
-					continue // prefix declarations are resynthesised on output
-				}
-				if !validLocalName(a.Name.Local) {
-					return nil, fmt.Errorf("xmlutil: parse: invalid attribute name %q", a.Name.Local)
-				}
-				el.Attrs = append(el.Attrs, Attr{
-					Name:  Name{Space: a.Name.Space, Local: a.Name.Local},
-					Value: a.Value,
-				})
-			}
-			if cur == nil {
-				if root != nil {
-					return nil, errors.New("xmlutil: multiple root elements")
-				}
-				root = el
-			} else {
-				cur.AppendChild(el)
-			}
-			cur = el
-		case xml.EndElement:
-			if cur == nil {
-				return nil, errors.New("xmlutil: unbalanced end element")
-			}
-			trimWhitespaceBetweenElements(cur)
-			cur = cur.parent
-		case xml.CharData:
-			if cur != nil {
-				cur.Children = append(cur.Children, Text(string(t)))
-			}
-		}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("xmlutil: parse: %w", err)
 	}
-	if root == nil {
-		return nil, errors.New("xmlutil: empty document")
-	}
-	if cur != nil {
-		return nil, errors.New("xmlutil: unexpected EOF inside element")
-	}
-	return root, nil
+	return ParseBytes(data)
 }
 
 // ParseString is Parse over a string.
 func ParseString(s string) (*Element, error) {
-	return Parse(strings.NewReader(s))
+	return ParseBytes([]byte(s))
 }
 
 // validLocalName reports whether s is a well-formed XML name with no
@@ -537,6 +492,8 @@ func writeElement(b encWriter, e *Element, ctx *nsContext, root bool) {
 		switch n := c.(type) {
 		case Text:
 			writeEscaped(b, string(n), false)
+		case Raw:
+			b.WriteString(string(n))
 		case *Element:
 			writeElement(b, n, ctx, false)
 		}
@@ -580,6 +537,11 @@ func writeQName(b encWriter, n Name, ctx *nsContext) {
 	}
 	b.WriteString(n.Local)
 }
+
+// EscapeTo writes s into b with exactly Marshal's text-escaping rules
+// (attr additionally escapes the double quote), for encoders that emit
+// fragments byte-identical to a Marshal of the equivalent tree.
+func EscapeTo(b *bytes.Buffer, s string, attr bool) { writeEscaped(b, s, attr) }
 
 // writeEscaped streams s with XML escaping, writing unescaped spans in
 // single WriteString calls so clean text (the overwhelmingly common
@@ -638,6 +600,11 @@ func Equal(a, b *Element) bool {
 		switch an := ac[i].(type) {
 		case Text:
 			bn, ok := bc[i].(Text)
+			if !ok || an != bn {
+				return false
+			}
+		case Raw:
+			bn, ok := bc[i].(Raw)
 			if !ok || an != bn {
 				return false
 			}
