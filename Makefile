@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench bench-smoke chaos stream-chaos soak fuzz-smoke
+.PHONY: all build test race vet fmt check bench bench-smoke chaos stream-chaos gw-chaos soak fuzz-smoke
 
 all: build
 
@@ -42,6 +42,13 @@ chaos:
 # reassembly and retries visible in dais_retries_total. CI runs this.
 stream-chaos:
 	$(GO) test -race -shuffle=on -count=1 -run 'TestStreamChaos|TestGetTuplesEdgeCasesOverHTTP' ./internal/service/
+
+# Federation gateway chaos: kill one of three backends mid-flight
+# under concurrent federated load with the race detector. Surviving
+# shards must keep answering, scatters must never return partial
+# rowsets, and the health board must converge. CI runs this.
+gw-chaos:
+	$(GO) test -race -shuffle=on -count=1 -run 'TestGWChaos' ./internal/gateway/
 
 # Long-form soak: 10k injected-failure exchanges with goroutine
 # hygiene asserted afterwards. Not run in CI on every push.

@@ -1,10 +1,11 @@
-// Command daisbench runs the evaluation suite E1–E13 and E15
+// Command daisbench runs the evaluation suite E1–E13, E15 and E16
 // (DESIGN.md §4 / EXPERIMENTS.md) end-to-end and prints one table per
 // experiment. Each experiment operationalises a quantifiable claim from
 // the paper; the expected shapes are documented in EXPERIMENTS.md. E13
 // additionally reports B/op and allocs/op columns and writes
-// BENCH_E13.json, and E15 writes BENCH_E15.json, so the perf trajectory
-// is tracked across PRs.
+// BENCH_E13.json, E15 writes BENCH_E15.json, and E16 (federation
+// gateway overhead) writes BENCH_E16.json, so the perf trajectory is
+// tracked across PRs.
 //
 // Usage:
 //
@@ -231,6 +232,31 @@ func main() {
 			fatal("E15", err)
 		}
 		fmt.Println("\nE15 rows written to BENCH_E15.json")
+	}
+	if want("E16") {
+		e16Sizes := []int{30, 300, 3000}
+		e16Iters := 30
+		if *quick {
+			e16Sizes = []int{30, 300}
+			e16Iters = 10
+		}
+		rows, err := bench.RunE16(e16Sizes, e16Iters)
+		fatal("E16", err)
+		table("E16 Federation gateway: proxy overhead and 3-shard scatter-gather vs single node",
+			"rows\tdirect\tvia gateway\tproxy factor\tsingle-node scan\t3-shard scatter\tscatter factor",
+			func(w *tabwriter.Writer) {
+				for _, r := range rows {
+					fmt.Fprintf(w, "%d\t%v\t%v\t%.2fx\t%v\t%v\t%.2fx\n",
+						r.Rows, r.DirectPer, r.GatewayPer, r.ProxyFactor,
+						r.SinglePer, r.ScatterPer, r.ScatterRate)
+				}
+			})
+		data, err := json.MarshalIndent(rows, "", "  ")
+		fatal("E16", err)
+		if err := os.WriteFile("BENCH_E16.json", append(data, '\n'), 0o644); err != nil {
+			fatal("E16", err)
+		}
+		fmt.Println("\nE16 rows written to BENCH_E16.json")
 	}
 }
 

@@ -341,6 +341,71 @@ func TestSeedXML(t *testing.T) {
 	}
 }
 
+// TestResourceListConformance drives the CoreResourceList pattern
+// (paper §4.3's optional interface) end-to-end on every daisd
+// endpoint: GetResourceList enumerates exactly the hosted abstract
+// names, ResolveName returns an EPR whose address and reference
+// parameter reproduce the endpoint and name, and an unknown name
+// faults typed. daisgw proxies these same operations through the
+// shared ops codecs, so this conformance also anchors the federation
+// gateway's merge semantics.
+func TestResourceListConformance(t *testing.T) {
+	srv, base := startTestServer(t, config{wsrf: true, seedRows: 3, concurrent: true})
+	srv.fileEp.Service().SetAddress(base + "/files")
+	c := client.New(nil)
+	ctx := context.Background()
+
+	for _, tc := range []struct {
+		endpoint string
+		resource string
+	}{
+		{base + "/sql", srv.sqlRes.AbstractName()},
+		{base + "/xml", srv.xmlRes.AbstractName()},
+		{base + "/files", srv.fileRes.AbstractName()},
+	} {
+		names, err := c.GetResourceList(ctx, tc.endpoint)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.endpoint, err)
+		}
+		if len(names) != 1 || names[0] != tc.resource {
+			t.Fatalf("%s: list = %v, want [%s]", tc.endpoint, names, tc.resource)
+		}
+		ref, err := c.Resolve(ctx, tc.endpoint, tc.resource)
+		if err != nil {
+			t.Fatalf("%s: resolve: %v", tc.endpoint, err)
+		}
+		if ref.Address != tc.endpoint || ref.AbstractName != tc.resource {
+			t.Fatalf("%s: resolved = %+v", tc.endpoint, ref)
+		}
+		if _, err := c.Resolve(ctx, tc.endpoint, "urn:ghost"); err == nil {
+			t.Fatalf("%s: resolve of unknown name should fault", tc.endpoint)
+		}
+	}
+
+	// A factory-derived resource appears in the list and resolves, and
+	// disappears after destroy — the lifecycle the gateway's placement
+	// table mirrors.
+	sqlRef := client.Ref(base+"/sql", srv.sqlRes.AbstractName())
+	derived, err := c.SQLExecuteFactory(ctx, sqlRef, `SELECT id FROM emp`, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := c.GetResourceList(ctx, base+"/sql")
+	if err != nil || len(names) != 2 {
+		t.Fatalf("after factory: list = %v, %v", names, err)
+	}
+	if _, err := c.Resolve(ctx, base+"/sql", derived.AbstractName); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DestroyDataResource(ctx, derived); err != nil {
+		t.Fatal(err)
+	}
+	names, err = c.GetResourceList(ctx, base+"/sql")
+	if err != nil || len(names) != 1 {
+		t.Fatalf("after destroy: list = %v, %v", names, err)
+	}
+}
+
 func TestFileServiceComposition(t *testing.T) {
 	srv, base := startTestServer(t, config{wsrf: true, seedRows: 3, concurrent: true})
 	srv.fileEp.Service().SetAddress(base + "/files")

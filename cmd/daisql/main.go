@@ -5,13 +5,15 @@
 // Usage:
 //
 //	daisql -url http://host:8090/sql [-resource urn:...] [-format csv|sqlrowset|webrowset]
-//	       [-indirect] [-page 100] [-stream] [-chunks 4] [-explain] 'SELECT ...'
+//	       [-indirect] [-page 100] [-stream] [-chunks 4] [-generic] [-explain] 'SELECT ...'
 //
 // When -resource is omitted the first resource from GetResourceList is
 // used. With -indirect the query runs through SQLExecuteFactory and the
 // rows are pulled page by page with GetTuples; adding -stream (or
 // -chunks N > 1) fetches N pages concurrently and prints them in row
-// order as each contiguous run arrives.
+// order as each contiguous run arrives. With -generic the statement
+// travels as a WS-DAI GenericQuery instead of SQLExecute — the form a
+// daisgw cluster alias answers by scatter-gathering across its shards.
 package main
 
 import (
@@ -24,9 +26,11 @@ import (
 	"strings"
 
 	"dais/internal/client"
+	"dais/internal/dair"
 	"dais/internal/rowset"
 	"dais/internal/soap"
 	"dais/internal/sqlengine"
+	"dais/internal/xmlutil"
 )
 
 func main() {
@@ -38,6 +42,7 @@ func main() {
 	chunks := flag.Int("chunks", 1, "parallel GetTuples windows for indirect access (implies -stream)")
 	stream := flag.Bool("stream", false, "indirect access: reassemble chunked pages in order as they arrive")
 	destroy := flag.Bool("destroy", true, "destroy derived resources after use")
+	generic := flag.Bool("generic", false, "send the statement as a WS-DAI GenericQuery (works against daisgw cluster aliases)")
 	interactive := flag.Bool("i", false, "interactive mode: read statements from stdin")
 	timeout := flag.Duration("timeout", 0, "per-call deadline (0 disables)")
 	explain := flag.Bool("explain", false, "print the engine's physical plan for the statement instead of executing it")
@@ -86,6 +91,12 @@ func main() {
 		}
 		return
 	}
+	if *generic {
+		if err := runGeneric(ctx, c, ref, query); err != nil {
+			log.Fatalf("daisql: %v", err)
+		}
+		return
+	}
 	if *indirect {
 		if *stream || *chunks > 1 {
 			runChunked(ctx, c, ref, query, formatURI, *page, *chunks, *destroy)
@@ -111,6 +122,33 @@ func runDirect(ctx context.Context, c *client.Client, ref client.ResourceRef, qu
 	printSet(res.Set, res.Raw)
 	fmt.Printf("-- %d row(s), SQLSTATE %s, %d bytes on the wire\n",
 		res.CA.RowsFetched, res.CA.SQLState, c.BytesReceived())
+	return nil
+}
+
+// runGeneric sends the statement as a GenericQuery. Against a plain
+// relational resource the service answers exactly as SQLExecute would;
+// against a daisgw cluster alias the gateway scatter-gathers the query
+// across every shard and merges the rowsets in shard order.
+func runGeneric(ctx context.Context, c *client.Client, ref client.ResourceRef, query string) error {
+	result, err := c.GenericQuery(ctx, ref, dair.LanguageSQL92, query)
+	if err != nil {
+		return err
+	}
+	switch result.Name.Local {
+	case "SQLRowset":
+		set, err := rowset.DecodeSQLRowsetElement(result)
+		if err != nil {
+			return err
+		}
+		printHeader(set)
+		printRows(set)
+		fmt.Printf("-- %d row(s) via GenericQuery\n", len(set.Rows))
+	case "SQLUpdateCount":
+		fmt.Printf("update count: %s\n", strings.TrimSpace(result.Text()))
+	default:
+		os.Stdout.Write(xmlutil.Marshal(result))
+		fmt.Println()
+	}
 	return nil
 }
 

@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	"dais/internal/client"
+	"dais/internal/core"
+	"dais/internal/dair"
+	"dais/internal/gateway"
+	"dais/internal/resil"
+	"dais/internal/rowset"
+	"dais/internal/service"
+	"dais/internal/sqlengine"
+)
+
+// E16Row is one row of experiment E16 (federation gateway overhead):
+// the cost of putting daisgw in front of a DAIS backend, and how an
+// alias scatter-gather over three shards compares with one node
+// scanning the same total rows.
+type E16Row struct {
+	Rows        int           `json:"rows"`
+	DirectPer   time.Duration `json:"direct_per_ns"`   // consumer → backend
+	GatewayPer  time.Duration `json:"gateway_per_ns"`  // consumer → gateway → backend
+	ProxyFactor float64       `json:"proxy_factor"`    // gateway ÷ direct
+	SinglePer   time.Duration `json:"single_per_ns"`   // one node scans all rows
+	ScatterPer  time.Duration `json:"scatter_per_ns"`  // 3-shard alias scatter-gather
+	ScatterRate float64       `json:"scatter_factor"`  // scatter ÷ single
+	ScatterRows int           `json:"scatter_rows_ok"` // rows the merged result returned
+}
+
+// e16Backend serves one relational endpoint seeded with emp rows in
+// [lo, hi] (contiguous partition of the id space).
+func e16Backend(name string, lo, hi int) (*httptest.Server, *dair.SQLDataResource, func()) {
+	eng := sqlengine.New(name)
+	eng.MustExec(`CREATE TABLE emp (id INTEGER PRIMARY KEY, payload VARCHAR(64), num DOUBLE)`)
+	sess := eng.NewSession()
+	for i := lo; i <= hi; i++ {
+		if _, err := sess.Execute(`INSERT INTO emp VALUES (?, ?, ?)`,
+			sqlengine.NewInt(int64(i)),
+			sqlengine.NewString(fmt.Sprintf("row-%06d-payload-abcdefghij", i)),
+			sqlengine.NewDouble(float64(i)*1.5)); err != nil {
+			panic(err)
+		}
+	}
+	res := dair.NewSQLDataResource(eng)
+	svc := core.NewDataService(name, core.WithConfigurationMap(dair.StandardConfigurationMaps()...))
+	ep := service.NewEndpoint(svc)
+	ep.Register(res)
+	ts := httptest.NewServer(ep)
+	svc.SetAddress(ts.URL)
+	return ts, res, ts.Close
+}
+
+// RunE16 measures the federation gateway against direct access. For
+// each size: a consumer queries the full table directly on its backend
+// and again through the gateway (pure proxy overhead: same backend,
+// same rows, one extra hop + EPR-preserving re-encode), then a
+// single-node GenericQuery over all rows is compared with the alias
+// scatter-gather reassembling the identical rowset from three
+// contiguous shards.
+func RunE16(sizes []int, iters int) ([]E16Row, error) {
+	ctx := context.Background()
+	maxRows := 0
+	for _, s := range sizes {
+		if s > maxRows {
+			maxRows = s
+		}
+	}
+
+	// The solo node holds every row; three shards split them evenly.
+	soloTS, soloRes, closeSolo := e16Backend("solo", 1, maxRows)
+	defer closeSolo()
+	third := maxRows / 3
+	s1TS, s1Res, close1 := e16Backend("s1", 1, third)
+	defer close1()
+	s2TS, s2Res, close2 := e16Backend("s2", third+1, 2*third)
+	defer close2()
+	s3TS, s3Res, close3 := e16Backend("s3", 2*third+1, maxRows)
+	defer close3()
+
+	gw := gateway.New(gateway.Config{
+		Backends: []string{soloTS.URL, s1TS.URL, s2TS.URL, s3TS.URL},
+		Aliases: []gateway.Alias{{Name: "urn:dais:cluster:emp", Members: []gateway.Member{
+			{Backend: s1TS.URL, Resource: s1Res.AbstractName()},
+			{Backend: s2TS.URL, Resource: s2Res.AbstractName()},
+			{Backend: s3TS.URL, Resource: s3Res.AbstractName()},
+		}}},
+		Observer:    nil,
+		ObserverSet: true, // uninstrumented: E16 measures the data path
+	})
+	gwTS := httptest.NewServer(gw)
+	defer gwTS.Close()
+	gw.SetAddress(gwTS.URL)
+	gw.Probe(ctx)
+
+	// Zero resilience config: no retries or breaking on the measuring
+	// consumer, so E16 times single attempts.
+	c := client.NewResilient(nil, nil, resil.ClientConfig{})
+	var out []E16Row
+	for _, n := range sizes {
+		query := fmt.Sprintf(`SELECT id, payload, num FROM emp WHERE id <= %d ORDER BY id`, n)
+		row := E16Row{Rows: n}
+
+		directRef := client.Ref(soloTS.URL, soloRes.AbstractName())
+		gwRef := client.Ref(gwTS.URL, soloRes.AbstractName())
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			res, err := c.SQLExecute(ctx, directRef, query, nil, "")
+			if err != nil {
+				return nil, err
+			}
+			if len(res.Set.Rows) != n {
+				return nil, fmt.Errorf("E16: direct returned %d rows, want %d", len(res.Set.Rows), n)
+			}
+		}
+		row.DirectPer = time.Since(start) / time.Duration(iters)
+
+		start = time.Now()
+		for i := 0; i < iters; i++ {
+			res, err := c.SQLExecute(ctx, gwRef, query, nil, "")
+			if err != nil {
+				return nil, err
+			}
+			if len(res.Set.Rows) != n {
+				return nil, fmt.Errorf("E16: gateway returned %d rows, want %d", len(res.Set.Rows), n)
+			}
+		}
+		row.GatewayPer = time.Since(start) / time.Duration(iters)
+		row.ProxyFactor = float64(row.GatewayPer) / float64(row.DirectPer)
+
+		// Scatter-gather: the alias reassembles the same rowset from
+		// three shards; the solo GenericQuery is the one-node baseline.
+		start = time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := c.GenericQuery(ctx, directRef, dair.LanguageSQL92, query); err != nil {
+				return nil, err
+			}
+		}
+		row.SinglePer = time.Since(start) / time.Duration(iters)
+
+		aliasRef := client.Ref(gwTS.URL, "urn:dais:cluster:emp")
+		var scatterRows int
+		start = time.Now()
+		for i := 0; i < iters; i++ {
+			result, err := c.GenericQuery(ctx, aliasRef, dair.LanguageSQL92, query)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				set, err := rowset.DecodeSQLRowsetElement(result)
+				if err != nil {
+					return nil, err
+				}
+				scatterRows = len(set.Rows)
+			}
+		}
+		row.ScatterPer = time.Since(start) / time.Duration(iters)
+		row.ScatterRate = float64(row.ScatterPer) / float64(row.SinglePer)
+		row.ScatterRows = scatterRows
+		if scatterRows != n {
+			return nil, fmt.Errorf("E16: scatter returned %d rows, want %d", scatterRows, n)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

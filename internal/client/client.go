@@ -156,6 +156,17 @@ func (c *Client) invoke(ctx context.Context, ref ResourceRef, spec ops.Spec, msg
 	return c.call(ops.WithCallInfo(ctx, spec.Info()), ref.Address, spec.Action, req)
 }
 
+// Invoke performs one operation against an address with a caller-built
+// request body, returning the raw response body. The federation gateway
+// forwards through this: it rewrites the decoded request itself (alias
+// translation, name framing) and must not re-encode through the typed
+// message layer, but still wants the catalog metadata on the context so
+// the resilience interceptor sees the idempotency class and telemetry
+// labels the call.
+func (c *Client) Invoke(ctx context.Context, address string, spec ops.Spec, body *xmlutil.Element) (*xmlutil.Element, error) {
+	return c.call(ops.WithCallInfo(ctx, spec.Info()), address, spec.Action, body)
+}
+
 // factory is invoke for the indirect access pattern (paper Fig. 3):
 // the response's DataResourceAddress EPR becomes a new reference.
 func (c *Client) factory(ctx context.Context, ref ResourceRef, spec ops.Spec, msg ops.Msg) (ResourceRef, error) {
@@ -163,17 +174,27 @@ func (c *Client) factory(ctx context.Context, ref ResourceRef, spec ops.Spec, ms
 	if err != nil {
 		return ResourceRef{}, err
 	}
-	return refFromResponse(resp)
+	return refFromResponse(resp, ref.Address)
 }
 
 // refFromResponse extracts the DataResourceAddress EPR from a factory
-// response.
-func refFromResponse(resp *xmlutil.Element) (ResourceRef, error) {
+// response. The EPR's own address wins — a gateway or a relocated
+// resource may answer at a different endpoint than the one dialed — but
+// an endpoint that doesn't know its public address sends an empty or
+// anonymous address, and then the dialed address is the only usable one.
+func refFromResponse(resp *xmlutil.Element, dialed string) (ResourceRef, error) {
 	epr, err := ops.ResourceAddress(resp)
 	if err != nil {
 		return ResourceRef{}, err
 	}
-	return FromEPR(epr)
+	ref, err := FromEPR(epr)
+	if err != nil {
+		return ResourceRef{}, err
+	}
+	if ref.Address == "" || ref.Address == wsaddr.AnonymousURI {
+		ref.Address = dialed
+	}
+	return ref, nil
 }
 
 // --- WS-DAI core ---
@@ -218,11 +239,7 @@ func (c *Client) GetResourceList(ctx context.Context, address string) ([]string,
 	if err != nil {
 		return nil, err
 	}
-	var out []string
-	for _, el := range resp.FindAll(core.NSDAI, "DataResourceAbstractName") {
-		out = append(out, el.Text())
-	}
-	return out, nil
+	return ops.ParseResourceList(resp), nil
 }
 
 // Resolve maps an abstract name to a full resource reference.

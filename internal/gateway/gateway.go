@@ -1,0 +1,454 @@
+// Package gateway is the DAIS federation front door: one SOAP endpoint
+// that owns the cluster-wide CoreResourceList (paper §4.3's optional
+// interface) and proxies every ops-catalog operation onto one of N
+// backend DAIS endpoints.
+//
+// Routing is by DataResourceAbstractName: a recorded placement (from a
+// factory reply the gateway proxied, or a backend resource list the
+// health prober collected) wins; otherwise a consistent-hash ring over
+// the backend set decides, so every gateway instance routes a given
+// name identically and backend churn moves only the keys it must.
+// Cluster aliases name a list of equivalent per-backend resources:
+// GenericQuery on an alias scatter-gathers across the member resources
+// with bounded fan-out and a deterministic merge, and factory
+// operations on an alias place the derived resource on the least-loaded
+// healthy backend.
+//
+// Every backend call runs through the resilient consumer client
+// (internal/resil): idempotency-gated retries, and a per-backend
+// circuit breaker whose transitions feed the gateway's health board so
+// a dying backend leaves the routing rotation immediately. Responses
+// stream back byte-identically — the gateway re-wraps the backend's
+// response body, rewriting only EPR replies so consumers keep routing
+// through the gateway.
+package gateway
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sort"
+	"time"
+
+	"dais/internal/client"
+	"dais/internal/core"
+	"dais/internal/ops"
+	"dais/internal/resil"
+	"dais/internal/service"
+	"dais/internal/soap"
+	"dais/internal/telemetry"
+	"dais/internal/wsaddr"
+	"dais/internal/xmlutil"
+)
+
+// Member is one concrete backend resource an alias federates over.
+type Member struct {
+	Backend  string // backend endpoint URL
+	Resource string // the resource's abstract name on that backend
+}
+
+// Alias is a cluster-wide resource name the gateway itself owns: it
+// stands for one equivalent resource per backend. Scatter-gather
+// queries and least-loaded factory placement address the alias.
+type Alias struct {
+	Name    string
+	Members []Member
+}
+
+// Config assembles a Gateway.
+type Config struct {
+	// Backends are the federated DAIS endpoint URLs (at least one).
+	Backends []string
+	// Aliases are the cluster-wide scatter/placement names.
+	Aliases []Alias
+	// Fanout bounds concurrent backend calls per scatter (and per
+	// probe sweep). 0 selects 4.
+	Fanout int
+	// Observer receives gateway metrics and spans; telemetry.Default
+	// unless set, nil disables instrumentation.
+	Observer    *telemetry.Observer
+	ObserverSet bool // distinguishes explicit nil from unset
+	// Resilience is the per-backend client policy; zero selects
+	// resil.DefaultClientConfig. The gateway installs its own breaker
+	// observer on top of any OnBreakerChange set here.
+	Resilience *resil.ClientConfig
+	// Admission bounds the concurrency the gateway accepts before
+	// shedding (nil disables admission control).
+	Admission *resil.AdmissionConfig
+	// HTTPClient overrides the backend transport (nil = default
+	// keep-alive pool).
+	HTTPClient *http.Client
+	// ProbeTimeout bounds one backend health probe (0 selects 2s).
+	ProbeTimeout time.Duration
+}
+
+// Gateway is the federation front door. It implements http.Handler.
+type Gateway struct {
+	ring         *ring
+	place        *placements
+	aliases      map[string]*Alias
+	client       *client.Client
+	soapSrv      *soap.Server
+	obs          *telemetry.Observer
+	gm           *gwMetrics
+	health       *healthBoard
+	gate         *resil.Gate
+	shed         func(service, scope string)
+	fanout       int
+	probeTimeout time.Duration
+	address      string
+}
+
+// New builds a gateway over the configured backends. Call SetAddress
+// before serving so minted EPRs carry the gateway's public URL.
+func New(cfg Config) *Gateway {
+	obs := cfg.Observer
+	if obs == nil && !cfg.ObserverSet {
+		obs = telemetry.Default
+	}
+	fanout := cfg.Fanout
+	if fanout <= 0 {
+		fanout = 4
+	}
+	probeTimeout := cfg.ProbeTimeout
+	if probeTimeout <= 0 {
+		probeTimeout = 2 * time.Second
+	}
+	g := &Gateway{
+		ring:         newRing(cfg.Backends),
+		place:        newPlacements(),
+		aliases:      make(map[string]*Alias),
+		obs:          obs,
+		fanout:       fanout,
+		probeTimeout: probeTimeout,
+	}
+	if obs != nil {
+		g.gm = gwMetricsFor(obs.Registry)
+	}
+	g.health = newHealthBoard(g.ring.Backends(), g.gm)
+	for i := range cfg.Aliases {
+		a := cfg.Aliases[i]
+		g.aliases[a.Name] = &a
+	}
+	rcfg := resil.DefaultClientConfig()
+	if cfg.Resilience != nil {
+		rcfg = *cfg.Resilience
+	}
+	if rcfg.Observer == nil {
+		rcfg.Observer = obs
+	}
+	if user := rcfg.OnBreakerChange; user != nil {
+		rcfg.OnBreakerChange = func(endpoint, to string) {
+			g.onBreakerChange(endpoint, to)
+			user(endpoint, to)
+		}
+	} else {
+		rcfg.OnBreakerChange = g.onBreakerChange
+	}
+	g.client = client.NewResilient(cfg.HTTPClient, obs, rcfg)
+	if cfg.Admission != nil {
+		g.gate = resil.NewGate(*cfg.Admission)
+		if obs != nil {
+			g.shed = resil.ShedObserver(obs.Registry)
+		}
+	}
+	ics := []soap.Interceptor{soap.ServerRequestID()}
+	if obs != nil {
+		ics = append(ics, obs.ServerInterceptor())
+	}
+	g.soapSrv = soap.NewServer(ics...)
+	if obs != nil {
+		g.soapSrv.OnExchange(obs.ExchangeObserver(telemetry.SideServer))
+	}
+	for _, spec := range ops.Catalog() {
+		spec := spec
+		if spec.Action == ops.ActGetResourceList {
+			g.soapSrv.Handle(spec.Action, g.handleList(spec))
+			continue
+		}
+		g.soapSrv.Handle(spec.Action, g.handleProxy(spec))
+	}
+	return g
+}
+
+// SetAddress records the gateway's public endpoint URL, used in every
+// EPR the gateway mints.
+func (g *Gateway) SetAddress(addr string) { g.address = addr }
+
+// Address returns the gateway's public endpoint URL.
+func (g *Gateway) Address() string { return g.address }
+
+// Backends returns the federated backend endpoints.
+func (g *Gateway) Backends() []string { return g.ring.Backends() }
+
+// ServeHTTP implements http.Handler: POST carries SOAP.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.soapSrv.ServeHTTP(w, r)
+}
+
+// EPRFor mints a gateway EPR for an abstract name: the gateway's
+// address plus the name as a reference parameter, exactly the shape a
+// backend endpoint mints for its own resources.
+func (g *Gateway) EPRFor(abstractName string) *wsaddr.EndpointReference {
+	epr := wsaddr.NewEPR(g.address)
+	p := xmlutil.NewElement(core.NSDAI, "DataResourceAbstractName")
+	p.SetText(abstractName)
+	epr.AddReferenceParameter(p)
+	return epr
+}
+
+// route resolves the backend owning an abstract name: recorded
+// placements win, then the consistent-hash ring filtered to healthy
+// backends.
+func (g *Gateway) route(name string) string {
+	if b, ok := g.place.lookup(name); ok {
+		return b
+	}
+	return g.ring.Owner(name, g.health.isHealthy)
+}
+
+// handleProxy proxies one catalog operation: admission, alias or
+// name-based routing, the resilient backend call, EPR rewriting for
+// factory-style replies, and fault re-encoding — the reply a consumer
+// sees is byte-identical to dialing the owning backend directly,
+// except that EPRs address the gateway.
+func (g *Gateway) handleProxy(spec ops.Spec) soap.HandlerFunc {
+	return func(ctx context.Context, _ string, env *soap.Envelope) (*soap.Envelope, error) {
+		body := env.BodyEntry()
+		if body == nil {
+			return nil, soap.ClientFault("empty SOAP body")
+		}
+		ctx = ops.WithCallInfo(ctx, spec.Info())
+		name := ops.AbstractNameText(body)
+		if g.gate != nil {
+			release, scope, err := g.gate.Acquire(name)
+			if err != nil {
+				if g.shed != nil {
+					g.shed("gateway", scope)
+				}
+				return nil, service.ToSOAPFault(err)
+			}
+			defer release()
+		}
+		var resp *xmlutil.Element
+		var err error
+		if a, ok := g.aliases[name]; ok {
+			resp, err = g.aliasOp(ctx, spec, a, body)
+		} else {
+			resp, err = g.namedOp(ctx, spec, name, body)
+		}
+		if err != nil {
+			return nil, service.ToSOAPFault(g.gwError(ctx, err))
+		}
+		return reply(env, spec, resp), nil
+	}
+}
+
+// namedOp forwards an operation addressed to a concrete resource name
+// to its owning backend.
+func (g *Gateway) namedOp(ctx context.Context, spec ops.Spec, name string, body *xmlutil.Element) (*xmlutil.Element, error) {
+	resp, err := g.forward(ctx, g.route(name), spec, body)
+	if err == nil && (spec.Action == ops.ActDestroyDataResource || spec.Action == ops.ActWSRFDestroy) {
+		g.place.forget(name)
+	}
+	return resp, err
+}
+
+// aliasOp handles an operation addressed to a cluster alias: Resolve
+// answers locally with a gateway EPR, GenericQuery scatter-gathers
+// over the members, and factory operations place on the least-loaded
+// healthy member. Anything else has no cluster-wide meaning.
+func (g *Gateway) aliasOp(ctx context.Context, spec ops.Spec, a *Alias, body *xmlutil.Element) (*xmlutil.Element, error) {
+	switch {
+	case spec.Action == ops.ActResolve:
+		resp := spec.NewResponse()
+		ops.AddResourceAddress(resp, g.EPRFor(a.Name))
+		return resp, nil
+	case spec.Action == ops.ActGenericQuery:
+		return g.scatterQuery(ctx, spec, a, body)
+	case spec.EPRReply:
+		m, err := g.placeMember(a)
+		if err != nil {
+			return nil, err
+		}
+		ops.SetAbstractName(body, m.Resource)
+		return g.forward(ctx, m.Backend, spec, body)
+	default:
+		return nil, &core.InvalidResourceNameFault{
+			Name: a.Name + " (cluster alias: supports GenericQuery, Resolve and factory operations)"}
+	}
+}
+
+// placeMember picks the alias member on the least-loaded healthy
+// backend (deterministic tie-break by backend URL).
+func (g *Gateway) placeMember(a *Alias) (Member, error) {
+	var candidates []string
+	byBackend := map[string]Member{}
+	for _, m := range a.Members {
+		if g.health.isHealthy(m.Backend) {
+			candidates = append(candidates, m.Backend)
+			byBackend[m.Backend] = m
+		}
+	}
+	best := g.place.leastLoaded(candidates)
+	if best == "" {
+		return Member{}, &core.ServiceBusyFault{
+			Reason:     "no healthy backend for alias " + a.Name,
+			RetryAfter: time.Second,
+		}
+	}
+	return byBackend[best], nil
+}
+
+// forward performs the resilient backend call and, for EPR replies,
+// rewrites the address to the gateway and records the placement.
+func (g *Gateway) forward(ctx context.Context, backend string, spec ops.Spec, body *xmlutil.Element) (*xmlutil.Element, error) {
+	if backend == "" {
+		return nil, &core.ServiceBusyFault{Reason: "no backend configured", RetryAfter: time.Second}
+	}
+	resp, err := g.client.Invoke(ctx, backend, spec, body)
+	g.gm.request(backend, spec.Op, telemetry.FaultCode(err))
+	if err != nil {
+		return nil, err
+	}
+	if spec.EPRReply {
+		return g.rewriteEPR(spec, resp, backend)
+	}
+	return resp, nil
+}
+
+// rewriteEPR rebuilds an EPR-bearing reply (factory responses,
+// Resolve) around a gateway EPR: the derived resource's abstract name
+// is read from the backend's EPR, its placement recorded, and the
+// response re-minted so the consumer keeps routing through the
+// gateway. The backend EPR's own address — satellite-2's fixed client
+// fallback notwithstanding — never reaches the consumer.
+func (g *Gateway) rewriteEPR(spec ops.Spec, resp *xmlutil.Element, backend string) (*xmlutil.Element, error) {
+	epr, err := ops.ResourceAddress(resp)
+	if err != nil {
+		return nil, err
+	}
+	name := ops.EPRName(epr)
+	if name == "" {
+		return nil, errors.New("gateway: backend EPR carries no DataResourceAbstractName")
+	}
+	g.place.record(name, backend)
+	out := spec.NewResponse()
+	ops.AddResourceAddress(out, g.EPRFor(name))
+	return out, nil
+}
+
+// handleList serves the cluster-wide GetResourceList: the merged,
+// sorted union of every healthy backend's resource list plus the
+// gateway's own aliases. Unreachable backends are skipped (and marked
+// unhealthy) — the list reflects what the federation can serve now.
+func (g *Gateway) handleList(spec ops.Spec) soap.HandlerFunc {
+	return func(ctx context.Context, _ string, env *soap.Envelope) (*soap.Envelope, error) {
+		ctx = ops.WithCallInfo(ctx, spec.Info())
+		if g.gate != nil {
+			release, scope, err := g.gate.Acquire("")
+			if err != nil {
+				if g.shed != nil {
+					g.shed("gateway", scope)
+				}
+				return nil, service.ToSOAPFault(err)
+			}
+			defer release()
+		}
+		names := g.collectResourceLists(ctx)
+		for name := range g.aliases {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		names = dedupe(names)
+		return reply(env, spec, ops.ResourceListResponse(names)), nil
+	}
+}
+
+// collectResourceLists fans GetResourceList over the healthy backends
+// (bounded), records discovered placements, and returns the union.
+func (g *Gateway) collectResourceLists(ctx context.Context) []string {
+	backends := g.ring.Backends()
+	results := make([][]string, len(backends))
+	sem := make(chan struct{}, g.fanout)
+	done := make(chan int, len(backends))
+	launched := 0
+	for i, b := range backends {
+		if !g.health.isHealthy(b) {
+			continue
+		}
+		launched++
+		go func(i int, backend string) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			names, err := g.client.GetResourceList(ctx, backend)
+			g.gm.request(backend, ops.GetResourceList.Op, telemetry.FaultCode(err))
+			if err != nil {
+				g.health.set(backend, false, "list failed: "+err.Error())
+			} else {
+				for _, n := range names {
+					g.place.record(n, backend)
+				}
+				results[i] = names
+			}
+			done <- i
+		}(i, b)
+	}
+	for ; launched > 0; launched-- {
+		<-done
+	}
+	var out []string
+	for _, names := range results {
+		out = append(out, names...)
+	}
+	return out
+}
+
+// gwError maps backend-path errors to the fault a consumer should see:
+// typed DAIS faults and SOAP faults pass through untouched (the
+// backend's definitive answer), circuit-open and transport failures
+// become a ServiceBusyFault with pacing, and the caller's own expired
+// context a RequestTimeoutFault.
+func (g *Gateway) gwError(ctx context.Context, err error) error {
+	if core.FaultName(err) != "" {
+		return err
+	}
+	var f *soap.Fault
+	if errors.As(err, &f) {
+		return f
+	}
+	if ctx.Err() != nil {
+		return &core.RequestTimeoutFault{Detail: err.Error()}
+	}
+	var open *resil.CircuitOpenError
+	if errors.As(err, &open) {
+		return &core.ServiceBusyFault{
+			Reason:     "backend circuit open: " + open.Endpoint,
+			RetryAfter: time.Second,
+		}
+	}
+	return &core.ServiceBusyFault{
+		Reason:     "backend unavailable: " + err.Error(),
+		RetryAfter: time.Second,
+	}
+}
+
+// reply wraps a response body with the WS-Addressing reply headers,
+// mirroring the service layer's bind tail so gateway replies are
+// shaped exactly like backend replies.
+func reply(req *soap.Envelope, spec ops.Spec, body *xmlutil.Element) *soap.Envelope {
+	out := soap.NewEnvelope(body)
+	h := wsaddr.FromEnvelope(req)
+	wsaddr.ReplyHeaders(h, spec.Action+"Response").Attach(out)
+	return out
+}
+
+func dedupe(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || s != sorted[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package gateway
+
+import (
+	"time"
+
+	"dais/internal/telemetry"
+)
+
+// Metric names exposed by the federation gateway.
+const (
+	// MetricBackendRequests counts proxied backend calls, labelled by
+	// backend endpoint, operation and outcome code.
+	MetricBackendRequests = "dais_gw_backend_requests_total"
+	// MetricBackendState gauges each backend's routing state: 0
+	// healthy, 1 degraded (breaker half-open, probe pending), 2
+	// unhealthy (probe failed or breaker open).
+	MetricBackendState = "dais_gw_backend_state"
+	// MetricFanout is the scatter-gather wall-clock latency histogram,
+	// labelled by operation.
+	MetricFanout = "dais_gw_fanout_seconds"
+	// MetricFanoutBackends counts the backends each scatter touched,
+	// labelled by operation and per-backend outcome.
+	MetricFanoutBackends = "dais_gw_fanout_backends_total"
+)
+
+// Backend state gauge levels.
+const (
+	stateHealthy   = 0
+	stateDegraded  = 1
+	stateUnhealthy = 2
+)
+
+// gwMetrics binds the gateway instruments on a telemetry registry. A
+// nil *gwMetrics is valid and records nothing.
+type gwMetrics struct {
+	requests *telemetry.CounterVec
+	state    *telemetry.GaugeVec
+	fanout   *telemetry.HistogramVec
+	fanned   *telemetry.CounterVec
+}
+
+func gwMetricsFor(reg *telemetry.Registry) *gwMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &gwMetrics{
+		requests: reg.NewCounterVec(MetricBackendRequests,
+			"Proxied backend calls by backend, operation and outcome code.",
+			"backend", "op", "code"),
+		state: reg.NewGaugeVec(MetricBackendState,
+			"Backend routing state (0 healthy, 1 degraded, 2 unhealthy).", "backend"),
+		fanout: reg.NewHistogramVec(MetricFanout,
+			"Scatter-gather fan-out latency in seconds.", telemetry.LatencyBuckets(), "op"),
+		fanned: reg.NewCounterVec(MetricFanoutBackends,
+			"Backends touched per scatter by operation and outcome.", "op", "outcome"),
+	}
+}
+
+func (m *gwMetrics) request(backend, op, code string) {
+	if m == nil {
+		return
+	}
+	m.requests.With(backend, op, code).Inc()
+}
+
+func (m *gwMetrics) setState(backend string, level int64) {
+	if m == nil {
+		return
+	}
+	m.state.With(backend).Set(level)
+}
+
+func (m *gwMetrics) observeFanout(op string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.fanout.With(op).Observe(d)
+}
+
+func (m *gwMetrics) countFanned(op, outcome string) {
+	if m == nil {
+		return
+	}
+	m.fanned.With(op, outcome).Inc()
+}

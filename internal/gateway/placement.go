@@ -1,0 +1,80 @@
+package gateway
+
+import "sync"
+
+// placements is the gateway's resource-location table: abstract name →
+// backend endpoint URL. Entries come from two sources — factory replies
+// the gateway proxied (authoritative: it placed the resource itself)
+// and backend resource lists collected by the health prober (discovered
+// pre-existing resources). A recorded location always wins over the
+// consistent-hash ring, so routing stays stable for resources that were
+// placed by load rather than by hash, and for resources that predate
+// the gateway.
+type placements struct {
+	mu     sync.RWMutex
+	byName map[string]string
+	counts map[string]int
+}
+
+func newPlacements() *placements {
+	return &placements{byName: make(map[string]string), counts: make(map[string]int)}
+}
+
+// record pins a resource to a backend (idempotent; relocating a name
+// moves its count).
+func (p *placements) record(name, backend string) {
+	if name == "" || backend == "" {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if prev, ok := p.byName[name]; ok {
+		if prev == backend {
+			return
+		}
+		p.counts[prev]--
+	}
+	p.byName[name] = backend
+	p.counts[backend]++
+}
+
+// lookup returns the recorded backend for a name.
+func (p *placements) lookup(name string) (string, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	b, ok := p.byName[name]
+	return b, ok
+}
+
+// forget drops a name (resource destroyed).
+func (p *placements) forget(name string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if b, ok := p.byName[name]; ok {
+		p.counts[b]--
+		delete(p.byName, name)
+	}
+}
+
+// load reports how many resources are recorded on a backend.
+func (p *placements) load(backend string) int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.counts[backend]
+}
+
+// leastLoaded picks the backend with the fewest recorded placements
+// from candidates, breaking ties by backend name so placement is
+// deterministic under equal load. Returns "" for no candidates.
+func (p *placements) leastLoaded(candidates []string) string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	best, bestLoad := "", 0
+	for _, b := range candidates {
+		n := p.counts[b]
+		if best == "" || n < bestLoad || (n == bestLoad && b < best) {
+			best, bestLoad = b, n
+		}
+	}
+	return best
+}

@@ -1,0 +1,61 @@
+package gateway
+
+import "testing"
+
+func TestPlacementRecordLookupForget(t *testing.T) {
+	p := newPlacements()
+	if b, ok := p.lookup("urn:a"); ok || b != "" {
+		t.Fatalf("empty table lookup = %q, %v", b, ok)
+	}
+	p.record("urn:a", "http://b1/sql")
+	p.record("urn:b", "http://b1/sql")
+	p.record("urn:c", "http://b2/sql")
+	if b, ok := p.lookup("urn:a"); !ok || b != "http://b1/sql" {
+		t.Fatalf("lookup urn:a = %q, %v", b, ok)
+	}
+	if got := p.load("http://b1/sql"); got != 2 {
+		t.Fatalf("load b1 = %d, want 2", got)
+	}
+
+	// Re-recording the same placement is idempotent.
+	p.record("urn:a", "http://b1/sql")
+	if got := p.load("http://b1/sql"); got != 2 {
+		t.Fatalf("idempotent re-record changed load to %d", got)
+	}
+
+	// Relocation moves the count to the new backend.
+	p.record("urn:a", "http://b2/sql")
+	if got := p.load("http://b1/sql"); got != 1 {
+		t.Fatalf("after relocation load b1 = %d, want 1", got)
+	}
+	if got := p.load("http://b2/sql"); got != 2 {
+		t.Fatalf("after relocation load b2 = %d, want 2", got)
+	}
+
+	p.forget("urn:a")
+	if _, ok := p.lookup("urn:a"); ok {
+		t.Fatal("forgotten name still resolves")
+	}
+	if got := p.load("http://b2/sql"); got != 1 {
+		t.Fatalf("after forget load b2 = %d, want 1", got)
+	}
+	p.forget("urn:never-recorded") // no-op, must not panic
+}
+
+func TestPlacementLeastLoaded(t *testing.T) {
+	p := newPlacements()
+	p.record("urn:1", "http://b/sql")
+	p.record("urn:2", "http://b/sql")
+	p.record("urn:3", "http://c/sql")
+	if got := p.leastLoaded([]string{"http://b/sql", "http://c/sql", "http://a/sql"}); got != "http://a/sql" {
+		t.Fatalf("leastLoaded = %q, want the unloaded backend", got)
+	}
+	// Tie-break is lexicographic for determinism.
+	p.record("urn:4", "http://a/sql")
+	if got := p.leastLoaded([]string{"http://c/sql", "http://a/sql"}); got != "http://a/sql" {
+		t.Fatalf("tie-break = %q, want http://a/sql", got)
+	}
+	if got := p.leastLoaded(nil); got != "" {
+		t.Fatalf("leastLoaded(nil) = %q, want empty", got)
+	}
+}

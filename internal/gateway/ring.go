@@ -1,0 +1,112 @@
+package gateway
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// defaultReplicas is the virtual-node count per backend. 512 vnodes
+// keep the per-backend share of the key space within the federation
+// balance target (±15% across 3–16 backends, verified by the ring
+// property tests) while the whole ring still fits in tens of KiB.
+const defaultReplicas = 512
+
+// ring is a consistent-hash ring over backend endpoint URLs. Each
+// backend owns defaultReplicas points on a 64-bit circle; a key is
+// owned by the first backend point at or after the key's hash.
+// Ownership is a pure function of the backend set — independent of
+// insertion order — so every gateway instance routes a given abstract
+// name identically, and adding or removing one backend only moves the
+// keys that hashed into the vanished (or newly claimed) arcs.
+type ring struct {
+	backends []string // sorted, unique
+	points   []ringPoint
+}
+
+type ringPoint struct {
+	hash    uint64
+	backend string
+}
+
+// newRing builds the ring for a backend set (order-insensitive;
+// duplicates collapse).
+func newRing(backends []string) *ring {
+	uniq := map[string]bool{}
+	r := &ring{}
+	for _, b := range backends {
+		if b == "" || uniq[b] {
+			continue
+		}
+		uniq[b] = true
+		r.backends = append(r.backends, b)
+	}
+	sort.Strings(r.backends)
+	for _, b := range r.backends {
+		for i := 0; i < defaultReplicas; i++ {
+			r.points = append(r.points, ringPoint{hash: hash64(b + "#" + strconv.Itoa(i)), backend: b})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].backend < r.points[j].backend
+	})
+	return r
+}
+
+// Backends returns the sorted backend set.
+func (r *ring) Backends() []string { return r.backends }
+
+// Owner maps a key to its owning backend, skipping backends the
+// healthy predicate rejects (nil accepts all). When every backend is
+// unhealthy the primary owner is returned anyway — the caller's
+// forward will fail fast and surface the outage as a busy fault
+// rather than masking it as an unknown resource.
+func (r *ring) Owner(key string, healthy func(string) bool) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	primary := r.points[start%len(r.points)].backend
+	if healthy == nil {
+		return primary
+	}
+	seen := map[string]bool{}
+	for i := 0; i < len(r.points) && len(seen) < len(r.backends); i++ {
+		b := r.points[(start+i)%len(r.points)].backend
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		if healthy(b) {
+			return b
+		}
+	}
+	return primary
+}
+
+// hash64 is FNV-64a followed by a splitmix64 finalizer. Raw FNV on
+// near-identical strings (vnode labels differ only in their numeric
+// suffix) leaves enough correlation in the high bits to skew arc
+// lengths well past the federation's ±15% balance target; the
+// avalanche pass fixes that while staying deterministic across
+// processes (no seed).
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s)) //nolint:errcheck // fnv never fails
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche so every
+// input bit affects every output bit.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}

@@ -1,0 +1,152 @@
+package gateway
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// keys returns a deterministic pseudo-resource-name corpus.
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("urn:dais:sql:resource-%06d", i)
+	}
+	return out
+}
+
+func backendSet(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://backend-%02d:8090/sql", i)
+	}
+	return out
+}
+
+// TestRingBalance: across 3–16 backends every backend's share of a
+// 100k-key corpus stays within 15% of the even split.
+func TestRingBalance(t *testing.T) {
+	corpus := keys(100_000)
+	for n := 3; n <= 16; n++ {
+		r := newRing(backendSet(n))
+		counts := map[string]int{}
+		for _, k := range corpus {
+			counts[r.Owner(k, nil)]++
+		}
+		mean := float64(len(corpus)) / float64(n)
+		for b, c := range counts {
+			dev := (float64(c) - mean) / mean
+			if dev < -0.15 || dev > 0.15 {
+				t.Errorf("n=%d backend %s owns %d keys (%.1f%% off the mean %.0f)",
+					n, b, c, dev*100, mean)
+			}
+		}
+		if len(counts) != n {
+			t.Errorf("n=%d: only %d backends own keys", n, len(counts))
+		}
+	}
+}
+
+// TestRingMinimalMovement: adding or removing one backend moves close
+// to the theoretical minimum 1/(n+1) (resp. 1/n) of the keys, and
+// never relocates a key between two surviving backends on removal.
+func TestRingMinimalMovement(t *testing.T) {
+	corpus := keys(20_000)
+	backends := backendSet(8)
+	before := newRing(backends)
+	owners := make(map[string]string, len(corpus))
+	for _, k := range corpus {
+		owners[k] = before.Owner(k, nil)
+	}
+
+	// Add one backend: only keys that land on the newcomer may move.
+	grown := newRing(append(append([]string{}, backends...), "http://backend-99:8090/sql"))
+	moved := 0
+	for _, k := range corpus {
+		if o := grown.Owner(k, nil); o != owners[k] {
+			moved++
+			if o != "http://backend-99:8090/sql" {
+				t.Fatalf("key %s moved between surviving backends (%s -> %s)", k, owners[k], o)
+			}
+		}
+	}
+	expected := float64(len(corpus)) / 9
+	if f := float64(moved); f > 2*expected {
+		t.Errorf("add: moved %d keys, expected about %.0f", moved, expected)
+	}
+	if moved == 0 {
+		t.Error("add: no keys moved to the new backend")
+	}
+
+	// Remove one backend: only its keys move, everything else stays.
+	shrunk := newRing(backends[:7])
+	moved = 0
+	for _, k := range corpus {
+		o := shrunk.Owner(k, nil)
+		if owners[k] == backends[7] {
+			moved++
+			continue
+		}
+		if o != owners[k] {
+			t.Fatalf("key %s moved although its backend survived (%s -> %s)", k, owners[k], o)
+		}
+	}
+	if moved == 0 {
+		t.Error("remove: departed backend owned no keys")
+	}
+}
+
+// TestRingDeterministicOwnership: ownership is a pure function of the
+// backend set — shuffled construction orders agree on every key.
+func TestRingDeterministicOwnership(t *testing.T) {
+	corpus := keys(5_000)
+	backends := backendSet(11)
+	reference := newRing(backends)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]string{}, backends...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		r := newRing(shuffled)
+		for _, k := range corpus {
+			if got, want := r.Owner(k, nil), reference.Owner(k, nil); got != want {
+				t.Fatalf("trial %d: key %s owned by %s, want %s", trial, k, got, want)
+			}
+		}
+	}
+}
+
+// TestRingOwnerSkipsUnhealthy: the healthy filter reroutes to the next
+// live backend on the circle and falls back to the primary when the
+// whole cluster is down.
+func TestRingOwnerSkipsUnhealthy(t *testing.T) {
+	backends := backendSet(4)
+	r := newRing(backends)
+	key := "urn:dais:sql:victim"
+	primary := r.Owner(key, nil)
+	alt := r.Owner(key, func(b string) bool { return b != primary })
+	if alt == primary {
+		t.Fatalf("unhealthy primary %s still selected", primary)
+	}
+	if got := r.Owner(key, func(string) bool { return false }); got != primary {
+		t.Fatalf("all-down fallback = %s, want primary %s", got, primary)
+	}
+	// Rerouting is sticky: the same exclusion always lands on the same
+	// alternate.
+	for i := 0; i < 5; i++ {
+		if got := r.Owner(key, func(b string) bool { return b != primary }); got != alt {
+			t.Fatalf("reroute not deterministic: %s vs %s", got, alt)
+		}
+	}
+}
+
+// TestRingDuplicatesAndEmpty: duplicate and empty backend entries
+// collapse; an empty ring owns nothing.
+func TestRingDuplicatesAndEmpty(t *testing.T) {
+	r := newRing([]string{"http://a/sql", "http://a/sql", "", "http://b/sql"})
+	if got := len(r.Backends()); got != 2 {
+		t.Fatalf("backends = %d, want 2", got)
+	}
+	if o := newRing(nil).Owner("urn:x", nil); o != "" {
+		t.Fatalf("empty ring owner = %q", o)
+	}
+}

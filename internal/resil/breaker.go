@@ -149,16 +149,16 @@ func (b *Breaker) transition(to string) {
 
 // breakerGroup lazily creates one breaker per endpoint URL.
 type breakerGroup struct {
-	cfg BreakerConfig
-	now func() time.Time
-	m   *metrics
+	cfg      BreakerConfig
+	now      func() time.Time
+	onChange func(endpoint, to string)
 
 	mu sync.Mutex
 	by map[string]*Breaker
 }
 
-func newBreakerGroup(cfg BreakerConfig, now func() time.Time, m *metrics) *breakerGroup {
-	return &breakerGroup{cfg: cfg, now: now, m: m, by: make(map[string]*Breaker)}
+func newBreakerGroup(cfg BreakerConfig, now func() time.Time, onChange func(endpoint, to string)) *breakerGroup {
+	return &breakerGroup{cfg: cfg, now: now, onChange: onChange, by: make(map[string]*Breaker)}
 }
 
 // get returns the endpoint's breaker, or nil when breaking is disabled
@@ -172,7 +172,7 @@ func (g *breakerGroup) get(endpoint string) *Breaker {
 	if b, ok := g.by[endpoint]; ok {
 		return b
 	}
-	b := NewBreaker(endpoint, g.cfg, g.now, g.m.breakerTransition)
+	b := NewBreaker(endpoint, g.cfg, g.now, g.onChange)
 	g.by[endpoint] = b
 	return b
 }

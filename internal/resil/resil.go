@@ -71,6 +71,11 @@ type ClientConfig struct {
 	// Observer receives retry and breaker metrics on its registry (nil
 	// records nothing).
 	Observer *telemetry.Observer
+	// OnBreakerChange observes per-endpoint circuit state transitions in
+	// addition to the Observer's metrics (nil observes nothing). The
+	// federation gateway hooks this to mark a backend unhealthy the
+	// moment its breaker opens instead of waiting for the next probe.
+	OnBreakerChange func(endpoint, to string)
 
 	// Jitter maps a backoff ceiling to the actual delay; nil selects
 	// full jitter (uniform in [0, ceiling)). Tests inject identity for
@@ -231,7 +236,15 @@ func NewClientResilience(cfg ClientConfig) soap.Interceptor {
 	if cfg.Observer != nil {
 		m = metricsFor(cfg.Observer.Registry)
 	}
-	group := newBreakerGroup(cfg.Breaker, cfg.Now, m)
+	onChange := m.breakerTransition
+	if cfg.OnBreakerChange != nil {
+		user := cfg.OnBreakerChange
+		onChange = func(endpoint, to string) {
+			m.breakerTransition(endpoint, to)
+			user(endpoint, to)
+		}
+	}
+	group := newBreakerGroup(cfg.Breaker, cfg.Now, onChange)
 	return func(ctx context.Context, action string, env *soap.Envelope, next soap.HandlerFunc) (*soap.Envelope, error) {
 		policy := cfg.policyFor(ctx, action)
 		br := group.get(soap.EndpointFromContext(ctx))

@@ -44,7 +44,7 @@ func (e *Endpoint) admissionInterceptor() soap.Interceptor {
 			if countShed != nil {
 				countShed(name, scope)
 			}
-			return nil, toSOAPFault(err)
+			return nil, ToSOAPFault(err)
 		}
 		defer release()
 		return next(ctx, action, env)
@@ -61,7 +61,7 @@ func normalizeFaults() soap.Interceptor {
 		resp, err := next(ctx, action, env)
 		if err != nil {
 			if _, ok := err.(*soap.Fault); !ok && core.FaultName(err) != "" {
-				return resp, toSOAPFault(err)
+				return resp, ToSOAPFault(err)
 			}
 		}
 		return resp, err

@@ -37,11 +37,7 @@ func (e *Endpoint) registerCore() {
 	// GetResourceList addresses the service, not a resource (NoName), so
 	// it binds below the name-resolving dispatch.
 	e.bind(ops.GetResourceList, func(ctx context.Context, body *xmlutil.Element) (*xmlutil.Element, error) {
-		resp := ops.GetResourceList.NewResponse()
-		for _, n := range e.svc.GetResourceList() {
-			resp.AddText(NSDAI, "DataResourceAbstractName", n)
-		}
-		return resp, nil
+		return ops.ResourceListResponse(e.svc.GetResourceList()), nil
 	})
 	handleOp(e, ops.ResolveName, func(ctx context.Context, res core.DataResource, _ *ops.Empty) (*xmlutil.Element, error) {
 		resp := ops.ResolveName.NewResponse()

@@ -262,9 +262,11 @@ func ctxFault(ctx context.Context, err error) error {
 	return err
 }
 
-// toSOAPFault maps DAIS typed faults to SOAP faults with structured
-// detail; everything else becomes a Server fault.
-func toSOAPFault(err error) *soap.Fault {
+// ToSOAPFault maps DAIS typed faults to SOAP faults with structured
+// detail; everything else becomes a Server fault. Exported because the
+// federation gateway re-encodes backend typed faults onto its own wire
+// with exactly the shape a directly-dialed endpoint would produce.
+func ToSOAPFault(err error) *soap.Fault {
 	if f, ok := err.(*soap.Fault); ok {
 		return f
 	}

@@ -63,7 +63,7 @@ func TestFaultMappingRoundTrip(t *testing.T) {
 		&core.ServiceBusyFault{},
 	}
 	for _, in := range faults {
-		sf := toSOAPFault(in)
+		sf := ToSOAPFault(in)
 		// Simulate the wire: marshal the fault into an envelope.
 		env := soap.NewEnvelope(sf.Element())
 		parsed, err := soap.ParseEnvelope(env.Marshal())
@@ -91,7 +91,7 @@ func TestFaultMappingRoundTrip(t *testing.T) {
 		t.Fatal("plain error mangled")
 	}
 	// Untyped server faults stay SOAP faults.
-	sf := toSOAPFault(errors.New("boom"))
+	sf := ToSOAPFault(errors.New("boom"))
 	if sf.Code != "Server" {
 		t.Fatalf("code = %s", sf.Code)
 	}
@@ -99,7 +99,7 @@ func TestFaultMappingRoundTrip(t *testing.T) {
 
 func mustWireFault(t *testing.T, in error) *soap.Fault {
 	t.Helper()
-	env := soap.NewEnvelope(toSOAPFault(in).Element())
+	env := soap.NewEnvelope(ToSOAPFault(in).Element())
 	parsed, err := soap.ParseEnvelope(env.Marshal())
 	if err != nil {
 		t.Fatal(err)

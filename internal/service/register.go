@@ -28,12 +28,12 @@ func (e *Endpoint) bind(spec ops.Spec, f func(ctx context.Context, body *xmlutil
 		ctx = ops.WithCallInfo(ctx, spec.Info())
 		release, err := e.svc.Enter(ctx)
 		if err != nil {
-			return nil, toSOAPFault(err)
+			return nil, ToSOAPFault(err)
 		}
 		resp, err := f(ctx, body)
 		release()
 		if err != nil {
-			return nil, toSOAPFault(ctxFault(ctx, err))
+			return nil, ToSOAPFault(ctxFault(ctx, err))
 		}
 		out := soap.NewEnvelope(resp)
 		req := wsaddr.FromEnvelope(env)
