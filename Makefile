@@ -36,6 +36,7 @@ bench-smoke:
 # breaker recovery, admission shedding and the short soak. CI runs this.
 chaos:
 	$(GO) test -race -shuffle=on -count=1 -run 'TestChaos|TestAdmission' ./internal/service/
+	$(GO) test -race -shuffle=on -count=1 -run 'TestChaosVector' ./internal/sqlengine/
 
 # Streaming-pipeline chaos: chunked fetch of a spilled 100k-row
 # resource through a fault-injecting transport, asserting byte-identical

@@ -1,11 +1,11 @@
-// Command daisbench runs the evaluation suite E1–E13, E15 and E16
+// Command daisbench runs the evaluation suite E1–E13, E15, E16 and E18
 // (DESIGN.md §4 / EXPERIMENTS.md) end-to-end and prints one table per
 // experiment. Each experiment operationalises a quantifiable claim from
 // the paper; the expected shapes are documented in EXPERIMENTS.md. E13
 // additionally reports B/op and allocs/op columns and writes
-// BENCH_E13.json, E15 writes BENCH_E15.json, and E16 (federation
-// gateway overhead) writes BENCH_E16.json, so the perf trajectory is
-// tracked across PRs.
+// BENCH_E13.json, E15 writes BENCH_E15.json, E16 (federation gateway
+// overhead) writes BENCH_E16.json, and E18 (columnar execution core)
+// writes BENCH_E18.json, so the perf trajectory is tracked across PRs.
 //
 // Usage:
 //
@@ -232,6 +232,31 @@ func main() {
 			fatal("E15", err)
 		}
 		fmt.Println("\nE15 rows written to BENCH_E15.json")
+	}
+	if want("E18") {
+		e18Sizes := []int{10_000, 100_000, 1_000_000}
+		e18Iters := 5
+		if *quick {
+			e18Sizes = []int{10_000, 100_000}
+			e18Iters = 3
+		}
+		rows, err := bench.RunE18(e18Sizes, e18Iters)
+		fatal("E18", err)
+		table("E18 Columnar execution core: vectorised scan/filter/aggregate vs row executor",
+			"rows\tworkload\tvector/exec\trow/exec\tspeedup\tout rows\tbatches\tskipped",
+			func(w *tabwriter.Writer) {
+				for _, r := range rows {
+					fmt.Fprintf(w, "%d\t%s\t%v\t%v\t%.1fx\t%d\t%d\t%d\n",
+						r.Rows, r.Workload, r.VectorPer, r.RowPer, r.Speedup,
+						r.OutRows, r.Batches, r.Skipped)
+				}
+			})
+		data, err := json.MarshalIndent(rows, "", "  ")
+		fatal("E18", err)
+		if err := os.WriteFile("BENCH_E18.json", append(data, '\n'), 0o644); err != nil {
+			fatal("E18", err)
+		}
+		fmt.Println("\nE18 rows written to BENCH_E18.json")
 	}
 	if want("E16") {
 		e16Sizes := []int{30, 300, 3000}

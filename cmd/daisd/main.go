@@ -232,6 +232,9 @@ func buildServer(base string, cfg config) (*server, func()) {
 	// Plan-cache hit/miss/size counters land on /metrics, labelled by
 	// engine.
 	service.RegisterPlanCacheMetrics(obs.Registry, eng)
+	// Columnar-execution counters: chunks evaluated by vector kernels
+	// and chunks skipped outright via zone maps.
+	service.RegisterVectorMetrics(obs.Registry, eng)
 	var sqlOpts []dair.ResourceOption
 	if cfg.rowsetMemCap > 0 {
 		// Streaming delivery: derived rowsets answer GetTuples while the

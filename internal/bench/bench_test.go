@@ -228,6 +228,41 @@ func TestE11Shape(t *testing.T) {
 	}
 }
 
+func TestE18Shape(t *testing.T) {
+	rows, err := RunE18([]int{5000}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3 workloads", len(rows))
+	}
+	for _, r := range rows {
+		if r.OutRows <= 0 || r.VectorPer <= 0 || r.RowPer <= 0 {
+			t.Errorf("%s: degenerate measurement: %+v", r.Workload, r)
+		}
+		if r.Workload == "selective scan (zone-map skip)" {
+			// 5000 sequential ids, predicate id >= 4000: the first three
+			// 1024-row chunks are provably empty of matches.
+			if r.Skipped < 3 {
+				t.Errorf("zone maps skipped %d chunks, want >= 3", r.Skipped)
+			}
+		}
+		if r.Workload != "selective scan (zone-map skip)" && r.Batches == 0 {
+			t.Errorf("%s: no vector batches recorded", r.Workload)
+		}
+	}
+}
+
+// BenchmarkE18 wires the columnar-core experiment into `make
+// bench-smoke` (one tiny end-to-end run).
+func BenchmarkE18(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunE18([]int{5000}, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func TestE15Shape(t *testing.T) {
 	rows, err := RunE15(2000, []int{1, 4})
 	if err != nil {

@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dais/internal/sqlengine"
+)
+
+// E18Row is one workload of experiment E18 (columnar execution core):
+// the same query timed on the vectorised engine and on an identical
+// engine with vector execution disabled (row executor), plus the
+// chunk-level counters that explain the vector side's behaviour.
+type E18Row struct {
+	Rows      int           `json:"rows"`
+	Workload  string        `json:"workload"`
+	VectorPer time.Duration `json:"vector_per_ns"`
+	RowPer    time.Duration `json:"row_per_ns"`
+	Speedup   float64       `json:"speedup"`
+	OutRows   int           `json:"out_rows"`
+	Batches   uint64        `json:"vector_batches"`
+	Skipped   uint64        `json:"vector_chunks_skipped"`
+}
+
+// e18Engine seeds an engine with rows three-column rows in table events
+// — deliberately unindexed, so every query plans as a full scan and the
+// vector/row choice is the only variable. id is sequential (zone maps
+// can prune on it), grp and val cycle (every chunk spans their full
+// range, so those predicates exercise the kernels, not the zone maps).
+func e18Engine(name string, rows int, opts ...sqlengine.Option) *sqlengine.Engine {
+	eng := sqlengine.New(name, opts...)
+	eng.MustExec(`CREATE TABLE events (id INTEGER, grp INTEGER, val DOUBLE)`)
+	var sb strings.Builder
+	for i := 0; i < rows; i += 1000 {
+		sb.Reset()
+		sb.WriteString("INSERT INTO events VALUES ")
+		for j := i; j < i+1000 && j < rows; j++ {
+			if j > i {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, %d, %g)", j, j%101, float64(j%1000)*0.5)
+		}
+		eng.MustExec(sb.String())
+	}
+	return eng
+}
+
+// e18Time runs one query iters times on a session and returns the mean
+// wall time per execution and the result cardinality.
+func e18Time(s *sqlengine.Session, query string, iters int) (time.Duration, int, error) {
+	out := 0
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		res, err := s.Execute(query)
+		if err != nil {
+			return 0, 0, err
+		}
+		out = len(res.Set.Rows)
+	}
+	return time.Since(start) / time.Duration(iters), out, nil
+}
+
+// RunE18 measures the columnar execution core. For each table size,
+// two identically-seeded engines — one vectorised, one with
+// WithVectorDisabled (row executor) — run three workloads:
+//
+//   - a selective scan whose range predicate on the sequential id
+//     column lets zone maps skip almost every chunk;
+//   - a selective scan whose predicate columns span their full range in
+//     every chunk, so nothing is skippable and the speedup is purely
+//     the vectorised compare/AND kernels;
+//   - a grouped aggregate (COUNT/SUM/AVG over ~100 groups), vectorised
+//     hash aggregation against the row-at-a-time interpreter.
+//
+// Both sides must return the same cardinality; the vector side also
+// reports how many chunks its kernels touched vs skipped.
+func RunE18(sizes []int, iters int) ([]E18Row, error) {
+	var out []E18Row
+	for _, n := range sizes {
+		vecEng := e18Engine("e18-vec", n)
+		rowEng := e18Engine("e18-row", n, sqlengine.WithVectorDisabled())
+		vecSess, rowSess := vecEng.NewSession(), rowEng.NewSession()
+
+		workloads := []struct {
+			name  string
+			query string
+		}{
+			{"selective scan (zone-map skip)",
+				fmt.Sprintf(`SELECT id, grp, val FROM events WHERE id >= %d`, n-1000)},
+			{"selective scan (kernel filter)",
+				`SELECT id, val FROM events WHERE grp = 7 AND val > 100`},
+			{"grouped aggregate",
+				`SELECT grp, COUNT(*), SUM(val), AVG(val) FROM events GROUP BY grp`},
+		}
+		for _, w := range workloads {
+			// One warm-up execution per side builds the column chunks and
+			// the cached plan before the clock starts.
+			if _, _, err := e18Time(vecSess, w.query, 1); err != nil {
+				return nil, fmt.Errorf("E18 warm-up %q: %w", w.name, err)
+			}
+			if _, _, err := e18Time(rowSess, w.query, 1); err != nil {
+				return nil, fmt.Errorf("E18 warm-up %q: %w", w.name, err)
+			}
+
+			before := vecEng.VectorStats()
+			vecPer, vecRows, err := e18Time(vecSess, w.query, iters)
+			if err != nil {
+				return nil, fmt.Errorf("E18 %q (vector): %w", w.name, err)
+			}
+			after := vecEng.VectorStats()
+			rowPer, rowRows, err := e18Time(rowSess, w.query, iters)
+			if err != nil {
+				return nil, fmt.Errorf("E18 %q (row): %w", w.name, err)
+			}
+			if vecRows != rowRows {
+				return nil, fmt.Errorf("E18 %q: vector returned %d rows, row executor %d",
+					w.name, vecRows, rowRows)
+			}
+			out = append(out, E18Row{
+				Rows:      n,
+				Workload:  w.name,
+				VectorPer: vecPer,
+				RowPer:    rowPer,
+				Speedup:   float64(rowPer) / float64(vecPer),
+				OutRows:   vecRows,
+				Batches:   (after.Batches - before.Batches) / uint64(iters),
+				Skipped:   (after.ChunksSkipped - before.ChunksSkipped) / uint64(iters),
+			})
+		}
+	}
+	return out, nil
+}

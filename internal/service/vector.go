@@ -1,0 +1,34 @@
+package service
+
+import (
+	"dais/internal/sqlengine"
+	"dais/internal/telemetry"
+)
+
+// Metric names for the engine's columnar execution core. Bound here for
+// the same reason as the plan-cache metrics: sqlengine sits below
+// telemetry in the import graph, so the service layer is the one place
+// that connects engine counters to a registry.
+const (
+	// MetricVectorBatches counts column chunks evaluated by vectorised
+	// kernels (chunks skipped via zone maps are not included).
+	MetricVectorBatches = "dais_vector_batches_total"
+	// MetricVectorChunksSkipped counts column chunks skipped entirely
+	// because their zone maps proved no row could match the predicate.
+	MetricVectorChunksSkipped = "dais_vector_chunks_skipped_total"
+)
+
+// RegisterVectorMetrics exposes an engine's columnar-execution counters
+// on the registry as scrape-time samples, labelled with the engine
+// (database) name. A nil registry or engine is a no-op.
+func RegisterVectorMetrics(reg *telemetry.Registry, eng *sqlengine.Engine) {
+	if reg == nil || eng == nil {
+		return
+	}
+	labels := map[string]string{"engine": eng.Database().Name()}
+	reg.RegisterCollector(func(emit func(telemetry.Sample)) {
+		stats := eng.VectorStats()
+		emit(telemetry.Sample{Name: MetricVectorBatches, Labels: labels, Value: float64(stats.Batches)})
+		emit(telemetry.Sample{Name: MetricVectorChunksSkipped, Labels: labels, Value: float64(stats.ChunksSkipped)})
+	})
+}

@@ -1,0 +1,74 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"dais/internal/sqlengine"
+	"dais/internal/telemetry"
+)
+
+// TestVectorMetricsExposed scrapes an engine's columnar counters: both
+// series must appear with the engine label, and running a vectorised
+// scan between scrapes must move the batch counter.
+func TestVectorMetricsExposed(t *testing.T) {
+	eng := sqlengine.New("vecdb")
+	eng.MustExec(`CREATE TABLE t (id INTEGER, v INTEGER)`)
+	s := eng.NewSession()
+	for i := 0; i < 64; i++ {
+		if _, err := s.Execute(`INSERT INTO t VALUES (?, ?)`, sqlengine.NewInt(int64(i)), sqlengine.NewInt(int64(i%8))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	reg := telemetry.NewRegistry()
+	RegisterVectorMetrics(reg, eng)
+
+	scrape := func() string {
+		var buf bytes.Buffer
+		if err := reg.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+
+	if _, err := s.Execute(`SELECT COUNT(*) FROM t WHERE v > 3`); err != nil {
+		t.Fatal(err)
+	}
+	stats := eng.VectorStats()
+	if stats.Batches == 0 {
+		t.Fatal("expected at least one vector batch")
+	}
+	text := scrape()
+	for _, want := range []string{
+		fmt.Sprintf(`%s{engine="vecdb"} %d`, MetricVectorBatches, stats.Batches),
+		fmt.Sprintf(`%s{engine="vecdb"} %d`, MetricVectorChunksSkipped, stats.ChunksSkipped),
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("scrape missing %q:\n%s", want, text)
+		}
+	}
+
+	// Another scan moves the counter on the next scrape.
+	if _, err := s.Execute(`SELECT COUNT(*) FROM t WHERE v > 5`); err != nil {
+		t.Fatal(err)
+	}
+	after := eng.VectorStats()
+	if after.Batches <= stats.Batches {
+		t.Fatalf("expected extra batch: %+v -> %+v", stats, after)
+	}
+	text = scrape()
+	want := fmt.Sprintf(`%s{engine="vecdb"} %d`, MetricVectorBatches, after.Batches)
+	if !strings.Contains(text, want) {
+		t.Fatalf("second scrape missing %q:\n%s", want, text)
+	}
+}
+
+// TestRegisterVectorMetricsNil pins the documented no-op contract.
+func TestRegisterVectorMetricsNil(t *testing.T) {
+	RegisterVectorMetrics(nil, nil)
+	RegisterVectorMetrics(telemetry.NewRegistry(), nil)
+	RegisterVectorMetrics(nil, sqlengine.New("x"))
+}

@@ -1,0 +1,434 @@
+package sqlengine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+)
+
+// Vectorised aggregation: GROUP BY / aggregate SELECTs over a single
+// base table compile into an aggPlan that folds column chunks into
+// typed accumulators — no per-row evalEnv, no per-row group-row
+// slices. The compilable class is chosen so results are byte-identical
+// to execGrouped; anything outside it (HAVING, DISTINCT, expression
+// aggregates, non-ordinal ORDER BY, ...) stays on the interpreter.
+
+type aggItemKind int
+
+const (
+	aggCountStar aggItemKind = iota // COUNT(*)
+	aggCount                        // COUNT(col): non-null count
+	aggMin
+	aggMax
+	aggSum
+	aggAvg
+	aggGroupCol // plain column: the group's first row value
+)
+
+type aggItem struct {
+	kind aggItemKind
+	col  int // base-column ordinal (unused for COUNT(*))
+}
+
+// aggPlan is a compiled aggregate query: items classified, GROUP BY
+// resolved to base columns, the WHERE predicate vector-compiled, and
+// ORDER BY restricted to output ordinals. Valid only while the schema
+// epoch matches.
+type aggPlan struct {
+	sel   *SelectStmt
+	epoch uint64
+
+	t        *Table
+	projCols []ResultColumn
+	items    []aggItem
+	groupBy  []int
+	pred     vecPred // nil when no WHERE clause
+
+	orderIdx []int // output ordinals for ORDER BY keys
+	explain  []string
+}
+
+// planAggregate compiles a grouped/aggregate SELECT, or reports
+// ok=false when any part is outside the vectorisable class — the
+// interpreter then runs the statement, including producing any errors
+// (a plan-time bail is always safe because the fallback IS the
+// reference implementation). Caller holds d.mu for reading.
+func (d *Database) planAggregate(sel *SelectStmt) (*aggPlan, bool) {
+	switch {
+	case len(sel.Unions) > 0 || sel.Distinct || sel.Having != nil:
+		return nil, false
+	case len(sel.GroupBy) == 0 && !selectHasAggregate(sel):
+		return nil, false // not a grouped query; planSelect owns it
+	case sel.From == nil || sel.From.Subquery != nil || len(sel.Joins) > 0:
+		return nil, false
+	}
+	if sel.Where != nil && containsAggregate(sel.Where) {
+		return nil, false
+	}
+	if _, isView := d.views[strings.ToLower(sel.From.Table)]; isView {
+		return nil, false
+	}
+	t, err := d.table(sel.From.Table)
+	if err != nil {
+		return nil, false
+	}
+	qual := strings.ToLower(sel.From.Table)
+	if sel.From.Alias != "" {
+		qual = strings.ToLower(sel.From.Alias)
+	}
+	cols := make([]boundColumn, len(t.Columns))
+	for i, c := range t.Columns {
+		cols[i] = boundColumn{qualifier: qual, name: strings.ToLower(c.Name), typ: c.Type, origName: c.Name}
+	}
+	env := &evalEnv{cols: cols}
+	projCols, projExprs, err := expandSelectItems(sel, env)
+	if err != nil {
+		return nil, false
+	}
+
+	ap := &aggPlan{sel: sel, epoch: d.epoch, t: t, projCols: projCols}
+
+	// GROUP BY: plain base columns only.
+	for _, ge := range sel.GroupBy {
+		re, ok := rewriteExpr(ge, cols)
+		if !ok {
+			return nil, false
+		}
+		bc, ok := re.(*boundColExpr)
+		if !ok || bc.idx >= len(t.Columns) {
+			return nil, false
+		}
+		ap.groupBy = append(ap.groupBy, bc.idx)
+	}
+
+	// Select items: direct aggregates over a plain column, COUNT(*), or
+	// a plain column (grouped only — with no GROUP BY the interpreter
+	// has no first row to read and the query is malformed anyway).
+	for _, e := range projExprs {
+		re, ok := rewriteExpr(e, cols)
+		if !ok {
+			return nil, false
+		}
+		switch n := re.(type) {
+		case *boundColExpr:
+			if len(ap.groupBy) == 0 || n.idx >= len(t.Columns) {
+				return nil, false
+			}
+			ap.items = append(ap.items, aggItem{kind: aggGroupCol, col: n.idx})
+		case *FuncExpr:
+			if !aggregateNames[n.Name] || n.Distinct {
+				return nil, false
+			}
+			if n.Star {
+				if n.Name != "COUNT" {
+					return nil, false // interpreter errors; let it
+				}
+				ap.items = append(ap.items, aggItem{kind: aggCountStar})
+				continue
+			}
+			if len(n.Args) != 1 {
+				return nil, false
+			}
+			bc, ok := n.Args[0].(*boundColExpr)
+			if !ok || bc.idx >= len(t.Columns) {
+				return nil, false
+			}
+			var kind aggItemKind
+			switch n.Name {
+			case "COUNT":
+				kind = aggCount
+			case "MIN":
+				kind = aggMin
+			case "MAX":
+				kind = aggMax
+			case "SUM", "AVG":
+				if !t.Columns[bc.idx].Type.isNumeric() {
+					return nil, false // interpreter errors per group; let it
+				}
+				if n.Name == "SUM" {
+					kind = aggSum
+				} else {
+					kind = aggAvg
+				}
+			default:
+				return nil, false
+			}
+			ap.items = append(ap.items, aggItem{kind: kind, col: bc.idx})
+		default:
+			return nil, false
+		}
+	}
+
+	// ORDER BY: output ordinals only; names would resolve through the
+	// grouped alias scope, which only the interpreter reproduces.
+	for _, oi := range sel.OrderBy {
+		ord, ok := ordinalRef(oi.Expr, len(ap.items))
+		if !ok {
+			return nil, false
+		}
+		ap.orderIdx = append(ap.orderIdx, ord)
+	}
+
+	// WHERE: must compile to vector kernels (folded first, as the
+	// select planner does).
+	if sel.Where != nil {
+		w, ok := rewriteExpr(sel.Where, cols)
+		if !ok {
+			return nil, false
+		}
+		ap.pred, ok = compileVecPred(foldConstants(w), t)
+		if !ok {
+			return nil, false
+		}
+	}
+
+	ap.explain = ap.explainLines()
+	return ap, true
+}
+
+func (ap *aggPlan) explainLines() []string {
+	lines := []string{fmt.Sprintf("select on %q (vectorised aggregate)", ap.t.Name)}
+	lines = append(lines, "  access: full scan")
+	lines = append(lines, fmt.Sprintf("  vector: columnar scan (chunks of %d rows)", chunkRows))
+	if ap.pred != nil {
+		lines = append(lines, "  vector filter: compiled kernels with zone-map skipping (row fallback on bind failure)")
+	}
+	lines = append(lines, fmt.Sprintf("  aggregate: %d item(s), group by %d column(s)", len(ap.items), len(ap.groupBy)))
+	if len(ap.orderIdx) > 0 {
+		lines = append(lines, fmt.Sprintf("  order: sort on %d key(s)", len(ap.orderIdx)))
+	}
+	if ap.sel.Offset != nil {
+		lines = append(lines, "  offset: yes")
+	}
+	if ap.sel.Limit != nil {
+		lines = append(lines, "  limit: yes")
+	}
+	return lines
+}
+
+// aggAcc accumulates one aggregate item over one group. MIN/MAX keep
+// the stored Value and replace only on a strict Compare win, exactly
+// like evalAggregate — so NaN never displaces a value and is never
+// displaced, and ties keep the first-seen value.
+type aggAcc struct {
+	count int64
+	sumI  int64
+	sumF  float64
+	has   bool
+	best  Value
+}
+
+type aggGroup struct {
+	n     int64 // total rows, for COUNT(*)
+	first []Value
+	accs  []aggAcc
+}
+
+// execAggPlan runs a compiled aggregate. handled=false means a
+// bind-time fallback and the interpreter must run. Caller holds d.mu
+// for reading and has verified ap.epoch == d.epoch.
+func (d *Database) execAggPlan(ctx context.Context, ap *aggPlan, params []Value) (set *ResultSet, handled bool, err error) {
+	var bp boundVec
+	if ap.pred != nil {
+		var ok bool
+		bp, ok = bindVecPred(ap.pred, params, ap.t)
+		if !ok {
+			return nil, false, nil
+		}
+	}
+	tc := ap.t.ensureChunks()
+	if !tc.ok {
+		return nil, false, nil
+	}
+
+	var groups []*aggGroup
+	newGroup := func(ch *colChunk, i int) *aggGroup {
+		g := &aggGroup{accs: make([]aggAcc, len(ap.items))}
+		if len(ap.groupBy) > 0 {
+			g.first = make([]Value, len(ap.items))
+			for k, it := range ap.items {
+				if it.kind == aggGroupCol {
+					g.first[k] = ch.vecs[it.col].value(i)
+				}
+			}
+		}
+		groups = append(groups, g)
+		return g
+	}
+
+	// Group lookup: a dense int64 map when grouping by one integer
+	// column (the NULL group keyed separately), otherwise the
+	// interpreter's own composite group-key bytes.
+	intKeyed := false
+	var intGroups map[int64]*aggGroup
+	var nullGroup *aggGroup
+	var strGroups map[string]*aggGroup
+	if len(ap.groupBy) == 1 {
+		gt := ap.t.Columns[ap.groupBy[0]].Type
+		if gt == TypeInteger || gt == TypeBigint {
+			intKeyed = true
+			intGroups = map[int64]*aggGroup{}
+		}
+	}
+	if !intKeyed {
+		strGroups = map[string]*aggGroup{}
+	}
+	var keyBuf []byte
+
+	var selbuf [chunkRows]int8
+	for _, ch := range tc.chunks {
+		if err := ctxCheck(ctx); err != nil {
+			return nil, true, err
+		}
+		if bp != nil && chunkSkippable(bp, ch) {
+			d.vecSkipped.Add(1)
+			continue
+		}
+		d.vecBatches.Add(1)
+		sel := selbuf[:ch.n]
+		if bp != nil {
+			bp.eval(ch, sel)
+		} else {
+			for i := range sel {
+				sel[i] = triT
+			}
+		}
+		for i := 0; i < ch.n; i++ {
+			if sel[i] != triT {
+				continue
+			}
+			var g *aggGroup
+			switch {
+			case len(ap.groupBy) == 0:
+				if len(groups) == 0 {
+					g = newGroup(ch, i)
+				} else {
+					g = groups[0]
+				}
+			case intKeyed:
+				v := &ch.vecs[ap.groupBy[0]]
+				if v.nulls.get(i) {
+					if nullGroup == nil {
+						nullGroup = newGroup(ch, i)
+					}
+					g = nullGroup
+				} else {
+					k := v.ints[i]
+					g = intGroups[k]
+					if g == nil {
+						g = newGroup(ch, i)
+						intGroups[k] = g
+					}
+				}
+			default:
+				keyBuf = keyBuf[:0]
+				for _, gc := range ap.groupBy {
+					keyBuf = ch.vecs[gc].appendGroupKey(keyBuf, i)
+					keyBuf = append(keyBuf, '\x01')
+				}
+				g = strGroups[string(keyBuf)]
+				if g == nil {
+					g = newGroup(ch, i)
+					strGroups[string(keyBuf)] = g
+				}
+			}
+			g.n++
+			for k := range ap.items {
+				it := &ap.items[k]
+				if it.kind == aggCountStar || it.kind == aggGroupCol {
+					continue
+				}
+				v := &ch.vecs[it.col]
+				if v.nulls.get(i) {
+					continue
+				}
+				acc := &g.accs[k]
+				switch it.kind {
+				case aggCount:
+					acc.count++
+				case aggSum, aggAvg:
+					acc.count++
+					switch v.typ {
+					case TypeDouble:
+						acc.sumF += v.flts[i]
+					default:
+						acc.sumI += v.ints[i]
+						acc.sumF += float64(v.ints[i])
+					}
+				case aggMin, aggMax:
+					val := v.value(i)
+					if !acc.has {
+						acc.has, acc.best = true, val
+						continue
+					}
+					c, _ := Compare(val, acc.best) // same column type: no error
+					if (it.kind == aggMin && c < 0) || (it.kind == aggMax && c > 0) {
+						acc.best = val
+					}
+				}
+			}
+		}
+	}
+
+	// No GROUP BY: one implicit group even over zero rows.
+	if len(ap.groupBy) == 0 && len(groups) == 0 {
+		groups = append(groups, &aggGroup{accs: make([]aggAcc, len(ap.items))})
+	}
+
+	out := &ResultSet{Columns: ap.projCols}
+	var orderKeys [][]Value
+	for _, g := range groups {
+		vals := make([]Value, len(ap.items))
+		for k, it := range ap.items {
+			acc := &g.accs[k]
+			switch it.kind {
+			case aggCountStar:
+				vals[k] = NewBigint(g.n)
+			case aggCount:
+				vals[k] = NewBigint(acc.count)
+			case aggGroupCol:
+				vals[k] = g.first[k]
+			case aggMin, aggMax:
+				if !acc.has {
+					vals[k] = Null
+				} else {
+					vals[k] = acc.best
+				}
+			case aggSum:
+				switch {
+				case acc.count == 0:
+					vals[k] = Null
+				case ap.t.Columns[it.col].Type == TypeDouble:
+					vals[k] = NewDouble(acc.sumF)
+				default:
+					vals[k] = NewBigint(acc.sumI)
+				}
+			case aggAvg:
+				if acc.count == 0 {
+					vals[k] = Null
+				} else {
+					vals[k] = NewDouble(acc.sumF / float64(acc.count))
+				}
+			}
+		}
+		out.Rows = append(out.Rows, vals)
+		if len(ap.orderIdx) > 0 {
+			keys := make([]Value, len(ap.orderIdx))
+			for ki, ord := range ap.orderIdx {
+				keys[ki] = vals[ord]
+			}
+			orderKeys = append(orderKeys, keys)
+		}
+	}
+
+	env := &evalEnv{params: params, db: d, ctx: ctx}
+	if len(ap.orderIdx) > 0 {
+		if err := sortRows(out, orderKeys, ap.sel.OrderBy); err != nil {
+			return nil, true, err
+		}
+	}
+	if err := applyOffsetLimit(out, ap.sel, env); err != nil {
+		return nil, true, err
+	}
+	return out, true, nil
+}

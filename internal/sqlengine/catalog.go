@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Column is catalog metadata for one table column.
@@ -32,6 +33,12 @@ type Table struct {
 
 	indexes    map[string]*Index        // lower-cased index name -> hash index
 	ordIndexes map[string]*OrderedIndex // lower-cased index name -> ordered index
+
+	// chunks is the lazily built columnar representation (column.go);
+	// chunkMu serialises concurrent builds by readers holding the
+	// database latch in shared mode.
+	chunkMu sync.Mutex
+	chunks  *tableChunks
 }
 
 // Index is a hash index over a single column.
@@ -113,6 +120,7 @@ func (t *Table) insertRow(row []Value) (int64, error) {
 	for _, ix := range t.ordIndexes {
 		ix.insert(row[t.ColumnIndex(ix.Column)], id)
 	}
+	t.chunkAppendRow(id, row)
 	return id, nil
 }
 
@@ -138,6 +146,7 @@ func (t *Table) deleteRow(id int64) {
 			break
 		}
 	}
+	t.invalidateChunks()
 }
 
 // updateRow replaces a row's values in place, maintaining indexes.
@@ -199,6 +208,7 @@ func (t *Table) updateRow(id int64, newRow []Value) error {
 		ix.insert(nv, id)
 	}
 	t.rows[id] = newRow
+	t.invalidateChunks()
 	return nil
 }
 
@@ -239,6 +249,15 @@ type Database struct {
 	// epoch they were built against and are discarded when it moves, so
 	// a cached plan can never see a schema it was not planned for.
 	epoch uint64
+
+	// vectorOff disables the columnar execution paths for this database
+	// (set at engine construction, immutable afterwards); the global
+	// disableVector test toggle has the same effect process-wide.
+	vectorOff bool
+
+	// Columnar execution counters, exported via Engine.VectorStats.
+	vecBatches atomic.Uint64 // chunks evaluated by vector operators
+	vecSkipped atomic.Uint64 // chunks skipped by zone maps
 }
 
 // viewDef is a stored view: a name bound to a SELECT.

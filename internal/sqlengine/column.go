@@ -1,0 +1,232 @@
+package sqlengine
+
+import (
+	"math"
+	"strconv"
+	"time"
+)
+
+// chunkRows is the number of rows per column chunk. 1024 keeps a
+// chunk's per-column vector inside a few cache lines' worth of pages
+// while amortising per-chunk overhead (zone-map checks, context
+// probes) over enough rows to vanish.
+const chunkRows = 1024
+
+// bitset is a fixed-capacity null bitmap: bit i set means row i of the
+// chunk is SQL NULL in that column.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b bitset) get(i int) bool { return b[i>>6]>>(uint(i)&63)&1 != 0 }
+
+// colVec is one column's slice of one chunk: a dense typed vector with
+// a null bitmap and zone-map statistics. Only the slice matching the
+// column type is populated; null rows hold the zero value so vector
+// indexes stay aligned with chunk row positions.
+type colVec struct {
+	typ   Type
+	nulls bitset
+	ints  []int64
+	flts  []float64
+	strs  []string
+	bools []bool
+	times []time.Time
+
+	// Zone map: nonNull counts non-null rows; min/max order every
+	// non-NaN non-null value (statN of them). NaN is excluded from
+	// min/max — Compare treats NaN as equal to everything, so a chunk
+	// containing NaN can never be skipped by ordering bounds — and
+	// hasNaN records its presence.
+	nonNull int
+	statN   int
+	hasNaN  bool
+	min     Value
+	max     Value
+}
+
+func (v *colVec) isNull(i int) bool { return v.nulls.get(i) }
+
+// value reconstructs the stored Value for row i. The result is
+// field-identical to the row-store Value (INSERT coerces to the column
+// type, so stored values carry exactly one populated field).
+func (v *colVec) value(i int) Value {
+	if v.nulls.get(i) {
+		return Null
+	}
+	switch v.typ {
+	case TypeInteger, TypeBigint:
+		return Value{Type: v.typ, I: v.ints[i]}
+	case TypeDouble:
+		return Value{Type: TypeDouble, F: v.flts[i]}
+	case TypeVarchar:
+		return Value{Type: TypeVarchar, S: v.strs[i]}
+	case TypeBoolean:
+		return Value{Type: TypeBoolean, B: v.bools[i]}
+	case TypeTimestamp:
+		return Value{Type: TypeTimestamp, T: v.times[i]}
+	}
+	return Null
+}
+
+// appendGroupKey appends row i's grouping rendering, byte-identical to
+// Value.groupKey, so columnar aggregation partitions rows exactly as
+// the interpreter does.
+func (v *colVec) appendGroupKey(dst []byte, i int) []byte {
+	if v.nulls.get(i) {
+		return append(dst, "\x00null"...)
+	}
+	dst = strconv.AppendInt(dst, int64(v.typ), 10)
+	dst = append(dst, 0)
+	switch v.typ {
+	case TypeInteger, TypeBigint:
+		return strconv.AppendInt(dst, v.ints[i], 10)
+	case TypeDouble:
+		return strconv.AppendFloat(dst, v.flts[i], 'g', -1, 64)
+	case TypeVarchar:
+		return append(dst, v.strs[i]...)
+	case TypeBoolean:
+		if v.bools[i] {
+			return append(dst, "true"...)
+		}
+		return append(dst, "false"...)
+	case TypeTimestamp:
+		return v.times[i].UTC().AppendFormat(dst, time.RFC3339Nano)
+	}
+	return dst
+}
+
+// push appends one value, updating the zone map. ok=false reports a
+// stored value whose runtime type disagrees with the column type —
+// impossible through the DML paths, which coerce, but a cheap guard
+// against silently mis-slotting a value.
+func (v *colVec) push(i int, val Value) bool {
+	if val.IsNull() {
+		v.nulls.set(i)
+		switch v.typ {
+		case TypeInteger, TypeBigint:
+			v.ints = append(v.ints, 0)
+		case TypeDouble:
+			v.flts = append(v.flts, 0)
+		case TypeVarchar:
+			v.strs = append(v.strs, "")
+		case TypeBoolean:
+			v.bools = append(v.bools, false)
+		case TypeTimestamp:
+			v.times = append(v.times, time.Time{})
+		}
+		return true
+	}
+	if val.Type != v.typ {
+		return false
+	}
+	v.nonNull++
+	switch v.typ {
+	case TypeInteger, TypeBigint:
+		v.ints = append(v.ints, val.I)
+	case TypeDouble:
+		v.flts = append(v.flts, val.F)
+		if math.IsNaN(val.F) {
+			v.hasNaN = true
+			return true // excluded from min/max
+		}
+	case TypeVarchar:
+		v.strs = append(v.strs, val.S)
+	case TypeBoolean:
+		v.bools = append(v.bools, val.B)
+	case TypeTimestamp:
+		v.times = append(v.times, val.T)
+	}
+	if v.statN == 0 {
+		v.min, v.max = val, val
+	} else {
+		if c, err := Compare(val, v.min); err == nil && c < 0 {
+			v.min = val
+		}
+		if c, err := Compare(val, v.max); err == nil && c > 0 {
+			v.max = val
+		}
+	}
+	v.statN++
+	return true
+}
+
+// colChunk is a fixed-size horizontal slice of a table in columnar
+// layout: one typed vector per column plus the owning rowIDs in scan
+// order.
+type colChunk struct {
+	n    int
+	ids  []int64
+	vecs []colVec
+}
+
+// tableChunks is a table's full column-chunk representation. ok=false
+// marks a table whose stored values defeated the columnar layout (a
+// type-mismatched value); vector execution then falls back to rows.
+type tableChunks struct {
+	ok     bool
+	chunks []*colChunk
+}
+
+func newColChunk(cols []Column) *colChunk {
+	ch := &colChunk{ids: make([]int64, 0, chunkRows), vecs: make([]colVec, len(cols))}
+	for i, c := range cols {
+		ch.vecs[i] = colVec{typ: c.Type, nulls: newBitset(chunkRows)}
+	}
+	return ch
+}
+
+// pushRow appends one row to the chunk set, opening a new chunk at the
+// fixed boundary.
+func (tc *tableChunks) pushRow(cols []Column, id int64, row []Value) {
+	var ch *colChunk
+	if n := len(tc.chunks); n > 0 && tc.chunks[n-1].n < chunkRows {
+		ch = tc.chunks[n-1]
+	} else {
+		ch = newColChunk(cols)
+		tc.chunks = append(tc.chunks, ch)
+	}
+	pos := ch.n
+	ch.ids = append(ch.ids, id)
+	for i := range ch.vecs {
+		if !ch.vecs[i].push(pos, row[i]) {
+			tc.ok = false
+		}
+	}
+	ch.n++
+}
+
+// ensureChunks returns the table's column-chunk representation,
+// building it lazily from the row store. Callers must hold the
+// database latch (shared suffices); chunkMu serialises concurrent
+// reader builds, and writers — who hold the latch exclusively and are
+// therefore alone — invalidate or append without it. The RWMutex
+// hand-off orders a reader's build before any later writer's access.
+func (t *Table) ensureChunks() *tableChunks {
+	t.chunkMu.Lock()
+	defer t.chunkMu.Unlock()
+	if t.chunks == nil {
+		tc := &tableChunks{ok: true}
+		for _, id := range t.order {
+			tc.pushRow(t.Columns, id, t.rows[id])
+		}
+		t.chunks = tc
+	}
+	return t.chunks
+}
+
+// invalidateChunks drops the cached columnar representation. Called by
+// every mutation that cannot be expressed as an append (UPDATE,
+// DELETE, rollback re-insertion); caller holds the latch exclusively.
+func (t *Table) invalidateChunks() { t.chunks = nil }
+
+// chunkAppendRow keeps a live chunk cache current across INSERT, the
+// one mutation that preserves scan order. Caller holds the latch
+// exclusively.
+func (t *Table) chunkAppendRow(id int64, row []Value) {
+	if t.chunks == nil {
+		return
+	}
+	t.chunks.pushRow(t.Columns, id, row)
+}

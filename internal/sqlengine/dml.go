@@ -243,9 +243,12 @@ func (d *Database) applyUndo(entries []undoEntry) {
 			t.deleteRow(e.rowID)
 		case undoDelete:
 			// Restore with the original rowID to keep ordering stable.
+			// This splices into the middle of scan order, so the chunk
+			// cache (rebuilt on append order) must be dropped.
 			t.rows[e.rowID] = e.row
 			t.order = append(t.order, e.rowID)
 			sortIDs(t.order)
+			t.invalidateChunks()
 			for _, idx := range t.indexes {
 				ci := t.ColumnIndex(idx.Column)
 				if v := e.row[ci]; !v.IsNull() {
@@ -261,6 +264,7 @@ func (d *Database) applyUndo(entries []undoEntry) {
 			// raw write if it reports an error (it cannot in practice).
 			if err := t.updateRow(e.rowID, e.row); err != nil {
 				t.rows[e.rowID] = e.row
+				t.invalidateChunks()
 			}
 		}
 	}

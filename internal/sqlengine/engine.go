@@ -102,6 +102,32 @@ func WithLockTimeout(d time.Duration) Option {
 	return func(e *Engine) { e.locks.timeout = d }
 }
 
+// WithVectorDisabled turns off columnar (vectorised) execution for this
+// engine: every statement runs through the row operators or the
+// interpreter. Intended for equivalence testing and benchmarking.
+func WithVectorDisabled() Option {
+	return func(e *Engine) { e.db.vectorOff = true }
+}
+
+// VectorStats is a point-in-time snapshot of columnar execution
+// counters.
+type VectorStats struct {
+	// Batches is the number of column chunks evaluated by vector
+	// kernels.
+	Batches uint64
+	// ChunksSkipped is the number of column chunks eliminated by
+	// zone-map analysis without touching their vectors.
+	ChunksSkipped uint64
+}
+
+// VectorStats returns the engine's columnar execution counters.
+func (e *Engine) VectorStats() VectorStats {
+	return VectorStats{
+		Batches:       e.db.vecBatches.Load(),
+		ChunksSkipped: e.db.vecSkipped.Load(),
+	}
+}
+
 // New creates an empty engine whose database has the given name.
 func New(name string, opts ...Option) *Engine {
 	e := &Engine{
@@ -313,9 +339,16 @@ func (s *Session) run(ctx context.Context, st Statement, params []Value) (*Resul
 		db.mu.RLock()
 		var set *ResultSet
 		var err error
+		handled := false
 		if p := s.currentPlan(n); p != nil && p.epoch == db.epoch {
 			set, err = db.execPlan(ctx, p, params)
-		} else {
+			handled = true
+		} else if ap := s.currentAggPlan(n); ap != nil && ap.epoch == db.epoch {
+			// handled=false here is a bind-time fallback; the interpreter
+			// below reproduces the statement exactly (including errors).
+			set, handled, err = db.execAggPlan(ctx, ap, params)
+		}
+		if !handled && err == nil {
 			set, err = db.execSelect(ctx, n, params)
 		}
 		db.mu.RUnlock()
@@ -408,6 +441,18 @@ func (s *Session) currentPlan(n *SelectStmt) *selectPlan {
 		return nil
 	}
 	return s.prep.plan
+}
+
+// currentAggPlan is currentPlan for vectorised aggregate plans; it also
+// honours the vector toggles so disabled engines always interpret.
+func (s *Session) currentAggPlan(n *SelectStmt) *aggPlan {
+	if disablePlanner || s.prep == nil || s.prep.agg == nil || s.prep.agg.sel != n {
+		return nil
+	}
+	if !s.engine.db.vectorEnabled() {
+		return nil
+	}
+	return s.prep.agg
 }
 
 // Explain describes the physical plan the engine would use for one

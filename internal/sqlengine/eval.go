@@ -505,10 +505,12 @@ func evalArith(op string, l, r Value) (Value, error) {
 // likeCache memoises compiled LIKE patterns.
 var likeCache sync.Map // string -> *regexp.Regexp
 
-// likeMatch implements SQL LIKE with % and _ wildcards.
-func likeMatch(s, pattern string) (bool, error) {
+// compileLike translates a LIKE pattern (% and _ wildcards) into a
+// cached regexp. Shared by the row evaluator and the vectorised LIKE
+// kernel so both paths match byte-identically.
+func compileLike(pattern string) (*regexp.Regexp, error) {
 	if re, ok := likeCache.Load(pattern); ok {
-		return re.(*regexp.Regexp).MatchString(s), nil
+		return re.(*regexp.Regexp), nil
 	}
 	var b strings.Builder
 	b.WriteString("(?s)^")
@@ -525,9 +527,18 @@ func likeMatch(s, pattern string) (bool, error) {
 	b.WriteString("$")
 	re, err := regexp.Compile(b.String())
 	if err != nil {
-		return false, fmt.Errorf("bad LIKE pattern %q: %w", pattern, err)
+		return nil, fmt.Errorf("bad LIKE pattern %q: %w", pattern, err)
 	}
 	likeCache.Store(pattern, re)
+	return re, nil
+}
+
+// likeMatch implements SQL LIKE with % and _ wildcards.
+func likeMatch(s, pattern string) (bool, error) {
+	re, err := compileLike(pattern)
+	if err != nil {
+		return false, err
+	}
 	return re.MatchString(s), nil
 }
 

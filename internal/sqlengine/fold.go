@@ -1,0 +1,191 @@
+package sqlengine
+
+// Constant folding collapses literal-only predicate subtrees at plan
+// time so `WHERE 1=1 AND x > 5` reaches the access-path chooser and
+// the vector-predicate compiler as `WHERE x > 5`. The folded tree is
+// used ONLY for planning (conjunct extraction, vector compilation);
+// the row executor keeps the original tree, so any expression the
+// fold cannot prove error-free keeps its exact interpreted behaviour.
+//
+// Folding is pure: input trees are never mutated (plans share ASTs
+// with the statement cache), and a subtree is only eliminated when
+// the eliminated side is literal — `X AND FALSE` is NOT folded because
+// the interpreter evaluates X first and X may error.
+
+// isFoldedLiteral reports e is a literal after folding.
+func isFoldedLiteral(e Expr) (Value, bool) {
+	if l, ok := e.(*LiteralExpr); ok {
+		return l.Value, true
+	}
+	return Null, false
+}
+
+// boolShaped reports that e always evaluates to BOOLEAN or NULL (never
+// another type, though it may error), so `TRUE AND e` ≡ `e` exactly.
+func boolShaped(e Expr) bool {
+	switch n := e.(type) {
+	case *BinaryExpr:
+		switch n.Op {
+		case "=", "<>", "<", "<=", ">", ">=", "AND", "OR", "LIKE":
+			return true
+		}
+		return false
+	case *UnaryExpr:
+		return n.Op == "NOT"
+	case *IsNullExpr, *BetweenExpr, *InExpr, *ExistsExpr:
+		return true
+	case *LiteralExpr:
+		return n.Value.Type == TypeBoolean || n.Value.IsNull()
+	}
+	return false
+}
+
+// tryFoldEval evaluates a literal-only expression with an empty
+// environment; ok=false (evaluation error) leaves the tree unfolded so
+// the interpreter surfaces the error with its own row-scoped timing.
+func tryFoldEval(e Expr) (Expr, bool) {
+	v, err := eval(e, &evalEnv{})
+	if err != nil {
+		return nil, false
+	}
+	return &LiteralExpr{Value: v}, true
+}
+
+// foldConstants returns a tree with literal-only subtrees evaluated
+// and degenerate AND/OR arms removed. It accepts both parsed and
+// rewritten (boundColExpr) trees. The result may share nodes with the
+// input; neither is mutated.
+func foldConstants(e Expr) Expr {
+	switch n := e.(type) {
+	case *BinaryExpr:
+		l := foldConstants(n.Left)
+		r := foldConstants(n.Right)
+		lv, lLit := isFoldedLiteral(l)
+		rv, rLit := isFoldedLiteral(r)
+		switch n.Op {
+		case "AND", "OR":
+			if lLit && rLit {
+				if f, ok := tryFoldEval(&BinaryExpr{Op: n.Op, Left: l, Right: r}); ok {
+					return f
+				}
+			}
+			// One-sided folds: only when the ELIMINATED side is the
+			// literal, so no possibly-erroring expression is skipped
+			// (AND/OR evaluate left first, so a left literal TRUE/FALSE
+			// matches the interpreter's short-circuit exactly).
+			if lLit && !lv.IsNull() {
+				if lt, err := truthy(lv); err == nil {
+					switch {
+					case n.Op == "AND" && !lt:
+						return &LiteralExpr{Value: NewBool(false)}
+					case n.Op == "OR" && lt:
+						return &LiteralExpr{Value: NewBool(true)}
+					case n.Op == "AND" && lt && boolShaped(r):
+						return r
+					case n.Op == "OR" && !lt && boolShaped(r):
+						return r
+					}
+				}
+			}
+			if rLit && !rv.IsNull() {
+				if rt, err := truthy(rv); err == nil {
+					// X AND TRUE ≡ X and X OR FALSE ≡ X when X is
+					// bool-shaped: X runs first either way, and the
+					// literal arm cannot change a boolean/NULL result.
+					if (n.Op == "AND" && rt || n.Op == "OR" && !rt) && boolShaped(l) {
+						return l
+					}
+				}
+			}
+		default:
+			if lLit && rLit {
+				if f, ok := tryFoldEval(&BinaryExpr{Op: n.Op, Left: l, Right: r}); ok {
+					return f
+				}
+			}
+		}
+		if l == n.Left && r == n.Right {
+			return n
+		}
+		return &BinaryExpr{Op: n.Op, Left: l, Right: r}
+	case *UnaryExpr:
+		op := foldConstants(n.Operand)
+		if _, ok := isFoldedLiteral(op); ok {
+			if f, ok := tryFoldEval(&UnaryExpr{Op: n.Op, Operand: op}); ok {
+				return f
+			}
+		}
+		if op == n.Operand {
+			return n
+		}
+		return &UnaryExpr{Op: n.Op, Operand: op}
+	case *IsNullExpr:
+		op := foldConstants(n.Operand)
+		if _, ok := isFoldedLiteral(op); ok {
+			if f, ok := tryFoldEval(&IsNullExpr{Operand: op, Negate: n.Negate}); ok {
+				return f
+			}
+		}
+		if op == n.Operand {
+			return n
+		}
+		return &IsNullExpr{Operand: op, Negate: n.Negate}
+	case *BetweenExpr:
+		op := foldConstants(n.Operand)
+		lo := foldConstants(n.Lo)
+		hi := foldConstants(n.Hi)
+		_, opLit := isFoldedLiteral(op)
+		_, loLit := isFoldedLiteral(lo)
+		_, hiLit := isFoldedLiteral(hi)
+		if opLit && loLit && hiLit {
+			if f, ok := tryFoldEval(&BetweenExpr{Operand: op, Lo: lo, Hi: hi, Negate: n.Negate}); ok {
+				return f
+			}
+		}
+		if op == n.Operand && lo == n.Lo && hi == n.Hi {
+			return n
+		}
+		return &BetweenExpr{Operand: op, Lo: lo, Hi: hi, Negate: n.Negate}
+	case *InExpr:
+		if n.Subquery != nil {
+			return n
+		}
+		op := foldConstants(n.Operand)
+		allLit := true
+		if _, ok := isFoldedLiteral(op); !ok {
+			allLit = false
+		}
+		list := make([]Expr, len(n.List))
+		changed := op != n.Operand
+		for i, it := range n.List {
+			list[i] = foldConstants(it)
+			if list[i] != it {
+				changed = true
+			}
+			if _, ok := isFoldedLiteral(list[i]); !ok {
+				allLit = false
+			}
+		}
+		if allLit {
+			if f, ok := tryFoldEval(&InExpr{Operand: op, List: list, Negate: n.Negate}); ok {
+				return f
+			}
+		}
+		if !changed {
+			return n
+		}
+		return &InExpr{Operand: op, List: list, Negate: n.Negate}
+	case *CastExpr:
+		op := foldConstants(n.Operand)
+		if _, ok := isFoldedLiteral(op); ok {
+			if f, ok := tryFoldEval(&CastExpr{Operand: op, Target: n.Target}); ok {
+				return f
+			}
+		}
+		if op == n.Operand {
+			return n
+		}
+		return &CastExpr{Operand: op, Target: n.Target}
+	}
+	return e
+}

@@ -102,6 +102,11 @@ type selectPlan struct {
 	orderSatisfied bool // access path already yields ORDER BY order
 	desc           bool // iteration direction when orderSatisfied
 
+	// vec is the columnar-execution annotation: set when the plan is a
+	// join-free full scan whose predicate compiles to vector kernels.
+	// nil means the row operators always run.
+	vec *vecInfo
+
 	explain []string
 }
 
@@ -247,13 +252,53 @@ func (d *Database) planSelect(sel *SelectStmt) (*selectPlan, string) {
 	}
 
 	// Access path: only for join-free statements (with joins the
-	// interpreter scans too, so parity is free).
+	// interpreter scans too, so parity is free). Constant folding runs
+	// first so `WHERE 1=1 AND x > 5` exposes the same conjuncts (and
+	// compiles the same vector predicate) as `WHERE x > 5`; the row
+	// executor keeps the unfolded p.where for exact error parity.
 	if len(p.joins) == 0 {
-		d.chooseAccess(p, t, qual)
+		var foldedWhere Expr
+		if sel.Where != nil {
+			foldedWhere = foldConstants(sel.Where)
+		}
+		d.chooseAccess(p, t, qual, foldedWhere)
 	}
 	p.bindOrderSatisfaction()
+
+	// Columnar annotation: join-free full scans whose predicate compiles
+	// to vector kernels run chunk-at-a-time. Index accesses stay on the
+	// row path — their id sets are already narrowed and (for ordered
+	// scans) their iteration order is not chunk order.
+	if len(p.joins) == 0 && p.access == accessFullScan {
+		var pred vecPred
+		okPred := true
+		if p.where != nil {
+			pred, okPred = compileVecPred(foldConstants(p.where), t)
+		}
+		if okPred {
+			proj := gatherList(p.projExprs, t)
+			if pred != nil || proj != nil {
+				p.vec = &vecInfo{pred: pred, proj: proj}
+			}
+		}
+	}
 	p.explain = p.explainLines()
 	return p, ""
+}
+
+// gatherList reports the base-column ordinals when every projection is
+// a plain column reference, enabling columnar gather without row
+// materialisation; nil otherwise.
+func gatherList(projExprs []Expr, t *Table) []int {
+	proj := make([]int, len(projExprs))
+	for i, e := range projExprs {
+		bc, ok := e.(*boundColExpr)
+		if !ok || bc.idx >= len(t.Columns) {
+			return nil
+		}
+		proj[i] = bc.idx
+	}
+	return proj
 }
 
 // conjunctCandidates walks the AND-tree of the WHERE clause in source
@@ -308,13 +353,13 @@ func baseColumn(e Expr, t *Table, qual string) (int, bool) {
 // first (the interpreter's own fast path), then an ordered point probe,
 // then an ordered range scan. Ties between indexes on the same column
 // break by name so plans are deterministic.
-func (d *Database) chooseAccess(p *selectPlan, t *Table, qual string) {
+func (d *Database) chooseAccess(p *selectPlan, t *Table, qual string, where Expr) {
 	var eqs []eqCand
 	ranges := map[int]*rangeCand{}
 	var rangeOrder []int
-	if p.sel.Where != nil {
+	if where != nil {
 		var conjuncts []Expr
-		collectConjuncts(p.sel.Where, &conjuncts)
+		collectConjuncts(where, &conjuncts)
 		addBound := func(col int, b planBound, isLo bool) {
 			rc := ranges[col]
 			if rc == nil {
@@ -763,10 +808,24 @@ func (p *selectPlan) explainLines() []string {
 		}
 		lines = append(lines, fmt.Sprintf("  join: %s %s %q", kind, strategy, j.t.Name))
 	}
-	if p.where != nil {
-		lines = append(lines, "  filter: batched predicate (chunks of "+fmt.Sprint(filterChunkRows)+" rows)")
+	if p.vec != nil {
+		lines = append(lines, fmt.Sprintf("  vector: columnar scan (chunks of %d rows)", chunkRows))
+		if p.vec.pred != nil {
+			lines = append(lines, "  vector filter: compiled kernels with zone-map skipping (row fallback on bind failure)")
+		} else if p.where != nil {
+			lines = append(lines, "  filter: batched predicate (chunks of "+fmt.Sprint(filterChunkRows)+" rows)")
+		}
+		if p.vec.proj != nil {
+			lines = append(lines, fmt.Sprintf("  vector project: gather %d columns", len(p.vec.proj)))
+		} else {
+			lines = append(lines, fmt.Sprintf("  project: %d columns", len(p.projCols)))
+		}
+	} else {
+		if p.where != nil {
+			lines = append(lines, "  filter: batched predicate (chunks of "+fmt.Sprint(filterChunkRows)+" rows)")
+		}
+		lines = append(lines, fmt.Sprintf("  project: %d columns", len(p.projCols)))
 	}
-	lines = append(lines, fmt.Sprintf("  project: %d columns", len(p.projCols)))
 	if len(p.order) > 0 {
 		if p.orderSatisfied {
 			lines = append(lines, "  order: satisfied by index (no sort)")
@@ -783,6 +842,28 @@ func (p *selectPlan) explainLines() []string {
 	return lines
 }
 
+// zoneMapLine reports, at EXPLAIN time, how many of the table's current
+// chunks the bound predicate's zone maps would skip. Predicates with
+// parameters cannot bind without values and report per-execution
+// evaluation instead. Caller holds d.mu for reading.
+func (d *Database) zoneMapLine(p *selectPlan) string {
+	bp, ok := bindVecPred(p.vec.pred, nil, p.t)
+	if !ok {
+		return "  vector zone maps: evaluated per execution"
+	}
+	tc := p.t.ensureChunks()
+	if !tc.ok {
+		return "  vector zone maps: column chunks unavailable (row fallback)"
+	}
+	skipped := 0
+	for _, ch := range tc.chunks {
+		if chunkSkippable(bp, ch) {
+			skipped++
+		}
+	}
+	return fmt.Sprintf("  vector zone maps: %d/%d chunks skippable", skipped, len(tc.chunks))
+}
+
 // explainStatement describes any statement for EXPLAIN. SELECTs compile
 // a fresh plan (or report why they cannot); everything else names the
 // interpreted path it takes. Caller must hold d.mu for reading.
@@ -791,7 +872,13 @@ func (d *Database) explainStatement(st Statement) []string {
 	case *SelectStmt:
 		p, reason := d.planSelect(n)
 		if p == nil {
+			if ap, ok := d.planAggregate(n); ok {
+				return ap.explain
+			}
 			return []string{"select: interpreted (" + reason + ")"}
+		}
+		if p.vec != nil && p.vec.pred != nil {
+			return append(append([]string(nil), p.explain...), d.zoneMapLine(p))
 		}
 		return p.explain
 	case *InsertStmt:

@@ -130,6 +130,18 @@ func (p *selectPlan) rangeBounds(params []Value) (lo, hi *ordBound, ok bool) {
 // interpreter's exact operation order and error surface. The caller
 // holds d.mu for reading and has verified p.epoch == d.epoch.
 func (d *Database) execPlan(ctx context.Context, p *selectPlan, params []Value) (*ResultSet, error) {
+	// Columnar fast path: when the plan compiled a vector annotation and
+	// vector execution is enabled, run the chunked kernels. A bind-time
+	// fallback (handled=false) drops through to the row operators below.
+	if p.vec != nil && d.vectorEnabled() {
+		set, handled, err := d.execPlanVector(ctx, p, params)
+		if err != nil {
+			return nil, err
+		}
+		if handled {
+			return set, nil
+		}
+	}
 	env := &evalEnv{cols: p.cols, params: params, db: d, ctx: ctx}
 	rows := p.baseRows(params)
 
@@ -245,13 +257,21 @@ func (d *Database) execPlan(ctx context.Context, p *selectPlan, params []Value) 
 		}
 	}
 
-	// OFFSET / LIMIT: evaluated after projection and ordering, exactly
-	// as the interpreter does — no early termination, so per-row
-	// evaluation errors surface for the same inputs.
-	if p.sel.Offset != nil {
-		n, err := evalCount(p.sel.Offset, env)
+	if err := applyOffsetLimit(out, p.sel, env); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// applyOffsetLimit trims a materialised result per OFFSET/LIMIT,
+// evaluated after projection and ordering exactly as the interpreter
+// does — no early termination, so evaluation errors surface for the
+// same inputs. Shared by the row and vector executors.
+func applyOffsetLimit(out *ResultSet, sel *SelectStmt, env *evalEnv) error {
+	if sel.Offset != nil {
+		n, err := evalCount(sel.Offset, env)
 		if err != nil {
-			return nil, fmt.Errorf("OFFSET: %w", err)
+			return fmt.Errorf("OFFSET: %w", err)
 		}
 		if n >= len(out.Rows) {
 			out.Rows = nil
@@ -259,14 +279,14 @@ func (d *Database) execPlan(ctx context.Context, p *selectPlan, params []Value) 
 			out.Rows = out.Rows[n:]
 		}
 	}
-	if p.sel.Limit != nil {
-		n, err := evalCount(p.sel.Limit, env)
+	if sel.Limit != nil {
+		n, err := evalCount(sel.Limit, env)
 		if err != nil {
-			return nil, fmt.Errorf("LIMIT: %w", err)
+			return fmt.Errorf("LIMIT: %w", err)
 		}
 		if n < len(out.Rows) {
 			out.Rows = out.Rows[:n]
 		}
 	}
-	return out, nil
+	return nil
 }

@@ -206,7 +206,8 @@ func TestPlanAccessPaths(t *testing.T) {
 		{`SELECT k FROM rng ORDER BY k DESC`, `access: ordered full scan via rng_k (rng.k desc)`},
 		{`SELECT id FROM rng ORDER BY k_noix`, `order: sort on 1 key(s)`},
 		{`SELECT id FROM rng WHERE k_noix > 3`, `access: full scan`},
-		{`SELECT COUNT(*) FROM rng`, `interpreted`},
+		{`SELECT COUNT(*) FROM rng`, `vectorised aggregate`},
+		{`SELECT COUNT(*) FROM rng GROUP BY k HAVING COUNT(*) > 1`, `interpreted`},
 		{`SELECT DISTINCT k FROM rng`, `interpreted`},
 		{`SELECT a.id FROM rng a JOIN rng b ON a.k = b.id`, `join: inner hash join`},
 	}
@@ -248,7 +249,8 @@ func TestExplainStatement(t *testing.T) {
 		`EXPLAIN INSERT INTO rng VALUES (999, 1, 1, 'x', 0)`: `insert into "rng" (interpreted)`,
 		`EXPLAIN UPDATE rng SET s = 'y' WHERE id = 1`:        `update "rng" (interpreted`,
 		`EXPLAIN DELETE FROM rng WHERE id = 1`:               `delete from "rng" (interpreted`,
-		`EXPLAIN SELECT COUNT(*) FROM rng`:                   `select: interpreted (`,
+		`EXPLAIN SELECT COUNT(*) FROM rng`:                   `vectorised aggregate`,
+		`EXPLAIN SELECT COUNT(DISTINCT k) FROM rng`:          `select: interpreted (`,
 	} {
 		res, err := e.NewSession().Execute(sql)
 		if err != nil {

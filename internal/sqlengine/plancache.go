@@ -16,7 +16,8 @@ type Prepared struct {
 	stmt    Statement
 	nparams int
 	plan    *selectPlan
-	reason  string // why plan is nil, for diagnostics
+	agg     *aggPlan // vectorised aggregate plan; set only when plan is nil
+	reason  string   // why plan is nil, for diagnostics
 }
 
 // Statement returns the parsed statement.
@@ -190,6 +191,9 @@ func (e *Engine) Prepare(sql string) (*Prepared, error) {
 		e.db.mu.RLock()
 		epoch = e.db.epoch // re-read under the same latch the plan binds under
 		prep.plan, prep.reason = e.db.planSelect(sel)
+		if prep.plan == nil && prep.reason == "grouping/aggregates" {
+			prep.agg, _ = e.db.planAggregate(sel)
+		}
 		e.db.mu.RUnlock()
 	}
 	if e.plans != nil {

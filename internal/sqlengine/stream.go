@@ -341,7 +341,6 @@ func (s *Session) startPlanStream(ctx context.Context, p *selectPlan, params []V
 		return fail(errStalePlan)
 	}
 	env := &evalEnv{cols: p.cols, params: params, db: db, ctx: prodCtx}
-	base := p.baseRows(params)
 	offset, limit := 0, -1
 	var err error
 	if p.sel.Offset != nil {
@@ -362,8 +361,112 @@ func (s *Session) startPlanStream(ctx context.Context, p *selectPlan, params []V
 		cancel:    cancel,
 		done:      make(chan struct{}),
 	}
-	go s.producePlan(rs, prodCtx, p, env, base, offset, limit)
+
+	// Columnar streaming: a vector-annotated plan (always a full scan
+	// with no unsatisfied ORDER BY, or it would not be streamable)
+	// produces chunk at a time. Bind failure or an unbuildable chunk
+	// cache falls through to the row producer.
+	if p.vec != nil && db.vectorEnabled() {
+		var bp boundVec
+		okBind := true
+		if p.vec.pred != nil {
+			bp, okBind = bindVecPred(p.vec.pred, params, p.t)
+		}
+		if okBind {
+			if tc := p.t.ensureChunks(); tc.ok {
+				go s.produceVector(rs, prodCtx, p, env, bp, tc, offset, limit)
+				return rs, nil
+			}
+		}
+	}
+	go s.producePlan(rs, prodCtx, p, env, p.baseRows(params), offset, limit)
 	return rs, nil
+}
+
+// produceVector is producePlan over column chunks: zone-map skipping
+// and kernel filtering per chunk, survivors projected by columnar
+// gather (or row materialisation for computed projections) and emitted
+// through the bounded channel with the same OFFSET/LIMIT and
+// cancellation semantics as the row producer.
+func (s *Session) produceVector(rs *RowStream, ctx context.Context, p *selectPlan, env *evalEnv,
+	bp boundVec, tc *tableChunks, offset, limit int) {
+	db := s.engine.db
+	emitted := 0
+	err := func() error {
+		slab := newRowSlab(len(p.projExprs))
+		var selbuf [chunkRows]int8
+	chunks:
+		for _, ch := range tc.chunks {
+			if limit >= 0 && emitted >= limit {
+				break
+			}
+			if err := ctxCheck(ctx); err != nil {
+				return err
+			}
+			if bp != nil && chunkSkippable(bp, ch) {
+				db.vecSkipped.Add(1)
+				continue
+			}
+			db.vecBatches.Add(1)
+			sel := selbuf[:ch.n]
+			if bp != nil {
+				bp.eval(ch, sel)
+			} else {
+				for i := range sel {
+					sel[i] = triT
+				}
+			}
+			for i := 0; i < ch.n; i++ {
+				if limit >= 0 && emitted >= limit {
+					break chunks
+				}
+				if sel[i] != triT {
+					continue
+				}
+				vals := slab.next()
+				if p.vec.proj != nil {
+					for k, ci := range p.vec.proj {
+						vals[k] = ch.vecs[ci].value(i)
+					}
+				} else {
+					env.row = p.t.rows[ch.ids[i]]
+					for k, e := range p.projExprs {
+						v, err := eval(e, env)
+						if err != nil {
+							return err
+						}
+						vals[k] = v
+					}
+				}
+				if offset > 0 {
+					offset--
+					continue
+				}
+				select {
+				case rs.ch <- vals:
+					emitted++
+				case <-ctx.Done():
+					return &CancelledError{Err: ctx.Err()}
+				}
+			}
+		}
+		return nil
+	}()
+	db.mu.RUnlock()
+	s.undo = nil
+	s.engine.locks.releaseAll(s)
+	if err != nil {
+		rs.res, rs.err = errResult(stateFor(err), err), err
+	} else {
+		ca := SQLCA{SQLState: StateSuccess, UpdateCount: -1, RowsFetched: emitted}
+		if emitted == 0 {
+			ca.SQLState = StateNoData
+			ca.SQLCode = 100
+		}
+		rs.res = &Result{UpdateCount: -1, CA: ca}
+	}
+	close(rs.ch)
+	close(rs.done)
 }
 
 // producePlan is produce for compiled plans: the same row-at-a-time

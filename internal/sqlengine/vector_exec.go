@@ -1,0 +1,992 @@
+package sqlengine
+
+import (
+	"context"
+	"regexp"
+	"strings"
+)
+
+// disableVector forces the row executor even for plans that compiled a
+// vectorised operator. The equivalence tests flip it (alongside
+// disablePlanner) to prove all three execution paths produce
+// byte-identical results.
+var disableVector = false
+
+// Tri-state selection values: SQL three-valued logic over a chunk.
+// Only triT rows survive a filter.
+const (
+	triF int8 = 0
+	triT int8 = 1
+	triN int8 = 2
+)
+
+// Possibility masks for zone-map analysis: the set of tri-states a
+// predicate might produce for some row of a chunk. A chunk is skipped
+// when maskT is impossible. Over-approximating is always safe;
+// under-approximating would drop rows.
+const (
+	maskT uint8 = 1 << iota
+	maskF
+	maskN
+)
+
+// vecInfo is a plan's vectorised-execution annotation: the compiled
+// chunk predicate (nil when the statement has no WHERE clause) and the
+// projection gather list (column ordinals when every output expression
+// is a plain column; nil means survivors materialise their row and
+// evaluate projections the row way).
+type vecInfo struct {
+	pred vecPred
+	proj []int
+}
+
+// vecPred is a plan-time compiled predicate tree. Operand expressions
+// (literals, parameters) are kept symbolic and evaluated once per
+// execution by bindVecPred; any binding that could diverge from
+// interpreter semantics (evaluation error, incomparable type) refuses
+// to bind and the row executor runs instead.
+type vecPred interface{ vecPred() }
+
+type vpCmp struct {
+	col     int
+	op      string // =, <>, <, <=, >, >=  (column on the left)
+	operand Expr
+}
+
+type vpLike struct {
+	col     int
+	pattern Expr
+}
+
+type vpIsNull struct {
+	col    int
+	negate bool
+}
+
+type vpBetween struct {
+	col    int
+	lo, hi Expr
+	negate bool
+}
+
+type vpIn struct {
+	col    int
+	items  []Expr
+	negate bool
+}
+
+type vpAnd struct{ l, r vecPred }
+type vpOr struct{ l, r vecPred }
+type vpNot struct{ c vecPred }
+
+// vpConst is a literal-valued predicate (e.g. the residue of constant
+// folding). tri was proven at compile time: truthy() cannot error on
+// the folded value.
+type vpConst struct{ tri int8 }
+
+func (*vpCmp) vecPred()     {}
+func (*vpLike) vecPred()    {}
+func (*vpIsNull) vecPred()  {}
+func (*vpBetween) vecPred() {}
+func (*vpIn) vecPred()      {}
+func (*vpAnd) vecPred()     {}
+func (*vpOr) vecPred()      {}
+func (*vpNot) vecPred()     {}
+func (*vpConst) vecPred()   {}
+
+// flipCmp mirrors an operator for const-on-the-left comparisons.
+func flipCmp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op // = and <> are symmetric
+}
+
+// compileVecPred translates a folded, rewritten predicate tree into a
+// vector predicate over base-table columns. ok=false means some
+// subtree is outside the vectorisable class (subqueries, arithmetic,
+// column-vs-column comparison, non-bool constants, ...) and the plan
+// keeps the row filter. The compiled class is chosen so that kernel
+// evaluation can NEVER error at runtime: every error the interpreter
+// could raise per row is either proven absent here or detected at bind
+// time, which falls back to the row path for exact error parity.
+func compileVecPred(e Expr, t *Table) (vecPred, bool) {
+	switch n := e.(type) {
+	case *LiteralExpr:
+		if n.Value.IsNull() {
+			return &vpConst{tri: triN}, true
+		}
+		b, err := truthy(n.Value)
+		if err != nil {
+			return nil, false // interpreter errors per row; keep row path
+		}
+		if b {
+			return &vpConst{tri: triT}, true
+		}
+		return &vpConst{tri: triF}, true
+	case *BinaryExpr:
+		switch n.Op {
+		case "AND", "OR":
+			l, ok := compileVecPred(n.Left, t)
+			if !ok {
+				return nil, false
+			}
+			r, ok := compileVecPred(n.Right, t)
+			if !ok {
+				return nil, false
+			}
+			if n.Op == "AND" {
+				return &vpAnd{l: l, r: r}, true
+			}
+			return &vpOr{l: l, r: r}, true
+		case "=", "<>", "<", "<=", ">", ">=":
+			if col, ok := vecColumn(n.Left, t); ok && constExpr(n.Right) {
+				return &vpCmp{col: col, op: n.Op, operand: n.Right}, true
+			}
+			if col, ok := vecColumn(n.Right, t); ok && constExpr(n.Left) {
+				return &vpCmp{col: col, op: flipCmp(n.Op), operand: n.Left}, true
+			}
+			return nil, false
+		case "LIKE":
+			col, ok := vecColumn(n.Left, t)
+			if !ok || t.Columns[col].Type != TypeVarchar || !constExpr(n.Right) {
+				// Non-varchar columns LIKE via String() coercion; keep the
+				// interpreter's exact rendering by not vectorising them.
+				return nil, false
+			}
+			return &vpLike{col: col, pattern: n.Right}, true
+		}
+		return nil, false
+	case *UnaryExpr:
+		if n.Op != "NOT" {
+			return nil, false
+		}
+		c, ok := compileVecPred(n.Operand, t)
+		if !ok {
+			return nil, false
+		}
+		return &vpNot{c: c}, true
+	case *IsNullExpr:
+		col, ok := vecColumn(n.Operand, t)
+		if !ok {
+			return nil, false
+		}
+		return &vpIsNull{col: col, negate: n.Negate}, true
+	case *BetweenExpr:
+		col, ok := vecColumn(n.Operand, t)
+		if !ok || !constExpr(n.Lo) || !constExpr(n.Hi) {
+			return nil, false
+		}
+		return &vpBetween{col: col, lo: n.Lo, hi: n.Hi, negate: n.Negate}, true
+	case *InExpr:
+		if n.Subquery != nil {
+			return nil, false
+		}
+		col, ok := vecColumn(n.Operand, t)
+		if !ok {
+			return nil, false
+		}
+		for _, it := range n.List {
+			if !constExpr(it) {
+				return nil, false
+			}
+		}
+		return &vpIn{col: col, items: n.List, negate: n.Negate}, true
+	}
+	return nil, false
+}
+
+// vecColumn resolves a rewritten expression to a base-table column
+// ordinal (vector plans are join-free, so every binding is a base
+// column).
+func vecColumn(e Expr, t *Table) (int, bool) {
+	bc, ok := e.(*boundColExpr)
+	if !ok || bc.idx >= len(t.Columns) {
+		return 0, false
+	}
+	return bc.idx, true
+}
+
+// boundVec is a vecPred with its constant operands evaluated for one
+// execution. eval fills a tri-state selection vector for a chunk;
+// possible reports which tri-states the chunk's zone map admits.
+// Kernels are error-free by construction.
+type boundVec interface {
+	eval(ch *colChunk, out []int8)
+	possible(ch *colChunk) uint8
+}
+
+// evalVecConst evaluates a bind-time constant (literal or parameter).
+func evalVecConst(e Expr, params []Value) (Value, bool) {
+	v, err := eval(e, &evalEnv{params: params})
+	if err != nil {
+		return Null, false
+	}
+	return v, true
+}
+
+// bindVecPred resolves a compiled predicate's constants against this
+// execution's parameters. ok=false (operand evaluation error, operand
+// type Compare cannot order against the column, uncompilable LIKE
+// pattern) sends the statement down the row path, which reproduces the
+// interpreter's per-row error surface exactly — including producing NO
+// error when the table has no rows to evaluate.
+func bindVecPred(p vecPred, params []Value, t *Table) (boundVec, bool) {
+	switch n := p.(type) {
+	case *vpConst:
+		return &bvConst{tri: n.tri}, true
+	case *vpCmp:
+		v, ok := evalVecConst(n.operand, params)
+		if !ok {
+			return nil, false
+		}
+		if v.IsNull() {
+			return bvAllN{}, true
+		}
+		if !comparableWith(v, t.Columns[n.col].Type) {
+			return nil, false
+		}
+		return &bvCmp{col: n.col, op: n.op, tri: opTri(n.op), val: v}, true
+	case *vpLike:
+		v, ok := evalVecConst(n.pattern, params)
+		if !ok {
+			return nil, false
+		}
+		if v.IsNull() {
+			return bvAllN{}, true
+		}
+		pv, err := v.Coerce(TypeVarchar)
+		if err != nil {
+			return nil, false
+		}
+		re, err := compileLike(pv.S)
+		if err != nil {
+			return nil, false
+		}
+		return &bvLike{col: n.col, re: re}, true
+	case *vpIsNull:
+		return &bvIsNull{col: n.col, negate: n.negate}, true
+	case *vpBetween:
+		lo, ok := evalVecConst(n.lo, params)
+		if !ok {
+			return nil, false
+		}
+		hi, ok := evalVecConst(n.hi, params)
+		if !ok {
+			return nil, false
+		}
+		if lo.IsNull() || hi.IsNull() {
+			// NULL bound: the interpreter yields NULL for every non-null
+			// operand too (it null-checks before comparing).
+			return bvAllN{}, true
+		}
+		ct := t.Columns[n.col].Type
+		if !comparableWith(lo, ct) || !comparableWith(hi, ct) {
+			return nil, false
+		}
+		return &bvBetween{col: n.col, lo: lo, hi: hi, negate: n.negate}, true
+	case *vpIn:
+		b := &bvIn{col: n.col, negate: n.negate}
+		ct := t.Columns[n.col].Type
+		for _, it := range n.items {
+			v, ok := evalVecConst(it, params)
+			if !ok {
+				return nil, false
+			}
+			if v.IsNull() {
+				b.sawNull = true
+				continue
+			}
+			if !comparableWith(v, ct) {
+				// The interpreter errors on the first non-matching row to
+				// reach this item; only the row path can time that.
+				return nil, false
+			}
+			b.items = append(b.items, v)
+		}
+		return b, true
+	case *vpAnd:
+		l, ok := bindVecPred(n.l, params, t)
+		if !ok {
+			return nil, false
+		}
+		r, ok := bindVecPred(n.r, params, t)
+		if !ok {
+			return nil, false
+		}
+		return &bvAnd{l: l, r: r}, true
+	case *vpOr:
+		l, ok := bindVecPred(n.l, params, t)
+		if !ok {
+			return nil, false
+		}
+		r, ok := bindVecPred(n.r, params, t)
+		if !ok {
+			return nil, false
+		}
+		return &bvOr{l: l, r: r}, true
+	case *vpNot:
+		c, ok := bindVecPred(n.c, params, t)
+		if !ok {
+			return nil, false
+		}
+		return &bvNot{c: c}, true
+	}
+	return nil, false
+}
+
+// cmpF is Compare's three-way float ordering: NaN compares equal to
+// everything (af<bf and af>bf are both false), which the kernels must
+// reproduce — never use == on doubles here.
+func cmpF(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpI(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// vecCmp is Compare(vec[i], c) for a non-null row and a bind-checked
+// comparable constant — the slow generic form used by the BETWEEN/IN
+// kernels and non-numeric comparisons.
+func vecCmp(v *colVec, i int, c Value) int {
+	switch v.typ {
+	case TypeInteger, TypeBigint:
+		if c.Type == TypeDouble {
+			return cmpF(float64(v.ints[i]), c.F)
+		}
+		return cmpI(v.ints[i], c.I)
+	case TypeDouble:
+		return cmpF(v.flts[i], c.asFloat())
+	case TypeVarchar:
+		return strings.Compare(v.strs[i], c.S)
+	case TypeBoolean:
+		a, b := v.bools[i], c.B
+		switch {
+		case a == b:
+			return 0
+		case !a:
+			return -1
+		}
+		return 1
+	case TypeTimestamp:
+		a, b := v.times[i], c.T
+		switch {
+		case a.Before(b):
+			return -1
+		case a.After(b):
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// opTri maps a comparison result (-1,0,1 at indexes 0,1,2) to the
+// predicate outcome for each operator.
+func opTri(op string) [3]int8 {
+	switch op {
+	case "=":
+		return [3]int8{triF, triT, triF}
+	case "<>":
+		return [3]int8{triT, triF, triT}
+	case "<":
+		return [3]int8{triT, triF, triF}
+	case "<=":
+		return [3]int8{triT, triT, triF}
+	case ">":
+		return [3]int8{triF, triF, triT}
+	}
+	return [3]int8{triF, triT, triT} // >=
+}
+
+// bvAllN marks a predicate subtree that is NULL for every row (NULL
+// comparison operand): nothing matches, nothing errors.
+type bvAllN struct{}
+
+func (bvAllN) eval(ch *colChunk, out []int8) {
+	for i := 0; i < ch.n; i++ {
+		out[i] = triN
+	}
+}
+func (bvAllN) possible(*colChunk) uint8 { return maskN }
+
+type bvConst struct{ tri int8 }
+
+func (b *bvConst) eval(ch *colChunk, out []int8) {
+	for i := 0; i < ch.n; i++ {
+		out[i] = b.tri
+	}
+}
+func (b *bvConst) possible(*colChunk) uint8 {
+	switch b.tri {
+	case triT:
+		return maskT
+	case triF:
+		return maskF
+	}
+	return maskN
+}
+
+// bvCmp evaluates column <op> constant over a chunk with typed inner
+// loops for the hot layouts (int, float, string) and the generic
+// comparator otherwise.
+type bvCmp struct {
+	col int
+	op  string
+	tri [3]int8
+	val Value
+}
+
+func (b *bvCmp) eval(ch *colChunk, out []int8) {
+	v := &ch.vecs[b.col]
+	switch v.typ {
+	case TypeInteger, TypeBigint:
+		if b.val.Type == TypeDouble {
+			c := b.val.F
+			for i := 0; i < ch.n; i++ {
+				if v.nulls.get(i) {
+					out[i] = triN
+					continue
+				}
+				out[i] = b.tri[cmpF(float64(v.ints[i]), c)+1]
+			}
+			return
+		}
+		c := b.val.I
+		for i := 0; i < ch.n; i++ {
+			if v.nulls.get(i) {
+				out[i] = triN
+				continue
+			}
+			x := v.ints[i]
+			switch {
+			case x < c:
+				out[i] = b.tri[0]
+			case x > c:
+				out[i] = b.tri[2]
+			default:
+				out[i] = b.tri[1]
+			}
+		}
+	case TypeDouble:
+		c := b.val.asFloat()
+		for i := 0; i < ch.n; i++ {
+			if v.nulls.get(i) {
+				out[i] = triN
+				continue
+			}
+			out[i] = b.tri[cmpF(v.flts[i], c)+1]
+		}
+	case TypeVarchar:
+		c := b.val.S
+		for i := 0; i < ch.n; i++ {
+			if v.nulls.get(i) {
+				out[i] = triN
+				continue
+			}
+			out[i] = b.tri[strings.Compare(v.strs[i], c)+1]
+		}
+	default:
+		for i := 0; i < ch.n; i++ {
+			if v.nulls.get(i) {
+				out[i] = triN
+				continue
+			}
+			out[i] = b.tri[vecCmp(v, i, b.val)+1]
+		}
+	}
+}
+
+// cmpPossible reports which outcomes an operator admits given the
+// chunk's [min,max] ordering against the constant.
+func cmpPossible(op string, lo, hi int) (canT, canF bool) {
+	switch op {
+	case "=":
+		return lo <= 0 && hi >= 0, !(lo == 0 && hi == 0)
+	case "<>":
+		return !(lo == 0 && hi == 0), lo <= 0 && hi >= 0
+	case "<":
+		return lo < 0, hi >= 0
+	case "<=":
+		return lo <= 0, hi > 0
+	case ">":
+		return hi > 0, lo <= 0
+	}
+	return hi >= 0, lo < 0 // >=
+}
+
+func (b *bvCmp) possible(ch *colChunk) uint8 {
+	v := &ch.vecs[b.col]
+	var m uint8
+	if v.nonNull < ch.n {
+		m |= maskN
+	}
+	if v.nonNull == 0 {
+		return m
+	}
+	// NaN defeats ordering (it compares equal to everything), and a
+	// vector whose every value is NaN has no min/max at all.
+	if v.hasNaN || v.statN == 0 {
+		return m | maskT | maskF
+	}
+	lo, errLo := Compare(v.min, b.val)
+	hi, errHi := Compare(v.max, b.val)
+	if errLo != nil || errHi != nil {
+		return m | maskT | maskF
+	}
+	canT, canF := cmpPossible(b.op, lo, hi)
+	if canT {
+		m |= maskT
+	}
+	if canF {
+		m |= maskF
+	}
+	return m
+}
+
+type bvLike struct {
+	col int
+	re  *regexp.Regexp
+}
+
+func (b *bvLike) eval(ch *colChunk, out []int8) {
+	v := &ch.vecs[b.col]
+	for i := 0; i < ch.n; i++ {
+		if v.nulls.get(i) {
+			out[i] = triN
+			continue
+		}
+		if b.re.MatchString(v.strs[i]) {
+			out[i] = triT
+		} else {
+			out[i] = triF
+		}
+	}
+}
+
+func (b *bvLike) possible(ch *colChunk) uint8 {
+	v := &ch.vecs[b.col]
+	var m uint8
+	if v.nonNull < ch.n {
+		m |= maskN
+	}
+	if v.nonNull > 0 {
+		m |= maskT | maskF
+	}
+	return m
+}
+
+type bvIsNull struct {
+	col    int
+	negate bool
+}
+
+func (b *bvIsNull) eval(ch *colChunk, out []int8) {
+	v := &ch.vecs[b.col]
+	t, f := triT, triF
+	if b.negate {
+		t, f = triF, triT
+	}
+	for i := 0; i < ch.n; i++ {
+		if v.nulls.get(i) {
+			out[i] = t
+		} else {
+			out[i] = f
+		}
+	}
+}
+
+func (b *bvIsNull) possible(ch *colChunk) uint8 {
+	v := &ch.vecs[b.col]
+	hasNull, hasVal := v.nonNull < ch.n, v.nonNull > 0
+	if b.negate {
+		hasNull, hasVal = hasVal, hasNull
+	}
+	var m uint8
+	if hasNull {
+		m |= maskT
+	}
+	if hasVal {
+		m |= maskF
+	}
+	return m
+}
+
+type bvBetween struct {
+	col    int
+	lo, hi Value
+	negate bool
+}
+
+func (b *bvBetween) eval(ch *colChunk, out []int8) {
+	v := &ch.vecs[b.col]
+	for i := 0; i < ch.n; i++ {
+		if v.nulls.get(i) {
+			out[i] = triN
+			continue
+		}
+		res := vecCmp(v, i, b.lo) >= 0 && vecCmp(v, i, b.hi) <= 0
+		if b.negate {
+			res = !res
+		}
+		if res {
+			out[i] = triT
+		} else {
+			out[i] = triF
+		}
+	}
+}
+
+func (b *bvBetween) possible(ch *colChunk) uint8 {
+	v := &ch.vecs[b.col]
+	var m uint8
+	if v.nonNull < ch.n {
+		m |= maskN
+	}
+	if v.nonNull == 0 {
+		return m
+	}
+	if v.hasNaN || v.statN == 0 {
+		return m | maskT | maskF
+	}
+	cMaxLo, e1 := Compare(v.max, b.lo)
+	cMinHi, e2 := Compare(v.min, b.hi)
+	cMinLo, e3 := Compare(v.min, b.lo)
+	cMaxHi, e4 := Compare(v.max, b.hi)
+	if e1 != nil || e2 != nil || e3 != nil || e4 != nil {
+		return m | maskT | maskF
+	}
+	canT := cMaxLo >= 0 && cMinHi <= 0 // ranges overlap
+	canF := cMinLo < 0 || cMaxHi > 0   // some value outside
+	if b.negate {
+		canT, canF = canF, canT
+	}
+	if canT {
+		m |= maskT
+	}
+	if canF {
+		m |= maskF
+	}
+	return m
+}
+
+type bvIn struct {
+	col     int
+	items   []Value // non-null, in list order
+	sawNull bool
+	negate  bool
+}
+
+func (b *bvIn) eval(ch *colChunk, out []int8) {
+	v := &ch.vecs[b.col]
+	match, miss := triT, triF
+	if b.negate {
+		match, miss = triF, triT
+	}
+	for i := 0; i < ch.n; i++ {
+		if v.nulls.get(i) {
+			out[i] = triN
+			continue
+		}
+		matched := false
+		for _, it := range b.items {
+			if vecCmp(v, i, it) == 0 {
+				matched = true
+				break
+			}
+		}
+		switch {
+		case matched:
+			out[i] = match
+		case b.sawNull:
+			out[i] = triN
+		default:
+			out[i] = miss
+		}
+	}
+}
+
+func (b *bvIn) possible(ch *colChunk) uint8 {
+	v := &ch.vecs[b.col]
+	var m uint8
+	if v.nonNull < ch.n || b.sawNull {
+		m |= maskN
+	}
+	if v.nonNull == 0 {
+		return m
+	}
+	if b.negate || v.hasNaN || v.statN == 0 {
+		return m | maskT | maskF
+	}
+	// IN can only be true when some item falls inside [min,max].
+	canT := false
+	for _, it := range b.items {
+		lo, e1 := Compare(v.min, it)
+		hi, e2 := Compare(v.max, it)
+		if e1 != nil || e2 != nil || (lo <= 0 && hi >= 0) {
+			canT = true
+			break
+		}
+	}
+	if canT {
+		m |= maskT
+	}
+	return m | maskF
+}
+
+type bvAnd struct {
+	l, r boundVec
+	buf  []int8
+}
+
+func (b *bvAnd) eval(ch *colChunk, out []int8) {
+	b.l.eval(ch, out)
+	if b.buf == nil {
+		b.buf = make([]int8, chunkRows)
+	}
+	rb := b.buf[:ch.n]
+	b.r.eval(ch, rb)
+	for i := 0; i < ch.n; i++ {
+		l, r := out[i], rb[i]
+		switch {
+		case l == triF || r == triF:
+			out[i] = triF
+		case l == triT && r == triT:
+			out[i] = triT
+		default:
+			out[i] = triN
+		}
+	}
+}
+
+func (b *bvAnd) possible(ch *colChunk) uint8 {
+	lm, rm := b.l.possible(ch), b.r.possible(ch)
+	var m uint8
+	if lm&maskT != 0 && rm&maskT != 0 {
+		m |= maskT
+	}
+	if lm&maskF != 0 || rm&maskF != 0 {
+		m |= maskF
+	}
+	if lm&maskN != 0 || rm&maskN != 0 {
+		m |= maskN
+	}
+	return m
+}
+
+type bvOr struct {
+	l, r boundVec
+	buf  []int8
+}
+
+func (b *bvOr) eval(ch *colChunk, out []int8) {
+	b.l.eval(ch, out)
+	if b.buf == nil {
+		b.buf = make([]int8, chunkRows)
+	}
+	rb := b.buf[:ch.n]
+	b.r.eval(ch, rb)
+	for i := 0; i < ch.n; i++ {
+		l, r := out[i], rb[i]
+		switch {
+		case l == triT || r == triT:
+			out[i] = triT
+		case l == triF && r == triF:
+			out[i] = triF
+		default:
+			out[i] = triN
+		}
+	}
+}
+
+func (b *bvOr) possible(ch *colChunk) uint8 {
+	lm, rm := b.l.possible(ch), b.r.possible(ch)
+	var m uint8
+	if lm&maskT != 0 || rm&maskT != 0 {
+		m |= maskT
+	}
+	if lm&maskF != 0 && rm&maskF != 0 {
+		m |= maskF
+	}
+	if lm&maskN != 0 || rm&maskN != 0 {
+		m |= maskN
+	}
+	return m
+}
+
+type bvNot struct{ c boundVec }
+
+func (b *bvNot) eval(ch *colChunk, out []int8) {
+	b.c.eval(ch, out)
+	for i := 0; i < ch.n; i++ {
+		switch out[i] {
+		case triT:
+			out[i] = triF
+		case triF:
+			out[i] = triT
+		}
+	}
+}
+
+func (b *bvNot) possible(ch *colChunk) uint8 {
+	cm := b.c.possible(ch)
+	var m uint8
+	if cm&maskF != 0 {
+		m |= maskT
+	}
+	if cm&maskT != 0 {
+		m |= maskF
+	}
+	if cm&maskN != 0 {
+		m |= maskN
+	}
+	return m
+}
+
+// chunkSkippable reports that no row in the chunk can satisfy the
+// predicate, so the whole chunk is skipped without touching its
+// vectors.
+func chunkSkippable(bp boundVec, ch *colChunk) bool {
+	return bp.possible(ch)&maskT == 0
+}
+
+// vectorEnabled reports whether columnar operators may run for this
+// database right now (both the global test toggle and the per-engine
+// option are consulted per execution, so cached plans honour them).
+func (d *Database) vectorEnabled() bool {
+	return !disableVector && !d.vectorOff
+}
+
+// ctxCheck mirrors evalEnv.checkCtx at chunk granularity.
+func ctxCheck(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return &CancelledError{Err: err}
+	}
+	return nil
+}
+
+// execPlanVector runs a compiled plan through the columnar operators:
+// zone-map chunk skipping, kernel predicate evaluation into a
+// selection vector, then columnar gather (or row materialisation for
+// computed projections). handled=false means a bind-time fallback —
+// the caller must run the row path; err is terminal either way.
+// Caller holds d.mu for reading.
+func (d *Database) execPlanVector(ctx context.Context, p *selectPlan, params []Value) (set *ResultSet, handled bool, err error) {
+	var bp boundVec
+	if p.vec.pred != nil {
+		var ok bool
+		bp, ok = bindVecPred(p.vec.pred, params, p.t)
+		if !ok {
+			return nil, false, nil
+		}
+	}
+	tc := p.t.ensureChunks()
+	if !tc.ok {
+		return nil, false, nil
+	}
+
+	env := &evalEnv{cols: p.cols, params: params, db: d, ctx: ctx}
+	out := &ResultSet{Columns: p.projCols}
+	needKeys := len(p.order) > 0 && !p.orderSatisfied
+	var orderKeys [][]Value
+	slab := newRowSlab(len(p.projExprs))
+	var selbuf [chunkRows]int8
+	// Row materialisation is needed when some projection or sort key is
+	// not a plain column gather.
+	needRow := p.vec.proj == nil
+	for _, k := range p.order {
+		if k.kind == orderKeyExpr {
+			needRow = true
+		}
+	}
+
+	for _, ch := range tc.chunks {
+		if err := ctxCheck(ctx); err != nil {
+			return nil, true, err
+		}
+		if bp != nil && chunkSkippable(bp, ch) {
+			d.vecSkipped.Add(1)
+			continue
+		}
+		d.vecBatches.Add(1)
+		sel := selbuf[:ch.n]
+		if bp != nil {
+			bp.eval(ch, sel)
+		} else {
+			for i := range sel {
+				sel[i] = triT
+			}
+		}
+		for i := 0; i < ch.n; i++ {
+			if sel[i] != triT {
+				continue
+			}
+			if needRow {
+				env.row = p.t.rows[ch.ids[i]]
+			}
+			vals := slab.next()
+			if p.vec.proj != nil {
+				for k, ci := range p.vec.proj {
+					vals[k] = ch.vecs[ci].value(i)
+				}
+			} else {
+				for k, e := range p.projExprs {
+					v, err := eval(e, env)
+					if err != nil {
+						return nil, true, err
+					}
+					vals[k] = v
+				}
+			}
+			out.Rows = append(out.Rows, vals)
+			if needKeys {
+				keys := make([]Value, len(p.order))
+				for ki, k := range p.order {
+					if k.kind == orderKeyProjected {
+						keys[ki] = vals[k.idx]
+						continue
+					}
+					v, err := eval(k.expr, env)
+					if err != nil {
+						return nil, true, err
+					}
+					keys[ki] = v
+				}
+				orderKeys = append(orderKeys, keys)
+			}
+		}
+	}
+
+	if needKeys {
+		if err := sortRows(out, orderKeys, p.sel.OrderBy); err != nil {
+			return nil, true, err
+		}
+	}
+	if err := applyOffsetLimit(out, p.sel, env); err != nil {
+		return nil, true, err
+	}
+	return out, true, nil
+}
