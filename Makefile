@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench bench-smoke chaos stream-chaos gw-chaos soak fuzz-smoke
+.PHONY: all build test race vet fmt check bench bench-smoke chaos stream-chaos gw-chaos load-smoke soak fuzz-smoke
 
 all: build
 
@@ -33,10 +33,13 @@ bench-smoke:
 	$(GO) test -run NONE -bench . -benchtime 1x ./...
 
 # Fault-injection suite under the race detector: chaos byte-identity,
-# breaker recovery, admission shedding and the short soak. CI runs this.
+# breaker recovery, admission shedding, lifetime churn (100k registry
+# cycles + 10k full-stack cycles racing the reaper) and the short soak.
+# CI runs this. Scale the churn with DAIS_CHURN_CYCLES.
 chaos:
 	$(GO) test -race -shuffle=on -count=1 -run 'TestChaos|TestAdmission' ./internal/service/
 	$(GO) test -race -shuffle=on -count=1 -run 'TestChaosVector' ./internal/sqlengine/
+	$(GO) test -race -shuffle=on -count=1 -run 'TestChurn' ./internal/wsrf/ ./internal/loadgen/
 
 # Streaming-pipeline chaos: chunked fetch of a spilled 100k-row
 # resource through a fault-injecting transport, asserting byte-identical
@@ -50,6 +53,13 @@ stream-chaos:
 # rowsets, and the health board must converge. CI runs this.
 gw-chaos:
 	$(GO) test -race -shuffle=on -count=1 -run 'TestGWChaos' ./internal/gateway/
+
+# Open-loop load harness smoke: a short fixed-seed E17 sweep against
+# both targets (single daisd + 3-backend daisgw) asserting every
+# scenario class completes work, the churn invariants hold, and the
+# report round-trips through the BENCH_E17.json schema. CI runs this.
+load-smoke:
+	$(GO) test -count=1 -run 'TestE17Smoke' -v ./internal/bench/
 
 # Long-form soak: 10k injected-failure exchanges with goroutine
 # hygiene asserted afterwards. Not run in CI on every push.

@@ -1,15 +1,16 @@
-// Command daisbench runs the evaluation suite E1–E13, E15, E16 and E18
+// Command daisbench runs the evaluation suite E1–E13, E15–E18
 // (DESIGN.md §4 / EXPERIMENTS.md) end-to-end and prints one table per
 // experiment. Each experiment operationalises a quantifiable claim from
 // the paper; the expected shapes are documented in EXPERIMENTS.md. E13
 // additionally reports B/op and allocs/op columns and writes
 // BENCH_E13.json, E15 writes BENCH_E15.json, E16 (federation gateway
-// overhead) writes BENCH_E16.json, and E18 (columnar execution core)
-// writes BENCH_E18.json, so the perf trajectory is tracked across PRs.
+// overhead) writes BENCH_E16.json, E17 (open-loop capacity curves)
+// writes BENCH_E17.json, and E18 (columnar execution core) writes
+// BENCH_E18.json, so the perf trajectory is tracked across PRs.
 //
 // Usage:
 //
-//	daisbench [-quick] [-only E1,E3]
+//	daisbench [-quick] [-only E1,E3] [-seed 1] [-e17-rates 200,400,800]
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 	"text/tabwriter"
 	"time"
@@ -25,17 +27,57 @@ import (
 	"dais/internal/bench"
 )
 
+// parseOnly turns the -only flag value into the selected-experiment
+// set: ids are case-insensitive, whitespace-tolerant, empty entries
+// skipped. An empty selection means "run everything".
+func parseOnly(s string) map[string]bool {
+	selected := map[string]bool{}
+	for _, id := range strings.Split(s, ",") {
+		if id = strings.ToUpper(strings.TrimSpace(id)); id != "" {
+			selected[id] = true
+		}
+	}
+	return selected
+}
+
+// parseRates turns the -e17-rates flag value into the sweep's offered
+// arrival rates. Rates must be positive, finite and ascending — a
+// descending sweep would let saturation bleed backwards into the
+// points meant to establish the below-knee baseline. An empty value
+// returns nil, meaning "use the built-in sweep".
+func parseRates(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("empty rate in %q", s)
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("rate %q: %w", part, err)
+		}
+		if v <= 0 || v != v || v > 1e9 {
+			return nil, fmt.Errorf("rate %v out of range (want 0 < rate ≤ 1e9)", v)
+		}
+		if len(out) > 0 && v <= out[len(out)-1] {
+			return nil, fmt.Errorf("rates must ascend: %v after %v", v, out[len(out)-1])
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
 	only := flag.String("only", "", "comma-separated experiment ids to run (default all)")
+	seed := flag.Int64("seed", 1, "deterministic seed for the E17 open-loop load harness")
+	e17Rates := flag.String("e17-rates", "", "override E17 sweep rates (comma-separated ascending rps)")
 	flag.Parse()
 
-	selected := map[string]bool{}
-	for _, id := range strings.Split(*only, ",") {
-		if id != "" {
-			selected[strings.ToUpper(strings.TrimSpace(id))] = true
-		}
-	}
+	selected := parseOnly(*only)
 	want := func(id string) bool { return len(selected) == 0 || selected[id] }
 
 	sizes := []int{1, 10, 100, 1000, 10000}
@@ -282,6 +324,63 @@ func main() {
 			fatal("E16", err)
 		}
 		fmt.Println("\nE16 rows written to BENCH_E16.json")
+	}
+	if want("E17") {
+		cfg := bench.E17Config{
+			Rates:        []float64{200, 400, 800, 1600, 3200},
+			StepDuration: 2 * time.Second,
+			Seed:         *seed,
+			ChurnCycles:  20_000,
+		}
+		if *quick {
+			cfg.Rates = []float64{150, 400}
+			cfg.StepDuration = 700 * time.Millisecond
+			cfg.ChurnCycles = 2_000
+		}
+		if rates, err := parseRates(*e17Rates); err != nil {
+			fatal("E17", err)
+		} else if rates != nil {
+			cfg.Rates = rates
+		}
+		rep, err := bench.RunE17(cfg)
+		fatal("E17", err)
+		table(fmt.Sprintf("E17 Open-loop capacity curve: %s (SLO p99 ≤ %.0fms, seed %d)",
+			rep.Single.Target, rep.Single.SLOMs, rep.Seed),
+			"offered rps\tachieved\tok\tshed\terrors\tp50 ms\tp99 ms\tp99.9 ms\twithin SLO",
+			func(w *tabwriter.Writer) {
+				for _, p := range rep.Single.Points {
+					fmt.Fprintf(w, "%.0f\t%.0f\t%d\t%d\t%d\t%.2f\t%.2f\t%.2f\t%v\n",
+						p.OfferedRPS, p.AchievedRPS, p.OK, p.Shed, p.Errors,
+						p.P50Ms, p.P99Ms, p.P999Ms, p.WithinSLO)
+				}
+				fmt.Fprintf(w, "knee\t%.0f rps (offered %.0f)\n", rep.Single.KneeRPS, rep.Single.KneeOfferedRPS)
+			})
+		table(fmt.Sprintf("E17 Open-loop capacity curve: %s (3 replicated backends)", rep.Cluster.Target),
+			"offered rps\tachieved\tok\tshed\terrors\tp50 ms\tp99 ms\tp99.9 ms\twithin SLO",
+			func(w *tabwriter.Writer) {
+				for _, p := range rep.Cluster.Points {
+					fmt.Fprintf(w, "%.0f\t%.0f\t%d\t%d\t%d\t%.2f\t%.2f\t%.2f\t%v\n",
+						p.OfferedRPS, p.AchievedRPS, p.OK, p.Shed, p.Errors,
+						p.P50Ms, p.P99Ms, p.P999Ms, p.WithinSLO)
+				}
+				fmt.Fprintf(w, "knee\t%.0f rps (offered %.0f)\n", rep.Cluster.KneeRPS, rep.Cluster.KneeOfferedRPS)
+			})
+		if rep.Churn != nil {
+			table("E17 Lifetime churn (factory-created short-TTL resources racing the reaper)",
+				"cycles\tdestroy won\treaper won\tmisclassified\tfetch-after-reap ok\tcycles/s",
+				func(w *tabwriter.Writer) {
+					c := rep.Churn
+					fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%.0f\n",
+						c.Cycles, c.DestroyWon, c.ReaperWon, c.Misclassified,
+						c.FetchAfterReapOK, c.CyclesPerSec)
+				})
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		fatal("E17", err)
+		if err := os.WriteFile("BENCH_E17.json", append(data, '\n'), 0o644); err != nil {
+			fatal("E17", err)
+		}
+		fmt.Println("\nE17 report written to BENCH_E17.json")
 	}
 }
 

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseOnly(t *testing.T) {
+	cases := []struct {
+		in   string
+		want map[string]bool
+	}{
+		{"", map[string]bool{}},
+		{"E1", map[string]bool{"E1": true}},
+		{"e1, e17 ,E3", map[string]bool{"E1": true, "E17": true, "E3": true}},
+		{",,", map[string]bool{}},
+	}
+	for _, tc := range cases {
+		if got := parseOnly(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("parseOnly(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseRates(t *testing.T) {
+	good := []struct {
+		in   string
+		want []float64
+	}{
+		{"", nil},
+		{"   ", nil},
+		{"100", []float64{100}},
+		{"100, 200.5 ,400", []float64{100, 200.5, 400}},
+	}
+	for _, tc := range good {
+		got, err := parseRates(tc.in)
+		if err != nil {
+			t.Errorf("parseRates(%q): %v", tc.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("parseRates(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	bad := []string{
+		"abc",        // not a number
+		"100,,200",   // empty entry
+		"-5",         // negative
+		"0",          // zero offered rate
+		"NaN",        // not finite
+		"400,200",    // descending
+		"100,100",    // not strictly ascending
+		"1e12",       // absurd rate
+		"100,200,xy", // trailing junk
+	}
+	for _, in := range bad {
+		if got, err := parseRates(in); err == nil {
+			t.Errorf("parseRates(%q) accepted: %v", in, got)
+		}
+	}
+}

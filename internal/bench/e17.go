@@ -1,0 +1,269 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"dais/internal/client"
+	"dais/internal/core"
+	"dais/internal/dair"
+	"dais/internal/daix"
+	"dais/internal/gateway"
+	"dais/internal/loadgen"
+	"dais/internal/resil"
+	"dais/internal/service"
+	"dais/internal/telemetry"
+	"dais/internal/xmldb"
+	"dais/internal/xmlutil"
+)
+
+// E17Config parameterises experiment E17 (open-loop capacity curves):
+// the arrival-rate sweep, the SLO the knee is scored against, and the
+// lifetime-churn cycle count. The same sweep runs against a single
+// daisd and a 3-backend daisgw cluster so the two curves are directly
+// comparable.
+type E17Config struct {
+	Rates        []float64
+	StepDuration time.Duration
+	// SLO is the p99 objective defining the knee (default 250ms).
+	SLO time.Duration
+	// Seed makes the offered load a pure function of configuration.
+	Seed int64
+	// ChurnCycles is the lifetime-churn cycle count (0 skips churn).
+	ChurnCycles int
+	// SQLResources/XMLResources/Rows size the standing population
+	// (defaults 8 / 3 / 1000).
+	SQLResources int
+	XMLResources int
+	Rows         int
+	// MaxInFlight is the admission ceiling per node (default 64): past
+	// the knee the system sheds with ServiceBusyFault instead of
+	// queuing without bound.
+	MaxInFlight int
+}
+
+// E17Report is the machine-readable outcome written to BENCH_E17.json:
+// one capacity curve per target plus the churn invariants.
+type E17Report struct {
+	Seed    int64                `json:"seed"`
+	Single  *loadgen.Curve       `json:"single"`
+	Cluster *loadgen.Curve       `json:"cluster"`
+	Churn   *loadgen.ChurnReport `json:"churn,omitempty"`
+}
+
+func (c *E17Config) defaults() {
+	if c.SLO <= 0 {
+		c.SLO = 250 * time.Millisecond
+	}
+	if c.SQLResources <= 0 {
+		c.SQLResources = 8
+	}
+	if c.XMLResources <= 0 {
+		c.XMLResources = 3
+	}
+	if c.Rows <= 0 {
+		c.Rows = 1000
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+}
+
+// e17Node builds one daisd-shaped endpoint for the load harness: the
+// canonical loadgen data population, XML collections, WSRF lifetime
+// management with a running reaper, admission control and a /metrics
+// exposition — the full operator deployment shape E17 claims to
+// measure. Every node hosts the SAME resource names so a gateway's
+// consistent-hash routing always resolves whichever backend it picks.
+func e17Node(name string, cfg E17Config) (*httptest.Server, func()) {
+	eng := loadgen.SeedEngine(name, cfg.Rows)
+	svc := core.NewDataService(name,
+		core.WithConcurrentAccess(true),
+		core.WithConfigurationMap(dair.StandardConfigurationMaps()...),
+		core.WithConfigurationMap(daix.StandardConfigurationMaps()...))
+	obs := telemetry.NewObserver(telemetry.WithSlowThreshold(0))
+	ep := service.NewEndpoint(svc,
+		service.WithWSRF(),
+		service.WithTelemetry(obs),
+		service.WithAdmission(resil.AdmissionConfig{
+			MaxInFlight: cfg.MaxInFlight,
+			RetryAfter:  250 * time.Millisecond,
+		}))
+	for i := 0; i < cfg.SQLResources; i++ {
+		res := dair.NewSQLDataResource(eng)
+		res.Name = fmt.Sprintf("urn:dais:load:sql-%03d", i)
+		ep.Register(res)
+	}
+	for i := 0; i < cfg.XMLResources; i++ {
+		store := xmldb.NewStore(fmt.Sprintf("col-%03d", i))
+		seedE17Books(store)
+		res := daix.NewXMLCollectionResource(store, "")
+		res.Name = fmt.Sprintf("urn:dais:load:xml-%03d", i)
+		ep.Register(res)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", ep)
+	mux.Handle("/metrics", obs.Registry.Handler())
+	ts := httptest.NewServer(mux)
+	svc.SetAddress(ts.URL)
+	stopReaper := ep.WSRF().StartReaper(5 * time.Millisecond)
+	return ts, func() { stopReaper(); ts.Close() }
+}
+
+func seedE17Books(store *xmldb.Store) {
+	for i, doc := range []string{
+		`<book id="1"><title>Alpha</title><price>10</price></book>`,
+		`<book id="2"><title>Beta</title><price>30</price></book>`,
+		`<book id="3"><title>Gamma</title><price>45</price></book>`,
+	} {
+		e, err := xmlutil.ParseString(doc)
+		if err != nil {
+			panic(err)
+		}
+		if err := store.AddDocument("", fmt.Sprintf("b%d.xml", i), e); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// e17Refs builds the population refs addressed at base (a node or a
+// gateway fronting replicated nodes).
+func e17Refs(base string, cfg E17Config) (sql, xml []client.ResourceRef) {
+	for i := 0; i < cfg.SQLResources; i++ {
+		sql = append(sql, client.Ref(base, fmt.Sprintf("urn:dais:load:sql-%03d", i)))
+	}
+	for i := 0; i < cfg.XMLResources; i++ {
+		xml = append(xml, client.Ref(base, fmt.Sprintf("urn:dais:load:xml-%03d", i)))
+	}
+	return sql, xml
+}
+
+// loadClient is the harness consumer: zero resilience policy (no
+// retries, no breaker) and no shared global observer, so every shed
+// and fault reaches the harness accounting exactly once.
+func loadClient() *client.Client {
+	return client.NewResilient(nil, nil, resil.ClientConfig{})
+}
+
+// RunE17 produces the capacity-curve regression gate: the standard
+// multi-tenant mix swept open-loop over cfg.Rates against (a) one
+// daisd node and (b) a daisgw gateway sharding over three replicated
+// backends, each point carrying client- and server-side p50/p99/p999
+// per op class, plus the lifetime-churn proof against the single node.
+func RunE17(cfg E17Config) (*E17Report, error) {
+	cfg.defaults()
+	if len(cfg.Rates) == 0 {
+		return nil, fmt.Errorf("E17: no sweep rates")
+	}
+	ctx := context.Background()
+	rep := &E17Report{Seed: cfg.Seed}
+
+	sweepCfg := loadgen.SweepConfig{
+		Rates:        cfg.Rates,
+		StepDuration: cfg.StepDuration,
+		SLO:          cfg.SLO,
+		Seed:         cfg.Seed,
+		Timeout:      5 * time.Second,
+	}
+
+	// Target 1: single daisd node.
+	{
+		ts, done := e17Node("e17-single", cfg)
+		sqlRefs, xmlRefs := e17Refs(ts.URL, cfg)
+		target := &loadgen.Target{
+			Name:       "daisd",
+			Client:     loadClient(),
+			SQLRefs:    sqlRefs,
+			XMLRefs:    xmlRefs,
+			MetricsURL: ts.URL + "/metrics",
+		}
+		pop, err := loadgen.NewPopularity(len(sqlRefs), 1.2, 1.5)
+		if err != nil {
+			done()
+			return nil, err
+		}
+		curve, err := loadgen.Sweep(ctx, target, loadgen.StandardMix(target, pop), sweepCfg)
+		if err != nil {
+			done()
+			return nil, fmt.Errorf("E17 single sweep: %w", err)
+		}
+		rep.Single = curve
+
+		if cfg.ChurnCycles > 0 {
+			churn, err := loadgen.RunChurn(ctx, loadgen.ChurnConfig{
+				Client: target.Client,
+				Source: sqlRefs[0],
+				Cycles: cfg.ChurnCycles,
+				TTL:    4 * time.Millisecond,
+				Seed:   cfg.Seed,
+			})
+			if err != nil {
+				done()
+				return nil, fmt.Errorf("E17 churn: %w", err)
+			}
+			rep.Churn = churn
+		}
+		done()
+	}
+
+	// Target 2: daisgw fronting three replicated backends. Every
+	// backend hosts the full population under the same names, so the
+	// gateway's consistent-hash ring spreads the resource space across
+	// the shards while every route resolves.
+	{
+		var backends []string
+		var cleanups []func()
+		for i := 0; i < 3; i++ {
+			ts, done := e17Node(fmt.Sprintf("e17-shard%d", i), cfg)
+			backends = append(backends, ts.URL)
+			cleanups = append(cleanups, done)
+		}
+		gwObs := telemetry.NewObserver(telemetry.WithSlowThreshold(0))
+		gw := gateway.New(gateway.Config{
+			Backends:   backends,
+			Observer:   gwObs,
+			Resilience: &resil.ClientConfig{}, // single attempt per proxy hop
+			Admission: &resil.AdmissionConfig{
+				MaxInFlight: 3 * cfg.MaxInFlight,
+				RetryAfter:  250 * time.Millisecond,
+			},
+		})
+		mux := http.NewServeMux()
+		mux.Handle("/", gw)
+		mux.Handle("/metrics", gwObs.Registry.Handler())
+		gwTS := httptest.NewServer(mux)
+		gw.SetAddress(gwTS.URL)
+		gw.Probe(ctx)
+		done := func() {
+			gwTS.Close()
+			for _, c := range cleanups {
+				c()
+			}
+		}
+
+		sqlRefs, xmlRefs := e17Refs(gwTS.URL, cfg)
+		target := &loadgen.Target{
+			Name:       "daisgw-3",
+			Client:     loadClient(),
+			SQLRefs:    sqlRefs,
+			XMLRefs:    xmlRefs,
+			MetricsURL: gwTS.URL + "/metrics",
+		}
+		pop, err := loadgen.NewPopularity(len(sqlRefs), 1.2, 1.5)
+		if err != nil {
+			done()
+			return nil, err
+		}
+		curve, err := loadgen.Sweep(ctx, target, loadgen.StandardMix(target, pop), sweepCfg)
+		if err != nil {
+			done()
+			return nil, fmt.Errorf("E17 cluster sweep: %w", err)
+		}
+		rep.Cluster = curve
+		done()
+	}
+	return rep, nil
+}

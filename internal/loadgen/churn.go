@@ -1,0 +1,155 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dais/internal/client"
+	"dais/internal/core"
+)
+
+// ChurnConfig parameterises the lifetime-churn mode: workers minting
+// short-TTL service-managed resources through the SQL factory while
+// the WSRF reaper sweeps, half of them racing the reaper with an
+// explicit destroy.
+type ChurnConfig struct {
+	Client *client.Client
+	// Source is the relational resource whose factory mints the
+	// derived short-TTL resources.
+	Source client.ResourceRef
+	// Cycles is the total number of create(/destroy) cycles.
+	Cycles int
+	// Workers is the number of concurrent producers (default 8).
+	Workers int
+	// TTL is the upper bound of the random termination offset; a zero
+	// offset schedules the resource as already-expired (default 5ms).
+	TTL time.Duration
+	// DestroyFraction is the share of cycles that issue an explicit
+	// WSRFDestroy racing the reaper (default 0.5).
+	DestroyFraction float64
+	// Seed makes each worker's TTL/destroy choices reproducible.
+	Seed int64
+}
+
+// ChurnReport is the churn mode's outcome. The invariants the caller
+// asserts: Misclassified == 0, FetchAfterReapOK == 0, and — once TTLs
+// have passed and the reaper has swept — the target's live-resource
+// count back at its pre-churn baseline.
+type ChurnReport struct {
+	Cycles     int64 `json:"cycles"`
+	DestroyWon int64 `json:"destroy_won"` // explicit destroy beat the reaper
+	ReaperWon  int64 `json:"reaper_won"`  // destroy raced and lost: typed unknown-resource fault
+	// Misclassified counts destroy-after-reap attempts that failed with
+	// anything other than the typed InvalidResourceNameFault.
+	Misclassified int64 `json:"misclassified"`
+	// FetchAfterReapOK counts reads through an EPR whose resource the
+	// reaper had already destroyed that nevertheless succeeded — a
+	// soft-state consistency violation.
+	FetchAfterReapOK int64   `json:"fetch_after_reap_ok"`
+	Elapsed          string  `json:"elapsed"`
+	CyclesPerSec     float64 `json:"cycles_per_sec"`
+}
+
+// RunChurn drives the configured create/destroy cycles and classifies
+// every outcome. Errors other than the raced-destroy kinds abort the
+// run: churn is a correctness proof, not a best-effort load shape.
+func RunChurn(ctx context.Context, cfg ChurnConfig) (*ChurnReport, error) {
+	if cfg.Cycles <= 0 {
+		return nil, fmt.Errorf("loadgen: churn cycles %d", cfg.Cycles)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 8
+	}
+	ttl := cfg.TTL
+	if ttl <= 0 {
+		ttl = 5 * time.Millisecond
+	}
+	destroyFrac := cfg.DestroyFraction
+	if destroyFrac <= 0 {
+		destroyFrac = 0.5
+	}
+
+	rep := &ChurnReport{}
+	var destroyWon, reaperWon, misclassified, fetchAfterReap, cycles atomic.Int64
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	per := cfg.Cycles / workers
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		n := per
+		if w == 0 {
+			n += cfg.Cycles % workers // worker 0 absorbs the remainder
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			for i := 0; i < n; i++ {
+				if ctx.Err() != nil {
+					errCh <- ctx.Err()
+					return
+				}
+				derived, err := cfg.Client.SQLExecuteFactory(ctx, cfg.Source,
+					`SELECT id FROM data WHERE id < 3`, nil, nil)
+				if err != nil {
+					errCh <- fmt.Errorf("churn factory: %w", err)
+					return
+				}
+				cycles.Add(1)
+				tt := time.Now().Add(time.Duration(r.Int63n(int64(ttl))))
+				if _, err := cfg.Client.SetTerminationTime(ctx, derived, &tt); err != nil {
+					// The reaper may have already won if the TTL raced to
+					// zero before this call landed; that is the typed
+					// unknown-resource outcome, anything else is fatal.
+					if isUnknownResource(err) {
+						reaperWon.Add(1)
+						continue
+					}
+					errCh <- fmt.Errorf("churn set-termination: %w", err)
+					return
+				}
+				if r.Float64() < destroyFrac {
+					switch err := cfg.Client.WSRFDestroy(ctx, derived); {
+					case err == nil:
+						destroyWon.Add(1)
+					case isUnknownResource(err):
+						reaperWon.Add(1)
+						// The EPR must now be dead for reads too.
+						if _, err := cfg.Client.GetSQLRowset(ctx, derived, 0); err == nil {
+							fetchAfterReap.Add(1)
+						}
+					default:
+						misclassified.Add(1)
+					}
+				}
+			}
+		}(w, n)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return nil, err
+	}
+	rep.Cycles = cycles.Load()
+	rep.DestroyWon = destroyWon.Load()
+	rep.ReaperWon = reaperWon.Load()
+	rep.Misclassified = misclassified.Load()
+	rep.FetchAfterReapOK = fetchAfterReap.Load()
+	elapsed := time.Since(start)
+	rep.Elapsed = elapsed.Round(time.Millisecond).String()
+	rep.CyclesPerSec = float64(rep.Cycles) / elapsed.Seconds()
+	return rep, nil
+}
+
+// isUnknownResource recognises the typed fault a destroyed (reaped)
+// resource's EPR must produce.
+func isUnknownResource(err error) bool {
+	var f *core.InvalidResourceNameFault
+	return errors.As(err, &f)
+}

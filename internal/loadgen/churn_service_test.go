@@ -1,0 +1,77 @@
+package loadgen_test
+
+import (
+	"context"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"dais/internal/loadgen"
+)
+
+// serviceChurnCycles returns the cycle count for the end-to-end churn
+// test: 10k by default (the full SOAP/HTTP round trip per cycle is the
+// cost driver), scalable via DAIS_CHURN_CYCLES for soak runs.
+func serviceChurnCycles(t testing.TB) int {
+	if v := os.Getenv("DAIS_CHURN_CYCLES"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			t.Fatalf("DAIS_CHURN_CYCLES=%q: want a positive integer", v)
+		}
+		return n
+	}
+	return 10_000
+}
+
+// TestChurnServiceLifetime is the full-stack lifetime-churn proof: the
+// factory mints short-TTL derived resources over real SOAP/HTTP while
+// the reaper sweeps every millisecond, half the cycles racing it with
+// an explicit destroy. It asserts the soft-state contract end to end —
+// destroy-after-reap is the typed unknown-resource fault and nothing
+// else, reaped EPRs stay dead, and the registry drains back to the
+// standing population with zero leaked resources.
+func TestChurnServiceLifetime(t *testing.T) {
+	f := newLoadFixture(t, fixtureOpt{sqlResources: 2, rows: 10, reap: time.Millisecond})
+	baseline := f.ep.WSRF().LiveCount()
+	if baseline != 2 {
+		t.Fatalf("baseline live count %d, want the 2 standing resources", baseline)
+	}
+
+	cycles := serviceChurnCycles(t)
+	rep, err := loadgen.RunChurn(context.Background(), loadgen.ChurnConfig{
+		Client:  f.target.Client,
+		Source:  f.target.SQLRefs[0],
+		Cycles:  cycles,
+		Workers: 8,
+		TTL:     4 * time.Millisecond,
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("churn: %+v", rep)
+
+	if got := int(rep.Cycles); got != cycles {
+		t.Errorf("completed %d cycles, want %d", got, cycles)
+	}
+	if rep.Misclassified != 0 {
+		t.Errorf("%d destroy-after-reap attempts failed with the wrong fault type", rep.Misclassified)
+	}
+	if rep.FetchAfterReapOK != 0 {
+		t.Errorf("%d reads succeeded through reaped EPRs", rep.FetchAfterReapOK)
+	}
+	if rep.DestroyWon == 0 {
+		t.Error("no cycle's explicit destroy ever beat the reaper — race not exercised")
+	}
+
+	// Zero leaks: once the longest TTL has passed and the reaper has
+	// swept, every derived resource is gone and only the standing
+	// population remains — both in the registry and on the exported
+	// live-resource gauge.
+	deadlineWait(t, func() bool { return f.ep.WSRF().LiveCount() == baseline })
+	if live := f.ep.WSRF().LiveCount(); live != baseline {
+		t.Fatalf("leaked %d resources after churn (live=%d baseline=%d)",
+			live-baseline, live, baseline)
+	}
+}

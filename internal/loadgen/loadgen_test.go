@@ -1,0 +1,231 @@
+package loadgen
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNormalizeWeightsValidation(t *testing.T) {
+	mk := func(ws ...float64) []Scenario {
+		var out []Scenario
+		for i, w := range ws {
+			out = append(out, Scenario{Name: string(rune('a' + i)), Weight: w})
+		}
+		return out
+	}
+	cases := []struct {
+		name      string
+		scenarios []Scenario
+		wantErr   bool
+	}{
+		{"empty mix", nil, true},
+		{"negative weight", mk(1, -2), true},
+		{"zero sum", mk(0, 0, 0), true},
+		{"nan weight", mk(1, nanF()), true},
+		{"duplicate name", []Scenario{{Name: "x", Weight: 1}, {Name: "x", Weight: 1}}, true},
+		{"unnamed", []Scenario{{Weight: 1}}, true},
+		{"valid", mk(6, 2, 2), false},
+		{"zero weight allowed when sum positive", mk(1, 0), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cum, err := NormalizeWeights(tc.scenarios)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("err=%v, wantErr=%v", err, tc.wantErr)
+			}
+			if err == nil && cum[len(cum)-1] != 1 {
+				t.Errorf("cumulative shares end at %v, want 1", cum[len(cum)-1])
+			}
+		})
+	}
+}
+
+func nanF() float64 {
+	z := 0.0
+	return z / z
+}
+
+func TestNormalizeWeightsShares(t *testing.T) {
+	cum, err := NormalizeWeights([]Scenario{
+		{Name: "a", Weight: 6}, {Name: "b", Weight: 2}, {Name: "c", Weight: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.6, 0.8, 1.0}
+	for i := range want {
+		if diff := cum[i] - want[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("cum[%d] = %v, want %v", i, cum[i], want[i])
+		}
+	}
+	// A weight-zero scenario must never be picked.
+	cum2, err := NormalizeWeights([]Scenario{{Name: "hot", Weight: 1}, {Name: "off", Weight: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 10_000; i++ {
+		if pickScenario(cum2, r.Float64()) == 1 {
+			t.Fatal("picked a weight-zero scenario")
+		}
+	}
+}
+
+// TestRunDeterministicMix proves the offered load is a pure function of
+// the seed: two runs with the same seed issue the identical number of
+// requests per class (arrival gaps and scenario choices are drawn from
+// the master RNG on a planned timeline, independent of actual service
+// latency), and a different seed produces a different trace.
+func TestRunDeterministicMix(t *testing.T) {
+	run := func(seed int64) map[string]int {
+		var mu sync.Mutex
+		counts := map[string]int{}
+		noop := func(name string) func(ctx context.Context, r *rand.Rand) error {
+			return func(ctx context.Context, r *rand.Rand) error {
+				mu.Lock()
+				counts[name]++
+				mu.Unlock()
+				return nil
+			}
+		}
+		res, err := Run(context.Background(), Config{
+			Rate:     2000,
+			Duration: 250 * time.Millisecond,
+			Seed:     seed,
+			Scenarios: []Scenario{
+				{Name: "a", Weight: 6, Run: noop("a")},
+				{Name: "b", Weight: 2, Run: noop("b")},
+				{Name: "c", Weight: 2, Run: noop("c")},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Dropped != 0 || res.Errors != 0 {
+			t.Fatalf("noop run dropped=%d errors=%d", res.Dropped, res.Errors)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		out := map[string]int{}
+		for k, v := range counts {
+			out[k] = v
+		}
+		return out
+	}
+	a1, a2, b := run(11), run(11), run(12)
+	for _, cls := range []string{"a", "b", "c"} {
+		if a1[cls] != a2[cls] {
+			t.Errorf("class %s: same seed issued %d vs %d", cls, a1[cls], a2[cls])
+		}
+	}
+	same := true
+	for _, cls := range []string{"a", "b", "c"} {
+		if a1[cls] != b[cls] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+	// Poisson sanity: ~500 arrivals expected (2000/s × 0.25s); allow a
+	// wide band — this is a distribution check, not a timing check.
+	total := a1["a"] + a1["b"] + a1["c"]
+	if total < 350 || total > 700 {
+		t.Errorf("arrivals %d far from expected ~500", total)
+	}
+	// The weighted mix must show through: class a is 60% of arrivals.
+	if a1["a"] <= a1["b"] || a1["a"] <= a1["c"] {
+		t.Errorf("mix weights not respected: %v", a1)
+	}
+}
+
+// TestRunOutstandingCap proves the open loop sheds arrivals at the
+// harness boundary instead of blocking the arrival clock when the
+// service hangs.
+func TestRunOutstandingCap(t *testing.T) {
+	block := make(chan struct{})
+	res, err := Run(context.Background(), Config{
+		Rate:           2000,
+		Duration:       200 * time.Millisecond,
+		Seed:           1,
+		Timeout:        50 * time.Millisecond,
+		MaxOutstanding: 4,
+		Scenarios: []Scenario{{Name: "hang", Weight: 1,
+			Run: func(ctx context.Context, r *rand.Rand) error {
+				select {
+				case <-block:
+				case <-ctx.Done():
+				}
+				return ctx.Err()
+			}}},
+	})
+	close(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped == 0 {
+		t.Error("hung service produced no harness drops")
+	}
+	if res.Issued < 100 {
+		t.Errorf("arrival clock stalled: only %d issued", res.Issued)
+	}
+}
+
+func TestPopularityZipfShape(t *testing.T) {
+	if _, err := NewPopularity(0, 1.2, 1.5); err == nil {
+		t.Error("accepted empty population")
+	}
+	if _, err := NewPopularity(10, 1.0, 1.5); err == nil {
+		t.Error("accepted s<=1")
+	}
+	pop, err := NewPopularity(100, 1.2, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	const picks = 200_000
+	freq := make([]int, pop.N())
+	for i := 0; i < picks; i++ {
+		idx := pop.Pick(r)
+		if idx < 0 || idx >= pop.N() {
+			t.Fatalf("pick %d out of range", idx)
+		}
+		freq[idx]++
+	}
+	// Zipfian shape: strong head, long tail. Rank 0 clearly beats rank
+	// 9, which clearly beats rank 49; the top decile carries a
+	// disproportionate share; every comparison uses wide margins so the
+	// test pins the distribution, not RNG minutiae.
+	if freq[0] < 2*freq[9] {
+		t.Errorf("rank 0 (%d) not ≫ rank 9 (%d)", freq[0], freq[9])
+	}
+	if freq[9] < 2*freq[49] {
+		t.Errorf("rank 9 (%d) not ≫ rank 49 (%d)", freq[9], freq[49])
+	}
+	top10 := 0
+	for _, f := range freq[:10] {
+		top10 += f
+	}
+	if share := float64(top10) / picks; share < 0.40 {
+		t.Errorf("top-10 share %.3f, want ≥ 0.40 (zipfian head missing)", share)
+	}
+	tailZero := 0
+	for _, f := range freq[50:] {
+		if f == 0 {
+			tailZero++
+		}
+	}
+	if tailZero == 50 {
+		t.Error("tail never sampled at all: population effectively truncated")
+	}
+	// Determinism: the same request-RNG seed picks the same target.
+	r1, r2 := rand.New(rand.NewSource(9)), rand.New(rand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		if pop.Pick(r1) != pop.Pick(r2) {
+			t.Fatal("zipf pick not deterministic under a fixed seed")
+		}
+	}
+}

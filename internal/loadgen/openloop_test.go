@@ -1,0 +1,141 @@
+package loadgen_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dais/internal/loadgen"
+)
+
+// TestOpenLoopSmoke drives the standard multi-tenant mix against an
+// in-process endpoint at a modest rate and checks the run's basic
+// health: every scenario class completes requests, nothing errors, and
+// the sweep machinery produces a curve with server-side percentiles
+// from the /metrics delta.
+func TestOpenLoopSmoke(t *testing.T) {
+	f := newLoadFixture(t, fixtureOpt{sqlResources: 8, xmlResources: 3, reap: 5 * time.Millisecond})
+	pop, err := loadgen.NewPopularity(len(f.target.SQLRefs), 1.2, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios := loadgen.StandardMix(f.target, pop)
+	if len(scenarios) != 4 {
+		t.Fatalf("standard mix has %d classes, want 4", len(scenarios))
+	}
+
+	curve, err := loadgen.Sweep(context.Background(), f.target, scenarios, loadgen.SweepConfig{
+		Rates:        []float64{150, 300},
+		StepDuration: 700 * time.Millisecond,
+		SLO:          250 * time.Millisecond,
+		Seed:         42,
+		Timeout:      5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.Points) != 2 {
+		t.Fatalf("curve has %d points, want 2", len(curve.Points))
+	}
+	for _, pt := range curve.Points {
+		if pt.Errors > 0 {
+			t.Errorf("rate %v: %d errors in a healthy run", pt.OfferedRPS, pt.Errors)
+		}
+		if pt.Dropped > 0 {
+			t.Errorf("rate %v: harness dropped %d arrivals below saturation", pt.OfferedRPS, pt.Dropped)
+		}
+		byClass := map[string]loadgen.ClassPoint{}
+		for _, cp := range pt.Classes {
+			byClass[cp.Class] = cp
+		}
+		for _, cls := range []string{"sql-direct", "sql-indirect", "xml-xpath", "wsrf-props"} {
+			cp, ok := byClass[cls]
+			if !ok {
+				t.Fatalf("rate %v: class %s missing from curve point", pt.OfferedRPS, cls)
+			}
+			if cp.OK == 0 {
+				t.Errorf("rate %v: class %s completed no requests", pt.OfferedRPS, cls)
+			}
+			if cp.ClientP50Ms <= 0 {
+				t.Errorf("rate %v: class %s has no client p50", pt.OfferedRPS, cls)
+			}
+			if cp.ServerP50Ms <= 0 || cp.ServerP999Ms < cp.ServerP50Ms {
+				t.Errorf("rate %v: class %s server percentiles broken: p50=%v p999=%v",
+					pt.OfferedRPS, cls, cp.ServerP50Ms, cp.ServerP999Ms)
+			}
+		}
+	}
+	// A healthy 2-point sweep well under capacity meets the SLO at the
+	// top rate, so the knee is the top point's achieved throughput.
+	if curve.KneeRPS <= 0 {
+		t.Error("no knee found in an unsaturated sweep")
+	}
+	// The run is open-loop: issued counts track offered rate, not
+	// service speed. 300 rps × 0.7s ≈ 210 arrivals ± Poisson noise.
+	last := curve.Points[1]
+	if last.Issued < 130 || last.Issued > 300 {
+		t.Errorf("arrivals %d far from offered 210", last.Issued)
+	}
+
+	// The indirect create-fetch-destroy sessions must not leak derived
+	// resources: after the sweep, live count returns to the standing
+	// population.
+	deadlineWait(t, func() bool {
+		return f.ep.WSRF().LiveCount() == len(f.target.SQLRefs)+len(f.target.XMLRefs)
+	})
+}
+
+// TestSweepKneeDetection scores synthetic curve points through the real
+// sweep SLO logic by running one saturated step: a slow fixture offered
+// far more than it can serve must produce a point that violates the SLO
+// (sheds or latency), leaving the knee at the sustainable step.
+func TestSweepKneeDetection(t *testing.T) {
+	// 8ms handler delay and 16 in-flight slots ≈ 2000 rps ceiling, but
+	// the admission gate is set tight so overload sheds fast.
+	f := newLoadFixture(t, fixtureOpt{
+		sqlResources: 4,
+		handlerDelay: 8 * time.Millisecond,
+		admission:    admission(16),
+	})
+	pop, err := loadgen.NewPopularity(len(f.target.SQLRefs), 1.2, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios := []loadgen.Scenario{sqlOnly(f.target, pop)}
+	curve, err := loadgen.Sweep(context.Background(), f.target, scenarios, loadgen.SweepConfig{
+		Rates:        []float64{100, 4000},
+		StepDuration: 600 * time.Millisecond,
+		SLO:          150 * time.Millisecond,
+		Seed:         7,
+		Timeout:      2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, high := curve.Points[0], curve.Points[1]
+	if !low.WithinSLO {
+		t.Errorf("low rate violated SLO: %+v", low)
+	}
+	if high.WithinSLO {
+		t.Errorf("saturated rate met SLO: %+v", high)
+	}
+	if high.Shed == 0 {
+		t.Error("saturated step shed nothing through the admission gate")
+	}
+	if curve.KneeRPS <= 0 || curve.KneeOfferedRPS != 100 {
+		t.Errorf("knee at offered %v rps (achieved %v), want the 100 rps step",
+			curve.KneeOfferedRPS, curve.KneeRPS)
+	}
+}
+
+func deadlineWait(t testing.TB, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Error("condition not reached within 5s")
+}

@@ -1,0 +1,120 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dais/internal/client"
+)
+
+// Target is one system under load: a consumer client plus the
+// pre-created resource populations the scenarios address. The same
+// scenario set points at a single daisd and at a daisgw cluster — the
+// target only carries addresses, so the capacity curves are directly
+// comparable.
+type Target struct {
+	// Name labels the target in results ("daisd", "daisgw-3").
+	Name string
+	// Client issues every request (share one: it models the consumer
+	// population's connection pool).
+	Client *client.Client
+	// SQLRefs is the relational resource population, hottest-first
+	// under the zipf pick.
+	SQLRefs []client.ResourceRef
+	// XMLRefs is the XML collection population.
+	XMLRefs []client.ResourceRef
+	// MetricsURL is the target's Prometheus endpoint; "" skips
+	// server-side percentiles.
+	MetricsURL string
+}
+
+// StandardMix returns the default multi-tenant scenario set against a
+// target: the access-pattern spread the DAIS specifications describe
+// (direct and indirect relational access, XML querying, WSRF property
+// traffic), weighted the way a consumer population skews — reads
+// dominate, indirect sessions and lifetime writes are the minority.
+//
+//	sql-direct   w=6  SQLExecute on a zipf-picked resource
+//	sql-indirect w=2  SQLExecuteFactory → GetSQLRowset → WSRFDestroy
+//	xml-xpath    w=2  XPathExecute on a zipf-picked collection
+//	wsrf-props   w=2  GetResourceProperty, 1-in-5 SetTerminationTime
+func StandardMix(t *Target, pop *Popularity) []Scenario {
+	xmlPop := pop
+	if len(t.XMLRefs) > 0 && len(t.XMLRefs) != pop.N() {
+		if p, err := NewPopularity(len(t.XMLRefs), 1.2, 1.5); err == nil {
+			xmlPop = p
+		}
+	}
+	scenarios := []Scenario{
+		{
+			Name: "sql-direct", Weight: 6, Op: "SQLExecute",
+			Run: func(ctx context.Context, r *rand.Rand) error {
+				ref := t.SQLRefs[pop.Pick(r)%len(t.SQLRefs)]
+				lo := r.Intn(900)
+				q := fmt.Sprintf(`SELECT id, payload, num FROM data WHERE id BETWEEN %d AND %d`, lo, lo+19)
+				_, err := t.Client.SQLExecute(ctx, ref, q, nil, "")
+				return err
+			},
+		},
+		{
+			Name: "sql-indirect", Weight: 2, Op: "SQLExecuteFactory",
+			Run: func(ctx context.Context, r *rand.Rand) error {
+				src := t.SQLRefs[pop.Pick(r)%len(t.SQLRefs)]
+				lo := r.Intn(900)
+				q := fmt.Sprintf(`SELECT id, payload FROM data WHERE id BETWEEN %d AND %d`, lo, lo+9)
+				derived, err := t.Client.SQLExecuteFactory(ctx, src, q, nil, nil)
+				if err != nil {
+					return err
+				}
+				if _, err := t.Client.GetSQLRowset(ctx, derived, 0); err != nil {
+					return fmt.Errorf("fetch: %w", err)
+				}
+				if err := t.Client.WSRFDestroy(ctx, derived); err != nil {
+					return fmt.Errorf("destroy: %w", err)
+				}
+				return nil
+			},
+		},
+		{
+			Name: "wsrf-props", Weight: 2, Op: "GetResourceProperty",
+			Run: func(ctx context.Context, r *rand.Rand) error {
+				ref := t.SQLRefs[pop.Pick(r)%len(t.SQLRefs)]
+				if r.Intn(5) == 0 {
+					// Lifetime refresh far in the future: exercises the
+					// SetTerminationTime write path without ever letting
+					// the reaper near the standing population.
+					tt := time.Now().Add(time.Hour)
+					_, err := t.Client.SetTerminationTime(ctx, ref, &tt)
+					return err
+				}
+				props, err := t.Client.GetResourceProperty(ctx, ref, "Readable")
+				if err != nil {
+					return err
+				}
+				if len(props) == 0 {
+					return fmt.Errorf("wsrf-props: empty property reply")
+				}
+				return nil
+			},
+		},
+	}
+	if len(t.XMLRefs) > 0 {
+		scenarios = append(scenarios, Scenario{
+			Name: "xml-xpath", Weight: 2, Op: "XPathExecute",
+			Run: func(ctx context.Context, r *rand.Rand) error {
+				ref := t.XMLRefs[xmlPop.Pick(r)%len(t.XMLRefs)]
+				items, err := t.Client.XPathExecute(ctx, ref, `//book[price>15]/title`)
+				if err != nil {
+					return err
+				}
+				if len(items) == 0 {
+					return fmt.Errorf("xml-xpath: empty result")
+				}
+				return nil
+			},
+		})
+	}
+	return scenarios
+}

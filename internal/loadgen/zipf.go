@@ -1,0 +1,39 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Popularity maps a uniform RNG to an index with zipfian popularity:
+// index 0 is the hottest resource, and the k-th most popular receives
+// a share proportional to 1/(k+v)^s. Wrapping the standard library
+// generator keeps the distribution deterministic per request RNG (each
+// request goroutine owns a private seeded rand.Rand, so Pick needs no
+// locking beyond what the caller already holds).
+type Popularity struct {
+	s, v float64
+	n    int
+}
+
+// NewPopularity describes a zipfian population of n resources with
+// exponent s > 1 (DAIS access skew defaults to 1.2: the classic
+// "few hot catalogs, long cold tail") and offset v >= 1.
+func NewPopularity(n int, s, v float64) (*Popularity, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("loadgen: population size %d", n)
+	}
+	if s <= 1 || v < 1 {
+		return nil, fmt.Errorf("loadgen: zipf parameters s=%v v=%v (need s>1, v>=1)", s, v)
+	}
+	return &Popularity{s: s, v: v, n: n}, nil
+}
+
+// Pick draws one resource index in [0, n).
+func (p *Popularity) Pick(r *rand.Rand) int {
+	z := rand.NewZipf(r, p.s, p.v, uint64(p.n-1))
+	return int(z.Uint64())
+}
+
+// N reports the population size.
+func (p *Popularity) N() int { return p.n }

@@ -264,6 +264,22 @@ func splitLabelPairs(s string) []string {
 // pairs must match; the le label belongs to the estimator). This is how
 // daisbench turns a /metrics scrape into server-side percentiles.
 func QuantileFromSamples(samples []Sample, name string, filter map[string]string, q float64) time.Duration {
+	bounds, cum := bucketsFromSamples(samples, name, filter)
+	if len(cum) == 0 {
+		return 0
+	}
+	counts := make([]uint64, len(cum))
+	var prev uint64
+	for i, c := range cum {
+		counts[i] = c - prev
+		prev = c
+	}
+	return bucketQuantile(bounds, counts, q)
+}
+
+// bucketsFromSamples collects the (le, cumulative count) pairs of a
+// histogram's _bucket samples matching the filter, sorted by bound.
+func bucketsFromSamples(samples []Sample, name string, filter map[string]string) (bounds []float64, cum []uint64) {
 	type bucket struct {
 		le  float64
 		cum uint64
@@ -283,21 +299,54 @@ func QuantileFromSamples(samples []Sample, name string, filter map[string]string
 		}
 		buckets = append(buckets, bucket{le: le, cum: uint64(s.Value)})
 	}
-	if len(buckets) == 0 {
-		return 0
-	}
 	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
-	bounds := make([]float64, 0, len(buckets)-1)
-	counts := make([]uint64, len(buckets))
-	var prev uint64
-	for i, b := range buckets {
+	for _, b := range buckets {
 		if !math.IsInf(b.le, 1) {
 			bounds = append(bounds, b.le)
 		}
-		counts[i] = b.cum - prev
-		prev = b.cum
+		cum = append(cum, b.cum)
+	}
+	return bounds, cum
+}
+
+// DeltaQuantile estimates a latency quantile from the growth of a
+// histogram between two scrapes: the cumulative bucket counts of the
+// before scrape are subtracted from the after scrape, and the quantile
+// is estimated over the difference. The open-loop load harness uses it
+// to report per-sweep-step server-side percentiles from the endpoint's
+// monotonically growing /metrics histograms. A series absent from the
+// before scrape counts as zero (the histogram was born mid-window).
+func DeltaQuantile(before, after []Sample, name string, filter map[string]string, q float64) time.Duration {
+	bounds, cumAfter := bucketsFromSamples(after, name, filter)
+	if len(cumAfter) == 0 {
+		return 0
+	}
+	boundsBefore, cumBefore := bucketsFromSamples(before, name, filter)
+	counts := make([]uint64, len(cumAfter))
+	var prevA, prevB uint64
+	for i := range cumAfter {
+		a := cumAfter[i] - prevA
+		prevA = cumAfter[i]
+		var b uint64
+		if i < len(cumBefore) && i <= len(boundsBefore) {
+			b = cumBefore[i] - prevB
+			prevB = cumBefore[i]
+		}
+		if a >= b {
+			counts[i] = a - b
+		}
 	}
 	return bucketQuantile(bounds, counts, q)
+}
+
+// DeltaCount reports the growth of a counter between two scrapes
+// (CountFromSamples(after) − CountFromSamples(before), floored at 0).
+func DeltaCount(before, after []Sample, name string, filter map[string]string) float64 {
+	d := CountFromSamples(after, name, filter) - CountFromSamples(before, name, filter)
+	if d < 0 {
+		return 0
+	}
+	return d
 }
 
 // CountFromSamples sums the values of samples with the given name whose

@@ -5,17 +5,25 @@ import (
 	"time"
 )
 
-// LatencyBuckets returns the standard fixed log-scale latency bounds:
-// 20 buckets doubling from 50µs to ~26s (plus the implicit +Inf
-// overflow bucket). The log scale keeps relative resolution constant
-// from sub-millisecond in-process calls to multi-second slow scans
-// while the bucket count — and therefore the per-observation cost and
-// the exposition size — stays fixed.
+// LatencyBuckets returns the standard fixed log-scale latency bounds
+// (plus the implicit +Inf overflow bucket): a fine region growing ×1.25
+// from 20µs to ~1ms, then doubling up to ~18s. The original uniform
+// doubling from 50µs was tuned for p50/p99; its 100% relative bucket
+// width made p999 estimates of sub-millisecond operations (where the
+// whole distribution lands in three or four buckets) off by up to 2x.
+// The ×1.25 fine region bounds the interpolation error at ≤25% exactly
+// where the in-process request path lives, while the coarse doubling
+// region keeps the total bucket count — and therefore per-observation
+// cost and exposition size — fixed at 33.
 func LatencyBuckets() []float64 {
-	out := make([]float64, 20)
-	b := 50e-6
-	for i := range out {
-		out[i] = b
+	var out []float64
+	b := 20e-6
+	for b < 1e-3 {
+		out = append(out, b)
+		b *= 1.25
+	}
+	for b < 30 {
+		out = append(out, b)
 		b *= 2
 	}
 	return out

@@ -37,8 +37,14 @@ func (o *Observer) interceptor(side string) soap.Interceptor {
 
 		code := FaultCode(err)
 		o.Requests.With(side, op, class, code).Inc()
-		o.Latency.With(side, op).Observe(dur)
-		if err != nil {
+		// The latency histogram is a success distribution: faulted
+		// exchanges (admission sheds, timeouts, injected failures) are
+		// tallied in Requests and Faults but kept out of the quantiles,
+		// so an overloaded endpoint's fast 503s cannot masquerade as a
+		// latency improvement in the capacity-curve SLO check.
+		if err == nil {
+			o.Latency.With(side, op).Observe(dur)
+		} else {
 			o.Faults.With(side, op, code).Inc()
 		}
 		o.Tracer.Record(Span{

@@ -44,6 +44,7 @@ type Registry struct {
 	entries   map[string]*entry
 	clock     Clock
 	onDestroy func(id string)
+	created   int64
 	destroyed int64
 
 	reaperMu    sync.Mutex
@@ -84,6 +85,39 @@ func (r *Registry) Add(id string, res Resource) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.entries[id] = &entry{res: res, created: r.clock()}
+	r.created++
+}
+
+// AddWithTermination registers a resource with its soft-state
+// termination already scheduled, atomically. Lifetime-churn producers
+// (factories minting short-TTL resources while the reaper runs) need
+// this: a separate Add + SetTerminationTime pair has a window in which
+// the resource is registered with infinite lifetime, so a producer
+// crash mid-pair would leak it forever.
+func (r *Registry) AddWithTermination(id string, res Resource, term time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries[id] = &entry{res: res, created: r.clock(), termination: term}
+	r.created++
+}
+
+// LiveCount reports the number of currently registered resources —
+// the churn-test gauge that must return to baseline after every
+// create/destroy cycle has resolved.
+func (r *Registry) LiveCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+// CreatedCount reports how many registrations the registry has ever
+// accepted (Add and AddWithTermination, including replacements).
+// CreatedCount − DestroyedCount − LiveCount is the number of resources
+// that left through Remove; churn tests assert the balance.
+func (r *Registry) CreatedCount() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.created
 }
 
 // Remove unregisters a resource without firing the destroy callback or
